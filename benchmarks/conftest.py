@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The heavy benchmarks (Tables IV, VI, VIII, XII) share one
+:class:`ExperimentSuite` so the synthetic corpora and the pre-trained /
+multi-task-fine-tuned DataVisT5 are built once per benchmark session.  The
+scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` by default, ``paper`` for the larger configuration).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.experiments import ExperimentScale, ExperimentSuite
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    # The smoke scale is tuned so the whole benchmark suite finishes in
+    # minutes on a laptop CPU while still training every system.
+    return ExperimentScale(
+        num_databases=10,
+        examples_per_database=10,
+        num_chart2text=40,
+        num_wikitabletext=40,
+        max_fevisqa=240,
+        max_test_examples=16,
+        max_train_examples=120,
+        pretrain_epochs=1,
+        finetune_epochs=2,
+        batch_size=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_suite() -> ExperimentSuite:
+    return ExperimentSuite(scale=_selected_scale(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_pool(experiment_suite):
+    return experiment_suite.corpora.pool
+
+
+def run_once(benchmark, function):
+    """Run a heavy benchmark exactly once (training loops are too slow to repeat)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

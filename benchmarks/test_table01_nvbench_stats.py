@@ -1,0 +1,19 @@
+"""Table I: statistics of the (synthetic) nvBench corpus."""
+
+from repro.evaluation.experiments import table01_nvbench_statistics
+
+
+def test_table01_nvbench_statistics(benchmark):
+    rows = benchmark(table01_nvbench_statistics, examples_per_database=20, seed=0)
+    print("\nTable I — nvBench statistics (synthetic)")
+    header = f"{'split':<8} {'w/o join':>10} {'all':>8} {'dbs w/o join':>14} {'dbs':>6}"
+    print(header)
+    print("-" * len(header))
+    for split in ("train", "valid", "test", "total"):
+        row = rows[split]
+        print(
+            f"{split:<8} {row['instances_without_join']:>10} {row['instances']:>8} "
+            f"{row['databases_without_join']:>14} {row['databases']:>6}"
+        )
+    assert rows["total"]["instances"] > 0
+    assert rows["total"]["instances_without_join"] <= rows["total"]["instances"]

@@ -1,0 +1,20 @@
+"""Table II: statistics of the Chart2Text-style and WikiTableText-style corpora."""
+
+from repro.evaluation.experiments import table02_table_corpora_statistics
+
+
+def test_table02_table_corpora_statistics(benchmark):
+    rows = benchmark(table02_table_corpora_statistics, num_chart2text=300, num_wikitabletext=300, seed=0)
+    print("\nTable II — Chart2Text / WikiTableText statistics (synthetic)")
+    header = f"{'corpus':<16} {'train':>7} {'valid':>7} {'test':>7} {'min cells':>10} {'max cells':>10} {'<=150':>7} {'>150':>6}"
+    print(header)
+    print("-" * len(header))
+    for name in ("chart2text", "wikitabletext"):
+        row = rows[name]
+        print(
+            f"{name:<16} {row['train']:>7} {row['valid']:>7} {row['test']:>7} "
+            f"{row['min_cells']:>10} {row['max_cells']:>10} {row['at_most_150']:>7} {row['more_than_150']:>6}"
+        )
+    assert rows["chart2text"]["instances"] == 300
+    # The paper keeps only <=150-cell Chart2Text tables; WikiTableText never exceeds that bound.
+    assert rows["wikitabletext"]["more_than_150"] == 0

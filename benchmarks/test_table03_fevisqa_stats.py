@@ -1,0 +1,23 @@
+"""Table III: statistics of the (synthetic) FeVisQA corpus."""
+
+from repro.evaluation.experiments import table03_fevisqa_statistics
+
+
+def test_table03_fevisqa_statistics(benchmark):
+    rows = benchmark(table03_fevisqa_statistics, examples_per_database=20, seed=0)
+    print("\nTable III — FeVisQA statistics (synthetic)")
+    header = f"{'split':<8} {'dbs':>5} {'QA pairs':>9} {'DV queries':>11} {'type 1':>8} {'type 2':>8} {'type 3':>8}"
+    print(header)
+    print("-" * len(header))
+    for split in ("train", "valid", "test"):
+        row = rows[split]
+        print(
+            f"{split:<8} {row['databases']:>5} {row['qa_pairs']:>9} {row['dv_queries']:>11} "
+            f"{row['type_1']:>8} {row['type_2']:>8} {row['type_3']:>8}"
+        )
+    total = rows["total"]
+    print(f"{'total':<8} {total['databases']:>5} {total['qa_pairs']:>9} {total['dv_queries']:>11} "
+          f"{total['type_1']:>8} {total['type_2']:>8} {total['type_3']:>8}")
+    # Type-3 (rule-generated structure questions) dominates, as in the paper.
+    assert total["type_3"] > total["type_1"]
+    assert total["qa_pairs"] == total["type_1"] + total["type_2"] + total["type_3"]

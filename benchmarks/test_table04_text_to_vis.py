@@ -1,0 +1,26 @@
+"""Table IV: text-to-vis comparison (Vis / Axis / Data / overall EM, w/o and w/ join)."""
+
+from conftest import run_once
+
+from repro.evaluation.reports import format_text_to_vis_table
+
+
+def test_table04_text_to_vis(benchmark, experiment_suite):
+    rows = run_once(benchmark, lambda: experiment_suite.table04_rows(include_llm_analogues=True))
+    print()
+    print(format_text_to_vis_table("Table IV — text-to-vis, NVBench w/o join operation (synthetic)", rows, "without_join"))
+    print()
+    print(format_text_to_vis_table("Table IV — text-to-vis, NVBench w/ join operation (synthetic)", rows, "with_join"))
+
+    names = [row["model"] for row in rows]
+    assert any(name.startswith("DataVisT5") for name in names)
+    assert len(rows) >= 8
+    for row in rows:
+        for subset in ("without_join", "with_join"):
+            metrics = row.get(subset)
+            if metrics is None:
+                continue
+            for key in ("Vis EM", "Axis EM", "Data EM", "EM"):
+                assert 0.0 <= metrics[key] <= 1.0
+            # Overall EM can never exceed any of its component matches.
+            assert metrics["EM"] <= min(metrics["Vis EM"], metrics["Axis EM"], metrics["Data EM"]) + 1e-9

@@ -1,0 +1,21 @@
+"""Table VI: vis-to-text comparison (BLEU / ROUGE / METEOR)."""
+
+from conftest import run_once
+
+from repro.evaluation.reports import format_table
+
+_METRICS = ("BLEU-1", "BLEU-2", "BLEU-4", "ROUGE-1", "ROUGE-2", "ROUGE-L", "METEOR")
+
+
+def test_table06_vis_to_text(benchmark, experiment_suite):
+    rows = run_once(benchmark, lambda: experiment_suite.table06_rows(include_llm_analogues=True))
+    print()
+    print(format_table("Table VI — vis-to-text (synthetic)", rows, _METRICS))
+
+    names = [row["model"] for row in rows]
+    assert any(name.startswith("DataVisT5") for name in names)
+    for row in rows:
+        for key in _METRICS:
+            assert 0.0 <= row["metrics"][key] <= 1.0
+        # BLEU with longer n-grams can never exceed unigram BLEU.
+        assert row["metrics"]["BLEU-4"] <= row["metrics"]["BLEU-1"] + 1e-9

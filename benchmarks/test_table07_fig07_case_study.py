@@ -1,0 +1,29 @@
+"""Table VII / Figure 7: vis-to-text case study (descriptions of a bar chart with a subquery)."""
+
+from conftest import run_once
+
+from repro.baselines import ZeroShotHeuristicGeneration
+from repro.evaluation import case_studies
+from repro.metrics import meteor_score
+
+
+def test_table07_fig07_vis_to_text_case_study(benchmark, experiment_suite):
+    corpora = experiment_suite.corpora
+
+    def build():
+        systems = {"GPT-4 (0-shot)": ZeroShotHeuristicGeneration()}
+        return case_studies.vis_to_text_case_study(corpora.pool, systems=systems)
+
+    study = run_once(benchmark, build)
+    print("\nTable VII — descriptions generated for the case-study DV query")
+    print(f"DV query    : {study['query']}")
+    print(f"Ground truth: {study['ground_truth']}")
+    for name, prediction in study["predictions"].items():
+        print(f"{name}: {prediction}")
+    print("\nFigure 7 — visualization chart")
+    print(study["chart"])
+
+    assert "not in" in study["query"]
+    assert study["predictions"]
+    for prediction in study["predictions"].values():
+        assert 0.0 <= meteor_score(prediction, study["ground_truth"]) <= 1.0

@@ -1,0 +1,23 @@
+"""Table VIII: FeVisQA and table-to-text comparison (BLEU / ROUGE / METEOR)."""
+
+from conftest import run_once
+
+from repro.evaluation.reports import format_table
+
+_FEVISQA_METRICS = ("BLEU-1", "ROUGE-1", "ROUGE-L", "METEOR")
+_TABLE_METRICS = ("BLEU-4", "ROUGE-1", "ROUGE-L", "METEOR")
+
+
+def test_table08_fevisqa_and_table_to_text(benchmark, experiment_suite):
+    rows = run_once(benchmark, lambda: experiment_suite.table08_rows(include_llm_analogues=True))
+    print()
+    print(format_table("Table VIII — FeVisQA (synthetic)", rows["fevisqa"], _FEVISQA_METRICS))
+    print()
+    print(format_table("Table VIII — table-to-text (synthetic)", rows["table_to_text"], _TABLE_METRICS))
+
+    for task, metric_keys in (("fevisqa", _FEVISQA_METRICS), ("table_to_text", _TABLE_METRICS)):
+        names = [row["model"] for row in rows[task]]
+        assert any(name.startswith("DataVisT5") for name in names)
+        for row in rows[task]:
+            for key in metric_keys:
+                assert 0.0 <= row["metrics"][key] <= 1.0

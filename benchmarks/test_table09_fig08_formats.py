@@ -1,0 +1,23 @@
+"""Table IX / Figure 8: the DV-knowledge sequence formats used by the FeVisQA case study."""
+
+from conftest import run_once
+
+from repro.evaluation import case_studies
+
+
+def test_table09_fig08_sequence_formats(benchmark, experiment_suite):
+    study = run_once(benchmark, lambda: case_studies.fevisqa_case_study(experiment_suite.corpora.pool))
+    print("\nTable IX — sequence formats of the DV knowledge used in the FeVisQA case study")
+    print(f"DV query : {study['query']}")
+    print(f"Table    : {study['table'][:200]} ...")
+    print(f"Schema   : {study['schema'][:200]} ...")
+    print("\nFigure 8a — visualization chart")
+    print(study["chart"])
+    print("\nFigure 8b — table")
+    print(study["result_table"])
+
+    # The three linearized formats follow the paper's encoding conventions.
+    assert study["query"].startswith("visualize bar select film_market_estimation.type")
+    assert study["table"].startswith("| col : film_market_estimation.type")
+    assert study["schema"].startswith("| film_rank |")
+    assert "join film on" in study["query"]

@@ -1,0 +1,28 @@
+"""Table X: FeVisQA case-study answers (four DV questions over the Figure-8 chart)."""
+
+from conftest import run_once
+
+from repro.baselines import ZeroShotHeuristicGeneration
+from repro.evaluation import case_studies
+
+
+def test_table10_fevisqa_case_study(benchmark, experiment_suite):
+    def build():
+        systems = {"GPT-4 (0-shot)": ZeroShotHeuristicGeneration()}
+        return case_studies.fevisqa_case_study(experiment_suite.corpora.pool, systems=systems)
+
+    study = run_once(benchmark, build)
+    print("\nTable X — answers generated for the FeVisQA case study")
+    width = max(len(row["question"]) for row in study["qa"])
+    for row in study["qa"]:
+        predicted = ", ".join(f"{name}={value}" for name, value in row["predictions"].items())
+        print(f"{row['question']:<{width}}  gold={row['ground_truth']:<8} {predicted}")
+
+    assert len(study["qa"]) == 4
+    # Ground-truth answers come from actually executing the DV query, so the
+    # numeric ones must be consistent with each other.
+    answers = {row["question"]: row["ground_truth"] for row in study["qa"]}
+    parts = int(answers["How many parts are there in the chart ?"])
+    assert parts >= 1
+    for row in study["qa"]:
+        assert row["predictions"]

@@ -1,0 +1,21 @@
+"""Table XII: ablation study over DataVisT5's critical design components."""
+
+from conftest import run_once
+
+from repro.evaluation.reports import format_ablation_table
+
+_TASKS = ("text_to_vis", "vis_to_text", "fevisqa", "table_to_text", "mean")
+
+
+def test_table12_ablation(benchmark, experiment_suite):
+    rows = run_once(benchmark, experiment_suite.table12_rows)
+    print()
+    print(format_ablation_table("Table XII — ablation study (average metric per task x 100, synthetic)", rows))
+
+    variants = {row["model"] for row in rows}
+    assert {"DataVisT5", "w/o BDC", "w/o up-sampling", "w/o MFT"} <= variants
+    for row in rows:
+        for task in _TASKS:
+            assert 0.0 <= row["scores"][task] <= 1.0
+    full = next(row for row in rows if row["model"] == "DataVisT5" and row["method"] == "MFT")
+    assert full["scores"]["mean"] >= 0.0

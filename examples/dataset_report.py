@@ -1,0 +1,60 @@
+"""Dataset report: regenerate the paper's corpus-statistics tables (Tables I-III).
+
+Prints the nvBench, Chart2Text/WikiTableText and FeVisQA statistics for the
+synthetic corpora, in the same row layout the paper uses.  Useful as a quick
+sanity check of the data generators without running the full benchmark
+harness.
+
+Run with::
+
+    python examples/dataset_report.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import (
+    table01_nvbench_statistics,
+    table02_table_corpora_statistics,
+    table03_fevisqa_statistics,
+)
+
+
+def main() -> None:
+    print("Table I — nvBench statistics (synthetic)")
+    rows = table01_nvbench_statistics(examples_per_database=20, seed=0)
+    print(f"{'split':<8} {'w/o join':>10} {'all':>8} {'dbs w/o join':>14} {'dbs':>6}")
+    for split in ("train", "valid", "test", "total"):
+        row = rows[split]
+        print(
+            f"{split:<8} {row['instances_without_join']:>10} {row['instances']:>8} "
+            f"{row['databases_without_join']:>14} {row['databases']:>6}"
+        )
+
+    print("\nTable II — Chart2Text / WikiTableText statistics (synthetic)")
+    rows = table02_table_corpora_statistics(num_chart2text=300, num_wikitabletext=300, seed=0)
+    print(f"{'corpus':<16} {'train':>7} {'valid':>7} {'test':>7} {'min':>6} {'max':>6} {'<=150':>7} {'>150':>6}")
+    for name in ("chart2text", "wikitabletext"):
+        row = rows[name]
+        print(
+            f"{name:<16} {row['train']:>7} {row['valid']:>7} {row['test']:>7} "
+            f"{row['min_cells']:>6} {row['max_cells']:>6} {row['at_most_150']:>7} {row['more_than_150']:>6}"
+        )
+
+    print("\nTable III — FeVisQA statistics (synthetic)")
+    rows = table03_fevisqa_statistics(examples_per_database=20, seed=0)
+    print(f"{'split':<8} {'dbs':>5} {'QA':>7} {'queries':>9} {'type 1':>8} {'type 2':>8} {'type 3':>8}")
+    for split in ("train", "valid", "test"):
+        row = rows[split]
+        print(
+            f"{split:<8} {row['databases']:>5} {row['qa_pairs']:>7} {row['dv_queries']:>9} "
+            f"{row['type_1']:>8} {row['type_2']:>8} {row['type_3']:>8}"
+        )
+    total = rows["total"]
+    print(
+        f"{'total':<8} {total['databases']:>5} {total['qa_pairs']:>7} {total['dv_queries']:>9} "
+        f"{total['type_1']:>8} {total['type_2']:>8} {total['type_3']:>8}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""FeVisQA assistant: free-form question answering over a data visualization.
+
+Builds the paper's Figure 1 / Figure 8 scenario: given a DV query, its
+database and a rendered chart, answer the four typical DV questions (meaning,
+suitability, structure, values).  Ground-truth answers come from executing
+the query; a zero-shot heuristic model and (optionally) a trained DataVisT5
+answer the same questions for comparison.
+
+Run with::
+
+    python examples/fevisqa_assistant.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ZeroShotHeuristicGeneration
+from repro.charts import build_chart, chart_properties, render_ascii_chart
+from repro.database import execute_query
+from repro.datasets import build_database_pool
+from repro.encoding import encode_result_table, encode_schema, fevisqa_input
+from repro.vql import parse_dv_query, standardize_dv_query
+from repro.vql.validation import is_query_compatible
+
+
+def main() -> None:
+    pool = build_database_pool(seed=0)
+    database = pool.get("film_rank")
+    query = standardize_dv_query(
+        parse_dv_query(
+            "visualize bar select film_market_estimation.type, count(film_market_estimation.type) "
+            "from film_market_estimation join film on film_market_estimation.film_id = film.film_id "
+            "group by film_market_estimation.type order by film_market_estimation.type asc"
+        ),
+        schema=database.schema,
+    )
+
+    result = execute_query(query, database)
+    chart = build_chart(query, result=result)
+    properties = chart_properties(chart)
+    table_text = encode_result_table(result)
+
+    print("== DV query ==")
+    print(query.to_text())
+    print("\n== chart ==")
+    print(render_ascii_chart(chart))
+
+    questions = [
+        ("What is the meaning of this DV ?", "semantic"),
+        ("Is this DV suitable for this given dataset ?", "suitability"),
+        ("How many parts are there in the chart ?", "structure"),
+        ("What is the value of the largest part in the chart ?", "value"),
+    ]
+    ground_truth = {
+        "semantic": "a bar chart counting film market estimations for each estimation type",
+        "suitability": "Yes" if is_query_compatible(query, database.schema) else "No",
+        "structure": str(properties.num_parts),
+        "value": str(properties.max_value),
+    }
+
+    heuristic = ZeroShotHeuristicGeneration()
+
+    print("\n== question answering ==")
+    for question, kind in questions:
+        source = fevisqa_input(question, query=query, schema=database.schema, table=table_text)
+        predicted = heuristic.predict(source)
+        print(f"\nQ: {question}")
+        print(f"   ground truth     : {ground_truth[kind]}")
+        print(f"   zero-shot answer : {predicted}")
+
+    print("\n== schema used as context ==")
+    print(encode_schema(database.schema))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Text-to-vis pipeline: from a natural-language question to a rendered chart.
+
+This example exercises the *non-neural* part of the library the way the
+paper's Figure 1 describes the workflow:
+
+1. schema filtration selects the tables mentioned by the question;
+2. the question + filtered schema are encoded into the model input format;
+3. a DV query (here: the retrieval baseline's prediction and the gold query)
+   is standardized, validated and executed on the database;
+4. the result is translated to a Vega-Lite spec and rendered as an ASCII chart.
+
+Run with::
+
+    python examples/text_to_vis_pipeline.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.baselines import RetrievalTextToVis, RuleBasedTextToVis
+from repro.charts import build_chart, render_ascii_chart, to_vega_lite, to_vega_zero
+from repro.database import execute_query
+from repro.datasets import build_database_pool, generate_nvbench
+from repro.encoding import encode_schema, filter_schema, text_to_vis_input
+from repro.vql import parse_dv_query, standardize_dv_query, validate_dv_query
+
+
+def main() -> None:
+    pool = build_database_pool(seed=0)
+    database = pool.get("theme_gallery")
+    question = "Give me a pie chart about the proportion of the number of countries in the artist table ."
+
+    print("== natural-language question ==")
+    print(question)
+
+    print("\n== schema filtration (n-gram matching) ==")
+    filtered = filter_schema(question, database.schema)
+    print("full schema   :", encode_schema(database.schema))
+    print("filtered      :", encode_schema(filtered))
+
+    print("\n== model input sequence ==")
+    print(text_to_vis_input(question, filtered))
+
+    print("\n== gold DV query (standardized) ==")
+    gold = standardize_dv_query(
+        parse_dv_query("Visualize PIE SELECT country, COUNT(country) FROM artist GROUP BY country"),
+        schema=database.schema,
+    )
+    validate_dv_query(gold, database.schema)
+    print(gold.to_text())
+
+    print("\n== retrieval baseline prediction ==")
+    nvbench = generate_nvbench(pool, examples_per_database=10, seed=0)
+    baseline = RetrievalTextToVis(revise=True)
+    baseline.fit(nvbench.examples, pool)
+    predicted = baseline.predict(question, database.schema)
+    print(predicted)
+
+    print("\n== rule-based baseline prediction ==")
+    rule = RuleBasedTextToVis()
+    rule.fit([], pool)
+    print(rule.predict(question, database.schema))
+
+    print("\n== execution result and chart ==")
+    result = execute_query(gold, database)
+    for record in result.to_records():
+        print(record)
+    chart = build_chart(gold, result=result)
+    print()
+    print(render_ascii_chart(chart))
+
+    print("\n== Vega-Lite specification ==")
+    print(json.dumps(to_vega_lite(gold, data_url="data/artist.json"), indent=2))
+
+    print("\n== Vega-Zero sequence ==")
+    print(to_vega_zero(gold))
+
+
+if __name__ == "__main__":
+    main()

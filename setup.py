@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file only exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) in
+offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

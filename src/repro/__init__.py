@@ -1,0 +1,18 @@
+"""DataVisT5 reproduction.
+
+A from-scratch, offline reproduction of *DataVisT5: A Pre-trained Language
+Model for Jointly Understanding Text and Data Visualization* (ICDE 2025):
+the DV query language and its relational substrate, the cross-modal encoding
+pipeline, the hybrid pre-training and multi-task fine-tuning recipe, the
+baselines, the metrics and a benchmark harness for every table and figure of
+the paper's evaluation section.
+
+See ``examples/quickstart.py`` for a runnable end-to-end walk-through and
+DESIGN.md for the system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

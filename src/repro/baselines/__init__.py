@@ -1,0 +1,48 @@
+"""Baselines evaluated against DataVisT5 in the paper.
+
+The comparison systems fall into three families, all reproduced here on the
+offline substrate:
+
+* non-neural systems — a rule/template text-to-vis parser and
+  retrieve-and-revise models (RGVisNet-style retrieval with schema-aware
+  revision; a k-nearest-neighbour few-shot model standing in for 5-shot
+  GPT-4 prompting), plus zero-shot heuristic generators standing in for
+  zero-shot GPT-4 on the text-generation tasks;
+* recurrent models — the Seq2Vis GRU encoder--decoder with attention;
+* transformer models — a vanilla transformer trained from scratch, an
+  ncNet-style transformer with grammar-constrained (attention-forcing style)
+  decoding, and warm-started transformers standing in for CodeT5+ and BART
+  checkpoints, optionally fine-tuned with a LoRA-style parameter subset.
+"""
+
+from repro.baselines.base import TextToVisBaseline, TextGenerationBaseline
+from repro.baselines.template import RuleBasedTextToVis
+from repro.baselines.retrieval import RetrievalTextToVis, FewShotRetrievalTextToVis
+from repro.baselines.neural import (
+    Seq2VisBaseline,
+    TransformerTextToVis,
+    NeuralTextGeneration,
+    Seq2SeqTextGeneration,
+    warm_start_on_queries,
+    warm_start_on_text,
+    lora_style_parameters,
+)
+from repro.baselines.ncnet import NcNetTextToVis
+from repro.baselines.heuristics import ZeroShotHeuristicGeneration
+
+__all__ = [
+    "TextToVisBaseline",
+    "TextGenerationBaseline",
+    "RuleBasedTextToVis",
+    "RetrievalTextToVis",
+    "FewShotRetrievalTextToVis",
+    "Seq2VisBaseline",
+    "TransformerTextToVis",
+    "NeuralTextGeneration",
+    "Seq2SeqTextGeneration",
+    "warm_start_on_queries",
+    "warm_start_on_text",
+    "lora_style_parameters",
+    "NcNetTextToVis",
+    "ZeroShotHeuristicGeneration",
+]

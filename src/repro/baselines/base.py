@@ -1,0 +1,45 @@
+"""Common interfaces for the baseline model families."""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.database.schema import DatabaseSchema
+from repro.datasets.corpus import Seq2SeqExample
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+
+
+class TextToVisBaseline(abc.ABC):
+    """A model that maps (NL question, schema) to DV query text."""
+
+    name: str = "text-to-vis baseline"
+
+    @abc.abstractmethod
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """Train / index the model on the nvBench training split."""
+
+    @abc.abstractmethod
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Predict the DV query text for one question."""
+
+    def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
+        return [self.predict(question, schema) for question, schema in zip(questions, schemas)]
+
+
+class TextGenerationBaseline(abc.ABC):
+    """A model that maps a source text to a target text (vis-to-text, FeVisQA, table-to-text)."""
+
+    name: str = "text generation baseline"
+
+    @abc.abstractmethod
+    def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
+        """Train the model on (source, target) pairs."""
+
+    @abc.abstractmethod
+    def predict(self, source: str) -> str:
+        """Generate the target text for one source text."""
+
+    def predict_many(self, sources: Sequence[str]) -> list[str]:
+        return [self.predict(source) for source in sources]

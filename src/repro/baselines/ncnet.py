@@ -1,0 +1,87 @@
+"""ncNet-style baseline: a transformer with grammar-constrained decoding.
+
+ncNet augments a transformer with *attention forcing*, steering decoding
+toward valid Vega-Zero tokens and schema items.  On the numpy substrate the
+same inductive bias is realised as constrained greedy decoding: at every step
+the next-token distribution is masked to the union of DV-query keywords,
+punctuation and the identifiers of the target schema, so the model cannot
+emit tokens that could never appear in a valid query for that database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.neural import TransformerTextToVis
+from repro.core.batching import pad_sequences
+from repro.database.schema import DatabaseSchema
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+from repro.encoding.sequences import text_to_vis_input
+from repro.nn.tensor import no_grad
+from repro.tokenization.special_tokens import VQL_TAG
+from repro.vql.ast import AGGREGATE_FUNCTIONS, TIME_BIN_UNITS
+
+_KEYWORDS = (
+    "visualize", "select", "from", "join", "on", "where", "and", "group", "by",
+    "order", "asc", "desc", "bin", "not", "in", "like", "distinct",
+    "bar", "pie", "line", "scatter", "stacked", "grouping",
+    "(", ")", ",", "=", "!=", ">", "<", ">=", "<=", ".",
+) + AGGREGATE_FUNCTIONS + TIME_BIN_UNITS
+
+
+class NcNetTextToVis(TransformerTextToVis):
+    """Transformer text-to-vis with schema-constrained decoding."""
+
+    name = "ncnet"
+
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        super().fit(examples, pool)
+
+    def _allowed_token_ids(self, schema: DatabaseSchema) -> np.ndarray:
+        tokenizer = self.model.tokenizer
+        vocab = tokenizer.vocab
+        allowed = np.zeros(len(vocab), dtype=bool)
+        allowed[vocab.pad_id] = True
+        allowed[vocab.eos_id] = True
+        allowed[vocab.bos_id] = True
+        candidate_tokens: set[str] = set(_KEYWORDS)
+        candidate_tokens.add(VQL_TAG)
+        for table in schema.tables:
+            candidate_tokens.add(table.name)
+            for column in table.columns:
+                candidate_tokens.add(column.name)
+                candidate_tokens.add(f"{table.name}.{column.name}")
+        for token in candidate_tokens:
+            for piece in tokenizer.text_to_tokens(token):
+                if piece in vocab:
+                    allowed[vocab.token_to_id(piece)] = True
+        return allowed
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        if self.model is None:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        tokenizer = self.model.tokenizer
+        source = text_to_vis_input(question, schema)
+        encoded = tokenizer.encode(source, max_length=self.model.config.max_input_length)
+        input_ids = pad_sequences([encoded], tokenizer.vocab.pad_id)
+        allowed = self._allowed_token_ids(schema)
+        transformer = self.model.model
+        config = transformer.config
+        with no_grad():
+            transformer.eval()
+            attention_mask = input_ids != config.pad_id
+            encoder_hidden = transformer.encoder(input_ids, attention_mask)
+            sequence = np.full((1, 1), config.bos_id, dtype=np.int64)
+            for _ in range(self.model.config.max_decode_length):
+                decoder_hidden = transformer.decoder(sequence, encoder_hidden, attention_mask)
+                logits = transformer.lm_logits(decoder_hidden).numpy()[0, -1, :]
+                logits = np.where(allowed, logits, -np.inf)
+                next_token = int(np.argmax(logits))
+                sequence = np.concatenate([sequence, [[next_token]]], axis=1)
+                if next_token == config.eos_id:
+                    break
+        text = tokenizer.decode(sequence[0, 1:])
+        return text.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip()

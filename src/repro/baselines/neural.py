@@ -1,0 +1,356 @@
+"""Neural baselines: Seq2Vis, vanilla transformer, warm-started transformers
+and LoRA-style parameter-efficient fine-tuning.
+
+All neural baselines share the text-in / text-out formulation of the main
+model so the only differences are architecture (GRU vs transformer), size and
+what (if anything) the weights were warmed up on — which is exactly the axis
+the paper varies (T5-large vs CodeT5+ vs DataVisT5 pre-training).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
+from repro.core.batching import iterate_minibatches, pad_sequences
+from repro.core.config import DataVisT5Config, TrainingConfig
+from repro.core.model import DataVisT5
+from repro.core.objectives import SpanCorruptionConfig, span_corruption
+from repro.database.schema import DatabaseSchema
+from repro.datasets.corpus import Seq2SeqExample
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+from repro.encoding.sequences import text_to_vis_input, text_to_vis_target
+from repro.nn.layers import Parameter
+from repro.nn.optim import Adam, LinearWarmupSchedule, clip_grad_norm
+from repro.nn.rnn import Seq2SeqModel
+from repro.tokenization.special_tokens import VQL_TAG
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+# -- warm starts -----------------------------------------------------------------------
+
+
+def warm_start_on_queries(model: DataVisT5, query_texts: Sequence[str], steps: int = 60, seed: int = 0) -> None:
+    """Warm-start ``model`` with span denoising on DV-query text.
+
+    This plays the role of starting from the CodeT5+ checkpoint: before any
+    task fine-tuning the model has already seen the token statistics of the
+    programming-language-like DV queries.
+    """
+    _denoising_warm_start(model, query_texts, steps=steps, seed=derive_seed(seed, "code_warm_start"))
+
+
+def warm_start_on_text(model: DataVisT5, texts: Sequence[str], steps: int = 60, seed: int = 0) -> None:
+    """Warm-start ``model`` with span denoising on natural-language text (BART / T5 analogue)."""
+    _denoising_warm_start(model, texts, steps=steps, seed=derive_seed(seed, "text_warm_start"))
+
+
+def _denoising_warm_start(model: DataVisT5, texts: Sequence[str], steps: int, seed: int) -> None:
+    texts = [text for text in texts if text.strip()]
+    if not texts:
+        return
+    rng = seeded_rng(seed)
+    optimizer = model.make_optimizer(total_steps=steps, learning_rate=5e-3)
+    span_config = SpanCorruptionConfig()
+    batch_size = 8
+    pad_id = model.tokenizer.vocab.pad_id
+    for _ in range(steps):
+        indices = rng.integers(0, len(texts), size=batch_size)
+        sources, targets = [], []
+        for index in indices:
+            token_ids = model.tokenizer.encode(texts[int(index)], max_length=model.config.max_input_length)
+            corrupted, target = span_corruption(token_ids, model.tokenizer, config=span_config, rng=rng)
+            sources.append(corrupted[: model.config.max_input_length])
+            targets.append(target[: model.config.max_target_length])
+        from repro.core.batching import Batch
+
+        batch = Batch(
+            input_ids=pad_sequences(sources, pad_id, model.config.max_input_length),
+            labels=pad_sequences(targets, pad_id, model.config.max_target_length),
+        )
+        model.train_step(batch, optimizer)
+
+
+def lora_style_parameters(model: DataVisT5) -> list[Parameter]:
+    """The parameter subset updated by LoRA-style fine-tuning.
+
+    True LoRA adds low-rank adapters; with the tiny numpy models the same
+    effect (a small trainable fraction on top of frozen pre-trained weights)
+    is obtained by updating only the attention query/value projections and
+    the layer norms, which is the standard LoRA target-module set.
+    """
+    selected: list[Parameter] = []
+    for name, parameter in model.model.named_parameters():
+        if ".q_proj." in name or ".v_proj." in name or "norm" in name.lower():
+            selected.append(parameter)
+    return selected or model.model.parameters()
+
+
+# -- text-to-vis baselines ------------------------------------------------------------------
+
+
+class TransformerTextToVis(TextToVisBaseline):
+    """A transformer trained from scratch (or from a warm start) on text-to-vis only."""
+
+    name = "transformer"
+
+    def __init__(
+        self,
+        config: DataVisT5Config | None = None,
+        training: TrainingConfig | None = None,
+        warm_start: str | None = None,
+        lora_style: bool = False,
+        model: DataVisT5 | None = None,
+    ):
+        self.config = config or DataVisT5Config.from_preset("tiny")
+        self.training = training or TrainingConfig(num_epochs=3)
+        self.warm_start = warm_start
+        self.lora_style = lora_style
+        self.model = model
+
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        pairs = [
+            Seq2SeqExample(
+                source=text_to_vis_input(example.question, pool.get(example.db_id).schema),
+                target=text_to_vis_target(example.query),
+                task="text_to_vis",
+                db_id=example.db_id,
+            )
+            for example in examples
+        ]
+        if self.model is None:
+            texts = [pair.source for pair in pairs] + [pair.target for pair in pairs]
+            self.model = DataVisT5.from_corpus(texts, config=self.config)
+            if self.warm_start == "queries":
+                warm_start_on_queries(self.model, [example.query_text for example in examples], seed=self.training.seed)
+            elif self.warm_start == "text":
+                warm_start_on_text(self.model, [example.question for example in examples], seed=self.training.seed)
+        self._finetune(pairs)
+
+    def _finetune(self, pairs: list[Seq2SeqExample]) -> None:
+        config = self.training
+        rng = seeded_rng(derive_seed(config.seed, "transformer_baseline"))
+        steps_per_epoch = max(1, (len(pairs) + config.batch_size - 1) // config.batch_size)
+        parameters = lora_style_parameters(self.model) if self.lora_style else self.model.model.parameters()
+        schedule = LinearWarmupSchedule(
+            config.learning_rate, total_steps=steps_per_epoch * config.num_epochs, warmup_ratio=config.warmup_ratio
+        )
+        optimizer = Adam(parameters, learning_rate=schedule, weight_decay=config.weight_decay)
+        for _ in range(config.num_epochs):
+            for minibatch in iterate_minibatches(pairs, config.batch_size, rng=rng):
+                batch = self.model.collate([p.source for p in minibatch], [p.target for p in minibatch])
+                self.model.model.train()
+                optimizer.zero_grad()
+                output = self.model.model(batch.input_ids, labels=batch.labels)
+                output["loss"].backward()
+                clip_grad_norm(parameters, config.max_grad_norm)
+                optimizer.step()
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        if self.model is None:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        prediction = self.model.predict(text_to_vis_input(question, schema))
+        return prediction.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip()
+
+
+class Seq2VisBaseline(TextToVisBaseline):
+    """The Seq2Vis baseline: a GRU encoder--decoder with attention."""
+
+    name = "seq2vis"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_size: int = 48,
+        training: TrainingConfig | None = None,
+        max_vocab_size: int | None = 2000,
+    ):
+        self.embedding_dim = embedding_dim
+        self.hidden_size = hidden_size
+        self.training = training or TrainingConfig(num_epochs=3)
+        self.max_vocab_size = max_vocab_size
+        self.model: Seq2SeqModel | None = None
+        self.tokenizer = None
+        self.max_input_length = 128
+        self.max_target_length = 64
+
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        from repro.tokenization.tokenizer import DataVisTokenizer
+
+        sources = [text_to_vis_input(example.question, pool.get(example.db_id).schema) for example in examples]
+        targets = [text_to_vis_target(example.query) for example in examples]
+        self.tokenizer = DataVisTokenizer.build_from_corpus(sources + targets, max_vocab_size=self.max_vocab_size)
+        vocab = self.tokenizer.vocab
+        self.model = Seq2SeqModel(
+            vocab_size=len(vocab),
+            embedding_dim=self.embedding_dim,
+            hidden_size=self.hidden_size,
+            pad_id=vocab.pad_id,
+            eos_id=vocab.eos_id,
+            bos_id=vocab.bos_id,
+            max_decode_length=self.max_target_length,
+            seed=self.training.seed,
+        )
+        config = self.training
+        rng = seeded_rng(derive_seed(config.seed, "seq2vis"))
+        pairs = list(zip(sources, targets))
+        steps_per_epoch = max(1, (len(pairs) + config.batch_size - 1) // config.batch_size)
+        schedule = LinearWarmupSchedule(
+            config.learning_rate, total_steps=steps_per_epoch * config.num_epochs, warmup_ratio=config.warmup_ratio
+        )
+        optimizer = Adam(self.model.parameters(), learning_rate=schedule, weight_decay=config.weight_decay)
+        for _ in range(config.num_epochs):
+            for minibatch in iterate_minibatches(pairs, config.batch_size, rng=rng):
+                input_ids = pad_sequences(
+                    [self.tokenizer.encode(source, max_length=self.max_input_length) for source, _ in minibatch],
+                    vocab.pad_id,
+                )
+                labels = pad_sequences(
+                    [self.tokenizer.encode(target, max_length=self.max_target_length) for _, target in minibatch],
+                    vocab.pad_id,
+                )
+                self.model.train()
+                optimizer.zero_grad()
+                output = self.model(input_ids, labels)
+                output["loss"].backward()
+                clip_grad_norm(self.model.parameters(), config.max_grad_norm)
+                optimizer.step()
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        if self.model is None or self.tokenizer is None:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        source = text_to_vis_input(question, schema)
+        input_ids = np.asarray([self.tokenizer.encode(source, max_length=self.max_input_length)])
+        generated = self.model.generate(input_ids, max_length=self.max_target_length)
+        text = self.tokenizer.decode(generated[0])
+        return text.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip()
+
+
+# -- generic text-generation baselines -----------------------------------------------------------
+
+
+class NeuralTextGeneration(TextGenerationBaseline):
+    """A transformer (optionally warm-started, optionally LoRA-style) for text generation tasks."""
+
+    name = "transformer-generation"
+
+    def __init__(
+        self,
+        config: DataVisT5Config | None = None,
+        training: TrainingConfig | None = None,
+        warm_start: str | None = None,
+        lora_style: bool = False,
+        model: DataVisT5 | None = None,
+    ):
+        self.config = config or DataVisT5Config.from_preset("tiny")
+        self.training = training or TrainingConfig(num_epochs=3)
+        self.warm_start = warm_start
+        self.lora_style = lora_style
+        self.model = model
+
+    def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
+        examples = list(examples)
+        if self.model is None:
+            texts = [example.source for example in examples] + [example.target for example in examples]
+            self.model = DataVisT5.from_corpus(texts, config=self.config)
+            if self.warm_start == "text":
+                warm_start_on_text(self.model, [example.target for example in examples], seed=self.training.seed)
+            elif self.warm_start == "queries":
+                warm_start_on_queries(self.model, [example.source for example in examples], seed=self.training.seed)
+        config = self.training
+        rng = seeded_rng(derive_seed(config.seed, "neural_generation"))
+        parameters = lora_style_parameters(self.model) if self.lora_style else self.model.model.parameters()
+        steps_per_epoch = max(1, (len(examples) + config.batch_size - 1) // config.batch_size)
+        schedule = LinearWarmupSchedule(
+            config.learning_rate, total_steps=steps_per_epoch * config.num_epochs, warmup_ratio=config.warmup_ratio
+        )
+        optimizer = Adam(parameters, learning_rate=schedule, weight_decay=config.weight_decay)
+        for _ in range(config.num_epochs):
+            for minibatch in iterate_minibatches(examples, config.batch_size, rng=rng):
+                batch = self.model.collate([e.source for e in minibatch], [e.target for e in minibatch])
+                self.model.model.train()
+                optimizer.zero_grad()
+                output = self.model.model(batch.input_ids, labels=batch.labels)
+                output["loss"].backward()
+                clip_grad_norm(parameters, config.max_grad_norm)
+                optimizer.step()
+
+    def predict(self, source: str) -> str:
+        if self.model is None:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        return self.model.predict(source)
+
+
+class Seq2SeqTextGeneration(TextGenerationBaseline):
+    """The GRU Seq2Seq baseline for the text-generation tasks."""
+
+    name = "seq2seq-generation"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_size: int = 48,
+        training: TrainingConfig | None = None,
+        max_vocab_size: int | None = 2000,
+        max_input_length: int = 128,
+        max_target_length: int = 48,
+    ):
+        self.embedding_dim = embedding_dim
+        self.hidden_size = hidden_size
+        self.training = training or TrainingConfig(num_epochs=3)
+        self.max_vocab_size = max_vocab_size
+        self.max_input_length = max_input_length
+        self.max_target_length = max_target_length
+        self.model: Seq2SeqModel | None = None
+        self.tokenizer = None
+
+    def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
+        from repro.tokenization.tokenizer import DataVisTokenizer
+
+        examples = list(examples)
+        texts = [example.source for example in examples] + [example.target for example in examples]
+        self.tokenizer = DataVisTokenizer.build_from_corpus(texts, max_vocab_size=self.max_vocab_size)
+        vocab = self.tokenizer.vocab
+        self.model = Seq2SeqModel(
+            vocab_size=len(vocab),
+            embedding_dim=self.embedding_dim,
+            hidden_size=self.hidden_size,
+            pad_id=vocab.pad_id,
+            eos_id=vocab.eos_id,
+            bos_id=vocab.bos_id,
+            max_decode_length=self.max_target_length,
+            seed=self.training.seed,
+        )
+        config = self.training
+        rng = seeded_rng(derive_seed(config.seed, "seq2seq_generation"))
+        steps_per_epoch = max(1, (len(examples) + config.batch_size - 1) // config.batch_size)
+        schedule = LinearWarmupSchedule(
+            config.learning_rate, total_steps=steps_per_epoch * config.num_epochs, warmup_ratio=config.warmup_ratio
+        )
+        optimizer = Adam(self.model.parameters(), learning_rate=schedule, weight_decay=config.weight_decay)
+        for _ in range(config.num_epochs):
+            for minibatch in iterate_minibatches(examples, config.batch_size, rng=rng):
+                input_ids = pad_sequences(
+                    [self.tokenizer.encode(e.source, max_length=self.max_input_length) for e in minibatch],
+                    vocab.pad_id,
+                )
+                labels = pad_sequences(
+                    [self.tokenizer.encode(e.target, max_length=self.max_target_length) for e in minibatch],
+                    vocab.pad_id,
+                )
+                self.model.train()
+                optimizer.zero_grad()
+                output = self.model(input_ids, labels)
+                output["loss"].backward()
+                clip_grad_norm(self.model.parameters(), config.max_grad_norm)
+                optimizer.step()
+
+    def predict(self, source: str) -> str:
+        if self.model is None or self.tokenizer is None:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        input_ids = np.asarray([self.tokenizer.encode(source, max_length=self.max_input_length)])
+        generated = self.model.generate(input_ids, max_length=self.max_target_length)
+        return self.tokenizer.decode(generated[0])

@@ -1,0 +1,190 @@
+"""Retrieve-and-revise text-to-vis baselines.
+
+Two of the paper's comparison systems are retrieval centric:
+
+* **RGVisNet** retrieves the DV-query prototype most similar to the question
+  and revises it with a neural module;
+* **GPT-4 (5-shot, similarity prompting)** retrieves the most similar
+  training examples as in-context demonstrations and imitates them.
+
+Both are reproduced as k-nearest-neighbour retrieval over the training
+questions with a schema-aware *revision* step that re-maps table and column
+names of the retrieved query onto the target database.  The few-shot variant
+skips revision for columns it cannot ground, mimicking the schema-mismatch
+errors that in-context prompting exhibits in the paper's case study.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import TextToVisBaseline
+from repro.database.schema import ColumnType, DatabaseSchema
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+from repro.utils.text import jaccard_similarity, tokenize_words
+from repro.vql.ast import AggregateExpr, BinClause, ColumnRef, Condition, DVQuery, JoinClause, OrderByClause
+from repro.vql.standardize import standardize_dv_query
+
+
+@dataclass
+class _IndexedExample:
+    tokens: set[str]
+    example: NvBenchExample
+
+
+class RetrievalTextToVis(TextToVisBaseline):
+    """RGVisNet-style retrieve-then-revise."""
+
+    name = "retrieval+revise"
+
+    def __init__(self, top_k: int = 1, revise: bool = True):
+        self.top_k = top_k
+        self.revise = revise
+        self._index: list[_IndexedExample] = []
+
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        self._index = [
+            _IndexedExample(tokens=set(tokenize_words(example.question)), example=example) for example in examples
+        ]
+
+    def retrieve(self, question: str, top_k: int | None = None) -> list[NvBenchExample]:
+        """The ``top_k`` most similar training examples by question Jaccard similarity."""
+        top_k = top_k or self.top_k
+        question_tokens = set(tokenize_words(question))
+        scored = sorted(
+            self._index,
+            key=lambda entry: jaccard_similarity(question_tokens, entry.tokens),
+            reverse=True,
+        )
+        return [entry.example for entry in scored[:top_k]]
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        if not self._index:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        prototype = self.retrieve(question, top_k=1)[0].query
+        if not self.revise:
+            return prototype.to_text()
+        revised = self._revise(prototype, schema)
+        return standardize_dv_query(revised, schema=schema).to_text()
+
+    # -- revision ---------------------------------------------------------------
+    def _revise(self, prototype: DVQuery, schema: DatabaseSchema) -> DVQuery:
+        """Re-ground the prototype's tables and columns in the target schema."""
+        table_map = {table: self._closest_table(table, schema) for table in prototype.tables()}
+
+        def fix_ref(ref: ColumnRef) -> ColumnRef:
+            target_table = table_map.get(ref.table or prototype.from_table, schema.tables[0].name)
+            column = self._closest_column(ref.column, target_table, schema)
+            return ColumnRef(column=column, table=target_table)
+
+        def fix_item(item: AggregateExpr) -> AggregateExpr:
+            return AggregateExpr(column=fix_ref(item.column), function=item.function, distinct=item.distinct)
+
+        joins = []
+        for join in prototype.joins:
+            target = table_map.get(join.table, join.table)
+            if not schema.has_table(target):
+                continue
+            joins.append(JoinClause(table=target, left=fix_ref(join.left), right=fix_ref(join.right)))
+        where = tuple(
+            Condition(left=fix_ref(condition.left), operator=condition.operator, value=condition.value)
+            for condition in prototype.where
+            if not self._condition_uses_subquery(condition)
+        )
+        order_by = None
+        if prototype.order_by is not None:
+            order_by = OrderByClause(expression=fix_item(prototype.order_by.expression), direction=prototype.order_by.direction)
+        bin_clause = None
+        if prototype.bin is not None:
+            bin_column = fix_ref(prototype.bin.column)
+            if self._column_type(bin_column, schema) == ColumnType.TIME:
+                bin_clause = BinClause(column=bin_column, unit=prototype.bin.unit)
+        return DVQuery(
+            chart_type=prototype.chart_type,
+            select=tuple(fix_item(item) for item in prototype.select),
+            from_table=table_map.get(prototype.from_table, schema.tables[0].name),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(fix_ref(column) for column in prototype.group_by),
+            order_by=order_by,
+            bin=bin_clause,
+        )
+
+    def _condition_uses_subquery(self, condition: Condition) -> bool:
+        return not isinstance(condition.value, (str, int, float))
+
+    def _closest_table(self, table: str | None, schema: DatabaseSchema) -> str:
+        if table and schema.has_table(table):
+            return table
+        candidates = schema.table_names()
+        if table is None:
+            return candidates[0]
+        table_tokens = set(tokenize_words(table.replace("_", " ")))
+        return max(
+            candidates,
+            key=lambda name: jaccard_similarity(table_tokens, set(tokenize_words(name.replace("_", " ")))),
+        )
+
+    def _closest_column(self, column: str, table: str, schema: DatabaseSchema) -> str:
+        table_schema = schema.table(table)
+        if table_schema.has_column(column):
+            return column
+        column_tokens = set(tokenize_words(column.replace("_", " ")))
+        return max(
+            table_schema.column_names(),
+            key=lambda name: jaccard_similarity(column_tokens, set(tokenize_words(name.replace("_", " ")))),
+        )
+
+    def _column_type(self, ref: ColumnRef, schema: DatabaseSchema) -> ColumnType | None:
+        if ref.table and schema.has_table(ref.table) and schema.table(ref.table).has_column(ref.column):
+            return schema.table(ref.table).column(ref.column).ctype
+        return None
+
+
+class FewShotRetrievalTextToVis(RetrievalTextToVis):
+    """The 5-shot similarity-prompting stand-in (no schema-aware revision of columns).
+
+    It copies the nearest prototype and only re-grounds table names, so its
+    predictions fail exactly where the paper reports GPT-4 failing: columns
+    that do not exist in the target schema and missing transformation
+    functions.
+    """
+
+    name = "few-shot retrieval"
+
+    def __init__(self, top_k: int = 5):
+        super().__init__(top_k=top_k, revise=False)
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        if not self._index:
+            raise RuntimeError(f"{self.name} baseline must be fit before predicting")
+        shots = self.retrieve(question, top_k=self.top_k)
+        prototype = shots[0].query
+        table_map = {table: self._closest_table(table, schema) for table in prototype.tables()}
+
+        def remap_ref(ref: ColumnRef) -> ColumnRef:
+            return ColumnRef(column=ref.column, table=table_map.get(ref.table, ref.table))
+
+        def remap_item(item: AggregateExpr) -> AggregateExpr:
+            return AggregateExpr(column=remap_ref(item.column), function=item.function, distinct=item.distinct)
+
+        remapped = DVQuery(
+            chart_type=prototype.chart_type,
+            select=tuple(remap_item(item) for item in prototype.select),
+            from_table=table_map.get(prototype.from_table, prototype.from_table),
+            joins=tuple(
+                JoinClause(table=table_map.get(join.table, join.table), left=remap_ref(join.left), right=remap_ref(join.right))
+                for join in prototype.joins
+            ),
+            where=tuple(
+                Condition(left=remap_ref(condition.left), operator=condition.operator, value=condition.value)
+                for condition in prototype.where
+                if isinstance(condition.value, (str, int, float))
+            ),
+            group_by=tuple(remap_ref(column) for column in prototype.group_by),
+            order_by=prototype.order_by,
+            bin=prototype.bin,
+        )
+        return remapped.to_text()

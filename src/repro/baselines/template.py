@@ -1,0 +1,145 @@
+"""A rule/template text-to-vis baseline.
+
+Early text-to-vis systems were rule based: keywords select the chart type and
+aggregation, and fuzzy matching against the schema selects the axes.  The
+baseline is useful in two roles: as the weakest comparison point in the
+Table-IV benchmark family, and as a sanity check that the synthetic corpus is
+solvable from surface cues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import TextToVisBaseline
+from repro.database.schema import ColumnType, DatabaseSchema
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+from repro.utils.text import tokenize_words
+from repro.vql.ast import AggregateExpr, ChartType, ColumnRef, DVQuery, OrderByClause, SortDirection
+from repro.vql.standardize import standardize_dv_query
+
+_CHART_KEYWORDS = [
+    ("pie", ChartType.PIE),
+    ("proportion", ChartType.PIE),
+    ("scatter", ChartType.SCATTER),
+    ("relationship", ChartType.SCATTER),
+    ("line", ChartType.LINE),
+    ("trend", ChartType.LINE),
+    ("over time", ChartType.LINE),
+    ("bar", ChartType.BAR),
+    ("histogram", ChartType.BAR),
+]
+
+_AGGREGATE_KEYWORDS = [
+    ("how many", "count"),
+    ("number of", "count"),
+    ("count", "count"),
+    ("average", "avg"),
+    ("mean", "avg"),
+    ("total", "sum"),
+    ("sum", "sum"),
+    ("maximum", "max"),
+    ("largest", "max"),
+    ("highest", "max"),
+    ("minimum", "min"),
+    ("smallest", "min"),
+    ("lowest", "min"),
+]
+
+
+class RuleBasedTextToVis(TextToVisBaseline):
+    """Keyword rules + schema fuzzy matching."""
+
+    name = "rule-based"
+
+    def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """The rule baseline has nothing to learn; fit is a no-op."""
+
+    def predict(self, question: str, schema: DatabaseSchema) -> str:
+        lowered = question.lower()
+        chart_type = self._chart_type(lowered)
+        aggregate = self._aggregate(lowered)
+        table_name, x_column, y_column = self._select_axes(lowered, schema, aggregate)
+        x_ref = ColumnRef(column=x_column, table=table_name)
+        if aggregate == "count" or y_column is None:
+            y_item = AggregateExpr(column=x_ref, function="count")
+        else:
+            y_item = AggregateExpr(column=ColumnRef(column=y_column, table=table_name), function=aggregate)
+        order_by = self._order(lowered, x_ref, y_item)
+        query = DVQuery(
+            chart_type=chart_type,
+            select=(AggregateExpr(column=x_ref), y_item),
+            from_table=table_name,
+            group_by=(x_ref,),
+            order_by=order_by,
+        )
+        return standardize_dv_query(query, schema=schema).to_text()
+
+    # -- rules ----------------------------------------------------------------
+    def _chart_type(self, question: str) -> ChartType:
+        for keyword, chart in _CHART_KEYWORDS:
+            if keyword in question:
+                return chart
+        return ChartType.BAR
+
+    def _aggregate(self, question: str) -> str:
+        for keyword, function in _AGGREGATE_KEYWORDS:
+            if keyword in question:
+                return function
+        return "count"
+
+    def _select_axes(self, question: str, schema: DatabaseSchema, aggregate: str):
+        """Pick the table and the x / y columns by token overlap with the question."""
+        question_tokens = set(tokenize_words(question))
+        best_table = schema.tables[0]
+        best_score = -1
+        for table in schema.tables:
+            score = sum(1 for token in tokenize_words(table.name.replace("_", " ")) if token in question_tokens)
+            score += sum(
+                1
+                for column in table.columns
+                for token in tokenize_words(column.name.replace("_", " "))
+                if token in question_tokens
+            )
+            if score > best_score:
+                best_score = score
+                best_table = table
+        text_columns = [column.name for column in best_table.columns if column.ctype == ColumnType.TEXT]
+        numeric_columns = [
+            column.name
+            for column in best_table.columns
+            if column.ctype == ColumnType.NUMBER and column.name != best_table.primary_key
+        ]
+        x_column = self._best_column_match(question_tokens, text_columns) or (
+            text_columns[0] if text_columns else best_table.columns[0].name
+        )
+        y_column = None
+        if aggregate != "count":
+            y_column = self._best_column_match(question_tokens, numeric_columns) or (
+                numeric_columns[0] if numeric_columns else None
+            )
+        return best_table.name, x_column, y_column
+
+    def _best_column_match(self, question_tokens: set[str], columns: list[str]) -> str | None:
+        best = None
+        best_score = 0
+        for column in columns:
+            score = sum(1 for token in tokenize_words(column.replace("_", " ")) if token in question_tokens)
+            if score > best_score:
+                best_score = score
+                best = column
+        return best
+
+    def _order(self, question: str, x_ref: ColumnRef, y_item: AggregateExpr) -> OrderByClause | None:
+        descending_cues = ("high to low", "descending", "from z to a")
+        ascending_cues = ("low to high", "ascending", "alphabetical")
+        x_cues = ("x-axis", "x axis")
+        if any(cue in question for cue in descending_cues):
+            direction = SortDirection.DESC
+        elif any(cue in question for cue in ascending_cues):
+            direction = SortDirection.ASC
+        else:
+            return None
+        expression = AggregateExpr(column=x_ref) if any(cue in question for cue in x_cues) else y_item
+        return OrderByClause(expression=expression, direction=direction)

@@ -1,0 +1,19 @@
+"""Chart layer: building chart data from executed DV queries, translating
+DV queries into declarative visualization languages (Vega-Lite, Vega-Zero)
+and rendering ASCII charts for the paper's figures."""
+
+from repro.charts.chart import ChartData, build_chart
+from repro.charts.vegalite import to_vega_lite, to_vega_zero
+from repro.charts.properties import ChartProperties, chart_properties
+from repro.charts.render import render_ascii_chart, render_table
+
+__all__ = [
+    "ChartData",
+    "build_chart",
+    "to_vega_lite",
+    "to_vega_zero",
+    "ChartProperties",
+    "chart_properties",
+    "render_ascii_chart",
+    "render_table",
+]

@@ -1,0 +1,96 @@
+"""Chart data: the bridge between an executed DV query and a rendered chart."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.database.database import Database
+from repro.database.executor import ResultTable, execute_query
+from repro.vql.ast import ChartType, DVQuery
+
+
+@dataclass
+class ChartData:
+    """The materialised content of a chart.
+
+    ``x_values`` / ``y_values`` are the first / second selected expressions of
+    the DV query; grouping charts additionally carry a ``series`` column (the
+    third selected expression) that splits the data into one sequence per
+    series value.
+    """
+
+    chart_type: ChartType
+    x_label: str
+    y_label: str
+    x_values: list
+    y_values: list
+    series_label: str | None = None
+    series_values: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.x_values)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.x_values) == 0
+
+    def numeric_y(self) -> list[float]:
+        """Y values coerced to floats, skipping missing entries."""
+        numbers = []
+        for value in self.y_values:
+            if value is None:
+                continue
+            try:
+                numbers.append(float(value))
+            except (TypeError, ValueError):
+                continue
+        return numbers
+
+    def to_dict(self) -> dict:
+        payload = {
+            "chart_type": self.chart_type.value,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x_values": list(self.x_values),
+            "y_values": list(self.y_values),
+        }
+        if self.series_label is not None:
+            payload["series_label"] = self.series_label
+            payload["series_values"] = list(self.series_values)
+        return payload
+
+
+def build_chart(query: DVQuery, database: Database | None = None, result: ResultTable | None = None) -> ChartData:
+    """Build :class:`ChartData` for ``query``.
+
+    Either a ``database`` (the query is executed) or a pre-computed
+    ``result`` must be supplied.
+    """
+    if result is None:
+        if database is None:
+            raise ExecutionError("build_chart needs either a database or a pre-computed result")
+        result = execute_query(query, database)
+    if len(result.columns) < 2:
+        raise ExecutionError("a chart needs at least two selected expressions (x and y)")
+    x_label, y_label = result.columns[0], result.columns[1]
+    x_values = result.column_values(0)
+    y_values = result.column_values(1)
+    series_label = None
+    series_values: list = []
+    if len(result.columns) >= 3 and query.chart_type in (
+        ChartType.STACKED_BAR,
+        ChartType.GROUPING_LINE,
+        ChartType.GROUPING_SCATTER,
+    ):
+        series_label = result.columns[2]
+        series_values = result.column_values(2)
+    return ChartData(
+        chart_type=query.chart_type,
+        x_label=x_label,
+        y_label=y_label,
+        x_values=x_values,
+        y_values=y_values,
+        series_label=series_label,
+        series_values=series_values,
+    )

@@ -1,0 +1,82 @@
+"""Structural / numerical properties of a chart.
+
+FeVisQA Type-3 questions are rule-generated questions about the rendered
+chart ("how many parts are there?", "what is the value of the largest
+part?", "is any value of the y-axis repeated?").  This module computes the
+ground-truth answers from :class:`ChartData`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charts.chart import ChartData
+
+
+@dataclass(frozen=True)
+class ChartProperties:
+    """Derived quantities about one chart."""
+
+    num_parts: int
+    min_value: float | None
+    max_value: float | None
+    total: float | None
+    mean: float | None
+    has_duplicate_values: bool
+    x_of_max: object | None
+    x_of_min: object | None
+
+    def as_dict(self) -> dict:
+        return {
+            "num_parts": self.num_parts,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "total": self.total,
+            "mean": self.mean,
+            "has_duplicate_values": self.has_duplicate_values,
+            "x_of_max": self.x_of_max,
+            "x_of_min": self.x_of_min,
+        }
+
+
+def chart_properties(chart: ChartData) -> ChartProperties:
+    """Compute :class:`ChartProperties` for ``chart``."""
+    numbers = chart.numeric_y()
+    if numbers:
+        min_value = min(numbers)
+        max_value = max(numbers)
+        total = sum(numbers)
+        mean = total / len(numbers)
+        has_duplicates = len(set(numbers)) < len(numbers)
+        x_of_max = _x_for_value(chart, max_value)
+        x_of_min = _x_for_value(chart, min_value)
+    else:
+        min_value = max_value = total = mean = None
+        has_duplicates = False
+        x_of_max = x_of_min = None
+    return ChartProperties(
+        num_parts=len(chart.x_values),
+        min_value=_maybe_int(min_value),
+        max_value=_maybe_int(max_value),
+        total=_maybe_int(total),
+        mean=mean,
+        has_duplicate_values=has_duplicates,
+        x_of_max=x_of_max,
+        x_of_min=x_of_min,
+    )
+
+
+def _x_for_value(chart: ChartData, target: float) -> object | None:
+    for x_value, y_value in zip(chart.x_values, chart.y_values):
+        try:
+            if y_value is not None and float(y_value) == target:
+                return x_value
+        except (TypeError, ValueError):
+            continue
+    return None
+
+
+def _maybe_int(value: float | None) -> float | int | None:
+    if value is None:
+        return None
+    return int(value) if float(value).is_integer() else value

@@ -1,0 +1,120 @@
+"""ASCII rendering of charts and tables.
+
+The paper's figures (Figure 6-9) show the charts produced by each model's
+predicted DV query and the tables used in the case studies.  The benchmark
+harness regenerates them as plain-text renderings so they can be inspected in
+a terminal and embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.charts.chart import ChartData
+from repro.database.executor import ResultTable
+from repro.vql.ast import ChartType
+
+_DEFAULT_WIDTH = 40
+
+
+def render_ascii_chart(chart: ChartData, width: int = _DEFAULT_WIDTH) -> str:
+    """Render ``chart`` as ASCII art appropriate for its chart type."""
+    if chart.is_empty:
+        return f"[{chart.chart_type.value} chart: no data]"
+    if chart.chart_type in (ChartType.BAR, ChartType.STACKED_BAR):
+        return _render_bar(chart, width)
+    if chart.chart_type == ChartType.PIE:
+        return _render_pie(chart, width)
+    if chart.chart_type in (ChartType.LINE, ChartType.GROUPING_LINE):
+        return _render_bar(chart, width, marker="*")
+    return _render_scatter(chart, width)
+
+
+def _render_bar(chart: ChartData, width: int, marker: str = "#") -> str:
+    numbers = [_to_float(value) for value in chart.y_values]
+    finite = [value for value in numbers if value is not None]
+    peak = max(finite) if finite else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(str(x)) for x in chart.x_values)
+    lines = [f"{chart.y_label} by {chart.x_label} ({chart.chart_type.value})"]
+    for x_value, y_value in zip(chart.x_values, numbers):
+        magnitude = 0 if y_value is None else int(round(width * y_value / peak))
+        rendered = "" if y_value is None else _format_value(y_value)
+        lines.append(f"{str(x_value):>{label_width}} | {marker * magnitude} {rendered}")
+    return "\n".join(lines)
+
+
+def _render_pie(chart: ChartData, width: int) -> str:
+    numbers = [_to_float(value) or 0.0 for value in chart.y_values]
+    total = sum(numbers) or 1.0
+    label_width = max(len(str(x)) for x in chart.x_values)
+    lines = [f"{chart.y_label} share of {chart.x_label} (pie)"]
+    for x_value, y_value in zip(chart.x_values, numbers):
+        share = y_value / total
+        blocks = int(round(width * share))
+        lines.append(f"{str(x_value):>{label_width}} | {'o' * blocks} {share * 100:.1f}% ({_format_value(y_value)})")
+    return "\n".join(lines)
+
+
+def _render_scatter(chart: ChartData, width: int, height: int = 12) -> str:
+    xs = [_to_float(value) for value in chart.x_values]
+    ys = [_to_float(value) for value in chart.y_values]
+    points = [(x, y) for x, y in zip(xs, ys) if x is not None and y is not None]
+    if not points:
+        # Categorical x axis: fall back to a bar-style rendering with dots.
+        return _render_bar(chart, width, marker=".")
+    min_x, max_x = min(p[0] for p in points), max(p[0] for p in points)
+    min_y, max_y = min(p[1] for p in points), max(p[1] for p in points)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for x, y in points:
+        column = int(round((x - min_x) / span_x * width))
+        row = height - int(round((y - min_y) / span_y * height))
+        grid[row][column] = "x"
+    lines = [f"{chart.y_label} vs {chart.x_label} (scatter)"]
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"x: [{_format_value(min_x)}, {_format_value(max_x)}]  y: [{_format_value(min_y)}, {_format_value(max_y)}]")
+    return "\n".join(lines)
+
+
+def render_table(result: ResultTable, max_rows: int | None = None, title: str | None = None) -> str:
+    """Render a :class:`ResultTable` (or any columns/rows pair) as an ASCII table."""
+    rows = result.rows if max_rows is None else result.rows[:max_rows]
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in result.columns]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    header = " | ".join(column.ljust(width) for column, width in zip(result.columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(value.ljust(width) for value, width in zip(row, widths)) for row in rendered_rows]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator])
+    lines.extend(body)
+    if max_rows is not None and len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows) - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def _to_float(value: object) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,119 @@
+"""Translation from DV queries to declarative visualization languages.
+
+The paper treats the DV query as a pivot format that can be rendered through
+any DVL.  Two translators are provided:
+
+* :func:`to_vega_lite` produces a Vega-Lite style JSON specification (the DVL
+  used in the paper's Figure 1 example);
+* :func:`to_vega_zero` produces the flattened single-line Vega-Zero form
+  introduced by ncNet, which some baselines consume directly.
+"""
+
+from __future__ import annotations
+
+from repro.vql.ast import AggregateExpr, ChartType, DVQuery
+
+_VEGA_MARKS = {
+    ChartType.BAR: "bar",
+    ChartType.PIE: "arc",
+    ChartType.LINE: "line",
+    ChartType.SCATTER: "point",
+    ChartType.STACKED_BAR: "bar",
+    ChartType.GROUPING_LINE: "line",
+    ChartType.GROUPING_SCATTER: "point",
+}
+
+_VEGA_ZERO_MARKS = {
+    ChartType.BAR: "bar",
+    ChartType.PIE: "arc",
+    ChartType.LINE: "line",
+    ChartType.SCATTER: "point",
+    ChartType.STACKED_BAR: "bar",
+    ChartType.GROUPING_LINE: "line",
+    ChartType.GROUPING_SCATTER: "point",
+}
+
+
+def _axis_encoding(item: AggregateExpr) -> dict:
+    encoding: dict = {"field": item.column.to_text()}
+    if item.is_aggregate:
+        encoding["aggregate"] = item.function
+        if item.distinct:
+            encoding["distinct"] = True
+    return encoding
+
+
+def to_vega_lite(query: DVQuery, data_url: str | None = None) -> dict:
+    """A Vega-Lite style specification for ``query``."""
+    x_item, y_item = query.select[0], query.select[1]
+    spec: dict = {
+        "$schema": "https://vega.github.io/schema/vega-lite/v5.json",
+        "data": {"url": data_url} if data_url else {"name": query.from_table},
+        "mark": _VEGA_MARKS[query.chart_type],
+        "encoding": {
+            "x": _axis_encoding(x_item),
+            "y": _axis_encoding(y_item),
+        },
+    }
+    if query.chart_type == ChartType.PIE:
+        # Pie charts encode the category on color and the measure on theta.
+        spec["encoding"] = {
+            "theta": _axis_encoding(y_item),
+            "color": _axis_encoding(x_item),
+        }
+    if len(query.select) >= 3 and query.chart_type in (
+        ChartType.STACKED_BAR,
+        ChartType.GROUPING_LINE,
+        ChartType.GROUPING_SCATTER,
+    ):
+        spec["encoding"]["color"] = _axis_encoding(query.select[2])
+    transforms = _transforms(query)
+    if transforms:
+        spec["transform"] = transforms
+    if query.order_by is not None:
+        spec.setdefault("encoding", {}).setdefault("x", {})
+        spec["encoding"]["x"]["sort"] = (
+            "ascending" if query.order_by.direction.value == "asc" else "descending"
+        )
+    return spec
+
+
+def _transforms(query: DVQuery) -> list[dict]:
+    transforms: list[dict] = []
+    for condition in query.where:
+        transforms.append({"filter": condition.to_text()})
+    if query.group_by:
+        transforms.append({"groupby": [col.to_text() for col in query.group_by]})
+    if query.bin is not None:
+        transforms.append({"timeUnit": query.bin.unit, "field": query.bin.column.to_text()})
+    return transforms
+
+
+def to_vega_zero(query: DVQuery) -> str:
+    """The flattened Vega-Zero sequence for ``query`` (the ncNet input format)."""
+    x_item, y_item = query.select[0], query.select[1]
+    parts = [
+        "mark",
+        _VEGA_ZERO_MARKS[query.chart_type],
+        "data",
+        query.from_table,
+        "encoding",
+        "x",
+        x_item.column.to_text(),
+        "y",
+        "aggregate",
+        y_item.function or "none",
+        y_item.column.to_text(),
+    ]
+    if len(query.select) >= 3:
+        parts.extend(["color", query.select[2].column.to_text()])
+    parts.append("transform")
+    for condition in query.where:
+        parts.extend(["filter", condition.to_text()])
+    if query.group_by:
+        parts.extend(["group", " , ".join(col.to_text() for col in query.group_by)])
+    if query.bin is not None:
+        parts.extend(["bin", query.bin.column.to_text(), "by", query.bin.unit])
+    if query.order_by is not None:
+        parts.extend(["sort", query.order_by.expression.to_text(), query.order_by.direction.value])
+    return " ".join(parts)

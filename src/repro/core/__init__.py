@@ -1,0 +1,35 @@
+"""The DataVisT5 core: model wrapper, hybrid pre-training and multi-task fine-tuning.
+
+This is the paper's primary contribution, re-implemented on the numpy
+substrate of :mod:`repro.nn`:
+
+* :class:`~repro.core.model.DataVisT5` couples a tokenizer with a T5-style
+  encoder--decoder and exposes text-in / text-out training and generation;
+* :mod:`repro.core.objectives` implements the span-corruption MLM objective
+  and the Bidirectional Dual-Corpus (BDC) objective;
+* :class:`~repro.core.pretraining.HybridPretrainer` mixes the two objectives
+  within each mini-batch (the "hybrid pre-training" of §III-E);
+* :class:`~repro.core.finetuning.MultiTaskFineTuner` performs temperature-
+  mixed multi-task fine-tuning (§III-F) and
+  :class:`~repro.core.finetuning.SingleTaskFineTuner` the SFT ablation.
+"""
+
+from repro.core.config import DataVisT5Config, TrainingConfig
+from repro.core.model import DataVisT5
+from repro.core.objectives import span_corruption, SpanCorruptionConfig, bdc_pair_to_example
+from repro.core.pretraining import HybridPretrainer, PretrainingReport
+from repro.core.finetuning import MultiTaskFineTuner, SingleTaskFineTuner, FineTuningReport
+
+__all__ = [
+    "DataVisT5Config",
+    "TrainingConfig",
+    "DataVisT5",
+    "span_corruption",
+    "SpanCorruptionConfig",
+    "bdc_pair_to_example",
+    "HybridPretrainer",
+    "PretrainingReport",
+    "MultiTaskFineTuner",
+    "SingleTaskFineTuner",
+    "FineTuningReport",
+]

@@ -1,0 +1,85 @@
+"""Batch collation: turning token-id lists into padded numpy arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.tokenization.tokenizer import DataVisTokenizer
+
+
+@dataclass
+class Batch:
+    """A padded training batch."""
+
+    input_ids: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.input_ids.shape[0])
+
+
+def pad_sequences(sequences: Sequence[Sequence[int]], pad_id: int, max_length: int | None = None) -> np.ndarray:
+    """Right-pad integer sequences into a dense ``(batch, length)`` array."""
+    if not sequences:
+        raise ModelConfigError("cannot pad an empty list of sequences")
+    longest = max(len(sequence) for sequence in sequences)
+    if max_length is not None:
+        longest = min(longest, max_length)
+    longest = max(longest, 1)
+    array = np.full((len(sequences), longest), pad_id, dtype=np.int64)
+    for row, sequence in enumerate(sequences):
+        clipped = list(sequence)[:longest]
+        array[row, : len(clipped)] = clipped
+    return array
+
+
+def collate_text_pairs(
+    sources: Sequence[str],
+    targets: Sequence[str],
+    tokenizer: DataVisTokenizer,
+    max_input_length: int | None = None,
+    max_target_length: int | None = None,
+) -> Batch:
+    """Tokenize and pad parallel source/target texts into a :class:`Batch`."""
+    if len(sources) != len(targets):
+        raise ModelConfigError("sources and targets must have the same length")
+    source_ids = tokenizer.batch_encode(sources, max_length=max_input_length)
+    target_ids = tokenizer.batch_encode(targets, max_length=max_target_length)
+    pad_id = tokenizer.vocab.pad_id
+    return Batch(
+        input_ids=pad_sequences(source_ids, pad_id, max_input_length),
+        labels=pad_sequences(target_ids, pad_id, max_target_length),
+    )
+
+
+def collate_token_pairs(
+    source_ids: Sequence[Sequence[int]],
+    target_ids: Sequence[Sequence[int]],
+    pad_id: int,
+    max_input_length: int | None = None,
+    max_target_length: int | None = None,
+) -> Batch:
+    """Pad already-tokenized id sequences into a :class:`Batch`."""
+    if len(source_ids) != len(target_ids):
+        raise ModelConfigError("source_ids and target_ids must have the same length")
+    return Batch(
+        input_ids=pad_sequences(source_ids, pad_id, max_input_length),
+        labels=pad_sequences(target_ids, pad_id, max_target_length),
+    )
+
+
+def iterate_minibatches(items: Sequence, batch_size: int, rng: np.random.Generator | None = None):
+    """Yield shuffled mini-batches (lists) of ``items``."""
+    if batch_size <= 0:
+        raise ModelConfigError("batch_size must be positive")
+    order = np.arange(len(items))
+    if rng is not None:
+        order = rng.permutation(len(items))
+    for start in range(0, len(items), batch_size):
+        indices = order[start : start + batch_size]
+        yield [items[int(index)] for index in indices]

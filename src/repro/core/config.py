@@ -1,0 +1,92 @@
+"""Configuration objects for the DataVisT5 model and its training loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelConfigError
+from repro.nn.transformer import TransformerConfig
+
+
+@dataclass
+class DataVisT5Config:
+    """Hyper-parameters of a DataVisT5 instance.
+
+    The paper trains 220M- and 770M-parameter CodeT5+ checkpoints; here the
+    ``size`` presets select proportionally scaled-down numpy transformers
+    ("base" standing in for the 220M model and "large" for the 770M one) so
+    the relative comparison between the two sizes is preserved.
+    """
+
+    size: str = "base"
+    d_model: int = 64
+    num_heads: int = 4
+    d_ff: int = 128
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 2
+    dropout: float = 0.0
+    max_input_length: int = 160
+    max_target_length: int = 80
+    max_decode_length: int = 80
+    seed: int = 0
+
+    _PRESETS = {
+        "tiny": {"d_model": 32, "num_heads": 2, "d_ff": 64, "num_encoder_layers": 1, "num_decoder_layers": 1},
+        "base": {"d_model": 64, "num_heads": 4, "d_ff": 128, "num_encoder_layers": 2, "num_decoder_layers": 2},
+        "large": {"d_model": 96, "num_heads": 6, "d_ff": 192, "num_encoder_layers": 3, "num_decoder_layers": 3},
+    }
+
+    @classmethod
+    def from_preset(cls, size: str, **overrides) -> "DataVisT5Config":
+        """Build a config from one of the named presets (tiny / base / large)."""
+        if size not in cls._PRESETS:
+            raise ModelConfigError(f"unknown size preset {size!r}; choose from {sorted(cls._PRESETS)}")
+        params = dict(cls._PRESETS[size])
+        params.update(overrides)
+        return cls(size=size, **params)
+
+    def to_transformer_config(self, vocab_size: int, pad_id: int, eos_id: int, bos_id: int) -> TransformerConfig:
+        return TransformerConfig(
+            vocab_size=vocab_size,
+            d_model=self.d_model,
+            num_heads=self.num_heads,
+            d_ff=self.d_ff,
+            num_encoder_layers=self.num_encoder_layers,
+            num_decoder_layers=self.num_decoder_layers,
+            dropout=self.dropout,
+            max_decode_length=self.max_decode_length,
+            pad_id=pad_id,
+            eos_id=eos_id,
+            bos_id=bos_id,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters shared by the pre-training and fine-tuning loops."""
+
+    learning_rate: float = 5e-3
+    batch_size: int = 8
+    num_epochs: int = 3
+    warmup_ratio: float = 0.1
+    weight_decay: float = 0.01
+    max_grad_norm: float = 1.0
+    label_smoothing: float = 0.0
+    temperature: float = 2.0
+    bdc_swap_probability: float = 0.5
+    mlm_fraction: float = 0.5
+    log_every: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.learning_rate <= 0:
+            raise ModelConfigError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ModelConfigError("batch_size must be positive")
+        if self.num_epochs <= 0:
+            raise ModelConfigError("num_epochs must be positive")
+        if not 0.0 <= self.bdc_swap_probability <= 1.0:
+            raise ModelConfigError("bdc_swap_probability must be in [0, 1]")
+        if not 0.0 <= self.mlm_fraction <= 1.0:
+            raise ModelConfigError("mlm_fraction must be in [0, 1]")

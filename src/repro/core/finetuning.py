@@ -1,0 +1,125 @@
+"""Single-task and multi-task fine-tuning (§III-F of the paper).
+
+* :class:`SingleTaskFineTuner` trains on one task's (source, target) pairs —
+  the SFT setting used for the CodeT5+ / T5 baselines and the SFT ablation;
+* :class:`MultiTaskFineTuner` merges the training data of all four tasks with
+  temperature up-sampling (temperature 2, following T5) so small corpora are
+  not overwhelmed by large ones — the MFT setting of the final DataVisT5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.batching import iterate_minibatches
+from repro.core.config import TrainingConfig
+from repro.core.model import DataVisT5
+from repro.datasets.corpus import Seq2SeqExample
+from repro.datasets.mixing import TemperatureMixedSampler
+from repro.errors import ModelConfigError
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class FineTuningReport:
+    """Summary of one fine-tuning run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    num_steps: int = 0
+    task_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class _BaseFineTuner:
+    def __init__(self, model: DataVisT5, config: TrainingConfig | None = None):
+        self.model = model
+        self.config = config or TrainingConfig()
+
+    def _train_on_examples(self, epochs_examples: Sequence[Sequence[Seq2SeqExample]]) -> FineTuningReport:
+        config = self.config
+        report = FineTuningReport()
+        total_steps = sum(
+            max(1, (len(examples) + config.batch_size - 1) // config.batch_size) for examples in epochs_examples
+        )
+        optimizer = self.model.make_optimizer(
+            total_steps=total_steps,
+            learning_rate=config.learning_rate,
+            warmup_ratio=config.warmup_ratio,
+            weight_decay=config.weight_decay,
+        )
+        for epoch, examples in enumerate(epochs_examples):
+            epoch_rng = seeded_rng(derive_seed(config.seed, "finetune_epoch", epoch))
+            losses: list[float] = []
+            for minibatch in iterate_minibatches(list(examples), config.batch_size, rng=epoch_rng):
+                sources = [example.source for example in minibatch]
+                targets = [example.target for example in minibatch]
+                for example in minibatch:
+                    report.task_counts[example.task] = report.task_counts.get(example.task, 0) + 1
+                batch = self.model.collate(sources, targets)
+                loss = self.model.train_step(batch, optimizer, max_grad_norm=config.max_grad_norm)
+                losses.append(loss)
+                report.num_steps += 1
+            report.epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+        return report
+
+
+class SingleTaskFineTuner(_BaseFineTuner):
+    """Fine-tunes the model on a single task's training pairs."""
+
+    def __init__(self, model: DataVisT5, examples: Sequence[Seq2SeqExample], config: TrainingConfig | None = None):
+        super().__init__(model, config)
+        if not examples:
+            raise ModelConfigError("single-task fine-tuning needs a non-empty training set")
+        self.examples = list(examples)
+
+    def train(self) -> FineTuningReport:
+        epochs = [self.examples for _ in range(self.config.num_epochs)]
+        return self._train_on_examples(epochs)
+
+
+class MultiTaskFineTuner(_BaseFineTuner):
+    """Fine-tunes on all tasks jointly with temperature-mixed sampling."""
+
+    def __init__(
+        self,
+        model: DataVisT5,
+        task_examples: Mapping[str, Sequence[Seq2SeqExample]],
+        config: TrainingConfig | None = None,
+        examples_per_epoch: int | None = None,
+        use_temperature_mixing: bool = True,
+    ):
+        super().__init__(model, config)
+        non_empty = {task: list(examples) for task, examples in task_examples.items() if examples}
+        if not non_empty:
+            raise ModelConfigError("multi-task fine-tuning needs at least one non-empty task")
+        self.task_examples = non_empty
+        total = sum(len(examples) for examples in non_empty.values())
+        self.examples_per_epoch = examples_per_epoch or total
+        self.use_temperature_mixing = use_temperature_mixing
+
+    def _epoch_examples(self, epoch: int) -> list[Seq2SeqExample]:
+        if self.use_temperature_mixing:
+            sampler = TemperatureMixedSampler(
+                self.task_examples,
+                temperature=self.config.temperature,
+                seed=derive_seed(self.config.seed, "mft_sampler", epoch),
+            )
+            return sampler.epoch(self.examples_per_epoch)
+        # Without up-sampling: plain concatenation (proportional sampling).
+        merged: list[Seq2SeqExample] = []
+        for examples in self.task_examples.values():
+            merged.extend(examples)
+        rng = seeded_rng(derive_seed(self.config.seed, "mft_concat", epoch))
+        order = rng.permutation(len(merged))
+        merged = [merged[int(index)] for index in order]
+        return merged[: self.examples_per_epoch]
+
+    def train(self) -> FineTuningReport:
+        epochs = [self._epoch_examples(epoch) for epoch in range(self.config.num_epochs)]
+        return self._train_on_examples(epochs)

@@ -1,0 +1,179 @@
+"""The DataVisT5 model: tokenizer + T5 encoder--decoder with a text API.
+
+The class exposes exactly what the training loops and the evaluation harness
+need: ``train_step`` on a batch of (source text, target text) pairs,
+``predict`` for greedy/beam generation from text to text, loss evaluation,
+and state persistence.  It deliberately knows nothing about specific tasks —
+task formatting lives in :mod:`repro.encoding.sequences` and the dataset
+builders.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batching import Batch, collate_text_pairs
+from repro.core.config import DataVisT5Config
+from repro.errors import ModelConfigError
+from repro.nn.optim import Adam, LinearWarmupSchedule, clip_grad_norm
+from repro.nn.transformer import T5Model
+from repro.tokenization.tokenizer import DataVisTokenizer
+from repro.tokenization.vocab import Vocabulary
+
+
+class DataVisT5:
+    """A DataVisT5 instance: configuration, tokenizer and transformer weights."""
+
+    def __init__(self, config: DataVisT5Config, tokenizer: DataVisTokenizer):
+        self.config = config
+        self.tokenizer = tokenizer
+        transformer_config = config.to_transformer_config(
+            vocab_size=len(tokenizer.vocab),
+            pad_id=tokenizer.vocab.pad_id,
+            eos_id=tokenizer.vocab.eos_id,
+            bos_id=tokenizer.vocab.bos_id,
+        )
+        self.model = T5Model(transformer_config)
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_corpus(
+        cls,
+        texts: Sequence[str],
+        config: DataVisT5Config | None = None,
+        max_vocab_size: int | None = 4000,
+        min_frequency: int = 1,
+    ) -> "DataVisT5":
+        """Build a model whose tokenizer vocabulary covers ``texts``."""
+        config = config or DataVisT5Config()
+        tokenizer = DataVisTokenizer.build_from_corpus(
+            texts, max_vocab_size=max_vocab_size, min_frequency=min_frequency
+        )
+        return cls(config, tokenizer)
+
+    def num_parameters(self) -> int:
+        return self.model.num_parameters()
+
+    # -- optimization -----------------------------------------------------------------
+    def make_optimizer(
+        self,
+        total_steps: int,
+        learning_rate: float = 5e-3,
+        warmup_ratio: float = 0.1,
+        weight_decay: float = 0.01,
+    ) -> Adam:
+        """An AdamW optimizer with the paper's linear warm-up schedule."""
+        schedule = LinearWarmupSchedule(learning_rate, total_steps=max(total_steps, 1), warmup_ratio=warmup_ratio)
+        return Adam(self.model.parameters(), learning_rate=schedule, weight_decay=weight_decay)
+
+    def train_step(
+        self,
+        batch: Batch,
+        optimizer: Adam,
+        max_grad_norm: float = 1.0,
+    ) -> float:
+        """One optimization step on a padded batch; returns the loss value."""
+        self.model.train()
+        optimizer.zero_grad()
+        output = self.model(batch.input_ids, labels=batch.labels)
+        loss = output["loss"]
+        loss.backward()
+        clip_grad_norm(self.model.parameters(), max_grad_norm)
+        optimizer.step()
+        return float(loss.item())
+
+    def compute_loss(self, sources: Sequence[str], targets: Sequence[str]) -> float:
+        """Average token-level cross-entropy of ``targets`` given ``sources`` (no update)."""
+        self.model.eval()
+        batch = self.collate(sources, targets)
+        output = self.model(batch.input_ids, labels=batch.labels)
+        return float(output["loss"].item())
+
+    def collate(self, sources: Sequence[str], targets: Sequence[str]) -> Batch:
+        return collate_text_pairs(
+            sources,
+            targets,
+            self.tokenizer,
+            max_input_length=self.config.max_input_length,
+            max_target_length=self.config.max_target_length,
+        )
+
+    # -- inference ----------------------------------------------------------------------
+    def predict(self, source: str, num_beams: int = 1, max_length: int | None = None) -> str:
+        """Generate the output text for one source text."""
+        return self.predict_batch([source], num_beams=num_beams, max_length=max_length)[0]
+
+    def predict_batch(
+        self,
+        sources: Sequence[str],
+        num_beams: int = 1,
+        max_length: int | None = None,
+    ) -> list[str]:
+        """Generate output texts for a batch of source texts."""
+        if not sources:
+            return []
+        self.model.eval()
+        encoded = self.tokenizer.batch_encode(list(sources), max_length=self.config.max_input_length)
+        from repro.core.batching import pad_sequences
+
+        input_ids = pad_sequences(encoded, self.tokenizer.vocab.pad_id, self.config.max_input_length)
+        generated = self.model.generate(
+            input_ids,
+            max_length=max_length or self.config.max_decode_length,
+            num_beams=num_beams,
+        )
+        return [self.tokenizer.decode(row) for row in generated]
+
+    # -- persistence --------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Save config, vocabulary and weights under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        config_payload = {
+            "size": self.config.size,
+            "d_model": self.config.d_model,
+            "num_heads": self.config.num_heads,
+            "d_ff": self.config.d_ff,
+            "num_encoder_layers": self.config.num_encoder_layers,
+            "num_decoder_layers": self.config.num_decoder_layers,
+            "dropout": self.config.dropout,
+            "max_input_length": self.config.max_input_length,
+            "max_target_length": self.config.max_target_length,
+            "max_decode_length": self.config.max_decode_length,
+            "seed": self.config.seed,
+        }
+        (directory / "config.json").write_text(json.dumps(config_payload, indent=2), encoding="utf-8")
+        self.tokenizer.vocab.save(directory / "vocab.json")
+        state = self.model.state_dict()
+        np.savez(directory / "weights.npz", **state)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "DataVisT5":
+        """Load a model previously written by :meth:`save`."""
+        directory = Path(directory)
+        config_path = directory / "config.json"
+        vocab_path = directory / "vocab.json"
+        weights_path = directory / "weights.npz"
+        for path in (config_path, vocab_path, weights_path):
+            if not path.exists():
+                raise ModelConfigError(f"missing checkpoint file: {path}")
+        payload = json.loads(config_path.read_text(encoding="utf-8"))
+        config = DataVisT5Config(**payload)
+        tokenizer = DataVisTokenizer(Vocabulary.load(vocab_path))
+        model = cls(config, tokenizer)
+        with np.load(weights_path) as data:
+            state = {name: data[name] for name in data.files}
+        model.model.load_state_dict(state)
+        return model
+
+    def clone_architecture(self) -> "DataVisT5":
+        """A fresh model with the same config and tokenizer but re-initialised weights."""
+        return DataVisT5(self.config, self.tokenizer)
+
+    def copy_weights_from(self, other: "DataVisT5") -> None:
+        """Copy weights from another model with an identical architecture."""
+        self.model.load_state_dict(other.model.state_dict())

@@ -1,0 +1,127 @@
+"""Pre-training objectives: span-corruption MLM and the BDC objective.
+
+Both objectives are expressed as ordinary (source tokens, target tokens)
+pairs so the same training step can consume them — which is exactly how the
+paper builds its *hybrid* objective: every mini-batch mixes examples drawn
+from the MLM corpus and from the dual-corpus pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.corpus import Seq2SeqExample
+from repro.errors import ModelConfigError
+from repro.tokenization.tokenizer import DataVisTokenizer
+from repro.utils.rng import seeded_rng
+
+
+@dataclass
+class SpanCorruptionConfig:
+    """Parameters of the T5 span-corruption objective.
+
+    The paper keeps the original T5 settings: 15% of tokens are masked with a
+    mean span length of 3 subword tokens.
+    """
+
+    corruption_rate: float = 0.15
+    mean_span_length: float = 3.0
+
+    def __post_init__(self):
+        if not 0.0 < self.corruption_rate < 1.0:
+            raise ModelConfigError("corruption_rate must be in (0, 1)")
+        if self.mean_span_length < 1.0:
+            raise ModelConfigError("mean_span_length must be at least 1")
+
+
+def span_corruption(
+    token_ids: list[int],
+    tokenizer: DataVisTokenizer,
+    config: SpanCorruptionConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[list[int], list[int]]:
+    """Apply T5 span corruption to ``token_ids``.
+
+    Returns ``(input_ids, target_ids)`` where masked spans in the input are
+    replaced by sentinel tokens and the target lists each sentinel followed by
+    the tokens it hides, terminated by EOS.
+    """
+    config = config or SpanCorruptionConfig()
+    rng = seeded_rng(rng)
+    tokens = [token_id for token_id in token_ids if token_id != tokenizer.vocab.eos_id]
+    length = len(tokens)
+    if length == 0:
+        return [tokenizer.vocab.eos_id], [tokenizer.vocab.eos_id]
+
+    num_to_mask = max(1, int(round(length * config.corruption_rate)))
+    num_spans = max(1, int(round(num_to_mask / config.mean_span_length)))
+    num_spans = min(num_spans, tokenizer.num_sentinels, length)
+
+    span_starts = _sample_span_starts(length, num_spans, num_to_mask, rng)
+    masked = np.zeros(length, dtype=bool)
+    for start, span_length in span_starts:
+        masked[start : start + span_length] = True
+
+    input_ids: list[int] = []
+    target_ids: list[int] = []
+    sentinel_index = 0
+    position = 0
+    while position < length:
+        if masked[position]:
+            sentinel = tokenizer.sentinel_id(sentinel_index)
+            sentinel_index += 1
+            input_ids.append(sentinel)
+            target_ids.append(sentinel)
+            while position < length and masked[position]:
+                target_ids.append(tokens[position])
+                position += 1
+        else:
+            input_ids.append(tokens[position])
+            position += 1
+    input_ids.append(tokenizer.vocab.eos_id)
+    target_ids.append(tokenizer.vocab.eos_id)
+    return input_ids, target_ids
+
+
+def _sample_span_starts(
+    length: int,
+    num_spans: int,
+    num_to_mask: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Choose non-overlapping (start, length) spans covering ~``num_to_mask`` tokens."""
+    base_length = max(1, num_to_mask // num_spans)
+    spans: list[tuple[int, int]] = []
+    occupied = np.zeros(length, dtype=bool)
+    attempts = 0
+    while len(spans) < num_spans and attempts < 10 * num_spans:
+        attempts += 1
+        span_length = max(1, int(rng.poisson(base_length)) or base_length)
+        span_length = min(span_length, length)
+        start = int(rng.integers(0, max(1, length - span_length + 1)))
+        if occupied[start : start + span_length].any():
+            continue
+        occupied[start : start + span_length] = True
+        spans.append((start, span_length))
+    if not spans:
+        spans.append((0, min(base_length, length)))
+    return sorted(spans)
+
+
+def bdc_pair_to_example(
+    pair: Seq2SeqExample,
+    rng: np.random.Generator | int | None = None,
+    swap_probability: float = 0.5,
+) -> Seq2SeqExample:
+    """Realise the Bidirectional Dual-Corpus objective for one pair.
+
+    With probability ``swap_probability`` the roles of source and target are
+    exchanged, so the model learns to translate in both directions between
+    the text and DV modalities.
+    """
+    rng = seeded_rng(rng)
+    if rng.random() < swap_probability:
+        return pair.swapped()
+    return pair

@@ -1,0 +1,131 @@
+"""Hybrid pre-training (§III-E of the paper).
+
+Each mini-batch mixes two kinds of examples drawn from the pre-training
+corpus:
+
+* **BDC** examples — one of the four dual-corpus mappings, with source and
+  target swapped with probability 0.5;
+* **MLM** examples — cross-modal text sequences corrupted with the T5 span
+  denoising objective.
+
+The total loss is the sum of the two (equation 3 of the paper); because both
+reduce to token-level cross-entropy on (source, target) pairs, mixing them in
+one batch realises exactly that sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import collate_token_pairs, iterate_minibatches
+from repro.core.config import TrainingConfig
+from repro.core.model import DataVisT5
+from repro.core.objectives import SpanCorruptionConfig, bdc_pair_to_example, span_corruption
+from repro.datasets.corpus import PretrainingCorpus, Seq2SeqExample
+from repro.errors import ModelConfigError
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class PretrainingReport:
+    """Summary of one pre-training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    step_losses: list[float] = field(default_factory=list)
+    num_steps: int = 0
+    num_bdc_examples: int = 0
+    num_mlm_examples: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class HybridPretrainer:
+    """Runs hybrid-objective pre-training of a :class:`DataVisT5` model."""
+
+    def __init__(
+        self,
+        model: DataVisT5,
+        corpus: PretrainingCorpus,
+        config: TrainingConfig | None = None,
+        span_config: SpanCorruptionConfig | None = None,
+    ):
+        if not corpus.bdc_pairs and not corpus.mlm_texts:
+            raise ModelConfigError("the pre-training corpus is empty")
+        self.model = model
+        self.corpus = corpus
+        self.config = config or TrainingConfig()
+        self.span_config = span_config or SpanCorruptionConfig()
+
+    # -- example realisation -----------------------------------------------------------
+    def _realise_bdc(self, pair: Seq2SeqExample, rng: np.random.Generator) -> tuple[list[int], list[int]]:
+        example = bdc_pair_to_example(pair, rng=rng, swap_probability=self.config.bdc_swap_probability)
+        tokenizer = self.model.tokenizer
+        source_ids = tokenizer.encode(example.source, max_length=self.model.config.max_input_length)
+        target_ids = tokenizer.encode(example.target, max_length=self.model.config.max_target_length)
+        return source_ids, target_ids
+
+    def _realise_mlm(self, text: str, rng: np.random.Generator) -> tuple[list[int], list[int]]:
+        tokenizer = self.model.tokenizer
+        token_ids = tokenizer.encode(text, max_length=self.model.config.max_input_length)
+        input_ids, target_ids = span_corruption(token_ids, tokenizer, config=self.span_config, rng=rng)
+        return input_ids[: self.model.config.max_input_length], target_ids[: self.model.config.max_target_length]
+
+    def _mixed_examples(self, rng: np.random.Generator) -> list[tuple[str, object]]:
+        """The epoch's example list: ('bdc', pair) and ('mlm', text) entries."""
+        examples: list[tuple[str, object]] = [("bdc", pair) for pair in self.corpus.bdc_pairs]
+        if self.corpus.mlm_texts and self.config.mlm_fraction > 0:
+            # Sample MLM sequences so they make up roughly ``mlm_fraction`` of the epoch.
+            bdc_count = max(len(self.corpus.bdc_pairs), 1)
+            target_mlm = int(round(bdc_count * self.config.mlm_fraction / max(1e-9, 1 - self.config.mlm_fraction)))
+            target_mlm = min(max(target_mlm, 1), len(self.corpus.mlm_texts) * 4)
+            indices = rng.integers(0, len(self.corpus.mlm_texts), size=target_mlm)
+            examples.extend(("mlm", self.corpus.mlm_texts[int(index)]) for index in indices)
+        return examples
+
+    # -- training loop -------------------------------------------------------------------
+    def train(self) -> PretrainingReport:
+        """Run the configured number of epochs and return a report."""
+        config = self.config
+        rng = seeded_rng(derive_seed(config.seed, "pretraining"))
+        report = PretrainingReport()
+        probe = self._mixed_examples(seeded_rng(derive_seed(config.seed, "probe")))
+        steps_per_epoch = max(1, (len(probe) + config.batch_size - 1) // config.batch_size)
+        optimizer = self.model.make_optimizer(
+            total_steps=steps_per_epoch * config.num_epochs,
+            learning_rate=config.learning_rate,
+            warmup_ratio=config.warmup_ratio,
+            weight_decay=config.weight_decay,
+        )
+        pad_id = self.model.tokenizer.vocab.pad_id
+        for epoch in range(config.num_epochs):
+            epoch_rng = seeded_rng(derive_seed(config.seed, "pretrain_epoch", epoch))
+            examples = self._mixed_examples(epoch_rng)
+            losses: list[float] = []
+            for minibatch in iterate_minibatches(examples, config.batch_size, rng=epoch_rng):
+                sources, targets = [], []
+                for kind, payload in minibatch:
+                    if kind == "bdc":
+                        source_ids, target_ids = self._realise_bdc(payload, epoch_rng)
+                        report.num_bdc_examples += 1
+                    else:
+                        source_ids, target_ids = self._realise_mlm(payload, epoch_rng)
+                        report.num_mlm_examples += 1
+                    sources.append(source_ids)
+                    targets.append(target_ids)
+                batch = collate_token_pairs(
+                    sources,
+                    targets,
+                    pad_id,
+                    max_input_length=self.model.config.max_input_length,
+                    max_target_length=self.model.config.max_target_length,
+                )
+                loss = self.model.train_step(batch, optimizer, max_grad_norm=config.max_grad_norm)
+                losses.append(loss)
+                report.step_losses.append(loss)
+                report.num_steps += 1
+            report.epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+        return report

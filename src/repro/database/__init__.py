@@ -1,0 +1,34 @@
+"""An in-memory relational engine.
+
+DataVisT5's downstream tasks need a database substrate in three places:
+
+* the *schema* is linearized into the model input for text-to-vis and
+  vis-to-text;
+* FeVisQA Type-3 questions ("how many parts are there in the chart?",
+  "what is the value of the largest part?") are answered by *executing*
+  the DV query against the database;
+* the chart rendered in the paper's figures is the execution result.
+
+The engine supports exactly the relational algebra that DV queries need:
+projection, equi-joins, conjunctive filters (including one-level IN / NOT IN
+subqueries), group-by with the five aggregate functions, temporal binning and
+ordering.
+"""
+
+from repro.database.schema import Column, ColumnType, TableSchema, DatabaseSchema, ForeignKey
+from repro.database.table import DataTable
+from repro.database.database import Database
+from repro.database.executor import QueryExecutor, ResultTable, execute_query
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "DatabaseSchema",
+    "ForeignKey",
+    "DataTable",
+    "Database",
+    "QueryExecutor",
+    "ResultTable",
+    "execute_query",
+]

@@ -1,0 +1,56 @@
+"""A database: a schema plus one :class:`DataTable` per table."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.database.schema import DatabaseSchema, TableSchema
+from repro.database.table import DataTable
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, schema: DatabaseSchema, data: Mapping[str, Iterable[Mapping[str, object]]] | None = None):
+        self.schema = schema
+        self._tables: dict[str, DataTable] = {
+            table.name: DataTable(table) for table in schema.tables
+        }
+        if data:
+            for table_name, rows in data.items():
+                table = self.table(table_name)
+                for row in rows:
+                    table.insert(row)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def table(self, name: str) -> DataTable:
+        name = name.lower()
+        if name not in self._tables:
+            raise SchemaError(f"database {self.name!r} has no table {name!r}")
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def insert(self, table_name: str, row: Mapping[str, object]) -> None:
+        self.table(table_name).insert(row)
+
+    def insert_many(self, table_name: str, rows: Iterable[Mapping[str, object]]) -> None:
+        table = self.table(table_name)
+        for row in rows:
+            table.insert(row)
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def subdatabase(self, table_names: list[str]) -> "Database":
+        """A new database restricted to ``table_names`` (rows are shared copies)."""
+        sub_schema = self.schema.subschema(table_names)
+        sub = Database(sub_schema)
+        for table in sub_schema.tables:
+            sub.insert_many(table.name, self.table(table.name).rows())
+        return sub

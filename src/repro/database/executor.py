@@ -1,0 +1,376 @@
+"""Execution of DV queries against an in-memory :class:`Database`.
+
+The executor implements the relational subset DV queries need: equi-joins,
+conjunctive WHERE filters (with one-level IN / NOT IN subqueries), GROUP BY
+with the five aggregate functions, temporal binning and ORDER BY.  The result
+is a :class:`ResultTable`, which the chart layer turns into the rendered
+visualization and FeVisQA uses to compute ground-truth answers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.database.database import Database
+from repro.vql.ast import (
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    Subquery,
+)
+
+_SUBQUERY_CHART = ChartType.BAR
+
+
+@dataclass
+class ResultTable:
+    """The tabular result of executing a DV query."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, index: int) -> list:
+        return [row[index] for row in self.rows]
+
+    def to_records(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def execute_query(query: DVQuery, database: Database) -> ResultTable:
+    """Convenience wrapper around :class:`QueryExecutor`."""
+    return QueryExecutor(database).execute(query)
+
+
+class QueryExecutor:
+    """Executes DV queries against one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # -- public API -------------------------------------------------------------
+    def execute(self, query: DVQuery) -> ResultTable:
+        rows = self._scan(query.from_table)
+        for join in query.joins:
+            rows = self._join(rows, join)
+        for condition in query.where:
+            rows = [row for row in rows if self._condition_holds(row, condition, query)]
+        if query.bin is not None:
+            rows = self._apply_bin(rows, query.bin, query)
+
+        has_aggregate = any(item.is_aggregate for item in query.select)
+        if query.group_by or has_aggregate:
+            result_rows = self._grouped_projection(rows, query)
+        else:
+            result_rows = [tuple(self._evaluate_item(row, item, query) for item in query.select) for row in rows]
+
+        if query.order_by is not None:
+            result_rows = self._order(result_rows, query)
+
+        columns = [item.to_text() for item in query.select]
+        return ResultTable(columns=columns, rows=result_rows)
+
+    # -- row construction --------------------------------------------------------
+    def _scan(self, table_name: str) -> list[dict[str, object]]:
+        table = self.database.table(table_name)
+        return [
+            {f"{table.name}.{column}": value for column, value in row.items()}
+            for row in table.rows()
+        ]
+
+    def _join(self, rows: list[dict[str, object]], join: JoinClause) -> list[dict[str, object]]:
+        right_rows = self._scan(join.table)
+        left_key = self._qualified_key_in_rows(rows, join.left) or self._qualified_key_in_rows(right_rows, join.left)
+        right_key = self._qualified_key_in_rows(right_rows, join.right) or self._qualified_key_in_rows(rows, join.right)
+        if left_key is None or right_key is None:
+            raise ExecutionError(f"cannot resolve join columns for {join.to_text()!r}")
+
+        # Decide which side of the ON clause belongs to the already-joined rows.
+        if rows and left_key in rows[0]:
+            probe_key, build_key = left_key, right_key
+        else:
+            probe_key, build_key = right_key, left_key
+
+        index: dict[object, list[dict[str, object]]] = {}
+        for row in right_rows:
+            index.setdefault(_join_key(row.get(build_key)), []).append(row)
+        joined: list[dict[str, object]] = []
+        for row in rows:
+            for match in index.get(_join_key(row.get(probe_key)), []):
+                merged = dict(row)
+                merged.update(match)
+                joined.append(merged)
+        return joined
+
+    def _qualified_key_in_rows(self, rows: list[dict[str, object]], ref: ColumnRef) -> str | None:
+        if ref.table:
+            return f"{ref.table}.{ref.column}"
+        if rows:
+            for key in rows[0]:
+                if key.endswith(f".{ref.column}"):
+                    return key
+        # Fall back to the schema when the row set is empty.
+        table = self.database.schema.find_column_table(ref.column)
+        if table is not None:
+            return f"{table}.{ref.column}"
+        return None
+
+    # -- expression evaluation -----------------------------------------------------
+    def _resolve_key(self, row: dict[str, object], ref: ColumnRef, query: DVQuery) -> str:
+        if ref.table:
+            return f"{ref.table}.{ref.column}"
+        for table_name in query.tables():
+            key = f"{table_name}.{ref.column}"
+            if key in row:
+                return key
+        for key in row:
+            if key.endswith(f".{ref.column}"):
+                return key
+        raise ExecutionError(f"cannot resolve column {ref.to_text()!r} in query over {query.tables()}")
+
+    def _value(self, row: dict[str, object], ref: ColumnRef, query: DVQuery) -> object:
+        key = self._resolve_key(row, ref, query)
+        if key not in row:
+            raise ExecutionError(f"column {key!r} not present in the joined row")
+        return row[key]
+
+    def _evaluate_item(self, row: dict[str, object], item: AggregateExpr, query: DVQuery) -> object:
+        if item.is_aggregate:
+            raise ExecutionError("aggregate expressions require grouping")
+        return self._value(row, item.column, query)
+
+    # -- filtering ----------------------------------------------------------------
+    def _condition_holds(self, row: dict[str, object], condition: Condition, query: DVQuery) -> bool:
+        actual = self._value(row, condition.left, query)
+        expected = condition.value
+        operator = condition.operator
+        if isinstance(expected, Subquery):
+            members = self._execute_subquery(expected)
+            membership = _normalize_literal(actual) in members
+            if operator == "in":
+                return membership
+            if operator == "not in":
+                return not membership
+            raise ExecutionError(f"subqueries are only valid with IN/NOT IN, got {operator!r}")
+        if operator == "like":
+            return _like_match(actual, str(expected))
+        if operator in ("in", "not in"):
+            raise ExecutionError("IN/NOT IN require a subquery value")
+        return _compare(actual, operator, expected)
+
+    def _execute_subquery(self, subquery: Subquery) -> set:
+        inner_query = DVQuery(
+            chart_type=_SUBQUERY_CHART,
+            select=(subquery.select,),
+            from_table=subquery.from_table,
+            joins=subquery.joins,
+            where=subquery.where,
+        )
+        result = self.execute(inner_query)
+        return {_normalize_literal(row[0]) for row in result.rows}
+
+    # -- binning --------------------------------------------------------------------
+    def _apply_bin(self, rows: list[dict[str, object]], bin_clause: BinClause, query: DVQuery) -> list[dict[str, object]]:
+        binned = []
+        for row in rows:
+            key = self._resolve_key(row, bin_clause.column, query)
+            new_row = dict(row)
+            new_row[key] = _bin_value(row.get(key), bin_clause.unit)
+            binned.append(new_row)
+        return binned
+
+    # -- grouping ---------------------------------------------------------------------
+    def _grouped_projection(self, rows: list[dict[str, object]], query: DVQuery) -> list[tuple]:
+        groups: dict[tuple, list[dict[str, object]]] = {}
+        if query.group_by:
+            for row in rows:
+                key = tuple(_normalize_literal(self._value(row, col, query)) for col in query.group_by)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = list(rows)
+        if not rows and not query.group_by:
+            groups = {(): []}
+
+        result = []
+        for _, members in sorted(groups.items(), key=lambda item: _sort_token(item[0])):
+            result.append(tuple(self._evaluate_group_item(members, item, query) for item in query.select))
+        return result
+
+    def _evaluate_group_item(self, members: list[dict[str, object]], item: AggregateExpr, query: DVQuery) -> object:
+        if not item.is_aggregate:
+            if not members:
+                return None
+            return self._value(members[0], item.column, query)
+        if item.column.is_wildcard:
+            values: list[object] = [1] * len(members)
+        else:
+            values = [self._value(row, item.column, query) for row in members]
+            values = [value for value in values if value is not None]
+        if item.distinct:
+            values = list(dict.fromkeys(values))
+        function = item.function
+        if function == "count":
+            return len(values)
+        numbers = [_as_number(value) for value in values]
+        if not numbers:
+            return None
+        if function == "sum":
+            return _maybe_int(sum(numbers))
+        if function == "avg":
+            return sum(numbers) / len(numbers)
+        if function == "max":
+            return _maybe_int(max(numbers))
+        if function == "min":
+            return _maybe_int(min(numbers))
+        raise ExecutionError(f"unsupported aggregate {function!r}")
+
+    # -- ordering --------------------------------------------------------------------
+    def _order(self, result_rows: list[tuple], query: DVQuery) -> list[tuple]:
+        order = query.order_by
+        target = order.expression.to_text()
+        columns = [item.to_text() for item in query.select]
+        if target in columns:
+            index = columns.index(target)
+        else:
+            # Ordering by a column that is not selected: fall back to the first axis.
+            index = 0
+        reverse = order.direction.value == "desc"
+        return sorted(result_rows, key=lambda row: _sort_token(row[index]), reverse=reverse)
+
+
+# -- helpers -------------------------------------------------------------------------
+
+
+def _join_key(value: object) -> object:
+    return _normalize_literal(value)
+
+
+def _normalize_literal(value: object) -> object:
+    if isinstance(value, str):
+        return value.strip().lower()
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+def _as_number(value: object) -> float:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError as exc:
+            raise ExecutionError(f"cannot aggregate non-numeric value {value!r}") from exc
+    raise ExecutionError(f"cannot aggregate non-numeric value {value!r}")
+
+
+def _maybe_int(value: float) -> float | int:
+    return int(value) if float(value).is_integer() else value
+
+
+def _compare(actual: object, operator: str, expected: object) -> bool:
+    if actual is None:
+        return False
+    left = _normalize_literal(actual)
+    right = _normalize_literal(expected)
+    # Numeric comparison when both sides look numeric.
+    if isinstance(left, float) or isinstance(right, float):
+        try:
+            left_num = float(left) if not isinstance(left, float) else left
+            right_num = float(right) if not isinstance(right, float) else right
+        except (TypeError, ValueError):
+            left_num = right_num = None
+        if left_num is not None and right_num is not None:
+            left, right = left_num, right_num
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    try:
+        if operator == ">":
+            return left > right
+        if operator == "<":
+            return left < right
+        if operator == ">=":
+            return left >= right
+        if operator == "<=":
+            return left <= right
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {actual!r} {operator} {expected!r}") from exc
+    raise ExecutionError(f"unsupported operator {operator!r}")
+
+
+def _like_match(actual: object, pattern: str) -> bool:
+    if actual is None:
+        return False
+    regex = re.escape(str(pattern).lower()).replace("%", ".*").replace("_", ".")
+    # re.escape escapes % as \%, undo that before substituting wildcards.
+    regex = regex.replace(r"\%", ".*").replace(r"\_", ".")
+    return re.fullmatch(regex, str(actual).lower()) is not None
+
+
+_MONTH_NAMES = (
+    "january", "february", "march", "april", "may", "june",
+    "july", "august", "september", "october", "november", "december",
+)
+_WEEKDAY_NAMES = ("monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday")
+
+
+def _bin_value(value: object, unit: str) -> object:
+    """Bucket a time-like value by ``unit`` (year / month / weekday / day)."""
+    if value is None:
+        return None
+    text = str(value)
+    parts = re.split(r"[-/ :T]", text)
+    if unit == "year":
+        return parts[0] if parts and parts[0] else text
+    if unit == "month":
+        if len(parts) >= 2 and parts[1].isdigit():
+            month = int(parts[1])
+            if 1 <= month <= 12:
+                return _MONTH_NAMES[month - 1]
+        return text
+    if unit == "day":
+        if len(parts) >= 3 and parts[2].isdigit():
+            return parts[2]
+        return text
+    if unit == "weekday":
+        if len(parts) >= 3 and all(part.isdigit() for part in parts[:3]):
+            year, month, day = int(parts[0]), int(parts[1]), int(parts[2])
+            return _WEEKDAY_NAMES[_day_of_week(year, month, day)]
+        return text
+    raise ExecutionError(f"unknown bin unit {unit!r}")
+
+
+def _day_of_week(year: int, month: int, day: int) -> int:
+    """Zeller-style day of week, Monday=0 ... Sunday=6."""
+    import datetime
+
+    return datetime.date(year, month, day).weekday()
+
+
+def _sort_token(value: object):
+    """A total ordering over heterogeneous result values (None < numbers < strings)."""
+    if isinstance(value, tuple):
+        return tuple(_sort_token(item) for item in value)
+    if value is None:
+        return (0, 0.0, "")
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (1, float(value), "")
+    text = str(value)
+    try:
+        return (1, float(text), "")
+    except ValueError:
+        return (2, 0.0, text.lower())

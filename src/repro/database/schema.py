@@ -1,0 +1,143 @@
+"""Relational schema model: columns, tables, foreign keys and databases."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class ColumnType(str, enum.Enum):
+    """The three column types DV queries care about (mirrors nvBench/Spider)."""
+
+    TEXT = "text"
+    NUMBER = "number"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition."""
+
+    name: str
+    ctype: ColumnType = ColumnType.TEXT
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        object.__setattr__(self, "name", self.name.lower())
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key link ``source_table.source_column -> target_table.target_column``."""
+
+    source_table: str
+    source_column: str
+    target_table: str
+    target_column: str
+
+    def __post_init__(self):
+        for attribute in ("source_table", "source_column", "target_table", "target_column"):
+            object.__setattr__(self, attribute, getattr(self, attribute).lower())
+
+
+@dataclass
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key."""
+
+    name: str
+    columns: list[Column]
+    primary_key: str | None = None
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        seen: set[str] = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(column.name)
+        if self.primary_key is not None:
+            self.primary_key = self.primary_key.lower()
+            if self.primary_key not in seen:
+                raise SchemaError(f"primary key {self.primary_key!r} is not a column of {self.name!r}")
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in set(self.column_names())
+
+    def column(self, name: str) -> Column:
+        name = name.lower()
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass
+class DatabaseSchema:
+    """A named database schema: tables plus foreign keys."""
+
+    name: str
+    tables: list[TableSchema]
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.name = self.name.lower()
+        seen: set[str] = set()
+        for table in self.tables:
+            if table.name in seen:
+                raise SchemaError(f"duplicate table {table.name!r} in database {self.name!r}")
+            seen.add(table.name)
+        for fk in self.foreign_keys:
+            self._check_fk(fk)
+
+    def _check_fk(self, fk: ForeignKey) -> None:
+        source = self.table(fk.source_table)
+        target = self.table(fk.target_table)
+        if not source.has_column(fk.source_column):
+            raise SchemaError(f"foreign key references unknown column {fk.source_table}.{fk.source_column}")
+        if not target.has_column(fk.target_column):
+            raise SchemaError(f"foreign key references unknown column {fk.target_table}.{fk.target_column}")
+
+    # -- lookups ----------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.tables]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in set(self.table_names())
+
+    def table(self, name: str) -> TableSchema:
+        name = name.lower()
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise SchemaError(f"database {self.name!r} has no table {name!r}")
+
+    def find_column_table(self, column_name: str, candidate_tables: list[str] | None = None) -> str | None:
+        """Return the name of a table containing ``column_name``.
+
+        ``candidate_tables`` restricts the search (used when resolving
+        unqualified columns inside a query that only touches some tables).
+        Returns ``None`` if no table matches.
+        """
+        column_name = column_name.lower()
+        names = candidate_tables if candidate_tables is not None else self.table_names()
+        for table_name in names:
+            if self.has_table(table_name) and self.table(table_name).has_column(column_name):
+                return self.table(table_name).name
+        return None
+
+    def subschema(self, table_names: list[str]) -> "DatabaseSchema":
+        """A new schema restricted to ``table_names`` (and their internal foreign keys)."""
+        keep = {name.lower() for name in table_names}
+        tables = [table for table in self.tables if table.name in keep]
+        if not tables:
+            raise SchemaError(f"subschema selection {sorted(keep)} matches no tables of {self.name!r}")
+        foreign_keys = [
+            fk for fk in self.foreign_keys if fk.source_table in keep and fk.target_table in keep
+        ]
+        return DatabaseSchema(name=self.name, tables=tables, foreign_keys=foreign_keys)

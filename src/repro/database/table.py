@@ -1,0 +1,69 @@
+"""Row storage for a single table."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.database.schema import ColumnType, TableSchema
+
+
+class DataTable:
+    """A table schema together with its rows.
+
+    Rows are stored as plain dictionaries keyed by lowercase column name.
+    Values are either ``str``, ``int``/``float`` or ``None``; time columns
+    store ISO-like strings (``"1998-07-21"``) or plain years.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Mapping[str, object]] | None = None):
+        self.schema = schema
+        self._rows: list[dict[str, object]] = []
+        if rows:
+            for row in rows:
+                self.insert(row)
+
+    # -- mutation ------------------------------------------------------------
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Insert ``row``; missing columns become ``None``, unknown columns are an error."""
+        normalized = {key.lower(): value for key, value in row.items()}
+        known = set(self.schema.column_names())
+        unknown = set(normalized) - known
+        if unknown:
+            raise SchemaError(f"row has unknown columns {sorted(unknown)} for table {self.schema.name!r}")
+        self._rows.append({name: normalized.get(name) for name in self.schema.column_names()})
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return iter(self._rows)
+
+    def rows(self) -> list[dict[str, object]]:
+        """A shallow copy of the row list."""
+        return list(self._rows)
+
+    def column_values(self, column: str) -> list[object]:
+        column = column.lower()
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        return [row[column] for row in self._rows]
+
+    def distinct_values(self, column: str) -> list[object]:
+        """Distinct non-null values of ``column`` in first-seen order."""
+        seen: dict[object, None] = {}
+        for value in self.column_values(column):
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def head(self, limit: int = 5) -> list[dict[str, object]]:
+        return [dict(row) for row in self._rows[:limit]]
+
+    def is_numeric(self, column: str) -> bool:
+        return self.schema.column(column).ctype == ColumnType.NUMBER

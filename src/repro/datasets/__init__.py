@@ -1,0 +1,51 @@
+"""Synthetic corpora standing in for the paper's four public datasets.
+
+No network access is available in this environment, so the nvBench,
+Chart2Text, WikiTableText and FeVisQA corpora are regenerated synthetically
+from a pool of multi-domain relational databases (:mod:`repro.datasets.spider`).
+The generators preserve the *structure* the paper relies on:
+
+* nvBench-style NL ↔ DV-query pairs over many cross-domain databases, split
+  into join / non-join subsets and partitioned 70/10/20 by database;
+* Chart2Text-style statistic tables with expert-style captions and the
+  ≤150-cell filter applied during pre-processing;
+* WikiTableText-style small tables (≥3 rows, ≥2 columns) with one-sentence
+  region descriptions;
+* FeVisQA question-answer pairs of the three paper-defined types, generated
+  by rules and answered by actually executing the DV query.
+
+Every generator is deterministic given a seed.
+"""
+
+from repro.datasets.spider import SyntheticDatabasePool, build_database_pool
+from repro.datasets.nvbench import NvBenchExample, NvBenchDataset, generate_nvbench
+from repro.datasets.chart2text import Chart2TextExample, Chart2TextDataset, generate_chart2text
+from repro.datasets.wikitabletext import WikiTableTextExample, WikiTableTextDataset, generate_wikitabletext
+from repro.datasets.fevisqa import FeVisQAExample, FeVisQADataset, generate_fevisqa
+from repro.datasets.splits import DatasetSplits, cross_domain_split
+from repro.datasets.corpus import PretrainingCorpus, Seq2SeqExample, build_pretraining_corpus
+from repro.datasets.mixing import temperature_mixing_weights, TemperatureMixedSampler
+
+__all__ = [
+    "SyntheticDatabasePool",
+    "build_database_pool",
+    "NvBenchExample",
+    "NvBenchDataset",
+    "generate_nvbench",
+    "Chart2TextExample",
+    "Chart2TextDataset",
+    "generate_chart2text",
+    "WikiTableTextExample",
+    "WikiTableTextDataset",
+    "generate_wikitabletext",
+    "FeVisQAExample",
+    "FeVisQADataset",
+    "generate_fevisqa",
+    "DatasetSplits",
+    "cross_domain_split",
+    "PretrainingCorpus",
+    "Seq2SeqExample",
+    "build_pretraining_corpus",
+    "temperature_mixing_weights",
+    "TemperatureMixedSampler",
+]

@@ -1,0 +1,137 @@
+"""Synthetic Chart2Text-style corpus (Statista-like statistic tables).
+
+The real Chart2Text benchmark pairs Statista statistic tables (title, data
+table, axis labels) with expert-written descriptions.  The synthetic
+counterpart generates small two-column statistic tables about a topic and a
+region, plus a templated description of the headline fact, and reproduces the
+paper's pre-processing rule of dropping tables with more than 150 cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import vocabularies as vocab
+from repro.encoding.table_encoder import encode_table
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class Chart2TextExample:
+    """One statistic table with its title and description."""
+
+    example_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[object]]
+    description: str
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.rows) * len(self.columns)
+
+    def linearized(self, max_rows: int | None = None) -> str:
+        return encode_table(self.columns, self.rows, title=self.title, max_rows=max_rows)
+
+
+@dataclass
+class Chart2TextDataset:
+    """The Chart2Text-style corpus."""
+
+    examples: list[Chart2TextExample]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def filter_by_cells(self, max_cells: int = 150) -> "Chart2TextDataset":
+        """The paper keeps only tables with at most 150 cells for pre-training."""
+        return Chart2TextDataset([example for example in self.examples if example.num_cells <= max_cells])
+
+    def cell_statistics(self) -> dict:
+        """The quantities reported in the paper's Table II (cell counts)."""
+        cells = [example.num_cells for example in self.examples]
+        return {
+            "instances": len(cells),
+            "min_cells": min(cells) if cells else 0,
+            "max_cells": max(cells) if cells else 0,
+            "at_most_150": sum(1 for count in cells if count <= 150),
+            "more_than_150": sum(1 for count in cells if count > 150),
+        }
+
+
+_UNITS = ["percent", "million dollars", "thousand users", "units", "tons"]
+
+_DESCRIPTION_TEMPLATES = [
+    "This statistic presents {topic} in {region} as of {year} . {leader} ranked first with {value} {unit} .",
+    "The statistic shows {topic} in {region} in {year} . During this period {leader} reached {value} {unit} .",
+    "As of {year} , {leader} led {topic} in {region} with {value} {unit} .",
+]
+
+
+def generate_chart2text(
+    num_examples: int = 300,
+    seed: int = 0,
+    large_table_fraction: float = 0.02,
+) -> Chart2TextDataset:
+    """Generate ``num_examples`` statistic tables.
+
+    A small fraction of tables is generated with more than 150 cells so the
+    pre-processing filter of the paper has something to remove.
+    """
+    examples: list[Chart2TextExample] = []
+    for index in range(num_examples):
+        rng = seeded_rng(derive_seed(seed, "chart2text", index))
+        examples.append(_generate_example(index, rng, large_table_fraction))
+    return Chart2TextDataset(examples)
+
+
+def _generate_example(index: int, rng: np.random.Generator, large_table_fraction: float) -> Chart2TextExample:
+    topic = str(rng.choice(vocab.STATISTIC_TOPICS))
+    region = str(rng.choice(vocab.STATISTIC_REGIONS))
+    year = int(rng.integers(2010, 2024))
+    unit = str(rng.choice(_UNITS))
+    title = f"{topic.capitalize()} in {region} as of {year}"
+
+    if rng.random() < large_table_fraction:
+        num_rows = int(rng.integers(80, 140))
+    else:
+        num_rows = int(rng.integers(4, 12))
+    entities = _entity_pool(topic, rng, num_rows)
+    values = sorted((round(float(rng.uniform(1, 100)), 1) for _ in range(num_rows)), reverse=True)
+    columns = ["response", f"value in {unit}"]
+    rows: list[list[object]] = [[entity, value] for entity, value in zip(entities, values)]
+
+    leader, leading_value = rows[0][0], rows[0][1]
+    template = _DESCRIPTION_TEMPLATES[int(rng.integers(0, len(_DESCRIPTION_TEMPLATES)))]
+    description = template.format(topic=topic, region=region, year=year, leader=leader, value=leading_value, unit=unit)
+    return Chart2TextExample(
+        example_id=f"chart2text:{index}",
+        title=title,
+        columns=columns,
+        rows=rows,
+        description=" ".join(description.split()),
+    )
+
+
+def _entity_pool(topic: str, rng: np.random.Generator, count: int) -> list[str]:
+    if "social networks" in topic or "messaging" in topic or "streaming" in topic:
+        base = list(vocab.SOCIAL_NETWORKS)
+    elif "airlines" in topic:
+        base = list(vocab.AIRLINES)
+    elif "country" in topic or "destination" in topic:
+        base = list(vocab.COUNTRIES)
+    elif "cities" in topic:
+        base = list(vocab.CITIES)
+    elif "studios" in topic:
+        base = list(vocab.STUDIOS)
+    else:
+        base = list(vocab.PRODUCT_CATEGORIES) + list(vocab.DEPARTMENTS)
+    rng.shuffle(base)
+    entities = list(base)
+    suffix = 2
+    while len(entities) < count:
+        entities.extend(f"{name} {suffix}" for name in base)
+        suffix += 1
+    return entities[:count]

@@ -1,0 +1,175 @@
+"""Pre-training corpus construction (§IV of the paper).
+
+The hybrid pre-training objectives consume two corpora built from the four
+task datasets:
+
+* the **Bidirectional Dual-Corpus (BDC)** segment holds source/target pairs
+  for the four mappings (NL+Schema ↔ DV query, DV query+Schema ↔ Description,
+  Table ↔ Description, Question+DV query+Schema+Table ↔ Answer); during
+  training either side is chosen as the input with probability 0.5;
+* the **MLM** segment is a flat list of cross-modal text sequences used for
+  T5 span-corruption denoising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.chart2text import Chart2TextExample
+from repro.datasets.fevisqa import FeVisQAExample
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.wikitabletext import WikiTableTextExample
+from repro.encoding.schema_encoder import encode_schema
+from repro.encoding.sequences import (
+    fevisqa_input,
+    fevisqa_target,
+    table_to_text_input,
+    table_to_text_target,
+    text_to_vis_input,
+    text_to_vis_target,
+    vis_to_text_input,
+    vis_to_text_target,
+)
+
+
+@dataclass
+class Seq2SeqExample:
+    """A single source/target training pair with its originating task."""
+
+    source: str
+    target: str
+    task: str
+    db_id: str | None = None
+    example_id: str | None = None
+
+    def swapped(self) -> "Seq2SeqExample":
+        """The reverse-direction pair (used by the BDC objective)."""
+        return Seq2SeqExample(
+            source=self.target,
+            target=self.source,
+            task=self.task,
+            db_id=self.db_id,
+            example_id=self.example_id,
+        )
+
+
+@dataclass
+class PretrainingCorpus:
+    """The two segments of the hybrid pre-training corpus."""
+
+    bdc_pairs: list[Seq2SeqExample] = field(default_factory=list)
+    mlm_texts: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.bdc_pairs) + len(self.mlm_texts)
+
+    def statistics(self) -> dict:
+        by_task: dict[str, int] = {}
+        for pair in self.bdc_pairs:
+            by_task[pair.task] = by_task.get(pair.task, 0) + 1
+        return {
+            "bdc_pairs": len(self.bdc_pairs),
+            "mlm_texts": len(self.mlm_texts),
+            "bdc_by_task": by_task,
+        }
+
+    def all_texts(self) -> list[str]:
+        """Every distinct text sequence (used to build the tokenizer vocabulary)."""
+        texts: list[str] = []
+        for pair in self.bdc_pairs:
+            texts.append(pair.source)
+            texts.append(pair.target)
+        texts.extend(self.mlm_texts)
+        return texts
+
+
+# -- per-task pair constructors ----------------------------------------------------------
+
+
+def nvbench_to_text_to_vis_pair(example: NvBenchExample, pool) -> Seq2SeqExample:
+    """``NL + Schema -> DV query`` (the text-to-vis mapping)."""
+    schema = pool.get(example.db_id).schema
+    return Seq2SeqExample(
+        source=text_to_vis_input(example.question, schema),
+        target=text_to_vis_target(example.query),
+        task="text_to_vis",
+        db_id=example.db_id,
+        example_id=example.example_id,
+    )
+
+
+def nvbench_to_vis_to_text_pair(example: NvBenchExample, pool) -> Seq2SeqExample:
+    """``DV query + Schema -> Description`` (the vis-to-text mapping)."""
+    schema = pool.get(example.db_id).schema
+    return Seq2SeqExample(
+        source=vis_to_text_input(example.query, schema),
+        target=vis_to_text_target(example.description),
+        task="vis_to_text",
+        db_id=example.db_id,
+        example_id=example.example_id,
+    )
+
+
+def table_pair(example: Chart2TextExample | WikiTableTextExample, max_rows: int | None = 12) -> Seq2SeqExample:
+    """``Table -> Description`` (the table-to-text mapping)."""
+    return Seq2SeqExample(
+        source=table_to_text_input(example.linearized(max_rows=max_rows)),
+        target=table_to_text_target(example.description),
+        task="table_to_text",
+        example_id=example.example_id,
+    )
+
+
+def fevisqa_pair(example: FeVisQAExample) -> Seq2SeqExample:
+    """``Question + DV query + Schema + Table -> Answer`` (the FeVisQA mapping)."""
+    return Seq2SeqExample(
+        source=fevisqa_input(
+            example.question,
+            query=example.query_text,
+            schema=example.schema_text,
+            table=example.table_text or None,
+        ),
+        target=fevisqa_target(example.answer),
+        task="fevisqa",
+        db_id=example.db_id,
+        example_id=example.example_id,
+    )
+
+
+def build_pretraining_corpus(
+    nvbench_examples: list[NvBenchExample],
+    chart2text_examples: list[Chart2TextExample],
+    wikitabletext_examples: list[WikiTableTextExample],
+    fevisqa_examples: list[FeVisQAExample],
+    pool,
+    max_table_cells: int = 150,
+) -> PretrainingCorpus:
+    """Assemble the hybrid pre-training corpus from the four task corpora.
+
+    Chart2Text tables with more than ``max_table_cells`` cells are dropped,
+    matching the paper's pre-processing.
+    """
+    corpus = PretrainingCorpus()
+
+    for example in nvbench_examples:
+        corpus.bdc_pairs.append(nvbench_to_text_to_vis_pair(example, pool))
+        corpus.bdc_pairs.append(nvbench_to_vis_to_text_pair(example, pool))
+        corpus.mlm_texts.append(example.question)
+        corpus.mlm_texts.append(example.query_text)
+        corpus.mlm_texts.append(encode_schema(pool.get(example.db_id).schema))
+
+    for example in chart2text_examples:
+        if example.num_cells > max_table_cells:
+            continue
+        corpus.bdc_pairs.append(table_pair(example))
+        corpus.mlm_texts.append(example.description)
+
+    for example in wikitabletext_examples:
+        corpus.bdc_pairs.append(table_pair(example))
+        corpus.mlm_texts.append(example.description)
+
+    for example in fevisqa_examples:
+        corpus.bdc_pairs.append(fevisqa_pair(example))
+        corpus.mlm_texts.append(f"{example.question} {example.answer}")
+
+    return corpus

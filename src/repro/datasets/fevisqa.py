@@ -1,0 +1,219 @@
+"""Synthetic FeVisQA corpus: free-form question answering over data visualization.
+
+FeVisQA (Song et al., ICDE 2024) compiles rule-generated question-answer
+pairs about DV queries and their charts.  The paper distinguishes three
+question types, all of which are regenerated here:
+
+* **Type 1** — semantic interpretation ("What is the meaning of this DV?"),
+  answered by the natural-language description of the query;
+* **Type 2** — DV recommendation ("Is this DV suitable for the given
+  dataset?"), answered Yes/No by validating the query against the schema it
+  is paired with (negatives pair the query with a foreign schema);
+* **Type 3** — data retrieval and structure questions ("How many parts are
+  there in the chart?", "What is the value of the largest part?"), answered
+  by executing the DV query on the database and inspecting the chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charts.chart import build_chart
+from repro.charts.properties import chart_properties
+from repro.database.executor import execute_query
+from repro.datasets.nvbench import NvBenchDataset, NvBenchExample, generate_nvbench
+from repro.encoding.schema_encoder import encode_schema
+from repro.encoding.table_encoder import encode_result_table
+from repro.utils.rng import derive_seed, seeded_rng
+from repro.vql.validation import is_query_compatible
+
+
+@dataclass
+class FeVisQAExample:
+    """One free-form question-answer pair grounded in a DV query."""
+
+    example_id: str
+    db_id: str
+    question: str
+    answer: str
+    question_type: int
+    query_text: str
+    schema_text: str
+    table_text: str
+
+    def to_dict(self) -> dict:
+        return {
+            "example_id": self.example_id,
+            "db_id": self.db_id,
+            "question": self.question,
+            "answer": self.answer,
+            "question_type": self.question_type,
+            "query_text": self.query_text,
+        }
+
+
+@dataclass
+class FeVisQADataset:
+    """The FeVisQA-style corpus."""
+
+    examples: list[FeVisQAExample]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def by_type(self, question_type: int) -> list[FeVisQAExample]:
+        return [example for example in self.examples if example.question_type == question_type]
+
+    def database_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for example in self.examples:
+            seen.setdefault(example.db_id, None)
+        return list(seen)
+
+    def statistics(self) -> dict:
+        """The quantities reported in the paper's Table III."""
+        query_texts = {example.query_text for example in self.examples}
+        return {
+            "databases": len(self.database_ids()),
+            "qa_pairs": len(self.examples),
+            "dv_queries": len(query_texts),
+            "type_1": len(self.by_type(1)),
+            "type_2": len(self.by_type(2)),
+            "type_3": len(self.by_type(3)),
+        }
+
+
+_TYPE1_QUESTIONS = [
+    "What is the meaning of this VQL ?",
+    "What is the meaning of this DV ?",
+    "Explain what this DV query does .",
+]
+
+_TYPE2_QUESTIONS = [
+    "Is this DV suitable for this given dataset ?",
+    "Can this DV query be executed on the given database ?",
+]
+
+
+def generate_fevisqa(
+    nvbench: NvBenchDataset | None = None,
+    seed: int = 0,
+    type1_probability: float = 0.6,
+    negatives_per_query: float = 0.5,
+) -> FeVisQADataset:
+    """Generate the FeVisQA corpus from an nvBench-style corpus.
+
+    One DV query yields roughly one Type-1 pair, one or two Type-2 pairs and
+    three to four Type-3 pairs, matching the type imbalance of the original
+    dataset (Table III of the paper).
+    """
+    if nvbench is None:
+        nvbench = generate_nvbench(seed=seed)
+    pool = nvbench.pool
+    database_names = pool.names()
+    examples: list[FeVisQAExample] = []
+    for example in nvbench.examples:
+        rng = seeded_rng(derive_seed(seed, "fevisqa", example.example_id))
+        database = pool.get(example.db_id)
+        schema_text = encode_schema(database.schema)
+        try:
+            result = execute_query(example.query, database)
+            chart = build_chart(example.query, result=result)
+        except Exception:
+            continue
+        table_text = encode_result_table(result, max_rows=12)
+        common = {
+            "db_id": example.db_id,
+            "query_text": example.query_text,
+            "schema_text": schema_text,
+            "table_text": table_text,
+        }
+
+        # Type 1: semantics of the DV query.
+        if rng.random() < type1_probability:
+            examples.append(
+                FeVisQAExample(
+                    example_id=f"{example.example_id}:t1",
+                    question=str(rng.choice(_TYPE1_QUESTIONS)),
+                    answer=example.description,
+                    question_type=1,
+                    **common,
+                )
+            )
+
+        # Type 2: suitability of the DV for a dataset (positive pair).
+        examples.append(
+            FeVisQAExample(
+                example_id=f"{example.example_id}:t2pos",
+                question=str(rng.choice(_TYPE2_QUESTIONS)),
+                answer="Yes",
+                question_type=2,
+                **common,
+            )
+        )
+        # Negative pair: same query against a foreign schema.
+        if rng.random() < negatives_per_query and len(database_names) > 1:
+            other_name = str(rng.choice([name for name in database_names if name != example.db_id]))
+            other_schema = pool.get(other_name).schema
+            answer = "Yes" if is_query_compatible(example.query, other_schema) else "No"
+            examples.append(
+                FeVisQAExample(
+                    example_id=f"{example.example_id}:t2neg",
+                    db_id=other_name,
+                    question=str(rng.choice(_TYPE2_QUESTIONS)),
+                    answer=answer,
+                    question_type=2,
+                    query_text=example.query_text,
+                    schema_text=encode_schema(other_schema),
+                    table_text="",
+                )
+            )
+
+        # Type 3: structure and data retrieval questions over the chart.
+        examples.extend(_type3_examples(example, chart, rng, common))
+    return FeVisQADataset(examples)
+
+
+def _type3_examples(
+    example: NvBenchExample,
+    chart,
+    rng: np.random.Generator,
+    common: dict,
+) -> list[FeVisQAExample]:
+    properties = chart_properties(chart)
+    y_label = chart.y_label
+    candidates: list[tuple[str, str]] = [
+        ("How many parts are there in the chart ?", str(properties.num_parts)),
+        ("Is any equal value of y-axis in the chart ?", "Yes" if properties.has_duplicate_values else "No"),
+    ]
+    if properties.max_value is not None:
+        candidates.append(("What is the value of the largest part in the chart ?", _render_number(properties.max_value)))
+        candidates.append(("What is the value of the smallest part in the chart ?", _render_number(properties.min_value)))
+        candidates.append((f"What is the total number of {y_label} ?", _render_number(properties.total)))
+        if properties.x_of_max is not None:
+            candidates.append((f"Which {chart.x_label} has the largest {y_label} ?", str(properties.x_of_max)))
+    count = min(len(candidates), 3 + int(rng.integers(0, 2)))
+    order = rng.permutation(len(candidates))[:count]
+    results = []
+    for rank, candidate_index in enumerate(order):
+        question, answer = candidates[int(candidate_index)]
+        results.append(
+            FeVisQAExample(
+                example_id=f"{example.example_id}:t3:{rank}",
+                question=question,
+                answer=answer,
+                question_type=3,
+                **common,
+            )
+        )
+    return results
+
+
+def _render_number(value: float | int | None) -> str:
+    if value is None:
+        return "unknown"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.2f}"

@@ -1,0 +1,69 @@
+"""Temperature mixing of multi-task training data (§III-F of the paper).
+
+Multi-task fine-tuning combines the training sets of all four tasks.  With
+plain proportional sampling the large FeVisQA corpus would dominate the small
+nvBench one, so the paper up-samples with a temperature of 2: the probability
+of drawing a task is proportional to ``size ** (1 / temperature)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import seeded_rng
+
+
+def temperature_mixing_weights(sizes: Mapping[str, int], temperature: float = 2.0) -> dict[str, float]:
+    """Per-task sampling probabilities for the given corpus ``sizes``.
+
+    ``temperature=1`` reduces to proportional sampling; larger temperatures
+    flatten the distribution toward uniform.
+    """
+    if temperature <= 0:
+        raise DatasetError("temperature must be positive")
+    positive = {task: size for task, size in sizes.items() if size > 0}
+    if not positive:
+        raise DatasetError("temperature mixing needs at least one non-empty task")
+    scaled = {task: float(size) ** (1.0 / temperature) for task, size in positive.items()}
+    total = sum(scaled.values())
+    weights = {task: value / total for task, value in scaled.items()}
+    for task, size in sizes.items():
+        if size == 0:
+            weights[task] = 0.0
+    return weights
+
+
+class TemperatureMixedSampler:
+    """Draws training examples task-by-task according to temperature weights."""
+
+    def __init__(
+        self,
+        task_examples: Mapping[str, Sequence],
+        temperature: float = 2.0,
+        seed: int = 0,
+    ):
+        self.task_examples = {task: list(examples) for task, examples in task_examples.items()}
+        sizes = {task: len(examples) for task, examples in self.task_examples.items()}
+        self.weights = temperature_mixing_weights(sizes, temperature=temperature)
+        self._tasks = [task for task, weight in self.weights.items() if weight > 0]
+        self._probabilities = np.asarray([self.weights[task] for task in self._tasks])
+        self._probabilities = self._probabilities / self._probabilities.sum()
+        self._rng = seeded_rng(seed)
+
+    def sample(self):
+        """Draw one (task, example) pair."""
+        task = self._tasks[int(self._rng.choice(len(self._tasks), p=self._probabilities))]
+        examples = self.task_examples[task]
+        example = examples[int(self._rng.integers(0, len(examples)))]
+        return task, example
+
+    def sample_batch(self, batch_size: int) -> list:
+        """Draw ``batch_size`` examples (tasks mixed within the batch)."""
+        return [self.sample()[1] for _ in range(batch_size)]
+
+    def epoch(self, num_samples: int) -> list:
+        """A deterministic-order epoch of ``num_samples`` mixed examples."""
+        return [self.sample()[1] for _ in range(num_samples)]

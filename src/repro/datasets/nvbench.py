@@ -1,0 +1,460 @@
+"""Synthetic nvBench-style NL2VIS corpus.
+
+Each example pairs a natural-language question with its ground-truth DV
+query over one database of the synthetic pool.  The generator emits the same
+structural variety as nvBench: group-by counts, group-by aggregates with the
+five aggregate functions, raw and aggregated scatter plots, temporal binning,
+WHERE filters and foreign-key joins — and records, per example, whether a
+join is involved (the paper evaluates "w/o join" and "w/ join" separately)
+and a Spider-style hardness label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.database.database import Database
+from repro.database.schema import ColumnType, DatabaseSchema
+from repro.datasets import templates as T
+from repro.datasets.spider import SyntheticDatabasePool, build_database_pool
+from repro.utils.rng import derive_seed, seeded_rng
+from repro.vql.ast import (
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    SortDirection,
+)
+from repro.vql.standardize import standardize_dv_query
+from repro.vql.validation import validate_dv_query
+
+
+@dataclass
+class NvBenchExample:
+    """One NL question paired with its ground-truth DV query."""
+
+    example_id: str
+    db_id: str
+    question: str
+    query: DVQuery
+    query_text: str
+    description: str
+    has_join: bool
+    hardness: str
+    pattern: str
+
+    def to_dict(self) -> dict:
+        return {
+            "example_id": self.example_id,
+            "db_id": self.db_id,
+            "question": self.question,
+            "query_text": self.query_text,
+            "description": self.description,
+            "has_join": self.has_join,
+            "hardness": self.hardness,
+            "pattern": self.pattern,
+        }
+
+
+@dataclass
+class NvBenchDataset:
+    """The full corpus plus a handle on the database pool it was built over."""
+
+    examples: list[NvBenchExample]
+    pool: SyntheticDatabasePool
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def database_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for example in self.examples:
+            seen.setdefault(example.db_id, None)
+        return list(seen)
+
+    def without_join(self) -> list[NvBenchExample]:
+        return [example for example in self.examples if not example.has_join]
+
+    def with_join(self) -> list[NvBenchExample]:
+        return [example for example in self.examples if example.has_join]
+
+    def for_database(self, db_id: str) -> list[NvBenchExample]:
+        return [example for example in self.examples if example.db_id == db_id]
+
+    def statistics(self) -> dict:
+        """The quantities reported in the paper's Table I for one split."""
+        return {
+            "instances": len(self.examples),
+            "instances_without_join": len(self.without_join()),
+            "databases": len(self.database_ids()),
+        }
+
+
+def generate_nvbench(
+    pool: SyntheticDatabasePool | None = None,
+    examples_per_database: int = 40,
+    join_fraction: float = 0.35,
+    seed: int = 0,
+) -> NvBenchDataset:
+    """Generate the synthetic nvBench corpus.
+
+    ``examples_per_database`` bounds the number of examples drawn per
+    database; ``join_fraction`` is the approximate share of examples whose DV
+    query contains a join (nvBench is roughly 40% join queries).
+    """
+    if pool is None:
+        pool = build_database_pool(seed=seed)
+    if not 0.0 <= join_fraction <= 1.0:
+        raise DatasetError("join_fraction must be in [0, 1]")
+    examples: list[NvBenchExample] = []
+    for db_name, database in pool.items():
+        rng = seeded_rng(derive_seed(seed, "nvbench", db_name))
+        generator = _DatabaseExampleGenerator(database, rng)
+        for index in range(examples_per_database):
+            want_join = rng.random() < join_fraction
+            example = generator.generate_example(f"{db_name}:{index}", want_join)
+            if example is not None:
+                examples.append(example)
+    if not examples:
+        raise DatasetError("nvBench generation produced no examples; check the database pool")
+    return NvBenchDataset(examples=examples, pool=pool)
+
+
+class _DatabaseExampleGenerator:
+    """Generates examples for one database."""
+
+    def __init__(self, database: Database, rng: np.random.Generator):
+        self.database = database
+        self.schema = database.schema
+        self.rng = rng
+
+    # -- public --------------------------------------------------------------
+    def generate_example(self, example_id: str, want_join: bool) -> NvBenchExample | None:
+        if want_join and self.schema.foreign_keys:
+            builders = [self._build_join_example]
+        else:
+            builders = [
+                self._build_group_count_example,
+                self._build_group_agg_example,
+                self._build_scatter_raw_example,
+                self._build_scatter_agg_example,
+                self._build_bin_example,
+            ]
+        builder = builders[int(self.rng.integers(0, len(builders)))]
+        built = builder()
+        if built is None:
+            return None
+        query, question, description, pattern = built
+        query = standardize_dv_query(query, schema=self.schema)
+        try:
+            validate_dv_query(query, self.schema)
+        except Exception:
+            return None
+        hardness = _hardness(query)
+        return NvBenchExample(
+            example_id=example_id,
+            db_id=self.database.name,
+            question=question,
+            query=query,
+            query_text=query.to_text(),
+            description=description,
+            has_join=query.has_join,
+            hardness=hardness,
+            pattern=pattern,
+        )
+
+    # -- column helpers ---------------------------------------------------------
+    def _columns_of_type(self, table_name: str, ctype: ColumnType) -> list[str]:
+        table = self.schema.table(table_name)
+        return [column.name for column in table.columns if column.ctype == ctype]
+
+    def _categorical_columns(self, table_name: str) -> list[str]:
+        """Text columns suitable as a group-by axis (few distinct values)."""
+        table = self.database.table(table_name)
+        candidates = []
+        for column in self._columns_of_type(table_name, ColumnType.TEXT):
+            distinct = table.distinct_values(column)
+            if 1 < len(distinct) <= max(12, len(table) // 2 + 2):
+                candidates.append(column)
+        return candidates
+
+    def _numeric_columns(self, table_name: str) -> list[str]:
+        table = self.schema.table(table_name)
+        return [
+            column.name
+            for column in table.columns
+            if column.ctype == ColumnType.NUMBER and column.name != table.primary_key
+        ]
+
+    def _time_columns(self, table_name: str) -> list[str]:
+        return self._columns_of_type(table_name, ColumnType.TIME)
+
+    def _pick(self, options: list):
+        if not options:
+            return None
+        return options[int(self.rng.integers(0, len(options)))]
+
+    def _pick_table(self) -> str:
+        return self._pick(self.schema.table_names())
+
+    # -- query pattern builders ------------------------------------------------------
+    def _build_group_count_example(self):
+        table = self._pick_table()
+        x_column = self._pick(self._categorical_columns(table))
+        if x_column is None:
+            return None
+        chart = self._pick(["bar", "pie", "bar", "line"])
+        x_ref = ColumnRef(column=x_column, table=table)
+        order_by, order_key = self._maybe_order(x_ref, AggregateExpr(column=x_ref, function="count"))
+        query = DVQuery(
+            chart_type=ChartType.from_text(chart),
+            select=(AggregateExpr(column=x_ref), AggregateExpr(column=x_ref, function="count")),
+            from_table=table,
+            group_by=(x_ref,),
+            order_by=order_by,
+        )
+        slots = {
+            "agg_phrase": self._pick(T.AGGREGATE_PHRASES["count"]),
+            "x_phrase": T.humanize(x_column),
+            "table_phrase": T.humanize(table),
+            "chart_phrase": self._pick(T.CHART_PHRASES[chart]),
+            "order_phrase": self._order_phrase(order_key),
+        }
+        question = self._fill(self._pick(T.GROUP_COUNT_TEMPLATES), slots)
+        description = self._describe("group_count", slots, order_key)
+        return query, question, description, "group_count"
+
+    def _build_group_agg_example(self):
+        table = self._pick_table()
+        x_column = self._pick(self._categorical_columns(table))
+        y_column = self._pick(self._numeric_columns(table))
+        if x_column is None or y_column is None:
+            return None
+        function = self._pick(["sum", "avg", "max", "min"])
+        chart = self._pick(["bar", "bar", "line", "pie"])
+        x_ref = ColumnRef(column=x_column, table=table)
+        y_item = AggregateExpr(column=ColumnRef(column=y_column, table=table), function=function)
+        order_by, order_key = self._maybe_order(x_ref, y_item)
+        query = DVQuery(
+            chart_type=ChartType.from_text(chart),
+            select=(AggregateExpr(column=x_ref), y_item),
+            from_table=table,
+            group_by=(x_ref,),
+            order_by=order_by,
+        )
+        slots = {
+            "agg_phrase": self._pick(T.AGGREGATE_PHRASES[function]),
+            "x_phrase": T.humanize(x_column),
+            "y_phrase": T.humanize(y_column),
+            "table_phrase": T.humanize(table),
+            "chart_phrase": self._pick(T.CHART_PHRASES[chart]),
+            "order_phrase": self._order_phrase(order_key),
+        }
+        question = self._fill(self._pick(T.GROUP_AGG_TEMPLATES), slots)
+        description = self._describe("group_agg", slots, order_key)
+        return query, question, description, "group_agg"
+
+    def _build_scatter_raw_example(self):
+        table = self._pick_table()
+        numeric = self._numeric_columns(table)
+        if len(numeric) < 2:
+            return None
+        x_column, y_column = (self._pick(numeric), self._pick(numeric))
+        if x_column == y_column:
+            return None
+        query = DVQuery(
+            chart_type=ChartType.SCATTER,
+            select=(
+                AggregateExpr(column=ColumnRef(column=x_column, table=table)),
+                AggregateExpr(column=ColumnRef(column=y_column, table=table)),
+            ),
+            from_table=table,
+        )
+        slots = {
+            "x_phrase": T.humanize(x_column),
+            "y_phrase": T.humanize(y_column),
+            "table_phrase": T.humanize(table),
+            "chart_phrase": self._pick(T.CHART_PHRASES["scatter"]),
+        }
+        question = self._fill(self._pick(T.SCATTER_RAW_TEMPLATES), slots)
+        description = self._describe("scatter_raw", slots, None)
+        return query, question, description, "scatter_raw"
+
+    def _build_scatter_agg_example(self):
+        table = self._pick_table()
+        x_column = self._pick(self._categorical_columns(table))
+        y_column = self._pick(self._numeric_columns(table))
+        if x_column is None or y_column is None:
+            return None
+        first, second = self._pick([("avg", "min"), ("avg", "max"), ("max", "min"), ("sum", "avg")])
+        y_ref = ColumnRef(column=y_column, table=table)
+        query = DVQuery(
+            chart_type=ChartType.SCATTER,
+            select=(AggregateExpr(column=y_ref, function=first), AggregateExpr(column=y_ref, function=second)),
+            from_table=table,
+            group_by=(ColumnRef(column=x_column, table=table),),
+        )
+        slots = {
+            "agg_phrase": self._pick(T.AGGREGATE_PHRASES[first]),
+            "agg2_phrase": self._pick(T.AGGREGATE_PHRASES[second]),
+            "x_phrase": T.humanize(x_column),
+            "y_phrase": T.humanize(y_column),
+            "table_phrase": T.humanize(table),
+            "chart_phrase": self._pick(T.CHART_PHRASES["scatter"]),
+        }
+        question = self._fill(self._pick(T.SCATTER_AGG_TEMPLATES), slots)
+        description = self._describe("scatter_agg", slots, None)
+        return query, question, description, "scatter_agg"
+
+    def _build_bin_example(self):
+        table = self._pick_table()
+        time_column = self._pick(self._time_columns(table))
+        if time_column is None:
+            return None
+        unit = self._pick(["year", "month", "weekday"])
+        chart = self._pick(["bar", "line"])
+        time_ref = ColumnRef(column=time_column, table=table)
+        count_item = AggregateExpr(column=time_ref, function="count")
+        order_by, order_key = self._maybe_order(time_ref, count_item)
+        query = DVQuery(
+            chart_type=ChartType.from_text(chart),
+            select=(AggregateExpr(column=time_ref), count_item),
+            from_table=table,
+            group_by=(time_ref,),
+            order_by=order_by,
+            bin=BinClause(column=time_ref, unit=unit),
+        )
+        slots = {
+            "x_phrase": T.humanize(time_column),
+            "table_phrase": T.humanize(table),
+            "chart_phrase": self._pick(T.CHART_PHRASES[chart]),
+            "unit": unit,
+            "order_phrase": self._order_phrase(order_key),
+        }
+        question = self._fill(self._pick(T.BIN_TEMPLATES), slots)
+        description = self._describe("bin", slots, order_key)
+        return query, question, description, "bin"
+
+    def _build_join_example(self):
+        foreign_key = self._pick(list(self.schema.foreign_keys))
+        if foreign_key is None:
+            return None
+        child, parent = foreign_key.source_table, foreign_key.target_table
+        x_column = self._pick(self._categorical_columns(parent) or self._categorical_columns(child))
+        if x_column is None:
+            return None
+        x_table = parent if x_column in self.schema.table(parent).column_names() else child
+        numeric_table = child if x_table == parent else parent
+        numeric_options = self._numeric_columns(numeric_table)
+        if numeric_options and self.rng.random() < 0.6:
+            y_column = self._pick(numeric_options)
+            function = self._pick(["sum", "avg", "max", "min"])
+            y_item = AggregateExpr(column=ColumnRef(column=y_column, table=numeric_table), function=function)
+        else:
+            function = "count"
+            y_column = x_column
+            y_item = AggregateExpr(column=ColumnRef(column=x_column, table=x_table), function="count")
+        chart = self._pick(["bar", "bar", "pie", "line"])
+        x_ref = ColumnRef(column=x_column, table=x_table)
+        join = JoinClause(
+            table=parent,
+            left=ColumnRef(column=foreign_key.source_column, table=child),
+            right=ColumnRef(column=foreign_key.target_column, table=parent),
+        )
+        where, filter_slots = self._maybe_filter(child if x_table == parent else parent)
+        order_by, order_key = self._maybe_order(x_ref, y_item)
+        query = DVQuery(
+            chart_type=ChartType.from_text(chart),
+            select=(AggregateExpr(column=x_ref), y_item),
+            from_table=child,
+            joins=(join,),
+            where=where,
+            group_by=(x_ref,),
+            order_by=order_by,
+        )
+        slots = {
+            "agg_phrase": self._pick(T.AGGREGATE_PHRASES[function]),
+            "x_phrase": T.humanize(x_column),
+            "y_phrase": T.humanize(y_column),
+            "table_phrase": T.humanize(child),
+            "join_table_phrase": T.humanize(parent),
+            "chart_phrase": self._pick(T.CHART_PHRASES[chart]),
+            "order_phrase": self._order_phrase(order_key),
+            "filter_phrase": filter_slots.get("phrase", ""),
+        }
+        question = self._fill(self._pick(T.JOIN_TEMPLATES), slots)
+        description = self._describe("join", slots, order_key, filter_slots.get("description", ""))
+        return query, question, description, "join"
+
+    # -- shared clause helpers --------------------------------------------------------
+    def _maybe_order(self, x_ref: ColumnRef, y_item: AggregateExpr):
+        roll = self.rng.random()
+        if roll < 0.4:
+            return None, None
+        axis = "x" if self.rng.random() < 0.5 else "y"
+        direction = SortDirection.DESC if self.rng.random() < 0.5 else SortDirection.ASC
+        expression = AggregateExpr(column=x_ref) if axis == "x" else y_item
+        return OrderByClause(expression=expression, direction=direction), (axis, direction.value)
+
+    def _order_phrase(self, order_key) -> str:
+        if order_key is None:
+            return ""
+        return self._pick(T.ORDER_PHRASES[order_key])
+
+    def _maybe_filter(self, table_name: str):
+        if self.rng.random() < 0.5:
+            return (), {}
+        candidates = self._categorical_columns(table_name)
+        column = self._pick(candidates)
+        if column is None:
+            return (), {}
+        values = self.database.table(table_name).distinct_values(column)
+        value = self._pick(values)
+        if value is None:
+            return (), {}
+        condition = Condition(left=ColumnRef(column=column, table=table_name), operator="=", value=str(value))
+        phrase = self._pick(T.FILTER_PHRASES).format(column_phrase=T.humanize(column), value=value)
+        description = f" where {T.humanize(column)} is {value}"
+        return (condition,), {"phrase": phrase, "description": description}
+
+    # -- text assembly ------------------------------------------------------------------
+    def _fill(self, template: str, slots: dict) -> str:
+        slots = dict(slots)
+        chart_phrase = slots.get("chart_phrase", "a chart")
+        slots.setdefault("chart_phrase_cap", chart_phrase[:1].upper() + chart_phrase[1:])
+        slots.setdefault("order_phrase", "")
+        slots.setdefault("filter_phrase", "")
+        return " ".join(template.format(**slots).split())
+
+    def _describe(self, pattern: str, slots: dict, order_key, filter_description: str = "") -> str:
+        slots = dict(slots)
+        chart_phrase = slots.get("chart_phrase", "a chart")
+        slots.setdefault("chart_phrase_cap", chart_phrase[:1].upper() + chart_phrase[1:])
+        slots["order_description"] = T.ORDER_DESCRIPTIONS.get(order_key, "") if order_key else ""
+        slots["filter_description"] = filter_description
+        template = T.DESCRIPTION_TEMPLATES[pattern]
+        return " ".join(template.format(**slots).split())
+
+
+def _hardness(query: DVQuery) -> str:
+    """A Spider-style hardness label derived from the query structure."""
+    score = 0
+    score += len(query.joins) * 2
+    score += len(query.where)
+    score += 1 if query.order_by is not None else 0
+    score += 1 if query.bin is not None else 0
+    score += sum(1 for item in query.select if item.is_aggregate and item.function != "count")
+    if score <= 1:
+        return "easy"
+    if score == 2:
+        return "medium"
+    if score == 3:
+        return "hard"
+    return "extra hard"

@@ -1,0 +1,683 @@
+"""Synthetic multi-domain relational databases.
+
+The real nvBench / FeVisQA corpora are built over the 152 databases of the
+Spider dataset.  This module regenerates a pool of cross-domain databases
+with the same flavour: each *domain* (gallery, inn, allergy, soccer, films,
+flights, retail, ...) defines a small schema with typed columns and foreign
+keys, and the pool instantiates several variants of each domain with fresh
+synthetic rows.  The case-study databases that appear verbatim in the
+paper's figures (``theme_gallery``, ``inn_1``, ``allergy_1``, ``film_rank``,
+``candidate_poll``, ``local_govt_in_alabama``) are included with their exact
+table and column names so the qualitative benchmarks are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.database.database import Database
+from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+from repro.datasets import vocabularies as vocab
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+# -- domain specification -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A column plus the recipe for generating its values."""
+
+    name: str
+    ctype: ColumnType
+    generator: tuple
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A table plus its row-count range."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    primary_key: str | None = None
+    min_rows: int = 6
+    max_rows: int = 14
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A database domain: tables in dependency order plus foreign keys."""
+
+    name: str
+    tables: tuple[TableSpec, ...]
+    foreign_keys: tuple[tuple[str, str, str, str], ...] = ()
+    # Number of pool variants instantiated from this domain.
+    variants: int = 3
+
+
+def _col(name: str, kind: str, *args) -> ColumnSpec:
+    """Shorthand constructor mapping generator kinds to column types."""
+    numeric_kinds = {"id", "int", "float", "fk"}
+    time_kinds = {"year", "date"}
+    if kind in numeric_kinds:
+        ctype = ColumnType.NUMBER
+    elif kind in time_kinds:
+        ctype = ColumnType.TIME
+    else:
+        ctype = ColumnType.TEXT
+    return ColumnSpec(name=name, ctype=ctype, generator=(kind, *args))
+
+
+DOMAINS: tuple[DomainSpec, ...] = (
+    DomainSpec(
+        name="theme_gallery",
+        tables=(
+            TableSpec(
+                "artist",
+                (
+                    _col("artist_id", "id"),
+                    _col("name", "person"),
+                    _col("country", "choice", vocab.COUNTRIES),
+                    _col("year_join", "year", 1985, 2015),
+                    _col("age", "int", 25, 70),
+                ),
+                primary_key="artist_id",
+            ),
+            TableSpec(
+                "exhibition",
+                (
+                    _col("exhibition_id", "id"),
+                    _col("artist_id", "fk", "artist", "artist_id"),
+                    _col("theme", "choice", vocab.GENRES),
+                    _col("ticket_price", "float", 5, 60),
+                    _col("year", "year", 2000, 2020),
+                ),
+                primary_key="exhibition_id",
+            ),
+        ),
+        foreign_keys=(("exhibition", "artist_id", "artist", "artist_id"),),
+        variants=2,
+    ),
+    DomainSpec(
+        name="inn",
+        tables=(
+            TableSpec(
+                "rooms",
+                (
+                    _col("roomid", "id"),
+                    _col("roomname", "textid", "room"),
+                    _col("bedtype", "choice", vocab.BED_TYPES),
+                    _col("baseprice", "float", 50, 300),
+                    _col("decor", "choice", vocab.DECOR_STYLES),
+                    _col("maxoccupancy", "int", 1, 6),
+                ),
+                primary_key="roomid",
+            ),
+            TableSpec(
+                "reservations",
+                (
+                    _col("code", "id"),
+                    _col("room", "fk", "rooms", "roomid"),
+                    _col("checkin", "date", 2010, 2020),
+                    _col("rate", "float", 50, 350),
+                    _col("adults", "int", 1, 4),
+                ),
+                primary_key="code",
+                min_rows=10,
+                max_rows=24,
+            ),
+        ),
+        foreign_keys=(("reservations", "room", "rooms", "roomid"),),
+        variants=2,
+    ),
+    DomainSpec(
+        name="allergy",
+        tables=(
+            TableSpec(
+                "allergy_type",
+                (
+                    _col("allergy", "choice", vocab.ALLERGIES),
+                    _col("allergytype", "choice", vocab.ALLERGY_TYPES),
+                ),
+                primary_key="allergy",
+                min_rows=6,
+                max_rows=10,
+            ),
+            TableSpec(
+                "student",
+                (
+                    _col("stuid", "id"),
+                    _col("lname", "lastname"),
+                    _col("fname", "firstname"),
+                    _col("age", "int", 17, 30),
+                    _col("sex", "choice", ["M", "F"]),
+                    _col("major", "choice", vocab.MAJORS),
+                    _col("advisor", "int", 1000, 9999),
+                    _col("city_code", "choice", ["NYC", "CHI", "LA", "HOU", "PHI"]),
+                ),
+                primary_key="stuid",
+                min_rows=10,
+                max_rows=20,
+            ),
+            TableSpec(
+                "has_allergy",
+                (
+                    _col("stuid", "fk", "student", "stuid"),
+                    _col("allergy", "fk_text", "allergy_type", "allergy"),
+                ),
+                min_rows=8,
+                max_rows=20,
+            ),
+        ),
+        foreign_keys=(
+            ("has_allergy", "stuid", "student", "stuid"),
+            ("has_allergy", "allergy", "allergy_type", "allergy"),
+        ),
+        variants=2,
+    ),
+    DomainSpec(
+        name="soccer",
+        tables=(
+            TableSpec(
+                "team",
+                (
+                    _col("team_id", "id"),
+                    _col("name", "choice", vocab.TEAM_NAMES),
+                    _col("city", "choice", vocab.CITIES),
+                    _col("founded", "year", 1900, 2000),
+                ),
+                primary_key="team_id",
+                min_rows=4,
+                max_rows=8,
+            ),
+            TableSpec(
+                "player",
+                (
+                    _col("player_id", "id"),
+                    _col("name", "person"),
+                    _col("team", "fk", "team", "team_id"),
+                    _col("years_played", "int", 1, 15),
+                    _col("age", "int", 18, 40),
+                    _col("goals", "int", 0, 60),
+                ),
+                primary_key="player_id",
+                min_rows=12,
+                max_rows=24,
+            ),
+        ),
+        foreign_keys=(("player", "team", "team", "team_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="candidate_poll",
+        tables=(
+            TableSpec(
+                "people",
+                (
+                    _col("people_id", "id"),
+                    _col("sex", "choice", ["M", "F"]),
+                    _col("name", "person"),
+                    _col("date_of_birth", "date", 1950, 2000),
+                    _col("height", "float", 150, 200),
+                    _col("weight", "float", 45, 110),
+                ),
+                primary_key="people_id",
+                min_rows=10,
+                max_rows=20,
+            ),
+            TableSpec(
+                "candidate",
+                (
+                    _col("candidate_id", "id"),
+                    _col("people_id", "fk", "people", "people_id"),
+                    _col("poll_source", "choice", ["newspaper", "television", "internet"]),
+                    _col("support_rate", "float", 0, 1),
+                    _col("oppose_rate", "float", 0, 1),
+                ),
+                primary_key="candidate_id",
+            ),
+        ),
+        foreign_keys=(("candidate", "people_id", "people", "people_id"),),
+        variants=2,
+    ),
+    DomainSpec(
+        name="film_rank",
+        tables=(
+            TableSpec(
+                "film",
+                (
+                    _col("film_id", "id"),
+                    _col("title", "textid", "film"),
+                    _col("studio", "choice", vocab.STUDIOS),
+                    _col("director", "person"),
+                    _col("gross_in_dollar", "int", 1000000, 900000000),
+                ),
+                primary_key="film_id",
+                min_rows=6,
+                max_rows=12,
+            ),
+            TableSpec(
+                "film_market_estimation",
+                (
+                    _col("estimation_id", "id"),
+                    _col("low_estimate", "float", 1000, 100000),
+                    _col("high_estimate", "float", 100000, 900000),
+                    _col("film_id", "fk", "film", "film_id"),
+                    _col("type", "choice", vocab.FILM_TYPES),
+                    _col("market_id", "int", 1, 10),
+                    _col("year", "year", 1980, 2020),
+                ),
+                primary_key="estimation_id",
+                min_rows=8,
+                max_rows=16,
+            ),
+        ),
+        foreign_keys=(("film_market_estimation", "film_id", "film", "film_id"),),
+        variants=2,
+    ),
+    DomainSpec(
+        name="local_govt_in_alabama",
+        tables=(
+            TableSpec(
+                "participants",
+                (
+                    _col("participant_id", "id"),
+                    _col("participant_type_code", "choice", ["organizer", "participant"]),
+                    _col("participant_details", "person"),
+                ),
+                primary_key="participant_id",
+                min_rows=8,
+                max_rows=16,
+            ),
+            TableSpec(
+                "events",
+                (
+                    _col("event_id", "id"),
+                    _col("service_id", "int", 1, 20),
+                    _col("event_details", "choice", ["Success", "Fail", "Pending", "Cancelled"]),
+                ),
+                primary_key="event_id",
+                min_rows=6,
+                max_rows=12,
+            ),
+            TableSpec(
+                "participants_in_events",
+                (
+                    _col("event_id", "fk", "events", "event_id"),
+                    _col("participant_id", "fk", "participants", "participant_id"),
+                ),
+                min_rows=10,
+                max_rows=24,
+            ),
+        ),
+        foreign_keys=(
+            ("participants_in_events", "event_id", "events", "event_id"),
+            ("participants_in_events", "participant_id", "participants", "participant_id"),
+        ),
+        variants=2,
+    ),
+    DomainSpec(
+        name="college",
+        tables=(
+            TableSpec(
+                "department",
+                (
+                    _col("dept_id", "id"),
+                    _col("dept_name", "choice", vocab.DEPARTMENTS),
+                    _col("budget", "float", 100000, 5000000),
+                    _col("building", "textid", "hall"),
+                ),
+                primary_key="dept_id",
+                min_rows=4,
+                max_rows=8,
+            ),
+            TableSpec(
+                "instructor",
+                (
+                    _col("instructor_id", "id"),
+                    _col("name", "person"),
+                    _col("dept_id", "fk", "department", "dept_id"),
+                    _col("salary", "float", 40000, 180000),
+                    _col("hire_year", "year", 1990, 2022),
+                ),
+                primary_key="instructor_id",
+                min_rows=10,
+                max_rows=20,
+            ),
+        ),
+        foreign_keys=(("instructor", "dept_id", "department", "dept_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="flight_company",
+        tables=(
+            TableSpec(
+                "airline",
+                (
+                    _col("airline_id", "id"),
+                    _col("airline_name", "choice", vocab.AIRLINES),
+                    _col("country", "choice", vocab.COUNTRIES),
+                    _col("fleet_size", "int", 10, 400),
+                ),
+                primary_key="airline_id",
+                min_rows=4,
+                max_rows=8,
+            ),
+            TableSpec(
+                "flight",
+                (
+                    _col("flight_id", "id"),
+                    _col("airline_id", "fk", "airline", "airline_id"),
+                    _col("origin", "choice", vocab.CITIES),
+                    _col("destination", "choice", vocab.CITIES),
+                    _col("distance", "int", 100, 9000),
+                    _col("departure_date", "date", 2015, 2023),
+                    _col("price", "float", 50, 1500),
+                ),
+                primary_key="flight_id",
+                min_rows=12,
+                max_rows=24,
+            ),
+        ),
+        foreign_keys=(("flight", "airline_id", "airline", "airline_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="retail_orders",
+        tables=(
+            TableSpec(
+                "product",
+                (
+                    _col("product_id", "id"),
+                    _col("product_name", "textid", "product"),
+                    _col("category", "choice", vocab.PRODUCT_CATEGORIES),
+                    _col("price", "float", 1, 900),
+                    _col("stock", "int", 0, 500),
+                ),
+                primary_key="product_id",
+                min_rows=8,
+                max_rows=16,
+            ),
+            TableSpec(
+                "orders",
+                (
+                    _col("order_id", "id"),
+                    _col("product_id", "fk", "product", "product_id"),
+                    _col("quantity", "int", 1, 20),
+                    _col("order_date", "date", 2018, 2023),
+                    _col("customer_city", "choice", vocab.CITIES),
+                ),
+                primary_key="order_id",
+                min_rows=14,
+                max_rows=28,
+            ),
+        ),
+        foreign_keys=(("orders", "product_id", "product", "product_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="concert_hall",
+        tables=(
+            TableSpec(
+                "singer",
+                (
+                    _col("singer_id", "id"),
+                    _col("name", "person"),
+                    _col("country", "choice", vocab.COUNTRIES),
+                    _col("age", "int", 18, 70),
+                    _col("net_worth", "float", 10000, 90000000),
+                ),
+                primary_key="singer_id",
+                min_rows=8,
+                max_rows=16,
+            ),
+            TableSpec(
+                "concert",
+                (
+                    _col("concert_id", "id"),
+                    _col("singer_id", "fk", "singer", "singer_id"),
+                    _col("stadium", "textid", "stadium"),
+                    _col("year", "year", 2000, 2023),
+                    _col("attendance", "int", 500, 90000),
+                ),
+                primary_key="concert_id",
+                min_rows=10,
+                max_rows=20,
+            ),
+        ),
+        foreign_keys=(("concert", "singer_id", "singer", "singer_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="hospital",
+        tables=(
+            TableSpec(
+                "physician",
+                (
+                    _col("physician_id", "id"),
+                    _col("name", "person"),
+                    _col("department", "choice", vocab.DEPARTMENTS),
+                    _col("experience_years", "int", 1, 40),
+                    _col("salary", "float", 60000, 400000),
+                ),
+                primary_key="physician_id",
+                min_rows=8,
+                max_rows=14,
+            ),
+            TableSpec(
+                "appointment",
+                (
+                    _col("appointment_id", "id"),
+                    _col("physician_id", "fk", "physician", "physician_id"),
+                    _col("patient_city", "choice", vocab.CITIES),
+                    _col("appointment_date", "date", 2018, 2023),
+                    _col("cost", "float", 40, 900),
+                ),
+                primary_key="appointment_id",
+                min_rows=12,
+                max_rows=24,
+            ),
+        ),
+        foreign_keys=(("appointment", "physician_id", "physician", "physician_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="book_press",
+        tables=(
+            TableSpec(
+                "publisher",
+                (
+                    _col("publisher_id", "id"),
+                    _col("publisher_name", "choice", vocab.PUBLISHERS),
+                    _col("city", "choice", vocab.CITIES),
+                    _col("founded", "year", 1850, 2010),
+                ),
+                primary_key="publisher_id",
+                min_rows=4,
+                max_rows=6,
+            ),
+            TableSpec(
+                "book",
+                (
+                    _col("book_id", "id"),
+                    _col("title", "textid", "book"),
+                    _col("publisher_id", "fk", "publisher", "publisher_id"),
+                    _col("year", "year", 1990, 2023),
+                    _col("pages", "int", 80, 1200),
+                    _col("price", "float", 5, 120),
+                ),
+                primary_key="book_id",
+                min_rows=10,
+                max_rows=20,
+            ),
+        ),
+        foreign_keys=(("book", "publisher_id", "publisher", "publisher_id"),),
+        variants=3,
+    ),
+    DomainSpec(
+        name="city_weather",
+        tables=(
+            TableSpec(
+                "city",
+                (
+                    _col("city_id", "id"),
+                    _col("city_name", "choice", vocab.CITIES),
+                    _col("country", "choice", vocab.COUNTRIES),
+                    _col("population", "int", 50000, 12000000),
+                ),
+                primary_key="city_id",
+                min_rows=6,
+                max_rows=12,
+            ),
+            TableSpec(
+                "weather_record",
+                (
+                    _col("record_id", "id"),
+                    _col("city_id", "fk", "city", "city_id"),
+                    _col("record_date", "date", 2019, 2023),
+                    _col("temperature", "float", -20, 45),
+                    _col("rainfall", "float", 0, 300),
+                ),
+                primary_key="record_id",
+                min_rows=14,
+                max_rows=28,
+            ),
+        ),
+        foreign_keys=(("weather_record", "city_id", "city", "city_id"),),
+        variants=3,
+    ),
+)
+
+
+# -- value generation -----------------------------------------------------------------
+
+
+class _ValueFactory:
+    """Generates cell values for one table according to the column specs."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def generate(self, spec: ColumnSpec, row_index: int, parents: dict[str, list]) -> object:
+        kind = spec.generator[0]
+        args = spec.generator[1:]
+        if kind == "id":
+            return row_index + 1
+        if kind == "int":
+            low, high = args
+            return int(self.rng.integers(low, high + 1))
+        if kind == "float":
+            low, high = args
+            return round(float(self.rng.uniform(low, high)), 2)
+        if kind == "year":
+            low, high = args
+            return int(self.rng.integers(low, high + 1))
+        if kind == "date":
+            year_low, year_high = args
+            year = int(self.rng.integers(year_low, year_high + 1))
+            month = int(self.rng.integers(1, 13))
+            day = int(self.rng.integers(1, 29))
+            return f"{year:04d}-{month:02d}-{day:02d}"
+        if kind == "choice":
+            (options,) = args
+            return str(self.rng.choice(options))
+        if kind == "person":
+            first = str(self.rng.choice(vocab.PERSON_FIRST_NAMES))
+            last = str(self.rng.choice(vocab.PERSON_LAST_NAMES))
+            return f"{first} {last}"
+        if kind == "firstname":
+            return str(self.rng.choice(vocab.PERSON_FIRST_NAMES))
+        if kind == "lastname":
+            return str(self.rng.choice(vocab.PERSON_LAST_NAMES))
+        if kind == "textid":
+            (prefix,) = args
+            return f"{prefix} {row_index + 1}"
+        if kind in ("fk", "fk_text"):
+            parent_table, parent_column = args
+            pool = parents.get(f"{parent_table}.{parent_column}")
+            if not pool:
+                raise DatasetError(f"foreign key {parent_table}.{parent_column} has no generated values")
+            return pool[int(self.rng.integers(0, len(pool)))]
+        raise DatasetError(f"unknown value generator kind {kind!r}")
+
+
+# -- pool construction -------------------------------------------------------------------
+
+
+@dataclass
+class SyntheticDatabasePool:
+    """A pool of named :class:`Database` instances spanning many domains."""
+
+    databases: dict[str, Database] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.databases)
+
+    def names(self) -> list[str]:
+        return list(self.databases)
+
+    def get(self, name: str) -> Database:
+        if name not in self.databases:
+            raise DatasetError(f"database {name!r} is not in the pool")
+        return self.databases[name]
+
+    def __iter__(self):
+        return iter(self.databases.values())
+
+    def items(self):
+        return self.databases.items()
+
+
+def build_database_pool(
+    num_databases: int | None = None,
+    seed: int = 0,
+    rows_scale: float = 1.0,
+) -> SyntheticDatabasePool:
+    """Instantiate the synthetic database pool.
+
+    ``num_databases`` caps the number of generated databases (defaults to all
+    domain variants); ``rows_scale`` scales the per-table row counts, which
+    benchmarks use to shrink or grow workloads.
+    """
+    pool = SyntheticDatabasePool()
+    for domain in DOMAINS:
+        for variant in range(domain.variants):
+            if num_databases is not None and len(pool) >= num_databases:
+                return pool
+            name = domain.name if variant == 0 else f"{domain.name}_{variant + 1}"
+            rng = seeded_rng(derive_seed(seed, "spider", domain.name, variant))
+            pool.databases[name] = _build_database(domain, name, rng, rows_scale)
+    return pool
+
+
+def _build_database(domain: DomainSpec, name: str, rng: np.random.Generator, rows_scale: float) -> Database:
+    tables = [
+        TableSchema(
+            name=spec.name,
+            columns=[Column(column.name, column.ctype) for column in spec.columns],
+            primary_key=spec.primary_key,
+        )
+        for spec in domain.tables
+    ]
+    foreign_keys = [
+        ForeignKey(source_table=src_t, source_column=src_c, target_table=dst_t, target_column=dst_c)
+        for src_t, src_c, dst_t, dst_c in domain.foreign_keys
+    ]
+    schema = DatabaseSchema(name=name, tables=tables, foreign_keys=foreign_keys)
+    database = Database(schema)
+    factory = _ValueFactory(rng)
+    generated: dict[str, list] = {}
+    for spec in domain.tables:
+        num_rows = int(rng.integers(spec.min_rows, spec.max_rows + 1))
+        num_rows = max(3, int(round(num_rows * rows_scale)))
+        rows = []
+        for row_index in range(num_rows):
+            row = {column.name: factory.generate(column, row_index, generated) for column in spec.columns}
+            rows.append(row)
+        database.insert_many(spec.name, rows)
+        for column in spec.columns:
+            generated[f"{spec.name}.{column.name}"] = [row[column.name] for row in rows]
+    return database

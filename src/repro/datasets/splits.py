@@ -1,0 +1,92 @@
+"""Cross-domain data partitioning.
+
+nvBench (and, via its shared databases, FeVisQA) is split *by database*:
+70% of databases for training, 10% for validation and 20% for testing, so
+that test questions are asked against schemas never seen during training.
+This module implements that scheme generically for any example type that
+carries a ``db_id`` attribute, plus a simple instance-level split for the
+table corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import DatasetError
+from repro.utils.rng import seeded_rng
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test example lists."""
+
+    train: list
+    valid: list
+    test: list
+
+    def __post_init__(self):
+        if not self.train:
+            raise DatasetError("the training split is empty")
+
+    def sizes(self) -> dict:
+        return {"train": len(self.train), "valid": len(self.valid), "test": len(self.test)}
+
+    def all_examples(self) -> list:
+        return list(self.train) + list(self.valid) + list(self.test)
+
+
+def cross_domain_split(
+    examples: Sequence,
+    train_fraction: float = 0.7,
+    valid_fraction: float = 0.1,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Split ``examples`` by their ``db_id`` into train/valid/test databases."""
+    if train_fraction <= 0 or valid_fraction < 0 or train_fraction + valid_fraction >= 1:
+        raise DatasetError("invalid split fractions")
+    databases: list[str] = []
+    for example in examples:
+        db_id = getattr(example, "db_id", None)
+        if db_id is None:
+            raise DatasetError("cross_domain_split requires examples with a db_id attribute")
+        if db_id not in databases:
+            databases.append(db_id)
+    if len(databases) < 3:
+        raise DatasetError("cross-domain splitting needs at least 3 distinct databases")
+    rng = seeded_rng(seed)
+    order = list(rng.permutation(len(databases)))
+    shuffled = [databases[index] for index in order]
+    num_train = max(1, int(round(len(shuffled) * train_fraction)))
+    num_valid = max(1, int(round(len(shuffled) * valid_fraction)))
+    if num_train + num_valid >= len(shuffled):
+        num_train = len(shuffled) - num_valid - 1
+        num_train = max(1, num_train)
+    train_dbs = set(shuffled[:num_train])
+    valid_dbs = set(shuffled[num_train : num_train + num_valid])
+    test_dbs = set(shuffled[num_train + num_valid :])
+
+    def bucket(databases_set):
+        return [example for example in examples if example.db_id in databases_set]
+
+    return DatasetSplits(train=bucket(train_dbs), valid=bucket(valid_dbs), test=bucket(test_dbs))
+
+
+def instance_split(
+    examples: Sequence,
+    train_fraction: float = 0.7,
+    valid_fraction: float = 0.1,
+    seed: int = 0,
+) -> DatasetSplits:
+    """Split ``examples`` uniformly at random (used by the table corpora)."""
+    if train_fraction <= 0 or valid_fraction < 0 or train_fraction + valid_fraction >= 1:
+        raise DatasetError("invalid split fractions")
+    rng = seeded_rng(seed)
+    order = list(rng.permutation(len(examples)))
+    shuffled = [examples[index] for index in order]
+    num_train = max(1, int(round(len(shuffled) * train_fraction)))
+    num_valid = max(1, int(round(len(shuffled) * valid_fraction)))
+    train = shuffled[:num_train]
+    valid = shuffled[num_train : num_train + num_valid]
+    test = shuffled[num_train + num_valid :]
+    return DatasetSplits(train=train, valid=valid, test=test)

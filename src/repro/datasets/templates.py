@@ -1,0 +1,117 @@
+"""Natural-language templates for the synthetic nvBench-style corpus.
+
+Real nvBench questions were written by crowd annotators, so they vary in
+phrasing while describing the same DV query.  The generator reproduces that
+variability with several paraphrase templates per query pattern; which
+template is used for a given example is a deterministic function of the
+generator seed.
+"""
+
+from __future__ import annotations
+
+CHART_PHRASES = {
+    "bar": ["a bar chart", "a bar graph", "a histogram"],
+    "pie": ["a pie chart", "a pie graph", "a proportion pie"],
+    "line": ["a line chart", "a line graph", "a trend line"],
+    "scatter": ["a scatter plot", "a scatter chart", "a scatter diagram"],
+    "stacked bar": ["a stacked bar chart", "a stacked bar graph"],
+    "grouping line": ["a grouped line chart", "a multi-series line chart"],
+    "grouping scatter": ["a grouped scatter plot", "a colored scatter chart"],
+}
+
+AGGREGATE_PHRASES = {
+    "count": ["the number of", "how many", "the total count of"],
+    "sum": ["the total", "the sum of", "the combined"],
+    "avg": ["the average", "the mean"],
+    "max": ["the maximum", "the largest", "the highest"],
+    "min": ["the minimum", "the smallest", "the lowest"],
+}
+
+GROUP_COUNT_TEMPLATES = [
+    "Show {agg_phrase} {x_phrase} for each {x_phrase} in the {table_phrase} table with {chart_phrase}{order_phrase}.",
+    "Give me {chart_phrase} about the proportion of {agg_phrase} {x_phrase} in the {table_phrase} table{order_phrase}.",
+    "How many {table_phrase} records are there for each {x_phrase} ? Show {chart_phrase}{order_phrase}.",
+    "Draw {chart_phrase} showing the number of {table_phrase} rows per {x_phrase}{order_phrase}.",
+    "Count the {table_phrase} entries grouped by {x_phrase} and plot {chart_phrase}{order_phrase}.",
+]
+
+GROUP_AGG_TEMPLATES = [
+    "Show {agg_phrase} {y_phrase} for each {x_phrase} in {chart_phrase}{order_phrase}.",
+    "{chart_phrase_cap} of {agg_phrase} {y_phrase} from each {x_phrase}{order_phrase}.",
+    "What is {agg_phrase} {y_phrase} by {x_phrase} ? Visualize with {chart_phrase}{order_phrase}.",
+    "For each {x_phrase} , plot {agg_phrase} {y_phrase} using {chart_phrase}{order_phrase}.",
+    "Compare {agg_phrase} {y_phrase} across different {x_phrase} values with {chart_phrase}{order_phrase}.",
+]
+
+SCATTER_RAW_TEMPLATES = [
+    "Show the relationship between {x_phrase} and {y_phrase} of the {table_phrase} table with {chart_phrase}.",
+    "Plot {y_phrase} against {x_phrase} for all {table_phrase} rows using {chart_phrase}.",
+    "Draw {chart_phrase} of {x_phrase} versus {y_phrase} from the {table_phrase} table.",
+]
+
+SCATTER_AGG_TEMPLATES = [
+    "Just show {agg_phrase} and {agg2_phrase} {y_phrase} of the {table_phrase} in different {x_phrase} using {chart_phrase}.",
+    "Show {agg_phrase} {y_phrase} and {agg2_phrase} {y_phrase} grouped by {x_phrase} with {chart_phrase}.",
+    "Plot {agg_phrase} {y_phrase} against {agg2_phrase} {y_phrase} for each {x_phrase} using {chart_phrase}.",
+]
+
+JOIN_TEMPLATES = [
+    "Show {agg_phrase} {y_phrase} for each {x_phrase} of the {table_phrase} joined with {join_table_phrase} in {chart_phrase}{filter_phrase}{order_phrase}.",
+    "For {table_phrase} records linked to {join_table_phrase} , plot {agg_phrase} {y_phrase} per {x_phrase} with {chart_phrase}{filter_phrase}{order_phrase}.",
+    "{chart_phrase_cap} of {agg_phrase} {y_phrase} by {x_phrase} , combining {table_phrase} and {join_table_phrase}{filter_phrase}{order_phrase}.",
+]
+
+BIN_TEMPLATES = [
+    "Show the number of {table_phrase} records binned by {unit} of {x_phrase} with {chart_phrase}{order_phrase}.",
+    "How does the count of {table_phrase} rows change over the {unit} of {x_phrase} ? Use {chart_phrase}{order_phrase}.",
+    "Plot the number of {table_phrase} entries per {unit} of {x_phrase} using {chart_phrase}{order_phrase}.",
+]
+
+FILTER_PHRASES = [
+    " where {column_phrase} is {value}",
+    " only for rows whose {column_phrase} equals {value}",
+    " restricted to {column_phrase} = {value}",
+]
+
+ORDER_PHRASES = {
+    ("y", "desc"): [
+        " , and display from high to low by the y-axis",
+        " , ranked in descending order of the y-axis",
+        " , and list from high to low",
+    ],
+    ("y", "asc"): [
+        " , and show the y-axis from low to high",
+        " , sorted in ascending order of the y-axis",
+    ],
+    ("x", "desc"): [
+        " , and I want to rank in descending by the x-axis",
+        " , ordered from z to a by the x-axis",
+    ],
+    ("x", "asc"): [
+        " , and order the x-axis in ascending order",
+        " , sorted alphabetically by the x-axis",
+    ],
+}
+
+# Descriptions used as vis-to-text ground truth (one canonical description per
+# query; the paper selects one representative description per DV query).
+DESCRIPTION_TEMPLATES = {
+    "group_count": "{chart_phrase_cap} showing the number of {table_phrase} records for each {x_phrase}{order_description}.",
+    "group_agg": "{chart_phrase_cap} showing {agg_phrase} {y_phrase} for each {x_phrase}{order_description}.",
+    "scatter_raw": "A scatter plot of {y_phrase} against {x_phrase} from the {table_phrase} table.",
+    "scatter_agg": "A scatter plot comparing {agg_phrase} {y_phrase} and {agg2_phrase} {y_phrase} grouped by {x_phrase}.",
+    "join": "{chart_phrase_cap} showing {agg_phrase} {y_phrase} for each {x_phrase} combining {table_phrase} with {join_table_phrase}{filter_description}{order_description}.",
+    "bin": "{chart_phrase_cap} showing the number of {table_phrase} records per {unit} of {x_phrase}{order_description}.",
+}
+
+ORDER_DESCRIPTIONS = {
+    ("y", "desc"): " , with the y-axis from high to low",
+    ("y", "asc"): " , with the y-axis from low to high",
+    ("x", "desc"): " , with the x-axis in descending order",
+    ("x", "asc"): " , with the x-axis in ascending order",
+}
+
+
+def humanize(identifier: str) -> str:
+    """Turn an identifier like ``year_join`` into the phrase ``year join``."""
+    return identifier.replace("_", " ").strip()

@@ -1,0 +1,108 @@
+"""Value pools used by the synthetic data generators.
+
+These lists play the role of the real-world entity values found in Spider /
+nvBench databases and Statista statistic tables.  They are intentionally
+plain ASCII and lowercase-stable so that the standardized encoding (which
+lowercases everything) does not lose information.
+"""
+
+from __future__ import annotations
+
+PERSON_FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "William", "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Daniel", "Nancy", "Matthew", "Lisa",
+]
+
+PERSON_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+]
+
+COUNTRIES = [
+    "United States", "Canada", "Mexico", "Brazil", "Argentina", "United Kingdom",
+    "France", "Germany", "Spain", "Italy", "Netherlands", "Sweden", "Norway",
+    "China", "Japan", "South Korea", "India", "Australia", "New Zealand", "Fiji",
+    "Zimbabwe", "South Africa", "Egypt", "Kenya", "Nigeria",
+]
+
+CITIES = [
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Philadelphia",
+    "San Antonio", "San Diego", "Dallas", "Austin", "London", "Paris", "Berlin",
+    "Madrid", "Rome", "Tokyo", "Seoul", "Beijing", "Sydney", "Toronto",
+]
+
+DEPARTMENTS = [
+    "Engineering", "Marketing", "Sales", "Finance", "Human Resources", "Operations",
+    "Research", "Support", "Legal", "Design",
+]
+
+PRODUCT_CATEGORIES = [
+    "Electronics", "Clothing", "Furniture", "Toys", "Books", "Groceries",
+    "Sports", "Beauty", "Automotive", "Garden",
+]
+
+MAJORS = [
+    "Computer Science", "Mathematics", "Physics", "Biology", "Chemistry",
+    "Economics", "History", "Psychology", "Philosophy", "Engineering",
+]
+
+GENRES = [
+    "Rock", "Pop", "Jazz", "Classical", "Hip Hop", "Country", "Electronic", "Folk",
+]
+
+AIRLINES = [
+    "Skyways", "Aerolink", "Cloudjet", "Starfly", "Bluewing", "Sunair", "Polar Air", "Jetstream",
+]
+
+TEAM_NAMES = [
+    "Columbus Crew", "River Hawks", "Mountain Lions", "Harbor Sharks", "Desert Foxes",
+    "Forest Rangers", "Iron Eagles", "Coastal Waves",
+]
+
+DECOR_STYLES = ["modern", "rustic", "traditional"]
+
+BED_TYPES = ["single", "double", "queen", "king"]
+
+ALLERGY_TYPES = ["food", "animal", "environmental"]
+
+ALLERGIES = ["peanut", "milk", "egg", "soy", "cat", "dog", "pollen", "dust", "mold", "shellfish"]
+
+SOCIAL_NETWORKS = [
+    "Facebook", "Pinterest", "YouTube", "Twitter", "Instagram", "LinkedIn",
+    "Snapchat", "Etsy", "Sephora Community", "WhatsApp",
+]
+
+STATISTIC_TOPICS = [
+    "most popular social networks of beauty consumers",
+    "annual revenue of leading retailers",
+    "number of active users of messaging apps",
+    "market share of smartphone vendors",
+    "average ticket price of major airlines",
+    "monthly rainfall in coastal cities",
+    "electricity consumption by sector",
+    "box office revenue of film studios",
+    "subscriber counts of streaming services",
+    "employment by industry sector",
+    "tourist arrivals by destination country",
+    "coffee consumption per capita by country",
+]
+
+STATISTIC_REGIONS = [
+    "the United States", "Canada", "the United Kingdom", "Germany", "France",
+    "Japan", "Australia", "Brazil", "India", "worldwide",
+]
+
+WIKI_SUBJECTS = [
+    "so ji-sub", "alan turing", "marie curie", "isaac newton", "ada lovelace",
+    "grace hopper", "albert einstein", "nikola tesla", "rosalind franklin", "leonhard euler",
+]
+
+PUBLISHERS = ["sallim", "penguin", "random house", "springer", "oxford press", "cambridge press"]
+
+BOOK_NOTES = ["photo-essays", "memoir", "biography", "textbook", "essay collection", "novel"]
+
+FILM_TYPES = ["Mass human sacrifice", "Mass suicide", "Mass suicide murder", "Natural disaster", "Alien invasion"]
+
+STUDIOS = ["Paramount", "Universal", "Warner", "Columbia", "Lionsgate", "Miramax"]

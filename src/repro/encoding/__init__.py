@@ -1,0 +1,46 @@
+"""DV knowledge encoding (§III-B and §III-C of the paper).
+
+Turns the three kinds of DV knowledge — DV queries, database schemas and
+tables — into the unified, standardized text sequences the model consumes,
+and implements the n-gram database-schema filtration that selects the
+sub-schema referenced by a natural-language question.
+"""
+
+from repro.encoding.schema_encoder import encode_schema
+from repro.encoding.table_encoder import (
+    encode_table,
+    encode_result_table,
+    encode_data_table,
+    encode_mapping_rows,
+)
+from repro.encoding.query_encoder import encode_query
+from repro.encoding.schema_filtration import filter_schema, matched_tables
+from repro.encoding.sequences import (
+    text_to_vis_input,
+    text_to_vis_target,
+    vis_to_text_input,
+    vis_to_text_target,
+    fevisqa_input,
+    fevisqa_target,
+    table_to_text_input,
+    table_to_text_target,
+)
+
+__all__ = [
+    "encode_schema",
+    "encode_table",
+    "encode_result_table",
+    "encode_data_table",
+    "encode_mapping_rows",
+    "encode_query",
+    "filter_schema",
+    "matched_tables",
+    "text_to_vis_input",
+    "text_to_vis_target",
+    "vis_to_text_input",
+    "vis_to_text_target",
+    "fevisqa_input",
+    "fevisqa_target",
+    "table_to_text_input",
+    "table_to_text_target",
+]

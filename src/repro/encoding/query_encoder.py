@@ -1,0 +1,25 @@
+"""Linearization of DV queries.
+
+A DV query is encoded as its standardized canonical text (§III-C treats DV
+queries as flat text sequences; §III-D defines the standardization rules).
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import DatabaseSchema
+from repro.vql.ast import DVQuery
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query
+
+
+def encode_query(query: DVQuery | str, schema: DatabaseSchema | None = None, standardize: bool = True) -> str:
+    """Return the linearized text form of ``query``.
+
+    Accepts either an AST or raw text; raw text is parsed first.  With
+    ``standardize`` (the default) the five normalisation rules are applied.
+    """
+    if isinstance(query, str):
+        query = parse_dv_query(query)
+    if standardize:
+        query = standardize_dv_query(query, schema=schema)
+    return query.to_text()

@@ -1,0 +1,30 @@
+"""Linearization of database schemas.
+
+Following §III-C of the paper, a schema is rendered as::
+
+    | database_name | table1 : table1.col1, table1.col2 | table2 : ...
+
+Column names are qualified with their table (standardized encoding), tables
+are separated by ``|`` and the database name is prefixed with ``|``
+boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import DatabaseSchema, TableSchema
+
+
+def encode_schema(schema: DatabaseSchema, qualify_columns: bool = True) -> str:
+    """Return the linearized text form of ``schema``."""
+    parts = [f"| {schema.name}"]
+    for table in schema.tables:
+        parts.append(f"| {_encode_table_schema(table, qualify_columns)}")
+    return " ".join(parts)
+
+
+def _encode_table_schema(table: TableSchema, qualify_columns: bool) -> str:
+    if qualify_columns:
+        columns = ", ".join(f"{table.name}.{column.name}" for column in table.columns)
+    else:
+        columns = ", ".join(column.name for column in table.columns)
+    return f"{table.name} : {columns}"

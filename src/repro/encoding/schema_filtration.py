@@ -1,0 +1,69 @@
+"""Database-schema filtration by n-gram matching (§III-B of the paper).
+
+Natural-language questions mention tables, columns and cell values of the
+database they are asked against.  Before encoding, the paper compares the
+n-grams of the question with those of the schema at the *table level* and
+keeps only the implicated tables (plus all of their columns), producing a
+sub-schema that is both smaller and semantically aligned with the question.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import DatabaseSchema, TableSchema
+from repro.utils.text import ngrams, tokenize_words
+
+
+def matched_tables(question: str, schema: DatabaseSchema, max_ngram: int = 3) -> list[str]:
+    """Names of schema tables whose n-grams overlap with the question's.
+
+    A table matches when its name, any of its column names, or any n-gram of
+    those identifiers (with underscores treated as spaces) appears among the
+    question's n-grams.  Matching is case-insensitive.
+    """
+    question_tokens = tokenize_words(question)
+    question_grams: set[tuple[str, ...]] = set()
+    for n in range(1, max_ngram + 1):
+        question_grams.update(ngrams(question_tokens, n))
+    question_text = " ".join(question_tokens)
+
+    matches: list[str] = []
+    for table in schema.tables:
+        if _table_matches(table, question_grams, question_text):
+            matches.append(table.name)
+    return matches
+
+
+def filter_schema(question: str, schema: DatabaseSchema, max_ngram: int = 3) -> DatabaseSchema:
+    """Return the sub-schema of ``schema`` implicated by ``question``.
+
+    Falls back to the full schema when nothing matches (so downstream encoders
+    always have something to work with), mirroring the paper's goal of
+    minimising information loss.
+    """
+    matches = matched_tables(question, schema, max_ngram=max_ngram)
+    if not matches:
+        return schema
+    return schema.subschema(matches)
+
+
+def _identifier_variants(identifier: str) -> list[str]:
+    """Textual variants of an identifier: raw, underscores as spaces, squashed."""
+    lowered = identifier.lower()
+    return [lowered, lowered.replace("_", " "), lowered.replace("_", "")]
+
+
+def _table_matches(table: TableSchema, question_grams: set[tuple[str, ...]], question_text: str) -> bool:
+    identifiers = [table.name] + table.column_names()
+    for identifier in identifiers:
+        for variant in _identifier_variants(identifier):
+            variant_tokens = tuple(tokenize_words(variant))
+            if not variant_tokens:
+                continue
+            if variant_tokens in question_grams:
+                return True
+            if len(variant_tokens) == 1 and variant in question_text.split():
+                return True
+            # Substring match catches singular/plural drift ("countries" vs "country").
+            if len(variant) > 3 and variant in question_text:
+                return True
+    return False

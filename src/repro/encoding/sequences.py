@@ -1,0 +1,84 @@
+"""Task input/output sequence construction.
+
+Every downstream task (and the bidirectional dual-corpus pre-training
+objective) consumes sequences assembled from modality-tagged segments, e.g.::
+
+    <NL> what are the ids ... <schema> | db | table : table.col, ...
+
+for text-to-vis inputs.  This module centralises the assembly so training,
+evaluation and the examples all produce byte-identical formats.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import DatabaseSchema
+from repro.encoding.query_encoder import encode_query
+from repro.encoding.schema_encoder import encode_schema
+from repro.tokenization.special_tokens import (
+    ANSWER_TAG,
+    NL_TAG,
+    QUESTION_TAG,
+    SCHEMA_TAG,
+    TABLE_TAG,
+    VQL_TAG,
+)
+from repro.utils.text import normalize_whitespace
+from repro.vql.ast import DVQuery
+
+
+def text_to_vis_input(question: str, schema: DatabaseSchema | str) -> str:
+    """``<NL> question <schema> schema`` — the text-to-vis source sequence."""
+    schema_text = schema if isinstance(schema, str) else encode_schema(schema)
+    return normalize_whitespace(f"{NL_TAG} {question} {SCHEMA_TAG} {schema_text}")
+
+
+def text_to_vis_target(query: DVQuery | str, schema: DatabaseSchema | None = None) -> str:
+    """``<VQL> query`` — the text-to-vis target sequence."""
+    return normalize_whitespace(f"{VQL_TAG} {encode_query(query, schema=schema)}")
+
+
+def vis_to_text_input(query: DVQuery | str, schema: DatabaseSchema | str | None = None) -> str:
+    """``<VQL> query <schema> schema`` — the vis-to-text source sequence."""
+    parts = [VQL_TAG, encode_query(query)]
+    if schema is not None:
+        schema_text = schema if isinstance(schema, str) else encode_schema(schema)
+        parts.extend([SCHEMA_TAG, schema_text])
+    return normalize_whitespace(" ".join(parts))
+
+
+def vis_to_text_target(description: str) -> str:
+    """``<NL> description`` — the vis-to-text target sequence."""
+    return normalize_whitespace(f"{NL_TAG} {description}")
+
+
+def fevisqa_input(
+    question: str,
+    query: DVQuery | str | None = None,
+    schema: DatabaseSchema | str | None = None,
+    table: str | None = None,
+) -> str:
+    """``<Question> q <VQL> query <schema> schema <Table> table`` — the FeVisQA source."""
+    parts = [QUESTION_TAG, question]
+    if query is not None:
+        parts.extend([VQL_TAG, encode_query(query)])
+    if schema is not None:
+        schema_text = schema if isinstance(schema, str) else encode_schema(schema)
+        parts.extend([SCHEMA_TAG, schema_text])
+    if table is not None:
+        parts.extend([TABLE_TAG, table])
+    return normalize_whitespace(" ".join(parts))
+
+
+def fevisqa_target(answer: str) -> str:
+    """``<Answer> answer`` — the FeVisQA target sequence."""
+    return normalize_whitespace(f"{ANSWER_TAG} {answer}")
+
+
+def table_to_text_input(table: str) -> str:
+    """``<Table> linearized-table`` — the table-to-text source sequence."""
+    return normalize_whitespace(f"{TABLE_TAG} {table}")
+
+
+def table_to_text_target(description: str) -> str:
+    """``<NL> description`` — the table-to-text target sequence."""
+    return normalize_whitespace(f"{NL_TAG} {description}")

@@ -1,0 +1,62 @@
+"""Linearization of tables.
+
+Following the TAPAS-style encoding used by the paper, a table becomes::
+
+    | col : c1 | c2 | ... row 1 : v11 | v12 | ... row 2 : ...
+
+An optional title is prepended (Chart2Text statistic tables carry one).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.database.executor import ResultTable
+from repro.database.table import DataTable
+
+
+def encode_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Linearize an arbitrary columns/rows table."""
+    parts: list[str] = []
+    if title:
+        parts.append(title.strip())
+    parts.append("| col : " + " | ".join(str(column) for column in columns))
+    limit = len(rows) if max_rows is None else min(max_rows, len(rows))
+    for index in range(limit):
+        values = " | ".join(_render_cell(value) for value in rows[index])
+        parts.append(f"row {index + 1} : {values}")
+    return " ".join(parts)
+
+
+def encode_result_table(result: ResultTable, title: str | None = None, max_rows: int | None = None) -> str:
+    """Linearize a query :class:`ResultTable`."""
+    return encode_table(result.columns, result.rows, title=title, max_rows=max_rows)
+
+
+def encode_data_table(table: DataTable, title: str | None = None, max_rows: int | None = None) -> str:
+    """Linearize a stored :class:`DataTable` (qualified column names)."""
+    columns = [f"{table.name}.{column}" for column in table.schema.column_names()]
+    rows = [[row[column] for column in table.schema.column_names()] for row in table.rows()]
+    return encode_table(columns, rows, title=title, max_rows=max_rows)
+
+
+def encode_mapping_rows(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Linearize a list of dict rows (columns taken from the first row)."""
+    if not rows:
+        return "| col :"
+    columns = list(rows[0].keys())
+    values = [[row.get(column) for column in columns] for row in rows]
+    return encode_table(columns, values, title=title)
+
+
+def _render_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

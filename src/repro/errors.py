@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Keeping all exceptions in one module lets downstream code catch the broad
+:class:`ReproError` when it only cares about "something inside the library
+failed", while tests and callers that need precision can catch the specific
+subclass raised by the relevant subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class VQLSyntaxError(ReproError):
+    """Raised when a DV query cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class VQLValidationError(ReproError):
+    """Raised when a syntactically valid DV query is inconsistent with a schema."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed database schemas (duplicate tables, unknown columns...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the relational engine cannot execute a DV query."""
+
+
+class TokenizationError(ReproError):
+    """Raised when text cannot be encoded or decoded by the tokenizer."""
+
+
+class ModelConfigError(ReproError):
+    """Raised for invalid neural-network or training configuration."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic corpus cannot be generated or partitioned."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation harness receives inconsistent inputs."""

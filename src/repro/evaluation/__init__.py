@@ -1,0 +1,35 @@
+"""Evaluation harness: task runners, the experiment registry keyed by paper
+table/figure, case studies and report formatting."""
+
+from repro.evaluation.tasks import TaskCorpora, build_task_corpora, strip_modality_tags
+from repro.evaluation.evaluator import (
+    evaluate_text_to_vis_model,
+    evaluate_generation_model,
+    evaluate_predictions,
+)
+from repro.evaluation.experiments import (
+    ExperimentScale,
+    ExperimentSuite,
+    table01_nvbench_statistics,
+    table02_table_corpora_statistics,
+    table03_fevisqa_statistics,
+)
+from repro.evaluation.reports import format_table, format_metric_row
+from repro.evaluation import case_studies
+
+__all__ = [
+    "TaskCorpora",
+    "build_task_corpora",
+    "strip_modality_tags",
+    "evaluate_text_to_vis_model",
+    "evaluate_generation_model",
+    "evaluate_predictions",
+    "ExperimentScale",
+    "ExperimentSuite",
+    "table01_nvbench_statistics",
+    "table02_table_corpora_statistics",
+    "table03_fevisqa_statistics",
+    "format_table",
+    "format_metric_row",
+    "case_studies",
+]

@@ -1,0 +1,208 @@
+"""Case studies: the qualitative examples of Tables V, VII, IX, X, XI and Figures 6-9.
+
+Each case study builds the same *kind* of scenario the paper shows — same
+database domain, same query structure, same question types — over the
+synthetic databases, renders the charts/tables as ASCII and (optionally)
+collects predictions from a dictionary of systems.  When no systems are
+passed, lightweight no-training baselines are used so the case studies run in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.charts.chart import build_chart
+from repro.charts.properties import chart_properties
+from repro.charts.render import render_ascii_chart, render_table
+from repro.charts.vegalite import to_vega_lite
+from repro.database.executor import execute_query
+from repro.datasets.spider import SyntheticDatabasePool, build_database_pool
+from repro.encoding.schema_encoder import encode_schema
+from repro.encoding.sequences import fevisqa_input, table_to_text_input, vis_to_text_input
+from repro.encoding.table_encoder import encode_result_table, encode_table
+from repro.evaluation.tasks import strip_modality_tags
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query
+
+
+def _default_pool() -> SyntheticDatabasePool:
+    return build_database_pool(seed=0)
+
+
+def _database_for(pool: SyntheticDatabasePool | None, name: str):
+    """Fetch ``name`` from ``pool``, falling back to the full default pool.
+
+    Case studies need specific domains (inn, allergy, film_rank); a caller may
+    pass a truncated pool that lacks them, in which case the canonical
+    database is generated on the fly.
+    """
+    if pool is not None and name in pool.names():
+        return pool.get(name)
+    return _default_pool().get(name)
+
+
+def _predict_all(systems: Mapping[str, Callable[[str], str]] | None, source: str) -> dict[str, str]:
+    predictions: dict[str, str] = {}
+    if not systems:
+        return predictions
+    for name, system in systems.items():
+        predict = getattr(system, "predict", system)
+        predictions[name] = strip_modality_tags(str(predict(source)))
+    return predictions
+
+
+# -- Table V / Figure 6: text-to-vis ------------------------------------------------------------
+
+
+def text_to_vis_case_study(pool: SyntheticDatabasePool | None = None, systems: Mapping | None = None) -> dict:
+    """The inn/rooms scenario: average and minimum room price per decor as a scatter.
+
+    Mirrors the paper's Table V question "Just show the average and minimum
+    price of the rooms in different decor using a scatter." and Figure 6.
+    """
+    database = _database_for(pool, "inn")
+    question = "Just show the average and minimum price of the rooms in different decor using a scatter ."
+    gold = standardize_dv_query(
+        parse_dv_query(
+            "visualize scatter select avg(rooms.baseprice), min(rooms.baseprice) from rooms group by rooms.decor"
+        ),
+        schema=database.schema,
+    )
+    result = execute_query(gold, database)
+    chart = build_chart(gold, result=result)
+    study = {
+        "question": question,
+        "db_id": database.name,
+        "schema": encode_schema(database.schema),
+        "ground_truth": gold.to_text(),
+        "result_table": render_table(result, title="execution result"),
+        "chart": render_ascii_chart(chart),
+        "vega_lite": to_vega_lite(gold),
+        "predictions": {},
+    }
+    if systems:
+        for name, system in systems.items():
+            predicted = system.predict(question, database.schema)
+            entry = {"query": predicted}
+            try:
+                predicted_query = parse_dv_query(predicted)
+                predicted_result = execute_query(predicted_query, database)
+                entry["chart"] = render_ascii_chart(build_chart(predicted_query, result=predicted_result))
+                entry["matches_ground_truth"] = predicted_query.to_text() == gold.to_text()
+            except Exception as error:
+                entry["chart"] = f"[not executable: {type(error).__name__}]"
+                entry["matches_ground_truth"] = False
+            study["predictions"][name] = entry
+    return study
+
+
+# -- Table VII / Figure 7: vis-to-text ------------------------------------------------------------
+
+
+def vis_to_text_case_study(pool: SyntheticDatabasePool | None = None, systems: Mapping | None = None) -> dict:
+    """The allergy scenario: counting students without a food allergy, bar chart.
+
+    Mirrors Table VII's DV query (with a NOT IN subquery) and Figure 7.
+    """
+    database = _database_for(pool, "allergy")
+    query_text = (
+        "visualize bar select student.lname, count(student.lname) from student "
+        "where student.stuid not in (select has_allergy.stuid from has_allergy "
+        "join allergy_type on has_allergy.allergy = allergy_type.allergy "
+        "where allergy_type.allergytype = 'food') "
+        "group by student.lname order by count(student.lname) asc"
+    )
+    query = standardize_dv_query(parse_dv_query(query_text), schema=database.schema)
+    result = execute_query(query, database)
+    chart = build_chart(query, result=result)
+    ground_truth = (
+        "List the last name of the students who do not have any food type allergy and count them "
+        "in a bar chart , show y-axis from low to high order ."
+    )
+    source = vis_to_text_input(query, database.schema)
+    return {
+        "db_id": database.name,
+        "query": query.to_text(),
+        "schema": encode_schema(database.schema),
+        "ground_truth": ground_truth,
+        "chart": render_ascii_chart(chart),
+        "source": source,
+        "predictions": _predict_all(systems, source),
+    }
+
+
+# -- Table IX / X / Figure 8: FeVisQA ----------------------------------------------------------------
+
+
+def fevisqa_case_study(pool: SyntheticDatabasePool | None = None, systems: Mapping | None = None) -> dict:
+    """The film_rank scenario: film types joined with market estimations, four DV questions.
+
+    Mirrors Table IX's input formats, Figure 8's chart/table and Table X's QA.
+    """
+    database = _database_for(pool, "film_rank")
+    query_text = (
+        "visualize bar select film_market_estimation.type, count(film_market_estimation.type) "
+        "from film_market_estimation join film on film_market_estimation.film_id = film.film_id "
+        "group by film_market_estimation.type order by film_market_estimation.type asc"
+    )
+    query = standardize_dv_query(parse_dv_query(query_text), schema=database.schema)
+    result = execute_query(query, database)
+    chart = build_chart(query, result=result)
+    properties = chart_properties(chart)
+    table_text = encode_result_table(result)
+    questions = [
+        ("Is any equal value of y-axis in the chart ?", "Yes" if properties.has_duplicate_values else "No"),
+        ("How many parts are there in the chart ?", str(properties.num_parts)),
+        ("What is the value of the smallest part in the chart ?", _number(properties.min_value)),
+        (f"What is the total number of {chart.y_label} ?", _number(properties.total)),
+    ]
+    qa_rows = []
+    for question, answer in questions:
+        source = fevisqa_input(question, query=query, schema=database.schema, table=table_text)
+        qa_rows.append(
+            {
+                "question": question,
+                "ground_truth": answer,
+                "source": source,
+                "predictions": _predict_all(systems, source),
+            }
+        )
+    return {
+        "db_id": database.name,
+        "query": query.to_text(),
+        "schema": encode_schema(database.schema),
+        "table": table_text,
+        "result_table": render_table(result, title="execution result"),
+        "chart": render_ascii_chart(chart),
+        "qa": qa_rows,
+    }
+
+
+# -- Table XI / Figure 9: table-to-text ----------------------------------------------------------------
+
+
+def table_to_text_case_study(systems: Mapping | None = None) -> dict:
+    """The so ji-sub book-table scenario of Table XI / Figure 9."""
+    columns = ["subjtitle", "subjsubtitle", "year", "english title", "publisher", "notes"]
+    rows = [["so ji-sub", "books", 2010, "so ji-sub's journey", "sallim", "photo-essays"]]
+    ground_truth = "Sallim was the publisher of so ji-sub's journey in 2010 ."
+    table_text = encode_table(columns, rows)
+    source = table_to_text_input(table_text)
+    return {
+        "columns": columns,
+        "rows": rows,
+        "table": table_text,
+        "rendered_table": render_table(type("R", (), {"columns": columns, "rows": [tuple(rows[0])]})()),
+        "ground_truth": ground_truth,
+        "source": source,
+        "predictions": _predict_all(systems, source),
+    }
+
+
+def _number(value) -> str:
+    if value is None:
+        return "unknown"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.2f}"

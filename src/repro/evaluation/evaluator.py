@@ -1,0 +1,68 @@
+"""Task evaluators: run a model over a test split and compute the paper's metrics."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
+from repro.core.model import DataVisT5
+from repro.datasets.corpus import Seq2SeqExample
+from repro.datasets.nvbench import NvBenchExample
+from repro.datasets.spider import SyntheticDatabasePool
+from repro.encoding.sequences import text_to_vis_input
+from repro.evaluation.tasks import strip_modality_tags
+from repro.metrics.aggregate import GenerationMetrics, evaluate_generation
+from repro.metrics.exact_match import ExactMatchResult, corpus_exact_match
+
+
+def evaluate_text_to_vis_model(
+    model: TextToVisBaseline | DataVisT5 | Callable[[str], str],
+    examples: Sequence[NvBenchExample],
+    pool: SyntheticDatabasePool,
+) -> ExactMatchResult:
+    """Evaluate a text-to-vis system with the EM metric family.
+
+    ``model`` may be a :class:`TextToVisBaseline`, a :class:`DataVisT5`
+    (fed the standard ``<NL> ... <schema> ...`` input) or any callable from
+    source text to predicted query text.
+    """
+    predictions: list[str] = []
+    references: list[str] = []
+    for example in examples:
+        schema = pool.get(example.db_id).schema
+        if isinstance(model, TextToVisBaseline):
+            predicted = model.predict(example.question, schema)
+        elif isinstance(model, DataVisT5):
+            predicted = model.predict(text_to_vis_input(example.question, schema))
+        else:
+            predicted = model(text_to_vis_input(example.question, schema))
+        predictions.append(strip_modality_tags(predicted))
+        references.append(example.query_text)
+    return corpus_exact_match(predictions, references)
+
+
+def evaluate_generation_model(
+    model: TextGenerationBaseline | DataVisT5 | Callable[[str], str],
+    examples: Sequence[Seq2SeqExample],
+) -> GenerationMetrics:
+    """Evaluate a generation system (vis-to-text / FeVisQA / table-to-text)."""
+    predictions: list[str] = []
+    references: list[str] = []
+    for example in examples:
+        if isinstance(model, TextGenerationBaseline):
+            predicted = model.predict(example.source)
+        elif isinstance(model, DataVisT5):
+            predicted = model.predict(example.source)
+        else:
+            predicted = model(example.source)
+        predictions.append(strip_modality_tags(predicted))
+        references.append(strip_modality_tags(example.target))
+    return evaluate_generation(predictions, references)
+
+
+def evaluate_predictions(predictions: Sequence[str], references: Sequence[str]) -> GenerationMetrics:
+    """Metric bundle for pre-computed predictions (tags stripped on both sides)."""
+    return evaluate_generation(
+        [strip_modality_tags(p) for p in predictions],
+        [strip_modality_tags(r) for r in references],
+    )

@@ -1,0 +1,514 @@
+"""Experiment registry: one entry point per table of the paper's evaluation.
+
+The :class:`ExperimentSuite` owns the synthetic corpora and a cache of trained
+models, and exposes ``table04_rows`` / ``table06_rows`` / ``table08_rows`` /
+``table12_rows`` methods whose output rows mirror the corresponding paper
+tables.  The dataset statistics tables (I-III) are plain functions because
+they need no training.
+
+Scale presets keep the numpy training loops tractable: the default ``smoke``
+scale runs the whole suite in minutes on a CPU, while ``paper`` uses larger
+corpora and models for closer-to-paper behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.heuristics import ZeroShotHeuristicGeneration
+from repro.baselines.ncnet import NcNetTextToVis
+from repro.baselines.neural import (
+    NeuralTextGeneration,
+    Seq2SeqTextGeneration,
+    Seq2VisBaseline,
+    TransformerTextToVis,
+    warm_start_on_queries,
+)
+from repro.baselines.retrieval import FewShotRetrievalTextToVis, RetrievalTextToVis
+from repro.baselines.template import RuleBasedTextToVis
+from repro.core.config import DataVisT5Config, TrainingConfig
+from repro.core.finetuning import MultiTaskFineTuner, SingleTaskFineTuner
+from repro.core.model import DataVisT5
+from repro.core.pretraining import HybridPretrainer
+from repro.datasets.chart2text import generate_chart2text
+from repro.datasets.corpus import PretrainingCorpus, build_pretraining_corpus
+from repro.datasets.fevisqa import generate_fevisqa
+from repro.datasets.nvbench import generate_nvbench
+from repro.datasets.spider import build_database_pool
+from repro.datasets.wikitabletext import generate_wikitabletext
+from repro.evaluation.evaluator import evaluate_generation_model, evaluate_text_to_vis_model
+from repro.evaluation.tasks import TaskCorpora, build_task_corpora
+from repro.utils.rng import derive_seed
+
+
+# -- dataset statistics (Tables I-III) ----------------------------------------------------
+
+
+def table01_nvbench_statistics(
+    examples_per_database: int = 20,
+    num_databases: int | None = None,
+    seed: int = 0,
+) -> dict[str, dict]:
+    """Per-split nvBench statistics (the paper's Table I)."""
+    from repro.datasets.splits import cross_domain_split
+
+    pool = build_database_pool(num_databases=num_databases, seed=seed)
+    nvbench = generate_nvbench(pool, examples_per_database=examples_per_database, seed=seed)
+    splits = cross_domain_split(nvbench.examples, seed=seed)
+    rows: dict[str, dict] = {}
+    for split_name, examples in (("train", splits.train), ("valid", splits.valid), ("test", splits.test)):
+        databases = {example.db_id for example in examples}
+        without_join = [example for example in examples if not example.has_join]
+        rows[split_name] = {
+            "instances_without_join": len(without_join),
+            "instances": len(examples),
+            "databases_without_join": len({example.db_id for example in without_join}),
+            "databases": len(databases),
+        }
+    rows["total"] = {
+        "instances_without_join": sum(rows[s]["instances_without_join"] for s in ("train", "valid", "test")),
+        "instances": len(nvbench.examples),
+        "databases_without_join": len({e.db_id for e in nvbench.examples if not e.has_join}),
+        "databases": len(nvbench.database_ids()),
+    }
+    return rows
+
+
+def table02_table_corpora_statistics(
+    num_chart2text: int = 300,
+    num_wikitabletext: int = 300,
+    seed: int = 0,
+) -> dict[str, dict]:
+    """Chart2Text / WikiTableText statistics (the paper's Table II)."""
+    from repro.datasets.splits import instance_split
+
+    chart2text = generate_chart2text(num_chart2text, seed=seed)
+    wikitabletext = generate_wikitabletext(num_wikitabletext, seed=seed)
+    chart_splits = instance_split(chart2text.examples, seed=seed)
+    wiki_splits = instance_split(wikitabletext.examples, seed=seed)
+    return {
+        "chart2text": {
+            "train": len(chart_splits.train),
+            "valid": len(chart_splits.valid),
+            "test": len(chart_splits.test),
+            **chart2text.cell_statistics(),
+        },
+        "wikitabletext": {
+            "train": len(wiki_splits.train),
+            "valid": len(wiki_splits.valid),
+            "test": len(wiki_splits.test),
+            **wikitabletext.cell_statistics(),
+        },
+    }
+
+
+def table03_fevisqa_statistics(
+    examples_per_database: int = 20,
+    num_databases: int | None = None,
+    seed: int = 0,
+) -> dict[str, dict]:
+    """FeVisQA statistics (the paper's Table III)."""
+    from repro.datasets.splits import cross_domain_split
+
+    pool = build_database_pool(num_databases=num_databases, seed=seed)
+    nvbench = generate_nvbench(pool, examples_per_database=examples_per_database, seed=seed)
+    fevisqa = generate_fevisqa(nvbench, seed=seed)
+    splits = cross_domain_split(fevisqa.examples, seed=seed)
+    rows: dict[str, dict] = {}
+    for split_name, examples in (("train", splits.train), ("valid", splits.valid), ("test", splits.test)):
+        rows[split_name] = {
+            "databases": len({example.db_id for example in examples}),
+            "qa_pairs": len(examples),
+            "dv_queries": len({example.query_text for example in examples}),
+            "type_1": sum(1 for e in examples if e.question_type == 1),
+            "type_2": sum(1 for e in examples if e.question_type == 2),
+            "type_3": sum(1 for e in examples if e.question_type == 3),
+        }
+    rows["total"] = fevisqa.statistics()
+    return rows
+
+
+# -- experiment scales -----------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentScale:
+    """Knobs bounding corpus sizes and training budgets."""
+
+    name: str = "smoke"
+    num_databases: int | None = 10
+    examples_per_database: int = 12
+    num_chart2text: int = 60
+    num_wikitabletext: int = 60
+    max_fevisqa: int | None = 400
+    max_test_examples: int = 24
+    max_train_examples: int | None = 160
+    small_preset: str = "tiny"
+    large_preset: str = "base"
+    pretrain_epochs: int = 1
+    finetune_epochs: int = 2
+    batch_size: int = 8
+    learning_rate: float = 5e-3
+    include_large_models: bool = False
+    max_vocab_size: int = 2500
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """A larger configuration for closer-to-paper behaviour (slower)."""
+        return cls(
+            name="paper",
+            num_databases=None,
+            examples_per_database=40,
+            num_chart2text=200,
+            num_wikitabletext=200,
+            max_fevisqa=1500,
+            max_test_examples=60,
+            max_train_examples=None,
+            small_preset="base",
+            large_preset="large",
+            pretrain_epochs=3,
+            finetune_epochs=4,
+            include_large_models=True,
+            max_vocab_size=6000,
+        )
+
+
+# -- the suite -------------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentSuite:
+    """Builds corpora once and trains/evaluates every system of the evaluation section."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale.smoke)
+    seed: int = 0
+
+    def __post_init__(self):
+        self._corpora: TaskCorpora | None = None
+        self._pretraining_corpus: PretrainingCorpus | None = None
+        self._model_cache: dict[str, DataVisT5] = {}
+
+    # -- shared artefacts -------------------------------------------------------------
+    @property
+    def corpora(self) -> TaskCorpora:
+        if self._corpora is None:
+            self._corpora = build_task_corpora(
+                num_databases=self.scale.num_databases,
+                examples_per_database=self.scale.examples_per_database,
+                num_chart2text=self.scale.num_chart2text,
+                num_wikitabletext=self.scale.num_wikitabletext,
+                max_fevisqa=self.scale.max_fevisqa,
+                max_test_examples=self.scale.max_test_examples,
+                seed=self.seed,
+            )
+            if self.scale.max_train_examples is not None:
+                for task, pairs in self._corpora.train_pairs.items():
+                    self._corpora.train_pairs[task] = pairs[: self.scale.max_train_examples]
+        return self._corpora
+
+    @property
+    def pretraining_corpus(self) -> PretrainingCorpus:
+        if self._pretraining_corpus is None:
+            nvbench_train, chart_train, wiki_train, fevisqa_train, pool = self.corpora.pretraining_inputs()
+            if self.scale.max_train_examples is not None:
+                nvbench_train = nvbench_train[: self.scale.max_train_examples]
+                fevisqa_train = fevisqa_train[: self.scale.max_train_examples]
+            self._pretraining_corpus = build_pretraining_corpus(
+                nvbench_train, chart_train, wiki_train, fevisqa_train, pool
+            )
+        return self._pretraining_corpus
+
+    def training_config(self, num_epochs: int | None = None, **overrides) -> TrainingConfig:
+        return TrainingConfig(
+            learning_rate=overrides.pop("learning_rate", self.scale.learning_rate),
+            batch_size=overrides.pop("batch_size", self.scale.batch_size),
+            num_epochs=num_epochs or self.scale.finetune_epochs,
+            seed=overrides.pop("seed", self.seed),
+            **overrides,
+        )
+
+    def model_config(self, preset: str | None = None) -> DataVisT5Config:
+        return DataVisT5Config.from_preset(
+            preset or self.scale.small_preset,
+            max_input_length=128,
+            max_target_length=64,
+            max_decode_length=64,
+            seed=self.seed,
+        )
+
+    # -- DataVisT5 variants ---------------------------------------------------------------
+    def fresh_model(self, preset: str | None = None) -> DataVisT5:
+        """An untrained DataVisT5 whose vocabulary covers the pre-training corpus."""
+        return DataVisT5.from_corpus(
+            self.pretraining_corpus.all_texts(),
+            config=self.model_config(preset),
+            max_vocab_size=self.scale.max_vocab_size,
+        )
+
+    def pretrained_model(self, preset: str | None = None, use_bdc: bool = True) -> DataVisT5:
+        """A hybrid-pretrained DataVisT5 (cached per preset / objective choice)."""
+        key = f"pretrained:{preset or self.scale.small_preset}:bdc={use_bdc}"
+        if key not in self._model_cache:
+            model = self.fresh_model(preset)
+            corpus = self.pretraining_corpus
+            if not use_bdc:
+                corpus = PretrainingCorpus(bdc_pairs=[], mlm_texts=list(corpus.mlm_texts) or [""])
+            config = self.training_config(num_epochs=self.scale.pretrain_epochs)
+            if corpus.bdc_pairs or corpus.mlm_texts:
+                HybridPretrainer(model, corpus, config).train()
+            self._model_cache[key] = model
+        return self._clone_with_weights(self._model_cache[key])
+
+    def datavist5_mft(self, preset: str | None = None, use_bdc: bool = True, use_temperature: bool = True) -> DataVisT5:
+        """The full DataVisT5 recipe: hybrid pre-training then multi-task fine-tuning."""
+        key = f"mft:{preset or self.scale.small_preset}:bdc={use_bdc}:temp={use_temperature}"
+        if key not in self._model_cache:
+            model = self.pretrained_model(preset, use_bdc=use_bdc)
+            tuner = MultiTaskFineTuner(
+                model,
+                self.corpora.train_pairs,
+                self.training_config(),
+                use_temperature_mixing=use_temperature,
+            )
+            tuner.train()
+            self._model_cache[key] = model
+        return self._model_cache[key]
+
+    def datavist5_sft(self, task: str, preset: str | None = None) -> DataVisT5:
+        """DataVisT5 pre-training followed by single-task fine-tuning on ``task``."""
+        key = f"sft:{preset or self.scale.small_preset}:{task}"
+        if key not in self._model_cache:
+            model = self.pretrained_model(preset)
+            SingleTaskFineTuner(model, self.corpora.train_pairs[task], self.training_config()).train()
+            self._model_cache[key] = model
+        return self._model_cache[key]
+
+    def codet5_sft(self, task: str, preset: str | None = None) -> DataVisT5:
+        """CodeT5+-analogue: code-style warm start then single-task fine-tuning."""
+        key = f"codet5:{preset or self.scale.small_preset}:{task}"
+        if key not in self._model_cache:
+            model = self.fresh_model(preset)
+            query_texts = [example.query_text for example in self.corpora.nvbench_splits.train]
+            warm_start_on_queries(model, query_texts, seed=derive_seed(self.seed, "codet5"))
+            SingleTaskFineTuner(model, self.corpora.train_pairs[task], self.training_config()).train()
+            self._model_cache[key] = model
+        return self._model_cache[key]
+
+    def t5_sft(self, task: str, preset: str | None = None) -> DataVisT5:
+        """Plain T5 analogue: no warm start, single-task fine-tuning only."""
+        key = f"t5:{preset or self.scale.small_preset}:{task}"
+        if key not in self._model_cache:
+            model = self.fresh_model(preset)
+            SingleTaskFineTuner(model, self.corpora.train_pairs[task], self.training_config()).train()
+            self._model_cache[key] = model
+        return self._model_cache[key]
+
+    def _clone_with_weights(self, model: DataVisT5) -> DataVisT5:
+        clone = model.clone_architecture()
+        clone.copy_weights_from(model)
+        return clone
+
+    # -- Table IV: text-to-vis ---------------------------------------------------------------
+    def table04_rows(self, include_llm_analogues: bool = True) -> list[dict]:
+        """Text-to-vis comparison on the non-join and join subsets of the test split."""
+        corpora = self.corpora
+        test_without_join = [e for e in corpora.nvbench_splits.test if not e.has_join][: self.scale.max_test_examples]
+        test_with_join = [e for e in corpora.nvbench_splits.test if e.has_join][: self.scale.max_test_examples]
+        train = corpora.nvbench_splits.train
+        if self.scale.max_train_examples is not None:
+            train = train[: self.scale.max_train_examples]
+        pool = corpora.pool
+
+        systems: list[tuple[str, str, object]] = [
+            ("Seq2Vis", "-", Seq2VisBaseline(training=self.training_config())),
+            ("Transformer", "-", TransformerTextToVis(self.model_config(), self.training_config())),
+            ("ncNet", "-", NcNetTextToVis(self.model_config(), self.training_config())),
+            ("RGVisNet", "-", RetrievalTextToVis(revise=True)),
+            (
+                "CodeT5+ (small)",
+                "+SFT",
+                TransformerTextToVis(self.model_config(), self.training_config(), warm_start="queries"),
+            ),
+        ]
+        if include_llm_analogues:
+            systems.extend(
+                [
+                    ("GPT-4 (5-shot)", "+Similarity", FewShotRetrievalTextToVis()),
+                    (
+                        "Llama2 analogue",
+                        "+LoRA",
+                        TransformerTextToVis(self.model_config(), self.training_config(), warm_start="text", lora_style=True),
+                    ),
+                    (
+                        "Mistral analogue",
+                        "+LoRA",
+                        TransformerTextToVis(
+                            self.model_config(),
+                            self.training_config(seed=derive_seed(self.seed, "mistral")),
+                            warm_start="text",
+                            lora_style=True,
+                        ),
+                    ),
+                ]
+            )
+        if self.scale.include_large_models:
+            systems.append(
+                (
+                    "CodeT5+ (large)",
+                    "+SFT",
+                    TransformerTextToVis(self.model_config(self.scale.large_preset), self.training_config(), warm_start="queries"),
+                )
+            )
+
+        rows: list[dict] = []
+        for name, setting, system in systems:
+            system.fit(train, pool)
+            rows.append(self._text_to_vis_row(name, setting, system, test_without_join, test_with_join, pool))
+
+        rows.append(
+            self._text_to_vis_row(
+                "DataVisT5 (small)",
+                "+MFT",
+                self.datavist5_mft(),
+                test_without_join,
+                test_with_join,
+                pool,
+            )
+        )
+        if self.scale.include_large_models:
+            rows.append(
+                self._text_to_vis_row(
+                    "DataVisT5 (large)",
+                    "+MFT",
+                    self.datavist5_mft(self.scale.large_preset),
+                    test_without_join,
+                    test_with_join,
+                    pool,
+                )
+            )
+        return rows
+
+    def _text_to_vis_row(self, name, setting, system, test_without_join, test_with_join, pool) -> dict:
+        row = {"model": name, "setting": setting}
+        if test_without_join:
+            result = evaluate_text_to_vis_model(system, test_without_join, pool)
+            row["without_join"] = result.as_dict()
+        if test_with_join:
+            result = evaluate_text_to_vis_model(system, test_with_join, pool)
+            row["with_join"] = result.as_dict()
+        return row
+
+    # -- Tables VI and VIII: generation tasks ------------------------------------------------------
+    def generation_rows(self, task: str, include_llm_analogues: bool = True) -> list[dict]:
+        """Comparison rows for one generation task (vis_to_text / fevisqa / table_to_text)."""
+        train = self.corpora.train_pairs[task]
+        test = self.corpora.test_pairs[task]
+        systems: list[tuple[str, str, object]] = [
+            ("Seq2Seq", "-", Seq2SeqTextGeneration(training=self.training_config())),
+            ("Transformer", "-", NeuralTextGeneration(self.model_config(), self.training_config())),
+            ("BART analogue", "+SFT", NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="text")),
+            ("CodeT5+ (small)", "+SFT", NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="queries")),
+        ]
+        if include_llm_analogues:
+            systems.extend(
+                [
+                    ("GPT-4 (0-shot)", "-", ZeroShotHeuristicGeneration()),
+                    (
+                        "Llama2 analogue",
+                        "+LoRA",
+                        NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="text", lora_style=True),
+                    ),
+                    (
+                        "Mistral analogue",
+                        "+LoRA",
+                        NeuralTextGeneration(
+                            self.model_config(),
+                            self.training_config(seed=derive_seed(self.seed, "mistral_gen")),
+                            warm_start="text",
+                            lora_style=True,
+                        ),
+                    ),
+                ]
+            )
+        rows: list[dict] = []
+        for name, setting, system in systems:
+            system.fit(train)
+            metrics = evaluate_generation_model(system, test)
+            rows.append({"model": name, "setting": setting, "metrics": metrics.as_dict()})
+        mft_model = self.datavist5_mft()
+        rows.append(
+            {
+                "model": "DataVisT5 (small)",
+                "setting": "+MFT",
+                "metrics": evaluate_generation_model(mft_model, test).as_dict(),
+            }
+        )
+        if self.scale.include_large_models:
+            rows.append(
+                {
+                    "model": "DataVisT5 (large)",
+                    "setting": "+MFT",
+                    "metrics": evaluate_generation_model(self.datavist5_mft(self.scale.large_preset), test).as_dict(),
+                }
+            )
+        return rows
+
+    def table06_rows(self, include_llm_analogues: bool = True) -> list[dict]:
+        """Vis-to-text comparison (the paper's Table VI)."""
+        return self.generation_rows("vis_to_text", include_llm_analogues)
+
+    def table08_rows(self, include_llm_analogues: bool = True) -> dict[str, list[dict]]:
+        """FeVisQA and table-to-text comparison (the paper's Table VIII)."""
+        return {
+            "fevisqa": self.generation_rows("fevisqa", include_llm_analogues),
+            "table_to_text": self.generation_rows("table_to_text", include_llm_analogues),
+        }
+
+    # -- Table XII: ablations -------------------------------------------------------------------------
+    def table12_rows(self) -> list[dict]:
+        """Ablation study over the critical design components."""
+        corpora = self.corpora
+        pool = corpora.pool
+        test_t2v = corpora.nvbench_splits.test[: self.scale.max_test_examples]
+
+        def evaluate_all(model: DataVisT5) -> dict[str, float]:
+            scores = {
+                "text_to_vis": evaluate_text_to_vis_model(model, test_t2v, pool).mean_of_components(),
+                "vis_to_text": evaluate_generation_model(model, corpora.test_pairs["vis_to_text"]).mean_of_components(),
+                "fevisqa": evaluate_generation_model(model, corpora.test_pairs["fevisqa"]).mean_of_components(),
+                "table_to_text": evaluate_generation_model(model, corpora.test_pairs["table_to_text"]).mean_of_components(),
+            }
+            scores["mean"] = sum(scores.values()) / len(scores)
+            return scores
+
+        rows: list[dict] = []
+        rows.append({"model": "DataVisT5", "method": "MFT", "scores": evaluate_all(self.datavist5_mft())})
+        rows.append({"model": "w/o BDC", "method": "MFT", "scores": evaluate_all(self.datavist5_mft(use_bdc=False))})
+        rows.append(
+            {
+                "model": "w/o up-sampling",
+                "method": "MFT",
+                "scores": evaluate_all(self.datavist5_mft(use_temperature=False)),
+            }
+        )
+        rows.append({"model": "w/o MFT", "method": "zero-shot", "scores": evaluate_all(self.pretrained_model())})
+
+        # Single-task variants need one model per task; report each task's own model.
+        def sft_scores(builder) -> dict[str, float]:
+            scores = {
+                "text_to_vis": evaluate_text_to_vis_model(builder("text_to_vis"), test_t2v, pool).mean_of_components(),
+                "vis_to_text": evaluate_generation_model(builder("vis_to_text"), corpora.test_pairs["vis_to_text"]).mean_of_components(),
+                "fevisqa": evaluate_generation_model(builder("fevisqa"), corpora.test_pairs["fevisqa"]).mean_of_components(),
+                "table_to_text": evaluate_generation_model(builder("table_to_text"), corpora.test_pairs["table_to_text"]).mean_of_components(),
+            }
+            scores["mean"] = sum(scores.values()) / len(scores)
+            return scores
+
+        rows.append({"model": "DataVisT5", "method": "SFT", "scores": sft_scores(self.datavist5_sft)})
+        rows.append({"model": "CodeT5+ analogue", "method": "SFT", "scores": sft_scores(self.codet5_sft)})
+        rows.append({"model": "T5 analogue", "method": "SFT", "scores": sft_scores(self.t5_sft)})
+        return rows

@@ -1,0 +1,65 @@
+"""Report formatting: print experiment rows the way the paper's tables read."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_metric_row(label: str, metrics: Mapping[str, object], keys: Sequence[str] | None = None, width: int = 26) -> str:
+    """One table row: a left-aligned label followed by fixed-width metric cells."""
+    keys = list(keys) if keys is not None else [key for key in metrics if key not in ("examples", "unparseable")]
+    cells = []
+    for key in keys:
+        value = metrics.get(key)
+        if isinstance(value, float):
+            cells.append(f"{value:8.4f}")
+        else:
+            cells.append(f"{value!s:>8}")
+    return f"{label:<{width}} " + " ".join(cells)
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    metric_keys: Sequence[str],
+    label_key: str = "model",
+    metrics_key: str | None = "metrics",
+    width: int = 26,
+) -> str:
+    """Format a list of row dicts into an aligned text table."""
+    lines = [title, "=" * len(title)]
+    header = f"{'model':<{width}} " + " ".join(f"{key:>8}" for key in metric_keys)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        label = str(row.get(label_key, "?"))
+        setting = row.get("setting")
+        if setting and setting != "-":
+            label = f"{label} {setting}"
+        metrics = row.get(metrics_key) if metrics_key else row
+        if metrics is None:
+            metrics = row
+        lines.append(format_metric_row(label, metrics, metric_keys, width=width))
+    return "\n".join(lines)
+
+
+def format_text_to_vis_table(title: str, rows: Sequence[Mapping[str, object]], subset: str = "without_join") -> str:
+    """Format Table-IV style rows for one of the two nvBench subsets."""
+    metric_keys = ("Vis EM", "Axis EM", "Data EM", "EM")
+    printable = []
+    for row in rows:
+        metrics = row.get(subset)
+        if metrics is None:
+            continue
+        printable.append({"model": row["model"], "setting": row.get("setting", "-"), "metrics": metrics})
+    return format_table(title, printable, metric_keys)
+
+
+def format_ablation_table(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Format Table-XII style rows (per-task mean scores, scaled by 100)."""
+    metric_keys = ("text_to_vis", "vis_to_text", "fevisqa", "table_to_text", "mean")
+    printable = []
+    for row in rows:
+        scores = {key: 100.0 * value for key, value in row["scores"].items()}
+        printable.append({"model": f"{row['model']} [{row['method']}]", "metrics": scores})
+    return format_table(title, printable, metric_keys, width=32)

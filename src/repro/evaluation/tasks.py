@@ -1,0 +1,126 @@
+"""Task corpora: per-task train/valid/test (source, target) pairs.
+
+The four downstream tasks are all text-to-text once the DV knowledge has been
+encoded; this module assembles their task-specific corpora from the synthetic
+datasets, using the fine-tuning targets defined in §V of the paper:
+
+* text-to-vis:   NL + Schema            -> DV query
+* vis-to-text:   DV query + Schema      -> Description
+* FeVisQA:       Question + DV query + Schema + Table -> Answer
+* table-to-text: Table                  -> Description
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.datasets.chart2text import Chart2TextDataset, generate_chart2text
+from repro.datasets.corpus import (
+    Seq2SeqExample,
+    fevisqa_pair,
+    nvbench_to_text_to_vis_pair,
+    nvbench_to_vis_to_text_pair,
+    table_pair,
+)
+from repro.datasets.fevisqa import FeVisQADataset, generate_fevisqa
+from repro.datasets.nvbench import NvBenchDataset, generate_nvbench
+from repro.datasets.spider import SyntheticDatabasePool, build_database_pool
+from repro.datasets.splits import DatasetSplits, cross_domain_split, instance_split
+from repro.datasets.wikitabletext import WikiTableTextDataset, generate_wikitabletext
+from repro.tokenization.special_tokens import MODALITY_TOKENS
+
+_TAG_PATTERN = re.compile("|".join(re.escape(tag) for tag in MODALITY_TOKENS), flags=re.IGNORECASE)
+
+TASKS = ("text_to_vis", "vis_to_text", "fevisqa", "table_to_text")
+
+
+def strip_modality_tags(text: str) -> str:
+    """Remove ``<NL>`` / ``<VQL>`` / ... tags from a generated sequence."""
+    return " ".join(_TAG_PATTERN.sub(" ", text).split())
+
+
+@dataclass
+class TaskCorpora:
+    """Everything the experiment suite needs: datasets, splits and task pairs."""
+
+    pool: SyntheticDatabasePool
+    nvbench: NvBenchDataset
+    nvbench_splits: DatasetSplits
+    chart2text: Chart2TextDataset
+    wikitabletext: WikiTableTextDataset
+    fevisqa: FeVisQADataset
+    fevisqa_splits: DatasetSplits
+    chart2text_splits: DatasetSplits
+    wikitabletext_splits: DatasetSplits
+    train_pairs: dict[str, list[Seq2SeqExample]] = field(default_factory=dict)
+    test_pairs: dict[str, list[Seq2SeqExample]] = field(default_factory=dict)
+
+    def pretraining_inputs(self):
+        """The train-split pieces consumed by :func:`build_pretraining_corpus`."""
+        return (
+            self.nvbench_splits.train,
+            self.chart2text_splits.train,
+            self.wikitabletext_splits.train,
+            self.fevisqa_splits.train,
+            self.pool,
+        )
+
+
+def build_task_corpora(
+    num_databases: int | None = None,
+    examples_per_database: int = 20,
+    num_chart2text: int = 120,
+    num_wikitabletext: int = 120,
+    max_fevisqa: int | None = 600,
+    max_test_examples: int | None = 40,
+    seed: int = 0,
+) -> TaskCorpora:
+    """Generate all corpora, split them and build per-task (source, target) pairs.
+
+    ``max_fevisqa`` / ``max_test_examples`` bound corpus sizes so the numpy
+    training loops stay fast; ``None`` keeps everything.
+    """
+    pool = build_database_pool(num_databases=num_databases, seed=seed)
+    nvbench = generate_nvbench(pool, examples_per_database=examples_per_database, seed=seed)
+    nvbench_splits = cross_domain_split(nvbench.examples, seed=seed)
+
+    chart2text = generate_chart2text(num_chart2text, seed=seed).filter_by_cells(150)
+    wikitabletext = generate_wikitabletext(num_wikitabletext, seed=seed)
+    chart2text_splits = instance_split(chart2text.examples, seed=seed)
+    wikitabletext_splits = instance_split(wikitabletext.examples, seed=seed)
+
+    fevisqa = generate_fevisqa(nvbench, seed=seed)
+    fevisqa_examples = fevisqa.examples if max_fevisqa is None else fevisqa.examples[:max_fevisqa]
+    fevisqa_splits = cross_domain_split(fevisqa_examples, seed=seed)
+
+    corpora = TaskCorpora(
+        pool=pool,
+        nvbench=nvbench,
+        nvbench_splits=nvbench_splits,
+        chart2text=chart2text,
+        wikitabletext=wikitabletext,
+        fevisqa=fevisqa,
+        fevisqa_splits=fevisqa_splits,
+        chart2text_splits=chart2text_splits,
+        wikitabletext_splits=wikitabletext_splits,
+    )
+
+    def cap(examples, limit):
+        return examples if limit is None else examples[:limit]
+
+    corpora.train_pairs = {
+        "text_to_vis": [nvbench_to_text_to_vis_pair(e, pool) for e in nvbench_splits.train],
+        "vis_to_text": [nvbench_to_vis_to_text_pair(e, pool) for e in nvbench_splits.train],
+        "fevisqa": [fevisqa_pair(e) for e in fevisqa_splits.train],
+        "table_to_text": [table_pair(e) for e in chart2text_splits.train + wikitabletext_splits.train],
+    }
+    corpora.test_pairs = {
+        "text_to_vis": [nvbench_to_text_to_vis_pair(e, pool) for e in cap(nvbench_splits.test, max_test_examples)],
+        "vis_to_text": [nvbench_to_vis_to_text_pair(e, pool) for e in cap(nvbench_splits.test, max_test_examples)],
+        "fevisqa": [fevisqa_pair(e) for e in cap(fevisqa_splits.test, max_test_examples)],
+        "table_to_text": [
+            table_pair(e) for e in cap(chart2text_splits.test + wikitabletext_splits.test, max_test_examples)
+        ],
+    }
+    return corpora

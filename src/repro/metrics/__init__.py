@@ -1,0 +1,31 @@
+"""Evaluation metrics.
+
+* the Exact-Match family used for text-to-vis (overall EM plus the Vis /
+  Axis / Data component matches of Luo et al.);
+* BLEU, ROUGE-1/2/L and METEOR for the three text-generation tasks.
+"""
+
+from repro.metrics.exact_match import (
+    ExactMatchResult,
+    dv_query_exact_match,
+    corpus_exact_match,
+)
+from repro.metrics.bleu import bleu_score, corpus_bleu
+from repro.metrics.rouge import rouge_n, rouge_l, corpus_rouge
+from repro.metrics.meteor import meteor_score, corpus_meteor
+from repro.metrics.aggregate import GenerationMetrics, evaluate_generation
+
+__all__ = [
+    "ExactMatchResult",
+    "dv_query_exact_match",
+    "corpus_exact_match",
+    "bleu_score",
+    "corpus_bleu",
+    "rouge_n",
+    "rouge_l",
+    "corpus_rouge",
+    "meteor_score",
+    "corpus_meteor",
+    "GenerationMetrics",
+    "evaluate_generation",
+]

@@ -1,0 +1,56 @@
+"""Aggregate text-generation metrics (the columns of Tables VI and VIII)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.metrics.bleu import corpus_bleu
+from repro.metrics.meteor import corpus_meteor
+from repro.metrics.rouge import corpus_rouge
+
+
+@dataclass
+class GenerationMetrics:
+    """The BLEU / ROUGE / METEOR bundle reported for the generation tasks."""
+
+    bleu1: float
+    bleu2: float
+    bleu4: float
+    rouge1: float
+    rouge2: float
+    rougeL: float
+    meteor: float
+    num_examples: int
+
+    def as_dict(self) -> dict:
+        return {
+            "BLEU-1": self.bleu1,
+            "BLEU-2": self.bleu2,
+            "BLEU-4": self.bleu4,
+            "ROUGE-1": self.rouge1,
+            "ROUGE-2": self.rouge2,
+            "ROUGE-L": self.rougeL,
+            "METEOR": self.meteor,
+            "examples": self.num_examples,
+        }
+
+    def mean_of_components(self, keys: Sequence[str] = ("BLEU-1", "ROUGE-1", "ROUGE-L", "METEOR")) -> float:
+        """The per-task average used in the ablation table (Table XII)."""
+        values = self.as_dict()
+        return sum(values[key] for key in keys) / len(keys)
+
+
+def evaluate_generation(predictions: Sequence[str], references: Sequence[str]) -> GenerationMetrics:
+    """Compute the full metric bundle for a prediction/reference corpus."""
+    rouge = corpus_rouge(predictions, references)
+    return GenerationMetrics(
+        bleu1=corpus_bleu(predictions, references, max_n=1),
+        bleu2=corpus_bleu(predictions, references, max_n=2),
+        bleu4=corpus_bleu(predictions, references, max_n=4),
+        rouge1=rouge["rouge1"],
+        rouge2=rouge["rouge2"],
+        rougeL=rouge["rougeL"],
+        meteor=corpus_meteor(predictions, references),
+        num_examples=len(predictions),
+    )

@@ -1,0 +1,73 @@
+"""BLEU: n-gram precision with a brevity penalty (Papineni et al., 2002)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+from repro.utils.text import ngrams, tokenize_words
+
+
+def _modified_precision(candidate: list[str], reference: list[str], n: int) -> tuple[int, int]:
+    """Clipped n-gram matches and total candidate n-grams."""
+    candidate_counts = Counter(ngrams(candidate, n))
+    reference_counts = Counter(ngrams(reference, n))
+    matches = sum(min(count, reference_counts[gram]) for gram, count in candidate_counts.items())
+    total = max(sum(candidate_counts.values()), 0)
+    return matches, total
+
+
+def bleu_score(
+    candidate: str,
+    reference: str,
+    max_n: int = 4,
+    smoothing: float = 1e-9,
+) -> float:
+    """Sentence-level BLEU-``max_n`` with add-epsilon smoothing."""
+    return corpus_bleu([candidate], [reference], max_n=max_n, smoothing=smoothing)
+
+
+def corpus_bleu(
+    candidates: Sequence[str],
+    references: Sequence[str],
+    max_n: int = 4,
+    smoothing: float = 1e-9,
+) -> float:
+    """Corpus-level BLEU-``max_n``.
+
+    Matches and totals are accumulated over the corpus before taking the
+    geometric mean, as in the original definition.
+    """
+    if len(candidates) != len(references):
+        raise EvaluationError("candidates and references must have the same length")
+    if not candidates:
+        raise EvaluationError("cannot compute BLEU over an empty corpus")
+    if max_n < 1:
+        raise EvaluationError("max_n must be at least 1")
+    matches_by_n = [0] * max_n
+    totals_by_n = [0] * max_n
+    candidate_length = 0
+    reference_length = 0
+    for candidate, reference in zip(candidates, references):
+        candidate_tokens = tokenize_words(candidate)
+        reference_tokens = tokenize_words(reference)
+        candidate_length += len(candidate_tokens)
+        reference_length += len(reference_tokens)
+        for n in range(1, max_n + 1):
+            matches, total = _modified_precision(candidate_tokens, reference_tokens, n)
+            matches_by_n[n - 1] += matches
+            totals_by_n[n - 1] += total
+    log_precision_sum = 0.0
+    for matches, total in zip(matches_by_n, totals_by_n):
+        precision = (matches + smoothing) / (total + smoothing) if total > 0 else smoothing
+        log_precision_sum += math.log(precision)
+    geometric_mean = math.exp(log_precision_sum / max_n)
+    if candidate_length == 0:
+        return 0.0
+    if candidate_length > reference_length:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - reference_length / max(candidate_length, 1))
+    return brevity_penalty * geometric_mean

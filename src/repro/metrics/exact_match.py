@@ -1,0 +1,105 @@
+"""Exact-match metrics for text-to-vis (Table IV of the paper).
+
+A DV query has three components: the visualization type, the axis
+configuration (the selected expressions) and the data part (tables, joins,
+filters, grouping, binning, ordering and aggregation functions).  The four
+metrics are the fraction of test examples whose predicted query matches the
+reference on, respectively, the visualization type (Vis EM), the axis
+configuration (Axis EM), the data part (Data EM) and all of them (EM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+from repro.vql.ast import DVQuery
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query
+
+
+@dataclass
+class ExactMatchResult:
+    """Corpus-level EM metrics."""
+
+    vis_em: float
+    axis_em: float
+    data_em: float
+    em: float
+    num_examples: int
+    num_unparseable: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "Vis EM": self.vis_em,
+            "Axis EM": self.axis_em,
+            "Data EM": self.data_em,
+            "EM": self.em,
+            "examples": self.num_examples,
+            "unparseable": self.num_unparseable,
+        }
+
+    def mean_of_components(self) -> float:
+        """The per-task average used in the paper's ablation table."""
+        return (self.vis_em + self.axis_em + self.data_em + self.em) / 4.0
+
+
+def _coerce_query(query: DVQuery | str) -> DVQuery | None:
+    if isinstance(query, DVQuery):
+        return query
+    try:
+        return standardize_dv_query(parse_dv_query(query))
+    except Exception:
+        return None
+
+
+def dv_query_exact_match(predicted: DVQuery | str, reference: DVQuery | str) -> dict[str, bool]:
+    """Component-wise match between one predicted and one reference DV query.
+
+    An unparseable prediction counts as a miss on every component; an
+    unparseable *reference* is an error in the evaluation corpus.
+    """
+    reference_query = _coerce_query(reference)
+    if reference_query is None:
+        raise EvaluationError(f"reference DV query does not parse: {reference!r}")
+    predicted_query = _coerce_query(predicted)
+    if predicted_query is None:
+        return {"vis": False, "axis": False, "data": False, "exact": False, "parseable": False}
+    vis = predicted_query.vis_component() == reference_query.vis_component()
+    axis = _axis_match(predicted_query, reference_query)
+    data = predicted_query.data_component() == reference_query.data_component()
+    return {"vis": vis, "axis": axis, "data": data, "exact": vis and axis and data, "parseable": True}
+
+
+def _axis_match(predicted: DVQuery, reference: DVQuery) -> bool:
+    """Axis components compared as unordered sets (x/y swap is tolerated)."""
+    return sorted(predicted.axis_component()) == sorted(reference.axis_component())
+
+
+def corpus_exact_match(
+    predictions: Sequence[DVQuery | str],
+    references: Sequence[DVQuery | str],
+) -> ExactMatchResult:
+    """Aggregate :func:`dv_query_exact_match` over a corpus."""
+    if len(predictions) != len(references):
+        raise EvaluationError("predictions and references must have the same length")
+    if not references:
+        raise EvaluationError("cannot compute exact match over an empty corpus")
+    counts = {"vis": 0, "axis": 0, "data": 0, "exact": 0}
+    unparseable = 0
+    for predicted, reference in zip(predictions, references):
+        outcome = dv_query_exact_match(predicted, reference)
+        if not outcome["parseable"]:
+            unparseable += 1
+        for key in counts:
+            counts[key] += int(outcome[key])
+    total = len(references)
+    return ExactMatchResult(
+        vis_em=counts["vis"] / total,
+        axis_em=counts["axis"] / total,
+        data_em=counts["data"] / total,
+        em=counts["exact"] / total,
+        num_examples=total,
+        num_unparseable=unparseable,
+    )

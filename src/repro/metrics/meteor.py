@@ -1,0 +1,108 @@
+"""METEOR: unigram matching with stemming, synonymy and a fragmentation penalty.
+
+This is a self-contained approximation of METEOR (Banerjee & Lavie, 2005):
+exact matches are found first, then matches between lightly stemmed forms,
+then matches through a small synonym table.  The score is the harmonic mean
+of precision and recall (recall-weighted 9:1) multiplied by the standard
+fragmentation penalty computed from the number of contiguous match chunks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+from repro.utils.text import tokenize_words
+
+_SUFFIXES = ("ings", "ing", "ies", "ied", "ers", "er", "ed", "es", "s", "ly")
+
+_SYNONYMS = {
+    "chart": {"graph", "plot", "diagram"},
+    "graph": {"chart", "plot", "diagram"},
+    "plot": {"chart", "graph", "diagram"},
+    "number": {"count", "total", "amount"},
+    "count": {"number", "total"},
+    "total": {"number", "count", "sum"},
+    "average": {"mean"},
+    "mean": {"average"},
+    "largest": {"biggest", "maximum", "highest"},
+    "smallest": {"minimum", "lowest"},
+    "show": {"display", "present", "give"},
+    "display": {"show", "present"},
+    "descending": {"decreasing"},
+    "ascending": {"increasing"},
+    "each": {"every"},
+}
+
+
+def _stem(token: str) -> str:
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            return token[: -len(suffix)]
+    return token
+
+
+def _are_synonyms(a: str, b: str) -> bool:
+    return b in _SYNONYMS.get(a, ()) or a in _SYNONYMS.get(b, ())
+
+
+def _align(candidate: list[str], reference: list[str]) -> list[tuple[int, int]]:
+    """Greedy one-to-one alignment: exact, then stem, then synonym matches."""
+    matched_candidate: set[int] = set()
+    matched_reference: set[int] = set()
+    alignment: list[tuple[int, int]] = []
+
+    def run_stage(predicate) -> None:
+        for i, candidate_token in enumerate(candidate):
+            if i in matched_candidate:
+                continue
+            for j, reference_token in enumerate(reference):
+                if j in matched_reference:
+                    continue
+                if predicate(candidate_token, reference_token):
+                    matched_candidate.add(i)
+                    matched_reference.add(j)
+                    alignment.append((i, j))
+                    break
+
+    run_stage(lambda a, b: a == b)
+    run_stage(lambda a, b: _stem(a) == _stem(b))
+    run_stage(_are_synonyms)
+    return sorted(alignment)
+
+
+def _count_chunks(alignment: list[tuple[int, int]]) -> int:
+    if not alignment:
+        return 0
+    chunks = 1
+    for (prev_i, prev_j), (cur_i, cur_j) in zip(alignment, alignment[1:]):
+        if cur_i != prev_i + 1 or cur_j != prev_j + 1:
+            chunks += 1
+    return chunks
+
+
+def meteor_score(candidate: str, reference: str, alpha: float = 0.9, beta: float = 3.0, gamma: float = 0.5) -> float:
+    """Sentence-level METEOR between one candidate and one reference."""
+    candidate_tokens = tokenize_words(candidate)
+    reference_tokens = tokenize_words(reference)
+    if not candidate_tokens or not reference_tokens:
+        return 0.0
+    alignment = _align(candidate_tokens, reference_tokens)
+    matches = len(alignment)
+    if matches == 0:
+        return 0.0
+    precision = matches / len(candidate_tokens)
+    recall = matches / len(reference_tokens)
+    fmean = precision * recall / (alpha * recall + (1 - alpha) * precision)
+    chunks = _count_chunks(alignment)
+    penalty = gamma * (chunks / matches) ** beta
+    return fmean * (1.0 - penalty)
+
+
+def corpus_meteor(candidates: Sequence[str], references: Sequence[str]) -> float:
+    """Average sentence-level METEOR over a corpus."""
+    if len(candidates) != len(references):
+        raise EvaluationError("candidates and references must have the same length")
+    if not candidates:
+        raise EvaluationError("cannot compute METEOR over an empty corpus")
+    return sum(meteor_score(candidate, reference) for candidate, reference in zip(candidates, references)) / len(candidates)

@@ -1,0 +1,69 @@
+"""ROUGE: recall-oriented n-gram and longest-common-subsequence overlap (Lin, 2004).
+
+ROUGE-1 / ROUGE-2 are reported as n-gram F1 scores and ROUGE-L as the
+LCS-based F1, matching the evaluation protocol of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+from repro.utils.text import ngrams, tokenize_words
+
+
+def _f1(matches: float, candidate_total: float, reference_total: float) -> float:
+    if candidate_total == 0 or reference_total == 0:
+        return 0.0
+    precision = matches / candidate_total
+    recall = matches / reference_total
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def rouge_n(candidate: str, reference: str, n: int = 1) -> float:
+    """ROUGE-N F1 between one candidate and one reference."""
+    candidate_grams = Counter(ngrams(tokenize_words(candidate), n))
+    reference_grams = Counter(ngrams(tokenize_words(reference), n))
+    matches = sum(min(count, reference_grams[gram]) for gram, count in candidate_grams.items())
+    return _f1(matches, sum(candidate_grams.values()), sum(reference_grams.values()))
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str, reference: str) -> float:
+    """ROUGE-L F1 (longest common subsequence)."""
+    candidate_tokens = tokenize_words(candidate)
+    reference_tokens = tokenize_words(reference)
+    lcs = _lcs_length(candidate_tokens, reference_tokens)
+    return _f1(lcs, len(candidate_tokens), len(reference_tokens))
+
+
+def corpus_rouge(candidates: Sequence[str], references: Sequence[str]) -> dict[str, float]:
+    """Average ROUGE-1, ROUGE-2 and ROUGE-L F1 over a corpus."""
+    if len(candidates) != len(references):
+        raise EvaluationError("candidates and references must have the same length")
+    if not candidates:
+        raise EvaluationError("cannot compute ROUGE over an empty corpus")
+    totals = {"rouge1": 0.0, "rouge2": 0.0, "rougeL": 0.0}
+    for candidate, reference in zip(candidates, references):
+        totals["rouge1"] += rouge_n(candidate, reference, 1)
+        totals["rouge2"] += rouge_n(candidate, reference, 2)
+        totals["rougeL"] += rouge_l(candidate, reference)
+    count = len(candidates)
+    return {key: value / count for key, value in totals.items()}

@@ -1,0 +1,54 @@
+"""A small numpy-based neural-network substrate.
+
+The paper builds DataVisT5 on the HuggingFace T5/CodeT5+ stack; this
+environment is offline and has no deep-learning framework installed, so the
+package provides the pieces that stack supplies:
+
+* :mod:`repro.nn.tensor` -- a reverse-mode autograd engine over numpy arrays;
+* :mod:`repro.nn.layers` -- modules (Linear, Embedding, RMSNorm, Dropout);
+* :mod:`repro.nn.attention` -- multi-head attention with T5 relative
+  position biases;
+* :mod:`repro.nn.transformer` -- a T5-style encoder--decoder LM;
+* :mod:`repro.nn.rnn` -- a GRU sequence-to-sequence model with attention
+  (the Seq2Vis baseline);
+* :mod:`repro.nn.optim` -- Adam, gradient clipping and LR schedules.
+
+Models are deliberately small (a few hundred thousand parameters) so the
+whole benchmark suite trains in seconds on a CPU, but the architecture and
+objectives are the same shape as the paper's.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter
+from repro.nn.attention import MultiHeadAttention, RelativePositionBias
+from repro.nn.transformer import TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
+from repro.nn.rnn import GRUCell, GRUEncoder, AttentionGRUDecoder, Seq2SeqModel
+from repro.nn.optim import Adam, SGD, clip_grad_norm, LinearWarmupSchedule, ConstantSchedule
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "Dropout",
+    "Parameter",
+    "MultiHeadAttention",
+    "RelativePositionBias",
+    "TransformerConfig",
+    "T5Model",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "GRUCell",
+    "GRUEncoder",
+    "AttentionGRUDecoder",
+    "Seq2SeqModel",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "LinearWarmupSchedule",
+    "ConstantSchedule",
+]

@@ -1,0 +1,139 @@
+"""Multi-head attention with T5-style relative position biases."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear, Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import seeded_rng
+
+
+class RelativePositionBias(Module):
+    """The learned bucketed relative-position bias used by T5 attention.
+
+    Instead of absolute position embeddings, T5 adds a learned scalar to each
+    attention logit that depends only on the bucketed distance between the
+    query and key positions.  Buckets grow logarithmically with distance, and
+    the decoder (causal) variant only distinguishes "how far in the past".
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        num_buckets: int = 32,
+        max_distance: int = 128,
+        bidirectional: bool = True,
+        seed: int | np.random.Generator = 0,
+    ):
+        super().__init__()
+        if num_buckets < 2:
+            raise ModelConfigError("relative position bias needs at least 2 buckets")
+        rng = seeded_rng(seed)
+        self.num_heads = num_heads
+        self.num_buckets = num_buckets
+        self.max_distance = max_distance
+        self.bidirectional = bidirectional
+        self.embedding = Parameter(rng.normal(0.0, 0.02, size=(num_buckets, num_heads)))
+
+    def _bucket(self, relative_position: np.ndarray) -> np.ndarray:
+        """Map signed relative positions to bucket indices (vectorised)."""
+        num_buckets = self.num_buckets
+        result = np.zeros_like(relative_position)
+        if self.bidirectional:
+            num_buckets //= 2
+            result = result + (relative_position > 0).astype(np.int64) * num_buckets
+            relative_position = np.abs(relative_position)
+        else:
+            relative_position = -np.minimum(relative_position, 0)
+        max_exact = num_buckets // 2
+        is_small = relative_position < max_exact
+        # Larger distances share logarithmically sized buckets.
+        with np.errstate(divide="ignore"):
+            relative_if_large = max_exact + (
+                np.log(np.maximum(relative_position, 1) / max_exact)
+                / np.log(self.max_distance / max_exact)
+                * (num_buckets - max_exact)
+            ).astype(np.int64)
+        relative_if_large = np.minimum(relative_if_large, num_buckets - 1)
+        result = result + np.where(is_small, relative_position, relative_if_large)
+        return result
+
+    def forward(self, query_length: int, key_length: int) -> Tensor:
+        """Return a bias tensor of shape ``(1, num_heads, query_length, key_length)``."""
+        context_position = np.arange(query_length)[:, None]
+        memory_position = np.arange(key_length)[None, :]
+        relative_position = memory_position - context_position
+        buckets = self._bucket(relative_position)
+        bias = self.embedding.embedding_lookup(buckets)  # (Q, K, H)
+        return bias.transpose((2, 0, 1)).reshape(1, self.num_heads, query_length, key_length)
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention over several heads, with optional position bias."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        seed: int | np.random.Generator = 0,
+    ):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ModelConfigError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        rng = seeded_rng(seed)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, bias=False, seed=rng)
+        self.k_proj = Linear(d_model, d_model, bias=False, seed=rng)
+        self.v_proj = Linear(d_model, d_model, bias=False, seed=rng)
+        self.out_proj = Linear(d_model, d_model, bias=False, seed=rng)
+        self.dropout = Dropout(dropout, seed=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, head_dim = x.shape
+        return x.transpose((0, 2, 1, 3)).reshape(batch, length, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: np.ndarray | None = None,
+        position_bias: Tensor | None = None,
+        return_weights: bool = False,
+    ):
+        """Attend ``query`` over ``key``/``value``.
+
+        ``mask`` is a boolean *keep* mask broadcastable to
+        ``(batch, 1, query_length, key_length)``; masked-out logits receive a
+        large negative bias before the softmax.
+        """
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.swapaxes(-1, -2)) * scale
+        if position_bias is not None:
+            scores = scores + position_bias
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            while mask.ndim < 4:
+                mask = mask[:, None] if mask.ndim >= 2 else mask[None]
+            scores = scores.masked_fill(~mask, -1e9)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        attended = weights @ v
+        output = self.out_proj(self._merge_heads(attended))
+        if return_weights:
+            return output, weights
+        return output

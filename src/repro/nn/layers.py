@@ -1,0 +1,199 @@
+"""Neural-network modules: parameter containers and basic layers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn.tensor import Tensor
+from repro.utils.rng import seeded_rng
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and discoverable by :class:`Module`."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters must remain trainable even when created inside ``no_grad``.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class providing parameter discovery, train/eval mode and state dicts."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- parameter discovery ------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr_name, value in vars(self).items():
+            full_name = f"{prefix}{attr_name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{index}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- train / eval --------------------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise ModelConfigError(f"state dict mismatch: missing={missing} unexpected={unexpected}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ModelConfigError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    # -- call protocol ------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """A dense layer ``y = x W + b`` with Glorot-style initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: int | np.random.Generator = 0):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ModelConfigError("Linear dimensions must be positive")
+        rng = seeded_rng(seed)
+        scale = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-scale, scale, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: int | np.random.Generator = 0):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ModelConfigError("Embedding dimensions must be positive")
+        rng = seeded_rng(seed)
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise ModelConfigError(
+                f"token id outside embedding range [0, {self.num_embeddings}): "
+                f"min={ids.min() if ids.size else None}, max={ids.max() if ids.size else None}"
+            )
+        return self.weight.embedding_lookup(ids)
+
+
+class RMSNorm(Module):
+    """Root-mean-square layer norm, the normalisation used by T5 (no mean subtraction)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        super().__init__()
+        self.weight = Parameter(np.ones(dim))
+        self.eps = eps
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        variance = (x * x).mean(axis=-1, keepdims=True)
+        normed = x * ((variance + self.eps) ** -0.5)
+        return normed * self.weight
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode or at rate 0."""
+
+    def __init__(self, rate: float = 0.0, seed: int | np.random.Generator = 0):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = seeded_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep_probability = 1.0 - self.rate
+        mask = self._rng.random(x.shape) < keep_probability
+        return x * Tensor(mask.astype(np.float64) / keep_probability)
+
+
+class FeedForward(Module):
+    """The T5 position-wise feed-forward block (Linear -> activation -> Linear)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        activation: str = "relu",
+        dropout: float = 0.0,
+        seed: int | np.random.Generator = 0,
+    ):
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.wi = Linear(d_model, d_ff, bias=False, seed=rng)
+        self.wo = Linear(d_ff, d_model, bias=False, seed=rng)
+        self.dropout = Dropout(dropout, seed=rng)
+        if activation not in ("relu", "gelu"):
+            raise ModelConfigError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.wi(x)
+        hidden = hidden.relu() if self.activation == "relu" else hidden.gelu()
+        hidden = self.dropout(hidden)
+        return self.wo(hidden)

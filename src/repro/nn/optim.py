@@ -1,0 +1,157 @@
+"""Optimizers, gradient clipping and learning-rate schedules."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn.layers import Parameter
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping, which training loops log to detect
+    divergence.
+    """
+    if max_norm <= 0:
+        raise ModelConfigError("max_norm must be positive")
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class LRSchedule:
+    """Base class for learning-rate schedules keyed by optimizer step."""
+
+    def learning_rate(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantSchedule(LRSchedule):
+    """A constant learning rate."""
+
+    def __init__(self, learning_rate: float):
+        self._learning_rate = learning_rate
+
+    def learning_rate(self, step: int) -> float:
+        return self._learning_rate
+
+
+class LinearWarmupSchedule(LRSchedule):
+    """Linear warm-up to a peak followed by linear decay to zero.
+
+    Matches the paper's training recipe of a linear warm-up schedule with a
+    configurable warm-up ratio over the total number of steps.
+    """
+
+    def __init__(self, peak_learning_rate: float, total_steps: int, warmup_ratio: float = 0.1):
+        if total_steps <= 0:
+            raise ModelConfigError("total_steps must be positive")
+        if not 0.0 <= warmup_ratio <= 1.0:
+            raise ModelConfigError("warmup_ratio must be in [0, 1]")
+        self.peak_learning_rate = peak_learning_rate
+        self.total_steps = total_steps
+        self.warmup_steps = max(1, int(round(total_steps * warmup_ratio)))
+
+    def learning_rate(self, step: int) -> float:
+        step = max(step, 0)
+        if step < self.warmup_steps:
+            return self.peak_learning_rate * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        decay_span = max(self.total_steps - self.warmup_steps, 1)
+        return self.peak_learning_rate * remaining / decay_span
+
+
+class Optimizer:
+    """Base optimizer: owns the parameter list and the step counter."""
+
+    def __init__(self, parameters: Sequence[Parameter], schedule: LRSchedule):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ModelConfigError("optimizer received no parameters")
+        self.schedule = schedule
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    @property
+    def current_learning_rate(self) -> float:
+        return self.schedule.learning_rate(self.step_count)
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters, ConstantSchedule(learning_rate))
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_learning_rate
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                parameter.data -= lr * velocity
+            else:
+                parameter.data -= lr * parameter.grad
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay (AdamW), the optimizer family of the paper."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        learning_rate: float | LRSchedule = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        schedule = learning_rate if isinstance(learning_rate, LRSchedule) else ConstantSchedule(learning_rate)
+        super().__init__(parameters, schedule)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_learning_rate
+        beta1, beta2 = self.betas
+        self.step_count += 1
+        bias_correction1 = 1.0 - beta1**self.step_count
+        bias_correction2 = 1.0 - beta2**self.step_count
+        for parameter, first, second in zip(self.parameters, self._first_moment, self._second_moment):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            first *= beta1
+            first += (1.0 - beta1) * grad
+            second *= beta2
+            second += (1.0 - beta2) * grad**2
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            update = corrected_first / (np.sqrt(corrected_second) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data -= lr * update

@@ -1,0 +1,166 @@
+"""GRU sequence-to-sequence models with attention.
+
+These implement the *Seq2Vis* baseline of the paper (an attention-equipped
+encoder--decoder recurrent network, originally from Luo et al. 2021) and are
+reused by the vis-to-text / table-to-text / FeVisQA baselines labelled
+"Seq2Seq" in the evaluation tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int | np.random.Generator = 0):
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.reset_gate = Linear(input_size + hidden_size, hidden_size, seed=rng)
+        self.update_gate = Linear(input_size + hidden_size, hidden_size, seed=rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, seed=rng)
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        combined = Tensor.concatenate([x, hidden], axis=-1)
+        reset = self.reset_gate(combined).sigmoid()
+        update = self.update_gate(combined).sigmoid()
+        candidate_input = Tensor.concatenate([x, reset * hidden], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class GRUEncoder(Module):
+    """Runs a GRU over the source sequence and returns all hidden states."""
+
+    def __init__(self, vocab_size: int, embedding_dim: int, hidden_size: int, pad_id: int = 0, seed: int = 0):
+        super().__init__()
+        self.embedding = Embedding(vocab_size, embedding_dim, seed=derive_seed(seed, "enc_embed"))
+        self.cell = GRUCell(embedding_dim, hidden_size, seed=derive_seed(seed, "enc_cell"))
+        self.hidden_size = hidden_size
+        self.pad_id = pad_id
+
+    def forward(self, input_ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        batch, length = input_ids.shape
+        embedded = self.embedding(input_ids)
+        hidden = Tensor(np.zeros((batch, self.hidden_size)))
+        states = []
+        for t in range(length):
+            step = embedded[:, t, :]
+            new_hidden = self.cell(step, hidden)
+            # Padding positions carry the previous hidden state forward.
+            keep = (input_ids[:, t] != self.pad_id).astype(np.float64)[:, None]
+            hidden = new_hidden * Tensor(keep) + hidden * Tensor(1.0 - keep)
+            states.append(hidden)
+        return Tensor.stack(states, axis=1), hidden
+
+
+class AttentionGRUDecoder(Module):
+    """A GRU decoder with Luong-style dot-product attention over encoder states."""
+
+    def __init__(self, vocab_size: int, embedding_dim: int, hidden_size: int, seed: int = 0):
+        super().__init__()
+        self.embedding = Embedding(vocab_size, embedding_dim, seed=derive_seed(seed, "dec_embed"))
+        self.cell = GRUCell(embedding_dim + hidden_size, hidden_size, seed=derive_seed(seed, "dec_cell"))
+        self.attention_proj = Linear(hidden_size, hidden_size, bias=False, seed=derive_seed(seed, "dec_attn"))
+        self.output_proj = Linear(hidden_size * 2, vocab_size, seed=derive_seed(seed, "dec_out"))
+        self.hidden_size = hidden_size
+        self.vocab_size = vocab_size
+
+    def step(
+        self,
+        token_ids: np.ndarray,
+        hidden: Tensor,
+        encoder_states: Tensor,
+        encoder_mask: np.ndarray,
+    ) -> tuple[Tensor, Tensor]:
+        """One decoding step; returns (logits, new_hidden)."""
+        embedded = self.embedding(np.asarray(token_ids, dtype=np.int64))
+        query = self.attention_proj(hidden)  # (B, H)
+        scores = (encoder_states @ query.reshape(query.shape[0], self.hidden_size, 1)).reshape(
+            encoder_states.shape[0], encoder_states.shape[1]
+        )
+        scores = scores.masked_fill(~np.asarray(encoder_mask, dtype=bool), -1e9)
+        weights = F.softmax(scores, axis=-1)
+        context = (weights.reshape(weights.shape[0], 1, weights.shape[1]) @ encoder_states).reshape(
+            encoder_states.shape[0], self.hidden_size
+        )
+        cell_input = Tensor.concatenate([embedded, context], axis=-1)
+        new_hidden = self.cell(cell_input, hidden)
+        logits = self.output_proj(Tensor.concatenate([new_hidden, context], axis=-1))
+        return logits, new_hidden
+
+
+class Seq2SeqModel(Module):
+    """Encoder--decoder GRU with attention (the Seq2Vis / Seq2Seq baseline)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int = 48,
+        hidden_size: int = 64,
+        pad_id: int = 0,
+        eos_id: int = 1,
+        bos_id: int = 3,
+        max_decode_length: int = 96,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if vocab_size <= 0:
+            raise ModelConfigError("vocab_size must be positive")
+        self.encoder = GRUEncoder(vocab_size, embedding_dim, hidden_size, pad_id=pad_id, seed=derive_seed(seed, "encoder"))
+        self.decoder = AttentionGRUDecoder(vocab_size, embedding_dim, hidden_size, seed=derive_seed(seed, "decoder"))
+        self.pad_id = pad_id
+        self.eos_id = eos_id
+        self.bos_id = bos_id
+        self.max_decode_length = max_decode_length
+
+    def forward(self, input_ids: np.ndarray, labels: np.ndarray) -> dict:
+        """Teacher-forced forward pass returning ``loss`` and ``logits``."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        encoder_states, hidden = self.encoder(input_ids)
+        encoder_mask = input_ids != self.pad_id
+        batch, target_length = labels.shape
+        previous = np.full(batch, self.bos_id, dtype=np.int64)
+        step_logits = []
+        for t in range(target_length):
+            logits, hidden = self.decoder.step(previous, hidden, encoder_states, encoder_mask)
+            step_logits.append(logits)
+            previous = labels[:, t]
+        logits = Tensor.stack(step_logits, axis=1)
+        loss = F.sequence_cross_entropy(logits, labels, pad_id=self.pad_id)
+        return {"logits": logits, "loss": loss}
+
+    def generate(self, input_ids: np.ndarray, max_length: int | None = None) -> np.ndarray:
+        """Greedy decoding."""
+        input_ids = np.atleast_2d(np.asarray(input_ids, dtype=np.int64))
+        max_length = max_length or self.max_decode_length
+        with no_grad():
+            encoder_states, hidden = self.encoder(input_ids)
+            encoder_mask = input_ids != self.pad_id
+            batch = input_ids.shape[0]
+            previous = np.full(batch, self.bos_id, dtype=np.int64)
+            finished = np.zeros(batch, dtype=bool)
+            outputs = []
+            for _ in range(max_length):
+                logits, hidden = self.decoder.step(previous, hidden, encoder_states, encoder_mask)
+                next_tokens = logits.numpy().argmax(axis=-1)
+                next_tokens = np.where(finished, self.pad_id, next_tokens)
+                outputs.append(next_tokens)
+                finished |= next_tokens == self.eos_id
+                previous = next_tokens
+                if finished.all():
+                    break
+        if not outputs:
+            return np.zeros((batch, 0), dtype=np.int64)
+        return np.stack(outputs, axis=1)

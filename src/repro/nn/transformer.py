@@ -1,0 +1,301 @@
+"""A T5-style encoder--decoder transformer language model.
+
+The architecture follows the original T5 design: pre-RMSNorm residual blocks,
+relative position biases shared across layers, tied input/output embeddings
+and a decoder fed with the target sequence shifted right by one position.
+Model sizes are configurable through :class:`TransformerConfig`; the defaults
+are tiny so the reproduction trains in CPU-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadAttention, RelativePositionBias
+from repro.nn.layers import Dropout, Embedding, FeedForward, Module, RMSNorm
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+@dataclass
+class TransformerConfig:
+    """Hyper-parameters of the encoder--decoder transformer."""
+
+    vocab_size: int
+    d_model: int = 64
+    num_heads: int = 4
+    d_ff: int = 128
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 2
+    dropout: float = 0.0
+    activation: str = "relu"
+    relative_attention_num_buckets: int = 16
+    relative_attention_max_distance: int = 64
+    max_decode_length: int = 96
+    pad_id: int = 0
+    eos_id: int = 1
+    bos_id: int = 3
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.vocab_size <= 0:
+            raise ModelConfigError("vocab_size must be positive")
+        if self.d_model % self.num_heads != 0:
+            raise ModelConfigError("d_model must be divisible by num_heads")
+        if self.num_encoder_layers < 1 or self.num_decoder_layers < 1:
+            raise ModelConfigError("at least one encoder and one decoder layer are required")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ModelConfigError("dropout must be in [0, 1)")
+
+
+class EncoderLayer(Module):
+    """Self-attention + feed-forward block with pre-norm residuals."""
+
+    def __init__(self, config: TransformerConfig, seed: int):
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.self_attention = MultiHeadAttention(config.d_model, config.num_heads, config.dropout, seed=rng)
+        self.norm_attention = RMSNorm(config.d_model)
+        self.feed_forward = FeedForward(config.d_model, config.d_ff, config.activation, config.dropout, seed=rng)
+        self.norm_feed_forward = RMSNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, seed=rng)
+
+    def forward(self, hidden: Tensor, mask: np.ndarray | None, position_bias: Tensor | None) -> Tensor:
+        normed = self.norm_attention(hidden)
+        attended = self.self_attention(normed, normed, normed, mask=mask, position_bias=position_bias)
+        hidden = hidden + self.dropout(attended)
+        normed = self.norm_feed_forward(hidden)
+        hidden = hidden + self.dropout(self.feed_forward(normed))
+        return hidden
+
+
+class DecoderLayer(Module):
+    """Causal self-attention + cross-attention + feed-forward block."""
+
+    def __init__(self, config: TransformerConfig, seed: int):
+        super().__init__()
+        rng = seeded_rng(seed)
+        self.self_attention = MultiHeadAttention(config.d_model, config.num_heads, config.dropout, seed=rng)
+        self.norm_self = RMSNorm(config.d_model)
+        self.cross_attention = MultiHeadAttention(config.d_model, config.num_heads, config.dropout, seed=rng)
+        self.norm_cross = RMSNorm(config.d_model)
+        self.feed_forward = FeedForward(config.d_model, config.d_ff, config.activation, config.dropout, seed=rng)
+        self.norm_feed_forward = RMSNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, seed=rng)
+
+    def forward(
+        self,
+        hidden: Tensor,
+        encoder_hidden: Tensor,
+        self_mask: np.ndarray | None,
+        cross_mask: np.ndarray | None,
+        position_bias: Tensor | None,
+    ) -> Tensor:
+        normed = self.norm_self(hidden)
+        attended = self.self_attention(normed, normed, normed, mask=self_mask, position_bias=position_bias)
+        hidden = hidden + self.dropout(attended)
+        normed = self.norm_cross(hidden)
+        cross = self.cross_attention(normed, encoder_hidden, encoder_hidden, mask=cross_mask)
+        hidden = hidden + self.dropout(cross)
+        normed = self.norm_feed_forward(hidden)
+        hidden = hidden + self.dropout(self.feed_forward(normed))
+        return hidden
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a shared relative position bias."""
+
+    def __init__(self, config: TransformerConfig, embedding: Embedding):
+        super().__init__()
+        self.config = config
+        self.embedding = embedding
+        self.layers = [EncoderLayer(config, derive_seed(config.seed, "encoder", i)) for i in range(config.num_encoder_layers)]
+        self.position_bias = RelativePositionBias(
+            config.num_heads,
+            config.relative_attention_num_buckets,
+            config.relative_attention_max_distance,
+            bidirectional=True,
+            seed=derive_seed(config.seed, "encoder_bias"),
+        )
+        self.final_norm = RMSNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, seed=derive_seed(config.seed, "encoder_dropout"))
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if attention_mask is None:
+            attention_mask = input_ids != self.config.pad_id
+        hidden = self.dropout(self.embedding(input_ids))
+        length = input_ids.shape[1]
+        bias = self.position_bias(length, length)
+        keep = np.asarray(attention_mask, dtype=bool)[:, None, :]  # (B, 1, T)
+        for layer in self.layers:
+            hidden = layer(hidden, keep, bias)
+        return self.final_norm(hidden)
+
+
+class TransformerDecoder(Module):
+    """Stack of decoder layers with causal masking and cross attention."""
+
+    def __init__(self, config: TransformerConfig, embedding: Embedding):
+        super().__init__()
+        self.config = config
+        self.embedding = embedding
+        self.layers = [DecoderLayer(config, derive_seed(config.seed, "decoder", i)) for i in range(config.num_decoder_layers)]
+        self.position_bias = RelativePositionBias(
+            config.num_heads,
+            config.relative_attention_num_buckets,
+            config.relative_attention_max_distance,
+            bidirectional=False,
+            seed=derive_seed(config.seed, "decoder_bias"),
+        )
+        self.final_norm = RMSNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, seed=derive_seed(config.seed, "decoder_dropout"))
+
+    def forward(
+        self,
+        decoder_input_ids: np.ndarray,
+        encoder_hidden: Tensor,
+        encoder_attention_mask: np.ndarray | None = None,
+        decoder_attention_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        decoder_input_ids = np.asarray(decoder_input_ids, dtype=np.int64)
+        batch, length = decoder_input_ids.shape
+        hidden = self.dropout(self.embedding(decoder_input_ids))
+        bias = self.position_bias(length, length)
+
+        causal = F.causal_mask(length)[None, :, :]  # (1, T, T)
+        if decoder_attention_mask is not None:
+            pad_keep = np.asarray(decoder_attention_mask, dtype=bool)[:, None, :]
+            self_mask = causal & pad_keep
+        else:
+            self_mask = np.broadcast_to(causal, (batch, length, length))
+
+        if encoder_attention_mask is not None:
+            cross_mask = np.asarray(encoder_attention_mask, dtype=bool)[:, None, :]
+        else:
+            cross_mask = None
+
+        for layer in self.layers:
+            hidden = layer(hidden, encoder_hidden, self_mask, cross_mask, bias)
+        return self.final_norm(hidden)
+
+
+class T5Model(Module):
+    """The full encoder--decoder LM with tied embeddings and an LM head."""
+
+    def __init__(self, config: TransformerConfig):
+        super().__init__()
+        config.validate()
+        self.config = config
+        self.shared_embedding = Embedding(config.vocab_size, config.d_model, seed=derive_seed(config.seed, "embedding"))
+        self.encoder = TransformerEncoder(config, self.shared_embedding)
+        self.decoder = TransformerDecoder(config, self.shared_embedding)
+
+    # -- training ------------------------------------------------------------
+    def shift_right(self, labels: np.ndarray) -> np.ndarray:
+        """Build decoder inputs by prepending BOS and dropping the final token."""
+        labels = np.asarray(labels, dtype=np.int64)
+        shifted = np.full_like(labels, self.config.pad_id)
+        shifted[:, 0] = self.config.bos_id
+        shifted[:, 1:] = labels[:, :-1]
+        # Padding in the labels must stay padding in the inputs.
+        shifted = np.where(shifted == self.config.pad_id, self.config.pad_id, shifted)
+        return shifted
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        labels: np.ndarray | None = None,
+        decoder_input_ids: np.ndarray | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> dict:
+        """Run the model; returns a dict with ``logits`` and optionally ``loss``."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if attention_mask is None:
+            attention_mask = input_ids != self.config.pad_id
+        if decoder_input_ids is None:
+            if labels is None:
+                raise ModelConfigError("either labels or decoder_input_ids must be provided")
+            decoder_input_ids = self.shift_right(labels)
+        decoder_mask = decoder_input_ids != self.config.pad_id
+        decoder_mask[:, 0] = True  # BOS is always attended
+
+        encoder_hidden = self.encoder(input_ids, attention_mask)
+        decoder_hidden = self.decoder(decoder_input_ids, encoder_hidden, attention_mask, decoder_mask)
+        logits = self.lm_logits(decoder_hidden)
+        output = {"logits": logits, "encoder_hidden": encoder_hidden}
+        if labels is not None:
+            output["loss"] = F.sequence_cross_entropy(logits, labels, pad_id=self.config.pad_id)
+        return output
+
+    def lm_logits(self, decoder_hidden: Tensor) -> Tensor:
+        """Project decoder states onto the vocabulary with the tied embedding."""
+        scale = self.config.d_model**-0.5
+        return (decoder_hidden * scale) @ self.shared_embedding.weight.transpose()
+
+    # -- generation -------------------------------------------------------------
+    def generate(
+        self,
+        input_ids: np.ndarray,
+        max_length: int | None = None,
+        num_beams: int = 1,
+        length_penalty: float = 1.0,
+    ) -> np.ndarray:
+        """Generate output token ids (greedy for ``num_beams == 1``, else beam search)."""
+        input_ids = np.atleast_2d(np.asarray(input_ids, dtype=np.int64))
+        max_length = max_length or self.config.max_decode_length
+        if num_beams <= 1:
+            return self._greedy_generate(input_ids, max_length)
+        return np.stack([self._beam_generate(row[None, :], max_length, num_beams, length_penalty) for row in input_ids])
+
+    def _greedy_generate(self, input_ids: np.ndarray, max_length: int) -> np.ndarray:
+        batch = input_ids.shape[0]
+        attention_mask = input_ids != self.config.pad_id
+        with no_grad():
+            encoder_hidden = self.encoder(input_ids, attention_mask)
+            sequences = np.full((batch, 1), self.config.bos_id, dtype=np.int64)
+            finished = np.zeros(batch, dtype=bool)
+            for _ in range(max_length):
+                decoder_hidden = self.decoder(sequences, encoder_hidden, attention_mask)
+                logits = self.lm_logits(decoder_hidden).numpy()[:, -1, :]
+                next_tokens = logits.argmax(axis=-1)
+                next_tokens = np.where(finished, self.config.pad_id, next_tokens)
+                sequences = np.concatenate([sequences, next_tokens[:, None]], axis=1)
+                finished |= next_tokens == self.config.eos_id
+                if finished.all():
+                    break
+        return sequences[:, 1:]
+
+    def _beam_generate(self, input_ids: np.ndarray, max_length: int, num_beams: int, length_penalty: float) -> np.ndarray:
+        attention_mask = input_ids != self.config.pad_id
+        with no_grad():
+            encoder_hidden = self.encoder(input_ids, attention_mask)
+            beams: list[tuple[list[int], float, bool]] = [([self.config.bos_id], 0.0, False)]
+            for _ in range(max_length):
+                candidates: list[tuple[list[int], float, bool]] = []
+                for tokens, score, done in beams:
+                    if done:
+                        candidates.append((tokens, score, True))
+                        continue
+                    sequence = np.asarray(tokens, dtype=np.int64)[None, :]
+                    decoder_hidden = self.decoder(sequence, encoder_hidden, attention_mask)
+                    logits = self.lm_logits(decoder_hidden).numpy()[0, -1, :]
+                    log_probs = logits - logits.max()
+                    log_probs = log_probs - np.log(np.exp(log_probs).sum())
+                    top = np.argsort(log_probs)[::-1][:num_beams]
+                    for token in top:
+                        candidates.append(
+                            (tokens + [int(token)], score + float(log_probs[token]), int(token) == self.config.eos_id)
+                        )
+                candidates.sort(key=lambda item: item[1] / (max(len(item[0]) - 1, 1) ** length_penalty), reverse=True)
+                beams = candidates[:num_beams]
+                if all(done for _, _, done in beams):
+                    break
+        best_tokens = beams[0][0][1:][:max_length]
+        padded = np.full(max_length, self.config.pad_id, dtype=np.int64)
+        padded[: len(best_tokens)] = best_tokens
+        return padded

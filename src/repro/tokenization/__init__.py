@@ -1,0 +1,47 @@
+"""Tokenization: vocabulary management and the DataVisT5 tokenizer.
+
+The paper feeds the model linearized text sequences that mix natural language
+with DV knowledge (DV queries, schemas, tables) delimited by modality tags
+such as ``<NL>`` and ``<VQL>`` and corrupted with T5 sentinel tokens.  This
+package provides a word-level tokenizer with a character-level fallback for
+out-of-vocabulary words, which is sufficient for the synthetic corpora while
+keeping the vocabulary small enough to train the numpy transformer quickly.
+"""
+
+from repro.tokenization.special_tokens import (
+    PAD_TOKEN,
+    EOS_TOKEN,
+    UNK_TOKEN,
+    BOS_TOKEN,
+    MODALITY_TOKENS,
+    NL_TAG,
+    VQL_TAG,
+    SCHEMA_TAG,
+    TABLE_TAG,
+    QUESTION_TAG,
+    ANSWER_TAG,
+    sentinel_token,
+    num_default_sentinels,
+    default_special_tokens,
+)
+from repro.tokenization.vocab import Vocabulary
+from repro.tokenization.tokenizer import DataVisTokenizer
+
+__all__ = [
+    "PAD_TOKEN",
+    "EOS_TOKEN",
+    "UNK_TOKEN",
+    "BOS_TOKEN",
+    "MODALITY_TOKENS",
+    "NL_TAG",
+    "VQL_TAG",
+    "SCHEMA_TAG",
+    "TABLE_TAG",
+    "QUESTION_TAG",
+    "ANSWER_TAG",
+    "sentinel_token",
+    "num_default_sentinels",
+    "default_special_tokens",
+    "Vocabulary",
+    "DataVisTokenizer",
+]

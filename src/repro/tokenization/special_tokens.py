@@ -1,0 +1,62 @@
+"""Special tokens used by DataVisT5.
+
+Three families of special tokens appear in the paper:
+
+* structural tokens required by any encoder--decoder LM: padding, beginning /
+  end of sequence and the unknown token;
+* *modality tags* that prefix each corpus segment during pre-training and
+  fine-tuning (``<NL>``, ``<VQL>``, ``<schema>``, ``<Table>``, ``<Question>``,
+  ``<Answer>``), mirroring Figure 5 of the paper;
+* *sentinel tokens* ``<extra_id_0>`` ... used by the T5 span-corruption
+  objective to mark masked spans in the input and delimit the corresponding
+  target spans.
+"""
+
+from __future__ import annotations
+
+PAD_TOKEN = "<pad>"
+EOS_TOKEN = "</s>"
+UNK_TOKEN = "<unk>"
+BOS_TOKEN = "<s>"
+
+NL_TAG = "<NL>"
+VQL_TAG = "<VQL>"
+SCHEMA_TAG = "<schema>"
+TABLE_TAG = "<Table>"
+QUESTION_TAG = "<Question>"
+ANSWER_TAG = "<Answer>"
+
+MODALITY_TOKENS: tuple[str, ...] = (
+    NL_TAG,
+    VQL_TAG,
+    SCHEMA_TAG,
+    TABLE_TAG,
+    QUESTION_TAG,
+    ANSWER_TAG,
+)
+
+_DEFAULT_NUM_SENTINELS = 32
+
+
+def sentinel_token(index: int) -> str:
+    """Return the ``index``-th T5 sentinel token, e.g. ``<extra_id_0>``."""
+    if index < 0:
+        raise ValueError(f"sentinel index must be non-negative, got {index}")
+    return f"<extra_id_{index}>"
+
+
+def num_default_sentinels() -> int:
+    """Number of sentinel tokens reserved in a default vocabulary."""
+    return _DEFAULT_NUM_SENTINELS
+
+
+def default_special_tokens(num_sentinels: int = _DEFAULT_NUM_SENTINELS) -> list[str]:
+    """The full ordered list of special tokens for a fresh vocabulary.
+
+    The order is part of the on-disk format of saved vocabularies, so it must
+    stay stable: structural tokens first, then modality tags, then sentinels.
+    """
+    tokens = [PAD_TOKEN, EOS_TOKEN, UNK_TOKEN, BOS_TOKEN]
+    tokens.extend(MODALITY_TOKENS)
+    tokens.extend(sentinel_token(i) for i in range(num_sentinels))
+    return tokens

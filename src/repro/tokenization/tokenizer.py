@@ -1,0 +1,152 @@
+"""The DataVisT5 tokenizer.
+
+The original system reuses the CodeT5+ SentencePiece tokenizer.  Offline we
+use a word-level tokenizer with a character-level fallback for words that
+are not in the vocabulary.  This keeps identifiers such as ``artist.country``
+intact (they are single tokens in the synthetic corpora, so the fallback is
+rarely exercised) while guaranteeing that *any* string round-trips through
+``encode``/``decode`` without information loss for in-vocabulary text.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+from repro.errors import TokenizationError
+from repro.tokenization.special_tokens import (
+    EOS_TOKEN,
+    MODALITY_TOKENS,
+    PAD_TOKEN,
+    UNK_TOKEN,
+    default_special_tokens,
+    sentinel_token,
+)
+from repro.tokenization.vocab import Vocabulary
+
+_SPECIAL_RE = re.compile(r"<extra_id_\d+>|" + "|".join(re.escape(tag) for tag in MODALITY_TOKENS) + r"|</s>|<pad>|<unk>|<s>")
+_WORD_RE = re.compile(r"[a-z0-9_.%]+|'[^']*'|[^\sa-z0-9_.%]", re.IGNORECASE)
+
+
+class DataVisTokenizer:
+    """Tokenizer mapping DataVisT5 text sequences to integer id sequences."""
+
+    def __init__(self, vocab: Vocabulary, lowercase: bool = True, character_fallback: bool = True):
+        self.vocab = vocab
+        self.lowercase = lowercase
+        self.character_fallback = character_fallback
+
+    # -- text <-> tokens ----------------------------------------------------
+    def text_to_tokens(self, text: str) -> list[str]:
+        """Split ``text`` into tokens, keeping special tokens intact."""
+        tokens: list[str] = []
+        cursor = 0
+        for match in _SPECIAL_RE.finditer(text):
+            tokens.extend(self._split_plain(text[cursor : match.start()]))
+            tokens.append(match.group(0))
+            cursor = match.end()
+        tokens.extend(self._split_plain(text[cursor:]))
+        return tokens
+
+    def _split_plain(self, text: str) -> list[str]:
+        if self.lowercase:
+            text = text.lower()
+        return _WORD_RE.findall(text)
+
+    def tokens_to_text(self, tokens: Sequence[str]) -> str:
+        """Join tokens back into a string (inverse of :meth:`text_to_tokens` up to spacing)."""
+        return " ".join(token for token in tokens if token not in (PAD_TOKEN,))
+
+    # -- tokens <-> ids -----------------------------------------------------
+    def encode(self, text: str, add_eos: bool = True, max_length: int | None = None) -> list[int]:
+        """Encode ``text`` into a list of token ids.
+
+        Unknown words are expanded into single characters when
+        ``character_fallback`` is on; characters absent from the vocabulary
+        map to the unknown id.
+        """
+        ids: list[int] = []
+        for token in self.text_to_tokens(text):
+            if token in self.vocab:
+                ids.append(self.vocab.token_to_id(token))
+            elif self.character_fallback and len(token) > 1:
+                for character in token:
+                    ids.append(self.vocab.token_to_id(character))
+            else:
+                ids.append(self.vocab.unk_id)
+        if add_eos:
+            ids.append(self.vocab.eos_id)
+        if max_length is not None:
+            if max_length < 1:
+                raise TokenizationError(f"max_length must be >= 1, got {max_length}")
+            if len(ids) > max_length:
+                ids = ids[:max_length]
+                if add_eos:
+                    ids[-1] = self.vocab.eos_id
+        return ids
+
+    def decode(self, ids: Iterable[int], skip_special_tokens: bool = True) -> str:
+        """Decode a sequence of ids back into a string."""
+        tokens: list[str] = []
+        structural = {PAD_TOKEN, EOS_TOKEN, "<s>"}
+        for token_id in ids:
+            token = self.vocab.id_to_token(int(token_id))
+            if skip_special_tokens and token in structural:
+                continue
+            if skip_special_tokens and token == UNK_TOKEN:
+                continue
+            tokens.append(token)
+        return self.tokens_to_text(tokens)
+
+    def batch_encode(
+        self,
+        texts: Sequence[str],
+        max_length: int | None = None,
+        add_eos: bool = True,
+    ) -> list[list[int]]:
+        """Encode several texts; padding is left to the model's collator."""
+        return [self.encode(text, add_eos=add_eos, max_length=max_length) for text in texts]
+
+    # -- sentinel helpers ---------------------------------------------------
+    def sentinel_id(self, index: int) -> int:
+        """Id of the ``index``-th sentinel token (must exist in the vocabulary)."""
+        token = sentinel_token(index)
+        if token not in self.vocab:
+            raise TokenizationError(f"sentinel {token!r} is not in the vocabulary")
+        return self.vocab.token_to_id(token)
+
+    @property
+    def num_sentinels(self) -> int:
+        count = 0
+        while sentinel_token(count) in self.vocab:
+            count += 1
+        return count
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def build_from_corpus(
+        cls,
+        texts: Iterable[str],
+        max_vocab_size: int | None = None,
+        min_frequency: int = 1,
+        lowercase: bool = True,
+    ) -> "DataVisTokenizer":
+        """Build a tokenizer whose vocabulary covers ``texts``.
+
+        Single characters of every word are always added so the character
+        fallback can spell out unseen identifiers at inference time.
+        """
+        scratch = cls(Vocabulary(), lowercase=lowercase)
+        sequences: list[list[str]] = []
+        characters: set[str] = set()
+        special = set(default_special_tokens())
+        for text in texts:
+            tokens = scratch.text_to_tokens(text)
+            sequences.append(tokens)
+            for token in tokens:
+                if token not in special:
+                    characters.update(token)
+        vocab = Vocabulary.build(sequences, max_size=max_vocab_size, min_frequency=min_frequency)
+        for character in sorted(characters):
+            vocab.add_token(character)
+        return cls(vocab, lowercase=lowercase)

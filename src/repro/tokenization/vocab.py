@@ -1,0 +1,138 @@
+"""Vocabulary: a bidirectional mapping between tokens and integer ids."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import TokenizationError
+from repro.tokenization.special_tokens import (
+    PAD_TOKEN,
+    EOS_TOKEN,
+    UNK_TOKEN,
+    BOS_TOKEN,
+    default_special_tokens,
+)
+
+
+class Vocabulary:
+    """An append-only token <-> id mapping with frequency-based construction.
+
+    The vocabulary always contains the structural special tokens so that the
+    pad / eos / unk ids exist even for an "empty" vocabulary, which keeps the
+    neural layers' assumptions (id 0 is padding) valid everywhere.
+    """
+
+    def __init__(self, tokens: Iterable[str] | None = None, include_default_specials: bool = True):
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        if include_default_specials:
+            for token in default_special_tokens():
+                self.add_token(token)
+        else:
+            for token in (PAD_TOKEN, EOS_TOKEN, UNK_TOKEN, BOS_TOKEN):
+                self.add_token(token)
+        if tokens is not None:
+            for token in tokens:
+                self.add_token(token)
+
+    # -- construction -----------------------------------------------------
+    def add_token(self, token: str) -> int:
+        """Add ``token`` if missing and return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Iterable[Iterable[str]],
+        max_size: int | None = None,
+        min_frequency: int = 1,
+    ) -> "Vocabulary":
+        """Build a vocabulary from an iterable of token sequences.
+
+        Tokens are ranked by frequency (ties broken alphabetically so the
+        result is deterministic) and truncated to ``max_size`` entries in
+        addition to the special tokens.
+        """
+        counts: Counter[str] = Counter()
+        for sequence in corpus:
+            counts.update(sequence)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        vocab = cls()
+        added = 0
+        for token, frequency in ranked:
+            if frequency < min_frequency:
+                break
+            if max_size is not None and added >= max_size:
+                break
+            if token not in vocab:
+                vocab.add_token(token)
+                added += 1
+        return vocab
+
+    # -- lookups -----------------------------------------------------------
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def token_to_id(self, token: str) -> int:
+        """Return the id of ``token``, falling back to the unknown id."""
+        return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
+
+    def id_to_token(self, token_id: int) -> str:
+        if token_id < 0 or token_id >= len(self._id_to_token):
+            raise TokenizationError(f"token id {token_id} outside vocabulary of size {len(self)}")
+        return self._id_to_token[token_id]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS_TOKEN]
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy; mutating it does not affect the vocab)."""
+        return list(self._id_to_token)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the vocabulary to ``path`` as a JSON list of tokens in id order."""
+        payload = {"tokens": self._id_to_token}
+        Path(path).write_text(json.dumps(payload, ensure_ascii=False, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        """Load a vocabulary previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        tokens = payload.get("tokens")
+        if not isinstance(tokens, list) or not tokens:
+            raise TokenizationError(f"invalid vocabulary file: {path}")
+        vocab = cls.__new__(cls)
+        vocab._token_to_id = {}
+        vocab._id_to_token = []
+        for token in tokens:
+            vocab.add_token(token)
+        for required in (PAD_TOKEN, EOS_TOKEN, UNK_TOKEN, BOS_TOKEN):
+            if required not in vocab:
+                raise TokenizationError(f"vocabulary file {path} is missing required token {required!r}")
+        return vocab

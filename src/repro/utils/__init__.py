@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG helpers and text processing."""
+
+from repro.utils.rng import seeded_rng, derive_seed
+from repro.utils.text import (
+    ngrams,
+    normalize_whitespace,
+    tokenize_words,
+    jaccard_similarity,
+    levenshtein_distance,
+)
+
+__all__ = [
+    "seeded_rng",
+    "derive_seed",
+    "ngrams",
+    "normalize_whitespace",
+    "tokenize_words",
+    "jaccard_similarity",
+    "levenshtein_distance",
+]

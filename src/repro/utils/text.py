@@ -1,0 +1,63 @@
+"""Plain-text helpers used by schema filtration, metrics and tokenization."""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+_WORD_RE = re.compile(r"[a-z0-9_.]+|[^\sa-z0-9_.]", re.IGNORECASE)
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return " ".join(text.split())
+
+
+def tokenize_words(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word-level tokens.
+
+    Identifiers such as ``artist.country`` or ``year_join`` are kept as single
+    tokens because DV queries and linearized schemas use them as atomic units;
+    punctuation characters become their own tokens.
+    """
+    if lowercase:
+        text = text.lower()
+    return _WORD_RE.findall(text)
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """Return the list of ``n``-grams over ``tokens`` (empty if too short)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two token collections (1.0 when both are empty)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def levenshtein_distance(a: Sequence, b: Sequence) -> int:
+    """Edit distance between two sequences (used by retrieval baselines)."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (item_a != item_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]

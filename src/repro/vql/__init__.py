@@ -1,0 +1,47 @@
+"""The DV query language (VQL).
+
+A DV query is the SQL-like intermediate representation introduced by the
+DeepEye / nvBench line of work: it specifies a chart type (``visualize bar``)
+plus the data operations (``select ... from ... group by ... order by ...``)
+needed to produce the chart's data.  DataVisT5 treats DV queries as plain
+token sequences; this package gives the rest of the reproduction a *typed*
+view of them — parsing, validation against a schema, standardized encoding
+(the five normalisation rules of §III-D of the paper) and component-wise
+comparison for the EM metric family.
+"""
+
+from repro.vql.ast import (
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    SortDirection,
+    Subquery,
+)
+from repro.vql.lexer import Token, tokenize
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query, standardize_text
+from repro.vql.validation import validate_dv_query
+
+__all__ = [
+    "AggregateExpr",
+    "BinClause",
+    "ChartType",
+    "ColumnRef",
+    "Condition",
+    "DVQuery",
+    "JoinClause",
+    "OrderByClause",
+    "SortDirection",
+    "Subquery",
+    "Token",
+    "tokenize",
+    "parse_dv_query",
+    "standardize_dv_query",
+    "standardize_text",
+    "validate_dv_query",
+]

@@ -1,0 +1,270 @@
+"""Typed abstract syntax tree for DV queries."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ChartType(str, enum.Enum):
+    """Chart types supported by the DV query grammar (the nvBench set)."""
+
+    BAR = "bar"
+    PIE = "pie"
+    LINE = "line"
+    SCATTER = "scatter"
+    STACKED_BAR = "stacked bar"
+    GROUPING_LINE = "grouping line"
+    GROUPING_SCATTER = "grouping scatter"
+
+    @classmethod
+    def from_text(cls, text: str) -> "ChartType":
+        normalized = " ".join(text.lower().split())
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(f"unknown chart type: {text!r}")
+
+
+class SortDirection(str, enum.Enum):
+    ASC = "asc"
+    DESC = "desc"
+
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "max", "min")
+
+TIME_BIN_UNITS = ("year", "month", "weekday", "day")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to a column, optionally qualified by its table name.
+
+    ``column`` may be ``"*"`` only inside ``count(*)`` before standardization.
+    """
+
+    column: str
+    table: str | None = None
+
+    def to_text(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.column == "*"
+
+    def qualified(self, table: str) -> "ColumnRef":
+        """Return a copy qualified with ``table`` if not already qualified."""
+        if self.table or self.is_wildcard:
+            return self
+        return ColumnRef(column=self.column, table=table)
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """A select-list item: a bare column or an aggregate over a column."""
+
+    column: ColumnRef
+    function: str | None = None
+    distinct: bool = False
+
+    def __post_init__(self):
+        if self.function is not None and self.function not in AGGREGATE_FUNCTIONS:
+            raise ValueError(f"unknown aggregate function: {self.function!r}")
+
+    def to_text(self) -> str:
+        if self.function is None:
+            return self.column.to_text()
+        inner = self.column.to_text()
+        if self.distinct:
+            inner = f"distinct {inner}"
+        return f"{self.function} ( {inner} )"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.function is not None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An equi-join against ``table`` on ``left = right``."""
+
+    table: str
+    left: ColumnRef
+    right: ColumnRef
+
+    def to_text(self) -> str:
+        return f"join {self.table} on {self.left.to_text()} = {self.right.to_text()}"
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """A one-level nested ``select`` used inside IN / NOT IN conditions."""
+
+    select: AggregateExpr
+    from_table: str
+    joins: tuple[JoinClause, ...] = ()
+    where: tuple["Condition", ...] = ()
+
+    def to_text(self) -> str:
+        parts = [f"select {self.select.to_text()}", f"from {self.from_table}"]
+        parts.extend(join.to_text() for join in self.joins)
+        if self.where:
+            parts.append("where " + " and ".join(cond.to_text() for cond in self.where))
+        return "( " + " ".join(parts) + " )"
+
+
+COMPARISON_OPERATORS = ("=", "!=", ">", "<", ">=", "<=", "like", "in", "not in")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A WHERE predicate ``left <operator> value``."""
+
+    left: ColumnRef
+    operator: str
+    value: str | float | int | Subquery
+
+    def __post_init__(self):
+        if self.operator not in COMPARISON_OPERATORS:
+            raise ValueError(f"unknown comparison operator: {self.operator!r}")
+
+    def to_text(self) -> str:
+        if isinstance(self.value, Subquery):
+            rendered = self.value.to_text()
+        elif isinstance(self.value, str):
+            rendered = f"'{self.value}'"
+        else:
+            rendered = format_number(self.value)
+        return f"{self.left.to_text()} {self.operator} {rendered}"
+
+
+@dataclass(frozen=True)
+class OrderByClause:
+    """ORDER BY over a select-list expression with an explicit direction."""
+
+    expression: AggregateExpr
+    direction: SortDirection = SortDirection.ASC
+
+    def to_text(self) -> str:
+        return f"order by {self.expression.to_text()} {self.direction.value}"
+
+
+@dataclass(frozen=True)
+class BinClause:
+    """``bin <column> by <unit>`` — temporal bucketing of an axis."""
+
+    column: ColumnRef
+    unit: str
+
+    def __post_init__(self):
+        if self.unit not in TIME_BIN_UNITS:
+            raise ValueError(f"unknown bin unit: {self.unit!r}")
+
+    def to_text(self) -> str:
+        return f"bin {self.column.to_text()} by {self.unit}"
+
+
+def format_number(value: float | int) -> str:
+    """Format a numeric literal without a trailing ``.0`` for integral values."""
+    if isinstance(value, bool):
+        raise TypeError("boolean literals are not valid in DV queries")
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class DVQuery:
+    """A complete DV query."""
+
+    chart_type: ChartType
+    select: tuple[AggregateExpr, ...]
+    from_table: str
+    joins: tuple[JoinClause, ...] = ()
+    where: tuple[Condition, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: OrderByClause | None = None
+    bin: BinClause | None = None
+
+    def __post_init__(self):
+        if not self.select:
+            raise ValueError("a DV query must select at least one expression")
+
+    # -- serialization -------------------------------------------------------
+    def to_text(self) -> str:
+        """The canonical text form used for model training and EM comparison."""
+        parts = [
+            f"visualize {self.chart_type.value}",
+            "select " + " , ".join(item.to_text() for item in self.select),
+            f"from {self.from_table}",
+        ]
+        parts.extend(join.to_text() for join in self.joins)
+        if self.where:
+            parts.append("where " + " and ".join(cond.to_text() for cond in self.where))
+        if self.group_by:
+            parts.append("group by " + " , ".join(col.to_text() for col in self.group_by))
+        if self.order_by is not None:
+            parts.append(self.order_by.to_text())
+        if self.bin is not None:
+            parts.append(self.bin.to_text())
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    # -- structural accessors ---------------------------------------------------
+    @property
+    def has_join(self) -> bool:
+        return bool(self.joins)
+
+    def tables(self) -> list[str]:
+        """All table names touched by the query (FROM plus JOINs)."""
+        names = [self.from_table]
+        names.extend(join.table for join in self.joins)
+        return names
+
+    def columns(self) -> list[ColumnRef]:
+        """Every column reference appearing anywhere in the query."""
+        refs: list[ColumnRef] = []
+        for item in self.select:
+            refs.append(item.column)
+        for join in self.joins:
+            refs.extend([join.left, join.right])
+        for cond in self.where:
+            refs.append(cond.left)
+            if isinstance(cond.value, Subquery):
+                refs.append(cond.value.select.column)
+                for join in cond.value.joins:
+                    refs.extend([join.left, join.right])
+                for inner in cond.value.where:
+                    refs.append(inner.left)
+        refs.extend(self.group_by)
+        if self.order_by is not None:
+            refs.append(self.order_by.expression.column)
+        if self.bin is not None:
+            refs.append(self.bin.column)
+        return refs
+
+    # -- EM metric components -----------------------------------------------------
+    def vis_component(self) -> str:
+        """The visualization-type component used by the Vis EM metric."""
+        return self.chart_type.value
+
+    def axis_component(self) -> tuple[str, ...]:
+        """The axis (x/y/z) configuration used by the Axis EM metric."""
+        return tuple(item.to_text() for item in self.select)
+
+    def data_component(self) -> dict[str, object]:
+        """Data selection + transformation functions, used by the Data EM metric."""
+        return {
+            "from": self.from_table,
+            "joins": tuple(sorted(join.to_text() for join in self.joins)),
+            "where": tuple(sorted(cond.to_text() for cond in self.where)),
+            "group_by": tuple(col.to_text() for col in self.group_by),
+            "order_by": self.order_by.to_text() if self.order_by else None,
+            "bin": self.bin.to_text() if self.bin else None,
+            "aggregations": tuple(sorted(item.to_text() for item in self.select if item.is_aggregate)),
+        }

@@ -1,0 +1,63 @@
+"""Lexer for DV queries.
+
+The lexer is deliberately permissive: it accepts both the "original" nvBench
+annotation style (uppercase keywords, ``COUNT(*)``, double-quoted strings,
+``AS T1`` aliases) and the standardized lowercase style, leaving the
+normalisation decisions to the parser and the standardizer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import VQLSyntaxError
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its original surface position."""
+
+    kind: str  # 'word' | 'number' | 'string' | 'symbol'
+    value: str
+    position: int
+
+    def lowered(self) -> str:
+        return self.value.lower()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_*][A-Za-z0-9_]*)?|\*)
+  | (?P<symbol><=|>=|!=|<>|[(),=<>.])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of :class:`Token`.
+
+    Raises :class:`VQLSyntaxError` on the first character that cannot start a
+    token, reporting its position.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise VQLSyntaxError(f"unexpected character {text[position]!r} at position {position}", position=position)
+        if match.lastgroup != "space":
+            value = match.group(0)
+            kind = match.lastgroup
+            if kind == "string":
+                value = value[1:-1]
+            if kind == "symbol" and value == "<>":
+                value = "!="
+            tokens.append(Token(kind=kind, value=value, position=position))
+        position = match.end()
+    return tokens

@@ -1,0 +1,343 @@
+"""Recursive-descent parser turning DV query text into :class:`DVQuery` ASTs."""
+
+from __future__ import annotations
+
+from repro.errors import VQLSyntaxError
+from repro.vql.ast import (
+    AGGREGATE_FUNCTIONS,
+    TIME_BIN_UNITS,
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    SortDirection,
+    Subquery,
+)
+from repro.vql.lexer import Token, tokenize
+
+_MULTI_WORD_CHARTS = {"stacked": "bar", "grouping": ("line", "scatter")}
+
+
+class _TokenStream:
+    """A cursor over the token list with convenience checks."""
+
+    def __init__(self, tokens: list[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Token | None:
+        position = self.index + offset
+        if position < len(self.tokens):
+            return self.tokens[position]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise VQLSyntaxError(f"unexpected end of DV query: {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect_word(self, *expected: str) -> Token:
+        token = self.next()
+        if token.kind != "word" or token.lowered() not in expected:
+            raise VQLSyntaxError(
+                f"expected {' or '.join(expected)!s} but found {token.value!r} at position {token.position}",
+                position=token.position,
+            )
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.next()
+        if token.kind != "symbol" or token.value != symbol:
+            raise VQLSyntaxError(
+                f"expected {symbol!r} but found {token.value!r} at position {token.position}",
+                position=token.position,
+            )
+        return token
+
+    def match_word(self, *candidates: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "word" and token.lowered() in candidates
+
+    def match_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "symbol" and token.value == symbol
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_dv_query(text: str) -> DVQuery:
+    """Parse DV query ``text`` into a :class:`DVQuery`.
+
+    The parser accepts both the raw annotation style (uppercase keywords,
+    table aliases introduced by ``AS``, ``count(*)``) and the standardized
+    style; aliases are resolved to their table names during parsing.
+    """
+    stream = _TokenStream(tokenize(text), text)
+    stream.expect_word("visualize")
+    chart_type = _parse_chart_type(stream)
+
+    stream.expect_word("select")
+    aliases: dict[str, str] = {}
+    select = _parse_select_list(stream, aliases)
+
+    stream.expect_word("from")
+    from_table = _parse_table_name(stream, aliases)
+
+    joins: list[JoinClause] = []
+    while stream.match_word("join"):
+        joins.append(_parse_join(stream, aliases))
+
+    where: list[Condition] = []
+    if stream.match_word("where"):
+        stream.next()
+        where.append(_parse_condition(stream, aliases))
+        while stream.match_word("and"):
+            stream.next()
+            where.append(_parse_condition(stream, aliases))
+
+    group_by: list[ColumnRef] = []
+    if stream.match_word("group"):
+        stream.next()
+        stream.expect_word("by")
+        group_by.append(_resolve_alias(_parse_column_ref(stream), aliases))
+        while stream.match_symbol(","):
+            stream.next()
+            group_by.append(_resolve_alias(_parse_column_ref(stream), aliases))
+
+    order_by = None
+    if stream.match_word("order"):
+        stream.next()
+        stream.expect_word("by")
+        expression = _parse_select_item(stream, aliases)
+        direction = SortDirection.ASC
+        if stream.match_word("asc", "desc"):
+            direction = SortDirection(stream.next().lowered())
+        order_by = OrderByClause(expression=expression, direction=direction)
+
+    bin_clause = None
+    if stream.match_word("bin"):
+        stream.next()
+        column = _resolve_alias(_parse_column_ref(stream), aliases)
+        stream.expect_word("by")
+        unit_token = stream.expect_word(*TIME_BIN_UNITS)
+        bin_clause = BinClause(column=column, unit=unit_token.lowered())
+
+    if not stream.exhausted():
+        trailing = stream.peek()
+        raise VQLSyntaxError(
+            f"unexpected trailing token {trailing.value!r} at position {trailing.position}",
+            position=trailing.position,
+        )
+
+    query = DVQuery(
+        chart_type=chart_type,
+        select=tuple(select),
+        from_table=from_table,
+        joins=tuple(joins),
+        where=tuple(where),
+        group_by=tuple(group_by),
+        order_by=order_by,
+        bin=bin_clause,
+    )
+    return _resolve_query_aliases(query, aliases)
+
+
+# -- clause parsers ---------------------------------------------------------------
+
+
+def _parse_chart_type(stream: _TokenStream) -> ChartType:
+    token = stream.next()
+    if token.kind != "word":
+        raise VQLSyntaxError(f"expected a chart type, found {token.value!r}", position=token.position)
+    first = token.lowered()
+    if first in ("stacked", "grouping"):
+        second = stream.next()
+        return ChartType.from_text(f"{first} {second.lowered()}")
+    try:
+        return ChartType.from_text(first)
+    except ValueError as exc:
+        raise VQLSyntaxError(str(exc), position=token.position) from exc
+
+
+def _parse_select_list(stream: _TokenStream, aliases: dict[str, str]) -> list[AggregateExpr]:
+    items = [_parse_select_item(stream, aliases)]
+    while stream.match_symbol(","):
+        stream.next()
+        items.append(_parse_select_item(stream, aliases))
+    return items
+
+
+def _parse_select_item(stream: _TokenStream, aliases: dict[str, str]) -> AggregateExpr:
+    token = stream.peek()
+    if token is None:
+        raise VQLSyntaxError("unexpected end of DV query while parsing a select item")
+    if token.kind == "word" and token.lowered() in AGGREGATE_FUNCTIONS and _is_open_paren(stream.peek(1)):
+        function = stream.next().lowered()
+        stream.expect_symbol("(")
+        distinct = False
+        if stream.match_word("distinct"):
+            stream.next()
+            distinct = True
+        column = _parse_column_ref(stream)
+        stream.expect_symbol(")")
+        return AggregateExpr(column=_resolve_alias(column, aliases), function=function, distinct=distinct)
+    column = _parse_column_ref(stream)
+    return AggregateExpr(column=_resolve_alias(column, aliases), function=None)
+
+
+def _is_open_paren(token: Token | None) -> bool:
+    return token is not None and token.kind == "symbol" and token.value == "("
+
+
+def _parse_column_ref(stream: _TokenStream) -> ColumnRef:
+    token = stream.next()
+    if token.kind != "word":
+        raise VQLSyntaxError(f"expected a column reference, found {token.value!r}", position=token.position)
+    value = token.value
+    if "." in value and value != "*":
+        table, column = value.split(".", 1)
+        return ColumnRef(column=column.lower(), table=table.lower())
+    return ColumnRef(column=value.lower() if value != "*" else "*")
+
+
+def _parse_table_name(stream: _TokenStream, aliases: dict[str, str]) -> str:
+    token = stream.next()
+    if token.kind != "word":
+        raise VQLSyntaxError(f"expected a table name, found {token.value!r}", position=token.position)
+    table = token.lowered()
+    if stream.match_word("as"):
+        stream.next()
+        alias_token = stream.next()
+        aliases[alias_token.lowered()] = table
+    return table
+
+
+def _parse_join(stream: _TokenStream, aliases: dict[str, str]) -> JoinClause:
+    stream.expect_word("join")
+    table = _parse_table_name(stream, aliases)
+    stream.expect_word("on")
+    left = _parse_column_ref(stream)
+    stream.expect_symbol("=")
+    right = _parse_column_ref(stream)
+    return JoinClause(table=table, left=_resolve_alias(left, aliases), right=_resolve_alias(right, aliases))
+
+
+def _parse_condition(stream: _TokenStream, aliases: dict[str, str]) -> Condition:
+    left = _resolve_alias(_parse_column_ref(stream), aliases)
+    operator = _parse_operator(stream)
+    value = _parse_value(stream, aliases)
+    return Condition(left=left, operator=operator, value=value)
+
+
+def _parse_operator(stream: _TokenStream) -> str:
+    token = stream.next()
+    if token.kind == "symbol" and token.value in ("=", "!=", ">", "<", ">=", "<="):
+        return token.value
+    if token.kind == "word":
+        word = token.lowered()
+        if word == "like":
+            return "like"
+        if word == "in":
+            return "in"
+        if word == "not":
+            stream.expect_word("in")
+            return "not in"
+    raise VQLSyntaxError(f"expected a comparison operator, found {token.value!r}", position=token.position)
+
+
+def _parse_value(stream: _TokenStream, aliases: dict[str, str]):
+    token = stream.peek()
+    if token is None:
+        raise VQLSyntaxError("unexpected end of DV query while parsing a literal")
+    if token.kind == "symbol" and token.value == "(":
+        return _parse_subquery(stream, aliases)
+    token = stream.next()
+    if token.kind == "string":
+        return token.value
+    if token.kind == "number":
+        number = float(token.value)
+        return int(number) if number.is_integer() else number
+    if token.kind == "word":
+        # Unquoted literals occur in hand-written queries; keep them as strings.
+        return token.value
+    raise VQLSyntaxError(f"expected a literal value, found {token.value!r}", position=token.position)
+
+
+def _parse_subquery(stream: _TokenStream, aliases: dict[str, str]) -> Subquery:
+    stream.expect_symbol("(")
+    stream.expect_word("select")
+    select = _parse_select_item(stream, aliases)
+    stream.expect_word("from")
+    from_table = _parse_table_name(stream, aliases)
+    joins: list[JoinClause] = []
+    while stream.match_word("join"):
+        joins.append(_parse_join(stream, aliases))
+    where: list[Condition] = []
+    if stream.match_word("where"):
+        stream.next()
+        where.append(_parse_condition(stream, aliases))
+        while stream.match_word("and"):
+            stream.next()
+            where.append(_parse_condition(stream, aliases))
+    stream.expect_symbol(")")
+    return Subquery(select=select, from_table=from_table, joins=tuple(joins), where=tuple(where))
+
+
+# -- alias resolution ----------------------------------------------------------------
+
+
+def _resolve_alias(ref: ColumnRef, aliases: dict[str, str]) -> ColumnRef:
+    if ref.table and ref.table in aliases:
+        return ColumnRef(column=ref.column, table=aliases[ref.table])
+    return ref
+
+
+def _resolve_query_aliases(query: DVQuery, aliases: dict[str, str]) -> DVQuery:
+    """Re-resolve aliases recorded after some clauses were already parsed.
+
+    ``FROM t AS T1`` registers the alias after the SELECT list has been read,
+    so select items referencing ``T1.x`` need a second resolution pass.
+    """
+    if not aliases:
+        return query
+
+    def fix(ref: ColumnRef) -> ColumnRef:
+        return _resolve_alias(ref, aliases)
+
+    select = tuple(
+        AggregateExpr(column=fix(item.column), function=item.function, distinct=item.distinct) for item in query.select
+    )
+    joins = tuple(JoinClause(table=j.table, left=fix(j.left), right=fix(j.right)) for j in query.joins)
+    where = tuple(
+        Condition(left=fix(c.left), operator=c.operator, value=c.value) for c in query.where
+    )
+    group_by = tuple(fix(col) for col in query.group_by)
+    order_by = query.order_by
+    if order_by is not None:
+        expression = AggregateExpr(
+            column=fix(order_by.expression.column),
+            function=order_by.expression.function,
+            distinct=order_by.expression.distinct,
+        )
+        order_by = OrderByClause(expression=expression, direction=order_by.direction)
+    bin_clause = query.bin
+    if bin_clause is not None:
+        bin_clause = BinClause(column=fix(bin_clause.column), unit=bin_clause.unit)
+    return DVQuery(
+        chart_type=query.chart_type,
+        select=select,
+        from_table=query.from_table,
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        bin=bin_clause,
+    )

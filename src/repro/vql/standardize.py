@@ -1,0 +1,131 @@
+"""Standardized encoding of DV queries (§III-D of the paper).
+
+NVBench queries were annotated by many people with different habits, so the
+paper normalises them before training with five rules:
+
+1. qualify every selected column with its table (``col`` → ``T.col``) and
+   replace ``count(*)`` by ``count(T.col)``;
+2. put spaces around parentheses and use single quotes for string literals;
+3. append ``asc`` to ORDER BY clauses without an explicit direction;
+4. drop ``AS`` aliases and substitute the real table names;
+5. lowercase everything.
+
+Rules 2-5 are properties of our canonical AST serialization and of the
+parser, so this module's job is rule 1: resolving which table each
+unqualified column belongs to (using the database schema when available) and
+choosing the replacement column for ``count(*)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VQLValidationError
+from repro.database.schema import DatabaseSchema
+from repro.vql.ast import (
+    AggregateExpr,
+    BinClause,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    Subquery,
+)
+from repro.vql.parser import parse_dv_query
+
+
+def standardize_text(text: str, schema: DatabaseSchema | None = None) -> str:
+    """Parse raw DV query text and return its standardized form."""
+    return standardize_dv_query(parse_dv_query(text), schema=schema).to_text()
+
+
+def standardize_dv_query(query: DVQuery, schema: DatabaseSchema | None = None) -> DVQuery:
+    """Return a standardized copy of ``query``.
+
+    When ``schema`` is given, unqualified columns are attributed to the table
+    of the query that actually contains them; otherwise they are attributed
+    to the primary (FROM) table, matching the paper's "affix the primary
+    table name" phrasing.
+    """
+    tables = query.tables()
+
+    def qualify(ref: ColumnRef) -> ColumnRef:
+        if ref.is_wildcard or ref.table:
+            return ref
+        if schema is not None:
+            owner = schema.find_column_table(ref.column, candidate_tables=tables)
+            if owner is not None:
+                return ColumnRef(column=ref.column, table=owner)
+        return ColumnRef(column=ref.column, table=query.from_table)
+
+    wildcard_replacement = _wildcard_replacement(query, schema, qualify)
+
+    def fix_item(item: AggregateExpr) -> AggregateExpr:
+        column = item.column
+        if column.is_wildcard:
+            if item.function != "count":
+                raise VQLValidationError("'*' is only valid inside count()")
+            column = wildcard_replacement
+        return AggregateExpr(column=qualify(column), function=item.function, distinct=item.distinct)
+
+    select = tuple(fix_item(item) for item in query.select)
+    joins = tuple(JoinClause(table=j.table, left=qualify(j.left), right=qualify(j.right)) for j in query.joins)
+    where = tuple(_fix_condition(cond, qualify, wildcard_replacement) for cond in query.where)
+    group_by = tuple(qualify(col) for col in query.group_by)
+    order_by = None
+    if query.order_by is not None:
+        order_by = OrderByClause(expression=fix_item(query.order_by.expression), direction=query.order_by.direction)
+    bin_clause = None
+    if query.bin is not None:
+        bin_clause = BinClause(column=qualify(query.bin.column), unit=query.bin.unit)
+
+    return DVQuery(
+        chart_type=query.chart_type,
+        select=select,
+        from_table=query.from_table,
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        bin=bin_clause,
+    )
+
+
+def _wildcard_replacement(query: DVQuery, schema: DatabaseSchema | None, qualify) -> ColumnRef:
+    """The column that replaces ``*`` inside ``count(*)``.
+
+    Preference order, mirroring the paper's worked example (where
+    ``COUNT(*)`` becomes ``count(player.years_played)``): the first grouped
+    column, then the first non-aggregate selected column, then the primary
+    key / first column of the FROM table, and finally a generic ``*`` left
+    unchanged when nothing better is known.
+    """
+    if query.group_by:
+        return qualify(query.group_by[0])
+    for item in query.select:
+        if not item.is_aggregate and not item.column.is_wildcard:
+            return qualify(item.column)
+    if schema is not None and schema.has_table(query.from_table):
+        table = schema.table(query.from_table)
+        column_name = table.primary_key or table.columns[0].name
+        return ColumnRef(column=column_name, table=table.name)
+    return ColumnRef(column="*")
+
+
+def _fix_condition(condition: Condition, qualify, wildcard_replacement: ColumnRef) -> Condition:
+    value = condition.value
+    if isinstance(value, str):
+        # Rule 5: the whole query, including string literals, is lowercased.
+        value = value.lower()
+    if isinstance(value, Subquery):
+        select = value.select
+        column = select.column
+        if column.is_wildcard:
+            column = wildcard_replacement
+        fixed_select = AggregateExpr(column=qualify(column), function=select.function, distinct=select.distinct)
+        value = Subquery(
+            select=fixed_select,
+            from_table=value.from_table,
+            joins=tuple(JoinClause(table=j.table, left=qualify(j.left), right=qualify(j.right)) for j in value.joins),
+            where=tuple(_fix_condition(inner, qualify, wildcard_replacement) for inner in value.where),
+        )
+    return Condition(left=qualify(condition.left), operator=condition.operator, value=value)

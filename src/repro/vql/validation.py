@@ -1,0 +1,110 @@
+"""Semantic validation of DV queries against a database schema.
+
+Validation powers two things: the dataset generators assert that every
+synthetic query they emit is well-formed, and FeVisQA Type-2 questions ("is
+this DV suitable for the given dataset?") are answered by checking whether a
+query validates against the schema it is paired with.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VQLValidationError
+from repro.database.schema import ColumnType, DatabaseSchema
+from repro.vql.ast import AggregateExpr, ChartType, ColumnRef, DVQuery, Subquery
+
+_NUMERIC_AGGREGATES = ("sum", "avg")
+
+
+def validate_dv_query(query: DVQuery, schema: DatabaseSchema, strict_types: bool = True) -> None:
+    """Raise :class:`VQLValidationError` if ``query`` is inconsistent with ``schema``."""
+    known_tables = set(schema.table_names())
+    for table in query.tables():
+        if table not in known_tables:
+            raise VQLValidationError(f"unknown table {table!r} (database {schema.name!r})")
+
+    for ref in query.columns():
+        _check_column(ref, query, schema)
+
+    for condition in query.where:
+        if isinstance(condition.value, Subquery):
+            _validate_subquery(condition.value, schema)
+
+    if strict_types:
+        for item in query.select:
+            _check_aggregate_types(item, query, schema)
+        if query.order_by is not None:
+            _check_aggregate_types(query.order_by.expression, query, schema)
+        if query.bin is not None:
+            owner = _owning_table(query.bin.column, query, schema)
+            column = schema.table(owner).column(query.bin.column.column)
+            if column.ctype != ColumnType.TIME:
+                raise VQLValidationError(
+                    f"bin clause requires a time column, {owner}.{column.name} is {column.ctype.value}"
+                )
+
+    _check_chart_arity(query)
+
+
+def is_query_compatible(query: DVQuery, schema: DatabaseSchema) -> bool:
+    """Boolean wrapper used by FeVisQA Type-2 answers."""
+    try:
+        validate_dv_query(query, schema)
+    except VQLValidationError:
+        return False
+    return True
+
+
+def _check_column(ref: ColumnRef, query: DVQuery, schema: DatabaseSchema) -> None:
+    if ref.is_wildcard:
+        return
+    owner = _owning_table(ref, query, schema)
+    if not schema.table(owner).has_column(ref.column):
+        raise VQLValidationError(f"table {owner!r} has no column {ref.column!r}")
+
+
+def _owning_table(ref: ColumnRef, query: DVQuery, schema: DatabaseSchema) -> str:
+    if ref.table:
+        if not schema.has_table(ref.table):
+            raise VQLValidationError(f"unknown table {ref.table!r} referenced by column {ref.to_text()!r}")
+        return ref.table
+    owner = schema.find_column_table(ref.column, candidate_tables=query.tables())
+    if owner is None:
+        raise VQLValidationError(f"cannot attribute column {ref.column!r} to any table of the query")
+    return owner
+
+
+def _check_aggregate_types(item: AggregateExpr, query: DVQuery, schema: DatabaseSchema) -> None:
+    if item.function not in _NUMERIC_AGGREGATES or item.column.is_wildcard:
+        return
+    owner = _owning_table(item.column, query, schema)
+    column = schema.table(owner).column(item.column.column)
+    if column.ctype != ColumnType.NUMBER:
+        raise VQLValidationError(
+            f"{item.function}() requires a numeric column, {owner}.{column.name} is {column.ctype.value}"
+        )
+
+
+def _check_chart_arity(query: DVQuery) -> None:
+    """Pie / bar / line / scatter charts need exactly an x and a y axis."""
+    two_axis_charts = {
+        ChartType.BAR,
+        ChartType.PIE,
+        ChartType.LINE,
+        ChartType.SCATTER,
+    }
+    if query.chart_type in two_axis_charts and len(query.select) != 2:
+        raise VQLValidationError(
+            f"{query.chart_type.value} charts need exactly 2 selected expressions, got {len(query.select)}"
+        )
+    if query.chart_type not in two_axis_charts and len(query.select) < 2:
+        raise VQLValidationError(
+            f"{query.chart_type.value} charts need at least 2 selected expressions, got {len(query.select)}"
+        )
+
+
+def _validate_subquery(subquery: Subquery, schema: DatabaseSchema) -> None:
+    known_tables = set(schema.table_names())
+    tables = [subquery.from_table] + [join.table for join in subquery.joins]
+    for table in tables:
+        if table not in known_tables:
+            raise VQLValidationError(f"unknown table {table!r} in subquery")

@@ -1,0 +1,162 @@
+"""Tests for the baseline systems."""
+
+import pytest
+
+from repro.baselines import (
+    FewShotRetrievalTextToVis,
+    NcNetTextToVis,
+    NeuralTextGeneration,
+    RetrievalTextToVis,
+    RuleBasedTextToVis,
+    Seq2SeqTextGeneration,
+    Seq2VisBaseline,
+    TransformerTextToVis,
+    ZeroShotHeuristicGeneration,
+    lora_style_parameters,
+)
+from repro.core import DataVisT5Config, TrainingConfig
+from repro.datasets import generate_nvbench
+from repro.datasets.corpus import Seq2SeqExample, nvbench_to_vis_to_text_pair
+from repro.vql import parse_dv_query
+from repro.vql.validation import validate_dv_query
+
+
+@pytest.fixture(scope="module")
+def nvbench_small(small_pool):
+    return generate_nvbench(small_pool, examples_per_database=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def train_test(nvbench_small):
+    examples = nvbench_small.examples
+    return examples[: len(examples) - 6], examples[-6:]
+
+
+def tiny_training():
+    return TrainingConfig(num_epochs=1, batch_size=8, learning_rate=5e-3)
+
+
+def tiny_model_config():
+    return DataVisT5Config.from_preset("tiny", max_input_length=96, max_target_length=48, max_decode_length=32)
+
+
+class TestRuleBasedTextToVis:
+    def test_predictions_parse_and_validate(self, train_test, small_pool, nvbench_small):
+        baseline = RuleBasedTextToVis()
+        baseline.fit(train_test[0], small_pool)
+        for example in train_test[1]:
+            schema = small_pool.get(example.db_id).schema
+            predicted = baseline.predict(example.question, schema)
+            validate_dv_query(parse_dv_query(predicted), schema, strict_types=False)
+
+    def test_chart_keyword_detection(self, small_pool):
+        baseline = RuleBasedTextToVis()
+        schema = small_pool.get("theme_gallery").schema
+        assert "visualize pie" in baseline.predict("show a pie chart of countries in artist", schema)
+        assert "visualize line" in baseline.predict("show the trend of ages in artist", schema)
+
+    def test_order_detection(self, small_pool):
+        baseline = RuleBasedTextToVis()
+        schema = small_pool.get("theme_gallery").schema
+        predicted = baseline.predict("number of artists per country , from high to low", schema)
+        assert predicted.endswith("desc")
+
+
+class TestRetrievalBaselines:
+    def test_retrieval_predicts_valid_queries(self, train_test, small_pool):
+        baseline = RetrievalTextToVis()
+        baseline.fit(train_test[0], small_pool)
+        for example in train_test[1][:4]:
+            schema = small_pool.get(example.db_id).schema
+            predicted = baseline.predict(example.question, schema)
+            query = parse_dv_query(predicted)
+            validate_dv_query(query, schema, strict_types=False)
+
+    def test_retrieve_returns_most_similar_first(self, train_test, small_pool):
+        baseline = RetrievalTextToVis()
+        baseline.fit(train_test[0], small_pool)
+        anchor = train_test[0][0]
+        retrieved = baseline.retrieve(anchor.question, top_k=3)
+        assert retrieved[0].question == anchor.question
+
+    def test_unfit_baseline_raises(self, small_pool):
+        with pytest.raises(RuntimeError):
+            RetrievalTextToVis().predict("anything", small_pool.get("inn").schema)
+
+    def test_few_shot_variant_predicts_parseable_text(self, train_test, small_pool):
+        baseline = FewShotRetrievalTextToVis()
+        baseline.fit(train_test[0], small_pool)
+        example = train_test[1][0]
+        predicted = baseline.predict(example.question, small_pool.get(example.db_id).schema)
+        parse_dv_query(predicted)
+
+
+class TestNeuralBaselines:
+    def test_seq2vis_trains_and_predicts(self, train_test, small_pool):
+        baseline = Seq2VisBaseline(training=tiny_training())
+        baseline.fit(train_test[0][:24], small_pool)
+        example = train_test[1][0]
+        prediction = baseline.predict(example.question, small_pool.get(example.db_id).schema)
+        assert isinstance(prediction, str)
+
+    def test_transformer_baseline_with_warm_start(self, train_test, small_pool):
+        baseline = TransformerTextToVis(tiny_model_config(), tiny_training(), warm_start="queries")
+        baseline.fit(train_test[0][:24], small_pool)
+        example = train_test[1][0]
+        assert isinstance(baseline.predict(example.question, small_pool.get(example.db_id).schema), str)
+
+    def test_lora_style_trains_fewer_parameters(self, train_test, small_pool):
+        baseline = TransformerTextToVis(tiny_model_config(), tiny_training())
+        baseline.fit(train_test[0][:12], small_pool)
+        subset = lora_style_parameters(baseline.model)
+        assert 0 < len(subset) < len(baseline.model.model.parameters())
+
+    def test_ncnet_constrained_decoding_stays_in_schema_vocab(self, train_test, small_pool):
+        baseline = NcNetTextToVis(tiny_model_config(), tiny_training())
+        baseline.fit(train_test[0][:12], small_pool)
+        example = train_test[1][0]
+        schema = small_pool.get(example.db_id).schema
+        prediction = baseline.predict(example.question, schema)
+        allowed_words = set()
+        for table in schema.tables:
+            allowed_words.add(table.name)
+            allowed_words.update(column.name for column in table.columns)
+            allowed_words.update(f"{table.name}.{column.name}" for column in table.columns)
+        from repro.baselines.ncnet import _KEYWORDS
+
+        allowed_words.update(_KEYWORDS)
+        for token in prediction.split():
+            assert token in allowed_words or len(token) <= 2 or token.startswith("<")
+
+    def test_generation_baselines_train_and_predict(self, nvbench_small, small_pool):
+        pairs = [nvbench_to_vis_to_text_pair(e, small_pool) for e in nvbench_small.examples[:20]]
+        for baseline in (Seq2SeqTextGeneration(training=tiny_training()), NeuralTextGeneration(tiny_model_config(), tiny_training())):
+            baseline.fit(pairs)
+            assert isinstance(baseline.predict(pairs[0].source), str)
+
+
+class TestZeroShotHeuristic:
+    def test_describes_query_inputs(self):
+        baseline = ZeroShotHeuristicGeneration()
+        source = "<VQL> visualize bar select t.a , count ( t.a ) from t group by t.a order by t.a desc <schema> | db | t : t.a"
+        description = baseline.predict(source)
+        assert "bar chart" in description and "descending" in description
+
+    def test_answers_structure_questions_from_table(self):
+        baseline = ZeroShotHeuristicGeneration()
+        source = (
+            "<Question> how many parts are there in the chart ? <VQL> visualize bar select t.a , count ( t.a ) from t group by t.a "
+            "<Table> | col : a | b row 1 : x | 3 row 2 : y | 5"
+        )
+        assert baseline.predict(source) == "2"
+        largest = baseline.predict(source.replace("how many parts are there in the chart ?", "what is the value of the largest part in the chart ?"))
+        assert largest == "5"
+
+    def test_suitability_answers_yes(self):
+        baseline = ZeroShotHeuristicGeneration()
+        assert baseline.predict("<Question> is this dv suitable for this given dataset ? <VQL> visualize bar select a , b from t") == "Yes"
+
+    def test_table_description(self):
+        baseline = ZeroShotHeuristicGeneration()
+        description = baseline.predict("<Table> | col : name | year row 1 : alpha | 2010 row 2 : beta | 2011")
+        assert "name" in description

@@ -1,0 +1,112 @@
+"""Tests for chart building, DVL translation, chart properties and rendering."""
+
+import pytest
+
+from repro.charts import build_chart, chart_properties, render_ascii_chart, render_table, to_vega_lite, to_vega_zero
+from repro.database import execute_query
+from repro.errors import ExecutionError
+from repro.vql import ChartType, parse_dv_query
+
+
+@pytest.fixture(scope="module")
+def pie_chart(gallery_database, pie_query_text):
+    # module-scoped charts are recomputed per module because fixtures from conftest are session scoped
+    query = parse_dv_query(pie_query_text)
+    return build_chart(query, gallery_database)
+
+
+class TestBuildChart:
+    def test_labels_and_values(self, pie_chart):
+        assert pie_chart.chart_type is ChartType.PIE
+        assert pie_chart.x_label == "artist.country"
+        assert len(pie_chart) == 3
+        assert set(pie_chart.x_values) == {"Fiji", "United States", "Zimbabwe"}
+
+    def test_from_precomputed_result(self, gallery_database, pie_query_text):
+        query = parse_dv_query(pie_query_text)
+        result = execute_query(query, gallery_database)
+        chart = build_chart(query, result=result)
+        assert chart.y_values == result.column_values(1)
+
+    def test_needs_database_or_result(self, pie_query_text):
+        with pytest.raises(ExecutionError):
+            build_chart(parse_dv_query(pie_query_text))
+
+    def test_numeric_y_skips_bad_values(self, pie_chart):
+        assert pie_chart.numeric_y() == [1.0, 5.0, 1.0]
+
+    def test_to_dict(self, pie_chart):
+        payload = pie_chart.to_dict()
+        assert payload["chart_type"] == "pie"
+        assert len(payload["x_values"]) == 3
+
+
+class TestVegaTranslation:
+    def test_pie_uses_theta_and_color(self, gallery_database, pie_query_text):
+        spec = to_vega_lite(parse_dv_query(pie_query_text))
+        assert spec["mark"] == "arc"
+        assert "theta" in spec["encoding"] and "color" in spec["encoding"]
+
+    def test_bar_encodes_x_y_and_transforms(self):
+        query = parse_dv_query(
+            "visualize bar select t.a , count ( t.a ) from t where t.b = 'x' group by t.a order by t.a desc"
+        )
+        spec = to_vega_lite(query)
+        assert spec["mark"] == "bar"
+        assert spec["encoding"]["y"]["aggregate"] == "count"
+        assert any("filter" in transform for transform in spec["transform"])
+        assert spec["encoding"]["x"]["sort"] == "descending"
+
+    def test_vega_zero_contains_mark_and_axes(self, pie_query_text):
+        sequence = to_vega_zero(parse_dv_query(pie_query_text))
+        assert sequence.startswith("mark arc data artist")
+        assert "encoding x artist.country" in sequence
+
+
+class TestChartProperties:
+    def test_basic_properties(self, pie_chart):
+        properties = chart_properties(pie_chart)
+        assert properties.num_parts == 3
+        assert properties.max_value == 5
+        assert properties.min_value == 1
+        assert properties.total == 7
+        assert properties.has_duplicate_values is True
+        assert properties.x_of_max == "United States"
+
+    def test_empty_chart(self):
+        from repro.charts.chart import ChartData
+
+        empty = ChartData(ChartType.BAR, "x", "y", [], [])
+        properties = chart_properties(empty)
+        assert properties.num_parts == 0
+        assert properties.max_value is None
+
+
+class TestRendering:
+    def test_bar_render_contains_labels(self, gallery_database, pie_query_text):
+        query = parse_dv_query(pie_query_text.replace("pie", "bar"))
+        chart = build_chart(query, gallery_database)
+        rendered = render_ascii_chart(chart)
+        assert "United States" in rendered and "#" in rendered
+
+    def test_pie_render_shows_percentages(self, pie_chart):
+        rendered = render_ascii_chart(pie_chart)
+        assert "%" in rendered
+
+    def test_scatter_render(self, gallery_database):
+        query = parse_dv_query("visualize scatter select artist.age , artist.year_join from artist")
+        chart = build_chart(query, gallery_database)
+        rendered = render_ascii_chart(chart)
+        assert "x" in rendered
+
+    def test_empty_chart_render(self):
+        from repro.charts.chart import ChartData
+
+        rendered = render_ascii_chart(ChartData(ChartType.BAR, "x", "y", [], []))
+        assert "no data" in rendered
+
+    def test_render_table(self, gallery_database, pie_query_text):
+        result = execute_query(parse_dv_query(pie_query_text), gallery_database)
+        rendered = render_table(result, max_rows=2, title="demo")
+        assert "demo" in rendered
+        assert "more rows" in rendered

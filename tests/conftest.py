@@ -1,0 +1,91 @@
+"""Shared fixtures: a small schema/database, sample queries and a database pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import Column, ColumnType, Database, DatabaseSchema, ForeignKey, TableSchema
+from repro.datasets.spider import build_database_pool
+from repro.tokenization import DataVisTokenizer
+
+
+@pytest.fixture(scope="session")
+def gallery_schema() -> DatabaseSchema:
+    """A two-table schema mirroring the paper's theme_gallery example."""
+    return DatabaseSchema(
+        name="theme_gallery",
+        tables=[
+            TableSchema(
+                "artist",
+                [
+                    Column("artist_id", ColumnType.NUMBER),
+                    Column("name", ColumnType.TEXT),
+                    Column("country", ColumnType.TEXT),
+                    Column("year_join", ColumnType.NUMBER),
+                    Column("age", ColumnType.NUMBER),
+                ],
+                primary_key="artist_id",
+            ),
+            TableSchema(
+                "exhibition",
+                [
+                    Column("exhibition_id", ColumnType.NUMBER),
+                    Column("artist_id", ColumnType.NUMBER),
+                    Column("date", ColumnType.TIME),
+                    Column("attendance", ColumnType.NUMBER),
+                ],
+                primary_key="exhibition_id",
+            ),
+        ],
+        foreign_keys=[ForeignKey("exhibition", "artist_id", "artist", "artist_id")],
+    )
+
+
+@pytest.fixture(scope="session")
+def gallery_database(gallery_schema) -> Database:
+    """The gallery schema populated with the rows from the paper's Figure 1."""
+    return Database(
+        gallery_schema,
+        data={
+            "artist": [
+                {"artist_id": 1, "name": "Vijay Singh", "country": "Fiji", "year_join": 1998, "age": 45},
+                {"artist_id": 2, "name": "John Daly", "country": "United States", "year_join": 1991, "age": 46},
+                {"artist_id": 3, "name": "Paul Azinger", "country": "United States", "year_join": 1993, "age": 47},
+                {"artist_id": 4, "name": "Davis Love III", "country": "United States", "year_join": 2003, "age": 52},
+                {"artist_id": 5, "name": "Fred Couples", "country": "United States", "year_join": 2002, "age": 50},
+                {"artist_id": 6, "name": "Mark McNulty", "country": "United States", "year_join": 2001, "age": 55},
+                {"artist_id": 7, "name": "Nick Price", "country": "Zimbabwe", "year_join": 1994, "age": 48},
+            ],
+            "exhibition": [
+                {"exhibition_id": 1, "artist_id": 1, "date": "2004-05-01", "attendance": 120},
+                {"exhibition_id": 2, "artist_id": 2, "date": "2005-07-15", "attendance": 300},
+                {"exhibition_id": 3, "artist_id": 2, "date": "2006-03-20", "attendance": 250},
+                {"exhibition_id": 4, "artist_id": 7, "date": "2004-11-02", "attendance": 90},
+            ],
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def pie_query_text() -> str:
+    return (
+        "visualize pie select artist.country , count ( artist.country ) "
+        "from artist group by artist.country"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_pool():
+    """A small synthetic database pool shared across dataset tests."""
+    return build_database_pool(num_databases=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer() -> DataVisTokenizer:
+    corpus = [
+        "<NL> show the number of artists per country <schema> | theme_gallery | artist : artist.country",
+        "<VQL> visualize bar select artist.country , count ( artist.country ) from artist group by artist.country",
+        "<Question> how many parts are there ? <Answer> 3",
+        "<Table> | col : a | b row 1 : 1 | 2",
+    ]
+    return DataVisTokenizer.build_from_corpus(corpus)

@@ -1,0 +1,105 @@
+"""Tests for span corruption, the BDC objective and batch collation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batching import collate_text_pairs, collate_token_pairs, iterate_minibatches, pad_sequences
+from repro.core.objectives import SpanCorruptionConfig, bdc_pair_to_example, span_corruption
+from repro.datasets.corpus import Seq2SeqExample
+from repro.errors import ModelConfigError
+
+
+class TestSpanCorruption:
+    def test_sentinels_in_input_and_target(self, tiny_tokenizer):
+        text = "visualize bar select artist.country , count ( artist.country ) from artist group by artist.country"
+        token_ids = tiny_tokenizer.encode(text)
+        corrupted, target = span_corruption(token_ids, tiny_tokenizer, rng=0)
+        sentinel_ids = {tiny_tokenizer.sentinel_id(i) for i in range(tiny_tokenizer.num_sentinels)}
+        assert sentinel_ids & set(corrupted)
+        assert sentinel_ids & set(target)
+
+    def test_input_shorter_than_original(self, tiny_tokenizer):
+        token_ids = tiny_tokenizer.encode("visualize bar select artist.country from artist group by artist.country")
+        corrupted, _ = span_corruption(token_ids, tiny_tokenizer, rng=1)
+        assert len(corrupted) < len(token_ids) + 2
+
+    def test_reconstruction_preserves_tokens(self, tiny_tokenizer):
+        """Input non-sentinel tokens plus target non-sentinel tokens recover the original multiset."""
+        text = "visualize bar select artist.country , count ( artist.country ) from artist"
+        token_ids = [i for i in tiny_tokenizer.encode(text) if i != tiny_tokenizer.vocab.eos_id]
+        corrupted, target = span_corruption(token_ids, tiny_tokenizer, rng=2)
+        sentinel_ids = {tiny_tokenizer.sentinel_id(i) for i in range(tiny_tokenizer.num_sentinels)}
+        eos = tiny_tokenizer.vocab.eos_id
+        kept = [i for i in corrupted if i not in sentinel_ids and i != eos]
+        recovered = [i for i in target if i not in sentinel_ids and i != eos]
+        assert sorted(kept + recovered) == sorted(token_ids)
+
+    def test_empty_input(self, tiny_tokenizer):
+        corrupted, target = span_corruption([], tiny_tokenizer, rng=0)
+        assert corrupted == [tiny_tokenizer.vocab.eos_id]
+
+    def test_deterministic_given_rng(self, tiny_tokenizer):
+        token_ids = tiny_tokenizer.encode("visualize bar select artist.country from artist")
+        assert span_corruption(token_ids, tiny_tokenizer, rng=5) == span_corruption(token_ids, tiny_tokenizer, rng=5)
+
+    def test_invalid_config(self):
+        with pytest.raises(ModelConfigError):
+            SpanCorruptionConfig(corruption_rate=0.0)
+        with pytest.raises(ModelConfigError):
+            SpanCorruptionConfig(mean_span_length=0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=60))
+    def test_never_crashes_on_any_length(self, tiny_tokenizer, length):
+        token_ids = list(np.random.default_rng(length).integers(40, 60, size=length))
+        corrupted, target = span_corruption(token_ids, tiny_tokenizer, rng=length)
+        assert corrupted and target
+
+
+class TestBDCObjective:
+    def test_swap_probability_extremes(self):
+        pair = Seq2SeqExample(source="src", target="tgt", task="demo")
+        assert bdc_pair_to_example(pair, rng=0, swap_probability=0.0).source == "src"
+        assert bdc_pair_to_example(pair, rng=0, swap_probability=1.0).source == "tgt"
+
+    def test_roughly_half_swapped(self):
+        pair = Seq2SeqExample(source="src", target="tgt", task="demo")
+        rng = np.random.default_rng(0)
+        swapped = sum(bdc_pair_to_example(pair, rng=rng).source == "tgt" for _ in range(400))
+        assert 120 < swapped < 280
+
+
+class TestBatching:
+    def test_pad_sequences_shape_and_padding(self):
+        array = pad_sequences([[1, 2, 3], [4]], pad_id=0)
+        assert array.shape == (2, 3)
+        assert array[1, 1] == 0
+
+    def test_pad_sequences_max_length(self):
+        array = pad_sequences([[1, 2, 3, 4]], pad_id=0, max_length=2)
+        assert array.shape == (1, 2)
+
+    def test_pad_empty_rejected(self):
+        with pytest.raises(ModelConfigError):
+            pad_sequences([], pad_id=0)
+
+    def test_collate_text_pairs(self, tiny_tokenizer):
+        batch = collate_text_pairs(["visualize bar", "visualize bar select artist.country"], ["<Answer> 3", "<Answer> 4"], tiny_tokenizer)
+        assert batch.input_ids.shape[0] == 2
+        assert batch.labels.shape[0] == 2
+
+    def test_collate_length_mismatch(self, tiny_tokenizer):
+        with pytest.raises(ModelConfigError):
+            collate_text_pairs(["a"], ["b", "c"], tiny_tokenizer)
+
+    def test_collate_token_pairs(self):
+        batch = collate_token_pairs([[1, 2]], [[3]], pad_id=0)
+        assert batch.input_ids.shape == (1, 2) and batch.labels.shape == (1, 1)
+
+    def test_iterate_minibatches_covers_all(self):
+        items = list(range(10))
+        batches = list(iterate_minibatches(items, 3, rng=np.random.default_rng(0)))
+        flattened = [item for batch in batches for item in batch]
+        assert sorted(flattened) == items
+        assert len(batches) == 4

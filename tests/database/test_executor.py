@@ -1,0 +1,148 @@
+"""Tests for DV query execution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database, execute_query
+from repro.database.schema import Column, ColumnType, DatabaseSchema, TableSchema
+from repro.errors import ExecutionError
+from repro.vql import parse_dv_query
+
+
+class TestGroupCount:
+    def test_count_by_country(self, gallery_database, pie_query_text):
+        result = execute_query(parse_dv_query(pie_query_text), gallery_database)
+        as_dict = dict(result.rows)
+        assert as_dict == {"Fiji": 1, "United States": 5, "Zimbabwe": 1}
+
+    def test_count_distinct(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.country , count ( distinct artist.country ) from artist group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        assert all(row[1] == 1 for row in result.rows)
+
+
+class TestAggregates:
+    @pytest.mark.parametrize(
+        "function,expected",
+        [("sum", 46 + 47 + 52 + 50 + 55), ("avg", (46 + 47 + 52 + 50 + 55) / 5), ("max", 55), ("min", 46)],
+    )
+    def test_aggregates_over_group(self, gallery_database, function, expected):
+        query = parse_dv_query(
+            f"visualize bar select artist.country , {function} ( artist.age ) from artist group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        as_dict = dict(result.rows)
+        assert as_dict["United States"] == pytest.approx(expected)
+
+    def test_global_aggregate_without_group(self, gallery_database):
+        query = parse_dv_query("visualize bar select artist.country , count ( artist.country ) from artist")
+        result = execute_query(query, gallery_database)
+        assert len(result) == 1
+        assert result.rows[0][1] == 7
+
+
+class TestWhereAndJoin:
+    def test_where_filter(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.country , count ( artist.country ) from artist "
+            "where artist.age > 48 group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        assert dict(result.rows) == {"United States": 3}
+
+    def test_string_comparison_is_case_insensitive(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.country , count ( artist.country ) from artist "
+            "where artist.country = 'fiji' group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        assert dict(result.rows) == {"Fiji": 1}
+
+    def test_like_operator(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.name , count ( artist.name ) from artist "
+            "where artist.name like '%price%' group by artist.name"
+        )
+        result = execute_query(query, gallery_database)
+        assert dict(result.rows) == {"Nick Price": 1}
+
+    def test_join_counts(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.country , count ( exhibition.exhibition_id ) from exhibition "
+            "join artist on exhibition.artist_id = artist.artist_id group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        assert dict(result.rows) == {"Fiji": 1, "United States": 2, "Zimbabwe": 1}
+
+    def test_order_by_desc(self, gallery_database, pie_query_text):
+        query = parse_dv_query(pie_query_text + " order by count ( artist.country ) desc")
+        result = execute_query(query, gallery_database)
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_subquery_not_in(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select artist.country , count ( artist.country ) from artist "
+            "where artist.artist_id not in ( select exhibition.artist_id from exhibition ) group by artist.country"
+        )
+        result = execute_query(query, gallery_database)
+        # Artists 3, 4, 5, 6 have no exhibitions; all from the United States.
+        assert dict(result.rows) == {"United States": 4}
+
+
+class TestBinning:
+    def test_bin_by_year(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select exhibition.date , count ( exhibition.date ) from exhibition "
+            "group by exhibition.date bin exhibition.date by year"
+        )
+        result = execute_query(query, gallery_database)
+        assert dict(result.rows) == {"2004": 2, "2005": 1, "2006": 1}
+
+    def test_bin_by_month(self, gallery_database):
+        query = parse_dv_query(
+            "visualize bar select exhibition.date , count ( exhibition.date ) from exhibition "
+            "group by exhibition.date bin exhibition.date by month"
+        )
+        result = execute_query(query, gallery_database)
+        assert "may" in dict(result.rows)
+
+
+class TestErrors:
+    def test_unknown_column(self, gallery_database):
+        query = parse_dv_query("visualize bar select artist.salary , count ( artist.salary ) from artist group by artist.salary")
+        with pytest.raises(ExecutionError):
+            execute_query(query, gallery_database)
+
+    def test_sum_of_text_column(self, gallery_database):
+        query = parse_dv_query("visualize bar select artist.country , sum ( artist.name ) from artist group by artist.country")
+        with pytest.raises(ExecutionError):
+            execute_query(query, gallery_database)
+
+
+class TestExecutionInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(ages=st.lists(st.integers(min_value=1, max_value=99), min_size=1, max_size=30))
+    def test_group_counts_sum_to_row_count(self, ages):
+        schema = DatabaseSchema("d", [TableSchema("people", [Column("age", ColumnType.NUMBER), Column("bucket")])])
+        rows = [{"age": age, "bucket": "young" if age < 50 else "old"} for age in ages]
+        database = Database(schema, data={"people": rows})
+        query = parse_dv_query(
+            "visualize bar select people.bucket , count ( people.bucket ) from people group by people.bucket"
+        )
+        result = execute_query(query, database)
+        assert sum(row[1] for row in result.rows) == len(ages)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=30))
+    def test_min_le_avg_le_max(self, values):
+        schema = DatabaseSchema("d", [TableSchema("t", [Column("v", ColumnType.NUMBER), Column("g")])])
+        database = Database(schema, data={"t": [{"v": value, "g": "all"} for value in values]})
+        query = parse_dv_query(
+            "visualize scatter select min ( t.v ) , max ( t.v ) from t group by t.g"
+        )
+        result = execute_query(query, database)
+        minimum, maximum = result.rows[0]
+        assert minimum <= maximum

@@ -1,0 +1,80 @@
+"""Tests for the schema model and row storage."""
+
+import pytest
+
+from repro.database import Column, ColumnType, Database, DatabaseSchema, DataTable, ForeignKey, TableSchema
+from repro.errors import SchemaError
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a"), Column("a")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a")], primary_key="b")
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema("db", [TableSchema("t", [Column("a")]), TableSchema("t", [Column("b")])])
+
+    def test_foreign_key_validation(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                "db",
+                [TableSchema("a", [Column("x")]), TableSchema("b", [Column("y")])],
+                foreign_keys=[ForeignKey("a", "missing", "b", "y")],
+            )
+
+    def test_lookups(self, gallery_schema):
+        assert gallery_schema.has_table("ARTIST")
+        assert gallery_schema.table("artist").has_column("country")
+        assert gallery_schema.find_column_table("attendance") == "exhibition"
+        assert gallery_schema.find_column_table("nothing") is None
+
+    def test_subschema(self, gallery_schema):
+        sub = gallery_schema.subschema(["artist"])
+        assert sub.table_names() == ["artist"]
+        assert not sub.foreign_keys
+
+    def test_subschema_empty_selection(self, gallery_schema):
+        with pytest.raises(SchemaError):
+            gallery_schema.subschema(["unknown"])
+
+
+class TestDataTable:
+    def test_insert_and_iterate(self):
+        table = DataTable(TableSchema("t", [Column("a"), Column("b", ColumnType.NUMBER)]))
+        table.insert({"a": "x", "b": 1})
+        table.insert({"A": "y"})
+        assert len(table) == 2
+        assert table.rows()[1]["b"] is None
+
+    def test_unknown_column_rejected(self):
+        table = DataTable(TableSchema("t", [Column("a")]))
+        with pytest.raises(SchemaError):
+            table.insert({"zzz": 1})
+
+    def test_column_and_distinct_values(self):
+        table = DataTable(TableSchema("t", [Column("a")]), rows=[{"a": "x"}, {"a": "x"}, {"a": "y"}, {"a": None}])
+        assert table.column_values("a") == ["x", "x", "y", None]
+        assert table.distinct_values("a") == ["x", "y"]
+
+    def test_missing_column_access(self):
+        table = DataTable(TableSchema("t", [Column("a")]))
+        with pytest.raises(SchemaError):
+            table.column_values("b")
+
+
+class TestDatabase:
+    def test_table_access_and_counts(self, gallery_database):
+        assert gallery_database.table("artist").name == "artist"
+        assert gallery_database.total_rows() == 11
+        with pytest.raises(SchemaError):
+            gallery_database.table("missing")
+
+    def test_subdatabase(self, gallery_database):
+        sub = gallery_database.subdatabase(["artist"])
+        assert sub.table_names() == ["artist"]
+        assert len(sub.table("artist")) == 7

@@ -1,0 +1,90 @@
+"""Tests for the synthetic database pool and the nvBench-style corpus."""
+
+import pytest
+
+from repro.database.executor import execute_query
+from repro.datasets import generate_nvbench
+from repro.datasets.spider import DOMAINS, build_database_pool
+from repro.errors import DatasetError
+from repro.vql.parser import parse_dv_query
+from repro.vql.validation import validate_dv_query
+
+
+class TestDatabasePool:
+    def test_deterministic(self):
+        first = build_database_pool(num_databases=5, seed=3)
+        second = build_database_pool(num_databases=5, seed=3)
+        assert first.names() == second.names()
+        table = first.names()[0]
+        assert first.get(table).total_rows() == second.get(table).total_rows()
+
+    def test_num_databases_cap(self):
+        pool = build_database_pool(num_databases=4)
+        assert len(pool) == 4
+
+    def test_case_study_databases_present(self):
+        pool = build_database_pool(seed=0)
+        for name in ("theme_gallery", "inn", "allergy", "film_rank", "candidate_poll", "local_govt_in_alabama"):
+            assert name in pool.names()
+
+    def test_every_database_has_rows_and_valid_fks(self):
+        pool = build_database_pool(num_databases=10, seed=1)
+        for database in pool:
+            assert database.total_rows() > 0
+            for fk in database.schema.foreign_keys:
+                parent_values = set(database.table(fk.target_table).column_values(fk.target_column))
+                child_values = set(database.table(fk.source_table).column_values(fk.source_column))
+                assert child_values <= parent_values
+
+    def test_unknown_database(self):
+        pool = build_database_pool(num_databases=2)
+        with pytest.raises(DatasetError):
+            pool.get("not-there")
+
+    def test_domain_variants_expand_names(self):
+        pool = build_database_pool(seed=0)
+        assert len(pool) == sum(domain.variants for domain in DOMAINS)
+
+
+class TestNvBenchGeneration:
+    @pytest.fixture(scope="class")
+    def dataset(self, small_pool):
+        return generate_nvbench(small_pool, examples_per_database=15, seed=0)
+
+    def test_examples_are_parsable_and_valid(self, dataset, small_pool):
+        for example in dataset.examples:
+            query = parse_dv_query(example.query_text)
+            validate_dv_query(query, small_pool.get(example.db_id).schema)
+
+    def test_examples_are_executable(self, dataset, small_pool):
+        for example in dataset.examples[:60]:
+            result = execute_query(example.query, small_pool.get(example.db_id))
+            assert result.columns
+
+    def test_join_flag_consistent(self, dataset):
+        for example in dataset.examples:
+            assert example.has_join == example.query.has_join
+        assert dataset.with_join()
+        assert dataset.without_join()
+
+    def test_questions_are_nonempty_and_vary(self, dataset):
+        questions = [example.question for example in dataset.examples]
+        assert all(question.strip() for question in questions)
+        assert len(set(questions)) > len(questions) * 0.5
+
+    def test_deterministic(self, small_pool):
+        first = generate_nvbench(small_pool, examples_per_database=5, seed=7)
+        second = generate_nvbench(small_pool, examples_per_database=5, seed=7)
+        assert [e.query_text for e in first.examples] == [e.query_text for e in second.examples]
+
+    def test_statistics(self, dataset):
+        statistics = dataset.statistics()
+        assert statistics["instances"] == len(dataset.examples)
+        assert statistics["instances_without_join"] == len(dataset.without_join())
+
+    def test_hardness_labels(self, dataset):
+        assert {example.hardness for example in dataset.examples} <= {"easy", "medium", "hard", "extra hard"}
+
+    def test_invalid_join_fraction(self, small_pool):
+        with pytest.raises(DatasetError):
+            generate_nvbench(small_pool, examples_per_database=2, join_fraction=2.0)

@@ -1,0 +1,108 @@
+"""Tests for cross-domain splitting, the pre-training corpus and temperature mixing."""
+
+import pytest
+
+from repro.datasets import (
+    build_pretraining_corpus,
+    cross_domain_split,
+    generate_chart2text,
+    generate_fevisqa,
+    generate_nvbench,
+    generate_wikitabletext,
+    temperature_mixing_weights,
+    TemperatureMixedSampler,
+)
+from repro.datasets.splits import instance_split
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def nvbench(small_pool):
+    return generate_nvbench(small_pool, examples_per_database=8, seed=0)
+
+
+class TestCrossDomainSplit:
+    def test_databases_do_not_leak_between_splits(self, nvbench):
+        splits = cross_domain_split(nvbench.examples, seed=0)
+        train_dbs = {e.db_id for e in splits.train}
+        valid_dbs = {e.db_id for e in splits.valid}
+        test_dbs = {e.db_id for e in splits.test}
+        assert not (train_dbs & valid_dbs)
+        assert not (train_dbs & test_dbs)
+        assert not (valid_dbs & test_dbs)
+
+    def test_all_examples_kept(self, nvbench):
+        splits = cross_domain_split(nvbench.examples, seed=0)
+        assert len(splits.all_examples()) == len(nvbench.examples)
+
+    def test_fractions_roughly_respected(self, nvbench):
+        splits = cross_domain_split(nvbench.examples, train_fraction=0.7, valid_fraction=0.1, seed=0)
+        databases = len({e.db_id for e in nvbench.examples})
+        train_dbs = len({e.db_id for e in splits.train})
+        assert train_dbs >= databases // 2
+
+    def test_invalid_fractions(self, nvbench):
+        with pytest.raises(DatasetError):
+            cross_domain_split(nvbench.examples, train_fraction=0.9, valid_fraction=0.3)
+
+    def test_requires_db_id(self):
+        with pytest.raises(DatasetError):
+            cross_domain_split(["just", "strings"])
+
+    def test_instance_split_sizes(self):
+        splits = instance_split(list(range(100)), seed=0)
+        assert splits.sizes() == {"train": 70, "valid": 10, "test": 20}
+
+
+class TestPretrainingCorpus:
+    def test_contains_all_four_mappings(self, nvbench, small_pool):
+        splits = cross_domain_split(nvbench.examples, seed=0)
+        chart2text = generate_chart2text(20, seed=0)
+        wikitabletext = generate_wikitabletext(20, seed=0)
+        fevisqa = generate_fevisqa(nvbench, seed=0)
+        corpus = build_pretraining_corpus(
+            splits.train, chart2text.examples, wikitabletext.examples, fevisqa.examples[:50], small_pool
+        )
+        by_task = corpus.statistics()["bdc_by_task"]
+        assert set(by_task) == {"text_to_vis", "vis_to_text", "table_to_text", "fevisqa"}
+        assert corpus.mlm_texts
+        assert all(text.strip() for text in corpus.all_texts())
+
+    def test_large_tables_filtered(self, nvbench, small_pool):
+        chart2text = generate_chart2text(60, seed=1, large_table_fraction=0.5)
+        corpus = build_pretraining_corpus([], chart2text.examples, [], [], small_pool, max_table_cells=150)
+        assert len(corpus.bdc_pairs) == sum(1 for e in chart2text.examples if e.num_cells <= 150)
+
+    def test_swapped_pair(self, nvbench, small_pool):
+        splits = cross_domain_split(nvbench.examples, seed=0)
+        corpus = build_pretraining_corpus(splits.train[:3], [], [], [], small_pool)
+        pair = corpus.bdc_pairs[0]
+        swapped = pair.swapped()
+        assert swapped.source == pair.target and swapped.target == pair.source
+
+
+class TestTemperatureMixing:
+    def test_weights_flatten_with_temperature(self):
+        sizes = {"big": 1000, "small": 10}
+        proportional = temperature_mixing_weights(sizes, temperature=1.0)
+        flattened = temperature_mixing_weights(sizes, temperature=2.0)
+        assert flattened["small"] > proportional["small"]
+        assert abs(sum(flattened.values()) - 1.0) < 1e-9
+
+    def test_zero_sized_task_gets_zero_weight(self):
+        weights = temperature_mixing_weights({"a": 10, "b": 0})
+        assert weights["b"] == 0.0
+
+    def test_invalid_temperature(self):
+        with pytest.raises(DatasetError):
+            temperature_mixing_weights({"a": 1}, temperature=0)
+
+    def test_sampler_upsamples_small_task(self):
+        sampler = TemperatureMixedSampler({"big": list(range(1000)), "small": list(range(10))}, temperature=2.0, seed=0)
+        draws = [sampler.sample()[0] for _ in range(500)]
+        small_share = draws.count("small") / len(draws)
+        assert small_share > 10 / 1010 * 2  # clearly more than proportional
+
+    def test_sampler_epoch_size(self):
+        sampler = TemperatureMixedSampler({"a": [1, 2, 3], "b": [4, 5]}, seed=0)
+        assert len(sampler.epoch(17)) == 17

@@ -1,0 +1,85 @@
+"""Tests for the Chart2Text / WikiTableText / FeVisQA generators."""
+
+import pytest
+
+from repro.datasets import generate_chart2text, generate_fevisqa, generate_nvbench, generate_wikitabletext
+
+
+class TestChart2Text:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_chart2text(80, seed=0)
+
+    def test_descriptions_mention_leader(self, dataset):
+        for example in dataset.examples[:20]:
+            leader = str(example.rows[0][0])
+            assert leader in example.description
+
+    def test_values_sorted_descending(self, dataset):
+        for example in dataset.examples[:20]:
+            values = [row[1] for row in example.rows]
+            assert values == sorted(values, reverse=True)
+
+    def test_cell_filter(self, dataset):
+        filtered = dataset.filter_by_cells(150)
+        assert all(example.num_cells <= 150 for example in filtered.examples)
+        statistics = dataset.cell_statistics()
+        assert statistics["at_most_150"] + statistics["more_than_150"] == len(dataset)
+
+    def test_linearized_contains_title_and_rows(self, dataset):
+        text = dataset.examples[0].linearized(max_rows=2)
+        assert "| col :" in text and "row 1 :" in text
+
+    def test_deterministic(self):
+        assert generate_chart2text(5, seed=2).examples[0].title == generate_chart2text(5, seed=2).examples[0].title
+
+
+class TestWikiTableText:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_wikitabletext(80, seed=0)
+
+    def test_structural_constraints(self, dataset):
+        for example in dataset.examples:
+            assert len(example.rows) >= 3
+            assert len(example.columns) >= 2
+
+    def test_description_mentions_year(self, dataset):
+        for example in dataset.examples[:20]:
+            years = {str(row[2]) for row in example.rows}
+            assert any(year in example.description for year in years)
+
+    def test_cell_statistics_within_filter(self, dataset):
+        statistics = dataset.cell_statistics()
+        assert statistics["more_than_150"] == 0
+
+
+class TestFeVisQA:
+    @pytest.fixture(scope="class")
+    def dataset(self, small_pool):
+        nvbench = generate_nvbench(small_pool, examples_per_database=8, seed=0)
+        return generate_fevisqa(nvbench, seed=0)
+
+    def test_three_types_present(self, dataset):
+        statistics = dataset.statistics()
+        assert statistics["type_1"] > 0 and statistics["type_2"] > 0 and statistics["type_3"] > 0
+        # Type 3 dominates, as in the original corpus.
+        assert statistics["type_3"] > statistics["type_1"]
+
+    def test_type2_positive_pairs_answer_yes(self, dataset):
+        positives = [e for e in dataset.examples if e.question_type == 2 and e.example_id.endswith("t2pos")]
+        assert positives and all(example.answer == "Yes" for example in positives)
+
+    def test_type3_numeric_answers_parse(self, dataset):
+        for example in dataset.by_type(3):
+            if example.question.startswith("How many parts"):
+                assert int(example.answer) >= 0
+
+    def test_type1_answers_are_descriptions(self, dataset):
+        for example in dataset.by_type(1)[:10]:
+            assert len(example.answer.split()) > 3
+
+    def test_examples_carry_context(self, dataset):
+        for example in dataset.examples[:20]:
+            assert example.query_text
+            assert example.schema_text.startswith("|")

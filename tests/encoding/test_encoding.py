@@ -1,0 +1,98 @@
+"""Tests for DV knowledge encoding: schema/table/query linearization, filtration and sequences."""
+
+import pytest
+
+from repro.encoding import (
+    encode_query,
+    encode_result_table,
+    encode_schema,
+    encode_table,
+    fevisqa_input,
+    fevisqa_target,
+    filter_schema,
+    matched_tables,
+    table_to_text_input,
+    text_to_vis_input,
+    text_to_vis_target,
+    vis_to_text_input,
+    vis_to_text_target,
+)
+from repro.database import execute_query
+from repro.vql import parse_dv_query
+
+
+class TestSchemaEncoding:
+    def test_format(self, gallery_schema):
+        encoded = encode_schema(gallery_schema)
+        assert encoded.startswith("| theme_gallery | artist : artist.artist_id,")
+        assert "| exhibition :" in encoded
+
+    def test_unqualified(self, gallery_schema):
+        encoded = encode_schema(gallery_schema, qualify_columns=False)
+        assert "artist : artist_id," in encoded
+
+
+class TestTableEncoding:
+    def test_basic_table(self):
+        encoded = encode_table(["a", "b"], [["x", 1], ["y", 2]], title="demo")
+        assert encoded.startswith("demo | col : a | b row 1 : x | 1 row 2 : y | 2")
+
+    def test_max_rows(self):
+        encoded = encode_table(["a"], [[1], [2], [3]], max_rows=1)
+        assert "row 2" not in encoded
+
+    def test_result_table_encoding(self, gallery_database, pie_query_text):
+        result = execute_query(parse_dv_query(pie_query_text), gallery_database)
+        encoded = encode_result_table(result)
+        assert "| col : artist.country | count ( artist.country )" in encoded
+        assert "row 1 :" in encoded
+
+
+class TestQueryEncoding:
+    def test_standardizes_raw_text(self, gallery_schema):
+        encoded = encode_query("visualize pie select country, count(country) from artist group by country", gallery_schema)
+        assert "artist.country" in encoded
+
+    def test_accepts_ast(self, pie_query_text):
+        query = parse_dv_query(pie_query_text)
+        assert encode_query(query) == query.to_text()
+
+
+class TestSchemaFiltration:
+    def test_matches_mentioned_table(self, gallery_schema):
+        question = "Give me a pie chart about the proportion of the number of countries in the artist table"
+        assert matched_tables(question, gallery_schema) == ["artist"]
+        filtered = filter_schema(question, gallery_schema)
+        assert filtered.table_names() == ["artist"]
+
+    def test_matches_by_column_name(self, gallery_schema):
+        assert "exhibition" in matched_tables("show the total attendance per year", gallery_schema)
+
+    def test_no_match_returns_full_schema(self, gallery_schema):
+        filtered = filter_schema("completely unrelated request", gallery_schema)
+        assert filtered.table_names() == gallery_schema.table_names()
+
+    def test_plural_table_mention(self, gallery_schema):
+        assert "artist" in matched_tables("how many artists are there per country ?", gallery_schema)
+
+
+class TestSequenceBuilders:
+    def test_text_to_vis_sequences(self, gallery_schema, pie_query_text):
+        source = text_to_vis_input("show countries", gallery_schema)
+        target = text_to_vis_target(parse_dv_query(pie_query_text))
+        assert source.startswith("<NL> show countries <schema> | theme_gallery")
+        assert target.startswith("<VQL> visualize pie")
+
+    def test_vis_to_text_sequences(self, gallery_schema, pie_query_text):
+        source = vis_to_text_input(parse_dv_query(pie_query_text), gallery_schema)
+        assert source.startswith("<VQL> visualize pie") and "<schema>" in source
+        assert vis_to_text_target("a chart").startswith("<NL> a chart")
+
+    def test_fevisqa_sequences(self, gallery_schema, pie_query_text):
+        source = fevisqa_input("how many parts ?", query=pie_query_text, schema=gallery_schema, table="| col : a row 1 : 1")
+        for tag in ("<Question>", "<VQL>", "<schema>", "<Table>"):
+            assert tag in source
+        assert fevisqa_target("3") == "<Answer> 3"
+
+    def test_table_to_text_input(self):
+        assert table_to_text_input("| col : a row 1 : 1").startswith("<Table> | col : a")

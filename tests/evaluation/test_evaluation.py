@@ -1,0 +1,162 @@
+"""Tests for the evaluation harness: task corpora, evaluators, reports, statistics tables and case studies."""
+
+import pytest
+
+from repro.evaluation import (
+    build_task_corpora,
+    case_studies,
+    evaluate_generation_model,
+    evaluate_predictions,
+    evaluate_text_to_vis_model,
+    format_metric_row,
+    format_table,
+    strip_modality_tags,
+    table01_nvbench_statistics,
+    table02_table_corpora_statistics,
+    table03_fevisqa_statistics,
+)
+from repro.evaluation.reports import format_ablation_table, format_text_to_vis_table
+from repro.evaluation.tasks import TASKS
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return build_task_corpora(
+        num_databases=8,
+        examples_per_database=6,
+        num_chart2text=20,
+        num_wikitabletext=20,
+        max_fevisqa=120,
+        max_test_examples=10,
+        seed=0,
+    )
+
+
+class TestTaskCorpora:
+    def test_all_tasks_present(self, corpora):
+        assert set(corpora.train_pairs) == set(TASKS)
+        assert set(corpora.test_pairs) == set(TASKS)
+        for task in TASKS:
+            assert corpora.train_pairs[task], task
+
+    def test_sources_carry_modality_tags(self, corpora):
+        assert corpora.train_pairs["text_to_vis"][0].source.startswith("<NL>")
+        assert corpora.train_pairs["vis_to_text"][0].source.startswith("<VQL>")
+        assert corpora.train_pairs["fevisqa"][0].source.startswith("<Question>")
+        assert corpora.train_pairs["table_to_text"][0].source.startswith("<Table>")
+
+    def test_strip_modality_tags(self):
+        assert strip_modality_tags("<VQL> visualize bar <NL> hello") == "visualize bar hello"
+
+    def test_test_examples_capped(self, corpora):
+        for task in TASKS:
+            assert len(corpora.test_pairs[task]) <= 10
+
+
+class TestEvaluators:
+    def test_text_to_vis_oracle_gets_perfect_em(self, corpora):
+        examples = corpora.nvbench_splits.test[:6]
+        lookup = {e.question: e.query_text for e in examples}
+
+        class Oracle:
+            def predict(self, question, schema):
+                return lookup[question]
+
+        from repro.baselines.base import TextToVisBaseline
+
+        class OracleBaseline(TextToVisBaseline):
+            def fit(self, examples, pool):
+                pass
+
+            def predict(self, question, schema):
+                return lookup[question]
+
+        result = evaluate_text_to_vis_model(OracleBaseline(), examples, corpora.pool)
+        assert result.em == pytest.approx(1.0)
+
+    def test_generation_oracle_gets_high_scores(self, corpora):
+        examples = corpora.test_pairs["vis_to_text"][:5]
+        lookup = {e.source: e.target for e in examples}
+        metrics = evaluate_generation_model(lambda source: lookup[source], examples)
+        assert metrics.bleu1 > 0.95
+        assert metrics.meteor > 0.9
+
+    def test_evaluate_predictions_strips_tags(self):
+        metrics = evaluate_predictions(["<NL> a bar chart"], ["<NL> a bar chart"])
+        assert metrics.bleu1 == pytest.approx(1.0, abs=1e-6)
+
+
+class TestStatisticsTables:
+    def test_table01_structure(self):
+        rows = table01_nvbench_statistics(examples_per_database=6, num_databases=8, seed=0)
+        assert set(rows) == {"train", "valid", "test", "total"}
+        total = rows["total"]
+        assert total["instances"] == sum(rows[split]["instances"] for split in ("train", "valid", "test"))
+        assert total["instances_without_join"] <= total["instances"]
+
+    def test_table02_structure(self):
+        rows = table02_table_corpora_statistics(num_chart2text=30, num_wikitabletext=30, seed=0)
+        assert rows["chart2text"]["instances"] == 30
+        assert rows["wikitabletext"]["more_than_150"] == 0
+
+    def test_table03_structure(self):
+        rows = table03_fevisqa_statistics(examples_per_database=6, num_databases=8, seed=0)
+        for split in ("train", "valid", "test"):
+            row = rows[split]
+            assert row["qa_pairs"] == row["type_1"] + row["type_2"] + row["type_3"]
+
+
+class TestReports:
+    def test_format_metric_row_alignment(self):
+        row = format_metric_row("model", {"EM": 0.5, "examples": 10}, keys=["EM"])
+        assert "0.5000" in row
+
+    def test_format_table_includes_all_rows(self):
+        rows = [{"model": "a", "metrics": {"EM": 0.1}}, {"model": "b", "metrics": {"EM": 0.2}}]
+        table = format_table("demo", rows, ["EM"])
+        assert "demo" in table and "a" in table and "b" in table
+
+    def test_format_text_to_vis_table(self):
+        rows = [{"model": "x", "setting": "-", "without_join": {"Vis EM": 1.0, "Axis EM": 0.5, "Data EM": 0.5, "EM": 0.25}}]
+        table = format_text_to_vis_table("Table IV", rows, "without_join")
+        assert "Vis EM" in table and "1.0000" in table
+
+    def test_format_ablation_table_scales_by_100(self):
+        rows = [{"model": "full", "method": "MFT", "scores": {"text_to_vis": 0.5, "vis_to_text": 0.5, "fevisqa": 0.5, "table_to_text": 0.5, "mean": 0.5}}]
+        table = format_ablation_table("Table XII", rows)
+        assert "50.0000" in table
+
+
+class TestCaseStudies:
+    def test_text_to_vis_case_study_structure(self, corpora):
+        study = case_studies.text_to_vis_case_study(corpora.pool)
+        assert study["ground_truth"].startswith("visualize scatter select avg ( rooms.baseprice )")
+        assert "scatter" in study["chart"]
+        assert study["vega_lite"]["mark"] == "point"
+
+    def test_text_to_vis_case_study_with_systems(self, corpora):
+        from repro.baselines import RuleBasedTextToVis
+
+        baseline = RuleBasedTextToVis()
+        baseline.fit([], corpora.pool)
+        study = case_studies.text_to_vis_case_study(corpora.pool, systems={"rule": baseline})
+        assert "rule" in study["predictions"]
+        assert "query" in study["predictions"]["rule"]
+
+    def test_vis_to_text_case_study(self, corpora):
+        study = case_studies.vis_to_text_case_study(corpora.pool)
+        assert "not in" in study["query"]
+        assert study["ground_truth"].lower().startswith("list the last name")
+
+    def test_fevisqa_case_study(self, corpora):
+        study = case_studies.fevisqa_case_study(corpora.pool)
+        assert len(study["qa"]) == 4
+        questions = [row["question"] for row in study["qa"]]
+        assert any("How many parts" in question for question in questions)
+        parts_row = next(row for row in study["qa"] if "How many parts" in row["question"])
+        assert int(parts_row["ground_truth"]) > 0
+
+    def test_table_to_text_case_study(self):
+        study = case_studies.table_to_text_case_study(systems={"heuristic": __import__("repro.baselines", fromlist=["ZeroShotHeuristicGeneration"]).ZeroShotHeuristicGeneration()})
+        assert study["ground_truth"].startswith("Sallim was the publisher")
+        assert "heuristic" in study["predictions"]

@@ -1,0 +1,148 @@
+"""Tests for the EM family, BLEU, ROUGE and METEOR."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.metrics import (
+    bleu_score,
+    corpus_bleu,
+    corpus_exact_match,
+    corpus_meteor,
+    corpus_rouge,
+    dv_query_exact_match,
+    evaluate_generation,
+    meteor_score,
+    rouge_l,
+    rouge_n,
+)
+
+QUERY = "visualize bar select t.a , count ( t.a ) from t group by t.a"
+
+
+class TestExactMatch:
+    def test_identical_queries_match_everywhere(self):
+        outcome = dv_query_exact_match(QUERY, QUERY)
+        assert outcome == {"vis": True, "axis": True, "data": True, "exact": True, "parseable": True}
+
+    def test_different_chart_type_only_vis_differs(self):
+        predicted = QUERY.replace("bar", "pie")
+        outcome = dv_query_exact_match(predicted, QUERY)
+        assert not outcome["vis"] and outcome["axis"] and outcome["data"] and not outcome["exact"]
+
+    def test_axis_order_is_tolerated(self):
+        predicted = "visualize bar select count ( t.a ) , t.a from t group by t.a"
+        outcome = dv_query_exact_match(predicted, QUERY)
+        assert outcome["axis"]
+
+    def test_data_component_mismatch(self):
+        predicted = QUERY + " order by t.a desc"
+        outcome = dv_query_exact_match(predicted, QUERY)
+        assert not outcome["data"] and not outcome["exact"]
+
+    def test_unparseable_prediction_counts_as_miss(self):
+        outcome = dv_query_exact_match("not a query at all", QUERY)
+        assert outcome == {"vis": False, "axis": False, "data": False, "exact": False, "parseable": False}
+
+    def test_unparseable_reference_raises(self):
+        with pytest.raises(EvaluationError):
+            dv_query_exact_match(QUERY, "garbage reference")
+
+    def test_corpus_aggregation(self):
+        predictions = [QUERY, QUERY.replace("bar", "pie"), "garbage"]
+        references = [QUERY, QUERY, QUERY]
+        result = corpus_exact_match(predictions, references)
+        assert result.em == pytest.approx(1 / 3)
+        assert result.vis_em == pytest.approx(1 / 3)
+        assert result.axis_em == pytest.approx(2 / 3)
+        assert result.num_unparseable == 1
+        assert 0.0 <= result.mean_of_components() <= 1.0
+
+    def test_corpus_requires_equal_lengths(self):
+        with pytest.raises(EvaluationError):
+            corpus_exact_match([QUERY], [])
+
+
+class TestBleu:
+    def test_perfect_match_is_one(self):
+        assert bleu_score("the cat sat", "the cat sat", max_n=2) == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_overlap_is_near_zero(self):
+        assert bleu_score("aaa bbb", "ccc ddd") < 0.01
+
+    def test_brevity_penalty(self):
+        short = corpus_bleu(["the cat"], ["the cat sat on the mat"], max_n=1)
+        full = corpus_bleu(["the cat sat on the mat"], ["the cat sat on the mat"], max_n=1)
+        assert short < full
+
+    def test_corpus_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            corpus_bleu(["a"], ["a", "b"])
+
+    @given(st.lists(st.sampled_from(["chart", "bar", "count", "of", "items"]), min_size=1, max_size=8))
+    def test_bounded(self, words):
+        text = " ".join(words)
+        assert 0.0 <= bleu_score(text, "bar chart of the count of items") <= 1.0
+
+
+class TestRouge:
+    def test_identical_is_one(self):
+        assert rouge_n("a b c", "a b c", 1) == pytest.approx(1.0)
+        assert rouge_l("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        score = rouge_n("a b x", "a b c", 1)
+        assert 0.0 < score < 1.0
+
+    def test_lcs_respects_order(self):
+        assert rouge_l("a b c d", "a c b d") < 1.0
+
+    def test_corpus_keys(self):
+        scores = corpus_rouge(["a b"], ["a b"])
+        assert set(scores) == {"rouge1", "rouge2", "rougeL"}
+
+    def test_empty_candidate(self):
+        assert rouge_n("", "a b", 1) == 0.0
+
+
+class TestMeteor:
+    def test_identical_is_high(self):
+        assert meteor_score("show the chart", "show the chart") > 0.9
+
+    def test_synonym_matching_helps(self):
+        with_synonym = meteor_score("display the graph", "show the chart")
+        without = meteor_score("eat the apple", "show the chart")
+        assert with_synonym > without
+
+    def test_stemming_matches_inflections(self):
+        assert meteor_score("counting charts", "count chart") > 0.3
+
+    def test_fragmentation_penalty(self):
+        ordered = meteor_score("a b c d", "a b c d")
+        scrambled = meteor_score("d c b a", "a b c d")
+        assert scrambled < ordered
+
+    def test_corpus_bounds(self):
+        assert 0.0 <= corpus_meteor(["a"], ["b"]) <= 1.0
+
+
+class TestAggregateBundle:
+    def test_bundle_keys_and_bounds(self):
+        metrics = evaluate_generation(["a bar chart of sales"], ["a bar chart of revenue"])
+        payload = metrics.as_dict()
+        for key in ("BLEU-1", "BLEU-4", "ROUGE-1", "ROUGE-L", "METEOR"):
+            assert 0.0 <= payload[key] <= 1.0
+        assert payload["examples"] == 1
+        assert 0.0 <= metrics.mean_of_components() <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.sampled_from(["bar", "chart", "sales", "of", "a"]), min_size=1, max_size=6),
+        st.lists(st.sampled_from(["bar", "chart", "sales", "of", "a"]), min_size=1, max_size=6),
+    )
+    def test_all_metrics_bounded(self, candidate_words, reference_words):
+        metrics = evaluate_generation([" ".join(candidate_words)], [" ".join(reference_words)])
+        for key, value in metrics.as_dict().items():
+            if key == "examples":
+                continue
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,84 @@
+"""Tests for softmax / cross-entropy and mask helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = F.softmax(logits).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_stability_with_large_logits(self):
+        logits = Tensor(np.array([[1e4, 1e4 + 1.0]]))
+        probs = F.softmax(logits).numpy()
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).numpy(), np.log(F.softmax(logits).numpy()), atol=1e-10
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 4), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_vocab(self):
+        logits = Tensor(np.zeros((3, 8)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(np.log(8), abs=1e-9)
+
+    def test_ignore_index_excludes_positions(self):
+        logits = np.zeros((2, 4))
+        logits[0, 0] = 10.0
+        loss = F.cross_entropy(Tensor(logits), np.array([0, -1]), ignore_index=-1)
+        assert loss.item() < 1e-3
+
+    def test_all_ignored_returns_zero(self):
+        loss = F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 0]), ignore_index=0)
+        assert loss.item() == 0.0
+
+    def test_gradient_shape(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 6)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        loss.backward()
+        assert logits.grad.shape == (4, 6)
+
+    def test_label_smoothing_increases_loss_on_confident_predictions(self):
+        logits = np.full((1, 5), -20.0)
+        logits[0, 0] = 20.0
+        plain = F.cross_entropy(Tensor(logits), np.array([0]))
+        smoothed = F.cross_entropy(Tensor(logits), np.array([0]), label_smoothing=0.1)
+        assert smoothed.item() > plain.item()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+
+    def test_sequence_cross_entropy_ignores_padding(self):
+        logits = Tensor(np.zeros((1, 3, 5)))
+        targets = np.array([[1, 0, 0]])  # pad_id = 0
+        loss = F.sequence_cross_entropy(logits, targets, pad_id=0)
+        assert loss.item() == pytest.approx(np.log(5), abs=1e-9)
+
+
+class TestMasks:
+    def test_causal_mask_lower_triangular(self):
+        mask = F.causal_mask(4)
+        assert mask[0, 1] == False  # noqa: E712 - numpy bool comparison
+        assert mask[3, 0] == True  # noqa: E712
+
+    def test_attention_mask_bias_values(self):
+        bias = F.attention_mask_bias(np.array([True, False]))
+        assert bias[0] == 0.0
+        assert bias[1] < -1e8

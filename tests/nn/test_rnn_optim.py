@@ -1,0 +1,124 @@
+"""Tests for the GRU seq2seq baseline and the optimizers/schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.nn.layers import Parameter
+from repro.nn.optim import Adam, ConstantSchedule, LinearWarmupSchedule, SGD, clip_grad_norm
+from repro.nn.rnn import GRUCell, Seq2SeqModel
+from repro.nn.tensor import Tensor
+
+
+class TestGRUCell:
+    def test_hidden_shape(self):
+        cell = GRUCell(4, 6)
+        hidden = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))))
+        assert hidden.shape == (3, 6)
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = GRUCell(4, 6)
+        hidden = cell(Tensor(np.ones((2, 4)) * 100), Tensor(np.zeros((2, 6))))
+        assert np.abs(hidden.numpy()).max() <= 1.0 + 1e-9
+
+
+class TestSeq2SeqModel:
+    def test_forward_and_generate(self):
+        model = Seq2SeqModel(vocab_size=30, embedding_dim=8, hidden_size=12, max_decode_length=6)
+        x = np.random.default_rng(0).integers(4, 30, size=(2, 5))
+        y = np.random.default_rng(1).integers(4, 30, size=(2, 4))
+        out = model(x, y)
+        assert out["logits"].shape == (2, 4, 30)
+        generated = model.generate(x, max_length=6)
+        assert generated.shape[0] == 2 and generated.shape[1] <= 6
+
+    def test_training_reduces_loss(self):
+        model = Seq2SeqModel(vocab_size=20, embedding_dim=8, hidden_size=12)
+        x = np.random.default_rng(0).integers(4, 20, size=(4, 5))
+        y = np.random.default_rng(1).integers(4, 20, size=(4, 4))
+        optimizer = Adam(model.parameters(), learning_rate=1e-2)
+        losses = []
+        for _ in range(10):
+            optimizer.zero_grad()
+            out = model(x, y)
+            out["loss"].backward()
+            optimizer.step()
+            losses.append(out["loss"].item())
+        assert losses[-1] < losses[0]
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ModelConfigError):
+            Seq2SeqModel(vocab_size=0)
+
+
+class TestOptimizers:
+    def _quadratic_parameter(self):
+        return Parameter(np.array([5.0, -3.0]))
+
+    def test_sgd_descends(self):
+        parameter = self._quadratic_parameter()
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(50):
+            optimizer.zero_grad()
+            parameter.grad = 2 * parameter.data
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 0.1
+
+    def test_adam_descends(self):
+        parameter = self._quadratic_parameter()
+        optimizer = Adam([parameter], learning_rate=0.2)
+        for _ in range(100):
+            optimizer.zero_grad()
+            parameter.grad = 2 * parameter.data
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 0.1
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], learning_rate=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ModelConfigError):
+            Adam([], learning_rate=0.1)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_below(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 0.1)
+        clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, np.full(4, 0.1))
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ModelConfigError):
+            clip_grad_norm([Parameter(np.zeros(2))], max_norm=0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule.learning_rate(0) == schedule.learning_rate(100) == 0.01
+
+    def test_linear_warmup_then_decay(self):
+        schedule = LinearWarmupSchedule(1.0, total_steps=100, warmup_ratio=0.1)
+        assert schedule.learning_rate(0) < schedule.learning_rate(9)
+        assert schedule.learning_rate(9) == pytest.approx(1.0)
+        assert schedule.learning_rate(50) > schedule.learning_rate(90)
+        assert schedule.learning_rate(100) == pytest.approx(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelConfigError):
+            LinearWarmupSchedule(1.0, total_steps=0)
+        with pytest.raises(ModelConfigError):
+            LinearWarmupSchedule(1.0, total_steps=10, warmup_ratio=2.0)

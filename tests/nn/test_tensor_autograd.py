@@ -1,0 +1,157 @@
+"""Tests for the autograd engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_gradient(function, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = function(x)
+        flat[index] = original - eps
+        minus = function(x)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-4):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape)
+    tensor = Tensor(values.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+
+    def scalar(x):
+        return float(build_loss(Tensor(x.copy())).data)
+
+    numeric = numerical_gradient(scalar, values.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: ((x * 3.0 + 2.0) * x).sum(), (4, 3))
+
+    def test_division(self):
+        check_gradient(lambda x: (x / (x * x + 2.0)).sum(), (5,))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: ((x.exp() + 1.5).log()).sum(), (3, 2))
+
+    def test_tanh_sigmoid(self):
+        check_gradient(lambda x: (x.tanh() * x.sigmoid()).sum(), (6,))
+
+    def test_relu(self):
+        check_gradient(lambda x: (x.relu() * 2.0).sum(), (10,), seed=3)
+
+    def test_gelu(self):
+        check_gradient(lambda x: x.gelu().sum(), (8,))
+
+    def test_power(self):
+        check_gradient(lambda x: ((x * x + 1.0) ** 1.5).sum(), (4,))
+
+
+class TestMatmulAndShapes:
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(0)
+        other = Tensor(rng.normal(size=(3, 2)))
+        check_gradient(lambda x: (x @ other).sum(), (4, 3))
+
+    def test_batched_matmul_gradient(self):
+        rng = np.random.default_rng(1)
+        other = Tensor(rng.normal(size=(2, 4, 3)))
+        check_gradient(lambda x: (x @ other).sum(), (2, 3, 4))
+
+    def test_reshape_transpose(self):
+        check_gradient(lambda x: (x.reshape(6, 2).transpose() * 2.0).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda x: x[:, 1].sum(), (3, 4))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(2)
+        other = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda x: Tensor.concatenate([x, other], axis=0).sum(), (2, 3))
+
+    def test_embedding_lookup(self):
+        ids = np.array([[0, 2], [1, 1]])
+        check_gradient(lambda x: x.embedding_lookup(ids).sum(), (4, 3))
+
+    def test_masked_fill(self):
+        mask = np.array([True, False, True, False])
+        check_gradient(lambda x: x.masked_fill(mask, 0.0).sum(), (4,))
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        check_gradient(lambda x: (x.sum(axis=1) ** 2).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean(axis=-1, keepdims=True).sum(), (2, 5))
+
+    def test_max(self):
+        check_gradient(lambda x: x.max(axis=-1).sum(), (3, 4), seed=5)
+
+
+class TestBroadcasting:
+    def test_broadcast_add(self):
+        bias = Tensor(np.ones(3), requires_grad=True)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        loss = (x + bias).sum()
+        loss.backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 4.0))
+
+    def test_broadcast_mul(self):
+        scale = Tensor(np.full((1, 3), 2.0), requires_grad=True)
+        x = Tensor(np.ones((4, 3)))
+        loss = (x * scale).sum()
+        loss.backward()
+        assert scale.grad.shape == (1, 3)
+        np.testing.assert_allclose(scale.grad, np.full((1, 3), 4.0))
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_gradient_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        loss = (x * 2).sum()
+        loss.backward()
+        loss2 = (x * 3).sum()
+        loss2.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 2).sum()
+        assert not y.requires_grad
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_softmax_like_composition_gradcheck(self, rows, cols):
+        def loss(x):
+            shifted = x - x.max(axis=-1, keepdims=True).detach()
+            exp = shifted.exp()
+            probs = exp / exp.sum(axis=-1, keepdims=True)
+            return (probs * probs).sum()
+
+        check_gradient(loss, (rows, cols), seed=rows * 7 + cols, atol=1e-3)

@@ -1,0 +1,67 @@
+"""End-to-end integration test: data generation -> pre-training -> MFT -> evaluation.
+
+This mirrors the full DataVisT5 recipe at a miniature scale and checks that
+every stage plugs into the next: the corpora feed the hybrid pre-trainer, the
+pre-trained weights feed multi-task fine-tuning, and the fine-tuned model can
+be evaluated with the paper's metrics on all four tasks and saved/reloaded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DataVisT5, DataVisT5Config, HybridPretrainer, MultiTaskFineTuner, TrainingConfig
+from repro.datasets.corpus import build_pretraining_corpus
+from repro.evaluation import build_task_corpora, evaluate_generation_model, evaluate_text_to_vis_model
+from repro.evaluation.tasks import TASKS
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    corpora = build_task_corpora(
+        num_databases=6,
+        examples_per_database=6,
+        num_chart2text=15,
+        num_wikitabletext=15,
+        max_fevisqa=80,
+        max_test_examples=6,
+        seed=1,
+    )
+    pretraining_corpus = build_pretraining_corpus(*corpora.pretraining_inputs())
+    config = DataVisT5Config.from_preset("tiny", max_input_length=96, max_target_length=48, max_decode_length=32, seed=1)
+    model = DataVisT5.from_corpus(pretraining_corpus.all_texts(), config=config, max_vocab_size=1500)
+    training = TrainingConfig(num_epochs=1, batch_size=8, learning_rate=5e-3, seed=1)
+    pretrain_report = HybridPretrainer(model, pretraining_corpus, training).train()
+    finetune_report = MultiTaskFineTuner(model, corpora.train_pairs, training, examples_per_epoch=80).train()
+    return corpora, model, pretrain_report, finetune_report
+
+
+class TestEndToEnd:
+    def test_pretraining_ran_both_objectives(self, pipeline):
+        _, _, pretrain_report, _ = pipeline
+        assert pretrain_report.num_bdc_examples > 0
+        assert pretrain_report.num_mlm_examples > 0
+        assert np.isfinite(pretrain_report.final_loss)
+
+    def test_finetuning_covered_all_tasks(self, pipeline):
+        _, _, _, finetune_report = pipeline
+        assert set(finetune_report.task_counts) == set(TASKS)
+
+    def test_text_to_vis_evaluation_runs(self, pipeline):
+        corpora, model, _, _ = pipeline
+        examples = corpora.nvbench_splits.test[:4]
+        result = evaluate_text_to_vis_model(model, examples, corpora.pool)
+        assert result.num_examples == len(examples)
+        assert 0.0 <= result.em <= 1.0
+
+    def test_generation_evaluation_runs_for_all_tasks(self, pipeline):
+        corpora, model, _, _ = pipeline
+        for task in ("vis_to_text", "fevisqa", "table_to_text"):
+            metrics = evaluate_generation_model(model, corpora.test_pairs[task][:4])
+            assert 0.0 <= metrics.meteor <= 1.0
+
+    def test_model_roundtrips_through_checkpoint(self, pipeline, tmp_path):
+        corpora, model, _, _ = pipeline
+        model.save(tmp_path / "ckpt")
+        restored = DataVisT5.load(tmp_path / "ckpt")
+        example = corpora.test_pairs["vis_to_text"][0]
+        assert restored.predict(example.source) == model.predict(example.source)

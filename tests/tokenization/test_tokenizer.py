@@ -1,0 +1,76 @@
+"""Tests for the DataVisT5 tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TokenizationError
+from repro.tokenization import DataVisTokenizer, NL_TAG, VQL_TAG, Vocabulary, sentinel_token
+
+
+class TestTextToTokens:
+    def test_special_tokens_kept_whole(self, tiny_tokenizer):
+        tokens = tiny_tokenizer.text_to_tokens(f"{NL_TAG} show artists {VQL_TAG} visualize bar")
+        assert NL_TAG in tokens and VQL_TAG in tokens
+
+    def test_identifiers_kept_whole(self, tiny_tokenizer):
+        tokens = tiny_tokenizer.text_to_tokens("count ( artist.country )")
+        assert "artist.country" in tokens
+
+    def test_sentinel_recognised(self, tiny_tokenizer):
+        tokens = tiny_tokenizer.text_to_tokens("visualize <extra_id_0> select")
+        assert "<extra_id_0>" in tokens
+
+
+class TestEncodeDecode:
+    def test_roundtrip_in_vocab_text(self, tiny_tokenizer):
+        text = "visualize bar select artist.country , count ( artist.country ) from artist"
+        decoded = tiny_tokenizer.decode(tiny_tokenizer.encode(text))
+        assert decoded == text
+
+    def test_eos_appended(self, tiny_tokenizer):
+        ids = tiny_tokenizer.encode("visualize bar")
+        assert ids[-1] == tiny_tokenizer.vocab.eos_id
+
+    def test_max_length_truncates(self, tiny_tokenizer):
+        ids = tiny_tokenizer.encode("visualize bar select artist.country from artist", max_length=3)
+        assert len(ids) == 3
+        assert ids[-1] == tiny_tokenizer.vocab.eos_id
+
+    def test_invalid_max_length(self, tiny_tokenizer):
+        with pytest.raises(TokenizationError):
+            tiny_tokenizer.encode("abc", max_length=0)
+
+    def test_character_fallback_for_unknown_words(self, tiny_tokenizer):
+        ids = tiny_tokenizer.encode("zzzqqq", add_eos=False)
+        # The fallback spells the word out character by character.
+        assert len(ids) > 1
+
+    def test_decode_skips_padding(self, tiny_tokenizer):
+        ids = tiny_tokenizer.encode("visualize bar") + [tiny_tokenizer.vocab.pad_id] * 3
+        assert tiny_tokenizer.decode(ids) == "visualize bar"
+
+
+class TestSentinels:
+    def test_sentinel_ids_exist(self, tiny_tokenizer):
+        assert tiny_tokenizer.num_sentinels >= 16
+        assert tiny_tokenizer.sentinel_id(0) == tiny_tokenizer.vocab.token_to_id(sentinel_token(0))
+
+    def test_missing_sentinel_raises(self):
+        tokenizer = DataVisTokenizer(Vocabulary(include_default_specials=False))
+        with pytest.raises(TokenizationError):
+            tokenizer.sentinel_id(0)
+
+
+class TestBuildFromCorpus:
+    def test_vocab_covers_corpus(self):
+        corpus = ["visualize bar select a from t", "visualize pie select b from t"]
+        tokenizer = DataVisTokenizer.build_from_corpus(corpus)
+        for text in corpus:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    @given(st.text(alphabet="abcxyz ._0123456789", min_size=1, max_size=40))
+    def test_encode_never_crashes(self, text):
+        tokenizer = DataVisTokenizer.build_from_corpus(["abc xyz 0 1 2 . _"])
+        ids = tokenizer.encode(text)
+        assert isinstance(ids, list)
+        assert all(0 <= token_id < len(tokenizer.vocab) for token_id in ids)

@@ -1,0 +1,66 @@
+"""Tests for the vocabulary."""
+
+import pytest
+
+from repro.errors import TokenizationError
+from repro.tokenization import PAD_TOKEN, UNK_TOKEN, Vocabulary, sentinel_token
+
+
+class TestVocabularyBasics:
+    def test_default_specials_present(self):
+        vocab = Vocabulary()
+        assert PAD_TOKEN in vocab
+        assert sentinel_token(0) in vocab
+        assert vocab.pad_id == 0
+
+    def test_add_token_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add_token("hello")
+        second = vocab.add_token("hello")
+        assert first == second
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.token_to_id("never-seen") == vocab.unk_id
+
+    def test_id_to_token_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.id_to_token(vocab.token_to_id("alpha")) == "alpha"
+
+    def test_id_out_of_range(self):
+        vocab = Vocabulary()
+        with pytest.raises(TokenizationError):
+            vocab.id_to_token(len(vocab) + 5)
+
+
+class TestVocabularyBuild:
+    def test_frequency_and_cap(self):
+        corpus = [["a", "a", "b"], ["a", "c"]]
+        vocab = Vocabulary.build(corpus, max_size=2)
+        assert "a" in vocab and "b" in vocab
+        assert "c" not in vocab
+
+    def test_min_frequency(self):
+        vocab = Vocabulary.build([["x", "x"], ["y"]], min_frequency=2)
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_deterministic_tie_break(self):
+        first = Vocabulary.build([["b", "a"]]).tokens()
+        second = Vocabulary.build([["a", "b"]]).tokens()
+        assert first == second
+
+
+class TestVocabularyPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["alpha", "beta"])
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert loaded.tokens() == vocab.tokens()
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text('{"tokens": []}', encoding="utf-8")
+        with pytest.raises(TokenizationError):
+            Vocabulary.load(path)

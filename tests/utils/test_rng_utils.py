@@ -1,0 +1,32 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, seeded_rng
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        assert seeded_rng(7).integers(0, 1000) == seeded_rng(7).integers(0, 1000)
+
+    def test_none_is_deterministic(self):
+        assert seeded_rng(None).integers(0, 1000) == seeded_rng(None).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert seeded_rng(generator) is generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_base_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_in_valid_range(self):
+        seed = derive_seed(123, "x", 4)
+        assert 0 <= seed < 2**63 - 1

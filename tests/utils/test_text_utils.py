@@ -1,0 +1,89 @@
+"""Tests for repro.utils.text."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.text import (
+    jaccard_similarity,
+    levenshtein_distance,
+    ngrams,
+    normalize_whitespace,
+    tokenize_words,
+)
+
+
+class TestNormalizeWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a   b\t\nc") == "a b c"
+
+    def test_strips_ends(self):
+        assert normalize_whitespace("  hello world  ") == "hello world"
+
+    def test_empty(self):
+        assert normalize_whitespace("   ") == ""
+
+
+class TestTokenizeWords:
+    def test_keeps_qualified_identifiers(self):
+        assert "artist.country" in tokenize_words("count artist.country now")
+
+    def test_lowercases_by_default(self):
+        assert tokenize_words("Show ME") == ["show", "me"]
+
+    def test_respects_lowercase_flag(self):
+        assert tokenize_words("Show", lowercase=False) == ["Show"]
+
+    def test_punctuation_is_separate(self):
+        assert tokenize_words("a , b") == ["a", ",", "b"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_returns_empty(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(min_size=1, max_size=3), max_size=20), st.integers(min_value=1, max_value=5))
+    def test_count_property(self, tokens, n):
+        grams = ngrams(tokens, n)
+        assert len(grams) == max(0, len(tokens) - n + 1)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    @given(st.lists(st.integers(0, 5), max_size=10), st.lists(st.integers(0, 5), max_size=10))
+    def test_bounded(self, a, b):
+        value = jaccard_similarity(map(str, a), map(str, b))
+        assert 0.0 <= value <= 1.0
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_sequence(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_upper_bound(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))

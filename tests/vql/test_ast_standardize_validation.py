@@ -1,0 +1,126 @@
+"""Tests for the DV query AST helpers, standardization rules and schema validation."""
+
+import pytest
+
+from repro.errors import VQLValidationError
+from repro.vql import parse_dv_query, standardize_dv_query, standardize_text
+from repro.vql.ast import AggregateExpr, ChartType, ColumnRef, DVQuery
+from repro.vql.validation import is_query_compatible, validate_dv_query
+
+
+class TestAstComponents:
+    def test_vis_axis_data_components(self, pie_query_text):
+        query = parse_dv_query(pie_query_text)
+        assert query.vis_component() == "pie"
+        assert query.axis_component() == ("artist.country", "count ( artist.country )")
+        data = query.data_component()
+        assert data["from"] == "artist"
+        assert data["group_by"] == ("artist.country",)
+
+    def test_has_join_and_tables(self):
+        query = parse_dv_query("visualize bar select a.x, count(a.x) from a join b on a.id = b.id group by a.x")
+        assert query.has_join
+        assert query.tables() == ["a", "b"]
+
+    def test_requires_select(self):
+        with pytest.raises(ValueError):
+            DVQuery(chart_type=ChartType.BAR, select=(), from_table="t")
+
+    def test_columns_collects_all_references(self):
+        query = parse_dv_query(
+            "visualize bar select a.x, count(a.x) from a join b on a.id = b.id "
+            "where a.k = 'v' group by a.x order by count(a.x) desc"
+        )
+        rendered = {ref.to_text() for ref in query.columns()}
+        assert {"a.x", "a.id", "b.id", "a.k"} <= rendered
+
+
+class TestStandardization:
+    def test_paper_join_example(self, ):
+        from repro.database import Column, ColumnType, DatabaseSchema, TableSchema
+
+        schema = DatabaseSchema(
+            "soccer",
+            [
+                TableSchema("player", [Column("player_id", ColumnType.NUMBER), Column("years_played", ColumnType.NUMBER), Column("team", ColumnType.NUMBER)], "player_id"),
+                TableSchema("team", [Column("team_id", ColumnType.NUMBER), Column("name", ColumnType.TEXT)], "team_id"),
+            ],
+        )
+        raw = (
+            'Visualize BAR SELECT Years_Played, COUNT(*) FROM player AS T1 JOIN team AS T2 '
+            'ON T1.Team = T2.Team_id WHERE T2.Name = "Columbus Crew" GROUP BY Years_Played ORDER BY Years_Played'
+        )
+        expected = (
+            "visualize bar select player.years_played , count ( player.years_played ) from player "
+            "join team on player.team = team.team_id where team.name = 'columbus crew' "
+            "group by player.years_played order by player.years_played asc"
+        )
+        assert standardize_text(raw, schema) == expected
+
+    def test_columns_qualified_with_from_table_without_schema(self):
+        standardized = standardize_text("visualize bar select country, count(country) from artist group by country")
+        assert "artist.country" in standardized
+
+    def test_count_star_uses_group_column(self):
+        standardized = standardize_text("visualize bar select city, count(*) from shop group by city")
+        assert "count ( shop.city )" in standardized
+
+    def test_string_literals_lowercased(self):
+        standardized = standardize_text("visualize bar select a, count(a) from t where a = 'BIG' group by a")
+        assert "'big'" in standardized
+
+    def test_order_without_direction_gets_asc(self):
+        standardized = standardize_text("visualize bar select a, count(a) from t group by a order by a")
+        assert standardized.endswith("asc")
+
+    def test_star_outside_count_rejected(self):
+        query = parse_dv_query("visualize bar select *, sum(a) from t group by a")
+        with pytest.raises(VQLValidationError):
+            standardize_dv_query(query)
+
+    def test_idempotent(self, gallery_schema, pie_query_text):
+        once = standardize_text(pie_query_text, gallery_schema)
+        twice = standardize_text(once, gallery_schema)
+        assert once == twice
+
+
+class TestValidation:
+    def test_valid_query_passes(self, gallery_schema, pie_query_text):
+        validate_dv_query(parse_dv_query(pie_query_text), gallery_schema)
+
+    def test_unknown_table(self, gallery_schema):
+        query = parse_dv_query("visualize bar select x.a, count(x.a) from x group by x.a")
+        with pytest.raises(VQLValidationError):
+            validate_dv_query(query, gallery_schema)
+
+    def test_unknown_column(self, gallery_schema):
+        query = parse_dv_query("visualize bar select artist.salary, count(artist.salary) from artist group by artist.salary")
+        with pytest.raises(VQLValidationError):
+            validate_dv_query(query, gallery_schema)
+
+    def test_sum_on_text_column_rejected(self, gallery_schema):
+        query = parse_dv_query("visualize bar select artist.country, sum(artist.country) from artist group by artist.country")
+        with pytest.raises(VQLValidationError):
+            validate_dv_query(query, gallery_schema)
+
+    def test_bin_requires_time_column(self, gallery_schema):
+        query = parse_dv_query(
+            "visualize bar select artist.country, count(artist.country) from artist group by artist.country bin artist.country by year"
+        )
+        with pytest.raises(VQLValidationError):
+            validate_dv_query(query, gallery_schema)
+
+    def test_chart_arity(self, gallery_schema):
+        query = DVQuery(
+            chart_type=ChartType.PIE,
+            select=(AggregateExpr(column=ColumnRef("country", "artist")),),
+            from_table="artist",
+        )
+        with pytest.raises(VQLValidationError):
+            validate_dv_query(query, gallery_schema)
+
+    def test_is_query_compatible(self, gallery_schema, pie_query_text):
+        query = parse_dv_query(pie_query_text)
+        assert is_query_compatible(query, gallery_schema) is True
+        bad = parse_dv_query("visualize bar select z.a, count(z.a) from z group by z.a")
+        assert is_query_compatible(bad, gallery_schema) is False

@@ -1,0 +1,120 @@
+"""Tests for the DV query lexer and parser."""
+
+import pytest
+
+from repro.errors import VQLSyntaxError
+from repro.vql import ChartType, SortDirection, parse_dv_query, tokenize
+from repro.vql.ast import Subquery
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("visualize bar select a.b , count ( * ) from t")
+        values = [token.value for token in tokens]
+        assert "visualize" in values and "a.b" in values and "*" in values and "," in values
+
+    def test_quoted_strings(self):
+        tokens = tokenize("where name = 'Columbus Crew'")
+        strings = [token for token in tokens if token.kind == "string"]
+        assert strings and strings[0].value == "Columbus Crew"
+
+    def test_double_quotes(self):
+        tokens = tokenize('where name = "Hello"')
+        assert any(token.kind == "string" and token.value == "Hello" for token in tokens)
+
+    def test_numbers(self):
+        tokens = tokenize("where age > 42.5")
+        assert any(token.kind == "number" and token.value == "42.5" for token in tokens)
+
+    def test_invalid_character(self):
+        with pytest.raises(VQLSyntaxError):
+            tokenize("select # from t")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("visualize bar")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 10
+
+
+class TestParserBasics:
+    def test_simple_group_count(self, pie_query_text):
+        query = parse_dv_query(pie_query_text)
+        assert query.chart_type is ChartType.PIE
+        assert query.from_table == "artist"
+        assert query.group_by[0].to_text() == "artist.country"
+        assert query.select[1].function == "count"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_dv_query("VISUALIZE BAR SELECT a, COUNT(a) FROM t GROUP BY a ORDER BY a DESC")
+        assert query.chart_type is ChartType.BAR
+        assert query.order_by.direction is SortDirection.DESC
+
+    def test_default_order_direction_is_asc(self):
+        query = parse_dv_query("visualize bar select a, count(a) from t group by a order by a")
+        assert query.order_by.direction is SortDirection.ASC
+
+    def test_alias_resolution(self):
+        query = parse_dv_query(
+            "visualize bar select Years_Played, count(*) from player as T1 "
+            "join team as T2 on T1.team = T2.team_id where T2.name = 'x' group by Years_Played"
+        )
+        assert query.joins[0].left.table == "player"
+        assert query.joins[0].right.table == "team"
+        assert query.where[0].left.table == "team"
+
+    def test_multi_word_chart_type(self):
+        query = parse_dv_query("visualize stacked bar select a, b, c from t")
+        assert query.chart_type is ChartType.STACKED_BAR
+
+    def test_bin_clause(self):
+        query = parse_dv_query("visualize bar select d, count(d) from t group by d bin d by year")
+        assert query.bin is not None and query.bin.unit == "year"
+
+    def test_where_conditions(self):
+        query = parse_dv_query("visualize bar select a, count(a) from t where a = 'x' and b > 3 group by a")
+        assert len(query.where) == 2
+        assert query.where[1].operator == ">"
+        assert query.where[1].value == 3
+
+    def test_subquery_parsed(self):
+        query = parse_dv_query(
+            "visualize bar select s.lname, count(s.lname) from s where s.id not in "
+            "(select h.id from h where h.kind = 'food') group by s.lname"
+        )
+        assert isinstance(query.where[0].value, Subquery)
+        assert query.where[0].operator == "not in"
+
+
+class TestParserErrors:
+    def test_missing_visualize(self):
+        with pytest.raises(VQLSyntaxError):
+            parse_dv_query("select a from t")
+
+    def test_unknown_chart_type(self):
+        with pytest.raises(VQLSyntaxError):
+            parse_dv_query("visualize donut select a, b from t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(VQLSyntaxError):
+            parse_dv_query("visualize bar select a, b from t extra tokens")
+
+    def test_truncated_query(self):
+        with pytest.raises(VQLSyntaxError):
+            parse_dv_query("visualize bar select a, b from")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "visualize bar select t.a , count ( t.a ) from t group by t.a",
+            "visualize scatter select t.x , t.y from t",
+            "visualize pie select t.a , sum ( t.b ) from t group by t.a order by sum ( t.b ) desc",
+            "visualize line select t.d , count ( t.d ) from t group by t.d bin t.d by month",
+            "visualize bar select a.x , count ( a.x ) from a join b on a.id = b.id where b.k = 'v' group by a.x order by a.x asc",
+        ],
+    )
+    def test_serialization_fixed_point(self, text):
+        first = parse_dv_query(text)
+        second = parse_dv_query(first.to_text())
+        assert first.to_text() == second.to_text()
