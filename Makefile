@@ -1,0 +1,30 @@
+# Developer entry points.  Every target sets PYTHONPATH=src so the repo works
+# without installation; `make install` makes that unnecessary.
+
+PYTHON ?= python
+EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
+
+.PHONY: test bench smoke install help
+
+help:
+	@echo "make test     - tier-1 verification: full test + benchmark suite (pytest -x -q)"
+	@echo "make bench    - benchmark harness only (paper tables I-XII at smoke scale)"
+	@echo "make smoke    - run every example end-to-end"
+	@echo "make install  - editable install (pip install -e .)"
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+smoke:
+	@set -e; for example in $(EXAMPLES); do \
+		echo "== examples/$$example.py =="; \
+		PYTHONPATH=src $(PYTHON) examples/$$example.py; \
+	done
+
+# pip's editable path needs the `wheel` package; fully-offline images without
+# it fall back to the legacy setuptools develop command.
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop

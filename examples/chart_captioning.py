@@ -1,12 +1,14 @@
 """Chart captioning: vis-to-text and table-to-text over one database.
 
 This example exercises the two description-generation tasks the paper
-motivates for accessibility and visual analytics:
+motivates for accessibility and visual analytics, serving the vis-to-text
+side through the ``repro.serving`` pipeline:
 
 * **vis-to-text** — explain a DV query (and the chart it renders) in plain
-  language, comparing the gold description, a zero-shot heuristic and a
-  retrieval of the most similar training description;
-* **table-to-text** — describe the execution-result table of the same query.
+  language, comparing the gold description, the pipeline's zero-shot
+  heuristic backend and a retrieval of the most similar training description;
+* **table-to-text** — describe the execution-result table of the same query
+  with a registry-built zero-shot generator.
 
 Run with::
 
@@ -15,14 +17,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines import ZeroShotHeuristicGeneration
-from repro.charts import build_chart, render_ascii_chart
+from repro.charts import build_chart
 from repro.database import execute_query
 from repro.datasets import build_database_pool, generate_nvbench
-from repro.datasets.corpus import nvbench_to_vis_to_text_pair
-from repro.encoding import encode_result_table, table_to_text_input, vis_to_text_input
-from repro.evaluation.tasks import strip_modality_tags
+from repro.encoding import encode_result_table, strip_modality_tags, table_to_text_input
 from repro.metrics import evaluate_generation
+from repro.serving import Pipeline, build_generation
 from repro.utils.text import jaccard_similarity, tokenize_words
 
 
@@ -33,17 +33,18 @@ def main() -> None:
     example = next(e for e in nvbench.examples if e.pattern == "group_agg" and e.query.order_by is not None)
     database = pool.get(example.db_id)
 
+    pipeline = Pipeline.from_config({"vis_to_text": {"type": "heuristics"}})
+
     print("== DV query ==")
     print(example.query_text)
     result = execute_query(example.query, database)
     chart = build_chart(example.query, result=result)
-    print("\n== chart ==")
-    print(render_ascii_chart(chart))
+    print("\n== chart (rendered through the pipeline's render cache) ==")
+    print(pipeline.render_chart(chart))
 
     print("\n== vis-to-text ==")
-    heuristic = ZeroShotHeuristicGeneration()
-    source = vis_to_text_input(example.query, database.schema)
-    heuristic_caption = heuristic.predict(source)
+    response = pipeline.vis_to_text(example.query, schema=database.schema)
+    heuristic_caption = response.output
 
     # Retrieval caption: the description of the most similar other query.
     query_tokens = set(tokenize_words(example.query_text))
@@ -64,9 +65,14 @@ def main() -> None:
     print(f"metrics over the two candidate captions: {metrics.as_dict()}")
 
     print("\n== table-to-text ==")
+    generator = build_generation("heuristics")
     table_text = encode_result_table(result, max_rows=6)
     print(f"input table : {table_to_text_input(table_text)[:160]} ...")
-    print(f"zero-shot   : {heuristic.predict(table_to_text_input(table_text))}")
+    print(f"zero-shot   : {generator.predict(table_to_text_input(table_text))}")
+
+    print("\n== serving statistics ==")
+    render_stats = pipeline.caches["render"].stats()
+    print(f"render cache: {render_stats}")
 
 
 if __name__ == "__main__":

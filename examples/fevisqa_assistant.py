@@ -3,8 +3,9 @@
 Builds the paper's Figure 1 / Figure 8 scenario: given a DV query, its
 database and a rendered chart, answer the four typical DV questions (meaning,
 suitability, structure, values).  Ground-truth answers come from executing
-the query; a zero-shot heuristic model and (optionally) a trained DataVisT5
-answer the same questions for comparison.
+the query; the ``repro.serving`` pipeline answers the same questions with its
+zero-shot backend — all four submitted as one burst so the micro-batcher
+groups them into a single batch.
 
 Run with::
 
@@ -13,11 +14,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines import ZeroShotHeuristicGeneration
-from repro.charts import build_chart, chart_properties, render_ascii_chart
+from repro.charts import build_chart, chart_properties
 from repro.database import execute_query
 from repro.datasets import build_database_pool
-from repro.encoding import encode_result_table, encode_schema, fevisqa_input
+from repro.encoding import encode_result_table, encode_schema
+from repro.serving import Pipeline, Request
 from repro.vql import parse_dv_query, standardize_dv_query
 from repro.vql.validation import is_query_compatible
 
@@ -39,10 +40,14 @@ def main() -> None:
     properties = chart_properties(chart)
     table_text = encode_result_table(result)
 
+    pipeline = Pipeline.from_config(
+        {"fevisqa": {"type": "heuristics"}, "pipeline": {"max_batch_size": 4}}
+    )
+
     print("== DV query ==")
     print(query.to_text())
     print("\n== chart ==")
-    print(render_ascii_chart(chart))
+    print(pipeline.render_chart(chart))
 
     questions = [
         ("What is the meaning of this DV ?", "semantic"),
@@ -57,15 +62,21 @@ def main() -> None:
         "value": str(properties.max_value),
     }
 
-    heuristic = ZeroShotHeuristicGeneration()
-
-    print("\n== question answering ==")
-    for question, kind in questions:
-        source = fevisqa_input(question, query=query, schema=database.schema, table=table_text)
-        predicted = heuristic.predict(source)
+    print("\n== question answering (one micro-batched burst) ==")
+    requests = [
+        Request(task="fevisqa", question=question, chart=query, schema=database.schema, table=table_text, request_id=kind)
+        for question, kind in questions
+    ]
+    responses = pipeline.serve(requests)
+    for (question, kind), response in zip(questions, responses):
         print(f"\nQ: {question}")
         print(f"   ground truth     : {ground_truth[kind]}")
-        print(f"   zero-shot answer : {predicted}")
+        print(f"   zero-shot answer : {response.output}")
+
+    print("\n== serving statistics ==")
+    print(f"batching: {pipeline.stats()['batching']['fevisqa']}")
+    repeat = pipeline.fevisqa(questions[0][0], chart=query, schema=database.schema, table=table_text)
+    print(f"repeat of question 1 cached: {repeat.cached}")
 
     print("\n== schema used as context ==")
     print(encode_schema(database.schema))

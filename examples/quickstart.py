@@ -7,7 +7,8 @@ This walks the full paper pipeline end to end at a miniature scale:
    FeVisQA substitutes) and the hybrid pre-training corpus;
 3. hybrid pre-training (span-corruption MLM + bidirectional dual corpus);
 4. multi-task fine-tuning with temperature mixing;
-5. run the model on one example per task and print the predictions.
+5. serve the model through the ``repro.serving`` pipeline — one example per
+   task, plus a micro-batched burst and a cache-hit demonstration.
 
 Run with::
 
@@ -18,8 +19,9 @@ from __future__ import annotations
 
 from repro.core import DataVisT5, DataVisT5Config, HybridPretrainer, MultiTaskFineTuner, TrainingConfig
 from repro.datasets.corpus import build_pretraining_corpus
+from repro.encoding import strip_modality_tags
 from repro.evaluation import build_task_corpora, evaluate_text_to_vis_model
-from repro.evaluation.tasks import strip_modality_tags
+from repro.serving import Pipeline, Request
 
 
 def main() -> None:
@@ -56,16 +58,54 @@ def main() -> None:
     print(f"fine-tuning loss    : {finetune_report.epoch_losses}")
     print(f"examples per task   : {finetune_report.task_counts}")
 
-    print("\n== 5. predictions on one test example per task ==")
-    for task in ("text_to_vis", "vis_to_text", "fevisqa", "table_to_text"):
-        example = corpora.test_pairs[task][0]
-        prediction = strip_modality_tags(model.predict(example.source))
-        print(f"\n[{task}]")
-        print(f"  input     : {example.source[:120]} ...")
-        print(f"  reference : {strip_modality_tags(example.target)}")
-        print(f"  prediction: {prediction}")
+    print("\n== 5. serving the trained model through the pipeline ==")
+    pipeline = Pipeline.from_model(model)
 
-    print("\n== 6. text-to-vis EM metrics on the test split ==")
+    t2v_example = corpora.nvbench_splits.test[0]
+    t2v_schema = corpora.pool.get(t2v_example.db_id).schema
+    response = pipeline.text_to_vis(t2v_example.question, t2v_schema)
+    print("\n[text_to_vis]")
+    print(f"  question  : {t2v_example.question}")
+    print(f"  reference : {t2v_example.query_text}")
+    print(f"  prediction: {response.output}")
+    print(f"  parses/validates: query={response.query is not None} valid={response.valid}")
+
+    response = pipeline.vis_to_text(t2v_example.query, schema=t2v_schema)
+    print("\n[vis_to_text]")
+    print(f"  chart     : {t2v_example.query_text[:100]} ...")
+    print(f"  prediction: {response.output}")
+
+    qa_example = corpora.fevisqa_splits.test[0]
+    response = pipeline.fevisqa(
+        qa_example.question,
+        chart=qa_example.query_text,
+        schema=qa_example.schema_text,
+        table=qa_example.table_text or None,
+    )
+    print("\n[fevisqa]")
+    print(f"  question  : {qa_example.question}")
+    print(f"  reference : {qa_example.answer}")
+    print(f"  prediction: {response.output}")
+
+    # table_to_text has no interactive serving surface; call the model directly.
+    table_example = corpora.test_pairs["table_to_text"][0]
+    print("\n[table_to_text]")
+    print(f"  input     : {table_example.source[:120]} ...")
+    print(f"  reference : {strip_modality_tags(table_example.target)}")
+    print(f"  prediction: {strip_modality_tags(model.predict(table_example.source))}")
+
+    print("\n== 6. micro-batched burst + response caching ==")
+    burst = [
+        Request(task="text_to_vis", question=e.question, schema=corpora.pool.get(e.db_id).schema)
+        for e in corpora.nvbench_splits.test[:8]
+    ]
+    pipeline.serve(burst)
+    repeats = pipeline.serve(burst)
+    print(f"batching      : {pipeline.stats()['batching']['text_to_vis']}")
+    print(f"response cache: {pipeline.caches['response'].stats()}")
+    print(f"all repeats served from cache: {all(r.cached for r in repeats)}")
+
+    print("\n== 7. text-to-vis EM metrics on the test split ==")
     result = evaluate_text_to_vis_model(model, corpora.nvbench_splits.test[:12], corpora.pool)
     print(result.as_dict())
 

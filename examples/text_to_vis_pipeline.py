@@ -1,13 +1,11 @@
-"""Text-to-vis pipeline: from a natural-language question to a rendered chart.
+"""Text-to-vis serving: from a natural-language question to a rendered chart.
 
-This example exercises the *non-neural* part of the library the way the
-paper's Figure 1 describes the workflow:
-
-1. schema filtration selects the tables mentioned by the question;
-2. the question + filtered schema are encoded into the model input format;
-3. a DV query (here: the retrieval baseline's prediction and the gold query)
-   is standardized, validated and executed on the database;
-4. the result is translated to a Vega-Lite spec and rendered as an ASCII chart.
+This example drives the workflow of the paper's Figure 1 through the
+``repro.serving`` pipeline: one ``text_to_vis`` call performs schema
+filtration, input encoding, baseline inference, VQL parsing/validation and
+Vega-Lite spec construction, with every stage cached.  Two registry backends
+(retrieval and rule-based) answer the same question, and the gold query is
+executed and rendered for comparison.
 
 Run with::
 
@@ -18,11 +16,10 @@ from __future__ import annotations
 
 import json
 
-from repro.baselines import RetrievalTextToVis, RuleBasedTextToVis
 from repro.charts import build_chart, render_ascii_chart, to_vega_lite, to_vega_zero
 from repro.database import execute_query
 from repro.datasets import build_database_pool, generate_nvbench
-from repro.encoding import encode_schema, filter_schema, text_to_vis_input
+from repro.serving import Pipeline
 from repro.vql import parse_dv_query, standardize_dv_query, validate_dv_query
 
 
@@ -34,13 +31,28 @@ def main() -> None:
     print("== natural-language question ==")
     print(question)
 
-    print("\n== schema filtration (n-gram matching) ==")
-    filtered = filter_schema(question, database.schema)
-    print("full schema   :", encode_schema(database.schema))
-    print("filtered      :", encode_schema(filtered))
+    print("\n== serving pipeline (retrieval + rule-based backends) ==")
+    pipeline = Pipeline.from_config(
+        {
+            "text_to_vis": {"type": "retrieval", "revise": True},
+            "pipeline": {"max_batch_size": 8},
+        }
+    )
+    nvbench = generate_nvbench(pool, examples_per_database=10, seed=0)
+    pipeline.backend("text_to_vis").fit(nvbench.examples, pool)
 
-    print("\n== model input sequence ==")
-    print(text_to_vis_input(question, filtered))
+    response = pipeline.text_to_vis(question, database.schema)
+    print("encoded model input :", response.source)
+    print("retrieval prediction:", response.output)
+    print("valid against schema:", response.valid)
+
+    rule_pipeline = Pipeline.from_config({"text_to_vis": {"type": "template"}})
+    rule_pipeline.backend("text_to_vis").fit([], pool)
+    print("rule-based prediction:", rule_pipeline.text_to_vis(question, database.schema).output)
+
+    print("\n== repeated request is served from cache ==")
+    repeat = pipeline.text_to_vis(question, database.schema)
+    print(f"cached: {repeat.cached}   response cache: {pipeline.caches['response'].stats()}")
 
     print("\n== gold DV query (standardized) ==")
     gold = standardize_dv_query(
@@ -50,18 +62,6 @@ def main() -> None:
     validate_dv_query(gold, database.schema)
     print(gold.to_text())
 
-    print("\n== retrieval baseline prediction ==")
-    nvbench = generate_nvbench(pool, examples_per_database=10, seed=0)
-    baseline = RetrievalTextToVis(revise=True)
-    baseline.fit(nvbench.examples, pool)
-    predicted = baseline.predict(question, database.schema)
-    print(predicted)
-
-    print("\n== rule-based baseline prediction ==")
-    rule = RuleBasedTextToVis()
-    rule.fit([], pool)
-    print(rule.predict(question, database.schema))
-
     print("\n== execution result and chart ==")
     result = execute_query(gold, database)
     for record in result.to_records():
@@ -70,8 +70,11 @@ def main() -> None:
     print()
     print(render_ascii_chart(chart))
 
-    print("\n== Vega-Lite specification ==")
-    print(json.dumps(to_vega_lite(gold, data_url="data/artist.json"), indent=2))
+    print("\n== Vega-Lite specification of the gold query ==")
+    print(json.dumps(to_vega_lite(gold), indent=2))
+
+    print("\n== Vega-Lite specification attached to the pipeline's prediction ==")
+    print(json.dumps(response.vega_lite or {}, indent=2))
 
     print("\n== Vega-Zero sequence ==")
     print(to_vega_zero(gold))

@@ -1,10 +1,22 @@
-"""Setuptools entry point.
+"""Setuptools entry point for the src/-layout package.
 
-The pyproject.toml carries the project metadata; this file only exists so the
-package can be installed editable (``pip install -e . --no-use-pep517``) in
-offline environments where the ``wheel`` package is unavailable.
+The project keeps all importable code under ``src/repro``; this file declares
+the ``package_dir`` mapping so ``pip install -e .`` (and plain ``pip install
+.``) resolve the layout.  In offline environments without the ``wheel``
+package, install with ``pip install -e . --no-build-isolation``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-datavist5",
+    version="1.0.0",
+    description=(
+        "Offline reproduction of DataVisT5 (ICDE 2025): text-to-vis, "
+        "vis-to-text and FeVisQA with a unified serving pipeline"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

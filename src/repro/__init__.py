@@ -7,8 +7,9 @@ pipeline, the hybrid pre-training and multi-task fine-tuning recipe, the
 baselines, the metrics and a benchmark harness for every table and figure of
 the paper's evaluation section.
 
-See ``examples/quickstart.py`` for a runnable end-to-end walk-through and
-DESIGN.md for the system inventory and per-experiment index.
+See ``examples/quickstart.py`` for a runnable end-to-end walk-through,
+``README.md`` for the module map and ``docs/architecture.md`` for the data
+flow and the serving subsystem's batching/caching design.
 """
 
 __version__ = "1.0.0"

@@ -30,7 +30,28 @@ from repro.baselines.neural import (
 from repro.baselines.ncnet import NcNetTextToVis
 from repro.baselines.heuristics import ZeroShotHeuristicGeneration
 
+# Canonical name -> class tables for the two baseline families.  These are the
+# single source of truth consumed by :mod:`repro.serving.registry`, so serving,
+# the evaluation harness and the examples all construct baselines by the same
+# names.
+TEXT_TO_VIS_BASELINES: dict[str, type[TextToVisBaseline]] = {
+    "neural": TransformerTextToVis,
+    "seq2vis": Seq2VisBaseline,
+    "ncnet": NcNetTextToVis,
+    "template": RuleBasedTextToVis,
+    "retrieval": RetrievalTextToVis,
+    "few_shot_retrieval": FewShotRetrievalTextToVis,
+}
+
+GENERATION_BASELINES: dict[str, type[TextGenerationBaseline]] = {
+    "neural": NeuralTextGeneration,
+    "seq2seq": Seq2SeqTextGeneration,
+    "heuristics": ZeroShotHeuristicGeneration,
+}
+
 __all__ = [
+    "TEXT_TO_VIS_BASELINES",
+    "GENERATION_BASELINES",
     "TextToVisBaseline",
     "TextGenerationBaseline",
     "RuleBasedTextToVis",

@@ -1,4 +1,21 @@
-"""Common interfaces for the baseline model families."""
+"""Common interfaces for the baseline model families.
+
+Every comparison system in the paper's evaluation falls into one of two
+abstract shapes, depending on the task it serves:
+
+* :class:`TextToVisBaseline` — text-to-vis systems that map an NL question
+  plus a database schema to DV-query text (Seq2Vis, ncNet, RGVisNet-style
+  retrieval, the rule-based parser, warm-started transformers);
+* :class:`TextGenerationBaseline` — text-to-text systems for the generation
+  tasks (vis-to-text, FeVisQA, table-to-text), which consume one pre-encoded
+  source sequence.
+
+Both follow the same life cycle: construct (directly or through
+:mod:`repro.serving.registry`), ``fit`` on a training split, then ``predict``
+— and both expose a ``predict_many`` batch hook that the serving layer's
+micro-batcher calls, so a baseline that can amortize batched inference only
+needs to override that one method.
+"""
 
 from __future__ import annotations
 
@@ -12,34 +29,72 @@ from repro.datasets.spider import SyntheticDatabasePool
 
 
 class TextToVisBaseline(abc.ABC):
-    """A model that maps (NL question, schema) to DV query text."""
+    """A model that maps (NL question, schema) to DV query text.
+
+    Implementations must be deterministic at inference time: repeated
+    ``predict`` calls with the same inputs return the same text.  The serving
+    layer's caching and its batch-equals-sequential guarantee both rely on
+    this.
+    """
 
     name: str = "text-to-vis baseline"
 
     @abc.abstractmethod
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
-        """Train / index the model on the nvBench training split."""
+        """Train / index the model on the nvBench training split.
+
+        ``pool`` resolves each example's ``db_id`` to its database, so
+        implementations can encode schemas or execute queries while fitting.
+        Must be called before ``predict``; baselines with nothing to learn
+        accept an empty ``examples`` sequence.
+        """
 
     @abc.abstractmethod
     def predict(self, question: str, schema: DatabaseSchema) -> str:
-        """Predict the DV query text for one question."""
+        """Predict the DV query text for one question against ``schema``.
+
+        Returns bare query text (``visualize ...``) without modality tags; it
+        is not guaranteed to parse — callers that need an AST should go
+        through :func:`repro.vql.parser.parse_dv_query` and handle syntax
+        errors (the serving pipeline does this and marks such responses
+        invalid).
+        """
 
     def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
+        """Predict for parallel ``questions`` / ``schemas`` lists, position-aligned.
+
+        The default delegates to ``predict`` one item at a time; neural
+        implementations override this to run one padded forward pass.
+        """
         return [self.predict(question, schema) for question, schema in zip(questions, schemas)]
 
 
 class TextGenerationBaseline(abc.ABC):
-    """A model that maps a source text to a target text (vis-to-text, FeVisQA, table-to-text)."""
+    """A model that maps a source text to a target text (vis-to-text, FeVisQA, table-to-text).
+
+    Sources are the modality-tagged sequences produced by
+    :mod:`repro.encoding.sequences` (e.g. ``<VQL> ... <schema> ...``), so one
+    implementation serves every generation task.
+    """
 
     name: str = "text generation baseline"
 
     @abc.abstractmethod
     def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
-        """Train the model on (source, target) pairs."""
+        """Train the model on (source, target) pairs.
+
+        Must be called before ``predict``; zero-shot baselines accept an
+        empty sequence.
+        """
 
     @abc.abstractmethod
     def predict(self, source: str) -> str:
-        """Generate the target text for one source text."""
+        """Generate the target text for one pre-encoded source sequence."""
 
     def predict_many(self, sources: Sequence[str]) -> list[str]:
+        """Generate for every source, position-aligned.
+
+        The default loops over ``predict``; neural implementations override
+        this with one batched forward pass.
+        """
         return [self.predict(source) for source in sources]

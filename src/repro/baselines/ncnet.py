@@ -40,6 +40,12 @@ class NcNetTextToVis(TransformerTextToVis):
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
         super().fit(examples, pool)
 
+    def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
+        # Grammar-constrained decoding masks logits per schema, so requests
+        # cannot share one forward pass; keep the per-item loop rather than
+        # inheriting the transformer's batched override.
+        return [self.predict(question, schema) for question, schema in zip(questions, schemas)]
+
     def _allowed_token_ids(self, schema: DatabaseSchema) -> np.ndarray:
         tokenizer = self.model.tokenizer
         vocab = tokenizer.vocab

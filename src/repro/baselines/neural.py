@@ -150,10 +150,15 @@ class TransformerTextToVis(TextToVisBaseline):
                 optimizer.step()
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        return self.predict_many([question], [schema])[0]
+
+    def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
+        """One padded forward pass over the whole batch (padding is fully masked)."""
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        prediction = self.model.predict(text_to_vis_input(question, schema))
-        return prediction.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip()
+        sources = [text_to_vis_input(question, schema) for question, schema in zip(questions, schemas)]
+        predictions = self.model.predict_batch(sources)
+        return [prediction.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip() for prediction in predictions]
 
 
 class Seq2VisBaseline(TextToVisBaseline):
@@ -220,13 +225,20 @@ class Seq2VisBaseline(TextToVisBaseline):
                 optimizer.step()
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        return self.predict_many([question], [schema])[0]
+
+    def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
+        """Batched greedy decoding; the GRU carries hidden state through pads."""
         if self.model is None or self.tokenizer is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        source = text_to_vis_input(question, schema)
-        input_ids = np.asarray([self.tokenizer.encode(source, max_length=self.max_input_length)])
+        sources = [text_to_vis_input(question, schema) for question, schema in zip(questions, schemas)]
+        input_ids = pad_sequences(
+            [self.tokenizer.encode(source, max_length=self.max_input_length) for source in sources],
+            self.tokenizer.vocab.pad_id,
+        )
         generated = self.model.generate(input_ids, max_length=self.max_target_length)
-        text = self.tokenizer.decode(generated[0])
-        return text.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip()
+        texts = [self.tokenizer.decode(row) for row in generated]
+        return [text.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip() for text in texts]
 
 
 # -- generic text-generation baselines -----------------------------------------------------------
@@ -279,9 +291,13 @@ class NeuralTextGeneration(TextGenerationBaseline):
                 optimizer.step()
 
     def predict(self, source: str) -> str:
+        return self.predict_many([source])[0]
+
+    def predict_many(self, sources: Sequence[str]) -> list[str]:
+        """One padded forward pass over the whole batch (padding is fully masked)."""
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        return self.model.predict(source)
+        return self.model.predict_batch(list(sources))
 
 
 class Seq2SeqTextGeneration(TextGenerationBaseline):
@@ -349,8 +365,15 @@ class Seq2SeqTextGeneration(TextGenerationBaseline):
                 optimizer.step()
 
     def predict(self, source: str) -> str:
+        return self.predict_many([source])[0]
+
+    def predict_many(self, sources: Sequence[str]) -> list[str]:
+        """Batched greedy decoding; the GRU carries hidden state through pads."""
         if self.model is None or self.tokenizer is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        input_ids = np.asarray([self.tokenizer.encode(source, max_length=self.max_input_length)])
+        input_ids = pad_sequences(
+            [self.tokenizer.encode(source, max_length=self.max_input_length) for source in sources],
+            self.tokenizer.vocab.pad_id,
+        )
         generated = self.model.generate(input_ids, max_length=self.max_target_length)
-        return self.tokenizer.decode(generated[0])
+        return [self.tokenizer.decode(row) for row in generated]

@@ -5,9 +5,10 @@ and rendering ASCII charts for the paper's figures."""
 from repro.charts.chart import ChartData, build_chart
 from repro.charts.vegalite import to_vega_lite, to_vega_zero
 from repro.charts.properties import ChartProperties, chart_properties
-from repro.charts.render import render_ascii_chart, render_table
+from repro.charts.render import chart_fingerprint, render_ascii_chart, render_table
 
 __all__ = [
+    "chart_fingerprint",
     "ChartData",
     "build_chart",
     "to_vega_lite",

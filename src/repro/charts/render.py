@@ -4,15 +4,27 @@ The paper's figures (Figure 6-9) show the charts produced by each model's
 predicted DV query and the tables used in the case studies.  The benchmark
 harness regenerates them as plain-text renderings so they can be inspected in
 a terminal and embedded in EXPERIMENTS.md.
+
+Rendering is pure, so it memoizes well: :func:`chart_fingerprint` gives a
+stable identity for (chart contents, render width), which the serving
+pipeline uses as the key of its render cache to re-serve hot charts without
+recomputing the layout.
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.charts.chart import ChartData
 from repro.database.executor import ResultTable
 from repro.vql.ast import ChartType
 
 _DEFAULT_WIDTH = 40
+
+
+def chart_fingerprint(chart: ChartData, width: int = _DEFAULT_WIDTH) -> str:
+    """A stable identity for (chart contents, render width) memoization."""
+    return json.dumps(chart.to_dict(), sort_keys=True, default=str) + f"@{width}"
 
 
 def render_ascii_chart(chart: ChartData, width: int = _DEFAULT_WIDTH) -> str:

@@ -11,6 +11,7 @@ any DVL.  Two translators are provided:
 
 from __future__ import annotations
 
+from repro.errors import VQLValidationError
 from repro.vql.ast import AggregateExpr, ChartType, DVQuery
 
 _VEGA_MARKS = {
@@ -44,7 +45,15 @@ def _axis_encoding(item: AggregateExpr) -> dict:
 
 
 def to_vega_lite(query: DVQuery, data_url: str | None = None) -> dict:
-    """A Vega-Lite style specification for ``query``."""
+    """A Vega-Lite style specification for ``query``.
+
+    Raises :class:`~repro.errors.VQLValidationError` when the query has fewer
+    than the two select items a chart's x/y encodings need.
+    """
+    if len(query.select) < 2:
+        raise VQLValidationError(
+            f"Vega-Lite translation needs at least x and y select items, got {len(query.select)}"
+        )
     x_item, y_item = query.select[0], query.select[1]
     spec: dict = {
         "$schema": "https://vega.github.io/schema/vega-lite/v5.json",

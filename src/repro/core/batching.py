@@ -1,4 +1,22 @@
-"""Batch collation: turning token-id lists into padded numpy arrays."""
+"""Batch collation: turning token-id lists into padded numpy arrays.
+
+This module is the single place where ragged token sequences become dense
+``(batch, length)`` arrays, shared by three consumers:
+
+* the training loops (:mod:`repro.core.pretraining` / ``finetuning``), which
+  collate (source, target) text pairs into :class:`Batch` objects;
+* the neural baselines, which reuse :func:`pad_sequences` and
+  :func:`iterate_minibatches` for their own epochs;
+* the serving layer (:mod:`repro.serving`), whose ``MicroBatcher`` groups
+  concurrent requests with :func:`group_into_batches` before padding them
+  into one forward pass.
+
+Padding is right-aligned with the tokenizer's pad id.  Because every model
+masks pad positions exactly, a sequence produces bitwise-identical output
+whether it is padded to its own length or to the longest sequence of a larger
+batch — the property the serving layer's batch-equals-sequential guarantee
+rests on.
+"""
 
 from __future__ import annotations
 
@@ -23,8 +41,15 @@ class Batch:
         return int(self.input_ids.shape[0])
 
 
-def pad_sequences(sequences: Sequence[Sequence[int]], pad_id: int, max_length: int | None = None) -> np.ndarray:
-    """Right-pad integer sequences into a dense ``(batch, length)`` array."""
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    pad_id: int,
+    max_length: int | None = None,
+) -> np.ndarray:
+    """Right-pad integer sequences into a dense ``(batch, length)`` array.
+
+    ``max_length`` truncates longer sequences before padding.
+    """
     if not sequences:
         raise ModelConfigError("cannot pad an empty list of sequences")
     longest = max(len(sequence) for sequence in sequences)
@@ -73,8 +98,23 @@ def collate_token_pairs(
     )
 
 
+def group_into_batches(items: Sequence, batch_size: int) -> list[list]:
+    """Split ``items`` into consecutive order-preserving batches of at most ``batch_size``.
+
+    Unlike :func:`iterate_minibatches` this never shuffles — the serving layer
+    relies on the order so that scattered results line up with their requests.
+    """
+    if batch_size <= 0:
+        raise ModelConfigError("batch_size must be positive")
+    return [list(items[start : start + batch_size]) for start in range(0, len(items), batch_size)]
+
+
 def iterate_minibatches(items: Sequence, batch_size: int, rng: np.random.Generator | None = None):
-    """Yield shuffled mini-batches (lists) of ``items``."""
+    """Yield mini-batches (lists) of ``items``, shuffled when ``rng`` is given.
+
+    Used by every training loop; pass a seeded generator from
+    :func:`repro.utils.rng.seeded_rng` to make epoch order reproducible.
+    """
     if batch_size <= 0:
         raise ModelConfigError("batch_size must be positive")
     order = np.arange(len(items))

@@ -16,6 +16,7 @@ from repro.encoding.table_encoder import (
 from repro.encoding.query_encoder import encode_query
 from repro.encoding.schema_filtration import filter_schema, matched_tables
 from repro.encoding.sequences import (
+    strip_modality_tags,
     text_to_vis_input,
     text_to_vis_target,
     vis_to_text_input,
@@ -35,6 +36,7 @@ __all__ = [
     "encode_query",
     "filter_schema",
     "matched_tables",
+    "strip_modality_tags",
     "text_to_vis_input",
     "text_to_vis_target",
     "vis_to_text_input",

@@ -11,11 +11,15 @@ evaluation and the examples all produce byte-identical formats.
 
 from __future__ import annotations
 
+import re
+
 from repro.database.schema import DatabaseSchema
 from repro.encoding.query_encoder import encode_query
+from repro.errors import ReproError
 from repro.encoding.schema_encoder import encode_schema
 from repro.tokenization.special_tokens import (
     ANSWER_TAG,
+    MODALITY_TOKENS,
     NL_TAG,
     QUESTION_TAG,
     SCHEMA_TAG,
@@ -24,6 +28,13 @@ from repro.tokenization.special_tokens import (
 )
 from repro.utils.text import normalize_whitespace
 from repro.vql.ast import DVQuery
+
+_TAG_PATTERN = re.compile("|".join(re.escape(tag) for tag in MODALITY_TOKENS), flags=re.IGNORECASE)
+
+
+def strip_modality_tags(text: str) -> str:
+    """Remove ``<NL>`` / ``<VQL>`` / ... tags from a generated sequence."""
+    return " ".join(_TAG_PATTERN.sub(" ", text).split())
 
 
 def text_to_vis_input(question: str, schema: DatabaseSchema | str) -> str:
@@ -37,9 +48,26 @@ def text_to_vis_target(query: DVQuery | str, schema: DatabaseSchema | None = Non
     return normalize_whitespace(f"{VQL_TAG} {encode_query(query, schema=schema)}")
 
 
-def vis_to_text_input(query: DVQuery | str, schema: DatabaseSchema | str | None = None) -> str:
-    """``<VQL> query <schema> schema`` — the vis-to-text source sequence."""
-    parts = [VQL_TAG, encode_query(query)]
+def _query_segment(query: DVQuery | str, strict: bool) -> str:
+    """``query`` linearized; with ``strict=False`` unparseable text is kept verbatim."""
+    if not strict and isinstance(query, str):
+        try:
+            return encode_query(query)
+        except ReproError:
+            return normalize_whitespace(query)
+    return encode_query(query)
+
+
+def vis_to_text_input(
+    query: DVQuery | str, schema: DatabaseSchema | str | None = None, strict: bool = True
+) -> str:
+    """``<VQL> query <schema> schema`` — the vis-to-text source sequence.
+
+    With ``strict=False`` (the serving layer), query text that fails to parse
+    is embedded verbatim instead of raising — untrusted request payloads must
+    not abort a whole batch.
+    """
+    parts = [VQL_TAG, _query_segment(query, strict)]
     if schema is not None:
         schema_text = schema if isinstance(schema, str) else encode_schema(schema)
         parts.extend([SCHEMA_TAG, schema_text])
@@ -56,11 +84,15 @@ def fevisqa_input(
     query: DVQuery | str | None = None,
     schema: DatabaseSchema | str | None = None,
     table: str | None = None,
+    strict: bool = True,
 ) -> str:
-    """``<Question> q <VQL> query <schema> schema <Table> table`` — the FeVisQA source."""
+    """``<Question> q <VQL> query <schema> schema <Table> table`` — the FeVisQA source.
+
+    ``strict`` behaves as in :func:`vis_to_text_input`.
+    """
     parts = [QUESTION_TAG, question]
     if query is not None:
-        parts.extend([VQL_TAG, encode_query(query)])
+        parts.extend([VQL_TAG, _query_segment(query, strict)])
     if schema is not None:
         schema_text = schema if isinstance(schema, str) else encode_schema(schema)
         parts.extend([SCHEMA_TAG, schema_text])

@@ -15,17 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.heuristics import ZeroShotHeuristicGeneration
-from repro.baselines.ncnet import NcNetTextToVis
-from repro.baselines.neural import (
-    NeuralTextGeneration,
-    Seq2SeqTextGeneration,
-    Seq2VisBaseline,
-    TransformerTextToVis,
-    warm_start_on_queries,
-)
-from repro.baselines.retrieval import FewShotRetrievalTextToVis, RetrievalTextToVis
-from repro.baselines.template import RuleBasedTextToVis
+from repro.baselines.neural import warm_start_on_queries
 from repro.core.config import DataVisT5Config, TrainingConfig
 from repro.core.finetuning import MultiTaskFineTuner, SingleTaskFineTuner
 from repro.core.model import DataVisT5
@@ -38,6 +28,7 @@ from repro.datasets.spider import build_database_pool
 from repro.datasets.wikitabletext import generate_wikitabletext
 from repro.evaluation.evaluator import evaluate_generation_model, evaluate_text_to_vis_model
 from repro.evaluation.tasks import TaskCorpora, build_task_corpora
+from repro.serving import Pipeline, PipelineConfig, build_generation, build_text_to_vis
 from repro.utils.rng import derive_seed
 
 
@@ -312,6 +303,15 @@ class ExperimentSuite:
         clone.copy_weights_from(model)
         return clone
 
+    # -- serving ----------------------------------------------------------------------------
+    def pipeline(self, config: PipelineConfig | None = None) -> Pipeline:
+        """A serving :class:`Pipeline` over the fully-trained multi-task DataVisT5.
+
+        The model is trained (or fetched from the suite's cache) on first call;
+        the returned pipeline serves all three interactive tasks from it.
+        """
+        return Pipeline.from_model(self.datavist5_mft(), config=config)
+
     # -- Table IV: text-to-vis ---------------------------------------------------------------
     def table04_rows(self, include_llm_analogues: bool = True) -> list[dict]:
         """Text-to-vis comparison on the non-join and join subsets of the test split."""
@@ -323,35 +323,35 @@ class ExperimentSuite:
             train = train[: self.scale.max_train_examples]
         pool = corpora.pool
 
-        systems: list[tuple[str, str, object]] = [
-            ("Seq2Vis", "-", Seq2VisBaseline(training=self.training_config())),
-            ("Transformer", "-", TransformerTextToVis(self.model_config(), self.training_config())),
-            ("ncNet", "-", NcNetTextToVis(self.model_config(), self.training_config())),
-            ("RGVisNet", "-", RetrievalTextToVis(revise=True)),
-            (
-                "CodeT5+ (small)",
-                "+SFT",
-                TransformerTextToVis(self.model_config(), self.training_config(), warm_start="queries"),
-            ),
+        # Every comparison system is constructed through the serving registry,
+        # from the same specs a Pipeline.from_config() call would use.
+        neural = {"config": self.model_config(), "training": self.training_config()}
+        systems: list[tuple[str, str, dict]] = [
+            ("Seq2Vis", "-", {"type": "seq2vis", "training": self.training_config()}),
+            ("Transformer", "-", {"type": "neural", **neural}),
+            ("ncNet", "-", {"type": "ncnet", **neural}),
+            ("RGVisNet", "-", {"type": "retrieval", "revise": True}),
+            ("CodeT5+ (small)", "+SFT", {"type": "neural", **neural, "warm_start": "queries"}),
         ]
         if include_llm_analogues:
             systems.extend(
                 [
-                    ("GPT-4 (5-shot)", "+Similarity", FewShotRetrievalTextToVis()),
+                    ("GPT-4 (5-shot)", "+Similarity", {"type": "few_shot_retrieval"}),
                     (
                         "Llama2 analogue",
                         "+LoRA",
-                        TransformerTextToVis(self.model_config(), self.training_config(), warm_start="text", lora_style=True),
+                        {"type": "neural", **neural, "warm_start": "text", "lora_style": True},
                     ),
                     (
                         "Mistral analogue",
                         "+LoRA",
-                        TransformerTextToVis(
-                            self.model_config(),
-                            self.training_config(seed=derive_seed(self.seed, "mistral")),
-                            warm_start="text",
-                            lora_style=True,
-                        ),
+                        {
+                            "type": "neural",
+                            "config": self.model_config(),
+                            "training": self.training_config(seed=derive_seed(self.seed, "mistral")),
+                            "warm_start": "text",
+                            "lora_style": True,
+                        },
                     ),
                 ]
             )
@@ -360,12 +360,18 @@ class ExperimentSuite:
                 (
                     "CodeT5+ (large)",
                     "+SFT",
-                    TransformerTextToVis(self.model_config(self.scale.large_preset), self.training_config(), warm_start="queries"),
+                    {
+                        "type": "neural",
+                        "config": self.model_config(self.scale.large_preset),
+                        "training": self.training_config(),
+                        "warm_start": "queries",
+                    },
                 )
             )
 
         rows: list[dict] = []
-        for name, setting, system in systems:
+        for name, setting, spec in systems:
+            system = build_text_to_vis(spec)
             system.fit(train, pool)
             rows.append(self._text_to_vis_row(name, setting, system, test_without_join, test_with_join, pool))
 
@@ -407,35 +413,38 @@ class ExperimentSuite:
         """Comparison rows for one generation task (vis_to_text / fevisqa / table_to_text)."""
         train = self.corpora.train_pairs[task]
         test = self.corpora.test_pairs[task]
-        systems: list[tuple[str, str, object]] = [
-            ("Seq2Seq", "-", Seq2SeqTextGeneration(training=self.training_config())),
-            ("Transformer", "-", NeuralTextGeneration(self.model_config(), self.training_config())),
-            ("BART analogue", "+SFT", NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="text")),
-            ("CodeT5+ (small)", "+SFT", NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="queries")),
+        neural = {"config": self.model_config(), "training": self.training_config()}
+        systems: list[tuple[str, str, dict]] = [
+            ("Seq2Seq", "-", {"type": "seq2seq", "training": self.training_config()}),
+            ("Transformer", "-", {"type": "neural", **neural}),
+            ("BART analogue", "+SFT", {"type": "neural", **neural, "warm_start": "text"}),
+            ("CodeT5+ (small)", "+SFT", {"type": "neural", **neural, "warm_start": "queries"}),
         ]
         if include_llm_analogues:
             systems.extend(
                 [
-                    ("GPT-4 (0-shot)", "-", ZeroShotHeuristicGeneration()),
+                    ("GPT-4 (0-shot)", "-", {"type": "heuristics"}),
                     (
                         "Llama2 analogue",
                         "+LoRA",
-                        NeuralTextGeneration(self.model_config(), self.training_config(), warm_start="text", lora_style=True),
+                        {"type": "neural", **neural, "warm_start": "text", "lora_style": True},
                     ),
                     (
                         "Mistral analogue",
                         "+LoRA",
-                        NeuralTextGeneration(
-                            self.model_config(),
-                            self.training_config(seed=derive_seed(self.seed, "mistral_gen")),
-                            warm_start="text",
-                            lora_style=True,
-                        ),
+                        {
+                            "type": "neural",
+                            "config": self.model_config(),
+                            "training": self.training_config(seed=derive_seed(self.seed, "mistral_gen")),
+                            "warm_start": "text",
+                            "lora_style": True,
+                        },
                     ),
                 ]
             )
         rows: list[dict] = []
-        for name, setting, system in systems:
+        for name, setting, spec in systems:
+            system = build_generation(spec)
             system.fit(train)
             metrics = evaluate_generation_model(system, test)
             rows.append({"model": name, "setting": setting, "metrics": metrics.as_dict()})

@@ -12,7 +12,6 @@ datasets, using the fine-tuning targets defined in §V of the paper:
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 
 from repro.datasets.chart2text import Chart2TextDataset, generate_chart2text
@@ -28,16 +27,11 @@ from repro.datasets.nvbench import NvBenchDataset, generate_nvbench
 from repro.datasets.spider import SyntheticDatabasePool, build_database_pool
 from repro.datasets.splits import DatasetSplits, cross_domain_split, instance_split
 from repro.datasets.wikitabletext import WikiTableTextDataset, generate_wikitabletext
-from repro.tokenization.special_tokens import MODALITY_TOKENS
+from repro.encoding.sequences import strip_modality_tags
 
-_TAG_PATTERN = re.compile("|".join(re.escape(tag) for tag in MODALITY_TOKENS), flags=re.IGNORECASE)
+__all__ = ["TASKS", "TaskCorpora", "build_task_corpora", "strip_modality_tags"]
 
 TASKS = ("text_to_vis", "vis_to_text", "fevisqa", "table_to_text")
-
-
-def strip_modality_tags(text: str) -> str:
-    """Remove ``<NL>`` / ``<VQL>`` / ... tags from a generated sequence."""
-    return " ".join(_TAG_PATTERN.sub(" ", text).split())
 
 
 @dataclass

@@ -1,0 +1,43 @@
+"""Request-oriented serving for the DataVisT5 reproduction.
+
+This subsystem turns the library's task modules into one production-shaped
+entry point: a :class:`Pipeline` facade serving text-to-vis, vis-to-text and
+FeVisQA behind a uniform :class:`Request`/:class:`Response` protocol, with a
+:class:`MicroBatcher` amortizing neural forward passes over concurrent
+requests and :class:`LRUCache` layers for parsed VQL ASTs, Vega-Lite specs,
+encoder outputs and full responses.  The :mod:`~repro.serving.registry`
+constructs any baseline family from a plain config dict, so serving, the
+evaluation harness and the examples share one factory.
+
+See ``docs/architecture.md`` for the data-flow diagram and the knob
+reference.
+"""
+
+from repro.serving.batching import MicroBatcher, Ticket
+from repro.serving.cache import LRUCache, normalize_key
+from repro.serving.pipeline import Pipeline, PipelineConfig
+from repro.serving.protocol import SERVABLE_TASKS, Request, Response
+from repro.serving.registry import (
+    available_baselines,
+    build_generation,
+    build_text_to_vis,
+    register_generation,
+    register_text_to_vis,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineConfig",
+    "Request",
+    "Response",
+    "SERVABLE_TASKS",
+    "MicroBatcher",
+    "Ticket",
+    "LRUCache",
+    "normalize_key",
+    "available_baselines",
+    "build_text_to_vis",
+    "build_generation",
+    "register_text_to_vis",
+    "register_generation",
+]

@@ -1,0 +1,121 @@
+"""LRU caching for the serving layer.
+
+The pipeline keeps several independent :class:`LRUCache` instances — parsed
+VQL ASTs, rendered Vega-Lite specs, encoder outputs and full responses — so a
+hot query costs one dictionary lookup instead of a parse + standardize +
+render round trip.  Every cache tracks hit / miss / eviction counters, which
+the tests and the ``Pipeline.stats()`` report read back.
+
+Keys are plain strings.  :func:`normalize_key` collapses whitespace and case
+so that requests differing only in formatting share one cache entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from typing import Any, TypeVar
+
+from repro.errors import ModelConfigError
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+def normalize_key(*parts: str) -> str:
+    """Build a cache key from ``parts``: lowercased, whitespace-collapsed.
+
+    Multiple parts are joined with a separator that cannot appear in the
+    normalized parts themselves, so ``("a b", "c")`` and ``("a", "b c")``
+    produce distinct keys.
+    """
+    return "\x1f".join(" ".join(str(part).split()).lower() for part in parts)
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` inserts or updates and evicts the
+    stalest entry once ``capacity`` is exceeded.  A ``capacity`` of zero
+    disables the cache (every lookup misses, nothing is stored) — useful for
+    switching caching off without touching call sites.
+    """
+
+    def __init__(self, capacity: int = 128, name: str = "cache"):
+        if capacity < 0:
+            raise ModelConfigError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    # -- core mapping operations ---------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (refreshing recency) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or update ``key``; evict the least-recently-used overflow."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing and storing it on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters for monitoring: size, capacity, hits, misses, evictions."""
+        return {
+            "name": self.name,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LRUCache({self.name!r}, size={len(self)}/{self.capacity}, hits={self.hits}, misses={self.misses})"

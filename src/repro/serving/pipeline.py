@@ -1,0 +1,463 @@
+"""The serving facade: one entry point for all three interactive tasks.
+
+A :class:`Pipeline` owns everything a request needs on its way through the
+system — schema filtration and sequence encoding, the per-task backend
+(a trained :class:`~repro.core.model.DataVisT5` or any registry baseline),
+micro-batching, VQL parsing/validation of predictions, Vega-Lite spec
+construction — plus the LRU caches that make repeated traffic cheap:
+
+* ``encode``   — (task, inputs) -> encoded source sequence (+ filtered schema);
+* ``ast``      — DV-query text -> parsed :class:`DVQuery`;
+* ``spec``     — standardized query text -> Vega-Lite spec dict;
+* ``response`` — (task, normalized source) -> generated output text;
+* ``render``   — chart fingerprint -> ASCII rendering (see
+  :func:`repro.charts.render.render_ascii_chart`).
+
+Single requests go through :meth:`text_to_vis` / :meth:`vis_to_text` /
+:meth:`fevisqa`; concurrent bursts go through :meth:`serve`, which groups
+cache misses per task and pushes them through a :class:`MicroBatcher` so
+neural backends amortize forward passes.  Batched and sequential serving
+produce identical outputs (padding is fully masked); the tests assert this
+bitwise.
+
+Construction::
+
+    # share one multi-task DataVisT5 across all three tasks
+    pipeline = Pipeline.from_model(trained_model)
+
+    # or mix-and-match registry baselines from a plain config dict
+    pipeline = Pipeline.from_config({
+        "text_to_vis": {"type": "retrieval", "revise": True},
+        "vis_to_text": {"type": "heuristics"},
+        "fevisqa": {"type": "heuristics"},
+        "pipeline": {"max_batch_size": 16, "response_cache_size": 4096},
+    })
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+
+from dataclasses import dataclass
+
+from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
+from repro.charts.render import chart_fingerprint, render_ascii_chart
+from repro.charts.vegalite import to_vega_lite
+from repro.core.model import DataVisT5
+from repro.database.schema import DatabaseSchema
+from repro.encoding.schema_filtration import filter_schema
+from repro.encoding.sequences import (
+    fevisqa_input,
+    strip_modality_tags,
+    text_to_vis_input,
+    vis_to_text_input,
+)
+from repro.errors import ModelConfigError, ReproError
+from repro.serving.batching import MicroBatcher
+from repro.serving.cache import LRUCache, normalize_key
+from repro.serving.protocol import SERVABLE_TASKS, Request, Response
+from repro.serving.registry import build_generation, build_text_to_vis
+from repro.vql.ast import DVQuery
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query
+from repro.vql.validation import is_query_compatible
+
+
+@dataclass
+class PipelineConfig:
+    """Serving knobs: batch bound, cache capacities, optional stages.
+
+    ``max_batch_size`` bounds every micro-batch; the ``*_cache_size`` knobs
+    size the individual LRU caches (0 disables one); ``filter_schemas``
+    toggles n-gram schema filtration before encoding text-to-vis inputs;
+    ``validate_predictions`` toggles type-checking predicted queries against
+    the request schema; ``attach_specs`` toggles Vega-Lite spec construction
+    on text-to-vis responses.
+    """
+
+    max_batch_size: int = 8
+    encode_cache_size: int = 512
+    ast_cache_size: int = 256
+    spec_cache_size: int = 256
+    response_cache_size: int = 1024
+    render_cache_size: int = 64
+    filter_schemas: bool = True
+    validate_predictions: bool = True
+    attach_specs: bool = True
+
+
+@dataclass
+class _Prepared:
+    """A request after encoding: the backend input plus its cache identity."""
+
+    request: Request
+    source: str
+    key: str
+    schema: DatabaseSchema | None = None
+    chart_query: DVQuery | None = None
+
+
+class _Engine:
+    """Uniform ``predict_batch(prepared) -> list[str]`` over heterogeneous backends."""
+
+    def __init__(self, backend, task: str):
+        self.backend = backend
+        self.task = task
+
+    def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
+        backend = self.backend
+        if isinstance(backend, DataVisT5):
+            outputs = backend.predict_batch([item.source for item in prepared])
+            return [strip_modality_tags(output) for output in outputs]
+        if isinstance(backend, TextToVisBaseline):
+            questions = [item.request.question for item in prepared]
+            schemas = []
+            for item in prepared:
+                if not isinstance(item.schema, DatabaseSchema):
+                    raise ModelConfigError(
+                        f"{type(backend).__name__} needs a DatabaseSchema on text_to_vis requests"
+                    )
+                schemas.append(item.schema)
+            return [strip_modality_tags(output) for output in backend.predict_many(questions, schemas)]
+        if isinstance(backend, TextGenerationBaseline):
+            outputs = backend.predict_many([item.source for item in prepared])
+            return [strip_modality_tags(output) for output in outputs]
+        raise ModelConfigError(f"unsupported backend for {self.task}: {type(backend).__name__}")
+
+
+class Pipeline:
+    """Route text-to-vis / vis-to-text / FeVisQA requests through one facade.
+
+    ``text_to_vis`` / ``vis_to_text`` / ``fevisqa`` accept a backend each — a
+    registry baseline or a :class:`DataVisT5`; ``model`` supplies a shared
+    multi-task DataVisT5 for any task without an explicit backend.  Tasks with
+    no backend at all raise on first use, so a partially-configured pipeline
+    is fine.
+    """
+
+    def __init__(
+        self,
+        text_to_vis=None,
+        vis_to_text=None,
+        fevisqa=None,
+        model: DataVisT5 | None = None,
+        config: PipelineConfig | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.model = model
+        backends = {"text_to_vis": text_to_vis, "vis_to_text": vis_to_text, "fevisqa": fevisqa}
+        self._engines: dict[str, _Engine] = {}
+        for task in SERVABLE_TASKS:
+            backend = backends[task] if backends[task] is not None else model
+            if backend is not None:
+                self._engines[task] = _Engine(backend, task)
+        self.caches = {
+            "encode": LRUCache(self.config.encode_cache_size, name="encode"),
+            "ast": LRUCache(self.config.ast_cache_size, name="ast"),
+            "spec": LRUCache(self.config.spec_cache_size, name="spec"),
+            "response": LRUCache(self.config.response_cache_size, name="response"),
+            "render": LRUCache(self.config.render_cache_size, name="render"),
+        }
+        self._batchers: dict[str, MicroBatcher] = {}
+
+    # -- construction -----------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: DataVisT5, config: PipelineConfig | None = None) -> "Pipeline":
+        """Serve all three tasks from one multi-task fine-tuned DataVisT5."""
+        return cls(model=model, config=config)
+
+    @classmethod
+    def from_config(cls, spec: dict) -> "Pipeline":
+        """Build a pipeline from a plain config dict.
+
+        Task keys (``text_to_vis`` / ``vis_to_text`` / ``fevisqa``) hold
+        registry baseline specs (see :mod:`repro.serving.registry`); ``model``
+        may hold an already-built :class:`DataVisT5`; ``pipeline`` holds
+        :class:`PipelineConfig` fields.
+        """
+        spec = dict(spec)
+        try:
+            config = PipelineConfig(**spec.pop("pipeline", {}))
+        except TypeError as error:
+            raise ModelConfigError(f"invalid pipeline config: {error}") from None
+        model = spec.pop("model", None)
+        backends: dict[str, object] = {}
+        for task, builder in (
+            ("text_to_vis", build_text_to_vis),
+            ("vis_to_text", build_generation),
+            ("fevisqa", build_generation),
+        ):
+            task_spec = spec.pop(task, None)
+            if task_spec is not None:
+                backends[task] = task_spec if _is_backend(task_spec) else builder(task_spec)
+        if spec:
+            raise ModelConfigError(f"unknown pipeline config keys: {', '.join(sorted(spec))}")
+        return cls(model=model, config=config, **backends)
+
+    def backend(self, task: str):
+        """The underlying model/baseline serving ``task`` (for fitting or inspection)."""
+        return self._engine(task).backend
+
+    # -- the three task entry points ---------------------------------------------------
+    def text_to_vis(self, question: str, schema: DatabaseSchema | str) -> Response:
+        """NL question + schema -> DV query text (+ parsed AST and Vega-Lite spec)."""
+        return self.submit(Request(task="text_to_vis", question=question, schema=schema))
+
+    def vis_to_text(self, chart: DVQuery | str, schema: DatabaseSchema | str | None = None) -> Response:
+        """DV query (the chart's program) -> natural-language caption."""
+        return self.submit(Request(task="vis_to_text", chart=chart, schema=schema))
+
+    def fevisqa(
+        self,
+        question: str,
+        chart: DVQuery | str | None = None,
+        schema: DatabaseSchema | str | None = None,
+        table: str | None = None,
+    ) -> Response:
+        """Free-form question about a chart -> answer text."""
+        return self.submit(Request(task="fevisqa", question=question, chart=chart, schema=schema, table=table))
+
+    # -- serving ----------------------------------------------------------------------
+    def submit(self, request: Request) -> Response:
+        """Serve one request (a one-element :meth:`serve` batch)."""
+        return self.serve([request])[0]
+
+    def serve(self, requests: list[Request]) -> list[Response]:
+        """Serve a burst of requests, micro-batching cache misses per task.
+
+        Responses come back position-aligned with ``requests``.  Repeats of a
+        request already answered (in an earlier call, or earlier in this
+        burst) are served from the response cache and marked ``cached``.
+        """
+        responses: list[Response | None] = [None] * len(requests)
+        misses: dict[str, list[tuple[int, _Prepared]]] = {}
+        for index, request in enumerate(requests):
+            prepared = self._prepare(request)
+            payload = self.caches["response"].get(prepared.key)
+            if payload is not None:
+                responses[index] = self._response_from(prepared, payload, cached=True)
+            else:
+                misses.setdefault(request.task, []).append((index, prepared))
+
+        for task, entries in misses.items():
+            batcher = self._batcher(task)
+            # Within one burst, identical keys hit the backend once; every
+            # duplicate after the first is a cache-style fan-out.
+            by_key: dict[str, list[tuple[int, _Prepared]]] = {}
+            unique: list[_Prepared] = []
+            for index, prepared in entries:
+                if prepared.key not in by_key:
+                    by_key[prepared.key] = []
+                    unique.append(prepared)
+                by_key[prepared.key].append((index, prepared))
+            for first, output in zip(unique, batcher.run(unique)):
+                payload = self._payload(first, output)
+                self.caches["response"].put(first.key, payload)
+                for position, (index, prepared) in enumerate(by_key[first.key]):
+                    responses[index] = self._response_from(prepared, payload, cached=position > 0)
+        return responses  # type: ignore[return-value]
+
+    def render_chart(self, chart, width: int = 40) -> str:
+        """ASCII-render ``chart`` through the pipeline's render cache."""
+        return self.caches["render"].get_or_compute(
+            chart_fingerprint(chart, width), lambda: render_ascii_chart(chart, width=width)
+        )
+
+    def stats(self) -> dict:
+        """Cache and batching counters for every stage."""
+        return {
+            "caches": {name: cache.stats() for name, cache in self.caches.items()},
+            "batching": {task: batcher.stats() for task, batcher in self._batchers.items()},
+        }
+
+    # -- internals --------------------------------------------------------------------
+    def _engine(self, task: str) -> _Engine:
+        engine = self._engines.get(task)
+        if engine is None:
+            raise ModelConfigError(
+                f"no backend configured for task {task!r}; pass one to the Pipeline "
+                f"constructor or supply a shared model"
+            )
+        return engine
+
+    def _batcher(self, task: str) -> MicroBatcher:
+        if task not in self._batchers:
+            engine = self._engine(task)
+            self._batchers[task] = MicroBatcher(engine.predict_batch, self.config.max_batch_size)
+        return self._batchers[task]
+
+    def _prepare(self, request: Request) -> _Prepared:
+        if request.task == "text_to_vis":
+            return self._prepare_text_to_vis(request)
+        if request.task == "vis_to_text":
+            return self._prepare_vis_to_text(request)
+        return self._prepare_fevisqa(request)
+
+    def _prepare_text_to_vis(self, request: Request) -> _Prepared:
+        schema = request.schema
+        # Fail fast, before anything is batched: rule-based/retrieval backends
+        # consume the schema object itself, so encoded schema text cannot work.
+        backend = self._engine(request.task).backend
+        if isinstance(backend, TextToVisBaseline) and not isinstance(schema, DatabaseSchema):
+            raise ModelConfigError(
+                f"{type(backend).__name__} needs a DatabaseSchema on text_to_vis requests; "
+                f"encoded schema text is only usable with a DataVisT5 backend"
+            )
+        cache_key = normalize_key("t2v", request.question or "", _schema_identity(schema))
+
+        def encode():
+            encoding_schema = schema
+            if self.config.filter_schemas and isinstance(schema, DatabaseSchema):
+                encoding_schema = filter_schema(request.question, schema)
+            return text_to_vis_input(request.question, encoding_schema), encoding_schema
+
+        source, filtered = self.caches["encode"].get_or_compute(cache_key, encode)
+        # Baselines see the filtered schema too, so neural and non-neural
+        # backends answer from the same projected context.
+        prepared_schema = filtered if isinstance(filtered, DatabaseSchema) else None
+        return _Prepared(request=request, source=source, key=cache_key, schema=prepared_schema)
+
+    def _prepare_vis_to_text(self, request: Request) -> _Prepared:
+        query = self._chart_query(request.chart, request.schema)
+        query_text = query.to_text() if query is not None else _chart_text(request.chart)
+        cache_key = normalize_key("v2t", query_text, _schema_identity(request.schema))
+        source = self.caches["encode"].get_or_compute(
+            cache_key,
+            lambda: vis_to_text_input(
+                query if query is not None else query_text, request.schema, strict=False
+            ),
+        )
+        schema = request.schema if isinstance(request.schema, DatabaseSchema) else None
+        return _Prepared(request=request, source=source, key=cache_key, schema=schema, chart_query=query)
+
+    def _prepare_fevisqa(self, request: Request) -> _Prepared:
+        query = self._chart_query(request.chart, request.schema) if request.chart is not None else None
+        query_text = query.to_text() if query is not None else _chart_text(request.chart)
+        cache_key = normalize_key(
+            "qa", request.question or "", query_text, _schema_identity(request.schema), request.table or ""
+        )
+        source = self.caches["encode"].get_or_compute(
+            cache_key,
+            lambda: fevisqa_input(
+                request.question,
+                query=query if query is not None else (query_text or None),
+                schema=request.schema,
+                table=request.table,
+                strict=False,
+            ),
+        )
+        schema = request.schema if isinstance(request.schema, DatabaseSchema) else None
+        return _Prepared(request=request, source=source, key=cache_key, schema=schema, chart_query=query)
+
+    def _chart_query(self, chart: DVQuery | str | None, schema) -> DVQuery | None:
+        """Parse (with the AST cache) and standardize the chart's DV query.
+
+        Returns ``None`` when the text does not parse or the query does not
+        standardize against ``schema`` — model output is untrusted, so both
+        failure modes must yield an invalid response rather than crash the
+        burst.  AST inputs are standardized too, so text and AST forms of the
+        same chart share one cache identity.
+        """
+        if chart is None:
+            return None
+        try:
+            if isinstance(chart, DVQuery):
+                parsed = chart
+            else:
+                parsed = self.caches["ast"].get_or_compute(
+                    normalize_key(chart), lambda: parse_dv_query(chart)
+                )
+            if isinstance(schema, DatabaseSchema):
+                parsed = standardize_dv_query(parsed, schema=schema)
+        except ReproError:
+            return None
+        return parsed
+
+    def _payload(self, prepared: _Prepared, output: str) -> dict:
+        """Everything derivable from one backend output, cached as a unit.
+
+        Response-cache hits replay the parsed query, validation verdict and
+        Vega-Lite spec without recomputing them.
+        """
+        payload: dict = {"output": output, "query": None, "valid": None, "vega_lite": None}
+        if prepared.request.task == "text_to_vis":
+            # Standardize and validate against the caller's full schema, not
+            # the n-gram-filtered projection the backend predicted from.
+            schema = prepared.request.schema
+            full_schema = schema if isinstance(schema, DatabaseSchema) else None
+            query = self._chart_query(output, full_schema) if output else None
+            payload["query"] = query
+            if query is not None:
+                if self.config.validate_predictions and full_schema is not None:
+                    payload["valid"] = is_query_compatible(query, full_schema)
+                if self.config.attach_specs:
+                    try:
+                        payload["vega_lite"] = self.caches["spec"].get_or_compute(
+                            normalize_key(query.to_text()), lambda: to_vega_lite(query)
+                        )
+                    except ReproError:
+                        payload["vega_lite"] = None
+            else:
+                # empty and unparseable predictions are both invalid
+                payload["valid"] = False
+        elif prepared.chart_query is not None:
+            # generation tasks echo back the parsed + standardized chart query
+            payload["query"] = prepared.chart_query
+        return payload
+
+    def _response_from(self, prepared: _Prepared, payload: dict, cached: bool) -> Response:
+        vega_lite = payload["vega_lite"]
+        return Response(
+            task=prepared.request.task,
+            output=payload["output"],
+            source=prepared.source,
+            cached=cached,
+            query=payload["query"],
+            # deep-copied so callers embellishing the spec (e.g. inlining
+            # data values) cannot corrupt the spec cache or other responses
+            vega_lite=copy.deepcopy(vega_lite) if vega_lite is not None else None,
+            valid=payload["valid"],
+            request_id=prepared.request.request_id,
+        )
+
+
+def _chart_text(chart: DVQuery | str | None) -> str:
+    """The text form of a chart input for cache keys and lenient encoding."""
+    if chart is None:
+        return ""
+    return chart.to_text() if isinstance(chart, DVQuery) else str(chart)
+
+
+def _is_backend(value) -> bool:
+    return isinstance(value, (DataVisT5, TextToVisBaseline, TextGenerationBaseline))
+
+
+def _schema_identity(schema) -> str:
+    """A cache identity covering the schema's full structure.
+
+    The digest spans table names, column names and types, and foreign keys,
+    so two schemas that share a name but differ anywhere in structure never
+    collide in the encode/response caches.  It is memoized on the schema
+    object — schemas are treated as immutable once they enter the serving
+    layer — so repeat requests cost one attribute read, not a re-hash.
+    """
+    if schema is None:
+        return ""
+    if isinstance(schema, DatabaseSchema):
+        cached = getattr(schema, "_serving_identity", None)
+        if cached is not None:
+            return cached
+        structure = ";".join(
+            f"{table.name}:{','.join(f'{column.name}/{column.ctype.value}' for column in table.columns)}"
+            for table in schema.tables
+        )
+        links = ";".join(
+            f"{fk.source_table}.{fk.source_column}>{fk.target_table}.{fk.target_column}"
+            for fk in schema.foreign_keys
+        )
+        digest = hashlib.md5(f"{structure}|{links}".encode("utf-8")).hexdigest()[:16]
+        identity = f"{schema.name}#{digest}"
+        schema._serving_identity = identity
+        return identity
+    return str(schema)

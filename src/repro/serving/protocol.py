@@ -1,0 +1,101 @@
+"""The serving layer's request/response protocol.
+
+Every task the pipeline serves — text-to-vis, vis-to-text, FeVisQA — is
+expressed as one :class:`Request` in and one :class:`Response` out, so
+callers (and the micro-batcher) handle a single shape regardless of task or
+backing model.  ``Request`` carries the task name plus whichever payload
+fields that task reads; ``Response`` always carries the generated text and,
+when the task produces one, the parsed/standardized DV query and its
+Vega-Lite spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.database.schema import DatabaseSchema
+from repro.errors import ModelConfigError
+from repro.vql.ast import DVQuery
+
+#: The tasks the pipeline can serve.  ``table_to_text`` is trainable in the
+#: core model but has no interactive serving surface in the paper's Figure 1,
+#: so it is not part of the protocol.
+SERVABLE_TASKS = ("text_to_vis", "vis_to_text", "fevisqa")
+
+
+@dataclass
+class Request:
+    """One unit of work for the pipeline.
+
+    Field use per task:
+
+    * ``text_to_vis`` — ``question`` (NL utterance) + ``schema``;
+    * ``vis_to_text`` — ``chart`` (a :class:`DVQuery` or DV-query text),
+      optional ``schema`` for context;
+    * ``fevisqa`` — ``question`` + ``chart``, optional ``schema`` and a
+      linearized result ``table``.
+
+    ``request_id`` is an opaque caller tag echoed back on the response, so
+    callers can correlate batched submissions.
+    """
+
+    task: str
+    question: str | None = None
+    chart: DVQuery | str | None = None
+    schema: DatabaseSchema | str | None = None
+    table: str | None = None
+    request_id: str | None = None
+
+    def __post_init__(self):
+        if self.task not in SERVABLE_TASKS:
+            raise ModelConfigError(
+                f"unknown task {self.task!r}; servable tasks: {', '.join(SERVABLE_TASKS)}"
+            )
+        if self.task in ("text_to_vis", "fevisqa") and not self.question:
+            raise ModelConfigError(f"{self.task} requests need a question")
+        if self.task == "text_to_vis" and self.schema is None:
+            raise ModelConfigError(
+                "text_to_vis requests need a schema (a DatabaseSchema or encoded schema text)"
+            )
+        if self.task == "vis_to_text" and self.chart is None:
+            raise ModelConfigError("vis_to_text requests need a chart (DVQuery or query text)")
+
+
+@dataclass
+class Response:
+    """What the pipeline returns for one :class:`Request`.
+
+    ``output`` is the generated text (DV-query text, caption or answer) with
+    modality tags stripped.  ``source`` is the exact encoded sequence that was
+    (or would be) fed to a neural backend — useful for debugging and as the
+    cache identity of the request.  ``cached`` marks responses served from the
+    response cache without touching the backend.
+
+    For text-to-vis, ``query`` is the parsed + standardized AST when the
+    output parses (``None`` otherwise), ``vega_lite`` its rendered spec, and
+    ``valid`` whether the query type-checks against the request schema
+    (``False`` for empty or unparseable predictions).  For vis-to-text and
+    FeVisQA, ``query`` echoes the request's parsed + standardized chart query
+    when its text form parsed.
+    """
+
+    task: str
+    output: str
+    source: str = ""
+    cached: bool = False
+    query: DVQuery | None = None
+    vega_lite: dict | None = field(default=None, repr=False)
+    valid: bool | None = None
+    request_id: str | None = None
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly view (the AST collapses to its text form)."""
+        return {
+            "task": self.task,
+            "output": self.output,
+            "cached": self.cached,
+            "query": self.query.to_text() if self.query is not None else None,
+            "vega_lite": self.vega_lite,
+            "valid": self.valid,
+            "request_id": self.request_id,
+        }

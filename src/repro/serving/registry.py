@@ -1,0 +1,132 @@
+"""Baseline registry: construct any baseline from a plain config dict.
+
+The serving pipeline, the evaluation harness and the examples all need to
+turn "a name and some knobs" into a fitted-able baseline object.  Before this
+registry each call site imported concrete classes and hand-built their
+``DataVisT5Config`` / ``TrainingConfig`` arguments; now a spec like::
+
+    {"type": "neural", "preset": "tiny", "num_epochs": 2, "warm_start": "queries"}
+
+is enough, and the same spec works everywhere.  The canonical name -> class
+tables live in :mod:`repro.baselines` (``TEXT_TO_VIS_BASELINES`` /
+``GENERATION_BASELINES``); this module adds the config-dict conveniences and
+runtime registration hooks for extensions.
+
+Spec format
+-----------
+``type`` selects the baseline; every other key is passed to its constructor.
+Two conveniences apply to the neural families:
+
+* ``preset`` (``"tiny"`` / ``"base"`` / ``"large"``, plus any
+  ``max_input_length``-style overrides via ``preset_overrides``) expands to a
+  ``config=DataVisT5Config.from_preset(...)`` argument;
+* ``num_epochs`` / ``batch_size`` / ``learning_rate`` / ``seed`` collect into
+  a ``training=TrainingConfig(...)`` argument.
+
+Already-built ``config=`` / ``training=`` objects are passed through
+unchanged, which is what :class:`repro.evaluation.experiments.ExperimentSuite`
+uses to keep its scale presets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines import (
+    GENERATION_BASELINES,
+    TEXT_TO_VIS_BASELINES,
+    TextGenerationBaseline,
+    TextToVisBaseline,
+)
+from repro.core.config import DataVisT5Config, TrainingConfig
+from repro.errors import ModelConfigError
+
+# Runtime-registered factories extend (and may shadow) the canonical tables.
+_EXTRA_TEXT_TO_VIS: dict[str, Callable[..., TextToVisBaseline]] = {}
+_EXTRA_GENERATION: dict[str, Callable[..., TextGenerationBaseline]] = {}
+
+_TRAINING_KEYS = ("num_epochs", "batch_size", "learning_rate", "seed", "warmup_ratio", "weight_decay")
+# Baselines built around a DataVisT5 accept config=/training= keyword arguments.
+_NEURAL_NAMES = {"neural", "ncnet"}
+_TRAINED_NAMES = _NEURAL_NAMES | {"seq2vis", "seq2seq"}
+
+
+def register_text_to_vis(name: str, factory: Callable[..., TextToVisBaseline]) -> None:
+    """Register (or shadow) a text-to-vis baseline factory under ``name``."""
+    _EXTRA_TEXT_TO_VIS[name] = factory
+
+
+def register_generation(name: str, factory: Callable[..., TextGenerationBaseline]) -> None:
+    """Register (or shadow) a text-generation baseline factory under ``name``."""
+    _EXTRA_GENERATION[name] = factory
+
+
+def available_baselines() -> dict[str, tuple[str, ...]]:
+    """The constructible names per family, registration extras included."""
+    return {
+        "text_to_vis": tuple(sorted(set(TEXT_TO_VIS_BASELINES) | set(_EXTRA_TEXT_TO_VIS))),
+        "generation": tuple(sorted(set(GENERATION_BASELINES) | set(_EXTRA_GENERATION))),
+    }
+
+
+def build_text_to_vis(spec: dict | str, **overrides) -> TextToVisBaseline:
+    """Construct a text-to-vis baseline from ``spec`` (a dict or a bare name)."""
+    return _build(spec, overrides, TEXT_TO_VIS_BASELINES, _EXTRA_TEXT_TO_VIS, "text-to-vis")
+
+
+def build_generation(spec: dict | str, **overrides) -> TextGenerationBaseline:
+    """Construct a text-generation baseline from ``spec`` (a dict or a bare name)."""
+    return _build(spec, overrides, GENERATION_BASELINES, _EXTRA_GENERATION, "generation")
+
+
+def _build(spec, overrides, table, extras, family):
+    if isinstance(spec, str):
+        spec = {"type": spec}
+    if not isinstance(spec, dict):
+        raise ModelConfigError(f"baseline spec must be a dict or name, got {type(spec).__name__}")
+    kwargs = {**spec, **overrides}
+    name = kwargs.pop("type", None)
+    if name is None:
+        raise ModelConfigError(f"baseline spec is missing the 'type' key: {spec!r}")
+    factory = extras.get(name) or table.get(name)
+    if factory is None:
+        known = ", ".join(sorted(set(table) | set(extras)))
+        raise ModelConfigError(f"unknown {family} baseline {name!r}; known: {known}")
+    return factory(**_expand_neural_kwargs(name, kwargs))
+
+
+def _expand_neural_kwargs(name: str, kwargs: dict) -> dict:
+    """Expand ``preset`` / flat training knobs into config/training objects.
+
+    Runs for every baseline so that a misplaced knob always raises
+    :class:`ModelConfigError` — the registry's single error type — instead of
+    a bare ``TypeError`` from some constructor.
+    """
+    kwargs = dict(kwargs)
+    preset = kwargs.pop("preset", None)
+    preset_overrides = kwargs.pop("preset_overrides", None) or {}
+    if preset is not None or preset_overrides:
+        if name not in _NEURAL_NAMES:
+            raise ModelConfigError(
+                f"'preset' is not supported by the {name!r} baseline; "
+                f"only {', '.join(sorted(_NEURAL_NAMES))} take a DataVisT5Config"
+            )
+        if "config" in kwargs:
+            raise ModelConfigError(
+                f"baseline spec for {name!r} sets both 'preset' and 'config'; pass one"
+            )
+        kwargs["config"] = DataVisT5Config.from_preset(preset or "tiny", **preset_overrides)
+    training_fields = {key: kwargs.pop(key) for key in _TRAINING_KEYS if key in kwargs}
+    if training_fields:
+        if name not in _TRAINED_NAMES:
+            raise ModelConfigError(
+                f"training knobs ({', '.join(sorted(training_fields))}) are not supported by "
+                f"the {name!r} baseline; only {', '.join(sorted(_TRAINED_NAMES))} train"
+            )
+        if "training" in kwargs:
+            raise ModelConfigError(
+                f"baseline spec for {name!r} sets both 'training' and flat training knobs "
+                f"({', '.join(sorted(training_fields))}); pass one"
+            )
+        kwargs["training"] = TrainingConfig(**training_fields)
+    return kwargs

@@ -1,4 +1,25 @@
-"""Recursive-descent parser turning DV query text into :class:`DVQuery` ASTs."""
+"""Recursive-descent parser turning DV query text into :class:`DVQuery` ASTs.
+
+A DV query is the paper's visualization query language (§II): a SQL-like
+``SELECT`` core prefixed with ``VISUALIZE <chart type>`` and optionally
+suffixed with a ``BIN ... BY`` clause for temporal bucketing, e.g.::
+
+    visualize bar select artist.country , count ( artist.country )
+    from artist group by artist.country order by artist.country asc
+
+The grammar implemented here covers everything the synthetic nvBench
+generator emits and everything the paper's examples use: the seven chart
+types (including the multi-word ``stacked bar`` / ``grouping line`` /
+``grouping scatter``), aggregates, multi-way joins, ``WHERE`` conjunctions
+(with scalar subqueries), ``GROUP BY``, ``ORDER BY`` and ``BIN BY``.
+
+:func:`parse_dv_query` is the single public entry point; everything else in
+this module is the ``_parse_*`` helper for one grammar production, each
+consuming tokens from a shared :class:`_TokenStream` cursor.  Malformed input
+raises :class:`repro.errors.VQLSyntaxError` with the offending token
+position.  Parsing is pure and deterministic, which is what lets the serving
+layer memoize text -> AST in an LRU cache.
+"""
 
 from __future__ import annotations
 
@@ -79,6 +100,15 @@ def parse_dv_query(text: str) -> DVQuery:
     The parser accepts both the raw annotation style (uppercase keywords,
     table aliases introduced by ``AS``, ``count(*)``) and the standardized
     style; aliases are resolved to their table names during parsing.
+
+    The returned AST is unstandardized — pass it through
+    :func:`repro.vql.standardize.standardize_dv_query` to apply the paper's
+    five normalization rules (lowercasing, alias elimination, explicit
+    qualification, wildcard replacement, canonical spacing) before comparing
+    queries or executing them.
+
+    Raises :class:`repro.errors.VQLSyntaxError` when ``text`` deviates from
+    the grammar, including trailing tokens after a complete query.
     """
     stream = _TokenStream(tokenize(text), text)
     stream.expect_word("visualize")
