@@ -4,19 +4,23 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test bench smoke install help
+.PHONY: test bench bench-decode smoke install help
 
 help:
-	@echo "make test     - tier-1 verification: full test + benchmark suite (pytest -x -q)"
-	@echo "make bench    - benchmark harness only (paper tables I-XII at smoke scale)"
-	@echo "make smoke    - run every example end-to-end"
-	@echo "make install  - editable install (pip install -e .)"
+	@echo "make test         - tier-1 verification: full test + benchmark suite (pytest -x -q)"
+	@echo "make bench        - benchmark harness only (paper tables I-XII at smoke scale)"
+	@echo "make bench-decode - decode throughput benchmark -> BENCH_decode.json (fails if the KV-cached decoder is slower than naive)"
+	@echo "make smoke        - run every example end-to-end"
+	@echo "make install      - editable install (pip install -e .)"
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+bench-decode:
+	PYTHONPATH=src $(PYTHON) benchmarks/decode_benchmark.py --output BENCH_decode.json
 
 smoke:
 	@set -e; for example in $(EXAMPLES); do \

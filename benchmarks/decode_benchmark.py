@@ -1,0 +1,134 @@
+"""Decode throughput benchmark: KV-cached incremental decoding vs the naive loop.
+
+Measures greedy and beam-search generation tokens/sec on a smoke-scale
+transformer, with and without the per-layer K/V caches, and writes the
+results to ``BENCH_decode.json`` so the perf trajectory of the decode hot
+path is tracked across PRs.  The script fails (non-zero exit) if the cached
+decoder is slower than the naive reference or if the two paths disagree on
+token ids — the benchmark doubles as an end-to-end equivalence check.
+
+Run it via ``make bench-decode`` or directly::
+
+    PYTHONPATH=src python benchmarks/decode_benchmark.py --output BENCH_decode.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.transformer import T5Model, TransformerConfig
+
+
+def build_model(args: argparse.Namespace) -> T5Model:
+    # eos_id=-1 cannot match any token, so every sequence decodes the full
+    # token budget: the benchmark measures steady-state decode throughput,
+    # not early-exit luck of the randomly initialised weights.
+    config = TransformerConfig(
+        vocab_size=args.vocab_size,
+        d_model=args.d_model,
+        num_heads=args.num_heads,
+        d_ff=2 * args.d_model,
+        num_encoder_layers=args.num_layers,
+        num_decoder_layers=args.num_layers,
+        eos_id=-1,
+        seed=args.seed,
+    )
+    return T5Model(config).eval()
+
+
+def time_generate(model: T5Model, input_ids: np.ndarray, **kwargs) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    output = model.generate(input_ids, **kwargs)
+    return time.perf_counter() - start, output
+
+
+def run_mode(model: T5Model, input_ids: np.ndarray, max_new_tokens: int, num_beams: int) -> dict:
+    """Benchmark one decode mode (greedy or beam) in both implementations."""
+    naive_seconds, naive_out = time_generate(
+        model, input_ids, max_length=max_new_tokens, num_beams=num_beams, use_cache=False
+    )
+    cached_seconds, cached_out = time_generate(
+        model, input_ids, max_length=max_new_tokens, num_beams=num_beams, use_cache=True
+    )
+    tokens = int(input_ids.shape[0]) * max_new_tokens
+    return {
+        "num_beams": num_beams,
+        "batch_size": int(input_ids.shape[0]),
+        "new_tokens_per_sequence": max_new_tokens,
+        "generated_tokens": tokens,
+        "naive_seconds": round(naive_seconds, 6),
+        "cached_seconds": round(cached_seconds, 6),
+        "naive_tokens_per_sec": round(tokens / naive_seconds, 2),
+        "cached_tokens_per_sec": round(tokens / cached_seconds, 2),
+        "speedup": round(naive_seconds / cached_seconds, 3),
+        "equivalent": bool(np.array_equal(naive_out, cached_out)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_decode.json"))
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--input-length", type=int, default=16)
+    parser.add_argument("--max-new-tokens", type=int, default=64, help="greedy decode budget per sequence")
+    parser.add_argument("--beam-new-tokens", type=int, default=24, help="beam decode budget per sequence")
+    parser.add_argument("--beam-batch-size", type=int, default=4)
+    parser.add_argument("--num-beams", type=int, default=4)
+    parser.add_argument("--vocab-size", type=int, default=96)
+    parser.add_argument("--d-model", type=int, default=64)
+    parser.add_argument("--num-heads", type=int, default=4)
+    parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    model = build_model(args)
+    rng = np.random.default_rng(args.seed)
+    greedy_inputs = rng.integers(4, args.vocab_size, size=(args.batch_size, args.input_length))
+    beam_inputs = rng.integers(4, args.vocab_size, size=(args.beam_batch_size, args.input_length))
+
+    # One warm-up step so BLAS thread pools and allocator state do not skew
+    # whichever implementation happens to run first.
+    model.generate(greedy_inputs[:1], max_length=2)
+
+    results = {
+        "benchmark": "decode_throughput",
+        "model": {
+            "d_model": args.d_model,
+            "num_heads": args.num_heads,
+            "num_encoder_layers": args.num_layers,
+            "num_decoder_layers": args.num_layers,
+            "vocab_size": args.vocab_size,
+            "parameters": model.num_parameters(),
+        },
+        "greedy": run_mode(model, greedy_inputs, args.max_new_tokens, num_beams=1),
+        "beam": run_mode(model, beam_inputs, args.beam_new_tokens, num_beams=args.num_beams),
+    }
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+
+    failures = []
+    for mode in ("greedy", "beam"):
+        entry = results[mode]
+        print(
+            f"{mode:>6}: naive {entry['naive_tokens_per_sec']:>9.1f} tok/s | "
+            f"cached {entry['cached_tokens_per_sec']:>9.1f} tok/s | "
+            f"speedup {entry['speedup']:.2f}x | equivalent={entry['equivalent']}"
+        )
+        if not entry["equivalent"]:
+            failures.append(f"{mode}: cached and naive decode disagree on token ids")
+        if entry["speedup"] < 1.0:
+            failures.append(f"{mode}: cached decode is slower than naive ({entry['speedup']:.2f}x)")
+    print(f"wrote {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,12 +104,14 @@ class TransformerTextToVis(TextToVisBaseline):
         warm_start: str | None = None,
         lora_style: bool = False,
         model: DataVisT5 | None = None,
+        use_cache: bool = True,
     ):
         self.config = config or DataVisT5Config.from_preset("tiny")
         self.training = training or TrainingConfig(num_epochs=3)
         self.warm_start = warm_start
         self.lora_style = lora_style
         self.model = model
+        self.use_cache = use_cache
 
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
         pairs = [
@@ -157,7 +159,7 @@ class TransformerTextToVis(TextToVisBaseline):
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
         sources = [text_to_vis_input(question, schema) for question, schema in zip(questions, schemas)]
-        predictions = self.model.predict_batch(sources)
+        predictions = self.model.predict_batch(sources, use_cache=self.use_cache)
         return [prediction.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip() for prediction in predictions]
 
 
@@ -256,12 +258,14 @@ class NeuralTextGeneration(TextGenerationBaseline):
         warm_start: str | None = None,
         lora_style: bool = False,
         model: DataVisT5 | None = None,
+        use_cache: bool = True,
     ):
         self.config = config or DataVisT5Config.from_preset("tiny")
         self.training = training or TrainingConfig(num_epochs=3)
         self.warm_start = warm_start
         self.lora_style = lora_style
         self.model = model
+        self.use_cache = use_cache
 
     def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
         examples = list(examples)
@@ -297,7 +301,7 @@ class NeuralTextGeneration(TextGenerationBaseline):
         """One padded forward pass over the whole batch (padding is fully masked)."""
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        return self.model.predict_batch(list(sources))
+        return self.model.predict_batch(list(sources), use_cache=self.use_cache)
 
 
 class Seq2SeqTextGeneration(TextGenerationBaseline):

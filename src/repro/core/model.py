@@ -103,17 +103,29 @@ class DataVisT5:
         )
 
     # -- inference ----------------------------------------------------------------------
-    def predict(self, source: str, num_beams: int = 1, max_length: int | None = None) -> str:
+    def predict(
+        self,
+        source: str,
+        num_beams: int = 1,
+        max_length: int | None = None,
+        use_cache: bool = True,
+    ) -> str:
         """Generate the output text for one source text."""
-        return self.predict_batch([source], num_beams=num_beams, max_length=max_length)[0]
+        return self.predict_batch([source], num_beams=num_beams, max_length=max_length, use_cache=use_cache)[0]
 
     def predict_batch(
         self,
         sources: Sequence[str],
         num_beams: int = 1,
         max_length: int | None = None,
+        use_cache: bool = True,
     ) -> list[str]:
-        """Generate output texts for a batch of source texts."""
+        """Generate output texts for a batch of source texts.
+
+        ``use_cache`` selects between KV-cached incremental decoding (the
+        default fast path) and the naive reference loop; both produce
+        identical texts.
+        """
         if not sources:
             return []
         self.model.eval()
@@ -125,6 +137,7 @@ class DataVisT5:
             input_ids,
             max_length=max_length or self.config.max_decode_length,
             num_beams=num_beams,
+            use_cache=use_cache,
         )
         return [self.tokenizer.decode(row) for row in generated]
 

@@ -7,8 +7,11 @@ package provides the pieces that stack supplies:
 * :mod:`repro.nn.tensor` -- a reverse-mode autograd engine over numpy arrays;
 * :mod:`repro.nn.layers` -- modules (Linear, Embedding, RMSNorm, Dropout);
 * :mod:`repro.nn.attention` -- multi-head attention with T5 relative
-  position biases;
-* :mod:`repro.nn.transformer` -- a T5-style encoder--decoder LM;
+  position biases and an optional K/V-cache fast path;
+* :mod:`repro.nn.decode_cache` -- per-layer key/value caches for
+  incremental decoding;
+* :mod:`repro.nn.transformer` -- a T5-style encoder--decoder LM with
+  KV-cached greedy and batched beam-search generation;
 * :mod:`repro.nn.rnn` -- a GRU sequence-to-sequence model with attention
   (the Seq2Vis baseline);
 * :mod:`repro.nn.optim` -- Adam, gradient clipping and LR schedules.
@@ -20,6 +23,7 @@ objectives are the same shape as the paper's.
 
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn import functional
+from repro.nn.decode_cache import DecodeCache, KVState, LayerKVCache
 from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
 from repro.nn.transformer import TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
@@ -30,6 +34,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "DecodeCache",
+    "KVState",
+    "LayerKVCache",
     "Module",
     "Linear",
     "Embedding",

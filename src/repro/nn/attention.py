@@ -6,8 +6,9 @@ import numpy as np
 
 from repro.errors import ModelConfigError
 from repro.nn import functional as F
+from repro.nn.decode_cache import KVState
 from repro.nn.layers import Dropout, Linear, Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, grad_enabled
 from repro.utils.rng import seeded_rng
 
 
@@ -61,9 +62,15 @@ class RelativePositionBias(Module):
         result = result + np.where(is_small, relative_position, relative_if_large)
         return result
 
-    def forward(self, query_length: int, key_length: int) -> Tensor:
-        """Return a bias tensor of shape ``(1, num_heads, query_length, key_length)``."""
-        context_position = np.arange(query_length)[:, None]
+    def forward(self, query_length: int, key_length: int, query_offset: int = 0) -> Tensor:
+        """Return a bias tensor of shape ``(1, num_heads, query_length, key_length)``.
+
+        ``query_offset`` places the queries at absolute positions
+        ``offset .. offset + query_length`` — incremental decoding uses it to
+        get the bias row of the newest token only, which is bitwise the same
+        as the corresponding row of the full ``(key_length, key_length)`` bias.
+        """
+        context_position = np.arange(query_offset, query_offset + query_length)[:, None]
         memory_position = np.arange(key_length)[None, :]
         relative_position = memory_position - context_position
         buckets = self._bucket(relative_position)
@@ -105,21 +112,53 @@ class MultiHeadAttention(Module):
     def forward(
         self,
         query: Tensor,
-        key: Tensor,
-        value: Tensor,
+        key: Tensor | None,
+        value: Tensor | None,
         mask: np.ndarray | None = None,
         position_bias: Tensor | None = None,
         return_weights: bool = False,
+        kv_cache: KVState | None = None,
     ):
         """Attend ``query`` over ``key``/``value``.
 
         ``mask`` is a boolean *keep* mask broadcastable to
         ``(batch, 1, query_length, key_length)``; masked-out logits receive a
         large negative bias before the softmax.
+
+        ``kv_cache`` switches on the incremental-decode fast path: a static
+        cache (cross-attention) projects ``key``/``value`` once and reuses the
+        result on later steps — once warm, ``key``/``value`` may be ``None``
+        so callers need not materialize unused encoder states; a growing cache
+        (self-attention) projects only the tokens passed in and appends them,
+        then attends the query over the whole cached history.  Cached
+        attention is inference-only.
         """
         q = self._split_heads(self.q_proj(query))
-        k = self._split_heads(self.k_proj(key))
-        v = self._split_heads(self.v_proj(value))
+        if kv_cache is None:
+            k = self._split_heads(self.k_proj(key))
+            v = self._split_heads(self.v_proj(value))
+        else:
+            if grad_enabled():
+                raise ModelConfigError(
+                    "KV-cached attention is a decode-only fast path; run it under no_grad()"
+                )
+            if kv_cache.static:
+                if kv_cache.k is None:
+                    if key is None:
+                        raise ModelConfigError(
+                            "a cold static KV cache needs key/value to project from"
+                        )
+                    kv_cache.set(
+                        self._split_heads(self.k_proj(key)).numpy(),
+                        self._split_heads(self.v_proj(value)).numpy(),
+                    )
+            else:
+                kv_cache.append(
+                    self._split_heads(self.k_proj(key)).numpy(),
+                    self._split_heads(self.v_proj(value)).numpy(),
+                )
+            k = Tensor(kv_cache.k)
+            v = Tensor(kv_cache.v)
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.swapaxes(-1, -2)) * scale

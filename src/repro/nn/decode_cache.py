@@ -1,0 +1,159 @@
+"""Key/value caches for incremental (single-step) decoding.
+
+Autoregressive generation re-runs the decoder once per emitted token.  Without
+caching, every step re-projects and re-attends the entire prefix, so decoding
+``L`` tokens costs ``O(L^2)`` decoder passes worth of work.  The caches here
+make each step's decoder work independent of the prefix length:
+
+* **self-attention** — the projected K/V of every already-decoded position is
+  stored per layer; a step projects only the newest token and appends it
+  (amortized O(1): appends land in a geometrically grown buffer, not a
+  re-concatenated array);
+* **cross-attention** — K/V over the encoder output never changes during
+  decoding, so it is projected once on the first step and reused verbatim.
+
+The caches store raw ``float64`` numpy arrays (shape ``(batch, heads, length,
+head_dim)``) rather than autograd tensors: incremental decoding is an
+inference-only fast path and always runs under :func:`repro.nn.tensor.no_grad`.
+:meth:`DecodeCache.reorder` re-gathers the batch axis, which is what batched
+beam search uses to carry each surviving beam's prefix forward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+
+_INITIAL_CAPACITY = 16
+
+
+class KVState:
+    """The cached key/value arrays of one attention module.
+
+    ``static`` marks cross-attention state: it is written once (from the
+    encoder output) and then reused, whereas non-static (self-attention)
+    state grows by one step per :meth:`append`.  ``k``/``v`` expose the live
+    ``(batch, heads, length, head_dim)`` slice; appends write into an
+    over-allocated buffer that doubles when full, so growing the cache does
+    not re-copy the whole history every step.
+    """
+
+    __slots__ = ("static", "_buffer_k", "_buffer_v", "_length")
+
+    def __init__(self, static: bool = False):
+        self.static = static
+        self._buffer_k: np.ndarray | None = None
+        self._buffer_v: np.ndarray | None = None
+        self._length = 0
+
+    @property
+    def k(self) -> np.ndarray | None:
+        """The live keys (``None`` when empty); a view, not a copy."""
+        return None if self._buffer_k is None else self._buffer_k[:, :, : self._length]
+
+    @property
+    def v(self) -> np.ndarray | None:
+        """The live values (``None`` when empty); a view, not a copy."""
+        return None if self._buffer_v is None else self._buffer_v[:, :, : self._length]
+
+    @property
+    def length(self) -> int:
+        """Number of cached key positions (0 when empty)."""
+        return self._length
+
+    def set(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Store projected K/V wholesale (the cross-attention write path)."""
+        self._buffer_k = k
+        self._buffer_v = v
+        self._length = int(k.shape[2])
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Grow the cache along the sequence axis (the self-attention write path)."""
+        if self.static:
+            raise ModelConfigError("append() is only valid on non-static (self-attention) KV state")
+        steps = int(k.shape[2])
+        new_length = self._length + steps
+        if self._buffer_k is None or new_length > self._buffer_k.shape[2]:
+            capacity = max(_INITIAL_CAPACITY, new_length)
+            if self._buffer_k is not None:
+                capacity = max(capacity, 2 * self._buffer_k.shape[2])
+            shape = (k.shape[0], k.shape[1], capacity, k.shape[3])
+            grown_k = np.empty(shape, dtype=np.float64)
+            grown_v = np.empty(shape, dtype=np.float64)
+            if self._length:
+                grown_k[:, :, : self._length] = self._buffer_k[:, :, : self._length]
+                grown_v[:, :, : self._length] = self._buffer_v[:, :, : self._length]
+            self._buffer_k, self._buffer_v = grown_k, grown_v
+        self._buffer_k[:, :, self._length : new_length] = k
+        self._buffer_v[:, :, self._length : new_length] = v
+        self._length = new_length
+
+    def reorder(self, indices: np.ndarray) -> None:
+        """Gather the batch axis by ``indices`` (beam-search reordering).
+
+        Only the live positions are copied (fancy indexing on the sliced view
+        yields a fresh contiguous array); unused buffer capacity is dropped
+        and re-grown by the next :meth:`append` if needed.
+        """
+        if self._buffer_k is not None:
+            self._buffer_k = self._buffer_k[:, :, : self._length][indices]
+            self._buffer_v = self._buffer_v[:, :, : self._length][indices]
+
+
+class LayerKVCache:
+    """The per-decoder-layer pair of caches: growing self-K/V, static cross-K/V."""
+
+    __slots__ = ("self_attention", "cross_attention")
+
+    def __init__(self):
+        self.self_attention = KVState(static=False)
+        self.cross_attention = KVState(static=True)
+
+    def reorder(self, indices: np.ndarray) -> None:
+        self.self_attention.reorder(indices)
+        self.cross_attention.reorder(indices)
+
+
+class DecodeCache:
+    """All decoder-layer K/V caches for one in-flight generation.
+
+    Create one per ``generate`` call, pass it to every decoder step, and the
+    decoder feeds each layer only the newest token(s); ``length`` tracks how
+    many target positions are already cached so position biases and causal
+    masks can be offset correctly.
+    """
+
+    def __init__(self, num_layers: int):
+        if num_layers < 1:
+            raise ModelConfigError("DecodeCache needs at least one decoder layer")
+        self.layers = [LayerKVCache() for _ in range(num_layers)]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def length(self) -> int:
+        """Number of already-decoded (cached) target positions."""
+        return self.layers[0].self_attention.length
+
+    @property
+    def batch_size(self) -> int | None:
+        """Batch rows currently cached (``None`` before the first step)."""
+        state = self.layers[0].self_attention
+        return None if state.k is None else int(state.k.shape[0])
+
+    def reorder(self, indices) -> None:
+        """Gather every layer's batch axis by ``indices``.
+
+        Beam search calls this between steps so that row ``i`` of the cache
+        holds the prefix of the ``i``-th surviving beam; indices may repeat
+        (one parent beam expanding into several children) or drop rows
+        (finished beams leaving the batch).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        batch = self.batch_size
+        if batch is not None and indices.shape[0] == batch and np.array_equal(indices, np.arange(batch)):
+            return  # identity gather — common once beams stabilize
+        for layer in self.layers:
+            layer.reorder(indices)

@@ -87,6 +87,19 @@ def attention_mask_bias(mask: np.ndarray, negative: float = -1e9) -> np.ndarray:
     return np.where(mask, 0.0, negative)
 
 
-def causal_mask(length: int) -> np.ndarray:
-    """Lower-triangular boolean mask of shape ``(length, length)``."""
-    return np.tril(np.ones((length, length), dtype=bool))
+def causal_mask(length: int, key_length: int | None = None) -> np.ndarray:
+    """Boolean causal keep-mask of shape ``(length, key_length)``.
+
+    With the default ``key_length=length`` this is the usual lower-triangular
+    mask.  When ``key_length > length`` the queries are taken to be the *last*
+    ``length`` positions of the key sequence — the incremental-decoding case,
+    where a step's new tokens attend to the whole cached prefix plus
+    themselves: ``mask[i, j] = j <= (key_length - length) + i``.
+    """
+    key_length = length if key_length is None else key_length
+    if key_length < length:
+        raise ValueError(f"key_length={key_length} must be >= query length={length}")
+    offset = key_length - length
+    query_position = np.arange(length)[:, None]
+    key_position = np.arange(key_length)[None, :]
+    return key_position <= query_position + offset

@@ -341,11 +341,12 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
 
         def backward(grad, out):
             if self.requires_grad:
-                self._accumulate(np.asarray(grad).transpose(inverse))
+                # The inverse permutation is only needed on the backward pass;
+                # computing it lazily keeps inference-time transposes cheap.
+                self._accumulate(np.asarray(grad).transpose(np.argsort(axes)))
 
         return self._make(out_data, (self,), backward)
 

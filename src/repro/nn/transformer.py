@@ -5,6 +5,12 @@ relative position biases shared across layers, tied input/output embeddings
 and a decoder fed with the target sequence shifted right by one position.
 Model sizes are configurable through :class:`TransformerConfig`; the defaults
 are tiny so the reproduction trains in CPU-seconds.
+
+Generation decodes incrementally with per-layer K/V caches
+(:mod:`repro.nn.decode_cache`) and a fully batched beam search; the naive
+loops that re-decode the whole prefix every step are retained behind
+``use_cache=False`` as the reference implementation the decode-equivalence
+test suite checks against.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 from repro.errors import ModelConfigError
 from repro.nn import functional as F
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
+from repro.nn.decode_cache import DecodeCache, LayerKVCache
 from repro.nn.layers import Dropout, Embedding, FeedForward, Module, RMSNorm
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.rng import derive_seed, seeded_rng
@@ -90,16 +97,21 @@ class DecoderLayer(Module):
     def forward(
         self,
         hidden: Tensor,
-        encoder_hidden: Tensor,
+        encoder_hidden: Tensor | None,
         self_mask: np.ndarray | None,
         cross_mask: np.ndarray | None,
         position_bias: Tensor | None,
+        layer_cache: LayerKVCache | None = None,
     ) -> Tensor:
+        self_cache = layer_cache.self_attention if layer_cache is not None else None
+        cross_cache = layer_cache.cross_attention if layer_cache is not None else None
         normed = self.norm_self(hidden)
-        attended = self.self_attention(normed, normed, normed, mask=self_mask, position_bias=position_bias)
+        attended = self.self_attention(
+            normed, normed, normed, mask=self_mask, position_bias=position_bias, kv_cache=self_cache
+        )
         hidden = hidden + self.dropout(attended)
         normed = self.norm_cross(hidden)
-        cross = self.cross_attention(normed, encoder_hidden, encoder_hidden, mask=cross_mask)
+        cross = self.cross_attention(normed, encoder_hidden, encoder_hidden, mask=cross_mask, kv_cache=cross_cache)
         hidden = hidden + self.dropout(cross)
         normed = self.norm_feed_forward(hidden)
         hidden = hidden + self.dropout(self.feed_forward(normed))
@@ -158,29 +170,54 @@ class TransformerDecoder(Module):
     def forward(
         self,
         decoder_input_ids: np.ndarray,
-        encoder_hidden: Tensor,
+        encoder_hidden: Tensor | None,
         encoder_attention_mask: np.ndarray | None = None,
         decoder_attention_mask: np.ndarray | None = None,
+        cache: DecodeCache | None = None,
     ) -> Tensor:
+        """Decode ``decoder_input_ids`` (the full target prefix, or — with a
+        ``cache`` — only the not-yet-cached newest tokens).
+
+        With a cache, position biases and the causal mask are offset by the
+        cached length, self-attention K/V of the new tokens is appended to the
+        cache, and cross-attention K/V is computed once and reused — after the
+        first cached step ``encoder_hidden`` may be ``None``; a provided
+        ``decoder_attention_mask`` must cover cached plus new positions.
+        """
         decoder_input_ids = np.asarray(decoder_input_ids, dtype=np.int64)
         batch, length = decoder_input_ids.shape
+        offset = 0
+        layer_caches: list[LayerKVCache | None] = [None] * len(self.layers)
+        if cache is not None:
+            if len(cache) != len(self.layers):
+                raise ModelConfigError(
+                    f"DecodeCache has {len(cache)} layers, decoder has {len(self.layers)}"
+                )
+            offset = cache.length
+            layer_caches = list(cache.layers)
+        key_length = offset + length
         hidden = self.dropout(self.embedding(decoder_input_ids))
-        bias = self.position_bias(length, length)
+        bias = self.position_bias(length, key_length, query_offset=offset)
 
-        causal = F.causal_mask(length)[None, :, :]  # (1, T, T)
         if decoder_attention_mask is not None:
+            causal = F.causal_mask(length, key_length)[None, :, :]  # (1, T, offset + T)
             pad_keep = np.asarray(decoder_attention_mask, dtype=bool)[:, None, :]
             self_mask = causal & pad_keep
+        elif length == 1:
+            # A single new token attends the entire cached prefix plus itself:
+            # the causal row is all-True, so masking would be a no-op.
+            self_mask = None
         else:
-            self_mask = np.broadcast_to(causal, (batch, length, length))
+            causal = F.causal_mask(length, key_length)[None, :, :]
+            self_mask = np.broadcast_to(causal, (batch, length, key_length))
 
         if encoder_attention_mask is not None:
             cross_mask = np.asarray(encoder_attention_mask, dtype=bool)[:, None, :]
         else:
             cross_mask = None
 
-        for layer in self.layers:
-            hidden = layer(hidden, encoder_hidden, self_mask, cross_mask, bias)
+        for layer, layer_cache in zip(self.layers, layer_caches):
+            hidden = layer(hidden, encoder_hidden, self_mask, cross_mask, bias, layer_cache=layer_cache)
         return self.final_norm(hidden)
 
 
@@ -244,15 +281,130 @@ class T5Model(Module):
         max_length: int | None = None,
         num_beams: int = 1,
         length_penalty: float = 1.0,
+        use_cache: bool = True,
     ) -> np.ndarray:
-        """Generate output token ids (greedy for ``num_beams == 1``, else beam search)."""
+        """Generate output token ids (greedy for ``num_beams == 1``, else beam search).
+
+        Output contract (identical for greedy and beam): an int64 array of
+        shape ``(batch, L)`` where ``L <= max_length`` is the length of the
+        longest generated sequence in the batch (including its EOS token,
+        excluding BOS); shorter rows are right-padded with ``pad_id``.
+
+        ``use_cache=True`` (the default) decodes incrementally with per-layer
+        K/V caches and — for beam search — expands all beams of all batch rows
+        in one forward pass per step.  ``use_cache=False`` runs the naive
+        reference loops that re-decode the full prefix every step; both paths
+        produce identical token ids (the decode-equivalence suite asserts it).
+        """
         input_ids = np.atleast_2d(np.asarray(input_ids, dtype=np.int64))
         max_length = max_length or self.config.max_decode_length
         if num_beams <= 1:
-            return self._greedy_generate(input_ids, max_length)
-        return np.stack([self._beam_generate(row[None, :], max_length, num_beams, length_penalty) for row in input_ids])
+            if use_cache:
+                return self._greedy_generate_cached(input_ids, max_length)
+            return self._greedy_generate_reference(input_ids, max_length)
+        if use_cache:
+            rows = self._beam_generate_cached(input_ids, max_length, num_beams, length_penalty)
+        else:
+            rows = [self._beam_generate_reference(row[None, :], max_length, num_beams, length_penalty) for row in input_ids]
+        return _pad_token_rows(rows, self.config.pad_id)
 
-    def _greedy_generate(self, input_ids: np.ndarray, max_length: int) -> np.ndarray:
+    def _log_probs(self, logits: np.ndarray) -> np.ndarray:
+        """Log-softmax of one vocabulary row; shared by both beam paths so the
+        cached and reference implementations run the exact same float ops."""
+        log_probs = logits - logits.max()
+        return log_probs - np.log(np.exp(log_probs).sum())
+
+    # -- cached fast paths -------------------------------------------------------
+    def _greedy_generate_cached(self, input_ids: np.ndarray, max_length: int) -> np.ndarray:
+        """Incremental greedy decoding: each step feeds only the newest token."""
+        batch = input_ids.shape[0]
+        attention_mask = input_ids != self.config.pad_id
+        with no_grad():
+            encoder_hidden = self.encoder(input_ids, attention_mask)
+            cache = DecodeCache(len(self.decoder.layers))
+            sequences = np.full((batch, 1), self.config.bos_id, dtype=np.int64)
+            finished = np.zeros(batch, dtype=bool)
+            step_tokens = sequences
+            for _ in range(max_length):
+                decoder_hidden = self.decoder(step_tokens, encoder_hidden, attention_mask, cache=cache)
+                logits = self.lm_logits(decoder_hidden).numpy()[:, -1, :]
+                next_tokens = logits.argmax(axis=-1)
+                next_tokens = np.where(finished, self.config.pad_id, next_tokens)
+                sequences = np.concatenate([sequences, next_tokens[:, None]], axis=1)
+                finished |= next_tokens == self.config.eos_id
+                if finished.all():
+                    break
+                step_tokens = next_tokens[:, None]
+        return sequences[:, 1:]
+
+    def _beam_generate_cached(
+        self, input_ids: np.ndarray, max_length: int, num_beams: int, length_penalty: float
+    ) -> list[list[int]]:
+        """Batched beam search: one cached forward pass expands every live beam
+        of every batch row, then per-row candidate selection replicates the
+        reference semantics (same expansion order, same stable sort)."""
+        batch = input_ids.shape[0]
+        attention_mask = input_ids != self.config.pad_id
+        with no_grad():
+            encoder_hidden = self.encoder(input_ids, attention_mask).numpy()
+            # rows[r] is the beam list of batch row r: (tokens, score, done),
+            # kept sorted exactly as the reference implementation keeps it.
+            rows: list[list[tuple[list[int], float, bool]]] = [
+                [([self.config.bos_id], 0.0, False)] for _ in range(batch)
+            ]
+            cache = DecodeCache(len(self.decoder.layers))
+            # Flat layout of the upcoming forward pass: one entry per live beam.
+            active: list[tuple[int, int]] = [(r, 0) for r in range(batch)]
+            for _ in range(max_length):
+                if not active:
+                    break
+                flat_of = {entry: flat for flat, entry in enumerate(active)}
+                row_index = np.fromiter((r for r, _ in active), dtype=np.int64)
+                step_tokens = np.asarray([[rows[r][b][0][-1]] for r, b in active], dtype=np.int64)
+                # The cross-attention cache is warm after the first step, so
+                # later steps skip gathering encoder states they would ignore.
+                encoder_states = Tensor(encoder_hidden[row_index]) if cache.length == 0 else None
+                decoder_hidden = self.decoder(
+                    step_tokens,
+                    encoder_states,
+                    attention_mask[row_index],
+                    cache=cache,
+                )
+                logits = self.lm_logits(decoder_hidden).numpy()[:, -1, :]
+                next_active: list[tuple[int, int]] = []
+                gather: list[int] = []
+                for r in sorted({r for r, _ in active}):
+                    candidates: list[tuple[list[int], float, bool]] = []
+                    parents: list[int | None] = []
+                    for b, (tokens, score, done) in enumerate(rows[r]):
+                        if done:
+                            candidates.append((tokens, score, True))
+                            parents.append(None)
+                            continue
+                        log_probs = self._log_probs(logits[flat_of[(r, b)]])
+                        top = np.argsort(log_probs)[::-1][:num_beams]
+                        for token in top:
+                            candidates.append(
+                                (tokens + [int(token)], score + float(log_probs[token]), int(token) == self.config.eos_id)
+                            )
+                            parents.append(flat_of[(r, b)])
+                    order = sorted(
+                        range(len(candidates)),
+                        key=lambda i: candidates[i][1] / (max(len(candidates[i][0]) - 1, 1) ** length_penalty),
+                        reverse=True,
+                    )[:num_beams]
+                    rows[r] = [candidates[i] for i in order]
+                    for b, i in enumerate(order):
+                        if not candidates[i][2]:
+                            next_active.append((r, b))
+                            gather.append(parents[i])
+                cache.reorder(np.asarray(gather, dtype=np.int64))
+                active = next_active
+        return [rows[r][0][0][1:][:max_length] for r in range(batch)]
+
+    # -- naive reference implementations ------------------------------------------
+    def _greedy_generate_reference(self, input_ids: np.ndarray, max_length: int) -> np.ndarray:
+        """The O(L^2) greedy loop: re-decodes the full prefix every step."""
         batch = input_ids.shape[0]
         attention_mask = input_ids != self.config.pad_id
         with no_grad():
@@ -270,7 +422,10 @@ class T5Model(Module):
                     break
         return sequences[:, 1:]
 
-    def _beam_generate(self, input_ids: np.ndarray, max_length: int, num_beams: int, length_penalty: float) -> np.ndarray:
+    def _beam_generate_reference(
+        self, input_ids: np.ndarray, max_length: int, num_beams: int, length_penalty: float
+    ) -> list[int]:
+        """One-row, one-beam-at-a-time beam search; the equivalence oracle."""
         attention_mask = input_ids != self.config.pad_id
         with no_grad():
             encoder_hidden = self.encoder(input_ids, attention_mask)
@@ -284,8 +439,7 @@ class T5Model(Module):
                     sequence = np.asarray(tokens, dtype=np.int64)[None, :]
                     decoder_hidden = self.decoder(sequence, encoder_hidden, attention_mask)
                     logits = self.lm_logits(decoder_hidden).numpy()[0, -1, :]
-                    log_probs = logits - logits.max()
-                    log_probs = log_probs - np.log(np.exp(log_probs).sum())
+                    log_probs = self._log_probs(logits)
                     top = np.argsort(log_probs)[::-1][:num_beams]
                     for token in top:
                         candidates.append(
@@ -295,7 +449,14 @@ class T5Model(Module):
                 beams = candidates[:num_beams]
                 if all(done for _, _, done in beams):
                     break
-        best_tokens = beams[0][0][1:][:max_length]
-        padded = np.full(max_length, self.config.pad_id, dtype=np.int64)
-        padded[: len(best_tokens)] = best_tokens
-        return padded
+        return beams[0][0][1:][:max_length]
+
+
+def _pad_token_rows(rows: list[list[int]], pad_id: int) -> np.ndarray:
+    """Stack variable-length token rows into a ``(batch, L)`` array, where ``L``
+    is the longest row (at least 1 so empty batches keep a well-formed shape)."""
+    width = max((len(row) for row in rows), default=1) or 1
+    padded = np.full((len(rows), width), pad_id, dtype=np.int64)
+    for index, row in enumerate(rows):
+        padded[index, : len(row)] = row
+    return padded

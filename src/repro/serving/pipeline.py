@@ -73,7 +73,13 @@ class PipelineConfig:
     toggles n-gram schema filtration before encoding text-to-vis inputs;
     ``validate_predictions`` toggles type-checking predicted queries against
     the request schema; ``attach_specs`` toggles Vega-Lite spec construction
-    on text-to-vis responses.
+    on text-to-vis responses; ``use_cache`` selects KV-cached incremental
+    decoding on DataVisT5 backends (``False`` falls back to the naive
+    reference decoder — same outputs, for debugging and equivalence checks).
+    It deliberately does not override baseline backends: neural baselines own
+    a ``use_cache`` constructor knob configured where the baseline is built
+    (e.g. ``{"type": "neural", "use_cache": False}`` in a registry spec), and
+    the pipeline never mutates a backend it was handed.
     """
 
     max_batch_size: int = 8
@@ -85,6 +91,7 @@ class PipelineConfig:
     filter_schemas: bool = True
     validate_predictions: bool = True
     attach_specs: bool = True
+    use_cache: bool = True
 
 
 @dataclass
@@ -101,14 +108,15 @@ class _Prepared:
 class _Engine:
     """Uniform ``predict_batch(prepared) -> list[str]`` over heterogeneous backends."""
 
-    def __init__(self, backend, task: str):
+    def __init__(self, backend, task: str, use_cache: bool = True):
         self.backend = backend
         self.task = task
+        self.use_cache = use_cache
 
     def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
         backend = self.backend
         if isinstance(backend, DataVisT5):
-            outputs = backend.predict_batch([item.source for item in prepared])
+            outputs = backend.predict_batch([item.source for item in prepared], use_cache=self.use_cache)
             return [strip_modality_tags(output) for output in outputs]
         if isinstance(backend, TextToVisBaseline):
             questions = [item.request.question for item in prepared]
@@ -151,7 +159,7 @@ class Pipeline:
         for task in SERVABLE_TASKS:
             backend = backends[task] if backends[task] is not None else model
             if backend is not None:
-                self._engines[task] = _Engine(backend, task)
+                self._engines[task] = _Engine(backend, task, use_cache=self.config.use_cache)
         self.caches = {
             "encode": LRUCache(self.config.encode_cache_size, name="encode"),
             "ast": LRUCache(self.config.ast_cache_size, name="ast"),

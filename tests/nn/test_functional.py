@@ -78,6 +78,21 @@ class TestMasks:
         assert mask[0, 1] == False  # noqa: E712 - numpy bool comparison
         assert mask[3, 0] == True  # noqa: E712
 
+    def test_causal_mask_offset_queries_are_suffix_rows(self):
+        # With key_length > length the queries are the last `length` positions;
+        # the incremental decoder relies on this matching the full mask's rows.
+        full = F.causal_mask(6)
+        suffix = F.causal_mask(2, key_length=6)
+        assert suffix.shape == (2, 6)
+        assert np.array_equal(suffix, full[4:])
+
+    def test_causal_mask_single_step_attends_everything(self):
+        assert F.causal_mask(1, key_length=5).all()
+
+    def test_causal_mask_rejects_short_keys(self):
+        with pytest.raises(ValueError):
+            F.causal_mask(4, key_length=2)
+
     def test_attention_mask_bias_values(self):
         bias = F.attention_mask_bias(np.array([True, False]))
         assert bias[0] == 0.0

@@ -534,3 +534,72 @@ class TestPipeline:
             build_text_to_vis(
                 {"type": "seq2vis", "training": TrainingConfig(num_epochs=3), "num_epochs": 10}
             )
+
+
+# -- KV-cached decoding through the serving layer --------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shared_model(nvbench):
+    """An untrained (but deterministic) DataVisT5 shared across decode tests."""
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=32, max_decode_length=12
+    )
+    texts = [example.question for example in nvbench.examples[:20]]
+    texts += [example.query_text for example in nvbench.examples[:20]]
+    return DataVisT5.from_corpus(texts, config=config, max_vocab_size=800)
+
+
+class TestCachedDecodeServing:
+    """`Pipeline.serve` guarantees must survive the KV-cached decoder swap."""
+
+    def test_cached_and_reference_decoders_agree(self, shared_model, mixed_requests):
+        cached = Pipeline.from_model(shared_model, config=PipelineConfig(use_cache=True))
+        reference = Pipeline.from_model(shared_model, config=PipelineConfig(use_cache=False))
+        cached_outputs = [r.output for r in cached.serve(mixed_requests)]
+        reference_outputs = [r.output for r in reference.serve(mixed_requests)]
+        assert cached_outputs == reference_outputs
+
+    def test_batch_equals_sequential_under_cached_decoder(self, shared_model, mixed_requests):
+        batched = Pipeline.from_model(shared_model, config=PipelineConfig(max_batch_size=4, use_cache=True))
+        sequential = Pipeline.from_model(shared_model, config=PipelineConfig(max_batch_size=4, use_cache=True))
+        batch_outputs = [r.output for r in batched.serve(mixed_requests)]
+        sequential_outputs = [sequential.submit(request).output for request in mixed_requests]
+        assert batch_outputs == sequential_outputs
+
+    def test_cache_hit_accounting_under_cached_decoder(self, shared_model, mixed_requests):
+        pipeline = Pipeline.from_model(shared_model, config=PipelineConfig(use_cache=True))
+        first = pipeline.serve(mixed_requests)
+        assert all(not response.cached for response in first)
+        baseline_hits = pipeline.stats()["caches"]["response"]["hits"]
+        second = pipeline.serve(mixed_requests)
+        assert all(response.cached for response in second)
+        assert [r.output for r in second] == [r.output for r in first]
+        stats = pipeline.stats()["caches"]["response"]
+        assert stats["hits"] == baseline_hits + len(mixed_requests)
+
+    def test_neural_baseline_use_cache_knob(self, small_pool, nvbench):
+        baseline = build_text_to_vis(
+            {
+                "type": "neural",
+                "preset": "tiny",
+                "preset_overrides": {"max_input_length": 64, "max_target_length": 32, "max_decode_length": 8},
+                "num_epochs": 1,
+                "batch_size": 8,
+                "use_cache": False,
+            }
+        )
+        assert baseline.use_cache is False
+        examples = nvbench.examples[:8]
+        baseline.fit(examples, small_pool)
+        questions = [example.question for example in examples[:4]]
+        schemas = [small_pool.get(example.db_id).schema for example in examples[:4]]
+        reference = baseline.predict_many(questions, schemas)
+        baseline.use_cache = True
+        assert baseline.predict_many(questions, schemas) == reference
+
+    def test_pipeline_config_accepts_use_cache_key(self):
+        pipeline = Pipeline.from_config(
+            {"vis_to_text": {"type": "heuristics"}, "pipeline": {"use_cache": False}}
+        )
+        assert pipeline.config.use_cache is False
