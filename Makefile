@@ -4,14 +4,16 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test bench bench-decode smoke install help
+.PHONY: test bench bench-decode bench-serving smoke ci install help
 
 help:
-	@echo "make test         - tier-1 verification: full test + benchmark suite (pytest -x -q)"
-	@echo "make bench        - benchmark harness only (paper tables I-XII at smoke scale)"
-	@echo "make bench-decode - decode throughput benchmark -> BENCH_decode.json (fails if the KV-cached decoder is slower than naive)"
-	@echo "make smoke        - run every example end-to-end"
-	@echo "make install      - editable install (pip install -e .)"
+	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
+	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
+	@echo "make bench-decode  - decode throughput benchmark -> BENCH_decode.json (fails if the KV-cached decoder is slower than naive)"
+	@echo "make bench-serving - serving-under-load benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
+	@echo "make smoke         - run every example end-to-end"
+	@echo "make ci            - what the CI workflow runs: tier-1 tests + smoke"
+	@echo "make install       - editable install (pip install -e .)"
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -21,6 +23,13 @@ bench:
 
 bench-decode:
 	PYTHONPATH=src $(PYTHON) benchmarks/decode_benchmark.py --output BENCH_decode.json
+
+bench-serving:
+	PYTHONPATH=src $(PYTHON) benchmarks/serving_benchmark.py --output BENCH_serving.json
+
+# Keep this the single source of truth for what CI executes, so local runs
+# and .github/workflows/ci.yml can never drift apart.
+ci: test smoke
 
 smoke:
 	@set -e; for example in $(EXAMPLES); do \

@@ -1,0 +1,235 @@
+"""Serving-under-load benchmark: the async Server vs synchronous Pipeline.serve.
+
+Replays an open-loop arrival trace — bursts of mixed-task requests arriving
+over a fixed window, the traffic shape the async front-end exists for —
+against both serving paths:
+
+* **sync** (the baseline): ``Pipeline.serve`` takes a pre-collected list, so
+  a synchronous caller must wait for the whole trace to arrive before the
+  first forward pass runs; its makespan is the arrival window plus the full
+  burst-serve time.
+* **async**: the ``Server`` accepts each request the moment it arrives,
+  batches it under the time/size flush policy and computes *during* the
+  arrival window, so its makespan approaches ``max(arrival window, compute)``.
+
+Both paths serve the identical trace from cold caches with the same
+smoke-scale DataVisT5 and the same ``max_batch``; the benchmark asserts
+their outputs are bitwise-identical, writes ``BENCH_serving.json``
+(throughput = requests / makespan, plus the per-request latency p50/p99 of
+each path and the server's batch/queue telemetry), and exits non-zero if
+async throughput falls below the synchronous baseline or any output differs.
+
+Run it via ``make bench-serving`` or directly::
+
+    PYTHONPATH=src python benchmarks/serving_benchmark.py --output BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets import build_database_pool, generate_nvbench
+from repro.serving import Pipeline, PipelineConfig, Request, Server, ServerConfig
+
+
+def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], dict, DataVisT5]:
+    """(arrival_time, request) pairs — bursty mixed-task traffic — plus the model."""
+    pool = build_database_pool(num_databases=4, seed=args.seed)
+    nvbench = generate_nvbench(pool, examples_per_database=8, seed=args.seed)
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=32, max_decode_length=args.decode_length
+    )
+    texts = [example.question for example in nvbench.examples[:24]]
+    texts += [example.query_text for example in nvbench.examples[:24]]
+    model = DataVisT5.from_corpus(texts, config=config, max_vocab_size=800)
+
+    unique: list[Request] = []
+    for example in nvbench.examples:
+        schema = pool.get(example.db_id).schema
+        unique.append(Request(task="text_to_vis", question=example.question, schema=schema))
+        unique.append(Request(task="vis_to_text", chart=example.query, schema=schema))
+        unique.append(
+            Request(task="fevisqa", question="How many parts are there ?", chart=example.query, schema=schema)
+        )
+    rng = random.Random(args.seed)
+    rng.shuffle(unique)
+
+    requests: list[Request] = []
+    while len(requests) < args.num_requests:
+        if requests and rng.random() < args.duplicate_rate:
+            requests.append(rng.choice(requests))  # repeat traffic exercises the caches
+        else:
+            requests.append(unique[len(requests) % len(unique)])
+
+    trace: list[tuple[float, Request]] = []
+    gap_seconds = args.burst_gap_ms / 1000.0
+    for index, request in enumerate(requests):
+        trace.append(((index // args.burst_size) * gap_seconds, request))
+
+    tasks: dict[str, int] = {}
+    for request in requests:
+        tasks[request.task] = tasks.get(request.task, 0) + 1
+    workload = {
+        "num_requests": len(requests),
+        "burst_size": args.burst_size,
+        "burst_gap_ms": args.burst_gap_ms,
+        "arrival_window_s": round(trace[-1][0], 3),
+        "duplicate_rate": args.duplicate_rate,
+        "tasks": tasks,
+    }
+    return trace, workload, model
+
+
+def run_sync(model: DataVisT5, trace: list[tuple[float, Request]], max_batch: int) -> tuple[float, list[str], list[float]]:
+    """Collect the trace as it arrives, then serve it in one synchronous burst."""
+    pipeline = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=max_batch))
+    start = time.perf_counter()
+    collected: list[Request] = []
+    arrivals: list[float] = []
+    for offset, request in trace:
+        wait = start + offset - time.perf_counter()
+        if wait > 0:
+            time.sleep(wait)
+        arrivals.append(time.perf_counter())
+        collected.append(request)
+    responses = pipeline.serve(collected)
+    finished = time.perf_counter()
+    latencies = [finished - arrived for arrived in arrivals]
+    return finished - start, [response.output for response in responses], latencies
+
+
+def run_async(
+    model: DataVisT5, trace: list[tuple[float, Request]], args: argparse.Namespace
+) -> tuple[float, list[str], list[float], dict]:
+    """Submit each request at its arrival time; measure per-request latency."""
+    pipeline = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=args.max_batch))
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=max(len(trace), 1),
+        num_workers=args.num_workers,
+    )
+
+    async def _drive() -> tuple[float, list[str], list[float], dict]:
+        server = Server(pipeline, config)
+        outputs = [""] * len(trace)
+        latencies = [0.0] * len(trace)
+
+        async def one(index: int, request: Request) -> None:
+            begin = time.perf_counter()
+            response = await server.submit(request)
+            latencies[index] = time.perf_counter() - begin
+            outputs[index] = response.output
+
+        async with server:
+            pending: list[asyncio.Task] = []
+            start = time.perf_counter()
+            for index, (offset, request) in enumerate(trace):
+                wait = start + offset - time.perf_counter()
+                if wait > 0:
+                    await asyncio.sleep(wait)
+                pending.append(asyncio.create_task(one(index, request)))
+            await asyncio.gather(*pending)
+            elapsed = time.perf_counter() - start
+        return elapsed, outputs, latencies, server.stats()
+
+    return asyncio.run(_drive())
+
+
+def latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(value * 1000.0 for value in latencies)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    return {
+        "p50": round(percentile(0.50), 3),
+        "p99": round(percentile(0.99), 3),
+        "mean": round(sum(ordered) / len(ordered), 3),
+        "max": round(ordered[-1], 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_serving.json"))
+    parser.add_argument("--num-requests", type=int, default=72)
+    parser.add_argument("--burst-size", type=int, default=6, help="requests arriving together")
+    parser.add_argument("--burst-gap-ms", type=float, default=15.0, help="gap between bursts")
+    parser.add_argument("--duplicate-rate", type=float, default=0.2)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--num-workers", type=int, default=2)
+    parser.add_argument("--decode-length", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    trace, workload, model = build_trace(args)
+
+    # Warm the model once (BLAS thread pools, allocator) outside both
+    # measured paths so neither pays first-call overheads.
+    Pipeline.from_model(model).submit(trace[0][1])
+
+    sync_seconds, sync_outputs, sync_latencies = run_sync(model, trace, args.max_batch)
+    async_seconds, async_outputs, async_latencies, server_stats = run_async(model, trace, args)
+
+    equivalent = sync_outputs == async_outputs
+    results = {
+        "benchmark": "serving_under_load",
+        "workload": workload,
+        "config": {
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "num_workers": args.num_workers,
+        },
+        "sync": {
+            "makespan_seconds": round(sync_seconds, 6),
+            "requests_per_sec": round(len(trace) / sync_seconds, 2),
+            "latency_ms": latency_summary(sync_latencies),
+        },
+        "async": {
+            "makespan_seconds": round(async_seconds, 6),
+            "requests_per_sec": round(len(trace) / async_seconds, 2),
+            "latency_ms": latency_summary(async_latencies),
+            "batches": server_stats["batches"],
+            "queue_wait_ms": server_stats["queue_wait_ms"],
+            "requests": server_stats["requests"],
+        },
+        "throughput_ratio": round(sync_seconds / async_seconds, 3),
+        "equivalent": equivalent,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+
+    for mode in ("sync", "async"):
+        entry = results[mode]
+        print(
+            f"{mode:>6}: {entry['requests_per_sec']:>7.1f} req/s "
+            f"(makespan {entry['makespan_seconds']:.3f}s) | "
+            f"p50 {entry['latency_ms']['p50']:>7.1f}ms | p99 {entry['latency_ms']['p99']:>7.1f}ms"
+        )
+    print(f"async/sync throughput ratio: {results['throughput_ratio']:.2f}x | equivalent={equivalent}")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if not equivalent:
+        failures.append("async server outputs differ from synchronous Pipeline.serve")
+    if results["throughput_ratio"] < 1.0:
+        failures.append(
+            f"async throughput regressed below the synchronous baseline ({results['throughput_ratio']:.2f}x)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

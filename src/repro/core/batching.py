@@ -98,6 +98,22 @@ def collate_token_pairs(
     )
 
 
+def padding_efficiency(lengths: Sequence[int]) -> float:
+    """Fraction of a padded ``(batch, max(lengths))`` block that is real data.
+
+    1.0 means every sequence has the longest length (no padding waste); the
+    serving layer records this per dispatched batch so operators can see how
+    much forward-pass compute the batching policy spends on pad positions.
+    An empty batch is defined as perfectly efficient.
+    """
+    if not lengths:
+        return 1.0
+    longest = max(lengths)
+    if longest <= 0:
+        return 1.0
+    return sum(lengths) / (longest * len(lengths))
+
+
 def group_into_batches(items: Sequence, batch_size: int) -> list[list]:
     """Split ``items`` into consecutive order-preserving batches of at most ``batch_size``.
 

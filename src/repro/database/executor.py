@@ -153,20 +153,31 @@ class QueryExecutor:
         expected = condition.value
         operator = condition.operator
         if isinstance(expected, Subquery):
-            members = self._execute_subquery(expected)
+            if operator not in ("in", "not in"):
+                raise ExecutionError(f"subqueries are only valid with IN/NOT IN, got {operator!r}")
+            members, has_null = self._execute_subquery(expected)
+            if actual is None:
+                # SQL three-valued logic: NULL compared to any member is
+                # unknown, so the row is filtered out — except against an
+                # empty member set, where no comparison happens at all and
+                # NOT IN is vacuously true (IN vacuously false).
+                if members or has_null:
+                    return False
+                return operator == "not in"
             membership = _normalize_literal(actual) in members
             if operator == "in":
                 return membership
-            if operator == "not in":
-                return not membership
-            raise ExecutionError(f"subqueries are only valid with IN/NOT IN, got {operator!r}")
+            # NOT IN against a set containing NULL is never true: the NULL
+            # member makes every non-match unknown rather than false.
+            return not membership and not has_null
         if operator == "like":
             return _like_match(actual, str(expected))
         if operator in ("in", "not in"):
             raise ExecutionError("IN/NOT IN require a subquery value")
         return _compare(actual, operator, expected)
 
-    def _execute_subquery(self, subquery: Subquery) -> set:
+    def _execute_subquery(self, subquery: Subquery) -> tuple[set, bool]:
+        """The subquery's normalized non-NULL members, plus whether it produced a NULL."""
         inner_query = DVQuery(
             chart_type=_SUBQUERY_CHART,
             select=(subquery.select,),
@@ -175,7 +186,9 @@ class QueryExecutor:
             where=subquery.where,
         )
         result = self.execute(inner_query)
-        return {_normalize_literal(row[0]) for row in result.rows}
+        values = [row[0] for row in result.rows]
+        members = {_normalize_literal(value) for value in values if value is not None}
+        return members, any(value is None for value in values)
 
     # -- binning --------------------------------------------------------------------
     def _apply_bin(self, rows: list[dict[str, object]], bin_clause: BinClause, query: DVQuery) -> list[dict[str, object]]:

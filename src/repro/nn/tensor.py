@@ -14,28 +14,33 @@ gradient checks in the test-suite tight.
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections.abc import Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Graph recording is toggled per *thread*, not per process: the serving
+# layer's worker shards run concurrent `no_grad()` inference on different
+# threads, and a process-global flag would let one worker's save/restore
+# re-enable recording in the middle of another worker's cached decode (which
+# the KV-cache guard would reject).  Threads default to recording enabled.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (used for generation)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def grad_enabled() -> bool:
-    """Whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    """Whether operations on this thread record the autograd graph."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -69,7 +74,7 @@ class Tensor:
     ):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -114,7 +119,7 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -383,7 +388,7 @@ class Tensor:
                     tensor._accumulate(grad[tuple(index)])
                 start += size
 
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(out_data, requires_grad=requires)
         if requires:
             out._parents = tuple(tensors)

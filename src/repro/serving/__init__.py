@@ -9,14 +9,33 @@ encoder outputs and full responses.  The :mod:`~repro.serving.registry`
 constructs any baseline family from a plain config dict, so serving, the
 evaluation harness and the examples share one factory.
 
+On top of the synchronous facade sits the asyncio front-end
+(:mod:`~repro.serving.server`): a :class:`Server` that absorbs concurrent
+``submit`` calls into per-task bounded queues, batches them under a
+time/size :class:`BatchWindow` flush policy, and dispatches to a pool of
+thread-backed worker shards — with structured admission control (queue-full
+and past-deadline rejections are error :class:`Response`\\ s, never
+exceptions) and per-request telemetry aggregated in ``Server.stats()``.
+
 See ``docs/architecture.md`` for the data-flow diagram and the knob
 reference.
 """
 
-from repro.serving.batching import MicroBatcher, Ticket
+from repro.serving.batching import BatchWindow, MicroBatcher, Ticket
 from repro.serving.cache import LRUCache, normalize_key
 from repro.serving.pipeline import Pipeline, PipelineConfig
-from repro.serving.protocol import SERVABLE_TASKS, Request, Response
+from repro.serving.protocol import (
+    ERROR_BACKEND,
+    ERROR_CODES,
+    ERROR_DEADLINE,
+    ERROR_INVALID_REQUEST,
+    ERROR_QUEUE_FULL,
+    ERROR_SHUTDOWN,
+    SERVABLE_TASKS,
+    Request,
+    Response,
+    error_response,
+)
 from repro.serving.registry import (
     available_baselines,
     build_generation,
@@ -24,14 +43,26 @@ from repro.serving.registry import (
     register_generation,
     register_text_to_vis,
 )
+from repro.serving.server import Server, ServerConfig, serve_requests
 
 __all__ = [
     "Pipeline",
     "PipelineConfig",
+    "Server",
+    "ServerConfig",
+    "serve_requests",
     "Request",
     "Response",
+    "error_response",
     "SERVABLE_TASKS",
+    "ERROR_CODES",
+    "ERROR_INVALID_REQUEST",
+    "ERROR_BACKEND",
+    "ERROR_QUEUE_FULL",
+    "ERROR_DEADLINE",
+    "ERROR_SHUTDOWN",
     "MicroBatcher",
+    "BatchWindow",
     "Ticket",
     "LRUCache",
     "normalize_key",

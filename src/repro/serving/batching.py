@@ -5,7 +5,12 @@ far less than eight passes over one request each.  The :class:`MicroBatcher`
 exploits this without changing observable behaviour — requests are
 accumulated into a pending queue and flushed through a caller-supplied batch
 function, and every submitter gets its own result back through a
-:class:`Ticket`.
+:class:`Ticket`.  :class:`BatchWindow` is the shared flush policy: a batch is
+dispatched when it reaches ``max_batch`` requests *or* ``max_wait_ms`` has
+elapsed since its first request arrived, whichever comes first.  The
+synchronous batcher only ever sees complete bursts so it flushes on size
+alone; the async server (:mod:`repro.serving.server`) sees requests one at a
+time and needs the time trigger to bound latency under trickle traffic.
 
 The batcher is synchronous and deterministic: results are produced in
 submission order, batches never exceed ``max_batch_size``, and because all
@@ -23,10 +28,48 @@ Typical use::
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.batching import group_into_batches
 from repro.errors import ModelConfigError
+
+
+@dataclass(frozen=True)
+class BatchWindow:
+    """Time/size flush policy for an accumulating batch.
+
+    A window opens when the first item of a batch arrives and closes —
+    triggering a flush — as soon as either ``max_batch`` items are pending or
+    ``max_wait_ms`` milliseconds have passed since the window opened.  The
+    policy is pure arithmetic over caller-supplied clocks, so it is trivially
+    unit-testable and shared between the synchronous and asyncio collectors.
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.max_batch <= 0:
+            raise ModelConfigError("max_batch must be positive")
+        if self.max_wait_ms < 0:
+            raise ModelConfigError("max_wait_ms must be non-negative")
+
+    def closes_at(self, opened_at: float) -> float:
+        """The absolute time (same clock as ``opened_at``) the window closes."""
+        return opened_at + self.max_wait_ms / 1000.0
+
+    def is_full(self, pending: int) -> bool:
+        """Whether ``pending`` items alone force a flush."""
+        return pending >= self.max_batch
+
+    def should_flush(self, pending: int, opened_at: float, now: float) -> bool:
+        """Whether a batch opened at ``opened_at`` must flush at ``now``."""
+        return self.is_full(pending) or now >= self.closes_at(opened_at)
+
+    def remaining_wait(self, opened_at: float, now: float) -> float:
+        """Seconds the collector may still wait for more items (>= 0)."""
+        return max(0.0, self.closes_at(opened_at) - now)
 
 
 class Ticket:

@@ -56,7 +56,14 @@ from repro.encoding.sequences import (
 from repro.errors import ModelConfigError, ReproError
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUCache, normalize_key
-from repro.serving.protocol import SERVABLE_TASKS, Request, Response
+from repro.serving.protocol import (
+    ERROR_BACKEND,
+    ERROR_INVALID_REQUEST,
+    SERVABLE_TASKS,
+    Request,
+    Response,
+    error_response,
+)
 from repro.serving.registry import build_generation, build_text_to_vis
 from repro.vql.ast import DVQuery
 from repro.vql.parser import parse_dv_query
@@ -231,25 +238,39 @@ class Pipeline:
         """Serve one request (a one-element :meth:`serve` batch)."""
         return self.serve([request])[0]
 
-    def serve(self, requests: list[Request]) -> list[Response]:
+    def serve(self, requests: list[Request], strict: bool = True) -> list[Response]:
         """Serve a burst of requests, micro-batching cache misses per task.
 
-        Responses come back position-aligned with ``requests``.  Repeats of a
-        request already answered (in an earlier call, or earlier in this
-        burst) are served from the response cache and marked ``cached``.
+        Responses come back position-aligned with ``requests``, in the exact
+        input order, regardless of how the burst splits into cache hits,
+        per-task batches and failures.  Repeats of a request already answered
+        (in an earlier call, or earlier in this burst) are served from the
+        response cache and marked ``cached``.
+
+        ``strict`` controls failure behaviour.  With ``strict=True`` (the
+        default) an unpreparable request or a backend exception propagates,
+        aborting the burst.  With ``strict=False`` — the mode the async
+        server runs in — each failing request yields a structured error
+        :class:`Response` in its slot (``error`` set, ``output`` empty) while
+        every other request is still answered.
         """
         responses: list[Response | None] = [None] * len(requests)
         misses: dict[str, list[tuple[int, _Prepared]]] = {}
         for index, request in enumerate(requests):
-            prepared = self._prepare(request)
-            payload = self.caches["response"].get(prepared.key)
-            if payload is not None:
-                responses[index] = self._response_from(prepared, payload, cached=True)
+            try:
+                prepared = self.prepare(request)
+            except Exception as error:  # noqa: BLE001 - strict=False must contain any backend
+                if strict:
+                    raise
+                responses[index] = error_response(request, ERROR_INVALID_REQUEST, str(error))
+                continue
+            cached = self.cached_response(prepared)
+            if cached is not None:
+                responses[index] = cached
             else:
                 misses.setdefault(request.task, []).append((index, prepared))
 
         for task, entries in misses.items():
-            batcher = self._batcher(task)
             # Within one burst, identical keys hit the backend once; every
             # duplicate after the first is a cache-style fan-out.
             by_key: dict[str, list[tuple[int, _Prepared]]] = {}
@@ -259,12 +280,61 @@ class Pipeline:
                     by_key[prepared.key] = []
                     unique.append(prepared)
                 by_key[prepared.key].append((index, prepared))
-            for first, output in zip(unique, batcher.run(unique)):
-                payload = self._payload(first, output)
-                self.caches["response"].put(first.key, payload)
+            try:
+                outputs = self._batcher(task).run(unique)
+            except Exception as error:  # noqa: BLE001 - strict=False must contain any backend
+                if strict:
+                    raise
+                for index, prepared in entries:
+                    responses[index] = error_response(
+                        prepared.request, ERROR_BACKEND, str(error)
+                    )
+                continue
+            for first, output in zip(unique, outputs):
+                payload = self.complete(first, output)
                 for position, (index, prepared) in enumerate(by_key[first.key]):
-                    responses[index] = self._response_from(prepared, payload, cached=position > 0)
+                    responses[index] = self.response_from(prepared, payload, cached=position > 0)
         return responses  # type: ignore[return-value]
+
+    # -- the request life cycle, one stage per method ----------------------------------
+    # These are the serving primitives the async front-end (`repro.serving.
+    # server`) drives directly, so the batched-over-threads path and the
+    # synchronous path share every line of encode/cache/postprocess logic —
+    # which is what makes their outputs bitwise-identical.
+
+    def prepare(self, request: Request) -> _Prepared:
+        """Encode ``request`` into its backend input and cache identity."""
+        return self._prepare(request)
+
+    def cached_response(self, prepared: _Prepared) -> Response | None:
+        """The response-cache hit for ``prepared``, or ``None`` on a miss."""
+        payload = self.caches["response"].get(prepared.key)
+        if payload is None:
+            return None
+        return self._response_from(prepared, payload, cached=True)
+
+    def complete(self, prepared: _Prepared, output: str) -> dict:
+        """Postprocess one backend ``output`` into a payload and cache it."""
+        payload = self._payload(prepared, output)
+        self.caches["response"].put(prepared.key, payload)
+        return payload
+
+    def response_from(self, prepared: _Prepared, payload: dict, cached: bool = False) -> Response:
+        """Build the caller-facing :class:`Response` from a completed payload."""
+        return self._response_from(prepared, payload, cached)
+
+    def spawn_engines(self) -> dict[str, _Engine]:
+        """Fresh per-task :class:`_Engine` instances over this pipeline's backends.
+
+        The async server gives each worker shard its own engine set so worker
+        state never aliases; the underlying backends (model weights, fitted
+        baselines) are shared read-only, which is safe because inference does
+        not mutate them.
+        """
+        return {
+            task: _Engine(engine.backend, task, use_cache=engine.use_cache)
+            for task, engine in self._engines.items()
+        }
 
     def render_chart(self, chart, width: int = 40) -> str:
         """ASCII-render ``chart`` through the pipeline's render cache."""

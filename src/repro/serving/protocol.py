@@ -22,6 +22,24 @@ from repro.vql.ast import DVQuery
 #: so it is not part of the protocol.
 SERVABLE_TASKS = ("text_to_vis", "vis_to_text", "fevisqa")
 
+#: Machine-readable error codes carried by :attr:`Response.error`.  The async
+#: server and ``Pipeline.serve(strict=False)`` reject or fail requests with a
+#: structured error response instead of raising, so one bad request can never
+#: take down a burst or the serving loop.
+ERROR_INVALID_REQUEST = "invalid_request"
+ERROR_BACKEND = "backend_error"
+ERROR_QUEUE_FULL = "queue_full"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_SHUTDOWN = "server_stopped"
+
+ERROR_CODES = (
+    ERROR_INVALID_REQUEST,
+    ERROR_BACKEND,
+    ERROR_QUEUE_FULL,
+    ERROR_DEADLINE,
+    ERROR_SHUTDOWN,
+)
+
 
 @dataclass
 class Request:
@@ -77,6 +95,16 @@ class Response:
     (``False`` for empty or unparseable predictions).  For vis-to-text and
     FeVisQA, ``query`` echoes the request's parsed + standardized chart query
     when its text form parsed.
+
+    ``error`` is ``None`` on success, or one of the :data:`ERROR_CODES` when
+    the request was rejected (admission control) or failed (bad input, backend
+    exception); ``detail`` then carries the human-readable reason.  Error
+    responses have an empty ``output`` and never populate the artifacts.
+
+    ``telemetry`` is per-request serving metadata (queue time, batch size,
+    worker id...) attached by the async server.  It is excluded from equality
+    comparisons so that a response produced under load compares equal to the
+    same response produced synchronously.
     """
 
     task: str
@@ -87,6 +115,14 @@ class Response:
     vega_lite: dict | None = field(default=None, repr=False)
     valid: bool | None = None
     request_id: str | None = None
+    error: str | None = None
+    detail: str | None = None
+    telemetry: dict | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was actually answered (no structured error)."""
+        return self.error is None
 
     def as_dict(self) -> dict:
         """A JSON-friendly view (the AST collapses to its text form)."""
@@ -98,4 +134,24 @@ class Response:
             "vega_lite": self.vega_lite,
             "valid": self.valid,
             "request_id": self.request_id,
+            "error": self.error,
+            "detail": self.detail,
         }
+
+
+def error_response(request, error: str, detail: str) -> Response:
+    """A structured failure :class:`Response` for ``request``.
+
+    Used by admission control and ``strict=False`` serving so that rejected
+    or failed requests surface as data, position-aligned with their burst,
+    rather than as exceptions that abort every other request in flight.
+    """
+    if error not in ERROR_CODES:
+        raise ModelConfigError(f"unknown error code {error!r}; known codes: {', '.join(ERROR_CODES)}")
+    return Response(
+        task=request.task,
+        output="",
+        error=error,
+        detail=detail,
+        request_id=request.request_id,
+    )

@@ -1,0 +1,492 @@
+"""Asynchronous multi-worker serving front-end over the :class:`Pipeline`.
+
+``Pipeline.serve`` takes a pre-collected burst: somebody else already did the
+queueing.  This module is that somebody — a :class:`Server` accepts requests
+one at a time (``await server.submit(request, deadline=...)``), absorbs them
+into per-task bounded queues, and drains the queues with a time/size batch
+collector: a batch is dispatched as soon as ``max_batch`` requests are
+waiting *or* ``max_wait_ms`` has elapsed since its first request arrived
+(:class:`~repro.serving.batching.BatchWindow`).  Dispatched batches run on a
+pool of worker shards — threads that each own their own per-task
+:class:`~repro.serving.pipeline._Engine` set over the pipeline's shared
+backends — so encoder/decoder forward passes for different tasks (or
+successive batches of one task) overlap while the event loop keeps accepting
+traffic.
+
+The division of labour keeps every output bitwise-identical to the
+synchronous path: request encoding, cache lookups and postprocessing all run
+on the event-loop thread through the pipeline's own ``prepare`` /
+``cached_response`` / ``complete`` / ``response_from`` primitives (so the
+LRU caches are never touched concurrently), and only the pure backend
+forward pass (``predict_batch``) runs on worker threads.
+
+Admission control is structured, never exceptional: a full queue, an expired
+deadline, an unpreparable request or a backend exception each produce a
+:class:`~repro.serving.protocol.Response` with ``error`` set — one poisoned
+request can never take down the loop or anyone else's request.  Duplicate
+requests already in flight coalesce onto the first occurrence's future, the
+async analogue of ``Pipeline.serve``'s within-burst dedup.
+
+Typical use::
+
+    server = Server(pipeline, ServerConfig(max_batch=8, num_workers=2))
+    async with server:
+        responses = await server.submit_all(requests)
+    print(server.stats())
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.batching import padding_efficiency
+from repro.errors import ModelConfigError
+from repro.serving.batching import BatchWindow
+from repro.serving.pipeline import Pipeline, _Engine, _Prepared
+from repro.serving.protocol import (
+    ERROR_BACKEND,
+    ERROR_DEADLINE,
+    ERROR_INVALID_REQUEST,
+    ERROR_QUEUE_FULL,
+    ERROR_SHUTDOWN,
+    Request,
+    Response,
+    error_response,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for the async front-end.
+
+    ``max_batch`` / ``max_wait_ms`` parameterize the flush policy: wait at
+    most ``max_wait_ms`` milliseconds for a batch to fill to ``max_batch``.
+    ``queue_size`` bounds each per-task queue — submissions beyond it are
+    rejected with ``queue_full`` rather than buffered without limit.
+    ``num_workers`` is the number of thread-backed worker shards; it also
+    bounds how many batches are in flight at once, which back-pressures the
+    collectors.
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    queue_size: int = 64
+    num_workers: int = 2
+
+    def __post_init__(self):
+        if self.queue_size <= 0:
+            raise ModelConfigError("queue_size must be positive")
+        if self.num_workers <= 0:
+            raise ModelConfigError("num_workers must be positive")
+        # BatchWindow validates max_batch / max_wait_ms at construction time;
+        # the server derives its own window from the config when it starts.
+        BatchWindow(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+
+class _Worker:
+    """One shard of the worker pool: an id plus its own per-task engines."""
+
+    __slots__ = ("worker_id", "engines")
+
+    def __init__(self, worker_id: int, engines: dict[str, _Engine]):
+        self.worker_id = worker_id
+        self.engines = engines
+
+    def predict(self, task: str, prepared: list[_Prepared]) -> list[str]:
+        engine = self.engines.get(task)
+        if engine is None:
+            raise ModelConfigError(f"no backend configured for task {task!r}")
+        return engine.predict_batch(prepared)
+
+
+def _telemetry(
+    cache_hit: bool = False,
+    coalesced: bool = False,
+    queue_ms: float = 0.0,
+    batch_size: int | None = None,
+    worker: int | None = None,
+) -> dict:
+    """The uniform per-response telemetry dict — every key always present.
+
+    ``batch_size`` and ``worker`` stay ``None`` for responses that never
+    reached a worker (cache hits, coalesced duplicates, rejections).
+    """
+    return {
+        "cache_hit": cache_hit,
+        "coalesced": coalesced,
+        "queue_ms": queue_ms,
+        "batch_size": batch_size,
+        "worker": worker,
+    }
+
+
+class _Job:
+    """One queued request: its prepared form plus scheduling metadata."""
+
+    __slots__ = ("prepared", "future", "enqueued_at", "deadline_at", "batch_size", "worker_id", "queue_seconds")
+
+    def __init__(self, prepared: _Prepared, future: asyncio.Future, enqueued_at: float, deadline_at: float | None):
+        self.prepared = prepared
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+        self.batch_size: int | None = None
+        self.worker_id: int | None = None
+        self.queue_seconds: float = 0.0
+
+
+class Server:
+    """Accepts concurrent requests and serves them through batched workers.
+
+    One :class:`Server` wraps one :class:`Pipeline`.  All coroutine methods
+    must run on a single event loop; the heavy lifting (backend forward
+    passes) is pushed to ``num_workers`` threads.  The server starts lazily
+    on the first :meth:`submit`, or eagerly via ``async with server:`` /
+    :meth:`start`.
+    """
+
+    def __init__(self, pipeline: Pipeline, config: ServerConfig | None = None):
+        self.pipeline = pipeline
+        self.config = config or ServerConfig()
+        self._window = BatchWindow(max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms)
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._collectors: dict[str, asyncio.Task] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._idle_workers: asyncio.Queue | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._started = False
+        self._closed = False
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            ERROR_QUEUE_FULL: 0,
+            ERROR_DEADLINE: 0,
+            ERROR_INVALID_REQUEST: 0,
+            ERROR_BACKEND: 0,
+            ERROR_SHUTDOWN: 0,
+        }
+        # Running aggregates, not per-batch lists: a long-lived server must
+        # not grow memory with uptime just to answer stats().
+        self._batch_count = 0
+        self._batch_size_sum = 0
+        self._full_batch_count = 0
+        self._batches_per_worker: dict[int, int] = {}
+        self._padding_sum = 0.0
+        self._queue_wait_sum = 0.0
+        self._queue_wait_max = 0.0
+        self._queue_wait_count = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the worker pool (idempotent; implied by the first submit).
+
+        A server is single-use: once :meth:`stop` has run, restarting would
+        revive queues whose collectors are gone, so it raises instead.
+        """
+        if self._closed:
+            raise ModelConfigError("Server cannot be restarted after stop(); create a new Server")
+        if self._started:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.num_workers, thread_name_prefix="repro-serving-worker"
+        )
+        self._idle_workers = asyncio.Queue()
+        for worker_id in range(self.config.num_workers):
+            self._idle_workers.put_nowait(_Worker(worker_id, self.pipeline.spawn_engines()))
+        self._started = True
+
+    async def join(self) -> None:
+        """Wait until every accepted request has been answered."""
+        while self._inflight or self._dispatch_tasks:
+            futures = list(self._inflight.values()) + list(self._dispatch_tasks)
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    async def stop(self) -> None:
+        """Drain in-flight work, then shut the collectors and workers down.
+
+        Requests submitted after ``stop`` begins are rejected with the
+        ``server_stopped`` error.
+        """
+        self._closed = True
+        await self.join()
+        for collector in self._collectors.values():
+            collector.cancel()
+        for collector in self._collectors.values():
+            try:
+                await collector
+            except asyncio.CancelledError:
+                pass
+        self._collectors.clear()
+        self._queues.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "Server":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- submission --------------------------------------------------------------------
+    async def submit(self, request: Request, deadline: float | None = None) -> Response:
+        """Serve one request; always returns a :class:`Response`, never raises.
+
+        ``deadline`` is a per-request latency budget in seconds, measured
+        from submission.  A request still queued when its deadline passes is
+        rejected with the ``deadline_exceeded`` error at dispatch time (and
+        immediately when ``deadline <= 0``); a request whose batch has
+        already reached a worker runs to completion.  A coalesced duplicate
+        shares the fate of the request it coalesced onto.
+        """
+        self._counts["submitted"] += 1
+        if self._closed:
+            return self._account(error_response(request, ERROR_SHUTDOWN, "server is stopped"))
+        if not self._started:
+            await self.start()
+        loop = asyncio.get_running_loop()
+
+        try:
+            self.pipeline.backend(request.task)  # fail fast on unconfigured tasks
+            prepared = self.pipeline.prepare(request)
+        except Exception as error:  # noqa: BLE001 - submit never raises, per contract
+            return self._account(error_response(request, ERROR_INVALID_REQUEST, str(error)))
+
+        cached = self.pipeline.cached_response(prepared)
+        if cached is not None:
+            self._counts["cache_hits"] += 1
+            self._counts["completed"] += 1
+            cached.telemetry = _telemetry(cache_hit=True)
+            return cached
+
+        shared = self._inflight.get(prepared.key)
+        if shared is not None:
+            self._counts["coalesced"] += 1
+            return await self._await_result(prepared, shared, coalesced=True)
+
+        if deadline is not None and deadline <= 0:
+            return self._account(
+                error_response(request, ERROR_DEADLINE, "deadline expired before the request was queued")
+            )
+
+        queue = self._queue_for(request.task)
+        now = loop.time()
+        job = _Job(
+            prepared,
+            loop.create_future(),
+            enqueued_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+        )
+        try:
+            queue.put_nowait(job)
+        except asyncio.QueueFull:
+            return self._account(
+                error_response(
+                    request,
+                    ERROR_QUEUE_FULL,
+                    f"{request.task} queue is full ({self.config.queue_size} pending requests)",
+                )
+            )
+        self._inflight[prepared.key] = job.future
+        return await self._await_owner(job)
+
+    async def submit_all(self, requests: list[Request], deadline: float | None = None) -> list[Response]:
+        """Submit ``requests`` concurrently; responses align with input order."""
+        return list(await asyncio.gather(*(self.submit(request, deadline=deadline) for request in requests)))
+
+    # -- request completion ------------------------------------------------------------
+    async def _await_owner(self, job: _Job) -> Response:
+        outcome = await job.future
+        if outcome[0] == "ok":
+            self._counts["completed"] += 1
+            response = self.pipeline.response_from(job.prepared, outcome[1], cached=False)
+        else:
+            response = self._account(error_response(job.prepared.request, outcome[1], outcome[2]))
+        response.telemetry = _telemetry(
+            queue_ms=round(job.queue_seconds * 1000.0, 3),
+            batch_size=job.batch_size,
+            worker=job.worker_id,
+        )
+        return response
+
+    async def _await_result(self, prepared: _Prepared, shared: asyncio.Future, coalesced: bool) -> Response:
+        outcome = await shared
+        if outcome[0] == "ok":
+            self._counts["completed"] += 1
+            response = self.pipeline.response_from(prepared, outcome[1], cached=True)
+        else:
+            response = self._account(error_response(prepared.request, outcome[1], outcome[2]))
+        response.telemetry = _telemetry(coalesced=coalesced)
+        return response
+
+    def _account(self, response: Response) -> Response:
+        self._counts[response.error] += 1
+        if response.telemetry is None:
+            response.telemetry = _telemetry()
+        return response
+
+    # -- collection and dispatch -------------------------------------------------------
+    def _queue_for(self, task: str) -> asyncio.Queue:
+        queue = self._queues.get(task)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.config.queue_size)
+            self._queues[task] = queue
+            self._collectors[task] = asyncio.get_running_loop().create_task(
+                self._collect(task), name=f"repro-serving-collect-{task}"
+            )
+        return queue
+
+    async def _collect(self, task: str) -> None:
+        """Accumulate one task's queue into batches under the flush policy."""
+        queue = self._queues[task]
+        window = self._window
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await queue.get()]
+            opened_at = loop.time()
+            while not window.is_full(len(batch)):
+                # Drain whatever is already queued without timer machinery —
+                # under bursty traffic this fills most batches for free.
+                try:
+                    batch.append(queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                remaining = window.remaining_wait(opened_at, loop.time())
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(queue.get(), remaining))
+                except asyncio.TimeoutError:  # noqa: UP041 - not builtin TimeoutError on 3.10
+                    break
+            # Acquiring the worker before spawning the batch task caps the
+            # number of in-flight batches at num_workers and lets the bounded
+            # queue absorb (or reject) the overflow in the meantime.
+            worker = await self._idle_workers.get()
+            dispatch = loop.create_task(self._run_batch(task, batch, worker))
+            self._dispatch_tasks.add(dispatch)
+            dispatch.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _run_batch(self, task: str, jobs: list[_Job], worker: _Worker) -> None:
+        """Run one collected batch on ``worker``; resolve every job's future."""
+        loop = asyncio.get_running_loop()
+        try:
+            now = loop.time()
+            live: list[_Job] = []
+            for job in jobs:
+                if job.deadline_at is not None and now > job.deadline_at:
+                    waited = round((now - job.enqueued_at) * 1000.0, 3)
+                    self._resolve(job, ("error", ERROR_DEADLINE, f"request waited {waited}ms, past its deadline"))
+                else:
+                    live.append(job)
+            if not live:
+                return
+            for job in live:
+                job.queue_seconds = now - job.enqueued_at
+                job.batch_size = len(live)
+                job.worker_id = worker.worker_id
+                self._queue_wait_sum += job.queue_seconds
+                self._queue_wait_max = max(self._queue_wait_max, job.queue_seconds)
+                self._queue_wait_count += 1
+            self._batch_count += 1
+            self._batch_size_sum += len(live)
+            self._full_batch_count += len(live) >= self.config.max_batch
+            self._batches_per_worker[worker.worker_id] = self._batches_per_worker.get(worker.worker_id, 0) + 1
+            self._padding_sum += padding_efficiency([len(job.prepared.source.split()) for job in live])
+            prepared = [job.prepared for job in live]
+            try:
+                outputs = await loop.run_in_executor(self._executor, worker.predict, task, prepared)
+            except Exception as error:  # noqa: BLE001 - a backend bug must not kill the loop
+                for job in live:
+                    self._resolve(job, ("error", ERROR_BACKEND, str(error)))
+                return
+            if len(outputs) != len(live):
+                for job in live:
+                    self._resolve(
+                        job,
+                        ("error", ERROR_BACKEND, f"backend returned {len(outputs)} outputs for {len(live)} requests"),
+                    )
+                return
+            # Postprocessing (parse/validate/spec) and cache writes happen
+            # here, back on the event-loop thread, where they are serialized.
+            for job, output in zip(live, outputs):
+                try:
+                    payload = self.pipeline.complete(job.prepared, output)
+                except Exception as error:  # noqa: BLE001 - resolve, never hang the future
+                    self._resolve(job, ("error", ERROR_BACKEND, f"postprocessing failed: {error}"))
+                else:
+                    self._resolve(job, ("ok", payload))
+        finally:
+            self._idle_workers.put_nowait(worker)
+
+    def _resolve(self, job: _Job, outcome: tuple) -> None:
+        self._inflight.pop(job.prepared.key, None)
+        if not job.future.done():
+            job.future.set_result(outcome)
+
+    # -- observability -----------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving telemetry aggregated across every request and batch."""
+        batches = self._batch_count
+        mean_size = self._batch_size_sum / batches if batches else 0.0
+        mean_padding = self._padding_sum / batches if batches else 1.0
+        mean_wait = self._queue_wait_sum / self._queue_wait_count if self._queue_wait_count else 0.0
+        return {
+            "requests": {
+                "submitted": self._counts["submitted"],
+                "completed": self._counts["completed"],
+                "cache_hits": self._counts["cache_hits"],
+                "coalesced": self._counts["coalesced"],
+                "rejected": {
+                    "queue_full": self._counts[ERROR_QUEUE_FULL],
+                    "deadline_exceeded": self._counts[ERROR_DEADLINE],
+                    "server_stopped": self._counts[ERROR_SHUTDOWN],
+                },
+                "failed": {
+                    "invalid_request": self._counts[ERROR_INVALID_REQUEST],
+                    "backend_error": self._counts[ERROR_BACKEND],
+                },
+            },
+            "batches": {
+                "count": batches,
+                "mean_size": round(mean_size, 3),
+                "full_batches": self._full_batch_count,
+                "per_worker": dict(sorted(self._batches_per_worker.items())),
+                "mean_padding_efficiency": round(mean_padding, 4),
+            },
+            "queue_wait_ms": {
+                "mean": round(mean_wait * 1000.0, 3),
+                "max": round(self._queue_wait_max * 1000.0, 3),
+            },
+            "pipeline": self.pipeline.stats(),
+        }
+
+
+def serve_requests(
+    pipeline: Pipeline,
+    requests: list[Request],
+    config: ServerConfig | None = None,
+    deadline: float | None = None,
+) -> tuple[list[Response], dict]:
+    """Run ``requests`` through a fresh :class:`Server` on a private event loop.
+
+    A synchronous convenience for scripts and benchmarks: starts a server,
+    submits everything concurrently, drains it, and returns the
+    position-aligned responses plus the server's final :meth:`Server.stats`.
+    Must not be called from inside a running event loop.
+    """
+
+    async def _run() -> tuple[list[Response], dict]:
+        server = Server(pipeline, config)
+        async with server:
+            responses = await server.submit_all(requests, deadline=deadline)
+        return responses, server.stats()
+
+    return asyncio.run(_run())

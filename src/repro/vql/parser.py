@@ -190,7 +190,10 @@ def _parse_chart_type(stream: _TokenStream) -> ChartType:
     first = token.lowered()
     if first in ("stacked", "grouping"):
         second = stream.next()
-        return ChartType.from_text(f"{first} {second.lowered()}")
+        try:
+            return ChartType.from_text(f"{first} {second.lowered()}")
+        except ValueError as exc:
+            raise VQLSyntaxError(str(exc), position=token.position) from exc
     try:
         return ChartType.from_text(first)
     except ValueError as exc:

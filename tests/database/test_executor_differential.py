@@ -1,0 +1,409 @@
+"""Differential testing of :class:`QueryExecutor` against stdlib ``sqlite3``.
+
+Generates seeded random DV queries — equi-joins, IN / NOT IN subqueries
+(including aggregate subqueries), all five aggregate functions, DISTINCT,
+GROUP BY and BIN-free ORDER BY — over small random tables, executes each
+query with both the in-memory executor and sqlite3, and asserts the result
+row multisets are equal (and, when the query orders, that the ordered
+column's value sequence matches too).
+
+The generator is constrained to the territory where DV-query semantics and
+SQL semantics are defined to coincide: string data is lowercase (the
+executor compares strings case-insensitively, sqlite case-sensitively),
+numeric values are exact binary fractions (halves) so aggregate arithmetic
+is bit-for-bit reproducible, and columns referenced by subquery SELECTs are
+non-NULL except through aggregation — which is exactly how the NOT-IN
+NULL-semantics divergence this suite originally caught was reproduced (see
+``test_not_in_null_subquery_regression``).
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+from collections import Counter
+
+import pytest
+
+from repro.database import Column, ColumnType, Database, DatabaseSchema, ForeignKey, TableSchema
+from repro.database.executor import QueryExecutor
+from repro.vql.ast import (
+    AggregateExpr,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    SortDirection,
+    Subquery,
+)
+
+QUERIES_PER_SEED = 5
+SEEDS = range(40)  # 40 seeds x 5 queries = 200 generated queries
+
+CITIES = ["amber", "basel", "cairo", "delhi", "essen"]
+TAGS = ["alpha", "beta", "gamma", "delta"]
+DESTS = ["lyon", "oslo", "perth", "quito"]
+
+ORDERS = ("id", "qty", "price", "city", "tag")
+SHIPMENTS = ("sid", "order_ref", "weight", "dest")
+NUMERIC = {("orders", name) for name in ("id", "qty", "price")} | {
+    ("shipments", name) for name in ("sid", "order_ref", "weight")
+}
+#: Columns the generator never makes NULL, so plain-column subquery SELECTs
+#: cannot inject NULL members (aggregate subqueries still can — on purpose).
+NON_NULL_COLUMNS = {"orders": ("id", "qty", "city"), "shipments": ("sid", "order_ref", "dest")}
+
+
+# -- random databases -----------------------------------------------------------------
+
+
+def _build_databases(rng: random.Random) -> tuple[Database, sqlite3.Connection]:
+    schema = DatabaseSchema(
+        "logistics",
+        [
+            TableSchema(
+                "orders",
+                [
+                    Column("id", ColumnType.NUMBER),
+                    Column("qty", ColumnType.NUMBER),
+                    Column("price", ColumnType.NUMBER),
+                    Column("city", ColumnType.TEXT),
+                    Column("tag", ColumnType.TEXT),
+                ],
+            ),
+            TableSchema(
+                "shipments",
+                [
+                    Column("sid", ColumnType.NUMBER),
+                    Column("order_ref", ColumnType.NUMBER),
+                    Column("weight", ColumnType.NUMBER),
+                    Column("dest", ColumnType.TEXT),
+                ],
+            ),
+        ],
+        foreign_keys=[ForeignKey("shipments", "order_ref", "orders", "id")],
+    )
+    orders = [
+        {
+            "id": index + 1,
+            "qty": rng.randint(0, 12),
+            "price": None if rng.random() < 0.15 else rng.randint(0, 40) / 2,
+            "city": rng.choice(CITIES),
+            "tag": None if rng.random() < 0.15 else rng.choice(TAGS),
+        }
+        for index in range(rng.randint(6, 16))
+    ]
+    shipments = [
+        {
+            "sid": index + 1,
+            "order_ref": rng.randint(1, len(orders) + 2),
+            "weight": None if rng.random() < 0.15 else rng.randint(1, 30) / 2,
+            "dest": rng.choice(DESTS),
+        }
+        for index in range(rng.randint(6, 16))
+    ]
+    database = Database(schema, data={"orders": orders, "shipments": shipments})
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE orders (id REAL, qty REAL, price REAL, city TEXT, tag TEXT)")
+    connection.execute("CREATE TABLE shipments (sid REAL, order_ref REAL, weight REAL, dest TEXT)")
+    connection.executemany(
+        "INSERT INTO orders VALUES (?,?,?,?,?)",
+        [(row["id"], row["qty"], row["price"], row["city"], row["tag"]) for row in orders],
+    )
+    connection.executemany(
+        "INSERT INTO shipments VALUES (?,?,?,?)",
+        [(row["sid"], row["order_ref"], row["weight"], row["dest"]) for row in shipments],
+    )
+    return database, connection
+
+
+# -- random queries -------------------------------------------------------------------
+
+
+def _columns_of(table: str) -> tuple[str, ...]:
+    return ORDERS if table == "orders" else SHIPMENTS
+
+
+def _ref(table: str, column: str) -> ColumnRef:
+    return ColumnRef(column=column, table=table)
+
+
+def _random_condition(rng: random.Random, table: str) -> Condition:
+    name = rng.choice(_columns_of(table))
+    if (table, name) in NUMERIC:
+        operator = rng.choice(["=", "!=", ">", "<", ">=", "<="])
+        value = rng.choice([rng.randint(0, 12), rng.randint(0, 40) / 2])
+    else:
+        domain = CITIES if name == "city" else (TAGS if name == "tag" else DESTS)
+        operator = rng.choice(["=", "!=", "like"])
+        word = rng.choice(domain)
+        value = word[:2] + "%" if operator == "like" else word
+    return Condition(left=_ref(table, name), operator=operator, value=value)
+
+
+def _random_subquery_condition(rng: random.Random, outer_tables: list[str]) -> Condition | None:
+    outer_table = rng.choice(outer_tables)
+    numeric = rng.random() < 0.6
+    # The *outer* column may be nullable — NULL IN / NOT IN three-valued
+    # logic is exactly the divergence territory this suite patrols.
+    outer_candidates = [
+        column for column in _columns_of(outer_table) if ((outer_table, column) in NUMERIC) == numeric
+    ]
+    inner_table = rng.choice(["orders", "shipments"])
+    inner_candidates = [
+        column for column in NON_NULL_COLUMNS[inner_table] if ((inner_table, column) in NUMERIC) == numeric
+    ]
+    if not outer_candidates or not inner_candidates:
+        return None
+    inner_column = rng.choice(inner_candidates)
+    if numeric and rng.random() < 0.25:
+        select = AggregateExpr(_ref(inner_table, inner_column), function=rng.choice(["count", "max", "min"]))
+    else:
+        select = AggregateExpr(_ref(inner_table, inner_column))
+    inner_where = tuple(_random_condition(rng, inner_table) for _ in range(rng.choice([0, 0, 1])))
+    subquery = Subquery(select=select, from_table=inner_table, where=inner_where)
+    return Condition(
+        left=_ref(outer_table, rng.choice(outer_candidates)),
+        operator=rng.choice(["in", "not in"]),
+        value=subquery,
+    )
+
+
+def _random_query(rng: random.Random) -> DVQuery:
+    base = rng.choice(["orders", "shipments"])
+    joins: tuple[JoinClause, ...] = ()
+    tables = [base]
+    if rng.random() < 0.4:
+        if base == "orders":
+            joins = (JoinClause("shipments", _ref("orders", "id"), _ref("shipments", "order_ref")),)
+            tables.append("shipments")
+        else:
+            joins = (JoinClause("orders", _ref("shipments", "order_ref"), _ref("orders", "id")),)
+            tables.append("orders")
+
+    where = [_random_condition(rng, rng.choice(tables)) for _ in range(rng.choice([0, 0, 1, 1, 2]))]
+    if rng.random() < 0.3:
+        condition = _random_subquery_condition(rng, tables)
+        if condition is not None:
+            where.append(condition)
+
+    all_columns = [(table, column) for table in tables for column in _columns_of(table)]
+    numeric_columns = [(table, column) for table, column in all_columns if (table, column) in NUMERIC]
+    group_candidates = [(t, c) for t, c in all_columns if c in ("city", "tag", "dest", "qty")]
+
+    def random_aggregate() -> AggregateExpr:
+        if rng.random() < 0.15:
+            return AggregateExpr(ColumnRef("*"), function="count")
+        if rng.random() < 0.3:
+            table, column = rng.choice(all_columns)
+            return AggregateExpr(_ref(table, column), function="count", distinct=rng.random() < 0.4)
+        table, column = rng.choice(numeric_columns)
+        return AggregateExpr(_ref(table, column), function=rng.choice(["sum", "avg", "max", "min"]))
+
+    style = rng.random()
+    if style < 0.6 and group_candidates:
+        table, column = rng.choice(group_candidates)
+        select = (AggregateExpr(_ref(table, column)),) + tuple(
+            random_aggregate() for _ in range(rng.choice([1, 1, 2]))
+        )
+        group_by = (_ref(table, column),)
+    elif style < 0.75:
+        select = tuple(random_aggregate() for _ in range(rng.choice([1, 2])))
+        group_by = ()
+    else:
+        picks = rng.sample(all_columns, k=min(len(all_columns), rng.choice([1, 2, 3])))
+        select = tuple(AggregateExpr(_ref(table, column)) for table, column in picks)
+        group_by = ()
+
+    order_by = None
+    if rng.random() < 0.5:
+        order_by = OrderByClause(
+            expression=rng.choice(select), direction=rng.choice([SortDirection.ASC, SortDirection.DESC])
+        )
+
+    return DVQuery(
+        chart_type=ChartType.BAR,
+        select=select,
+        from_table=base,
+        joins=joins,
+        where=tuple(where),
+        group_by=group_by,
+        order_by=order_by,
+    )
+
+
+# -- DVQuery -> SQL -------------------------------------------------------------------
+
+
+def _to_sql(query: DVQuery) -> str:
+    def col(ref: ColumnRef) -> str:
+        return f'"{ref.table}"."{ref.column}"'
+
+    def item(expr: AggregateExpr) -> str:
+        if expr.function is None:
+            return col(expr.column)
+        if expr.column.is_wildcard and not expr.column.table:
+            return f"{expr.function}(*)"
+        inner = col(expr.column)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.function}({inner})"
+
+    def literal(value) -> str:
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return repr(float(value)) if isinstance(value, float) else str(value)
+
+    def condition(cond: Condition) -> str:
+        if isinstance(cond.value, Subquery):
+            sub = cond.value
+            parts = [f'SELECT {item(sub.select)} FROM "{sub.from_table}"']
+            for join in sub.joins:
+                parts.append(f'JOIN "{join.table}" ON {col(join.left)} = {col(join.right)}')
+            if sub.where:
+                parts.append("WHERE " + " AND ".join(condition(inner) for inner in sub.where))
+            return f"{col(cond.left)} {cond.operator.upper()} ({' '.join(parts)})"
+        return f"{col(cond.left)} {cond.operator.upper()} {literal(cond.value)}"
+
+    parts = [
+        "SELECT " + ", ".join(item(expr) for expr in query.select),
+        f'FROM "{query.from_table}"',
+    ]
+    for join in query.joins:
+        parts.append(f'JOIN "{join.table}" ON {col(join.left)} = {col(join.right)}')
+    if query.where:
+        parts.append("WHERE " + " AND ".join(condition(cond) for cond in query.where))
+    if query.group_by:
+        parts.append("GROUP BY " + ", ".join(col(group) for group in query.group_by))
+    if query.order_by is not None:
+        parts.append(f"ORDER BY {item(query.order_by.expression)} {query.order_by.direction.value.upper()}")
+    return " ".join(parts)
+
+
+def _normalize(value):
+    """Collapse int/float and round so both engines' arithmetic compares equal."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return round(float(value), 6)
+    return str(value)
+
+
+# -- the differential property --------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_executor_matches_sqlite(seed):
+    rng = random.Random(seed)
+    database, connection = _build_databases(rng)
+    try:
+        for _ in range(QUERIES_PER_SEED):
+            query = _random_query(rng)
+            sql = _to_sql(query)
+            ours = QueryExecutor(database).execute(query)
+            theirs = connection.execute(sql).fetchall()
+            our_rows = [tuple(_normalize(value) for value in row) for row in ours.rows]
+            their_rows = [tuple(_normalize(value) for value in row) for row in theirs]
+            assert Counter(our_rows) == Counter(their_rows), (
+                f"row multiset mismatch for {query.to_text()!r}\n  sql: {sql}"
+            )
+            if query.order_by is not None:
+                # Ties may legitimately permute whole rows, but the ordered
+                # column's value sequence must be identical.
+                names = [expr.to_text() for expr in query.select]
+                index = names.index(query.order_by.expression.to_text())
+                assert [row[index] for row in our_rows] == [row[index] for row in their_rows], (
+                    f"order mismatch for {query.to_text()!r}\n  sql: {sql}"
+                )
+    finally:
+        connection.close()
+
+
+def test_not_in_null_subquery_regression():
+    """NOT IN over a subquery that yields NULL matches nothing (SQL 3VL).
+
+    This is the divergence the differential suite originally uncovered: an
+    aggregate subquery over an empty row set returns a single NULL, and the
+    executor treated ``x NOT IN (NULL)`` as true for every row where SQL
+    makes it unknown (so the row is filtered out).
+    """
+    rng = random.Random(0)
+    database, connection = _build_databases(rng)
+    try:
+        subquery = Subquery(
+            select=AggregateExpr(_ref("orders", "id"), function="max"),
+            from_table="orders",
+            where=(Condition(left=_ref("orders", "qty"), operator=">", value=10**6),),
+        )
+        query = DVQuery(
+            chart_type=ChartType.BAR,
+            select=(AggregateExpr(_ref("orders", "id")),),
+            from_table="orders",
+            where=(Condition(left=_ref("orders", "id"), operator="not in", value=subquery),),
+        )
+        ours = QueryExecutor(database).execute(query)
+        theirs = connection.execute(_to_sql(query)).fetchall()
+        assert ours.rows == [] and theirs == []
+    finally:
+        connection.close()
+
+
+def test_null_not_in_empty_subquery_is_vacuously_true():
+    """``NULL NOT IN (empty set)`` keeps the row: no comparison ever happens.
+
+    Second NULL-semantics regression (caught in review of the first fix):
+    with zero members there is nothing to compare against, so SQL evaluates
+    NOT IN as true — even for a NULL left-hand side — and IN as false.
+    """
+    rng = random.Random(2)
+    database, connection = _build_databases(rng)
+    try:
+        empty_subquery = Subquery(
+            select=AggregateExpr(_ref("orders", "qty")),
+            from_table="orders",
+            where=(Condition(left=_ref("orders", "qty"), operator=">", value=10**6),),
+        )
+        for operator in ("in", "not in"):
+            query = DVQuery(
+                chart_type=ChartType.BAR,
+                select=(AggregateExpr(_ref("orders", "id")), AggregateExpr(_ref("orders", "price"))),
+                from_table="orders",
+                where=(Condition(left=_ref("orders", "price"), operator=operator, value=empty_subquery),),
+            )
+            ours = QueryExecutor(database).execute(query)
+            theirs = connection.execute(_to_sql(query)).fetchall()
+            our_rows = Counter(tuple(_normalize(v) for v in row) for row in ours.rows)
+            their_rows = Counter(tuple(_normalize(v) for v in row) for row in theirs)
+            assert our_rows == their_rows, operator
+            # NOT IN against nothing keeps every row, NULL prices included
+            assert bool(ours.rows) == (operator == "not in")
+    finally:
+        connection.close()
+
+
+def test_in_with_null_member_matches_only_real_members():
+    """``x IN (...)`` still matches when the member set also contains NULL."""
+    rng = random.Random(1)
+    database, connection = _build_databases(rng)
+    try:
+        # orders.id IN (select orders.id ...) is a tautology over non-null ids;
+        # widen the member set with NULLs via a LEFT-JOIN-free trick: compare
+        # against the nullable price column instead.
+        subquery = Subquery(select=AggregateExpr(_ref("orders", "price")), from_table="orders")
+        query = DVQuery(
+            chart_type=ChartType.BAR,
+            select=(AggregateExpr(_ref("orders", "qty")), AggregateExpr(_ref("orders", "price"))),
+            from_table="orders",
+            where=(Condition(left=_ref("orders", "price"), operator="in", value=subquery),),
+        )
+        ours = QueryExecutor(database).execute(query)
+        theirs = connection.execute(_to_sql(query)).fetchall()
+        our_rows = Counter(tuple(_normalize(v) for v in row) for row in ours.rows)
+        their_rows = Counter(tuple(_normalize(v) for v in row) for row in theirs)
+        assert our_rows == their_rows
+        # NULL prices never match themselves: every surviving row has a price.
+        assert all(row[1] is not None for row in ours.rows)
+    finally:
+        connection.close()

@@ -17,6 +17,8 @@ from repro.core.model import DataVisT5
 from repro.datasets import generate_nvbench
 from repro.errors import ModelConfigError
 from repro.serving import (
+    ERROR_BACKEND,
+    ERROR_INVALID_REQUEST,
     LRUCache,
     MicroBatcher,
     Pipeline,
@@ -482,6 +484,69 @@ class TestPipeline:
         response = Pipeline(text_to_vis=Silent()).text_to_vis("show me something", schema)
         assert response.query is None
         assert response.valid is False
+
+    def test_serve_preserves_order_with_cache_hits_and_rejections(self, small_pool, nvbench):
+        """Regression: a burst mixing hits, misses and rejected requests keeps input order.
+
+        Every slot must hold the response for its own request — cache hits
+        must not shift positions and a mid-burst rejection must consume its
+        own slot only — and ``stats()`` must account each category once.
+        """
+        pipeline = _baseline_pipeline(small_pool, nvbench)
+        first, second = nvbench.examples[:2]
+        schema_a = small_pool.get(first.db_id).schema
+        schema_b = small_pool.get(second.db_id).schema
+        good_a = Request(task="text_to_vis", question=first.question, schema=schema_a)
+        # encoded schema text on a rule-based backend is unpreparable
+        bad = Request(task="text_to_vis", question="show me a chart", schema="| db | t : t.c")
+        burst = [
+            good_a,
+            bad,
+            good_a,  # duplicate of slot 0: a cache-style fan-out
+            Request(task="vis_to_text", chart=second.query, schema=schema_b),
+        ]
+        responses = pipeline.serve(burst, strict=False)
+        assert [r.error for r in responses] == [None, ERROR_INVALID_REQUEST, None, None]
+        assert [r.cached for r in responses] == [False, False, True, False]
+        assert responses[0].output == responses[2].output
+        assert responses[3].task == "vis_to_text"
+        assert responses[1].output == "" and responses[1].detail
+        stats = pipeline.stats()
+        # the duplicate and the rejected request never reach a backend
+        assert stats["batching"]["text_to_vis"]["num_items"] == 1
+        assert stats["batching"]["vis_to_text"]["num_items"] == 1
+        # replaying the burst serves every good slot from cache, same order
+        replay = pipeline.serve(burst, strict=False)
+        assert [r.error for r in replay] == [None, ERROR_INVALID_REQUEST, None, None]
+        assert [r.cached for r in replay] == [True, False, True, True]
+        assert [r.output for r in replay] == [r.output for r in responses]
+        assert pipeline.stats()["batching"]["text_to_vis"]["num_items"] == 1
+
+    def test_serve_strict_raises_on_unpreparable_request(self, small_pool, nvbench):
+        pipeline = _baseline_pipeline(small_pool, nvbench)
+        bad = Request(task="text_to_vis", question="show me a chart", schema="| db | t : t.c")
+        with pytest.raises(ModelConfigError):
+            pipeline.serve([bad])
+
+    def test_serve_strict_false_contains_backend_failures_per_task(self, small_pool, nvbench):
+        class Exploding(GENERATION_BASELINES["heuristics"]):
+            def predict_many(self, sources):
+                raise ModelConfigError("caption backend down")
+
+        pipeline = Pipeline.from_config({"fevisqa": {"type": "heuristics"}})
+        pipeline._engines["vis_to_text"] = type(pipeline._engines["fevisqa"])(
+            Exploding(), "vis_to_text"
+        )
+        chart = nvbench.examples[0].query
+        burst = [
+            Request(task="vis_to_text", chart=chart),
+            Request(task="fevisqa", question="How many parts ?", chart=chart),
+            Request(task="vis_to_text", chart=nvbench.examples[1].query),
+        ]
+        responses = pipeline.serve(burst, strict=False)
+        assert [r.error for r in responses] == [ERROR_BACKEND, None, ERROR_BACKEND]
+        assert responses[1].ok and responses[1].output
+        assert "caption backend down" in responses[0].detail
 
     def test_schema_identity_covers_structure(self):
         from repro.database.schema import Column, ColumnType, DatabaseSchema, TableSchema

@@ -1,0 +1,231 @@
+"""Property-based fuzzing of the VQL toolchain.
+
+Three properties, each over hypothesis-generated :class:`DVQuery` ASTs:
+
+1. **Round-trip** — ``parse_dv_query(query.to_text()) == query`` for every
+   AST the canonical serializer can emit (all seven chart types, aggregates
+   with DISTINCT and ``count(*)``, multi-way joins, WHERE conjunctions with
+   IN / NOT IN subqueries, GROUP BY, ORDER BY, BIN BY).
+2. **Standardize idempotence** — ``standardize(standardize(q)) ==
+   standardize(q)``, with and without a schema.
+3. **Total error behaviour** — mutated/truncated/garbled query text never
+   escapes the :class:`~repro.errors.ReproError` hierarchy: the parser
+   either succeeds or raises a VQL error, never ``IndexError`` /
+   ``KeyError`` / ``ValueError``.
+
+The identifier alphabet avoids grammar keywords (the parser is
+keyword-driven) and the literal strategies stay inside what the lexer can
+re-tokenize (non-negative numbers, quote-free strings) — those are grammar
+limits, not test shortcuts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.vql.ast import (
+    AGGREGATE_FUNCTIONS,
+    TIME_BIN_UNITS,
+    AggregateExpr,
+    BinClause,
+    ChartType,
+    ColumnRef,
+    Condition,
+    DVQuery,
+    JoinClause,
+    OrderByClause,
+    SortDirection,
+    Subquery,
+)
+from repro.vql.parser import parse_dv_query
+from repro.vql.standardize import standardize_dv_query
+
+# Words the parser treats as structure; identifiers must avoid them.
+_KEYWORDS = frozenset(
+    [
+        "visualize", "select", "from", "join", "on", "where", "and", "group",
+        "by", "order", "asc", "desc", "bin", "in", "not", "like", "distinct", "as",
+        *AGGREGATE_FUNCTIONS,
+        *TIME_BIN_UNITS,
+        "bar", "pie", "line", "scatter", "stacked", "grouping",
+    ]
+)
+
+_identifiers = (
+    st.from_regex(r"[a-z_][a-z0-9_]{0,7}", fullmatch=True)
+    .filter(lambda word: word not in _KEYWORDS)
+)
+
+_columns = st.builds(
+    ColumnRef,
+    column=_identifiers,
+    table=st.one_of(st.none(), _identifiers),
+)
+
+# String literals: anything the lexer's quoted-string token can carry back.
+_string_literals = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 %_.,!?-", max_size=12
+)
+# Numbers: the grammar has no sign and no exponent; eighths stay exact in
+# both float repr and arithmetic.
+_number_literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=8 * 10**4).map(lambda n: n / 8),
+)
+
+
+def _select_items(allow_wildcard: bool = True):
+    plain = st.builds(AggregateExpr, column=_columns, function=st.none())
+    aggregate_column = st.one_of(_columns, st.just(ColumnRef("*"))) if allow_wildcard else _columns
+    aggregated = st.builds(
+        AggregateExpr,
+        column=aggregate_column,
+        function=st.sampled_from(AGGREGATE_FUNCTIONS),
+        distinct=st.booleans(),
+    ).map(
+        # '*' is only grammatical inside count(); retarget other aggregates.
+        lambda item: item
+        if not item.column.is_wildcard or item.function == "count"
+        else AggregateExpr(column=ColumnRef("c0"), function=item.function, distinct=item.distinct)
+    )
+    return st.one_of(plain, aggregated)
+
+
+_joins = st.builds(JoinClause, table=_identifiers, left=_columns, right=_columns)
+
+_subqueries = st.builds(
+    Subquery,
+    select=_select_items(),
+    from_table=_identifiers,
+    joins=st.tuples() | st.tuples(_joins),
+    where=st.tuples()
+    | st.tuples(
+        st.builds(
+            Condition,
+            left=_columns,
+            operator=st.sampled_from(["=", "!=", ">", "<", ">=", "<="]),
+            value=st.one_of(_string_literals, _number_literals),
+        )
+    ),
+)
+
+
+def _conditions():
+    comparison = st.builds(
+        Condition,
+        left=_columns,
+        operator=st.sampled_from(["=", "!=", ">", "<", ">=", "<="]),
+        value=st.one_of(_string_literals, _number_literals),
+    )
+    like = st.builds(Condition, left=_columns, operator=st.just("like"), value=_string_literals)
+    membership = st.builds(
+        Condition,
+        left=_columns,
+        operator=st.sampled_from(["in", "not in"]),
+        value=_subqueries,
+    )
+    return st.one_of(comparison, like, membership)
+
+
+_queries = st.builds(
+    DVQuery,
+    chart_type=st.sampled_from(list(ChartType)),
+    select=st.lists(_select_items(), min_size=1, max_size=3).map(tuple),
+    from_table=_identifiers,
+    joins=st.lists(_joins, max_size=2).map(tuple),
+    where=st.lists(_conditions(), max_size=3).map(tuple),
+    group_by=st.lists(_columns, max_size=2).map(tuple),
+    order_by=st.one_of(
+        st.none(),
+        st.builds(
+            OrderByClause,
+            expression=_select_items(),
+            direction=st.sampled_from(list(SortDirection)),
+        ),
+    ),
+    bin=st.one_of(
+        st.none(),
+        st.builds(BinClause, column=_columns, unit=st.sampled_from(TIME_BIN_UNITS)),
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(query=_queries)
+    def test_parse_inverts_to_text(self, query):
+        assert parse_dv_query(query.to_text()) == query
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=_queries)
+    def test_standardize_is_idempotent(self, query):
+        once = standardize_dv_query(query)
+        assert standardize_dv_query(once) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=_queries)
+    def test_standardized_text_reparses_to_standardized_ast(self, query):
+        once = standardize_dv_query(query)
+        assert parse_dv_query(once.to_text()) == once
+
+
+_NOISE_TOKENS = [
+    "select", "from", "visualize", "stacked", "grouping", "where", "group", "by",
+    "order", "bin", "join", "on", "and", "not", "in", "like", "count", "(", ")",
+    ",", "=", "!=", "<=", ">=", "<", ">", "'txt'", "3.5", "42", "tbl.col", "*",
+]
+
+
+@st.composite
+def _mutated_query_text(draw) -> str:
+    """Valid query text with token-level damage applied."""
+    text = draw(_queries).to_text()
+    tokens = text.split()
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        action = draw(st.sampled_from(["delete", "insert", "duplicate", "swap", "truncate"]))
+        if not tokens:
+            break
+        index = draw(st.integers(min_value=0, max_value=len(tokens) - 1))
+        if action == "delete":
+            tokens.pop(index)
+        elif action == "insert":
+            tokens.insert(index, draw(st.sampled_from(_NOISE_TOKENS)))
+        elif action == "duplicate":
+            tokens.insert(index, tokens[index])
+        elif action == "swap" and len(tokens) >= 2:
+            other = draw(st.integers(min_value=0, max_value=len(tokens) - 1))
+            tokens[index], tokens[other] = tokens[other], tokens[index]
+        elif action == "truncate":
+            tokens = tokens[:index]
+    return " ".join(tokens)
+
+
+class TestParserTotality:
+    @settings(max_examples=300, deadline=None)
+    @given(text=_mutated_query_text())
+    def test_mutated_queries_raise_only_vql_errors(self, text):
+        try:
+            parse_dv_query(text)
+        except ReproError:
+            # VQLSyntaxError (or another library error) is the contract;
+            # IndexError / KeyError / ValueError would fail the test.
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(max_size=40))
+    def test_arbitrary_text_raises_only_vql_errors(self, text):
+        try:
+            parse_dv_query(text)
+        except ReproError:
+            pass
+
+    def test_multiword_chart_type_garbage_is_a_syntax_error(self):
+        """Regression: 'visualize stacked <garbage>' leaked a ValueError."""
+        import pytest
+
+        from repro.errors import VQLSyntaxError
+
+        for text in ("visualize stacked pie select a from t", "visualize grouping 5 select a from t"):
+            with pytest.raises(VQLSyntaxError):
+                parse_dv_query(text)
