@@ -4,15 +4,17 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test bench bench-decode bench-serving smoke ci install help
+.PHONY: test bench bench-decode bench-serving smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
-	@echo "make bench-decode  - decode throughput benchmark -> BENCH_decode.json (fails if the KV-cached decoder is slower than naive)"
-	@echo "make bench-serving - serving-under-load benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
+	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json (fails if cached decode is slower than naive, fp32 slower than fp64, or fp32 agreement < 99%)"
+	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
 	@echo "make smoke         - run every example end-to-end"
-	@echo "make ci            - what the CI workflow runs: tier-1 tests + smoke"
+	@echo "make docs          - regenerate the API reference (docs/api/) from docstrings"
+	@echo "make check-docs    - docstring-coverage gate: fail if any public repro.* surface lacks a docstring"
+	@echo "make ci            - what the CI workflow runs: tier-1 tests + smoke + docs build + docstring gate"
 	@echo "make install       - editable install (pip install -e .)"
 
 test:
@@ -28,14 +30,25 @@ bench-serving:
 	PYTHONPATH=src $(PYTHON) benchmarks/serving_benchmark.py --output BENCH_serving.json
 
 # Keep this the single source of truth for what CI executes, so local runs
-# and .github/workflows/ci.yml can never drift apart.
-ci: test smoke
+# and .github/workflows/ci.yml can never drift apart.  `docs` doubles as the
+# docs build check (a module that fails to import or document fails CI), and
+# the diff check after it fails CI when the regenerated API reference does
+# not match the committed docs/api pages — generation is deterministic, so a
+# mismatch means someone changed docstrings without running `make docs`.
+ci: test smoke docs check-docs
+	git diff --exit-code -- docs/api
 
 smoke:
 	@set -e; for example in $(EXAMPLES); do \
 		echo "== examples/$$example.py =="; \
 		PYTHONPATH=src $(PYTHON) examples/$$example.py; \
 	done
+
+docs:
+	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py --output docs/api
+
+check-docs:
+	$(PYTHON) tools/check_docstrings.py --root src/repro
 
 # pip's editable path needs the `wheel` package; fully-offline images without
 # it fall back to the legacy setuptools develop command.

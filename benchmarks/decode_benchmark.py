@@ -1,11 +1,21 @@
-"""Decode throughput benchmark: KV-cached incremental decoding vs the naive loop.
+"""Decode throughput benchmark: KV-cached decoding, precision modes, int8.
 
-Measures greedy and beam-search generation tokens/sec on a smoke-scale
-transformer, with and without the per-layer K/V caches, and writes the
-results to ``BENCH_decode.json`` so the perf trajectory of the decode hot
-path is tracked across PRs.  The script fails (non-zero exit) if the cached
-decoder is slower than the naive reference or if the two paths disagree on
-token ids — the benchmark doubles as an end-to-end equivalence check.
+Two sections, both written to ``BENCH_decode.json`` so the perf trajectory of
+the decode hot path is tracked across PRs:
+
+* **cached vs naive** — greedy and beam-search tokens/sec on a smoke-scale
+  transformer with and without the per-layer K/V caches; fails (non-zero
+  exit) if the cached decoder is slower than the naive reference or the two
+  paths disagree on token ids.
+* **precision sweep** — cached greedy/beam decode at ``float64`` (the
+  reference), ``float32`` (autocast) and ``int8`` (quantized weights +
+  float32 compute) on a larger, matmul-dominated model, recording per-mode
+  throughput, speedup over float64 and token-agreement rate, plus the
+  on-disk checkpoint size of the float64 vs int8 weight formats.  Fails if
+  float32 cached greedy is slower than float64 or its token agreement drops
+  below ``--agreement-threshold`` (0.99); int8 agreement is recorded but not
+  gated — weight rounding is a real accuracy trade-off, documented in
+  ``docs/numerics.md``.
 
 Run it via ``make bench-decode`` or directly::
 
@@ -17,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -71,6 +82,110 @@ def run_mode(model: T5Model, input_ids: np.ndarray, max_new_tokens: int, num_bea
     }
 
 
+def checkpoint_bytes(state: dict[str, np.ndarray]) -> int:
+    """On-disk size of ``state`` saved the way ``DataVisT5.save`` saves weights."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "weights.npz"
+        np.savez(path, **state)
+        return path.stat().st_size
+
+
+def token_agreement(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Fraction of token positions where two same-shape decodes agree."""
+    if reference.shape != candidate.shape:
+        return 0.0
+    return float((reference == candidate).mean())
+
+
+def run_precision_sweep(args: argparse.Namespace) -> dict:
+    """Cached decode at float64 / float32 / int8 on a matmul-dominated model.
+
+    The sweep model is deliberately larger than the cached-vs-naive one: the
+    point is to measure the BLAS-level win of single precision, which a tiny
+    config would bury under per-step python overhead.
+    """
+    config = TransformerConfig(
+        vocab_size=args.precision_vocab_size,
+        d_model=args.precision_d_model,
+        num_heads=args.precision_num_heads,
+        d_ff=2 * args.precision_d_model,
+        num_encoder_layers=args.num_layers,
+        num_decoder_layers=args.num_layers,
+        eos_id=-1,  # decode the full budget; see build_model
+        seed=args.seed,
+    )
+    model = T5Model(config).eval()
+    rng = np.random.default_rng(args.seed)
+    greedy_inputs = rng.integers(4, config.vocab_size, size=(args.precision_batch_size, args.input_length))
+    beam_inputs = rng.integers(4, config.vocab_size, size=(args.beam_batch_size, args.input_length))
+    # Same architecture and seed -> identical weights; quantized separately so
+    # the float64 reference model stays untouched.
+    int8_model = T5Model(config).eval()
+    int8_model.quantize_int8()
+
+    float64_bytes = checkpoint_bytes(model.state_dict())
+    int8_bytes = checkpoint_bytes(int8_model.int8_state_dict())
+
+    def timed(target: T5Model, inputs: np.ndarray, dtype: str, **kwargs) -> tuple[float, np.ndarray]:
+        start = time.perf_counter()
+        output = target.generate(inputs, dtype=dtype, **kwargs)
+        return time.perf_counter() - start, output
+
+    modes = {"float64": (model, "float64"), "float32": (model, "float32"), "int8": (int8_model, "float32")}
+    greedy: dict[str, dict] = {}
+    beam: dict[str, dict] = {}
+    greedy_reference = beam_reference = None
+    for mode, (target, dtype) in modes.items():
+        # Per-mode warm-up: the first reduced-precision pass pays one-time
+        # cast-memo population (and BLAS pool start-up on the first model),
+        # which must not bias the gated timings.
+        target.generate(greedy_inputs[:1], max_length=2, dtype=dtype)
+        seconds, output = timed(target, greedy_inputs, dtype, max_length=args.max_new_tokens)
+        tokens = int(greedy_inputs.shape[0]) * args.max_new_tokens
+        greedy_reference = output if mode == "float64" else greedy_reference
+        greedy[mode] = {
+            "seconds": round(seconds, 6),
+            "tokens_per_sec": round(tokens / seconds, 2),
+            "speedup_vs_float64": 1.0 if mode == "float64" else round(greedy["float64"]["seconds"] / seconds, 3),
+            "token_agreement_vs_float64": token_agreement(greedy_reference, output),
+        }
+        seconds, output = timed(
+            target, beam_inputs, dtype, max_length=args.beam_new_tokens, num_beams=args.num_beams
+        )
+        tokens = int(beam_inputs.shape[0]) * args.beam_new_tokens
+        beam_reference = output if mode == "float64" else beam_reference
+        beam[mode] = {
+            "seconds": round(seconds, 6),
+            "tokens_per_sec": round(tokens / seconds, 2),
+            "speedup_vs_float64": 1.0 if mode == "float64" else round(beam["float64"]["seconds"] / seconds, 3),
+            "token_agreement_vs_float64": token_agreement(beam_reference, output),
+        }
+
+    return {
+        "model": {
+            "d_model": config.d_model,
+            "num_heads": config.num_heads,
+            "num_encoder_layers": config.num_encoder_layers,
+            "num_decoder_layers": config.num_decoder_layers,
+            "vocab_size": config.vocab_size,
+            "parameters": model.num_parameters(),
+        },
+        "batch_size": args.precision_batch_size,
+        "new_tokens_per_sequence": args.max_new_tokens,
+        "beam_batch_size": args.beam_batch_size,
+        "beam_new_tokens_per_sequence": args.beam_new_tokens,
+        "num_beams": args.num_beams,
+        "agreement_threshold": args.agreement_threshold,
+        "greedy": greedy,
+        "beam": beam,
+        "checkpoint": {
+            "float64_bytes": float64_bytes,
+            "int8_bytes": int8_bytes,
+            "compression_ratio": round(float64_bytes / int8_bytes, 3),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=Path("BENCH_decode.json"))
@@ -84,6 +199,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--d-model", type=int, default=64)
     parser.add_argument("--num-heads", type=int, default=4)
     parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--precision-d-model", type=int, default=256, help="precision-sweep model width")
+    parser.add_argument("--precision-num-heads", type=int, default=8)
+    parser.add_argument("--precision-vocab-size", type=int, default=512)
+    parser.add_argument("--precision-batch-size", type=int, default=32)
+    parser.add_argument("--agreement-threshold", type=float, default=0.99, help="minimum fp32 greedy token agreement")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -108,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "greedy": run_mode(model, greedy_inputs, args.max_new_tokens, num_beams=1),
         "beam": run_mode(model, beam_inputs, args.beam_new_tokens, num_beams=args.num_beams),
+        "precision_sweep": run_precision_sweep(args),
     }
 
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -124,6 +245,32 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{mode}: cached and naive decode disagree on token ids")
         if entry["speedup"] < 1.0:
             failures.append(f"{mode}: cached decode is slower than naive ({entry['speedup']:.2f}x)")
+
+    sweep = results["precision_sweep"]
+    for mode in ("float64", "float32", "int8"):
+        entry = sweep["greedy"][mode]
+        print(
+            f"{mode:>7}: greedy {entry['tokens_per_sec']:>9.1f} tok/s "
+            f"({entry['speedup_vs_float64']:.2f}x vs fp64, agreement {entry['token_agreement_vs_float64']:.4f}) | "
+            f"beam {sweep['beam'][mode]['tokens_per_sec']:>9.1f} tok/s "
+            f"({sweep['beam'][mode]['speedup_vs_float64']:.2f}x)"
+        )
+    checkpoint = sweep["checkpoint"]
+    print(
+        f"checkpoint: fp64 {checkpoint['float64_bytes']} B | int8 {checkpoint['int8_bytes']} B | "
+        f"{checkpoint['compression_ratio']:.2f}x smaller"
+    )
+    fp32_greedy = sweep["greedy"]["float32"]
+    if fp32_greedy["speedup_vs_float64"] < 1.0:
+        failures.append(
+            f"precision: float32 cached greedy is slower than float64 "
+            f"({fp32_greedy['speedup_vs_float64']:.2f}x)"
+        )
+    if fp32_greedy["token_agreement_vs_float64"] < args.agreement_threshold:
+        failures.append(
+            f"precision: float32 greedy token agreement {fp32_greedy['token_agreement_vs_float64']:.4f} "
+            f"below threshold {args.agreement_threshold}"
+        )
     print(f"wrote {args.output}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -19,6 +19,14 @@ their outputs are bitwise-identical, writes ``BENCH_serving.json``
 each path and the server's batch/queue telemetry), and exits non-zero if
 async throughput falls below the synchronous baseline or any output differs.
 
+A third section sweeps the server's ``ServerConfig.precision`` knob: the
+same request burst is pushed through the async server with float64, float32
+and int8 (quantized-weights) engines, recording per-mode throughput, the
+speedup over float64 and the output-agreement rate.  The sweep is recorded,
+not gated — at smoke scale the tiny model's forward passes are too small for
+single precision to pay off reliably; ``make bench-decode`` owns the
+precision performance gate on a matmul-dominated model.
+
 Run it via ``make bench-serving`` or directly::
 
     PYTHONPATH=src python benchmarks/serving_benchmark.py --output BENCH_serving.json
@@ -37,19 +45,28 @@ from pathlib import Path
 from repro.core.config import DataVisT5Config
 from repro.core.model import DataVisT5
 from repro.datasets import build_database_pool, generate_nvbench
-from repro.serving import Pipeline, PipelineConfig, Request, Server, ServerConfig
+from repro.serving import Pipeline, PipelineConfig, Request, Server, ServerConfig, serve_requests
 
 
-def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], dict, DataVisT5]:
-    """(arrival_time, request) pairs — bursty mixed-task traffic — plus the model."""
+def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], dict, DataVisT5, DataVisT5]:
+    """(arrival_time, request) pairs — bursty mixed-task traffic — plus the models.
+
+    Returns the float64 serving model and a weight-identical int8-quantized
+    sibling (same seeded build, separate config instance) for the precision
+    sweep.
+    """
     pool = build_database_pool(num_databases=4, seed=args.seed)
     nvbench = generate_nvbench(pool, examples_per_database=8, seed=args.seed)
-    config = DataVisT5Config.from_preset(
-        "tiny", max_input_length=64, max_target_length=32, max_decode_length=args.decode_length
-    )
+
+    def make_config() -> DataVisT5Config:
+        return DataVisT5Config.from_preset(
+            "tiny", max_input_length=64, max_target_length=32, max_decode_length=args.decode_length
+        )
+
     texts = [example.question for example in nvbench.examples[:24]]
     texts += [example.query_text for example in nvbench.examples[:24]]
-    model = DataVisT5.from_corpus(texts, config=config, max_vocab_size=800)
+    model = DataVisT5.from_corpus(texts, config=make_config(), max_vocab_size=800)
+    model_int8 = DataVisT5.from_corpus(texts, config=make_config(), max_vocab_size=800).quantize_int8()
 
     unique: list[Request] = []
     for example in nvbench.examples:
@@ -85,7 +102,7 @@ def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], 
         "duplicate_rate": args.duplicate_rate,
         "tasks": tasks,
     }
-    return trace, workload, model
+    return trace, workload, model, model_int8
 
 
 def run_sync(model: DataVisT5, trace: list[tuple[float, Request]], max_batch: int) -> tuple[float, list[str], list[float]]:
@@ -144,7 +161,46 @@ def run_async(
     return asyncio.run(_drive())
 
 
+def run_precision_sweep(
+    model: DataVisT5, model_int8: DataVisT5, requests: list[Request], args: argparse.Namespace
+) -> dict:
+    """Serve the same burst through the async server at every precision mode.
+
+    Each mode gets a fresh pipeline (cold caches) over weight-identical
+    models — the int8 model is the same seeded build, quantized — so the
+    only difference between runs is the engines' compute/storage precision.
+    Agreement is the fraction of responses whose output text matches the
+    float64 run exactly.
+    """
+    modes = {"float64": model, "float32": model, "int8": model_int8}
+    sweep: dict[str, dict] = {}
+    reference: list[str] | None = None
+    for mode, backend in modes.items():
+        pipeline = Pipeline.from_model(backend, config=PipelineConfig(max_batch_size=args.max_batch))
+        config = ServerConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_size=max(len(requests), 1),
+            num_workers=args.num_workers,
+            precision=mode,
+        )
+        start = time.perf_counter()
+        responses, _ = serve_requests(pipeline, requests, config=config)
+        seconds = time.perf_counter() - start
+        outputs = [response.output for response in responses]
+        reference = outputs if mode == "float64" else reference
+        agreement = sum(a == b for a, b in zip(outputs, reference)) / max(len(outputs), 1)
+        sweep[mode] = {
+            "makespan_seconds": round(seconds, 6),
+            "requests_per_sec": round(len(requests) / seconds, 2),
+            "speedup_vs_float64": 1.0 if mode == "float64" else round(sweep["float64"]["makespan_seconds"] / seconds, 3),
+            "output_agreement_vs_float64": round(agreement, 4),
+        }
+    return sweep
+
+
 def latency_summary(latencies: list[float]) -> dict:
+    """p50/p99/mean/max of a latency sample, in milliseconds."""
     ordered = sorted(value * 1000.0 for value in latencies)
 
     def percentile(fraction: float) -> float:
@@ -173,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    trace, workload, model = build_trace(args)
+    trace, workload, model, model_int8 = build_trace(args)
 
     # Warm the model once (BLAS thread pools, allocator) outside both
     # measured paths so neither pays first-call overheads.
@@ -181,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
 
     sync_seconds, sync_outputs, sync_latencies = run_sync(model, trace, args.max_batch)
     async_seconds, async_outputs, async_latencies, server_stats = run_async(model, trace, args)
+    precision_sweep = run_precision_sweep(model, model_int8, [request for _, request in trace], args)
 
     equivalent = sync_outputs == async_outputs
     results = {
@@ -206,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "throughput_ratio": round(sync_seconds / async_seconds, 3),
         "equivalent": equivalent,
+        "precision_sweep": precision_sweep,
     }
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
 
@@ -217,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
             f"p50 {entry['latency_ms']['p50']:>7.1f}ms | p99 {entry['latency_ms']['p99']:>7.1f}ms"
         )
     print(f"async/sync throughput ratio: {results['throughput_ratio']:.2f}x | equivalent={equivalent}")
+    for mode, entry in precision_sweep.items():
+        print(
+            f"{mode:>7}: {entry['requests_per_sec']:>7.1f} req/s "
+            f"({entry['speedup_vs_float64']:.2f}x vs fp64, "
+            f"agreement {entry['output_agreement_vs_float64']:.4f})"
+        )
     print(f"wrote {args.output}")
 
     failures = []

@@ -30,6 +30,7 @@ class ZeroShotHeuristicGeneration(TextGenerationBaseline):
 
     # -- prediction ----------------------------------------------------------------
     def predict(self, source: str) -> str:
+        """Generate the output text for one encoded source sequence."""
         segments = _split_segments(source)
         if QUESTION_TAG in segments:
             return self._answer_question(segments)

@@ -19,8 +19,9 @@ from repro.core.batching import pad_sequences
 from repro.database.schema import DatabaseSchema
 from repro.datasets.nvbench import NvBenchExample
 from repro.datasets.spider import SyntheticDatabasePool
+from repro.core.config import precision_compute_dtype
 from repro.encoding.sequences import text_to_vis_input
-from repro.nn.tensor import no_grad
+from repro.nn.tensor import autocast, no_grad
 from repro.tokenization.special_tokens import VQL_TAG
 from repro.vql.ast import AGGREGATE_FUNCTIONS, TIME_BIN_UNITS
 
@@ -38,12 +39,14 @@ class NcNetTextToVis(TransformerTextToVis):
     name = "ncnet"
 
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """Fit the underlying transformer on text-to-vis pairs (see the base class)."""
         super().fit(examples, pool)
 
     def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
         # Grammar-constrained decoding masks logits per schema, so requests
         # cannot share one forward pass; keep the per-item loop rather than
         # inheriting the transformer's batched override.
+        """Predict one item at a time; see the in-method note on why."""
         return [self.predict(question, schema) for question, schema in zip(questions, schemas)]
 
     def _allowed_token_ids(self, schema: DatabaseSchema) -> np.ndarray:
@@ -67,6 +70,7 @@ class NcNetTextToVis(TransformerTextToVis):
         return allowed
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Constrained greedy decode: logits are masked to schema-legal tokens."""
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
         tokenizer = self.model.tokenizer
@@ -76,7 +80,8 @@ class NcNetTextToVis(TransformerTextToVis):
         allowed = self._allowed_token_ids(schema)
         transformer = self.model.model
         config = transformer.config
-        with no_grad():
+        dtype = precision_compute_dtype(self.model.resolve_precision(self.precision))
+        with no_grad(), autocast(dtype):
             transformer.eval()
             attention_mask = input_ids != config.pad_id
             encoder_hidden = transformer.encoder(input_ids, attention_mask)

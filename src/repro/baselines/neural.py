@@ -93,7 +93,13 @@ def lora_style_parameters(model: DataVisT5) -> list[Parameter]:
 
 
 class TransformerTextToVis(TextToVisBaseline):
-    """A transformer trained from scratch (or from a warm start) on text-to-vis only."""
+    """A transformer trained from scratch (or from a warm start) on text-to-vis only.
+
+    ``precision`` selects the inference mode the fitted model serves with
+    (``"float64"`` / ``"float32"`` / ``"int8"``); ``int8`` quantizes the
+    trained weights once fitting finishes, since training itself always runs
+    float64.
+    """
 
     name = "transformer"
 
@@ -105,6 +111,7 @@ class TransformerTextToVis(TextToVisBaseline):
         lora_style: bool = False,
         model: DataVisT5 | None = None,
         use_cache: bool = True,
+        precision: str | None = None,
     ):
         self.config = config or DataVisT5Config.from_preset("tiny")
         self.training = training or TrainingConfig(num_epochs=3)
@@ -112,8 +119,10 @@ class TransformerTextToVis(TextToVisBaseline):
         self.lora_style = lora_style
         self.model = model
         self.use_cache = use_cache
+        self.precision = precision
 
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """Build (or reuse) the model, optionally warm-start, then fine-tune."""
         pairs = [
             Seq2SeqExample(
                 source=text_to_vis_input(example.question, pool.get(example.db_id).schema),
@@ -131,6 +140,9 @@ class TransformerTextToVis(TextToVisBaseline):
             elif self.warm_start == "text":
                 warm_start_on_text(self.model, [example.question for example in examples], seed=self.training.seed)
         self._finetune(pairs)
+        if self.precision == "int8" and not self.model.quantized:
+            # Training always runs float64; quantization is a post-fit step.
+            self.model.quantize_int8()
 
     def _finetune(self, pairs: list[Seq2SeqExample]) -> None:
         config = self.training
@@ -152,6 +164,7 @@ class TransformerTextToVis(TextToVisBaseline):
                 optimizer.step()
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Generate the DV query text for one question against one schema."""
         return self.predict_many([question], [schema])[0]
 
     def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
@@ -159,7 +172,7 @@ class TransformerTextToVis(TextToVisBaseline):
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
         sources = [text_to_vis_input(question, schema) for question, schema in zip(questions, schemas)]
-        predictions = self.model.predict_batch(sources, use_cache=self.use_cache)
+        predictions = self.model.predict_batch(sources, use_cache=self.use_cache, precision=self.precision)
         return [prediction.replace(VQL_TAG.lower(), "").replace(VQL_TAG, "").strip() for prediction in predictions]
 
 
@@ -185,6 +198,7 @@ class Seq2VisBaseline(TextToVisBaseline):
         self.max_target_length = 64
 
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """Build the tokenizer and GRU model, then train on text-to-vis pairs."""
         from repro.tokenization.tokenizer import DataVisTokenizer
 
         sources = [text_to_vis_input(example.question, pool.get(example.db_id).schema) for example in examples]
@@ -227,6 +241,7 @@ class Seq2VisBaseline(TextToVisBaseline):
                 optimizer.step()
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Generate the DV query text for one question against one schema."""
         return self.predict_many([question], [schema])[0]
 
     def predict_many(self, questions: Sequence[str], schemas: Sequence[DatabaseSchema]) -> list[str]:
@@ -247,7 +262,11 @@ class Seq2VisBaseline(TextToVisBaseline):
 
 
 class NeuralTextGeneration(TextGenerationBaseline):
-    """A transformer (optionally warm-started, optionally LoRA-style) for text generation tasks."""
+    """A transformer (optionally warm-started, optionally LoRA-style) for text generation tasks.
+
+    ``precision`` mirrors :class:`TransformerTextToVis`: the inference mode
+    served after fitting, with ``"int8"`` quantizing the trained weights.
+    """
 
     name = "transformer-generation"
 
@@ -259,6 +278,7 @@ class NeuralTextGeneration(TextGenerationBaseline):
         lora_style: bool = False,
         model: DataVisT5 | None = None,
         use_cache: bool = True,
+        precision: str | None = None,
     ):
         self.config = config or DataVisT5Config.from_preset("tiny")
         self.training = training or TrainingConfig(num_epochs=3)
@@ -266,8 +286,10 @@ class NeuralTextGeneration(TextGenerationBaseline):
         self.lora_style = lora_style
         self.model = model
         self.use_cache = use_cache
+        self.precision = precision
 
     def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
+        """Build (or reuse) the model, optionally warm-start, then fine-tune."""
         examples = list(examples)
         if self.model is None:
             texts = [example.source for example in examples] + [example.target for example in examples]
@@ -293,15 +315,19 @@ class NeuralTextGeneration(TextGenerationBaseline):
                 output["loss"].backward()
                 clip_grad_norm(parameters, config.max_grad_norm)
                 optimizer.step()
+        if self.precision == "int8" and not self.model.quantized:
+            # Training always runs float64; quantization is a post-fit step.
+            self.model.quantize_int8()
 
     def predict(self, source: str) -> str:
+        """Generate the output text for one encoded source sequence."""
         return self.predict_many([source])[0]
 
     def predict_many(self, sources: Sequence[str]) -> list[str]:
         """One padded forward pass over the whole batch (padding is fully masked)."""
         if self.model is None:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
-        return self.model.predict_batch(list(sources), use_cache=self.use_cache)
+        return self.model.predict_batch(list(sources), use_cache=self.use_cache, precision=self.precision)
 
 
 class Seq2SeqTextGeneration(TextGenerationBaseline):
@@ -328,6 +354,7 @@ class Seq2SeqTextGeneration(TextGenerationBaseline):
         self.tokenizer = None
 
     def fit(self, examples: Sequence[Seq2SeqExample]) -> None:
+        """Build the tokenizer and GRU model, then train on the task pairs."""
         from repro.tokenization.tokenizer import DataVisTokenizer
 
         examples = list(examples)
@@ -369,6 +396,7 @@ class Seq2SeqTextGeneration(TextGenerationBaseline):
                 optimizer.step()
 
     def predict(self, source: str) -> str:
+        """Generate the output text for one encoded source sequence."""
         return self.predict_many([source])[0]
 
     def predict_many(self, sources: Sequence[str]) -> list[str]:

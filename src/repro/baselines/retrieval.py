@@ -45,6 +45,7 @@ class RetrievalTextToVis(TextToVisBaseline):
         self._index: list[_IndexedExample] = []
 
     def fit(self, examples: Sequence[NvBenchExample], pool: SyntheticDatabasePool) -> None:
+        """Index the training examples for nearest-neighbour retrieval."""
         self._index = [
             _IndexedExample(tokens=set(tokenize_words(example.question)), example=example) for example in examples
         ]
@@ -61,6 +62,7 @@ class RetrievalTextToVis(TextToVisBaseline):
         return [entry.example for entry in scored[:top_k]]
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Retrieve the closest training query (optionally schema-revised)."""
         if not self._index:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
         prototype = self.retrieve(question, top_k=1)[0].query
@@ -158,6 +160,7 @@ class FewShotRetrievalTextToVis(RetrievalTextToVis):
         super().__init__(top_k=top_k, revise=False)
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Answer from the retrieved neighbours (few-shot prompting stand-in)."""
         if not self._index:
             raise RuntimeError(f"{self.name} baseline must be fit before predicting")
         shots = self.retrieve(question, top_k=self.top_k)

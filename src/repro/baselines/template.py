@@ -57,6 +57,7 @@ class RuleBasedTextToVis(TextToVisBaseline):
         """The rule baseline has nothing to learn; fit is a no-op."""
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
+        """Parse the question into DV query text with rules and templates."""
         lowered = question.lower()
         chart_type = self._chart_type(lowered)
         aggregate = self._aggregate(lowered)

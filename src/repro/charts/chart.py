@@ -33,6 +33,7 @@ class ChartData:
 
     @property
     def is_empty(self) -> bool:
+        """Whether the chart has no data points."""
         return len(self.x_values) == 0
 
     def numeric_y(self) -> list[float]:
@@ -48,6 +49,7 @@ class ChartData:
         return numbers
 
     def to_dict(self) -> dict:
+        """A JSON-friendly view of the chart data."""
         payload = {
             "chart_type": self.chart_type.value,
             "x_label": self.x_label,

@@ -27,6 +27,7 @@ class ChartProperties:
     x_of_min: object | None
 
     def as_dict(self) -> dict:
+        """A JSON-friendly view of the chart properties."""
         return {
             "num_parts": self.num_parts,
             "min_value": self.min_value,

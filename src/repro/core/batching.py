@@ -38,6 +38,7 @@ class Batch:
 
     @property
     def size(self) -> int:
+        """Number of sequences in the batch."""
         return int(self.input_ids.shape[0])
 
 

@@ -7,6 +7,30 @@ from dataclasses import dataclass, field
 from repro.errors import ModelConfigError
 from repro.nn.transformer import TransformerConfig
 
+#: Inference precision modes a DataVisT5 (and the serving layer) can run in.
+#: ``float64`` is the training dtype and the reference; ``float32`` runs
+#: ``no_grad`` generation in single precision end-to-end; ``int8`` means
+#: int8-quantized Linear/embedding weights *and* float32 compute.  Training
+#: is float64 regardless — see ``docs/numerics.md``.
+PRECISION_MODES = ("float64", "float32", "int8")
+
+
+def validate_precision(precision: str) -> str:
+    """Return ``precision`` if it is a known mode, else raise :class:`ModelConfigError`."""
+    if precision not in PRECISION_MODES:
+        raise ModelConfigError(
+            f"unknown precision {precision!r}; choose from {', '.join(PRECISION_MODES)}"
+        )
+    return precision
+
+
+def precision_compute_dtype(precision: str) -> str:
+    """The tensor compute dtype a precision mode decodes with.
+
+    ``int8`` is a weight-storage format; its matmuls run in float32.
+    """
+    return "float64" if validate_precision(precision) == "float64" else "float32"
+
 
 @dataclass
 class DataVisT5Config:
@@ -16,6 +40,11 @@ class DataVisT5Config:
     ``size`` presets select proportionally scaled-down numpy transformers
     ("base" standing in for the 220M model and "large" for the 770M one) so
     the relative comparison between the two sizes is preserved.
+
+    ``precision`` is the *inference* mode the instance defaults to (one of
+    :data:`PRECISION_MODES`); ``int8`` quantizes the transformer's projection
+    and embedding weights at construction (or on checkpoint load), making the
+    instance inference-only.
     """
 
     size: str = "base"
@@ -28,7 +57,11 @@ class DataVisT5Config:
     max_input_length: int = 160
     max_target_length: int = 80
     max_decode_length: int = 80
+    precision: str = "float64"
     seed: int = 0
+
+    def __post_init__(self):
+        validate_precision(self.precision)
 
     _PRESETS = {
         "tiny": {"d_model": 32, "num_heads": 2, "d_ff": 64, "num_encoder_layers": 1, "num_decoder_layers": 1},
@@ -46,6 +79,7 @@ class DataVisT5Config:
         return cls(size=size, **params)
 
     def to_transformer_config(self, vocab_size: int, pad_id: int, eos_id: int, bos_id: int) -> TransformerConfig:
+        """Expand into the transformer's config for a concrete vocabulary."""
         return TransformerConfig(
             vocab_size=vocab_size,
             d_model=self.d_model,

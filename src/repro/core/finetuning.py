@@ -33,6 +33,7 @@ class FineTuningReport:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last recorded epoch (NaN before any epoch ran)."""
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 
@@ -79,6 +80,7 @@ class SingleTaskFineTuner(_BaseFineTuner):
         self.examples = list(examples)
 
     def train(self) -> FineTuningReport:
+        """Run the fine-tuning loop and return its per-epoch report."""
         epochs = [self.examples for _ in range(self.config.num_epochs)]
         return self._train_on_examples(epochs)
 
@@ -121,5 +123,6 @@ class MultiTaskFineTuner(_BaseFineTuner):
         return merged[: self.examples_per_epoch]
 
     def train(self) -> FineTuningReport:
+        """Run temperature-mixed multi-task fine-tuning and return its report."""
         epochs = [self._epoch_examples(epoch) for epoch in range(self.config.num_epochs)]
         return self._train_on_examples(epochs)

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import json
 from collections.abc import Sequence
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.batching import Batch, collate_text_pairs
-from repro.core.config import DataVisT5Config
+from repro.core.config import DataVisT5Config, precision_compute_dtype, validate_precision
 from repro.errors import ModelConfigError
 from repro.nn.optim import Adam, LinearWarmupSchedule, clip_grad_norm
 from repro.nn.transformer import T5Model
@@ -38,6 +39,10 @@ class DataVisT5:
             bos_id=tokenizer.vocab.bos_id,
         )
         self.model = T5Model(transformer_config)
+        if config.precision == "int8":
+            # An int8 config means "this instance is quantized"; loading a
+            # checkpoint afterwards simply overwrites codes and scales.
+            self.model.quantize_int8()
 
     # -- construction ---------------------------------------------------------------
     @classmethod
@@ -56,7 +61,43 @@ class DataVisT5:
         return cls(config, tokenizer)
 
     def num_parameters(self) -> int:
+        """Total scalar parameters of the underlying transformer."""
         return self.model.num_parameters()
+
+    # -- precision --------------------------------------------------------------------
+    @property
+    def quantized(self) -> bool:
+        """Whether the transformer's weights are stored as int8 codes + scales."""
+        return self.model.quantized
+
+    def quantize_int8(self) -> "DataVisT5":
+        """Quantize every projection/embedding weight to int8 in place.
+
+        Flips the instance's default precision to ``"int8"`` (so ``predict``
+        decodes in float32 over the quantized weights) and freezes the
+        quantized parameters — further :meth:`train_step` calls raise.
+        The config object is replaced, not mutated, so other models sharing
+        the caller's config instance are unaffected.  Returns ``self`` for
+        chaining.
+        """
+        if not self.quantized:
+            self.model.quantize_int8()
+        self.config = replace(self.config, precision="int8")
+        return self
+
+    def resolve_precision(self, precision: str | None = None) -> str:
+        """Resolve a per-call precision override against the config default.
+
+        Raises :class:`ModelConfigError` for unknown modes, or for ``int8``
+        when the weights have not been quantized.
+        """
+        resolved = validate_precision(precision or self.config.precision)
+        if resolved == "int8" and not self.quantized:
+            raise ModelConfigError(
+                "precision='int8' requires quantized weights; call quantize_int8() "
+                "or load an int8 checkpoint first"
+            )
+        return resolved
 
     # -- optimization -----------------------------------------------------------------
     def make_optimizer(
@@ -77,6 +118,11 @@ class DataVisT5:
         max_grad_norm: float = 1.0,
     ) -> float:
         """One optimization step on a padded batch; returns the loss value."""
+        if self.quantized:
+            raise ModelConfigError(
+                "cannot train an int8-quantized model; quantize after training "
+                "(training always runs in float64, see docs/numerics.md)"
+            )
         self.model.train()
         optimizer.zero_grad()
         output = self.model(batch.input_ids, labels=batch.labels)
@@ -94,6 +140,7 @@ class DataVisT5:
         return float(output["loss"].item())
 
     def collate(self, sources: Sequence[str], targets: Sequence[str]) -> Batch:
+        """Tokenize and pad (source, target) text pairs into a training batch."""
         return collate_text_pairs(
             sources,
             targets,
@@ -109,9 +156,12 @@ class DataVisT5:
         num_beams: int = 1,
         max_length: int | None = None,
         use_cache: bool = True,
+        precision: str | None = None,
     ) -> str:
         """Generate the output text for one source text."""
-        return self.predict_batch([source], num_beams=num_beams, max_length=max_length, use_cache=use_cache)[0]
+        return self.predict_batch(
+            [source], num_beams=num_beams, max_length=max_length, use_cache=use_cache, precision=precision
+        )[0]
 
     def predict_batch(
         self,
@@ -119,15 +169,19 @@ class DataVisT5:
         num_beams: int = 1,
         max_length: int | None = None,
         use_cache: bool = True,
+        precision: str | None = None,
     ) -> list[str]:
         """Generate output texts for a batch of source texts.
 
         ``use_cache`` selects between KV-cached incremental decoding (the
         default fast path) and the naive reference loop; both produce
-        identical texts.
+        identical texts.  ``precision`` overrides the config's inference
+        precision for this call (``"float64"`` / ``"float32"`` / ``"int8"``;
+        ``int8`` requires already-quantized weights).
         """
         if not sources:
             return []
+        resolved = self.resolve_precision(precision)
         self.model.eval()
         encoded = self.tokenizer.batch_encode(list(sources), max_length=self.config.max_input_length)
         from repro.core.batching import pad_sequences
@@ -138,12 +192,21 @@ class DataVisT5:
             max_length=max_length or self.config.max_decode_length,
             num_beams=num_beams,
             use_cache=use_cache,
+            dtype=precision_compute_dtype(resolved),
         )
         return [self.tokenizer.decode(row) for row in generated]
 
     # -- persistence --------------------------------------------------------------------
     def save(self, directory: str | Path) -> None:
-        """Save config, vocabulary and weights under ``directory``."""
+        """Save config, vocabulary and weights under ``directory``.
+
+        Quantized models persist their weights as int8 codes plus per-row
+        scales (``<name>.int8`` / ``<name>.int8_scale`` entries in
+        ``weights.npz``), which shrinks the checkpoint by roughly the
+        quantized fraction of the parameters (~8x on the projection and
+        embedding weights); :meth:`load` reconstructs the exact same
+        dequantized masters bitwise.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         config_payload = {
@@ -157,16 +220,22 @@ class DataVisT5:
             "max_input_length": self.config.max_input_length,
             "max_target_length": self.config.max_target_length,
             "max_decode_length": self.config.max_decode_length,
+            "precision": self.config.precision,
             "seed": self.config.seed,
         }
         (directory / "config.json").write_text(json.dumps(config_payload, indent=2), encoding="utf-8")
         self.tokenizer.vocab.save(directory / "vocab.json")
-        state = self.model.state_dict()
+        state = self.model.int8_state_dict() if self.quantized else self.model.state_dict()
         np.savez(directory / "weights.npz", **state)
 
     @classmethod
     def load(cls, directory: str | Path) -> "DataVisT5":
-        """Load a model previously written by :meth:`save`."""
+        """Load a model previously written by :meth:`save`.
+
+        Int8 checkpoints round-trip bitwise: the loaded model's codes, scales
+        and dequantized masters equal the saved model's exactly, so its
+        predictions are identical.
+        """
         directory = Path(directory)
         config_path = directory / "config.json"
         vocab_path = directory / "vocab.json"

@@ -40,6 +40,7 @@ class PretrainingReport:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last recorded epoch (NaN before any epoch ran)."""
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 

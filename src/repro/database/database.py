@@ -25,26 +25,32 @@ class Database:
 
     @property
     def name(self) -> str:
+        """The database's name, from its schema."""
         return self.schema.name
 
     def table(self, name: str) -> DataTable:
+        """The data table called ``name``."""
         name = name.lower()
         if name not in self._tables:
             raise SchemaError(f"database {self.name!r} has no table {name!r}")
         return self._tables[name]
 
     def table_names(self) -> list[str]:
+        """Names of every table, in schema order."""
         return list(self._tables)
 
     def insert(self, table_name: str, row: Mapping[str, object]) -> None:
+        """Append one row to ``table_name`` (validated against the schema)."""
         self.table(table_name).insert(row)
 
     def insert_many(self, table_name: str, rows: Iterable[Mapping[str, object]]) -> None:
+        """Append many rows to ``table_name``."""
         table = self.table(table_name)
         for row in rows:
             table.insert(row)
 
     def total_rows(self) -> int:
+        """Total number of rows across every table."""
         return sum(len(table) for table in self._tables.values())
 
     def subdatabase(self, table_names: list[str]) -> "Database":

@@ -39,9 +39,11 @@ class ResultTable:
         return len(self.rows)
 
     def column_values(self, index: int) -> list:
+        """Values of the ``index``-th result column, in row order."""
         return [row[index] for row in self.rows]
 
     def to_records(self) -> list[dict[str, object]]:
+        """The result rows as column-name -> value dicts."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
@@ -58,6 +60,7 @@ class QueryExecutor:
 
     # -- public API -------------------------------------------------------------
     def execute(self, query: DVQuery) -> ResultTable:
+        """Run ``query`` against the database and return its result table."""
         rows = self._scan(query.from_table)
         for join in query.joins:
             rows = self._join(rows, join)

@@ -64,12 +64,15 @@ class TableSchema:
                 raise SchemaError(f"primary key {self.primary_key!r} is not a column of {self.name!r}")
 
     def column_names(self) -> list[str]:
+        """Names of the table's columns, in order."""
         return [column.name for column in self.columns]
 
     def has_column(self, name: str) -> bool:
+        """Whether the table has a column called ``name``."""
         return name.lower() in set(self.column_names())
 
     def column(self, name: str) -> Column:
+        """The column called ``name``; raises :class:`SchemaError` if absent."""
         name = name.lower()
         for column in self.columns:
             if column.name == name:
@@ -105,12 +108,15 @@ class DatabaseSchema:
 
     # -- lookups ----------------------------------------------------------------
     def table_names(self) -> list[str]:
+        """Names of every table, in order."""
         return [table.name for table in self.tables]
 
     def has_table(self, name: str) -> bool:
+        """Whether the schema has a table called ``name``."""
         return name.lower() in set(self.table_names())
 
     def table(self, name: str) -> TableSchema:
+        """The table schema called ``name``; raises :class:`SchemaError` if absent."""
         name = name.lower()
         for table in self.tables:
             if table.name == name:

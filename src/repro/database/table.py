@@ -36,6 +36,7 @@ class DataTable:
     # -- access ---------------------------------------------------------------
     @property
     def name(self) -> str:
+        """The table's name, from its schema."""
         return self.schema.name
 
     def __len__(self) -> int:
@@ -49,6 +50,7 @@ class DataTable:
         return list(self._rows)
 
     def column_values(self, column: str) -> list[object]:
+        """All values of ``column``, in row order."""
         column = column.lower()
         if not self.schema.has_column(column):
             raise SchemaError(f"table {self.name!r} has no column {column!r}")
@@ -63,7 +65,9 @@ class DataTable:
         return list(seen)
 
     def head(self, limit: int = 5) -> list[dict[str, object]]:
+        """The first ``limit`` rows as dicts."""
         return [dict(row) for row in self._rows[:limit]]
 
     def is_numeric(self, column: str) -> bool:
+        """Whether the non-null values of ``column`` are all numeric."""
         return self.schema.column(column).ctype == ColumnType.NUMBER

@@ -30,9 +30,11 @@ class Chart2TextExample:
 
     @property
     def num_cells(self) -> int:
+        """Number of table cells in the example."""
         return len(self.rows) * len(self.columns)
 
     def linearized(self, max_rows: int | None = None) -> str:
+        """The example's table linearized to the model's text format."""
         return encode_table(self.columns, self.rows, title=self.title, max_rows=max_rows)
 
 

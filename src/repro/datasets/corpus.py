@@ -64,6 +64,7 @@ class PretrainingCorpus:
         return len(self.bdc_pairs) + len(self.mlm_texts)
 
     def statistics(self) -> dict:
+        """Summary counts over the corpus's sequence pairs."""
         by_task: dict[str, int] = {}
         for pair in self.bdc_pairs:
             by_task[pair.task] = by_task.get(pair.task, 0) + 1

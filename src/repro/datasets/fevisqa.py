@@ -44,6 +44,7 @@ class FeVisQAExample:
     table_text: str
 
     def to_dict(self) -> dict:
+        """A JSON-friendly view of the example."""
         return {
             "example_id": self.example_id,
             "db_id": self.db_id,
@@ -64,9 +65,11 @@ class FeVisQADataset:
         return len(self.examples)
 
     def by_type(self, question_type: int) -> list[FeVisQAExample]:
+        """Examples of one question type."""
         return [example for example in self.examples if example.question_type == question_type]
 
     def database_ids(self) -> list[str]:
+        """Distinct database ids covered by the dataset."""
         seen: dict[str, None] = {}
         for example in self.examples:
             seen.setdefault(example.db_id, None)

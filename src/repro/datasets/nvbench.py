@@ -51,6 +51,7 @@ class NvBenchExample:
     pattern: str
 
     def to_dict(self) -> dict:
+        """A JSON-friendly view of the example."""
         return {
             "example_id": self.example_id,
             "db_id": self.db_id,
@@ -74,18 +75,22 @@ class NvBenchDataset:
         return len(self.examples)
 
     def database_ids(self) -> list[str]:
+        """Distinct database ids covered by the dataset."""
         seen: dict[str, None] = {}
         for example in self.examples:
             seen.setdefault(example.db_id, None)
         return list(seen)
 
     def without_join(self) -> list[NvBenchExample]:
+        """Examples whose queries stay on a single table."""
         return [example for example in self.examples if not example.has_join]
 
     def with_join(self) -> list[NvBenchExample]:
+        """Examples whose queries join tables."""
         return [example for example in self.examples if example.has_join]
 
     def for_database(self, db_id: str) -> list[NvBenchExample]:
+        """Examples targeting the database ``db_id``."""
         return [example for example in self.examples if example.db_id == db_id]
 
     def statistics(self) -> dict:

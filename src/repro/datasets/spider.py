@@ -617,9 +617,11 @@ class SyntheticDatabasePool:
         return len(self.databases)
 
     def names(self) -> list[str]:
+        """Names of every database in the pool."""
         return list(self.databases)
 
     def get(self, name: str) -> Database:
+        """The database called ``name``."""
         if name not in self.databases:
             raise DatasetError(f"database {name!r} is not in the pool")
         return self.databases[name]
@@ -628,6 +630,7 @@ class SyntheticDatabasePool:
         return iter(self.databases.values())
 
     def items(self):
+        """``(name, database)`` pairs, in creation order."""
         return self.databases.items()
 
 

@@ -30,9 +30,11 @@ class DatasetSplits:
             raise DatasetError("the training split is empty")
 
     def sizes(self) -> dict:
+        """Example counts per split."""
         return {"train": len(self.train), "valid": len(self.valid), "test": len(self.test)}
 
     def all_examples(self) -> list:
+        """Every example across the train/dev/test splits."""
         return list(self.train) + list(self.valid) + list(self.test)
 
 

@@ -29,9 +29,11 @@ class WikiTableTextExample:
 
     @property
     def num_cells(self) -> int:
+        """Number of table cells in the example."""
         return len(self.rows) * len(self.columns)
 
     def linearized(self, max_rows: int | None = None) -> str:
+        """The example's table linearized to the model's text format."""
         return encode_table(self.columns, self.rows, max_rows=max_rows)
 
 
@@ -45,6 +47,7 @@ class WikiTableTextDataset:
         return len(self.examples)
 
     def cell_statistics(self) -> dict:
+        """Distribution statistics over per-example cell counts."""
         cells = [example.num_cells for example in self.examples]
         return {
             "instances": len(cells),

@@ -4,6 +4,15 @@ Keeping all exceptions in one module lets downstream code catch the broad
 :class:`ReproError` when it only cares about "something inside the library
 failed", while tests and callers that need precision can catch the specific
 subclass raised by the relevant subsystem.
+
+These exceptions are a *library-level* contract: they propagate to callers
+that invoke subsystems directly.  The serving layer deliberately does not
+expose them to traffic — admission control and per-request failures surface
+as structured error responses whose machine-readable codes live in one
+place, :data:`repro.serving.protocol.ERROR_CODE_MEANINGS` (an exception
+caught during serving becomes an ``invalid_request`` or ``backend_error``
+response; the reconciliation is tested by
+``tests/test_serving_protocol_codes.py``).
 """
 
 from __future__ import annotations

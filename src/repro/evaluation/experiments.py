@@ -145,6 +145,7 @@ class ExperimentScale:
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
+        """The tiny default scale used by the benchmark harness."""
         return cls()
 
     @classmethod
@@ -186,6 +187,7 @@ class ExperimentSuite:
     # -- shared artefacts -------------------------------------------------------------
     @property
     def corpora(self) -> TaskCorpora:
+        """The task corpora, generated once and memoized."""
         if self._corpora is None:
             self._corpora = build_task_corpora(
                 num_databases=self.scale.num_databases,
@@ -203,6 +205,7 @@ class ExperimentSuite:
 
     @property
     def pretraining_corpus(self) -> PretrainingCorpus:
+        """The hybrid pre-training corpus, generated once and memoized."""
         if self._pretraining_corpus is None:
             nvbench_train, chart_train, wiki_train, fevisqa_train, pool = self.corpora.pretraining_inputs()
             if self.scale.max_train_examples is not None:
@@ -214,6 +217,7 @@ class ExperimentSuite:
         return self._pretraining_corpus
 
     def training_config(self, num_epochs: int | None = None, **overrides) -> TrainingConfig:
+        """A :class:`TrainingConfig` at the suite's scale, with overrides."""
         return TrainingConfig(
             learning_rate=overrides.pop("learning_rate", self.scale.learning_rate),
             batch_size=overrides.pop("batch_size", self.scale.batch_size),
@@ -223,6 +227,7 @@ class ExperimentSuite:
         )
 
     def model_config(self, preset: str | None = None) -> DataVisT5Config:
+        """A :class:`DataVisT5Config` preset at the suite's scale."""
         return DataVisT5Config.from_preset(
             preset or self.scale.small_preset,
             max_input_length=128,

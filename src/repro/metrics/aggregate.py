@@ -24,6 +24,7 @@ class GenerationMetrics:
     num_examples: int
 
     def as_dict(self) -> dict:
+        """A JSON-friendly view of the metric values."""
         return {
             "BLEU-1": self.bleu1,
             "BLEU-2": self.bleu2,

@@ -31,6 +31,7 @@ class ExactMatchResult:
     num_unparseable: int = 0
 
     def as_dict(self) -> dict:
+        """A JSON-friendly view of the component scores."""
         return {
             "Vis EM": self.vis_em,
             "Axis EM": self.axis_em,

@@ -21,10 +21,10 @@ whole benchmark suite trains in seconds on a CPU, but the architecture and
 objectives are the same shape as the paper's.
 """
 
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, autocast, compute_dtype, no_grad
 from repro.nn import functional
 from repro.nn.decode_cache import DecodeCache, KVState, LayerKVCache
-from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter
+from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter, symmetric_int8
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
 from repro.nn.transformer import TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
 from repro.nn.rnn import GRUCell, GRUEncoder, AttentionGRUDecoder, Seq2SeqModel
@@ -33,6 +33,9 @@ from repro.nn.optim import Adam, SGD, clip_grad_norm, LinearWarmupSchedule, Cons
 __all__ = [
     "Tensor",
     "no_grad",
+    "autocast",
+    "compute_dtype",
+    "symmetric_int8",
     "functional",
     "DecodeCache",
     "KVState",

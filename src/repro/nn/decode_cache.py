@@ -12,9 +12,13 @@ make each step's decoder work independent of the prefix length:
 * **cross-attention** — K/V over the encoder output never changes during
   decoding, so it is projected once on the first step and reused verbatim.
 
-The caches store raw ``float64`` numpy arrays (shape ``(batch, heads, length,
+The caches store raw numpy arrays (shape ``(batch, heads, length,
 head_dim)``) rather than autograd tensors: incremental decoding is an
 inference-only fast path and always runs under :func:`repro.nn.tensor.no_grad`.
+Buffers adopt the dtype of the first projected K/V they receive, so a decode
+running under ``autocast("float32")`` caches float32 throughout; mixing
+dtypes within one cache is rejected (each generation owns a fresh cache, so
+a mix can only mean the precision policy changed mid-decode).
 :meth:`DecodeCache.reorder` re-gathers the batch axis, which is what batched
 beam search uses to carry each surviving beam's prefix forward.
 """
@@ -74,13 +78,18 @@ class KVState:
             raise ModelConfigError("append() is only valid on non-static (self-attention) KV state")
         steps = int(k.shape[2])
         new_length = self._length + steps
+        if self._buffer_k is not None and self._buffer_k.dtype != k.dtype:
+            raise ModelConfigError(
+                f"KV cache holds {self._buffer_k.dtype} but received {k.dtype}; "
+                "the compute dtype must stay fixed for the lifetime of one decode"
+            )
         if self._buffer_k is None or new_length > self._buffer_k.shape[2]:
             capacity = max(_INITIAL_CAPACITY, new_length)
             if self._buffer_k is not None:
                 capacity = max(capacity, 2 * self._buffer_k.shape[2])
             shape = (k.shape[0], k.shape[1], capacity, k.shape[3])
-            grown_k = np.empty(shape, dtype=np.float64)
-            grown_v = np.empty(shape, dtype=np.float64)
+            grown_k = np.empty(shape, dtype=k.dtype)
+            grown_v = np.empty(shape, dtype=k.dtype)
             if self._length:
                 grown_k[:, :, : self._length] = self._buffer_k[:, :, : self._length]
                 grown_v[:, :, : self._length] = self._buffer_v[:, :, : self._length]
@@ -111,6 +120,7 @@ class LayerKVCache:
         self.cross_attention = KVState(static=True)
 
     def reorder(self, indices: np.ndarray) -> None:
+        """Gather both caches' batch axes by ``indices``."""
         self.self_attention.reorder(indices)
         self.cross_attention.reorder(indices)
 

@@ -8,10 +8,12 @@ from repro.nn.tensor import Tensor
 
 
 def relu(x: Tensor) -> Tensor:
+    """Elementwise ReLU (delegates to :meth:`Tensor.relu`)."""
     return x.relu()
 
 
 def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU (delegates to :meth:`Tensor.gelu`)."""
     return x.gelu()
 
 

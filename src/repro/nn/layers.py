@@ -1,4 +1,15 @@
-"""Neural-network modules: parameter containers and basic layers."""
+"""Neural-network modules: parameter containers and basic layers.
+
+Precision support lives at this level too.  Master weights are always
+``float64`` (:class:`Parameter` pins them); when a forward pass runs inside
+:func:`repro.nn.tensor.autocast` with a reduced compute dtype, layers cast
+their masters on the fly through a per-module memo (:func:`cast_cached`).
+:class:`Linear` and :class:`Embedding` additionally support symmetric
+per-row **int8 weight quantization** (:meth:`Linear.quantize_int8`): the
+int8 codes plus their scales become the persisted form of the weight, and
+the float master is re-derived from them so compute at any dtype sees the
+quantized values.  See ``docs/numerics.md``.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +18,62 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.errors import ModelConfigError
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, compute_dtype
 from repro.utils.rng import seeded_rng
 
 
+def cast_cached(module: "Module", slot: str, source: np.ndarray, dtype, transform=None) -> np.ndarray:
+    """``source`` cast to ``dtype`` (optionally through ``transform``), memoized.
+
+    The memo lives on ``module`` under ``slot`` and is keyed by the *identity*
+    of ``source``, so reassigning a parameter's ``data`` (``load_state_dict``,
+    :meth:`Linear.load_int8`) invalidates it automatically.  In-place
+    mutation (an optimizer step) does not change identity; the cache is
+    therefore also dropped whenever a module transitions between train and
+    eval mode — the protocol every training loop in the repo follows — and
+    can be dropped explicitly via :meth:`Module.invalidate_cast_caches`.
+    """
+    if transform is None and source.dtype == dtype:
+        return source
+    cache = module.__dict__.setdefault("_cast_cache", {})
+    entry = cache.get(slot)
+    if entry is not None and entry[0] is source and entry[1] == dtype:
+        return entry[2]
+    cast = np.ascontiguousarray(transform(source) if transform is not None else source, dtype=dtype)
+    cache[slot] = (source, dtype, cast)
+    return cast
+
+
+def symmetric_int8(values: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization of ``values`` with one scale per slice of ``axis``.
+
+    Every slice along ``axis`` is mapped to ``round(values / scale)`` clipped
+    to ``[-127, 127]``, where ``scale = max(|slice|) / 127`` (all-zero slices
+    get scale 1.0 so dequantization is exact).  Returns ``(codes, scales)``
+    with ``scales`` keeping the reduced axis as size 1, so
+    ``codes * scales`` broadcasts back to the original shape.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    scales = np.max(np.abs(values), axis=axis, keepdims=True) / 127.0
+    scales = np.where(scales == 0.0, 1.0, scales)
+    codes = np.clip(np.rint(values / scales), -127, 127).astype(np.int8)
+    return codes, scales
+
+
 class Parameter(Tensor):
-    """A tensor that is always trainable and discoverable by :class:`Module`."""
+    """A tensor that is always trainable and discoverable by :class:`Module`.
+
+    Master parameter storage is pinned to ``float64`` regardless of any
+    active :func:`~repro.nn.tensor.autocast` scope — reduced precision is a
+    property of *compute*, never of the stored weights.
+    """
 
     def __init__(self, data, name: str | None = None):
         super().__init__(data, requires_grad=True, name=name)
+        # Re-derive the master from the *source* data, not from ``self.data``:
+        # inside an autocast scope the base constructor casts through the
+        # compute dtype, which would silently round float64 initial values.
+        self.data = np.asarray(data, dtype=np.float64)
         # Parameters must remain trainable even when created inside ``no_grad``.
         self.requires_grad = True
 
@@ -28,6 +86,7 @@ class Module:
 
     # -- parameter discovery ------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for every parameter in the tree."""
         for attr_name, value in vars(self).items():
             full_name = f"{prefix}{attr_name}"
             if isinstance(value, Parameter):
@@ -41,26 +100,61 @@ class Module:
                     elif isinstance(item, Parameter):
                         yield f"{full_name}.{index}", item
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` for this module and every submodule.
+
+        Traversal mirrors :meth:`named_parameters`, so a submodule reachable
+        through several attributes (e.g. a shared embedding) is yielded once
+        per path — callers that must visit each instance once should dedupe
+        by identity.
+        """
+        yield prefix[:-1] if prefix.endswith(".") else prefix, self
+        for attr_name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{prefix}{attr_name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{prefix}{attr_name}.{index}.")
+
     def parameters(self) -> list[Parameter]:
+        """Every :class:`Parameter` reachable from this module, in discovery order."""
         return [parameter for _, parameter in self.named_parameters()]
 
+    def invalidate_cast_caches(self) -> None:
+        """Drop every memoized reduced-precision weight cast in this tree.
+
+        Needed only after mutating parameter data in place outside the
+        train/eval protocol (mode transitions drop the memos automatically).
+        """
+        for _, module in self.named_modules():
+            module.__dict__.pop("_cast_cache", None)
+
     def num_parameters(self) -> int:
+        """Total scalar parameters in the tree."""
         return int(sum(parameter.size for parameter in self.parameters()))
 
     def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
         for parameter in self.parameters():
             parameter.zero_grad()
 
     # -- train / eval --------------------------------------------------------
     def train(self) -> "Module":
+        """Switch the tree to training mode; returns ``self``."""
         self._set_mode(True)
         return self
 
     def eval(self) -> "Module":
+        """Switch the tree to inference mode; returns ``self``."""
         self._set_mode(False)
         return self
 
     def _set_mode(self, training: bool) -> None:
+        if training != self.training:
+            # A mode transition brackets any in-place weight mutation the
+            # optimizer made, so it is the safe point to drop stale casts.
+            self.__dict__.pop("_cast_cache", None)
         self.training = training
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -70,22 +164,106 @@ class Module:
                     if isinstance(item, Module):
                         item._set_mode(training)
 
+    # -- quantization ----------------------------------------------------------
+    def quantize_int8(self) -> None:
+        """Int8-quantize every not-yet-quantized :class:`Linear`/:class:`Embedding` below.
+
+        Leaf modules override this with the actual per-weight quantization;
+        the generic version walks the tree once per module *instance* (a
+        shared submodule is quantized once, however many attributes reach
+        it).  Quantized weights are frozen, so a quantized model is
+        inference-only.
+        """
+        seen: set[int] = set()
+        for _, module in self.named_modules():
+            if isinstance(module, (Linear, Embedding)) and id(module) not in seen:
+                seen.add(id(module))
+                if not module.quantized:
+                    module.quantize_int8()
+
+    @property
+    def any_quantized(self) -> bool:
+        """Whether any submodule stores int8-quantized weights."""
+        return any(
+            isinstance(module, (Linear, Embedding)) and module.quantized
+            for _, module in self.named_modules()
+        )
+
     # -- persistence -----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Every parameter as a ``name -> float64 array`` mapping (copies).
+
+        Quantized weights appear in their dequantized float64 form; use
+        :meth:`int8_state_dict` to persist the codes + scales instead.
+        """
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
+    def int8_state_dict(self) -> dict[str, np.ndarray]:
+        """Like :meth:`state_dict`, but quantized weights stay int8.
+
+        Each quantized weight ``<name>`` is replaced by two entries,
+        ``<name>.int8`` (the int8 codes) and ``<name>.int8_scale`` (the
+        per-row float scales) — roughly an 8x size reduction for the
+        quantized share of the parameters.  :meth:`load_state_dict` accepts
+        both formats.
+        """
+        state = self.state_dict()
+        for name, module in self.named_modules():
+            if isinstance(module, (Linear, Embedding)) and module.quantized:
+                key = f"{name}.weight" if name else "weight"
+                state.pop(key, None)
+                state[f"{key}.int8"] = module.weight_q.copy()
+                state[f"{key}.int8_scale"] = module.weight_scale.copy()
+        return state
+
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Install ``state`` (a :meth:`state_dict` or :meth:`int8_state_dict`).
+
+        ``<name>.int8`` / ``<name>.int8_scale`` pairs are routed to the owning
+        module's ``load_int8`` (quantizing it if it was not already); a plain
+        float entry arriving for a currently-quantized weight clears that
+        module's int8 storage — the checkpoint defines the storage format.
+        """
+        state = dict(state)
+        quantized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for key in [k for k in state if k.endswith(".int8")]:
+            base = key[: -len(".int8")]
+            scale_key = f"{base}.int8_scale"
+            if scale_key not in state:
+                raise ModelConfigError(f"int8 entry {key!r} is missing its {scale_key!r} scales")
+            quantized[base] = (np.asarray(state.pop(key)), np.asarray(state.pop(scale_key)))
+        # Validate everything BEFORE the first mutation, so a rejected state
+        # dict leaves the model untouched rather than partially overwritten.
+        modules = dict(self.named_modules())
+        targets: dict[str, "Linear | Embedding"] = {}
+        for base in quantized:
+            module_name, _, leaf = base.rpartition(".")
+            module = modules.get(module_name)
+            if leaf != "weight" or not isinstance(module, (Linear, Embedding)):
+                raise ModelConfigError(f"int8 entry {base!r} does not name a Linear/Embedding weight")
+            targets[base] = module
         own = dict(self.named_parameters())
-        missing = sorted(set(own) - set(state))
+        missing = sorted(set(own) - set(state) - set(quantized))
         unexpected = sorted(set(state) - set(own))
         if missing or unexpected:
             raise ModelConfigError(f"state dict mismatch: missing={missing} unexpected={unexpected}")
+        for base, (codes, scales) in quantized.items():
+            targets[base].load_int8(codes, scales)
         for name, parameter in own.items():
+            if name in quantized:
+                continue  # installed via load_int8 above
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != parameter.data.shape:
                 raise ModelConfigError(
                     f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
                 )
+            module_name, _, leaf = name.rpartition(".")
+            owner = modules.get(module_name)
+            if leaf == "weight" and isinstance(owner, (Linear, Embedding)) and owner.quantized:
+                owner.weight_q = None
+                owner.weight_scale = None
+                parameter.requires_grad = True
+                owner.invalidate_cast_caches()
             parameter.data = value.copy()
 
     # -- call protocol ------------------------------------------------------------
@@ -93,11 +271,21 @@ class Module:
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module's output (subclasses must override)."""
         raise NotImplementedError
 
 
 class Linear(Module):
-    """A dense layer ``y = x W + b`` with Glorot-style initialisation."""
+    """A dense layer ``y = x W + b`` with Glorot-style initialisation.
+
+    Supports int8 weight storage (:meth:`quantize_int8`): the weight matrix
+    is replaced by per-output-channel symmetric int8 codes plus float scales
+    (one scale per column of ``W``, i.e. per row of the conventional
+    ``(out, in)`` weight view), and the float64 master is re-derived as
+    ``codes * scales`` so every compute path — float64 or an autocast
+    float32 pass — sees the identical quantized values.  Quantized layers are
+    frozen: their weight stops requiring gradients.
+    """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: int | np.random.Generator = 0):
         super().__init__()
@@ -109,16 +297,63 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
         self.in_features = in_features
         self.out_features = out_features
+        self.weight_q: np.ndarray | None = None
+        self.weight_scale: np.ndarray | None = None
+
+    @property
+    def quantized(self) -> bool:
+        """Whether the weight is stored as int8 codes + scales."""
+        return self.weight_q is not None
+
+    def quantize_int8(self) -> None:
+        """Quantize the weight to symmetric per-output-channel int8 in place."""
+        if self.quantized:
+            raise ModelConfigError("Linear is already int8-quantized")
+        self.load_int8(*symmetric_int8(self.weight.data, axis=0))
+
+    def load_int8(self, codes: np.ndarray, scales: np.ndarray) -> None:
+        """Install int8 ``codes`` and per-column ``scales`` as the weight.
+
+        The float64 master is rebuilt as ``codes * scales`` (bitwise
+        deterministic, which is what makes quantized checkpoints round-trip
+        exactly) and frozen.
+        """
+        codes = np.asarray(codes)
+        scales = np.asarray(scales, dtype=np.float64).reshape(1, self.out_features)
+        if codes.dtype != np.int8 or codes.shape != (self.in_features, self.out_features):
+            raise ModelConfigError(
+                f"int8 weight must be int8 with shape {(self.in_features, self.out_features)}, "
+                f"got {codes.dtype} {codes.shape}"
+            )
+        self.weight_q = codes
+        self.weight_scale = scales
+        self.weight.data = codes.astype(np.float64) * scales
+        self.weight.requires_grad = False
+        self.invalidate_cast_caches()
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
+        """Apply ``x @ W (+ b)``, casting masters to the active compute dtype."""
+        dtype = compute_dtype()
+        if dtype == np.float64:
+            weight, bias = self.weight, self.bias
+        else:
+            weight = Tensor(cast_cached(self, "weight", self.weight.data, dtype))
+            bias = None if self.bias is None else Tensor(cast_cached(self, "bias", self.bias.data, dtype))
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
         return out
 
 
 class Embedding(Module):
-    """Token-id to vector lookup table."""
+    """Token-id to vector lookup table.
+
+    Supports int8 weight storage (:meth:`quantize_int8`) with one symmetric
+    scale per vocabulary row, so frequent and rare tokens each use their own
+    dynamic range.  As with :class:`Linear`, the float64 master is re-derived
+    from the codes and frozen, which keeps the tied LM head consistent with
+    the quantized lookup table.
+    """
 
     def __init__(self, num_embeddings: int, embedding_dim: int, seed: int | np.random.Generator = 0):
         super().__init__()
@@ -128,8 +363,37 @@ class Embedding(Module):
         self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
+        self.weight_q: np.ndarray | None = None
+        self.weight_scale: np.ndarray | None = None
+
+    @property
+    def quantized(self) -> bool:
+        """Whether the table is stored as int8 codes + per-row scales."""
+        return self.weight_q is not None
+
+    def quantize_int8(self) -> None:
+        """Quantize the table to symmetric per-row int8 in place."""
+        if self.quantized:
+            raise ModelConfigError("Embedding is already int8-quantized")
+        self.load_int8(*symmetric_int8(self.weight.data, axis=1))
+
+    def load_int8(self, codes: np.ndarray, scales: np.ndarray) -> None:
+        """Install int8 ``codes`` and per-row ``scales`` as the lookup table."""
+        codes = np.asarray(codes)
+        scales = np.asarray(scales, dtype=np.float64).reshape(self.num_embeddings, 1)
+        if codes.dtype != np.int8 or codes.shape != (self.num_embeddings, self.embedding_dim):
+            raise ModelConfigError(
+                f"int8 embedding must be int8 with shape {(self.num_embeddings, self.embedding_dim)}, "
+                f"got {codes.dtype} {codes.shape}"
+            )
+        self.weight_q = codes
+        self.weight_scale = scales
+        self.weight.data = codes.astype(np.float64) * scales
+        self.weight.requires_grad = False
+        self.invalidate_cast_caches()
 
     def forward(self, ids: np.ndarray) -> Tensor:
+        """Look up the vectors for ``ids`` (any integer array shape)."""
         ids = np.asarray(ids, dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
             raise ModelConfigError(
@@ -149,9 +413,13 @@ class RMSNorm(Module):
         self.dim = dim
 
     def forward(self, x: Tensor) -> Tensor:
+        """Scale ``x`` to unit RMS along the last axis, then apply the gain."""
         variance = (x * x).mean(axis=-1, keepdims=True)
         normed = x * ((variance + self.eps) ** -0.5)
-        return normed * self.weight
+        dtype = compute_dtype()
+        if dtype == np.float64:
+            return normed * self.weight
+        return normed * Tensor(cast_cached(self, "weight", self.weight.data, dtype))
 
 
 class Dropout(Module):
@@ -165,6 +433,7 @@ class Dropout(Module):
         self._rng = seeded_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero (and rescale) entries of ``x`` while training."""
         if not self.training or self.rate == 0.0:
             return x
         keep_probability = 1.0 - self.rate
@@ -193,6 +462,7 @@ class FeedForward(Module):
         self.activation = activation
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the expand -> activate -> (dropout) -> project block."""
         hidden = self.wi(x)
         hidden = hidden.relu() if self.activation == "relu" else hidden.gelu()
         hidden = self.dropout(hidden)

@@ -34,6 +34,7 @@ class LRSchedule:
     """Base class for learning-rate schedules keyed by optimizer step."""
 
     def learning_rate(self, step: int) -> float:  # pragma: no cover - abstract
+        """The learning rate at ``step`` (subclasses must override)."""
         raise NotImplementedError
 
 
@@ -44,6 +45,7 @@ class ConstantSchedule(LRSchedule):
         self._learning_rate = learning_rate
 
     def learning_rate(self, step: int) -> float:
+        """The fixed learning rate, independent of ``step``."""
         return self._learning_rate
 
 
@@ -64,6 +66,7 @@ class LinearWarmupSchedule(LRSchedule):
         self.warmup_steps = max(1, int(round(total_steps * warmup_ratio)))
 
     def learning_rate(self, step: int) -> float:
+        """Linear warm-up to the peak, then linear decay toward zero."""
         step = max(step, 0)
         if step < self.warmup_steps:
             return self.peak_learning_rate * (step + 1) / self.warmup_steps
@@ -83,14 +86,17 @@ class Optimizer:
         self.step_count = 0
 
     def zero_grad(self) -> None:
+        """Clear the gradients of every managed parameter."""
         for parameter in self.parameters:
             parameter.zero_grad()
 
     @property
     def current_learning_rate(self) -> float:
+        """The schedule's learning rate at the current step."""
         return self.schedule.learning_rate(self.step_count)
 
     def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update to the managed parameters (subclasses must override)."""
         raise NotImplementedError
 
 
@@ -103,6 +109,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """One (momentum-)SGD update over the managed parameters."""
         lr = self.current_learning_rate
         for parameter, velocity in zip(self.parameters, self._velocity):
             if parameter.grad is None:
@@ -136,6 +143,7 @@ class Adam(Optimizer):
         self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        """One AdamW update: bias-corrected moments, decoupled weight decay."""
         lr = self.current_learning_rate
         beta1, beta2 = self.betas
         self.step_count += 1

@@ -30,6 +30,7 @@ class GRUCell(Module):
         self.candidate = Linear(input_size + hidden_size, hidden_size, seed=rng)
 
     def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One GRU step combining input ``x`` with the previous ``hidden`` state."""
         combined = Tensor.concatenate([x, hidden], axis=-1)
         reset = self.reset_gate(combined).sigmoid()
         update = self.update_gate(combined).sigmoid()
@@ -49,6 +50,7 @@ class GRUEncoder(Module):
         self.pad_id = pad_id
 
     def forward(self, input_ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Encode ``input_ids``; returns per-step states and the final state."""
         input_ids = np.asarray(input_ids, dtype=np.int64)
         batch, length = input_ids.shape
         embedded = self.embedding(input_ids)

@@ -7,8 +7,19 @@ topologically sorts the recorded graph and runs the closures in reverse.
 
 Only the operations needed by the T5 transformer and the GRU baseline are
 implemented, but each handles full numpy broadcasting so layers can be written
-naturally.  All data is kept in ``float64`` to make the hypothesis-based
-gradient checks in the test-suite tight.
+naturally.
+
+Precision policy
+----------------
+Training and gradient checking always run in ``float64`` — that is what makes
+the hypothesis-based gradient checks in the test-suite tight, and it is not
+configurable.  Inference may opt into ``float32`` through :func:`autocast`,
+which installs a per-thread *compute dtype*: every tensor created inside the
+context (operation results included) is kept in that dtype, so a forward pass
+runs its matmuls in fp32 end-to-end.  Because reduced precision is
+meaningless for the gradient checks, entering ``autocast("float32")`` also
+disables autograd recording for the scope, exactly like :func:`no_grad`.
+See ``docs/numerics.md`` for the full policy.
 """
 
 from __future__ import annotations
@@ -26,6 +37,14 @@ import numpy as np
 # the KV-cache guard would reject).  Threads default to recording enabled.
 _GRAD_STATE = threading.local()
 
+# The compute dtype is likewise per-thread, so one serving worker decoding in
+# float32 cannot downcast a concurrent worker's float64 request.  Threads
+# default to float64 (the training dtype).
+_PRECISION_STATE = threading.local()
+
+#: Inference compute dtypes selectable through :func:`autocast`.
+SUPPORTED_DTYPES = ("float64", "float32")
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -41,6 +60,52 @@ def no_grad():
 def grad_enabled() -> bool:
     """Whether operations on this thread record the autograd graph."""
     return getattr(_GRAD_STATE, "enabled", True)
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalize a dtype spec (``"float32"``, ``np.float64``...) to a numpy dtype.
+
+    Only the dtypes in :data:`SUPPORTED_DTYPES` are accepted — they are the
+    compute dtypes the inference engine supports (int8 is a weight *storage*
+    format, not a compute dtype; see :mod:`repro.nn.layers`).
+    """
+    resolved = np.dtype(dtype)
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; supported: {', '.join(SUPPORTED_DTYPES)}"
+        )
+    return resolved
+
+
+def compute_dtype() -> np.dtype:
+    """The dtype tensors are created (and operations computed) in on this thread."""
+    return getattr(_PRECISION_STATE, "dtype", None) or np.dtype(np.float64)
+
+
+@contextlib.contextmanager
+def autocast(dtype="float32"):
+    """Run the scope's tensor operations in ``dtype`` (an inference fast path).
+
+    ``autocast("float32")`` makes every tensor created inside the scope —
+    including every operation result — float32, so forward passes run their
+    matmuls in single precision end-to-end.  Reduced precision is
+    inference-only: entering the context with any dtype other than float64
+    also disables autograd recording for the scope (float64 master weights
+    stay untouched; layers cast them on the fly, see
+    :func:`repro.nn.layers.cast_cached`).  ``autocast("float64")`` is a
+    no-op, which lets callers thread a dtype policy unconditionally.
+    """
+    resolved = resolve_dtype(dtype)
+    previous_dtype = getattr(_PRECISION_STATE, "dtype", None)
+    previous_grad = grad_enabled()
+    _PRECISION_STATE.dtype = resolved
+    if resolved != np.float64:
+        _GRAD_STATE.enabled = False
+    try:
+        yield
+    finally:
+        _PRECISION_STATE.dtype = previous_dtype
+        _GRAD_STATE.enabled = previous_grad
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -72,7 +137,7 @@ class Tensor:
         _backward=None,
         name: str | None = None,
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=compute_dtype())
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
@@ -82,14 +147,17 @@ class Tensor:
     # -- basic protocol -----------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     def __len__(self) -> int:
@@ -100,6 +168,7 @@ class Tensor:
         return f"Tensor(shape={self.shape}{flag})"
 
     def item(self) -> float:
+        """The value of a one-element tensor as a python float."""
         return float(self.data)
 
     def numpy(self) -> np.ndarray:
@@ -111,6 +180,7 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
         self.grad = None
 
     # -- graph construction helpers ------------------------------------------
@@ -120,6 +190,9 @@ class Tensor:
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
         requires = grad_enabled() and any(p.requires_grad for p in parents)
+        # Tensor.__init__ re-asserts the compute dtype, so an op that mixed a
+        # float64 master weight into a float32 autocast scope (and was thus
+        # promoted by numpy) lands back in the scope's dtype here.
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -221,6 +294,7 @@ class Tensor:
 
     # -- elementwise functions -------------------------------------------------
     def exp(self) -> "Tensor":
+        """Elementwise ``e**x`` with autograd support."""
         out_data = np.exp(self.data)
 
         def backward(grad, out):
@@ -230,6 +304,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
+        """Elementwise natural logarithm with autograd support."""
         out_data = np.log(self.data)
 
         def backward(grad, out):
@@ -239,9 +314,11 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
+        """Elementwise square root (``self ** 0.5``)."""
         return self**0.5
 
     def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent with autograd support."""
         out_data = np.tanh(self.data)
 
         def backward(grad, out):
@@ -251,6 +328,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid with autograd support."""
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad, out):
@@ -260,6 +338,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
+        """Elementwise ``max(x, 0)`` with autograd support."""
         mask = self.data > 0
         out_data = self.data * mask
 
@@ -287,6 +366,7 @@ class Tensor:
 
     # -- reductions --------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when ``None``)."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad, out):
@@ -303,6 +383,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (all elements when ``None``)."""
         if axis is None:
             count = self.data.size
         else:
@@ -311,6 +392,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties split the gradient evenly."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad, out):
@@ -329,6 +411,7 @@ class Tensor:
 
     # -- shape manipulation --------------------------------------------------------
     def reshape(self, *shape) -> "Tensor":
+        """The same data viewed under a new shape."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
@@ -341,6 +424,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute dimensions (reversed order when no axes are given)."""
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
@@ -356,6 +440,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two dimensions."""
         axes = list(range(self.data.ndim))
         axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
         return self.transpose(tuple(axes))
@@ -374,6 +459,7 @@ class Tensor:
     # -- composition helpers ----------------------------------------------------------
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Join tensors along an existing ``axis``."""
         tensors = [Tensor._coerce(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
@@ -397,6 +483,7 @@ class Tensor:
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        """Stack tensors along a new ``axis``."""
         expanded = [t.reshape(t.shape[:axis] + (1,) + t.shape[axis:]) for t in (Tensor._coerce(t) for t in tensors)]
         return Tensor.concatenate(expanded, axis=axis)
 

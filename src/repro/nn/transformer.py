@@ -11,6 +11,12 @@ Generation decodes incrementally with per-layer K/V caches
 loops that re-decode the whole prefix every step are retained behind
 ``use_cache=False`` as the reference implementation the decode-equivalence
 test suite checks against.
+
+Inference precision is a :meth:`T5Model.generate` knob: ``dtype="float32"``
+runs the whole decode (encoder pass included) under
+:func:`repro.nn.tensor.autocast`, and :meth:`T5Model.quantize_int8` converts
+every projection weight and the shared embedding to symmetric int8 storage.
+Training always stays float64 — see ``docs/numerics.md``.
 """
 
 from __future__ import annotations
@@ -23,8 +29,8 @@ from repro.errors import ModelConfigError
 from repro.nn import functional as F
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
 from repro.nn.decode_cache import DecodeCache, LayerKVCache
-from repro.nn.layers import Dropout, Embedding, FeedForward, Module, RMSNorm
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.layers import Dropout, Embedding, FeedForward, Module, RMSNorm, cast_cached
+from repro.nn.tensor import Tensor, autocast, compute_dtype, no_grad
 from repro.utils.rng import derive_seed, seeded_rng
 
 
@@ -49,6 +55,7 @@ class TransformerConfig:
     seed: int = 0
 
     def validate(self) -> None:
+        """Raise :class:`ModelConfigError` on inconsistent hyper-parameters."""
         if self.vocab_size <= 0:
             raise ModelConfigError("vocab_size must be positive")
         if self.d_model % self.num_heads != 0:
@@ -72,6 +79,7 @@ class EncoderLayer(Module):
         self.dropout = Dropout(config.dropout, seed=rng)
 
     def forward(self, hidden: Tensor, mask: np.ndarray | None, position_bias: Tensor | None) -> Tensor:
+        """Self-attention then feed-forward, each behind a pre-norm residual."""
         normed = self.norm_attention(hidden)
         attended = self.self_attention(normed, normed, normed, mask=mask, position_bias=position_bias)
         hidden = hidden + self.dropout(attended)
@@ -103,6 +111,7 @@ class DecoderLayer(Module):
         position_bias: Tensor | None,
         layer_cache: LayerKVCache | None = None,
     ) -> Tensor:
+        """Causal self-attention, cross-attention and feed-forward, pre-norm residuals throughout."""
         self_cache = layer_cache.self_attention if layer_cache is not None else None
         cross_cache = layer_cache.cross_attention if layer_cache is not None else None
         normed = self.norm_self(hidden)
@@ -137,6 +146,7 @@ class TransformerEncoder(Module):
         self.dropout = Dropout(config.dropout, seed=derive_seed(config.seed, "encoder_dropout"))
 
     def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Embed and encode ``input_ids``; padding is masked out of attention."""
         input_ids = np.asarray(input_ids, dtype=np.int64)
         if attention_mask is None:
             attention_mask = input_ids != self.config.pad_id
@@ -272,7 +282,21 @@ class T5Model(Module):
     def lm_logits(self, decoder_hidden: Tensor) -> Tensor:
         """Project decoder states onto the vocabulary with the tied embedding."""
         scale = self.config.d_model**-0.5
-        return (decoder_hidden * scale) @ self.shared_embedding.weight.transpose()
+        dtype = compute_dtype()
+        if dtype == np.float64:
+            return (decoder_hidden * scale) @ self.shared_embedding.weight.transpose()
+        # Reduced-precision decode hits this projection once per step, so the
+        # transposed cast of the (V, D) master is memoized on the embedding.
+        projection = cast_cached(
+            self.shared_embedding, "lm_projection", self.shared_embedding.weight.data, dtype, transform=np.transpose
+        )
+        return (decoder_hidden * scale) @ Tensor(projection)
+
+    # -- quantization ------------------------------------------------------------
+    @property
+    def quantized(self) -> bool:
+        """Whether the model's projection/embedding weights are stored as int8."""
+        return self.any_quantized
 
     # -- generation -------------------------------------------------------------
     def generate(
@@ -282,6 +306,7 @@ class T5Model(Module):
         num_beams: int = 1,
         length_penalty: float = 1.0,
         use_cache: bool = True,
+        dtype: str = "float64",
     ) -> np.ndarray:
         """Generate output token ids (greedy for ``num_beams == 1``, else beam search).
 
@@ -295,17 +320,28 @@ class T5Model(Module):
         in one forward pass per step.  ``use_cache=False`` runs the naive
         reference loops that re-decode the full prefix every step; both paths
         produce identical token ids (the decode-equivalence suite asserts it).
+
+        ``dtype`` selects the inference compute dtype (``"float64"`` or
+        ``"float32"``); the whole generation — encoder pass, decode steps, KV
+        caches — runs under :func:`repro.nn.tensor.autocast` with it.
+        Reduced precision can flip near-tied argmax decisions, so fp32 output
+        agrees with fp64 to a high but not bitwise rate; the decode benchmark
+        measures and gates it (see ``docs/numerics.md``).
         """
         input_ids = np.atleast_2d(np.asarray(input_ids, dtype=np.int64))
         max_length = max_length or self.config.max_decode_length
-        if num_beams <= 1:
+        with autocast(dtype):
+            if num_beams <= 1:
+                if use_cache:
+                    return self._greedy_generate_cached(input_ids, max_length)
+                return self._greedy_generate_reference(input_ids, max_length)
             if use_cache:
-                return self._greedy_generate_cached(input_ids, max_length)
-            return self._greedy_generate_reference(input_ids, max_length)
-        if use_cache:
-            rows = self._beam_generate_cached(input_ids, max_length, num_beams, length_penalty)
-        else:
-            rows = [self._beam_generate_reference(row[None, :], max_length, num_beams, length_penalty) for row in input_ids]
+                rows = self._beam_generate_cached(input_ids, max_length, num_beams, length_penalty)
+            else:
+                rows = [
+                    self._beam_generate_reference(row[None, :], max_length, num_beams, length_penalty)
+                    for row in input_ids
+                ]
         return _pad_token_rows(rows, self.config.pad_id)
 
     def _log_probs(self, logits: np.ndarray) -> np.ndarray:

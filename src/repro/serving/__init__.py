@@ -26,6 +26,7 @@ from repro.serving.cache import LRUCache, normalize_key
 from repro.serving.pipeline import Pipeline, PipelineConfig
 from repro.serving.protocol import (
     ERROR_BACKEND,
+    ERROR_CODE_MEANINGS,
     ERROR_CODES,
     ERROR_DEADLINE,
     ERROR_INVALID_REQUEST,
@@ -56,6 +57,7 @@ __all__ = [
     "error_response",
     "SERVABLE_TASKS",
     "ERROR_CODES",
+    "ERROR_CODE_MEANINGS",
     "ERROR_INVALID_REQUEST",
     "ERROR_BACKEND",
     "ERROR_QUEUE_FULL",

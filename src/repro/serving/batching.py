@@ -88,6 +88,7 @@ class Ticket:
 
     @property
     def value(self) -> Any:
+        """The computed result; raises until the owning batch has flushed."""
         if not self.ready:
             raise ModelConfigError("ticket is not ready; call MicroBatcher.flush() first")
         return self._value
@@ -158,6 +159,7 @@ class MicroBatcher:
 
     @property
     def pending(self) -> int:
+        """Number of accepted-but-unflushed submissions."""
         return len(self._pending)
 
     def stats(self) -> dict:

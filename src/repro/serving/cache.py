@@ -102,6 +102,7 @@ class LRUCache:
     # -- introspection --------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
+        """``hits / (hits + misses)``, 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
 from repro.charts.render import chart_fingerprint, render_ascii_chart
 from repro.charts.vegalite import to_vega_lite
+from repro.core.config import validate_precision
 from repro.core.model import DataVisT5
 from repro.database.schema import DatabaseSchema
 from repro.encoding.schema_filtration import filter_schema
@@ -82,11 +83,15 @@ class PipelineConfig:
     the request schema; ``attach_specs`` toggles Vega-Lite spec construction
     on text-to-vis responses; ``use_cache`` selects KV-cached incremental
     decoding on DataVisT5 backends (``False`` falls back to the naive
-    reference decoder — same outputs, for debugging and equivalence checks).
-    It deliberately does not override baseline backends: neural baselines own
-    a ``use_cache`` constructor knob configured where the baseline is built
-    (e.g. ``{"type": "neural", "use_cache": False}`` in a registry spec), and
-    the pipeline never mutates a backend it was handed.
+    reference decoder — same outputs, for debugging and equivalence checks);
+    ``precision`` selects their inference precision (``None`` defers to the
+    model's own ``config.precision``; ``"float32"`` / ``"int8"`` trade exact
+    float64 reproduction for throughput — see ``docs/numerics.md`` — and
+    ``"int8"`` requires the backend model to be quantized already).
+    Neither knob overrides baseline backends: neural baselines own the
+    equivalent constructor knobs configured where the baseline is built
+    (e.g. ``{"type": "neural", "precision": "float32"}`` in a registry
+    spec), and the pipeline never mutates a backend it was handed.
     """
 
     max_batch_size: int = 8
@@ -99,6 +104,11 @@ class PipelineConfig:
     validate_predictions: bool = True
     attach_specs: bool = True
     use_cache: bool = True
+    precision: str | None = None
+
+    def __post_init__(self):
+        if self.precision is not None:
+            validate_precision(self.precision)
 
 
 @dataclass
@@ -113,17 +123,34 @@ class _Prepared:
 
 
 class _Engine:
-    """Uniform ``predict_batch(prepared) -> list[str]`` over heterogeneous backends."""
+    """Uniform ``predict_batch(prepared) -> list[str]`` over heterogeneous backends.
 
-    def __init__(self, backend, task: str, use_cache: bool = True):
+    ``use_cache`` and ``precision`` apply to :class:`DataVisT5` backends only
+    (baselines own their equivalent constructor knobs); ``precision=None``
+    defers to the model's configured default.  ``precision="int8"`` over an
+    unquantized DataVisT5 is a deployment misconfiguration and is rejected
+    here, at construction, rather than surfacing as per-request failures
+    once traffic arrives.
+    """
+
+    def __init__(self, backend, task: str, use_cache: bool = True, precision: str | None = None):
+        if precision == "int8" and isinstance(backend, DataVisT5) and not backend.quantized:
+            raise ModelConfigError(
+                f"precision='int8' for task {task!r} requires a quantized backend model; "
+                "call quantize_int8() (or load an int8 checkpoint) before serving"
+            )
         self.backend = backend
         self.task = task
         self.use_cache = use_cache
+        self.precision = precision
 
     def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
+        """Run the backend over already-prepared requests, in order."""
         backend = self.backend
         if isinstance(backend, DataVisT5):
-            outputs = backend.predict_batch([item.source for item in prepared], use_cache=self.use_cache)
+            outputs = backend.predict_batch(
+                [item.source for item in prepared], use_cache=self.use_cache, precision=self.precision
+            )
             return [strip_modality_tags(output) for output in outputs]
         if isinstance(backend, TextToVisBaseline):
             questions = [item.request.question for item in prepared]
@@ -166,7 +193,9 @@ class Pipeline:
         for task in SERVABLE_TASKS:
             backend = backends[task] if backends[task] is not None else model
             if backend is not None:
-                self._engines[task] = _Engine(backend, task, use_cache=self.config.use_cache)
+                self._engines[task] = _Engine(
+                    backend, task, use_cache=self.config.use_cache, precision=self.config.precision
+                )
         self.caches = {
             "encode": LRUCache(self.config.encode_cache_size, name="encode"),
             "ast": LRUCache(self.config.ast_cache_size, name="ast"),
@@ -258,6 +287,11 @@ class Pipeline:
         misses: dict[str, list[tuple[int, _Prepared]]] = {}
         for index, request in enumerate(requests):
             try:
+                # An unconfigured task is a misconfiguration of the request
+                # against this pipeline, not a backend failure: surface it as
+                # invalid_request (matching the async server's fail-fast
+                # check) rather than letting the batch stage raise later.
+                self._engine(request.task)
                 prepared = self.prepare(request)
             except Exception as error:  # noqa: BLE001 - strict=False must contain any backend
                 if strict:
@@ -323,16 +357,25 @@ class Pipeline:
         """Build the caller-facing :class:`Response` from a completed payload."""
         return self._response_from(prepared, payload, cached)
 
-    def spawn_engines(self) -> dict[str, _Engine]:
+    def spawn_engines(self, precision: str | None = None) -> dict[str, _Engine]:
         """Fresh per-task :class:`_Engine` instances over this pipeline's backends.
 
         The async server gives each worker shard its own engine set so worker
         state never aliases; the underlying backends (model weights, fitted
         baselines) are shared read-only, which is safe because inference does
-        not mutate them.
+        not mutate them.  ``precision`` overrides the engines' DataVisT5
+        inference precision (the :class:`~repro.serving.server.ServerConfig`
+        knob); ``None`` keeps each engine's configured setting.
         """
+        if precision is not None:
+            validate_precision(precision)
         return {
-            task: _Engine(engine.backend, task, use_cache=engine.use_cache)
+            task: _Engine(
+                engine.backend,
+                task,
+                use_cache=engine.use_cache,
+                precision=precision if precision is not None else engine.precision,
+            )
             for task, engine in self._engines.items()
         }
 

@@ -22,23 +22,29 @@ from repro.vql.ast import DVQuery
 #: so it is not part of the protocol.
 SERVABLE_TASKS = ("text_to_vis", "vis_to_text", "fevisqa")
 
-#: Machine-readable error codes carried by :attr:`Response.error`.  The async
+#: The single source of truth for the machine-readable error codes carried by
+#: :attr:`Response.error`, mapping each code to when it is emitted.  The async
 #: server and ``Pipeline.serve(strict=False)`` reject or fail requests with a
 #: structured error response instead of raising, so one bad request can never
-#: take down a burst or the serving loop.
+#: take down a burst or the serving loop.  Everything else — the ``ERROR_*``
+#: constants below, :data:`ERROR_CODES`, the server's per-code counters and
+#: the docs table in ``docs/serving.md`` — derives from (and is tested
+#: against) this mapping; add new codes here first.
+ERROR_CODE_MEANINGS = {
+    "invalid_request": "the request could not be validated or encoded (bad task, missing fields, unpreparable inputs)",
+    "backend_error": "the backend forward pass or postprocessing raised; other requests in the batch are unaffected",
+    "queue_full": "admission control: the task's bounded queue was full at submission time",
+    "deadline_exceeded": "the request's latency budget expired while it was still queued (or was <= 0 at submission and not answerable from the response cache)",
+    "server_stopped": "the request arrived after Server.stop() began",
+}
+
 ERROR_INVALID_REQUEST = "invalid_request"
 ERROR_BACKEND = "backend_error"
 ERROR_QUEUE_FULL = "queue_full"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_SHUTDOWN = "server_stopped"
 
-ERROR_CODES = (
-    ERROR_INVALID_REQUEST,
-    ERROR_BACKEND,
-    ERROR_QUEUE_FULL,
-    ERROR_DEADLINE,
-    ERROR_SHUTDOWN,
-)
+ERROR_CODES = tuple(ERROR_CODE_MEANINGS)
 
 
 @dataclass
@@ -136,6 +142,7 @@ class Response:
             "request_id": self.request_id,
             "error": self.error,
             "detail": self.detail,
+            "telemetry": self.telemetry,
         }
 
 

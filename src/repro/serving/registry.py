@@ -21,7 +21,10 @@ Two conveniences apply to the neural families:
   ``max_input_length``-style overrides via ``preset_overrides``) expands to a
   ``config=DataVisT5Config.from_preset(...)`` argument;
 * ``num_epochs`` / ``batch_size`` / ``learning_rate`` / ``seed`` collect into
-  a ``training=TrainingConfig(...)`` argument.
+  a ``training=TrainingConfig(...)`` argument;
+* ``precision`` (``"float64"`` / ``"float32"`` / ``"int8"``) selects the
+  fitted model's inference mode and is validated here, so a typo or a
+  misplaced knob fails at construction rather than at serve time.
 
 Already-built ``config=`` / ``training=`` objects are passed through
 unchanged, which is what :class:`repro.evaluation.experiments.ExperimentSuite`
@@ -38,7 +41,7 @@ from repro.baselines import (
     TextGenerationBaseline,
     TextToVisBaseline,
 )
-from repro.core.config import DataVisT5Config, TrainingConfig
+from repro.core.config import DataVisT5Config, TrainingConfig, validate_precision
 from repro.errors import ModelConfigError
 
 # Runtime-registered factories extend (and may shadow) the canonical tables.
@@ -116,6 +119,14 @@ def _expand_neural_kwargs(name: str, kwargs: dict) -> dict:
                 f"baseline spec for {name!r} sets both 'preset' and 'config'; pass one"
             )
         kwargs["config"] = DataVisT5Config.from_preset(preset or "tiny", **preset_overrides)
+    if "precision" in kwargs:
+        if name not in _NEURAL_NAMES:
+            raise ModelConfigError(
+                f"'precision' is not supported by the {name!r} baseline; "
+                f"only {', '.join(sorted(_NEURAL_NAMES))} run a DataVisT5 inference engine"
+            )
+        if kwargs["precision"] is not None:
+            validate_precision(kwargs["precision"])
     training_fields = {key: kwargs.pop(key) for key in _TRAINING_KEYS if key in kwargs}
     if training_fields:
         if name not in _TRAINED_NAMES:

@@ -42,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.batching import padding_efficiency
+from repro.core.config import validate_precision
 from repro.errors import ModelConfigError
 from repro.serving.batching import BatchWindow
 from repro.serving.pipeline import Pipeline, _Engine, _Prepared
@@ -67,19 +68,26 @@ class ServerConfig:
     rejected with ``queue_full`` rather than buffered without limit.
     ``num_workers`` is the number of thread-backed worker shards; it also
     bounds how many batches are in flight at once, which back-pressures the
-    collectors.
+    collectors.  ``precision`` overrides the DataVisT5 inference precision of
+    every worker shard's engines (``"float64"`` / ``"float32"`` / ``"int8"``;
+    ``None`` keeps the pipeline's own setting) — the deployment-level knob
+    for trading exact float64 reproduction for throughput, see
+    ``docs/numerics.md``.
     """
 
     max_batch: int = 8
     max_wait_ms: float = 2.0
     queue_size: int = 64
     num_workers: int = 2
+    precision: str | None = None
 
     def __post_init__(self):
         if self.queue_size <= 0:
             raise ModelConfigError("queue_size must be positive")
         if self.num_workers <= 0:
             raise ModelConfigError("num_workers must be positive")
+        if self.precision is not None:
+            validate_precision(self.precision)
         # BatchWindow validates max_batch / max_wait_ms at construction time;
         # the server derives its own window from the config when it starts.
         BatchWindow(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
@@ -150,6 +158,11 @@ class Server:
     def __init__(self, pipeline: Pipeline, config: ServerConfig | None = None):
         self.pipeline = pipeline
         self.config = config or ServerConfig()
+        if self.config.precision is not None:
+            # Build (and discard) one engine set now so a precision override
+            # the backends cannot satisfy — int8 over unquantized weights —
+            # fails here, at construction, not per request under traffic.
+            pipeline.spawn_engines(precision=self.config.precision)
         self._window = BatchWindow(max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms)
         self._queues: dict[str, asyncio.Queue] = {}
         self._collectors: dict[str, asyncio.Task] = {}
@@ -197,7 +210,9 @@ class Server:
         )
         self._idle_workers = asyncio.Queue()
         for worker_id in range(self.config.num_workers):
-            self._idle_workers.put_nowait(_Worker(worker_id, self.pipeline.spawn_engines()))
+            self._idle_workers.put_nowait(
+                _Worker(worker_id, self.pipeline.spawn_engines(precision=self.config.precision))
+            )
         self._started = True
 
     async def join(self) -> None:
@@ -242,9 +257,11 @@ class Server:
         ``deadline`` is a per-request latency budget in seconds, measured
         from submission.  A request still queued when its deadline passes is
         rejected with the ``deadline_exceeded`` error at dispatch time (and
-        immediately when ``deadline <= 0``); a request whose batch has
-        already reached a worker runs to completion.  A coalesced duplicate
-        shares the fate of the request it coalesced onto.
+        immediately when ``deadline <= 0``, unless the response cache can
+        answer without queueing — a deadline bounds waiting, and cache hits
+        do not wait).  A request whose batch has already reached a worker
+        runs to completion.  A coalesced duplicate shares the fate of the
+        request it coalesced onto.
         """
         self._counts["submitted"] += 1
         if self._closed:
@@ -258,6 +275,12 @@ class Server:
             prepared = self.pipeline.prepare(request)
         except Exception as error:  # noqa: BLE001 - submit never raises, per contract
             return self._account(error_response(request, ERROR_INVALID_REQUEST, str(error)))
+        if self.config.precision is not None:
+            # The override changes what the workers compute, so it must change
+            # the response-cache identity too: a float32 server sharing a
+            # pipeline with float64 callers must neither replay their cached
+            # outputs nor poison their cache with reduced-precision ones.
+            prepared.key = f"{prepared.key}|precision={self.config.precision}"
 
         cached = self.pipeline.cached_response(prepared)
         if cached is not None:
@@ -399,6 +422,8 @@ class Server:
             self._batch_size_sum += len(live)
             self._full_batch_count += len(live) >= self.config.max_batch
             self._batches_per_worker[worker.worker_id] = self._batches_per_worker.get(worker.worker_id, 0) + 1
+            # Approximate: whitespace word counts of the encoded sources, not
+            # tokenized lengths (backends tokenize later and may truncate).
             self._padding_sum += padding_efficiency([len(job.prepared.source.split()) for job in live])
             prepared = [job.prepared for job in live]
             try:

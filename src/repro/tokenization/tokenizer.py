@@ -117,6 +117,7 @@ class DataVisTokenizer:
 
     @property
     def num_sentinels(self) -> int:
+        """Number of span-corruption sentinel tokens in the vocabulary."""
         count = 0
         while sentinel_token(count) in self.vocab:
             count += 1

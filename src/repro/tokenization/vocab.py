@@ -90,24 +90,29 @@ class Vocabulary:
         return self._token_to_id.get(token, self._token_to_id[UNK_TOKEN])
 
     def id_to_token(self, token_id: int) -> str:
+        """The token string for ``token_id``."""
         if token_id < 0 or token_id >= len(self._id_to_token):
             raise TokenizationError(f"token id {token_id} outside vocabulary of size {len(self)}")
         return self._id_to_token[token_id]
 
     @property
     def pad_id(self) -> int:
+        """Id of the padding token."""
         return self._token_to_id[PAD_TOKEN]
 
     @property
     def eos_id(self) -> int:
+        """Id of the end-of-sequence token."""
         return self._token_to_id[EOS_TOKEN]
 
     @property
     def unk_id(self) -> int:
+        """Id of the unknown-token fallback."""
         return self._token_to_id[UNK_TOKEN]
 
     @property
     def bos_id(self) -> int:
+        """Id of the beginning-of-sequence token."""
         return self._token_to_id[BOS_TOKEN]
 
     def tokens(self) -> list[str]:

@@ -19,6 +19,7 @@ class ChartType(str, enum.Enum):
 
     @classmethod
     def from_text(cls, text: str) -> "ChartType":
+        """Parse a chart-type keyword (case-insensitive)."""
         normalized = " ".join(text.lower().split())
         for member in cls:
             if member.value == normalized:
@@ -27,6 +28,7 @@ class ChartType(str, enum.Enum):
 
 
 class SortDirection(str, enum.Enum):
+    """Sort order of an ORDER BY clause (``asc`` / ``desc``)."""
     ASC = "asc"
     DESC = "desc"
 
@@ -47,12 +49,14 @@ class ColumnRef:
     table: str | None = None
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         if self.table:
             return f"{self.table}.{self.column}"
         return self.column
 
     @property
     def is_wildcard(self) -> bool:
+        """Whether this is the ``*`` column."""
         return self.column == "*"
 
     def qualified(self, table: str) -> "ColumnRef":
@@ -75,6 +79,7 @@ class AggregateExpr:
             raise ValueError(f"unknown aggregate function: {self.function!r}")
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         if self.function is None:
             return self.column.to_text()
         inner = self.column.to_text()
@@ -84,6 +89,7 @@ class AggregateExpr:
 
     @property
     def is_aggregate(self) -> bool:
+        """Whether an aggregate function is applied."""
         return self.function is not None
 
 
@@ -96,6 +102,7 @@ class JoinClause:
     right: ColumnRef
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         return f"join {self.table} on {self.left.to_text()} = {self.right.to_text()}"
 
 
@@ -109,6 +116,7 @@ class Subquery:
     where: tuple["Condition", ...] = ()
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         parts = [f"select {self.select.to_text()}", f"from {self.from_table}"]
         parts.extend(join.to_text() for join in self.joins)
         if self.where:
@@ -132,6 +140,7 @@ class Condition:
             raise ValueError(f"unknown comparison operator: {self.operator!r}")
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         if isinstance(self.value, Subquery):
             rendered = self.value.to_text()
         elif isinstance(self.value, str):
@@ -149,6 +158,7 @@ class OrderByClause:
     direction: SortDirection = SortDirection.ASC
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         return f"order by {self.expression.to_text()} {self.direction.value}"
 
 
@@ -164,6 +174,7 @@ class BinClause:
             raise ValueError(f"unknown bin unit: {self.unit!r}")
 
     def to_text(self) -> str:
+        """Render back to DV-query text."""
         return f"bin {self.column.to_text()} by {self.unit}"
 
 
@@ -218,6 +229,7 @@ class DVQuery:
     # -- structural accessors ---------------------------------------------------
     @property
     def has_join(self) -> bool:
+        """Whether the query joins tables."""
         return bool(self.joins)
 
     def tables(self) -> list[str]:

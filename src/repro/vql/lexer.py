@@ -23,6 +23,7 @@ class Token:
     position: int
 
     def lowered(self) -> str:
+        """The token text lower-cased (DV-query keywords are case-insensitive)."""
         return self.value.lower()
 
 

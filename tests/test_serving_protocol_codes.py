@@ -1,0 +1,97 @@
+"""Error-code reconciliation: one list, everywhere.
+
+``repro.serving.protocol.ERROR_CODE_MEANINGS`` is the single source of truth
+for the machine-readable error codes a serving ``Response`` can carry.  This
+suite pins every derived surface to it so the code list can never drift
+again:
+
+* the ``ERROR_*`` constants and ``ERROR_CODES`` tuple in ``protocol.py``;
+* the codes ``server.py`` actually emits and counts (its per-code counters
+  and the ``rejected``/``failed`` groups of ``Server.stats()``);
+* the documentation table in ``docs/serving.md``;
+* ``error_response``'s refusal to mint unknown codes.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.serving import protocol, server
+from repro.serving.protocol import ERROR_CODE_MEANINGS, ERROR_CODES, Request, error_response
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_error_codes_derive_from_meanings():
+    assert ERROR_CODES == tuple(ERROR_CODE_MEANINGS)
+    assert all(meaning.strip() for meaning in ERROR_CODE_MEANINGS.values())
+
+
+def test_constants_cover_the_meanings_exactly():
+    constants = {
+        value
+        for name, value in vars(protocol).items()
+        if name.startswith("ERROR_") and isinstance(value, str)
+    }
+    assert constants == set(ERROR_CODE_MEANINGS)
+
+
+def test_server_counts_every_code():
+    pipeline_stub = type("PipelineStub", (), {})()
+    srv = server.Server(pipeline_stub)  # type: ignore[arg-type]
+    for code in ERROR_CODES:
+        assert code in srv._counts, f"Server does not count {code!r}"
+
+
+def test_server_stats_groups_cover_every_code():
+    pipeline_stub = type("PipelineStub", (), {"stats": lambda self: {}})()
+    srv = server.Server(pipeline_stub)  # type: ignore[arg-type]
+    stats = srv.stats()
+    reported = set(stats["requests"]["rejected"]) | set(stats["requests"]["failed"])
+    assert reported == set(ERROR_CODES)
+
+
+def test_server_source_emits_only_known_codes():
+    source = (REPO_ROOT / "src" / "repro" / "serving" / "server.py").read_text(encoding="utf-8")
+    referenced = set(re.findall(r"ERROR_[A-Z_]+", source))
+    defined = {name for name in vars(protocol) if name.startswith("ERROR_")}
+    unknown = referenced - defined
+    assert not unknown, f"server.py references undefined error constants: {sorted(unknown)}"
+    # every code the protocol defines is actually used by the server
+    emitted = {getattr(protocol, name) for name in referenced if isinstance(getattr(protocol, name, None), str)}
+    assert emitted == set(ERROR_CODES)
+
+
+def test_docs_table_lists_every_code():
+    docs = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    for code in ERROR_CODES:
+        assert f"`{code}`" in docs, f"docs/serving.md does not document error code {code!r}"
+
+
+def test_unconfigured_task_is_invalid_request_not_backend_error():
+    # The same misconfiguration must carry the same code on both serving
+    # paths: the async server fail-fasts it as invalid_request, so the
+    # synchronous strict=False path must too.
+    from repro.serving import Pipeline
+
+    pipeline = Pipeline()  # no backends configured at all
+    response = pipeline.serve([Request(task="fevisqa", question="q")], strict=False)[0]
+    assert response.error == "invalid_request"
+    assert "no backend configured" in (response.detail or "")
+
+
+def test_as_dict_carries_telemetry():
+    response = protocol.Response(task="fevisqa", output="3", telemetry={"queue_ms": 1.0})
+    assert response.as_dict()["telemetry"] == {"queue_ms": 1.0}
+
+
+def test_error_response_rejects_unknown_codes():
+    request = Request(task="fevisqa", question="q")
+    for code in ERROR_CODES:
+        assert error_response(request, code, "detail").error == code
+    with pytest.raises(ModelConfigError):
+        error_response(request, "made_up_code", "detail")

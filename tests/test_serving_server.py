@@ -95,11 +95,13 @@ class _ExplodingCaption(GENERATION_BASELINES["heuristics"]):
 def _comparable(response) -> dict:
     """A response's content, minus scheduling-dependent fields.
 
-    ``cached`` depends on which duplicate won the race under concurrency, so
-    equality with the synchronous path is over everything else.
+    ``cached`` depends on which duplicate won the race under concurrency and
+    ``telemetry`` on queue/batch/worker placement, so equality with the
+    synchronous path is over everything else.
     """
     payload = response.as_dict()
     payload.pop("cached")
+    payload.pop("telemetry")
     return payload
 
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public ``repro`` API.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports, so a
+syntax error cannot crash the checker half-way) and requires a docstring on:
+
+* every module;
+* every public class (name not starting with ``_``) at module level;
+* every public function at module level and every public method of a public
+  class, ``__init__`` excluded (the class docstring documents construction).
+
+Private names (leading ``_``), dunder methods, nested definitions and
+``@overload`` stubs are exempt.  Exits non-zero listing every offender — CI
+runs this via ``make check-docs``, so an undocumented public surface fails
+the build.
+
+Usage::
+
+    python tools/check_docstrings.py [--root src/repro]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def is_public(name: str) -> bool:
+    """Whether ``name`` is part of the public surface (no leading underscore)."""
+    return not name.startswith("_")
+
+
+def iter_missing(tree: ast.Module, module_name: str):
+    """Yield ``(qualified_name, kind, lineno)`` for every missing docstring."""
+    if ast.get_docstring(tree) is None:
+        yield module_name, "module", 1
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and is_public(node.name):
+            if ast.get_docstring(node) is None:
+                yield f"{module_name}.{node.name}", "function", node.lineno
+        elif isinstance(node, ast.ClassDef) and is_public(node.name):
+            if ast.get_docstring(node) is None:
+                yield f"{module_name}.{node.name}", "class", node.lineno
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not is_public(member.name) or member.name == "__init__":
+                    continue
+                if any(
+                    isinstance(decorator, ast.Name) and decorator.id == "overload"
+                    for decorator in member.decorator_list
+                ):
+                    continue
+                if ast.get_docstring(member) is None:
+                    yield f"{module_name}.{node.name}.{member.name}", "method", member.lineno
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the package root's parent."""
+    relative = path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Scan the tree and report missing public docstrings; 0 iff none."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path("src/repro"), help="package directory to scan")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+
+    missing: list[tuple[str, str, str, int]] = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        checked += 1
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for qualified, kind, lineno in iter_missing(tree, module_name_for(path, root)):
+            missing.append((str(path), qualified, kind, lineno))
+
+    for path, qualified, kind, lineno in missing:
+        print(f"{path}:{lineno}: missing {kind} docstring: {qualified}", file=sys.stderr)
+    status = "FAIL" if missing else "OK"
+    print(f"docstring coverage: {checked} modules checked, {len(missing)} missing public docstrings [{status}]")
+    return 1 if missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Generate the markdown API reference for the public ``repro`` surface.
+
+Walks every importable module under ``repro`` with :mod:`pkgutil`, inspects
+its public classes and functions (the ones *defined* in that module — re-
+exports are listed in the package page only), and writes one markdown page
+per module plus an index to ``docs/api/``.  Everything comes straight from
+the live docstrings — the same text ``pydoc`` would show — so the reference
+can never say something the code does not.
+
+The output is deterministic (sorted modules, definition-order members), so
+regenerating with no code changes is a no-op; CI runs this via ``make docs``
+and fails on any import or generation error.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_api_docs.py [--output docs/api]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+
+def is_public(name: str) -> bool:
+    """Whether ``name`` is part of the public surface (no leading underscore)."""
+    return not name.startswith("_")
+
+
+def first_line(doc: str | None) -> str:
+    """The summary line of a docstring ('' when absent)."""
+    return (doc or "").strip().splitlines()[0] if doc else ""
+
+
+def signature_of(obj) -> str:
+    """``inspect.signature`` rendered, or '' for objects without one."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def document_function(obj, name: str, heading: str) -> list[str]:
+    """Markdown block for one function or method."""
+    lines = [f"{heading} `{name}{signature_of(obj)}`", ""]
+    doc = inspect.getdoc(obj)
+    if doc:
+        lines += [doc, ""]
+    return lines
+
+
+def document_class(cls, name: str) -> list[str]:
+    """Markdown block for one class: docstring then public methods/properties."""
+    lines = [f"### `{name}{signature_of(cls)}`", ""]
+    doc = inspect.getdoc(cls)
+    if doc:
+        lines += [doc, ""]
+    for member_name, member in vars(cls).items():
+        if not is_public(member_name):
+            continue
+        if isinstance(member, property):
+            lines += [f"#### `{member_name}` *(property)*", ""]
+            member_doc = inspect.getdoc(member)
+            if member_doc:
+                lines += [member_doc, ""]
+        elif isinstance(member, (staticmethod, classmethod)):
+            lines += document_function(member.__func__, f"{member_name}", "####")
+        elif inspect.isfunction(member):
+            lines += document_function(member, member_name, "####")
+    return lines
+
+
+def document_module(module, module_name: str) -> str:
+    """The full markdown page for one module."""
+    lines = [f"# `{module_name}`", ""]
+    doc = inspect.getdoc(module)
+    if doc:
+        lines += [doc, ""]
+    classes = [
+        (name, obj)
+        for name, obj in vars(module).items()
+        if is_public(name) and inspect.isclass(obj) and getattr(obj, "__module__", None) == module_name
+    ]
+    functions = [
+        (name, obj)
+        for name, obj in vars(module).items()
+        if is_public(name) and inspect.isfunction(obj) and getattr(obj, "__module__", None) == module_name
+    ]
+    if classes:
+        lines += ["## Classes", ""]
+        for name, cls in classes:
+            lines += document_class(cls, name)
+    if functions:
+        lines += ["## Functions", ""]
+        for name, fn in functions:
+            lines += document_function(fn, name, "###")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Generate ``docs/api`` from the importable ``repro`` package; 0 on success."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("docs/api"))
+    args = parser.parse_args(argv)
+
+    import repro
+
+    module_names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module_names.append(info.name)
+    module_names.sort()
+
+    args.output.mkdir(parents=True, exist_ok=True)
+    for stale in args.output.glob("*.md"):
+        stale.unlink()
+
+    index = [
+        "# API reference",
+        "",
+        "Generated from the live docstrings by `make docs` "
+        "(`tools/gen_api_docs.py`); do not edit by hand.",
+        "",
+        "| module | summary |",
+        "| ------ | ------- |",
+    ]
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        page = args.output / f"{module_name}.md"
+        page.write_text(document_module(module, module_name), encoding="utf-8")
+        index.append(f"| [`{module_name}`]({module_name}.md) | {first_line(module.__doc__)} |")
+    (args.output / "index.md").write_text("\n".join(index) + "\n", encoding="utf-8")
+    print(f"wrote {len(module_names)} module pages + index to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
