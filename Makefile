@@ -4,13 +4,14 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test bench bench-decode bench-serving smoke ci install docs check-docs help
+.PHONY: test bench bench-decode bench-serving bench-deploy smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
 	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json (fails if cached decode is slower than naive, fp32 slower than fp64, or fp32 agreement < 99%)"
 	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
+	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
 	@echo "make smoke         - run every example end-to-end"
 	@echo "make docs          - regenerate the API reference (docs/api/) from docstrings"
 	@echo "make check-docs    - docstring-coverage gate: fail if any public repro.* surface lacks a docstring"
@@ -28,6 +29,9 @@ bench-decode:
 
 bench-serving:
 	PYTHONPATH=src $(PYTHON) benchmarks/serving_benchmark.py --output BENCH_serving.json
+
+bench-deploy:
+	PYTHONPATH=src $(PYTHON) benchmarks/deploy_benchmark.py --output BENCH_deploy.json
 
 # Keep this the single source of truth for what CI executes, so local runs
 # and .github/workflows/ci.yml can never drift apart.  `docs` doubles as the

@@ -1,0 +1,366 @@
+"""Deployment-lifecycle benchmark: hot-swap, canary and shadow under load.
+
+Exercises the ``repro.deploy`` layer the way operations would, against a
+smoke-scale DataVisT5 and an open-loop bursty arrival trace (the same
+traffic shape as ``benchmarks/serving_benchmark.py``), and writes
+``BENCH_deploy.json`` with three sections:
+
+* **hot_swap** — requests stream at the server while
+  ``Server.hot_swap`` rolls the incumbent to a weight-identical new version
+  mid-trace.  Reported: the swap latency (deploy + atomic route flip +
+  drain of the old version), and the proof obligations of zero-downtime —
+  zero dropped requests, zero errors, zero misrouted requests (every
+  response names a legitimate version; everything submitted after the swap
+  lands on the new one), and **bitwise-identical incumbent responses**: a
+  probe set served before the swap and re-served after it (fresh compute in
+  the new version's cache namespace, never a cache replay) must match
+  exactly.
+* **canary** — a deterministic hash split at ``--canary-fraction``:
+  observed split accuracy over unique request keys, and exact
+  retry-affinity (re-submitting every request reproduces its assignment).
+* **shadow** — ``--shadow-fraction`` of traffic mirrored to a
+  weight-identical candidate: recorded agreement rate (gated at 1.0 —
+  identical weights must agree bitwise) and the mean latency delta.
+
+Exits non-zero if any request is dropped, errored or misrouted during the
+swap, if the incumbent's before/after outputs differ, if canary routing is
+not deterministic or misses its split beyond tolerance, or if shadow
+agreement falls below 1.0.
+
+Run it via ``make bench-deploy`` or directly::
+
+    PYTHONPATH=src python benchmarks/deploy_benchmark.py --output BENCH_deploy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets import build_database_pool, generate_nvbench
+from repro.serving import (
+    DEFAULT_DEPLOYMENT,
+    Pipeline,
+    PipelineConfig,
+    Request,
+    Server,
+    ServerConfig,
+)
+
+
+def build_workload(args: argparse.Namespace) -> tuple[DataVisT5, DataVisT5, list[Request], list[Request]]:
+    """The serving model, a weight-identical twin, trace requests and probes.
+
+    The twin is the same seeded build (identical weights), so routing to it
+    must produce bitwise-identical outputs — any divergence after a swap is
+    a routing or state bug, not model noise.
+    """
+    pool = build_database_pool(num_databases=4, seed=args.seed)
+    nvbench = generate_nvbench(pool, examples_per_database=8, seed=args.seed)
+
+    def make_model() -> DataVisT5:
+        config = DataVisT5Config.from_preset(
+            "tiny", max_input_length=64, max_target_length=32, max_decode_length=args.decode_length
+        )
+        texts = [example.question for example in nvbench.examples[:24]]
+        texts += [example.query_text for example in nvbench.examples[:24]]
+        return DataVisT5.from_corpus(texts, config=config, max_vocab_size=800)
+
+    model, twin = make_model(), make_model()
+
+    requests: list[Request] = []
+    for index in range(args.num_requests):
+        example = nvbench.examples[index % len(nvbench.examples)]
+        schema = pool.get(example.db_id).schema
+        if index % 2 == 0:
+            requests.append(
+                Request(task="fevisqa", question=f"how many rows in group {index} ?", chart=example.query, schema=schema)
+            )
+        else:
+            requests.append(Request(task="vis_to_text", chart=example.query, schema=schema))
+    probes = [
+        Request(task="fevisqa", question=f"probe question number {index} ?", chart=nvbench.examples[index].query)
+        for index in range(args.num_probes)
+    ]
+    return model, twin, requests, probes
+
+
+def _server_config(args: argparse.Namespace, queue_size: int) -> ServerConfig:
+    return ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=queue_size,
+        num_workers=args.num_workers,
+    )
+
+
+def run_hot_swap(
+    model: DataVisT5, twin: DataVisT5, requests: list[Request], probes: list[Request], args: argparse.Namespace
+) -> dict:
+    """Stream the trace while the incumbent is hot-swapped mid-flight.
+
+    The trace runs on an explicitly deployed ``incumbent@1`` (not the
+    primary fallback), so the measured swap latency covers the whole
+    zero-downtime roll: deploy the new engines, flip every route atomically,
+    drain the old version's in-flight work and retire it.
+    """
+    pipeline = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=args.max_batch))
+    incumbent = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=args.max_batch))
+    replacement = Pipeline.from_model(twin, config=PipelineConfig(max_batch_size=args.max_batch))
+    gap_seconds = args.burst_gap_ms / 1000.0
+    swap_after = len(requests) // 2
+
+    async def drive() -> dict:
+        server = Server(pipeline, _server_config(args, queue_size=max(len(requests), 64)))
+        async with server:
+            await server.deploy("incumbent@1", incumbent)
+            for task in ("fevisqa", "vis_to_text"):
+                server.set_routes(task, {"incumbent@1": 1.0})
+            before = await server.submit_all(probes)
+            pending: list[asyncio.Task] = []
+            post_swap_indices: set[int] = set()
+            swap_seconds = None
+            swapped = False
+            start = time.perf_counter()
+            for index, request in enumerate(requests):
+                offset = (index // args.burst_size) * gap_seconds
+                wait = start + offset - time.perf_counter()
+                if wait > 0:
+                    await asyncio.sleep(wait)
+                if index == swap_after:
+                    swap_seconds = await server.hot_swap(
+                        "incumbent@2", replacement, replaces="incumbent@1"
+                    )
+                    swapped = True
+                if swapped:
+                    post_swap_indices.add(index)
+                pending.append(asyncio.create_task(server.submit(request)))
+            responses = await asyncio.gather(*pending)
+            makespan = time.perf_counter() - start
+            after = await server.submit_all(probes)
+            stats = server.stats()
+        return {
+            "responses": responses,
+            "before": before,
+            "after": after,
+            "post_swap_indices": post_swap_indices,
+            "swap_seconds": swap_seconds,
+            "makespan": makespan,
+            "stats": stats,
+        }
+
+    run = asyncio.run(drive())
+    responses = run["responses"]
+    dropped = len(requests) - len(responses)
+    errored = sum(not response.ok for response in responses)
+    served_by: dict[str, int] = {}
+    misrouted = 0
+    for index, response in enumerate(responses):
+        deployment = (response.telemetry or {}).get("deployment")
+        served_by[deployment] = served_by.get(deployment, 0) + 1
+        if deployment not in ("incumbent@1", "incumbent@2"):
+            misrouted += 1
+        elif index in run["post_swap_indices"] and deployment != "incumbent@2":
+            misrouted += 1
+    before_outputs = [response.output for response in run["before"]]
+    after_outputs = [response.output for response in run["after"]]
+    incumbent_bitwise_identical = before_outputs == after_outputs
+    # the post-swap probes must be fresh computes in the new version's cache
+    # namespace, or the bitwise check would be a cache replay tautology
+    probes_recomputed = all(not response.cached for response in run["after"])
+    return {
+        "num_requests": len(requests),
+        "swap_latency_seconds": round(run["swap_seconds"], 6),
+        "makespan_seconds": round(run["makespan"], 6),
+        "requests_per_sec": round(len(requests) / run["makespan"], 2),
+        "dropped": dropped,
+        "errored": errored,
+        "misrouted": misrouted,
+        "served_by": dict(sorted(served_by.items())),
+        "incumbent_bitwise_identical": incumbent_bitwise_identical,
+        "probes_recomputed_after_swap": probes_recomputed,
+        "old_version_retired": "incumbent@1" not in run["stats"]["deployments"],
+        "deployments_after": sorted(run["stats"]["deployments"]),
+    }
+
+
+def run_canary(model: DataVisT5, twin: DataVisT5, requests: list[Request], args: argparse.Namespace) -> dict:
+    """Measure split accuracy and retry affinity of the deterministic canary."""
+    pipeline = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=args.max_batch))
+    candidate = Pipeline.from_model(twin, config=PipelineConfig(max_batch_size=args.max_batch))
+
+    async def drive() -> tuple[list, list]:
+        server = Server(pipeline, _server_config(args, queue_size=max(len(requests), 64)))
+        async with server:
+            await server.deploy("candidate@1", candidate)
+            for task in ("fevisqa", "vis_to_text"):
+                server.set_canary(task, DEFAULT_DEPLOYMENT, "candidate@1", args.canary_fraction)
+            first = await server.submit_all(requests)
+            retries = await server.submit_all(requests)
+        return first, retries
+
+    first, retries = asyncio.run(drive())
+    assignments = [response.telemetry["deployment"] for response in first]
+    retry_assignments = [response.telemetry["deployment"] for response in retries]
+    observed = assignments.count("candidate@1") / max(len(assignments), 1)
+    return {
+        "num_requests": len(requests),
+        "target_fraction": args.canary_fraction,
+        "observed_fraction": round(observed, 4),
+        "split_error": round(abs(observed - args.canary_fraction), 4),
+        "deterministic": assignments == retry_assignments,
+        "all_ok": all(response.ok for response in first + retries),
+    }
+
+
+def run_shadow(model: DataVisT5, twin: DataVisT5, requests: list[Request], args: argparse.Namespace) -> dict:
+    """Mirror a fraction of traffic to a weight-identical candidate."""
+    pipeline = Pipeline.from_model(model, config=PipelineConfig(max_batch_size=args.max_batch))
+    candidate = Pipeline.from_model(twin, config=PipelineConfig(max_batch_size=args.max_batch))
+
+    async def drive() -> tuple[list, dict]:
+        server = Server(pipeline, _server_config(args, queue_size=max(2 * len(requests), 64)))
+        async with server:
+            await server.deploy("candidate@1", candidate)
+            for task in ("fevisqa", "vis_to_text"):
+                server.set_shadow(task, "candidate@1", args.shadow_fraction)
+            responses = await server.submit_all(requests)
+            await server.join()  # shadow recorders settle before stats
+            stats = server.stats()
+        return responses, stats
+
+    responses, stats = asyncio.run(drive())
+    bucket_key = f"{DEFAULT_DEPLOYMENT}->candidate@1"
+    bucket = stats["shadow"].get(
+        bucket_key,
+        {
+            "samples": 0,
+            "agreement_rate": 0.0,
+            "mean_latency_delta_ms": 0.0,
+            "shadow_errors": 0,
+            "primary_errors": 0,
+            "dropped": 0,
+        },
+    )
+    return {
+        "num_requests": len(requests),
+        "shadow_fraction": args.shadow_fraction,
+        "samples": bucket["samples"],
+        "agreement_rate": bucket["agreement_rate"],
+        "mean_latency_delta_ms": bucket["mean_latency_delta_ms"],
+        "shadow_errors": bucket["shadow_errors"],
+        "primary_errors": bucket["primary_errors"],
+        "dropped": bucket["dropped"],
+        "all_ok": all(response.ok for response in responses),
+        "callers_served_by_primary": all(
+            response.telemetry["deployment"] == DEFAULT_DEPLOYMENT for response in responses
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_deploy.json"))
+    parser.add_argument("--num-requests", type=int, default=48)
+    parser.add_argument("--num-probes", type=int, default=8)
+    parser.add_argument("--burst-size", type=int, default=6, help="requests arriving together")
+    parser.add_argument("--burst-gap-ms", type=float, default=15.0, help="gap between bursts")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--num-workers", type=int, default=2)
+    parser.add_argument("--decode-length", type=int, default=16)
+    parser.add_argument("--canary-fraction", type=float, default=0.25)
+    parser.add_argument("--shadow-fraction", type=float, default=0.5)
+    parser.add_argument("--split-tolerance", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    model, twin, requests, probes = build_workload(args)
+
+    # Warm the model once (BLAS thread pools, allocator) outside the
+    # measured sections so the swap latency is not first-call overhead.
+    Pipeline.from_model(model).submit(requests[0])
+
+    hot_swap = run_hot_swap(model, twin, requests, probes, args)
+    canary = run_canary(model, twin, requests, args)
+    shadow = run_shadow(model, twin, requests, args)
+
+    results = {
+        "benchmark": "deployment_lifecycle",
+        "repro_version": repro.__version__,
+        "workload": {
+            "num_requests": args.num_requests,
+            "burst_size": args.burst_size,
+            "burst_gap_ms": args.burst_gap_ms,
+            "decode_length": args.decode_length,
+        },
+        "config": {
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "num_workers": args.num_workers,
+        },
+        "hot_swap": hot_swap,
+        "canary": canary,
+        "shadow": shadow,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+
+    print(
+        f"hot swap: {hot_swap['swap_latency_seconds'] * 1000.0:7.1f}ms flip under "
+        f"{hot_swap['requests_per_sec']:.1f} req/s | dropped={hot_swap['dropped']} "
+        f"errored={hot_swap['errored']} misrouted={hot_swap['misrouted']} | "
+        f"incumbent bitwise identical={hot_swap['incumbent_bitwise_identical']}"
+    )
+    print(
+        f"  canary: target {canary['target_fraction']:.2f} observed {canary['observed_fraction']:.2f} "
+        f"(|err| {canary['split_error']:.3f}) | deterministic={canary['deterministic']}"
+    )
+    print(
+        f"  shadow: {shadow['samples']} samples | agreement {shadow['agreement_rate']:.4f} | "
+        f"mean latency delta {shadow['mean_latency_delta_ms']:+.1f}ms"
+    )
+    print(f"wrote {args.output}")
+
+    failures = []
+    if hot_swap["dropped"]:
+        failures.append(f"hot swap dropped {hot_swap['dropped']} requests")
+    if hot_swap["errored"]:
+        failures.append(f"hot swap errored {hot_swap['errored']} requests")
+    if hot_swap["misrouted"]:
+        failures.append(f"hot swap misrouted {hot_swap['misrouted']} requests")
+    if not hot_swap["incumbent_bitwise_identical"]:
+        failures.append("incumbent responses changed across the swap")
+    if not hot_swap["probes_recomputed_after_swap"]:
+        failures.append("post-swap probes were cache replays, not fresh computes")
+    if not hot_swap["old_version_retired"]:
+        failures.append("the replaced version was not drained and retired")
+    if not canary["deterministic"]:
+        failures.append("canary routing is not deterministic per request key")
+    if not canary["all_ok"]:
+        failures.append("canary run produced errored responses")
+    if canary["split_error"] > args.split_tolerance:
+        failures.append(
+            f"canary split off target by {canary['split_error']:.3f} (> {args.split_tolerance})"
+        )
+    if shadow["samples"] == 0:
+        failures.append("shadow traffic recorded no samples")
+    if shadow["agreement_rate"] < 1.0:
+        failures.append(
+            f"weight-identical shadow agreement {shadow['agreement_rate']:.4f} < 1.0"
+        )
+    if not shadow["all_ok"] or not shadow["callers_served_by_primary"]:
+        failures.append("shadow traffic affected caller responses")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

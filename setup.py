@@ -4,13 +4,29 @@ The project keeps all importable code under ``src/repro``; this file declares
 the ``package_dir`` mapping so ``pip install -e .`` (and plain ``pip install
 .``) resolve the layout.  In offline environments without the ``wheel``
 package, install with ``pip install -e . --no-build-isolation``.
+
+The version is single-sourced from ``repro.__version__`` — parsed textually
+so building a wheel never has to import the package (or numpy).
 """
+
+import re
+from pathlib import Path
 
 from setuptools import find_packages, setup
 
+
+def read_version() -> str:
+    """The ``__version__`` assignment in ``src/repro/__init__.py``, verbatim."""
+    init_text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', init_text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("could not find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
 setup(
     name="repro-datavist5",
-    version="1.0.0",
+    version=read_version(),
     description=(
         "Offline reproduction of DataVisT5 (ICDE 2025): text-to-vis, "
         "vis-to-text and FeVisQA with a unified serving pipeline"

@@ -12,7 +12,10 @@ See ``examples/quickstart.py`` for a runnable end-to-end walk-through,
 flow and the serving subsystem's batching/caching design.
 """
 
-__version__ = "1.0.0"
+# The single source of the package version: setup.py parses this assignment
+# textually (no import) and the deploy layer stamps it into deployment
+# manifests, registry files and Server.stats() for provenance.
+__version__ = "1.1.0"
 
 from repro import errors
 

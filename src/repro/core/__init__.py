@@ -15,7 +15,7 @@ substrate of :mod:`repro.nn`:
 """
 
 from repro.core.config import DataVisT5Config, TrainingConfig
-from repro.core.model import DataVisT5
+from repro.core.model import DataVisT5, checkpoint_fingerprint
 from repro.core.objectives import span_corruption, SpanCorruptionConfig, bdc_pair_to_example
 from repro.core.pretraining import HybridPretrainer, PretrainingReport
 from repro.core.finetuning import MultiTaskFineTuner, SingleTaskFineTuner, FineTuningReport
@@ -24,6 +24,7 @@ __all__ = [
     "DataVisT5Config",
     "TrainingConfig",
     "DataVisT5",
+    "checkpoint_fingerprint",
     "span_corruption",
     "SpanCorruptionConfig",
     "bdc_pair_to_example",

@@ -10,6 +10,7 @@ builders.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Sequence
 from dataclasses import replace
@@ -24,6 +25,28 @@ from repro.nn.optim import Adam, LinearWarmupSchedule, clip_grad_norm
 from repro.nn.transformer import T5Model
 from repro.tokenization.tokenizer import DataVisTokenizer
 from repro.tokenization.vocab import Vocabulary
+
+
+def checkpoint_fingerprint(checkpoint: str | Path) -> str:
+    """The content fingerprint of a checkpoint's ``weights.npz``.
+
+    ``checkpoint`` is a checkpoint directory (as written by
+    :meth:`DataVisT5.save`) or a direct path to a ``weights.npz`` file.  The
+    fingerprint is ``"sha256:<hex>"`` over the file's raw bytes, streamed in
+    chunks so large checkpoints never load into memory.  Deployment manifests
+    (:mod:`repro.deploy.manifest`) record it at registration time and verify
+    it before activation, so a checkpoint that was overwritten, truncated or
+    swapped since it was registered is refused rather than silently served.
+    """
+    path = Path(checkpoint)
+    weights = path / "weights.npz" if path.is_dir() else path
+    if not weights.exists():
+        raise ModelConfigError(f"no weights file to fingerprint at {weights}")
+    digest = hashlib.sha256()
+    with open(weights, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
 
 
 class DataVisT5:

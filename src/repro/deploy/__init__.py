@@ -1,0 +1,47 @@
+"""Deployment lifecycle for the serving stack: versions, routing, rollback.
+
+The serving layer (:mod:`repro.serving`) answers requests; this subsystem
+answers the operational questions around it — *which model version answers,
+how does a new version take over, and how does a bad one get out?*  Three
+pieces, layered between the baseline/checkpoint registry and the async
+server:
+
+* :class:`~repro.deploy.manifest.DeploymentManifest` — the declarative
+  identity of one ``name@version``: backend construction recipe (checkpoint
+  or baseline-config), served tasks, precision/decode settings, and a
+  content fingerprint of the checkpoint's ``weights.npz``; JSON round trip,
+  validated before activation.
+* :class:`~repro.deploy.registry.ModelRegistry` — versioned manifests in one
+  persisted JSON file, with ``register_checkpoint`` (save + fingerprint +
+  mint the next version) and ``build_pipeline`` (verify, then reconstruct a
+  ready :class:`~repro.serving.pipeline.Pipeline`).
+* :class:`~repro.deploy.router.Router` — an immutable task -> weighted
+  deployment table with deterministic per-request-key hashing (canary
+  splits that keep retries on one version), shadow-traffic sampling, and
+  :class:`~repro.deploy.router.CanaryGuard` auto-revert policies.
+
+The live half — ``Server.deploy`` / ``undeploy`` / ``set_weights`` /
+``set_routes`` / ``set_canary`` / ``set_shadow`` and the zero-downtime
+``hot_swap`` — lives on :class:`repro.serving.server.Server`, which consumes
+these pieces.  See ``docs/deploy.md`` for the lifecycle walk-through.
+"""
+
+# Import order matters: router.py is a leaf (only repro.errors) and must come
+# first, because importing manifest.py pulls in repro.serving, whose server
+# module imports back into repro.deploy.router — a cycle that only resolves
+# when router is already complete by the time serving starts loading.
+from repro.deploy.router import CanaryGuard, Router, ShadowSpec, deployment_id, hash_fraction, parse_ref
+from repro.deploy.manifest import DECODE_KEYS, DeploymentManifest
+from repro.deploy.registry import ModelRegistry
+
+__all__ = [
+    "DeploymentManifest",
+    "ModelRegistry",
+    "Router",
+    "ShadowSpec",
+    "CanaryGuard",
+    "deployment_id",
+    "parse_ref",
+    "hash_fraction",
+    "DECODE_KEYS",
+]

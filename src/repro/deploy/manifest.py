@@ -1,0 +1,185 @@
+"""Deployment manifests: the declarative identity of one model version.
+
+A :class:`DeploymentManifest` is everything needed to reconstruct — and
+trust — one deployable unit: a ``name@version`` identity, the tasks it
+serves, *how* its backends are built (a saved :class:`~repro.core.model.
+DataVisT5` checkpoint, or a baseline-registry config spec), the inference
+precision and decode settings, and a content fingerprint of the checkpoint's
+``weights.npz`` so the registry can prove the bytes on disk are the bytes
+that were registered.  Manifests are plain frozen dataclasses with a strict
+JSON round trip (:meth:`~DeploymentManifest.as_dict` /
+:meth:`~DeploymentManifest.from_dict`), validated eagerly at construction —
+a malformed manifest fails when it is written, not when a hot-swap tries to
+activate it under traffic.
+
+Every manifest is stamped with the ``repro`` package version that created it
+(``repro_version``), the provenance breadcrumb that answers "which code
+built this deployment?" long after the process is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro import __version__
+from repro.core.config import validate_precision
+from repro.core.model import checkpoint_fingerprint
+from repro.deploy.router import deployment_id
+from repro.errors import ModelConfigError
+from repro.serving.protocol import SERVABLE_TASKS
+
+#: The decode knobs a manifest may pin (applied to the deployment's engines).
+DECODE_KEYS = ("use_cache",)
+
+
+@dataclass(frozen=True)
+class DeploymentManifest:
+    """One versioned, reconstructible deployment.
+
+    Exactly one of ``checkpoint`` (a :meth:`DataVisT5.save` directory, with
+    ``fingerprint`` recording its ``weights.npz`` content hash) and
+    ``backends`` (a :meth:`Pipeline.from_config` spec of per-task baseline
+    builders) must be set — the two backend families the serving layer knows
+    how to build.  ``tasks`` declares the serving surface; ``precision`` and
+    ``decode`` pin the inference knobs (see ``docs/numerics.md`` and
+    ``docs/decoding.md``); ``metadata`` is free-form operator context
+    (training run, dataset hash, owner...).  ``repro_version`` is stamped
+    automatically.
+    """
+
+    name: str
+    version: int
+    tasks: tuple[str, ...] = SERVABLE_TASKS
+    checkpoint: str | None = None
+    fingerprint: str | None = None
+    backends: dict | None = None
+    precision: str | None = None
+    decode: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+    repro_version: str = __version__
+
+    def __post_init__(self):
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        self.validate()
+
+    @property
+    def id(self) -> str:
+        """The ``"name@version"`` identity this manifest deploys as."""
+        return deployment_id(self.name, self.version)
+
+    # -- validation ---------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every field; raise :class:`ModelConfigError` on the first violation.
+
+        Runs at construction and again before activation (``ModelRegistry.
+        verify``), so a manifest that was hand-edited on disk is still caught
+        before it can route traffic.
+        """
+        if not isinstance(self.name, str) or not self.name:
+            raise ModelConfigError("manifest name must be a non-empty string")
+        if "@" in self.name:
+            raise ModelConfigError(f"manifest name {self.name!r} must not contain '@'")
+        if not isinstance(self.version, int) or isinstance(self.version, bool) or self.version < 1:
+            raise ModelConfigError(f"manifest version must be a positive integer, got {self.version!r}")
+        if not self.tasks:
+            raise ModelConfigError("manifest must declare at least one task")
+        unknown_tasks = sorted(set(self.tasks) - set(SERVABLE_TASKS))
+        if unknown_tasks:
+            raise ModelConfigError(
+                f"unknown tasks in manifest {self.id}: {', '.join(unknown_tasks)}; "
+                f"servable tasks: {', '.join(SERVABLE_TASKS)}"
+            )
+        if (self.checkpoint is None) == (self.backends is None):
+            raise ModelConfigError(
+                f"manifest {self.id} must set exactly one of 'checkpoint' and 'backends'"
+            )
+        if self.backends is not None and not isinstance(self.backends, dict):
+            raise ModelConfigError(f"manifest backends must be a config dict, got {type(self.backends).__name__}")
+        if self.fingerprint is not None:
+            if self.checkpoint is None:
+                raise ModelConfigError("a fingerprint is only meaningful with a checkpoint")
+            if not isinstance(self.fingerprint, str) or not self.fingerprint.startswith("sha256:"):
+                raise ModelConfigError(
+                    f"fingerprint must look like 'sha256:<hex>', got {self.fingerprint!r}"
+                )
+        if self.precision is not None:
+            validate_precision(self.precision)
+        if not isinstance(self.decode, dict):
+            raise ModelConfigError("manifest decode settings must be a dict")
+        unknown_decode = sorted(set(self.decode) - set(DECODE_KEYS))
+        if unknown_decode:
+            raise ModelConfigError(
+                f"unknown decode settings in manifest {self.id}: {', '.join(unknown_decode)}; "
+                f"known: {', '.join(DECODE_KEYS)}"
+            )
+        if "use_cache" in self.decode and not isinstance(self.decode["use_cache"], bool):
+            raise ModelConfigError("decode setting 'use_cache' must be a bool")
+        if not isinstance(self.metadata, dict):
+            raise ModelConfigError("manifest metadata must be a dict")
+        if not isinstance(self.repro_version, str) or not self.repro_version:
+            raise ModelConfigError("manifest repro_version must be a non-empty string")
+
+    def verify_checkpoint(self) -> None:
+        """Prove the checkpoint on disk is the one that was registered.
+
+        Re-hashes ``weights.npz`` and compares against the recorded
+        ``fingerprint``; a missing file or a mismatch (the checkpoint was
+        overwritten or corrupted since registration) raises
+        :class:`ModelConfigError`.  No-op for config-backed manifests and for
+        checkpoints registered without a fingerprint.
+        """
+        if self.checkpoint is None or self.fingerprint is None:
+            return
+        actual = checkpoint_fingerprint(self.checkpoint)
+        if actual != self.fingerprint:
+            raise ModelConfigError(
+                f"checkpoint fingerprint mismatch for {self.id}: manifest records "
+                f"{self.fingerprint} but {self.checkpoint} hashes to {actual}; "
+                "the checkpoint changed since it was registered"
+            )
+
+    # -- serialization ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """A JSON-ready view; :meth:`from_dict` is the exact inverse."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "tasks": list(self.tasks),
+            "checkpoint": self.checkpoint,
+            "fingerprint": self.fingerprint,
+            "backends": self.backends,
+            "precision": self.precision,
+            "decode": dict(self.decode),
+            "metadata": dict(self.metadata),
+            "repro_version": self.repro_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeploymentManifest":
+        """Rebuild (and re-validate) a manifest from :meth:`as_dict` output.
+
+        Unknown keys raise rather than vanish, so a registry file written by
+        a newer schema fails loudly instead of silently dropping fields.
+        """
+        if not isinstance(payload, dict):
+            raise ModelConfigError(f"manifest payload must be a dict, got {type(payload).__name__}")
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelConfigError(f"unknown manifest fields: {', '.join(unknown)}")
+        missing = sorted({"name", "version"} - set(payload))
+        if missing:
+            raise ModelConfigError(f"manifest payload is missing fields: {', '.join(missing)}")
+        data = dict(payload)
+        if "tasks" in data:
+            data["tasks"] = tuple(data["tasks"])
+        return cls(**data)
+
+    def bump(self, **changes) -> "DeploymentManifest":
+        """The next version of this manifest: ``version + 1`` plus ``changes``.
+
+        A convenience for roll-forward flows — re-registering the same model
+        family with a new checkpoint is one call instead of re-spelling every
+        field.
+        """
+        return replace(self, version=self.version + 1, repro_version=__version__, **changes)

@@ -1,0 +1,258 @@
+"""The versioned model registry: every deployable version, one JSON file.
+
+A :class:`ModelRegistry` stores :class:`~repro.deploy.manifest.
+DeploymentManifest` entries keyed by ``name@version`` and persists them as a
+single JSON document with a strict load/save round trip — the durable record
+that outlives any serving process.  The registry is the seam between
+training and serving: training saves a checkpoint and calls
+:meth:`~ModelRegistry.register_checkpoint` (which fingerprints the weights
+and mints the next version number); operations calls
+:meth:`~ModelRegistry.build_pipeline` to turn a reference like
+``"captioner@3"`` — or just ``"captioner"`` for the latest — back into a
+ready :class:`~repro.serving.pipeline.Pipeline`, after
+:meth:`~ModelRegistry.verify` has re-validated the manifest and proved the
+checkpoint bytes still match their recorded fingerprint.  Nothing is
+activated on trust.
+
+Two backend families are constructible:
+
+* **checkpoint manifests** — a :meth:`DataVisT5.save` directory; loading
+  honors the manifest's ``precision`` (quantizing to int8 on load when asked
+  of a float checkpoint) and ``decode`` settings;
+* **config manifests** — a ``Pipeline.from_config`` spec of per-task
+  baseline builders, reusing :mod:`repro.serving.registry` so "the model
+  registered" and "the model served" are constructed identically.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro import __version__
+from repro.core.model import DataVisT5, checkpoint_fingerprint
+from repro.deploy.manifest import DeploymentManifest
+from repro.deploy.router import parse_ref
+from repro.errors import ModelConfigError
+from repro.serving.pipeline import Pipeline, PipelineConfig
+from repro.serving.protocol import SERVABLE_TASKS
+
+
+class ModelRegistry:
+    """Versioned deployment manifests with JSON persistence.
+
+    ``path`` (optional) names the backing JSON file; when it exists the
+    registry loads from it at construction, and every mutation re-saves —
+    the registry on disk is never behind the registry in memory.  Without a
+    path the registry is in-memory only (tests, dry runs) and :meth:`save`
+    requires an explicit target.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._manifests: dict[str, dict[int, DeploymentManifest]] = {}
+        if self.path is not None and self.path.exists():
+            self._load_file(self.path)
+
+    # -- registration -------------------------------------------------------------------
+    def register(self, manifest: DeploymentManifest) -> str:
+        """Add ``manifest``; returns its ``name@version`` id.
+
+        Versions are immutable once registered: re-registering an existing
+        ``name@version`` raises rather than silently replacing what a router
+        somewhere may be serving.  Persists immediately when the registry is
+        file-backed.
+        """
+        manifest.validate()
+        versions = self._manifests.setdefault(manifest.name, {})
+        if manifest.version in versions:
+            raise ModelConfigError(
+                f"deployment {manifest.id} is already registered; versions are immutable "
+                "— register the next version instead"
+            )
+        versions[manifest.version] = manifest
+        if self.path is not None:
+            self.save()
+        return manifest.id
+
+    def register_checkpoint(
+        self,
+        name: str,
+        model: DataVisT5,
+        directory: str | Path,
+        tasks: tuple[str, ...] = SERVABLE_TASKS,
+        precision: str | None = None,
+        decode: dict | None = None,
+        metadata: dict | None = None,
+    ) -> DeploymentManifest:
+        """Save ``model`` under ``directory``, fingerprint it, and register it.
+
+        The one-call path from a trained model to a deployable version: the
+        checkpoint is written with :meth:`DataVisT5.save`, its ``weights.npz``
+        content hash is recorded, and the manifest is minted at
+        :meth:`next_version` for ``name``.  Returns the registered manifest.
+        """
+        directory = Path(directory)
+        model.save(directory)
+        manifest = DeploymentManifest(
+            name=name,
+            version=self.next_version(name),
+            tasks=tasks,
+            checkpoint=str(directory),
+            fingerprint=checkpoint_fingerprint(directory),
+            precision=precision,
+            decode=dict(decode or {}),
+            metadata=dict(metadata or {}),
+        )
+        self.register(manifest)
+        return manifest
+
+    def next_version(self, name: str) -> int:
+        """The version number a new registration under ``name`` would take."""
+        versions = self._manifests.get(name)
+        return max(versions) + 1 if versions else 1
+
+    def remove(self, ref: str) -> DeploymentManifest:
+        """Drop (and return) the referenced manifest; persists when file-backed."""
+        manifest = self.get(ref)
+        versions = self._manifests[manifest.name]
+        del versions[manifest.version]
+        if not versions:
+            del self._manifests[manifest.name]
+        if self.path is not None:
+            self.save()
+        return manifest
+
+    # -- lookups ------------------------------------------------------------------------
+    def get(self, ref: str) -> DeploymentManifest:
+        """Resolve ``"name@version"`` (exact) or ``"name"`` (latest version)."""
+        name, version = parse_ref(ref)
+        versions = self._manifests.get(name)
+        if not versions:
+            known = ", ".join(self.names()) or "(none)"
+            raise ModelConfigError(f"unknown deployment {name!r}; registered: {known}")
+        if version is None:
+            version = max(versions)
+        if version not in versions:
+            available = ", ".join(str(v) for v in sorted(versions))
+            raise ModelConfigError(
+                f"deployment {name!r} has no version {version}; registered versions: {available}"
+            )
+        return versions[version]
+
+    def latest(self, name: str) -> DeploymentManifest:
+        """The highest registered version of ``name``."""
+        return self.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered deployment name, sorted."""
+        return tuple(sorted(self._manifests))
+
+    def versions(self, name: str) -> tuple[int, ...]:
+        """Every registered version of ``name``, ascending."""
+        versions = self._manifests.get(name)
+        if not versions:
+            raise ModelConfigError(f"unknown deployment {name!r}")
+        return tuple(sorted(versions))
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.get(ref)
+        except ModelConfigError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return sum(len(versions) for versions in self._manifests.values())
+
+    # -- activation ---------------------------------------------------------------------
+    def verify(self, ref: str) -> DeploymentManifest:
+        """Re-validate the referenced manifest and its checkpoint fingerprint.
+
+        The pre-activation gate: field validation catches a registry file
+        that was hand-edited into inconsistency, and the fingerprint check
+        catches a checkpoint whose bytes changed since registration.  Returns
+        the verified manifest.
+        """
+        manifest = self.get(ref)
+        manifest.validate()
+        manifest.verify_checkpoint()
+        return manifest
+
+    def build_pipeline(self, ref: str, config: PipelineConfig | None = None) -> Pipeline:
+        """Construct a ready :class:`Pipeline` for the referenced deployment.
+
+        Runs :meth:`verify` first — nothing unverified is ever instantiated.
+        Checkpoint manifests load the saved :class:`DataVisT5` and apply the
+        manifest's ``precision`` (quantizing on load when ``"int8"`` is asked
+        of a float checkpoint) and ``decode`` settings on top of ``config``;
+        config manifests build their baselines through
+        :meth:`Pipeline.from_config`.
+        """
+        manifest = self.verify(ref)
+        if manifest.checkpoint is not None:
+            model = DataVisT5.load(manifest.checkpoint)
+            if manifest.precision == "int8" and not model.quantized:
+                model.quantize_int8()
+            pipeline_config = config or PipelineConfig()
+            if manifest.precision is not None:
+                pipeline_config = replace(pipeline_config, precision=manifest.precision)
+            if "use_cache" in manifest.decode:
+                pipeline_config = replace(pipeline_config, use_cache=manifest.decode["use_cache"])
+            return Pipeline.from_model(model, config=pipeline_config)
+        spec = copy.deepcopy(manifest.backends)
+        return Pipeline.from_config(spec)
+
+    # -- persistence --------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the registry as one JSON document; returns the path written.
+
+        The document records the writing package's version and every
+        manifest, sorted by (name, version) so regeneration with no changes
+        is byte-stable.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ModelConfigError("this registry has no backing path; pass one to save()")
+        payload = {
+            "repro_version": __version__,
+            "deployments": [
+                self._manifests[name][version].as_dict()
+                for name in sorted(self._manifests)
+                for version in sorted(self._manifests[name])
+            ],
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelRegistry":
+        """Read a registry previously written by :meth:`save` (strict round trip)."""
+        registry = cls()
+        registry._load_file(Path(path))
+        registry.path = Path(path)
+        return registry
+
+    def _load_file(self, path: Path) -> None:
+        if not path.exists():
+            raise ModelConfigError(f"no registry file at {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ModelConfigError(f"registry file {path} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or "deployments" not in payload:
+            raise ModelConfigError(f"registry file {path} is missing the 'deployments' list")
+        entries = payload["deployments"]
+        if not isinstance(entries, list):
+            raise ModelConfigError(f"registry file {path}: 'deployments' must be a list")
+        for entry in entries:
+            manifest = DeploymentManifest.from_dict(entry)
+            versions = self._manifests.setdefault(manifest.name, {})
+            if manifest.version in versions:
+                raise ModelConfigError(
+                    f"registry file {path} registers {manifest.id} twice"
+                )
+            versions[manifest.version] = manifest

@@ -1,0 +1,282 @@
+"""Deterministic traffic routing across deployed model versions.
+
+A :class:`Router` maps each servable task to a weighted set of deployment
+ids and answers one question: *which version serves this request?*  The
+answer is a pure function of ``(task, request key)`` — a salted hash of the
+request's cache identity picks a point in ``[0, 1)`` and walks the
+cumulative weights — so the same request always lands on the same version.
+That determinism is what makes canary splits operationally sane: a retried
+request cannot flap between the incumbent and the candidate, response
+caching stays coherent per version, and an observed failure is reproducible
+against the version that produced it.
+
+Routers are immutable.  Every mutation (``with_routes`` / ``with_shadow`` /
+``without``) returns a new instance, so the serving layer can build the next
+routing table off to the side and flip a single reference atomically — the
+heart of zero-downtime hot-swap: in-flight requests keep the table they were
+routed with, new requests see the new one, and no request ever observes a
+half-edited table.
+
+Shadow routing rides the same hashing with an independent salt: a
+deterministic fraction of each task's traffic is *duplicated* to a candidate
+deployment whose responses are compared against the primary's but never
+returned to the caller (see ``repro.serving.server``).
+
+:class:`CanaryGuard` is the declarative health gate the server evaluates per
+resolved request: a canary whose ``backend_error`` rate exceeds the
+threshold (after a minimum sample size) is automatically removed from every
+route — the rollback path that turns a bad deploy into a telemetry entry
+instead of an outage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelConfigError
+
+
+def deployment_id(name: str, version: int) -> str:
+    """The canonical ``"name@version"`` identity string."""
+    return f"{name}@{version}"
+
+
+def parse_ref(ref: str) -> tuple[str, int | None]:
+    """Split a deployment reference into ``(name, version)``.
+
+    ``"captioner@3"`` names an exact version; a bare ``"captioner"`` returns
+    ``(name, None)``, which registry lookups resolve to the latest registered
+    version.  Malformed references (empty name, non-integer or negative
+    version, stray ``@``) raise :class:`~repro.errors.ModelConfigError`.
+    """
+    if not isinstance(ref, str) or not ref:
+        raise ModelConfigError(f"deployment reference must be a non-empty string, got {ref!r}")
+    if "@" not in ref:
+        return ref, None
+    name, _, version_text = ref.partition("@")
+    if not name or "@" in version_text:
+        raise ModelConfigError(f"malformed deployment reference {ref!r}; expected 'name@version'")
+    try:
+        version = int(version_text)
+    except ValueError:
+        raise ModelConfigError(
+            f"deployment version in {ref!r} must be an integer, got {version_text!r}"
+        ) from None
+    if version < 0:
+        raise ModelConfigError(f"deployment version must be non-negative, got {version}")
+    return name, version
+
+
+def hash_fraction(salt: str, task: str, key: str) -> float:
+    """A deterministic point in ``[0, 1)`` for one ``(task, key)`` pair.
+
+    The first 8 bytes of ``md5(salt | task | key)`` scaled to the unit
+    interval.  ``salt`` decorrelates independent decisions over the same
+    request — the canary split and the shadow sample use different salts, so
+    being routed to the canary says nothing about being shadow-sampled.
+    """
+    digest = hashlib.md5(f"{salt}\x1f{task}\x1f{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ShadowSpec:
+    """Shadow-traffic policy for one task: duplicate ``fraction`` of requests
+    to ``deployment`` (the candidate under evaluation)."""
+
+    deployment: str
+    fraction: float
+
+    def __post_init__(self):
+        if not isinstance(self.deployment, str) or not self.deployment:
+            raise ModelConfigError("shadow deployment must be a non-empty deployment id")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ModelConfigError(
+                f"shadow fraction must be in (0, 1], got {self.fraction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CanaryGuard:
+    """Auto-revert policy for one canary deployment.
+
+    Once the canary has resolved at least ``min_requests`` requests, the
+    server compares its ``backend_error`` rate against ``max_error_rate``
+    after every resolution; exceeding it removes the canary from every route
+    (and shadow spec) and records a rollback event in ``Server.stats()``.
+    ``min_requests`` exists so one unlucky first request cannot revert a
+    healthy deploy.
+    """
+
+    deployment: str
+    max_error_rate: float
+    min_requests: int = 20
+
+    def __post_init__(self):
+        if not 0.0 <= self.max_error_rate < 1.0:
+            raise ModelConfigError(
+                f"max_error_rate must be in [0, 1), got {self.max_error_rate!r}"
+            )
+        if self.min_requests < 1:
+            raise ModelConfigError("min_requests must be at least 1")
+
+    def should_revert(self, completed: int, backend_errors: int) -> bool:
+        """Whether the observed counters breach the guard."""
+        finished = completed + backend_errors
+        if finished < self.min_requests:
+            return False
+        return backend_errors / finished > self.max_error_rate
+
+
+def _validated_weights(task: str, weights: dict[str, float]) -> dict[str, float]:
+    """A defensive copy of ``weights`` with every value checked."""
+    if not weights:
+        raise ModelConfigError(f"route table for task {task!r} must name at least one deployment")
+    checked: dict[str, float] = {}
+    for deployment, weight in weights.items():
+        if not isinstance(deployment, str) or not deployment:
+            raise ModelConfigError(f"deployment ids must be non-empty strings, got {deployment!r}")
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool) or not math.isfinite(weight):
+            raise ModelConfigError(f"route weight for {deployment!r} must be a finite number, got {weight!r}")
+        if weight < 0:
+            raise ModelConfigError(f"route weight for {deployment!r} must be non-negative, got {weight!r}")
+        checked[deployment] = float(weight)
+    if sum(checked.values()) <= 0:
+        raise ModelConfigError(f"route weights for task {task!r} must sum to a positive value")
+    return checked
+
+
+class Router:
+    """An immutable task -> weighted-deployments routing table.
+
+    ``routes`` maps task names to ``{deployment_id: weight}`` dicts (weights
+    are relative, normalized at lookup); ``shadows`` maps task names to
+    :class:`ShadowSpec`.  A task with no entry routes to ``None`` — the
+    serving layer falls back to its primary pipeline — so a fresh ``Router()``
+    is a valid "everything on the incumbent" table.
+    """
+
+    __slots__ = ("_routes", "_shadows")
+
+    def __init__(
+        self,
+        routes: dict[str, dict[str, float]] | None = None,
+        shadows: dict[str, ShadowSpec] | None = None,
+    ):
+        self._routes: dict[str, dict[str, float]] = {
+            task: _validated_weights(task, weights) for task, weights in (routes or {}).items()
+        }
+        self._shadows: dict[str, ShadowSpec] = dict(shadows or {})
+
+    # -- lookups ------------------------------------------------------------------------
+    def route(self, task: str, key: str) -> str | None:
+        """The deployment id serving ``(task, key)``, or ``None`` when unrouted.
+
+        Deterministic: the hash point falls in one deployment's cumulative
+        weight span, and zero-weight deployments are never selected.
+        """
+        weights = self._routes.get(task)
+        if not weights:
+            return None
+        point = hash_fraction("route", task, key) * sum(weights.values())
+        cumulative = 0.0
+        chosen = None
+        for deployment, weight in weights.items():
+            if weight <= 0:
+                continue
+            chosen = deployment
+            cumulative += weight
+            if point < cumulative:
+                break
+        return chosen
+
+    def shadow(self, task: str, key: str) -> str | None:
+        """The shadow target for ``(task, key)``, or ``None`` when unsampled.
+
+        Sampled with an independent salt, so the shadow population is an
+        unbiased slice of the task's traffic regardless of the canary split.
+        """
+        spec = self._shadows.get(task)
+        if spec is None:
+            return None
+        if hash_fraction("shadow", task, key) >= spec.fraction:
+            return None
+        return spec.deployment
+
+    # -- introspection ------------------------------------------------------------------
+    def tasks(self) -> tuple[str, ...]:
+        """Every task with an explicit route or shadow entry, sorted."""
+        return tuple(sorted(set(self._routes) | set(self._shadows)))
+
+    def deployments(self) -> tuple[str, ...]:
+        """Every deployment id referenced by any route or shadow, sorted."""
+        referenced = {dep for weights in self._routes.values() for dep in weights}
+        referenced.update(spec.deployment for spec in self._shadows.values())
+        return tuple(sorted(referenced))
+
+    def weights(self, task: str) -> dict[str, float]:
+        """A copy of the raw weight table for ``task`` ({} when unrouted)."""
+        return dict(self._routes.get(task, {}))
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot of the whole table (for ``Server.stats()``)."""
+        return {
+            task: {
+                "weights": dict(self._routes.get(task, {})),
+                "shadow": (
+                    {"deployment": spec.deployment, "fraction": spec.fraction}
+                    if (spec := self._shadows.get(task)) is not None
+                    else None
+                ),
+            }
+            for task in self.tasks()
+        }
+
+    # -- derivation (immutability-preserving updates) -----------------------------------
+    def with_routes(self, task: str, weights: dict[str, float]) -> "Router":
+        """A new router with ``task`` routed by ``weights`` (replacing any old entry)."""
+        routes = {name: dict(table) for name, table in self._routes.items()}
+        routes[task] = dict(weights)
+        return Router(routes, self._shadows)
+
+    def with_shadow(self, task: str, deployment: str, fraction: float) -> "Router":
+        """A new router shadowing ``fraction`` of ``task`` traffic to ``deployment``.
+
+        ``fraction <= 0`` clears the task's shadow spec instead.
+        """
+        shadows = dict(self._shadows)
+        if fraction <= 0:
+            shadows.pop(task, None)
+        else:
+            shadows[task] = ShadowSpec(deployment=deployment, fraction=fraction)
+        return Router({name: dict(table) for name, table in self._routes.items()}, shadows)
+
+    def without_task(self, task: str) -> "Router":
+        """A new router with ``task``'s route and shadow entries removed."""
+        routes = {
+            name: dict(table) for name, table in self._routes.items() if name != task
+        }
+        shadows = {name: spec for name, spec in self._shadows.items() if name != task}
+        return Router(routes, shadows)
+
+    def without(self, deployment: str) -> "Router":
+        """A new router with ``deployment`` stripped from every route and shadow.
+
+        A task whose only deployment was removed becomes unrouted (primary
+        fallback) — this is the rollback primitive behind ``undeploy`` and
+        the :class:`CanaryGuard` auto-revert.
+        """
+        routes: dict[str, dict[str, float]] = {}
+        for task, weights in self._routes.items():
+            remaining = {name: weight for name, weight in weights.items() if name != deployment}
+            if remaining and sum(remaining.values()) > 0:
+                routes[task] = remaining
+        shadows = {
+            task: spec for task, spec in self._shadows.items() if spec.deployment != deployment
+        }
+        return Router(routes, shadows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Router(routes={self._routes!r}, shadows={self._shadows!r})"

@@ -44,13 +44,14 @@ from repro.serving.registry import (
     register_generation,
     register_text_to_vis,
 )
-from repro.serving.server import Server, ServerConfig, serve_requests
+from repro.serving.server import DEFAULT_DEPLOYMENT, Server, ServerConfig, serve_requests
 
 __all__ = [
     "Pipeline",
     "PipelineConfig",
     "Server",
     "ServerConfig",
+    "DEFAULT_DEPLOYMENT",
     "serve_requests",
     "Request",
     "Response",

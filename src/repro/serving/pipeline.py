@@ -39,7 +39,7 @@ from __future__ import annotations
 import copy
 import hashlib
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
 from repro.charts.render import chart_fingerprint, render_ascii_chart
@@ -120,6 +120,19 @@ class _Prepared:
     key: str
     schema: DatabaseSchema | None = None
     chart_query: DVQuery | None = None
+
+    def namespaced(self, suffix: str) -> "_Prepared":
+        """A copy whose cache identity carries ``suffix`` (e.g. a deployment id).
+
+        The async server derives one namespaced copy per routing decision —
+        precision overrides, deployment identity, weight revisions — so
+        different versions of a backend never replay or poison each other's
+        response-cache entries, while the unsuffixed base key stays stable
+        for routing hashes.  An empty suffix returns ``self`` unchanged.
+        """
+        if not suffix:
+            return self
+        return replace(self, key=f"{self.key}{suffix}")
 
 
 class _Engine:
@@ -347,10 +360,17 @@ class Pipeline:
             return None
         return self._response_from(prepared, payload, cached=True)
 
-    def complete(self, prepared: _Prepared, output: str) -> dict:
-        """Postprocess one backend ``output`` into a payload and cache it."""
+    def complete(self, prepared: _Prepared, output: str, cache: bool = True) -> dict:
+        """Postprocess one backend ``output`` into a payload and cache it.
+
+        ``cache=False`` builds the payload without writing the response
+        cache — the async server uses it for requests whose deployment's
+        weights were swapped while they sat in the queue, so an output from
+        the new weights is never stored under the old revision's namespace.
+        """
         payload = self._payload(prepared, output)
-        self.caches["response"].put(prepared.key, payload)
+        if cache:
+            self.caches["response"].put(prepared.key, payload)
         return payload
 
     def response_from(self, prepared: _Prepared, payload: dict, cached: bool = False) -> Response:

@@ -11,11 +11,12 @@ Vega-Lite spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.database.schema import DatabaseSchema
 from repro.errors import ModelConfigError
 from repro.vql.ast import DVQuery
+from repro.vql.parser import parse_dv_query
 
 #: The tasks the pipeline can serve.  ``table_to_text`` is trainable in the
 #: core model but has no interactive serving surface in the paper's Figure 1,
@@ -61,6 +62,13 @@ class Request:
 
     ``request_id`` is an opaque caller tag echoed back on the response, so
     callers can correlate batched submissions.
+
+    ``deployment`` pins the request to one deployed model version
+    (``"name@version"``) on servers running the :mod:`repro.deploy` routing
+    layer, bypassing canary splits — the knob for "give me exactly the
+    candidate" debugging traffic.  An unknown or draining deployment is
+    rejected with ``invalid_request``; the synchronous :class:`Pipeline`
+    has a single implicit version and ignores the field.
     """
 
     task: str
@@ -69,6 +77,7 @@ class Request:
     schema: DatabaseSchema | str | None = None
     table: str | None = None
     request_id: str | None = None
+    deployment: str | None = None
 
     def __post_init__(self):
         if self.task not in SERVABLE_TASKS:
@@ -131,10 +140,16 @@ class Response:
         return self.error is None
 
     def as_dict(self) -> dict:
-        """A JSON-friendly view (the AST collapses to its text form)."""
+        """A JSON-friendly view (the AST collapses to its text form).
+
+        The inverse is :meth:`from_dict`: ``Response.from_dict(r.as_dict())``
+        reconstructs an equal response, including through a JSON round trip —
+        the wire format the deploy layer uses for shadow-comparison records.
+        """
         return {
             "task": self.task,
             "output": self.output,
+            "source": self.source,
             "cached": self.cached,
             "query": self.query.to_text() if self.query is not None else None,
             "vega_lite": self.vega_lite,
@@ -144,6 +159,42 @@ class Response:
             "detail": self.detail,
             "telemetry": self.telemetry,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Response":
+        """Rebuild a :class:`Response` from an :meth:`as_dict` payload.
+
+        The inverse of :meth:`as_dict`, covering every field it emits —
+        error/detail/telemetry included — so responses and shadow-comparison
+        records can cross process boundaries as plain JSON.  ``query`` text is
+        re-parsed into its :class:`~repro.vql.ast.DVQuery`; since ``as_dict``
+        serialized a parseable standardized query, the round trip is exact
+        (property-tested in ``tests/test_serving_protocol_roundtrip.py``).
+        Unknown keys raise :class:`~repro.errors.ModelConfigError` rather than
+        being dropped, so schema drift between producer and consumer is loud.
+        """
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelConfigError(f"unknown Response fields: {', '.join(unknown)}")
+        if "task" not in payload or "output" not in payload:
+            raise ModelConfigError("a Response payload needs at least 'task' and 'output'")
+        query = payload.get("query")
+        if isinstance(query, str):
+            query = parse_dv_query(query) if query else None
+        return cls(
+            task=payload["task"],
+            output=payload["output"],
+            source=payload.get("source", ""),
+            cached=bool(payload.get("cached", False)),
+            query=query,
+            vega_lite=payload.get("vega_lite"),
+            valid=payload.get("valid"),
+            request_id=payload.get("request_id"),
+            error=payload.get("error"),
+            detail=payload.get("detail"),
+            telemetry=payload.get("telemetry"),
+        )
 
 
 def error_response(request, error: str, detail: str) -> Response:

@@ -3,9 +3,9 @@
 ``Pipeline.serve`` takes a pre-collected burst: somebody else already did the
 queueing.  This module is that somebody — a :class:`Server` accepts requests
 one at a time (``await server.submit(request, deadline=...)``), absorbs them
-into per-task bounded queues, and drains the queues with a time/size batch
-collector: a batch is dispatched as soon as ``max_batch`` requests are
-waiting *or* ``max_wait_ms`` has elapsed since its first request arrived
+into bounded queues, and drains the queues with a time/size batch collector:
+a batch is dispatched as soon as ``max_batch`` requests are waiting *or*
+``max_wait_ms`` has elapsed since its first request arrived
 (:class:`~repro.serving.batching.BatchWindow`).  Dispatched batches run on a
 pool of worker shards — threads that each own their own per-task
 :class:`~repro.serving.pipeline._Engine` set over the pipeline's shared
@@ -27,6 +27,20 @@ request can never take down the loop or anyone else's request.  Duplicate
 requests already in flight coalesce onto the first occurrence's future, the
 async analogue of ``Pipeline.serve``'s within-burst dedup.
 
+On top of the request path sits the **deployment lifecycle**
+(:mod:`repro.deploy`): the server hosts any number of versioned model
+deployments (``name@version``) beside its primary pipeline, routes each
+request to one of them through an immutable, atomically-flipped
+:class:`~repro.deploy.router.Router` (deterministic per-request-key canary
+splits, shadow traffic, ``Request.deployment`` pinning), and supports
+zero-downtime :meth:`Server.hot_swap`: new engines are admitted via
+``Pipeline.spawn_engines``, the router reference flips, and the old version
+drains its in-flight requests before its engines are retired.  Response-cache
+keys carry the deployment identity (and weight revision), so versions never
+replay or poison each other's entries.  A :class:`~repro.deploy.router.
+CanaryGuard` auto-reverts a canary whose ``backend_error`` rate crosses its
+threshold.  See ``docs/deploy.md``.
+
 Typical use::
 
     server = Server(pipeline, ServerConfig(max_batch=8, num_workers=2))
@@ -38,11 +52,14 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
+import copy
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro import __version__
 from repro.core.batching import padding_efficiency
 from repro.core.config import validate_precision
+from repro.deploy.router import CanaryGuard, Router, parse_ref
 from repro.errors import ModelConfigError
 from repro.serving.batching import BatchWindow
 from repro.serving.pipeline import Pipeline, _Engine, _Prepared
@@ -52,10 +69,15 @@ from repro.serving.protocol import (
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
     ERROR_SHUTDOWN,
+    SERVABLE_TASKS,
     Request,
     Response,
     error_response,
 )
+
+#: The deployment identity of a server's primary pipeline — the implicit
+#: incumbent that serves every task the router has no explicit entry for.
+DEFAULT_DEPLOYMENT = "pipeline@0"
 
 
 @dataclass
@@ -64,15 +86,15 @@ class ServerConfig:
 
     ``max_batch`` / ``max_wait_ms`` parameterize the flush policy: wait at
     most ``max_wait_ms`` milliseconds for a batch to fill to ``max_batch``.
-    ``queue_size`` bounds each per-task queue — submissions beyond it are
-    rejected with ``queue_full`` rather than buffered without limit.
+    ``queue_size`` bounds each (task, deployment) queue — submissions beyond
+    it are rejected with ``queue_full`` rather than buffered without limit.
     ``num_workers`` is the number of thread-backed worker shards; it also
     bounds how many batches are in flight at once, which back-pressures the
     collectors.  ``precision`` overrides the DataVisT5 inference precision of
-    every worker shard's engines (``"float64"`` / ``"float32"`` / ``"int8"``;
-    ``None`` keeps the pipeline's own setting) — the deployment-level knob
-    for trading exact float64 reproduction for throughput, see
-    ``docs/numerics.md``.
+    the *primary* pipeline's worker engines (``"float64"`` / ``"float32"`` /
+    ``"int8"``; ``None`` keeps the pipeline's own setting) — explicitly
+    deployed versions own their precision through their manifests/pipelines
+    instead, see ``docs/numerics.md`` and ``docs/deploy.md``.
     """
 
     max_batch: int = 8
@@ -93,19 +115,69 @@ class ServerConfig:
         BatchWindow(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
 
 
+class _Deployment:
+    """Runtime record of one deployed version inside a :class:`Server`.
+
+    Holds the version's engine sets (one per worker shard, so worker state
+    never aliases across threads), its lifecycle flags, and the per-version
+    counters that feed ``Server.stats()`` and the canary guard.  ``revision``
+    counts in-place weight swaps (:meth:`Server.set_weights`) and is part of
+    the version's response-cache namespace.
+    """
+
+    __slots__ = (
+        "deployment_id",
+        "pipeline",
+        "manifest",
+        "revision",
+        "is_default",
+        "tasks",
+        "engines",
+        "draining",
+        "pending",
+        "latency_ms_sum",
+        "counts",
+    )
+
+    def __init__(self, deployment_id: str, pipeline: Pipeline, manifest=None, is_default: bool = False):
+        self.deployment_id = deployment_id
+        self.pipeline = pipeline
+        self.manifest = manifest
+        self.revision = 0
+        self.is_default = is_default
+        # The engine keys the pipeline would spawn; refreshed by the server
+        # when real engine sets are admitted (getattr keeps stub pipelines in
+        # tests constructible).
+        self.tasks = set(getattr(pipeline, "_engines", ()))
+        self.engines: list[dict[str, _Engine]] = []
+        self.draining = False
+        self.pending = 0
+        self.latency_ms_sum = 0.0
+        self.counts = {
+            "routed": 0,
+            "completed": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "backend_error": 0,
+            "deadline_exceeded": 0,
+            "shadow_requests": 0,
+        }
+
+
 class _Worker:
-    """One shard of the worker pool: an id plus its own per-task engines."""
+    """One shard of the worker pool: engines are looked up per deployment."""
 
-    __slots__ = ("worker_id", "engines")
+    __slots__ = ("worker_id",)
 
-    def __init__(self, worker_id: int, engines: dict[str, _Engine]):
+    def __init__(self, worker_id: int):
         self.worker_id = worker_id
-        self.engines = engines
 
-    def predict(self, task: str, prepared: list[_Prepared]) -> list[str]:
-        engine = self.engines.get(task)
+    def predict(self, deployment: _Deployment, task: str, prepared: list[_Prepared]) -> list[str]:
+        engine = deployment.engines[self.worker_id].get(task)
         if engine is None:
-            raise ModelConfigError(f"no backend configured for task {task!r}")
+            raise ModelConfigError(
+                f"deployment {deployment.deployment_id!r} has no backend for task {task!r}"
+            )
         return engine.predict_batch(prepared)
 
 
@@ -115,11 +187,14 @@ def _telemetry(
     queue_ms: float = 0.0,
     batch_size: int | None = None,
     worker: int | None = None,
+    deployment: str | None = None,
 ) -> dict:
     """The uniform per-response telemetry dict — every key always present.
 
     ``batch_size`` and ``worker`` stay ``None`` for responses that never
-    reached a worker (cache hits, coalesced duplicates, rejections).
+    reached a worker (cache hits, coalesced duplicates, rejections);
+    ``deployment`` is the version that answered (``None`` for requests
+    rejected before routing).
     """
     return {
         "cache_hit": cache_hit,
@@ -127,19 +202,42 @@ def _telemetry(
         "queue_ms": queue_ms,
         "batch_size": batch_size,
         "worker": worker,
+        "deployment": deployment,
     }
 
 
 class _Job:
     """One queued request: its prepared form plus scheduling metadata."""
 
-    __slots__ = ("prepared", "future", "enqueued_at", "deadline_at", "batch_size", "worker_id", "queue_seconds")
+    __slots__ = (
+        "prepared",
+        "future",
+        "enqueued_at",
+        "deadline_at",
+        "deployment",
+        "revision",
+        "batch_size",
+        "worker_id",
+        "queue_seconds",
+    )
 
-    def __init__(self, prepared: _Prepared, future: asyncio.Future, enqueued_at: float, deadline_at: float | None):
+    def __init__(
+        self,
+        prepared: _Prepared,
+        future: asyncio.Future,
+        enqueued_at: float,
+        deadline_at: float | None,
+        deployment: _Deployment,
+    ):
         self.prepared = prepared
         self.future = future
         self.enqueued_at = enqueued_at
         self.deadline_at = deadline_at
+        self.deployment = deployment
+        # The weight revision the job was admitted (and cache-keyed) under;
+        # a mismatch at completion time means the weights were hot-swapped
+        # while the job was queued, and its output must not be cached.
+        self.revision = deployment.revision
         self.batch_size: int | None = None
         self.worker_id: int | None = None
         self.queue_seconds: float = 0.0
@@ -148,11 +246,17 @@ class _Job:
 class Server:
     """Accepts concurrent requests and serves them through batched workers.
 
-    One :class:`Server` wraps one :class:`Pipeline`.  All coroutine methods
-    must run on a single event loop; the heavy lifting (backend forward
-    passes) is pushed to ``num_workers`` threads.  The server starts lazily
-    on the first :meth:`submit`, or eagerly via ``async with server:`` /
-    :meth:`start`.
+    One :class:`Server` wraps one primary :class:`Pipeline` (the implicit
+    :data:`DEFAULT_DEPLOYMENT`) plus any number of explicitly deployed model
+    versions.  All coroutine methods must run on a single event loop; the
+    heavy lifting (backend forward passes) is pushed to ``num_workers``
+    threads.  The server starts lazily on the first :meth:`submit`, or
+    eagerly via ``async with server:`` / :meth:`start`.
+
+    The primary pipeline owns the request *life cycle* — encoding, caches,
+    postprocessing — for every deployment; deployed versions contribute the
+    backends that answer.  A task can therefore only be routed to versions
+    that also exists on the primary pipeline's task surface.
     """
 
     def __init__(self, pipeline: Pipeline, config: ServerConfig | None = None):
@@ -164,8 +268,17 @@ class Server:
             # fails here, at construction, not per request under traffic.
             pipeline.spawn_engines(precision=self.config.precision)
         self._window = BatchWindow(max_batch=self.config.max_batch, max_wait_ms=self.config.max_wait_ms)
-        self._queues: dict[str, asyncio.Queue] = {}
-        self._collectors: dict[str, asyncio.Task] = {}
+        self._default = _Deployment(DEFAULT_DEPLOYMENT, pipeline, is_default=True)
+        self._deployments: dict[str, _Deployment] = {DEFAULT_DEPLOYMENT: self._default}
+        self._router = Router()
+        # guard id -> {"guard": CanaryGuard, "completed": ..., "backend_errors": ...}
+        # — the counter baseline at install time, so the guard judges only
+        # traffic the canary served *while guarded*, not its whole history.
+        self._guards: dict[str, dict] = {}
+        self._rollbacks: list[dict] = []
+        self._shadow_stats: dict[str, dict] = {}
+        self._queues: dict[tuple[str, str], asyncio.Queue] = {}
+        self._collectors: dict[tuple[str, str], asyncio.Task] = {}
         self._inflight: dict[str, asyncio.Future] = {}
         self._dispatch_tasks: set[asyncio.Task] = set()
         self._idle_workers: asyncio.Queue | None = None
@@ -210,9 +323,8 @@ class Server:
         )
         self._idle_workers = asyncio.Queue()
         for worker_id in range(self.config.num_workers):
-            self._idle_workers.put_nowait(
-                _Worker(worker_id, self.pipeline.spawn_engines(precision=self.config.precision))
-            )
+            self._idle_workers.put_nowait(_Worker(worker_id))
+        self._admit_engines(self._default)
         self._started = True
 
     async def join(self) -> None:
@@ -250,6 +362,272 @@ class Server:
     async def __aexit__(self, *exc_info) -> None:
         await self.stop()
 
+    # -- the deployment lifecycle --------------------------------------------------------
+    def _admit_engines(self, deployment: _Deployment) -> None:
+        """Spawn one engine set per worker shard for ``deployment``.
+
+        The primary pipeline honours the server's ``precision`` override;
+        explicitly deployed versions run at their own pipeline's settings
+        (their manifests are the deployment-level precision knob).
+        """
+        precision = self.config.precision if deployment.is_default else None
+        deployment.engines = [
+            deployment.pipeline.spawn_engines(precision=precision)
+            for _ in range(self.config.num_workers)
+        ]
+        tasks = set(deployment.engines[0])
+        if not tasks:
+            raise ModelConfigError(
+                f"deployment {deployment.deployment_id!r} has no configured backends"
+            )
+        deployment.tasks = tasks
+
+    def _require_deployment(self, deployment_id: str) -> _Deployment:
+        deployment = self._deployments.get(deployment_id)
+        if deployment is None:
+            known = ", ".join(sorted(self._deployments))
+            raise ModelConfigError(f"unknown deployment {deployment_id!r}; deployed: {known}")
+        return deployment
+
+    async def deploy(self, deployment_id: str, pipeline: Pipeline, manifest=None) -> None:
+        """Admit a new model version; it receives no traffic until routed.
+
+        ``deployment_id`` must be a fresh ``"name@version"`` identity;
+        ``pipeline`` supplies the version's backends (typically built by
+        :meth:`repro.deploy.ModelRegistry.build_pipeline`); ``manifest``, when
+        given, is re-validated — fingerprint check included — before the
+        version is admitted, and is echoed in ``stats()`` for provenance.
+        Engines for every worker shard are spawned here, so a
+        misconfiguration (e.g. int8 over unquantized weights) fails at deploy
+        time, not under traffic.  Routing is a separate, atomic step
+        (:meth:`set_routes` / :meth:`set_canary` / :meth:`hot_swap`).
+        """
+        if self._closed:
+            raise ModelConfigError("cannot deploy on a stopped server")
+        name, version = parse_ref(deployment_id)
+        if version is None:
+            raise ModelConfigError(
+                f"deployment ids must be versioned ('name@version'), got {deployment_id!r}"
+            )
+        if deployment_id in self._deployments:
+            raise ModelConfigError(f"deployment {deployment_id!r} is already deployed")
+        if manifest is not None:
+            manifest.validate()
+            if manifest.id != deployment_id:
+                raise ModelConfigError(
+                    f"manifest identity {manifest.id!r} does not match deployment id {deployment_id!r}"
+                )
+            manifest.verify_checkpoint()
+        if not self._started:
+            await self.start()
+        deployment = _Deployment(deployment_id, pipeline, manifest=manifest)
+        self._admit_engines(deployment)
+        if manifest is not None:
+            unserved = sorted(set(manifest.tasks) - deployment.tasks)
+            if unserved:
+                raise ModelConfigError(
+                    f"manifest {manifest.id} declares tasks the pipeline does not serve: "
+                    f"{', '.join(unserved)}"
+                )
+        self._deployments[deployment_id] = deployment
+
+    async def undeploy(self, deployment_id: str) -> None:
+        """Retire a version: unroute it, drain its in-flight work, drop its engines.
+
+        Zero-downtime by construction: the router flips first (nothing new
+        lands on the version), requests already queued or running on it are
+        answered normally, and only then are its collectors cancelled and its
+        engines released.  The primary pipeline cannot be undeployed — it is
+        the fallback for every unrouted task.
+        """
+        deployment = self._require_deployment(deployment_id)
+        if deployment.is_default:
+            raise ModelConfigError(
+                "the primary pipeline deployment cannot be undeployed; route traffic "
+                "to another version instead"
+            )
+        self._router = self._router.without(deployment_id)
+        self._guards.pop(deployment_id, None)
+        deployment.draining = True
+        await self._drain(deployment)
+        for key in [key for key in self._queues if key[1] == deployment_id]:
+            collector = self._collectors.pop(key)
+            collector.cancel()
+            try:
+                await collector
+            except asyncio.CancelledError:
+                pass
+            del self._queues[key]
+        del self._deployments[deployment_id]
+
+    async def set_weights(self, deployment_id: str, pipeline: Pipeline) -> None:
+        """Swap a deployed version's backends in place (same identity, new weights).
+
+        Fresh engine sets are spawned from ``pipeline`` and installed
+        atomically.  The version's ``revision`` counter bumps, which
+        namespaces its response-cache keys — entries produced by the old
+        weights are never replayed for post-swap traffic.  A request that
+        was already queued when the swap landed may be answered by the new
+        weights, but its output is never written back under the old
+        revision's cache namespace, so neither revision's cache is poisoned
+        in either direction.  The new backends must cover every task the old
+        ones served, so existing routes stay valid.  For the primary
+        deployment this swaps what the workers compute; the front-end
+        pipeline (encoding, caches, postprocessing) is unchanged.
+        """
+        deployment = self._require_deployment(deployment_id)
+        if deployment.draining:
+            raise ModelConfigError(f"deployment {deployment_id!r} is draining")
+        if not self._started:
+            await self.start()
+        replacement = _Deployment(deployment.deployment_id, pipeline, is_default=deployment.is_default)
+        self._admit_engines(replacement)
+        missing = sorted(deployment.tasks - replacement.tasks)
+        if missing:
+            raise ModelConfigError(
+                f"new weights for {deployment_id!r} drop served tasks: {', '.join(missing)}"
+            )
+        deployment.pipeline = pipeline
+        deployment.engines = replacement.engines
+        deployment.tasks = replacement.tasks
+        deployment.revision += 1
+
+    def set_routes(self, task: str, weights: dict[str, float]) -> None:
+        """Atomically install the weighted deployment split for ``task``.
+
+        Weights are relative (``{"model@1": 0.9, "model@2": 0.1}`` is a 10%
+        canary); every referenced deployment must be deployed, not draining,
+        and serve ``task``.  The new routing table replaces the old one in a
+        single reference flip — requests being routed concurrently see either
+        the old table or the new one, never a mixture.
+        """
+        self._validate_route_task(task)
+        for deployment_id in weights:
+            self._validate_route_target(task, deployment_id)
+        self._router = self._router.with_routes(task, weights)
+        self._prune_guards()
+
+    def clear_routes(self, task: str) -> None:
+        """Remove ``task``'s explicit routes and shadow (traffic returns to the primary)."""
+        self._router = self._router.without_task(task)
+        self._prune_guards()
+
+    def set_shadow(self, task: str, deployment_id: str, fraction: float) -> None:
+        """Mirror ``fraction`` of ``task`` traffic to ``deployment_id``.
+
+        Shadow requests are duplicates: they run on the candidate, their
+        outputs are compared against the primary response, and agreement and
+        latency deltas are recorded in ``stats()["shadow"]`` — the caller's
+        response is never affected.  ``fraction <= 0`` clears the shadow.
+        """
+        if fraction <= 0:
+            self._router = self._router.with_shadow(task, deployment_id, 0.0)
+            self._prune_guards()
+            return
+        self._validate_route_task(task)
+        self._validate_route_target(task, deployment_id)
+        self._router = self._router.with_shadow(task, deployment_id, fraction)
+
+    def set_canary(
+        self,
+        task: str,
+        stable: str,
+        canary: str,
+        fraction: float,
+        max_error_rate: float | None = None,
+        min_requests: int = 20,
+    ) -> None:
+        """Split ``task`` between ``stable`` and a ``fraction`` canary.
+
+        A convenience over :meth:`set_routes`: installs
+        ``{stable: 1 - fraction, canary: fraction}``.  With
+        ``max_error_rate`` set, a :class:`~repro.deploy.router.CanaryGuard`
+        watches the canary's resolved requests and auto-reverts it (removed
+        from every route, event recorded in ``stats()["rollbacks"]``) once
+        its ``backend_error`` rate crosses the threshold after
+        ``min_requests`` resolutions.  The guard counts from install time —
+        requests the deployment served earlier (e.g. as a shadow target)
+        never weigh against the canary — and is dropped automatically when a
+        route change leaves the deployment unreferenced.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ModelConfigError(f"canary fraction must be in (0, 1), got {fraction!r}")
+        self.set_routes(task, {stable: 1.0 - fraction, canary: fraction})
+        if max_error_rate is not None:
+            counts = self._deployments[canary].counts
+            self._guards[canary] = {
+                "guard": CanaryGuard(
+                    deployment=canary, max_error_rate=max_error_rate, min_requests=min_requests
+                ),
+                "completed": counts["completed"],
+                "backend_errors": counts["backend_error"],
+            }
+
+    async def hot_swap(
+        self,
+        deployment_id: str,
+        pipeline: Pipeline,
+        replaces: str | None = None,
+        tasks: tuple[str, ...] | None = None,
+        manifest=None,
+    ) -> float:
+        """Deploy a version, flip its tasks to it, and retire the old version.
+
+        The zero-downtime roll in one call: :meth:`deploy` admits the new
+        engines while the old version keeps serving, :meth:`set_routes` flips
+        each target task atomically, and ``replaces`` (when given) is drained
+        and undeployed.  Requests in flight on the old version complete on
+        it; requests routed after the flip land on the new one; nothing is
+        dropped in between.  Returns the wall-clock seconds the whole swap
+        took (the drain dominates).  Replacing :data:`DEFAULT_DEPLOYMENT`
+        only unroutes it — the primary is the permanent fallback for
+        unrouted tasks, so it is never drained (under sustained fallback
+        traffic a drain would not terminate) or retired.
+        """
+        loop = asyncio.get_running_loop()
+        began = loop.time()
+        await self.deploy(deployment_id, pipeline, manifest=manifest)
+        new = self._deployments[deployment_id]
+        targets = tasks if tasks is not None else tuple(sorted(new.tasks & self._default.tasks))
+        if not targets:
+            raise ModelConfigError(
+                f"deployment {deployment_id!r} shares no tasks with the primary pipeline"
+            )
+        for task in targets:  # validate everything before flipping anything
+            self._validate_route_task(task)
+            self._validate_route_target(task, deployment_id)
+        for task in targets:
+            self.set_routes(task, {deployment_id: 1.0})
+        if replaces is not None and replaces != deployment_id:
+            old = self._require_deployment(replaces)
+            if not old.is_default:
+                await self.undeploy(replaces)
+        return loop.time() - began
+
+    def _validate_route_task(self, task: str) -> None:
+        if task not in SERVABLE_TASKS:
+            raise ModelConfigError(
+                f"unknown task {task!r}; servable tasks: {', '.join(SERVABLE_TASKS)}"
+            )
+        # The primary pipeline prepares and postprocesses every request, so a
+        # task it cannot serve cannot be routed anywhere.
+        self.pipeline.backend(task)
+
+    def _validate_route_target(self, task: str, deployment_id: str) -> None:
+        deployment = self._require_deployment(deployment_id)
+        if deployment.draining:
+            raise ModelConfigError(f"deployment {deployment_id!r} is draining and cannot be routed")
+        if task not in deployment.tasks:
+            raise ModelConfigError(
+                f"deployment {deployment_id!r} does not serve task {task!r} "
+                f"(serves: {', '.join(sorted(deployment.tasks))})"
+            )
+
+    async def _drain(self, deployment: _Deployment) -> None:
+        """Wait until every request routed to ``deployment`` has resolved."""
+        while deployment.pending > 0:
+            await asyncio.sleep(0.001)
+
     # -- submission --------------------------------------------------------------------
     async def submit(self, request: Request, deadline: float | None = None) -> Response:
         """Serve one request; always returns a :class:`Response`, never raises.
@@ -262,6 +640,11 @@ class Server:
         do not wait).  A request whose batch has already reached a worker
         runs to completion.  A coalesced duplicate shares the fate of the
         request it coalesced onto.
+
+        Routing happens here, before the cache lookup: the request's cache
+        identity hashes to a deployment (or ``Request.deployment`` pins one),
+        and the response-cache key is namespaced with the deployment identity
+        so versions never answer for each other.
         """
         self._counts["submitted"] += 1
         if self._closed:
@@ -272,57 +655,225 @@ class Server:
 
         try:
             self.pipeline.backend(request.task)  # fail fast on unconfigured tasks
-            prepared = self.pipeline.prepare(request)
+            base = self.pipeline.prepare(request)
+            deployment = self._route(request, base.key)
         except Exception as error:  # noqa: BLE001 - submit never raises, per contract
             return self._account(error_response(request, ERROR_INVALID_REQUEST, str(error)))
-        if self.config.precision is not None:
-            # The override changes what the workers compute, so it must change
-            # the response-cache identity too: a float32 server sharing a
-            # pipeline with float64 callers must neither replay their cached
-            # outputs nor poison their cache with reduced-precision ones.
-            prepared.key = f"{prepared.key}|precision={self.config.precision}"
+        # The routing decision changes what the workers compute, so it must
+        # change the response-cache identity too: a canary (or a precision
+        # override, or a new weight revision) must neither replay the
+        # incumbent's cached outputs nor poison its cache with its own.
+        prepared = base.namespaced(self._cache_suffix(deployment))
+        shadow_target = self._shadow_target(request, base.key, deployment)
 
         cached = self.pipeline.cached_response(prepared)
         if cached is not None:
             self._counts["cache_hits"] += 1
             self._counts["completed"] += 1
-            cached.telemetry = _telemetry(cache_hit=True)
+            deployment.counts["cache_hits"] += 1
+            cached.telemetry = _telemetry(cache_hit=True, deployment=deployment.deployment_id)
+            if shadow_target is not None:
+                settled = loop.create_future()
+                settled.set_result(("ok", {"output": cached.output}))
+                self._spawn_shadow(base, request.task, deployment, shadow_target, settled)
             return cached
 
         shared = self._inflight.get(prepared.key)
         if shared is not None:
             self._counts["coalesced"] += 1
-            return await self._await_result(prepared, shared, coalesced=True)
+            deployment.counts["coalesced"] += 1
+            if shadow_target is not None:
+                self._spawn_shadow(base, request.task, deployment, shadow_target, shared)
+            return await self._await_result(prepared, shared, coalesced=True, deployment=deployment)
 
         if deadline is not None and deadline <= 0:
             return self._account(
                 error_response(request, ERROR_DEADLINE, "deadline expired before the request was queued")
             )
 
-        queue = self._queue_for(request.task)
+        job = self._enqueue(prepared, request.task, deployment, deadline)
+        if job is None:
+            return self._account(
+                error_response(
+                    request,
+                    ERROR_QUEUE_FULL,
+                    f"{request.task} queue for {deployment.deployment_id} is full "
+                    f"({self.config.queue_size} pending requests)",
+                )
+            )
+        if shadow_target is not None:
+            self._spawn_shadow(base, request.task, deployment, shadow_target, job.future)
+        return await self._await_owner(job)
+
+    async def submit_all(self, requests: list[Request], deadline: float | None = None) -> list[Response]:
+        """Submit ``requests`` concurrently; responses align with input order."""
+        return list(await asyncio.gather(*(self.submit(request, deadline=deadline) for request in requests)))
+
+    # -- routing -----------------------------------------------------------------------
+    def _route(self, request: Request, key: str) -> _Deployment:
+        """The deployment serving ``request`` (pin > canary hash > primary)."""
+        pinned = request.deployment
+        if pinned is not None:
+            deployment = self._require_deployment(pinned)
+            if deployment.draining:
+                raise ModelConfigError(f"deployment {pinned!r} is draining and not accepting requests")
+            if request.task not in deployment.tasks:
+                raise ModelConfigError(
+                    f"deployment {pinned!r} does not serve task {request.task!r}"
+                )
+            return deployment
+        target = self._router.route(request.task, key)
+        if target is None:
+            return self._default
+        deployment = self._deployments.get(target)
+        if deployment is None or deployment.draining:
+            # A stale table observed mid-flip; the primary always answers.
+            return self._default
+        return deployment
+
+    def _shadow_target(self, request: Request, key: str, primary: _Deployment) -> _Deployment | None:
+        """The deployment to mirror this request to, if it is shadow-sampled.
+
+        Pinned requests are never shadowed (the caller asked for one exact
+        version), and a sample that would land on the primary itself, a
+        missing version, a draining one, or one not serving the task is
+        skipped rather than failed — shadow traffic is best-effort by design.
+        """
+        if request.deployment is not None:
+            return None
+        target = self._router.shadow(request.task, key)
+        if target is None or target == primary.deployment_id:
+            return None
+        deployment = self._deployments.get(target)
+        if deployment is None or deployment.draining or request.task not in deployment.tasks:
+            return None
+        return deployment
+
+    def _cache_suffix(self, deployment: _Deployment) -> str:
+        """The response-cache namespace for one routing decision.
+
+        The primary deployment at revision 0 keeps the bare key (and the
+        PR 4 ``precision`` namespacing), so a server without an active
+        deployment layer shares cache entries with synchronous pipeline
+        callers exactly as before.
+        """
+        parts = []
+        if deployment.is_default and self.config.precision is not None:
+            parts.append(f"precision={self.config.precision}")
+        if not deployment.is_default:
+            parts.append(f"deployment={deployment.deployment_id}")
+        if deployment.revision:
+            parts.append(f"rev={deployment.revision}")
+        return "".join(f"|{part}" for part in parts)
+
+    def _enqueue(
+        self, prepared: _Prepared, task: str, deployment: _Deployment, deadline: float | None
+    ) -> _Job | None:
+        """Queue ``prepared`` on its (task, deployment) lane; ``None`` when full."""
+        loop = asyncio.get_running_loop()
+        queue = self._queue_for(task, deployment)
         now = loop.time()
         job = _Job(
             prepared,
             loop.create_future(),
             enqueued_at=now,
             deadline_at=None if deadline is None else now + deadline,
+            deployment=deployment,
         )
         try:
             queue.put_nowait(job)
         except asyncio.QueueFull:
-            return self._account(
-                error_response(
-                    request,
-                    ERROR_QUEUE_FULL,
-                    f"{request.task} queue is full ({self.config.queue_size} pending requests)",
-                )
-            )
+            return None
+        deployment.pending += 1
+        deployment.counts["routed"] += 1
         self._inflight[prepared.key] = job.future
-        return await self._await_owner(job)
+        return job
 
-    async def submit_all(self, requests: list[Request], deadline: float | None = None) -> list[Response]:
-        """Submit ``requests`` concurrently; responses align with input order."""
-        return list(await asyncio.gather(*(self.submit(request, deadline=deadline) for request in requests)))
+    # -- shadow traffic ------------------------------------------------------------------
+    def _shadow_bucket(self, primary_id: str, shadow_id: str) -> dict:
+        key = f"{primary_id}->{shadow_id}"
+        return self._shadow_stats.setdefault(
+            key,
+            {
+                "samples": 0,
+                "agreements": 0,
+                "shadow_errors": 0,
+                "primary_errors": 0,
+                "dropped": 0,
+                "latency_delta_ms_sum": 0.0,
+            },
+        )
+
+    def _spawn_shadow(
+        self,
+        base: _Prepared,
+        task: str,
+        primary: _Deployment,
+        shadow: _Deployment,
+        primary_future: asyncio.Future,
+    ) -> None:
+        """Mirror one request to ``shadow`` and record the comparison.
+
+        The duplicate goes through the normal queue/batch machinery under the
+        shadow deployment's cache namespace (so it coalesces with — and warms
+        the cache for — real traffic pinned to that version), but its future
+        is consumed only by the recorder task: the caller's response is
+        already decided by the primary path.  A full shadow queue drops the
+        sample (counted) instead of back-pressuring live traffic.
+        """
+        loop = asyncio.get_running_loop()
+        shadow.counts["shadow_requests"] += 1
+        prepared = base.namespaced(self._cache_suffix(shadow))
+        cached = self.pipeline.cached_response(prepared)
+        if cached is not None:
+            shadow_future: asyncio.Future = loop.create_future()
+            shadow_future.set_result(("ok", {"output": cached.output}))
+        else:
+            shared = self._inflight.get(prepared.key)
+            if shared is not None:
+                shadow_future = shared
+            else:
+                job = self._enqueue(prepared, task, shadow, deadline=None)
+                if job is None:
+                    self._shadow_bucket(primary.deployment_id, shadow.deployment_id)["dropped"] += 1
+                    return
+                shadow_future = job.future
+        recorder = loop.create_task(
+            self._record_shadow(primary.deployment_id, shadow.deployment_id, primary_future, shadow_future)
+        )
+        self._dispatch_tasks.add(recorder)
+        recorder.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _record_shadow(
+        self,
+        primary_id: str,
+        shadow_id: str,
+        primary_future: asyncio.Future,
+        shadow_future: asyncio.Future,
+    ) -> None:
+        """Await both sides of one shadow pair and fold them into the stats."""
+
+        async def resolved(future: asyncio.Future) -> tuple[tuple, float]:
+            outcome = await future
+            return outcome, asyncio.get_running_loop().time()
+
+        (primary_outcome, primary_done), (shadow_outcome, shadow_done) = await asyncio.gather(
+            resolved(primary_future), resolved(shadow_future)
+        )
+        bucket = self._shadow_bucket(primary_id, shadow_id)
+        primary_output = primary_outcome[1]["output"] if primary_outcome[0] == "ok" else None
+        shadow_output = shadow_outcome[1]["output"] if shadow_outcome[0] == "ok" else None
+        if primary_output is None or shadow_output is None:
+            # Attribute the failure to the side that actually failed: an
+            # incumbent error must not read as candidate unhealthiness.
+            if shadow_output is None:
+                bucket["shadow_errors"] += 1
+            if primary_output is None:
+                bucket["primary_errors"] += 1
+            return
+        bucket["samples"] += 1
+        bucket["agreements"] += primary_output == shadow_output
+        bucket["latency_delta_ms_sum"] += (shadow_done - primary_done) * 1000.0
 
     # -- request completion ------------------------------------------------------------
     async def _await_owner(self, job: _Job) -> Response:
@@ -336,17 +887,20 @@ class Server:
             queue_ms=round(job.queue_seconds * 1000.0, 3),
             batch_size=job.batch_size,
             worker=job.worker_id,
+            deployment=job.deployment.deployment_id,
         )
         return response
 
-    async def _await_result(self, prepared: _Prepared, shared: asyncio.Future, coalesced: bool) -> Response:
+    async def _await_result(
+        self, prepared: _Prepared, shared: asyncio.Future, coalesced: bool, deployment: _Deployment
+    ) -> Response:
         outcome = await shared
         if outcome[0] == "ok":
             self._counts["completed"] += 1
             response = self.pipeline.response_from(prepared, outcome[1], cached=True)
         else:
             response = self._account(error_response(prepared.request, outcome[1], outcome[2]))
-        response.telemetry = _telemetry(coalesced=coalesced)
+        response.telemetry = _telemetry(coalesced=coalesced, deployment=deployment.deployment_id)
         return response
 
     def _account(self, response: Response) -> Response:
@@ -356,19 +910,20 @@ class Server:
         return response
 
     # -- collection and dispatch -------------------------------------------------------
-    def _queue_for(self, task: str) -> asyncio.Queue:
-        queue = self._queues.get(task)
+    def _queue_for(self, task: str, deployment: _Deployment) -> asyncio.Queue:
+        key = (task, deployment.deployment_id)
+        queue = self._queues.get(key)
         if queue is None:
             queue = asyncio.Queue(maxsize=self.config.queue_size)
-            self._queues[task] = queue
-            self._collectors[task] = asyncio.get_running_loop().create_task(
-                self._collect(task), name=f"repro-serving-collect-{task}"
+            self._queues[key] = queue
+            self._collectors[key] = asyncio.get_running_loop().create_task(
+                self._collect(task, deployment, queue),
+                name=f"repro-serving-collect-{task}-{deployment.deployment_id}",
             )
         return queue
 
-    async def _collect(self, task: str) -> None:
-        """Accumulate one task's queue into batches under the flush policy."""
-        queue = self._queues[task]
+    async def _collect(self, task: str, deployment: _Deployment, queue: asyncio.Queue) -> None:
+        """Accumulate one (task, deployment) queue into batches under the flush policy."""
         window = self._window
         loop = asyncio.get_running_loop()
         while True:
@@ -393,11 +948,13 @@ class Server:
             # number of in-flight batches at num_workers and lets the bounded
             # queue absorb (or reject) the overflow in the meantime.
             worker = await self._idle_workers.get()
-            dispatch = loop.create_task(self._run_batch(task, batch, worker))
+            dispatch = loop.create_task(self._run_batch(task, deployment, batch, worker))
             self._dispatch_tasks.add(dispatch)
             dispatch.add_done_callback(self._dispatch_tasks.discard)
 
-    async def _run_batch(self, task: str, jobs: list[_Job], worker: _Worker) -> None:
+    async def _run_batch(
+        self, task: str, deployment: _Deployment, jobs: list[_Job], worker: _Worker
+    ) -> None:
         """Run one collected batch on ``worker``; resolve every job's future."""
         loop = asyncio.get_running_loop()
         try:
@@ -427,7 +984,7 @@ class Server:
             self._padding_sum += padding_efficiency([len(job.prepared.source.split()) for job in live])
             prepared = [job.prepared for job in live]
             try:
-                outputs = await loop.run_in_executor(self._executor, worker.predict, task, prepared)
+                outputs = await loop.run_in_executor(self._executor, worker.predict, deployment, task, prepared)
             except Exception as error:  # noqa: BLE001 - a backend bug must not kill the loop
                 for job in live:
                     self._resolve(job, ("error", ERROR_BACKEND, str(error)))
@@ -443,7 +1000,12 @@ class Server:
             # here, back on the event-loop thread, where they are serialized.
             for job, output in zip(live, outputs):
                 try:
-                    payload = self.pipeline.complete(job.prepared, output)
+                    # A job that out-waited a set_weights() ran on the new
+                    # engines but is keyed under the old revision's cache
+                    # namespace; answer it, but never cache the mismatch.
+                    payload = self.pipeline.complete(
+                        job.prepared, output, cache=job.revision == deployment.revision
+                    )
                 except Exception as error:  # noqa: BLE001 - resolve, never hang the future
                     self._resolve(job, ("error", ERROR_BACKEND, f"postprocessing failed: {error}"))
                 else:
@@ -455,15 +1017,88 @@ class Server:
         self._inflight.pop(job.prepared.key, None)
         if not job.future.done():
             job.future.set_result(outcome)
+        deployment = job.deployment
+        deployment.pending -= 1
+        if outcome[0] == "ok":
+            deployment.counts["completed"] += 1
+            deployment.latency_ms_sum += (asyncio.get_running_loop().time() - job.enqueued_at) * 1000.0
+        elif outcome[1] == ERROR_BACKEND:
+            deployment.counts["backend_error"] += 1
+            self._maybe_revert(deployment)
+        elif outcome[1] == ERROR_DEADLINE:
+            deployment.counts["deadline_exceeded"] += 1
+
+    def _prune_guards(self) -> None:
+        """Drop guards whose deployment no longer appears in any route or shadow."""
+        referenced = set(self._router.deployments())
+        for deployment_id in [did for did in self._guards if did not in referenced]:
+            del self._guards[deployment_id]
+
+    def _maybe_revert(self, deployment: _Deployment) -> None:
+        """Auto-revert a guarded canary whose error rate breached its threshold."""
+        state = self._guards.get(deployment.deployment_id)
+        if state is None:
+            return
+        guard: CanaryGuard = state["guard"]
+        # Judge only what the canary served since the guard was installed.
+        completed = deployment.counts["completed"] - state["completed"]
+        backend_errors = deployment.counts["backend_error"] - state["backend_errors"]
+        if not guard.should_revert(completed, backend_errors):
+            return
+        self._router = self._router.without(deployment.deployment_id)
+        self._guards.pop(deployment.deployment_id, None)
+        finished = completed + backend_errors
+        self._rollbacks.append(
+            {
+                "deployment": deployment.deployment_id,
+                "error_rate": round(backend_errors / finished, 4),
+                "completed": completed,
+                "backend_errors": backend_errors,
+                "max_error_rate": guard.max_error_rate,
+            }
+        )
 
     # -- observability -----------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving telemetry aggregated across every request and batch."""
+        """Serving telemetry aggregated across every request, batch and deployment.
+
+        Returns a deep-copied snapshot: the caller can hold, mutate or diff
+        it freely while the server keeps serving — no key aliases a live
+        internal counter.  ``version`` stamps the ``repro`` package that
+        produced the snapshot; ``deployments`` / ``routes`` / ``shadow`` /
+        ``rollbacks`` expose the deployment layer (see ``docs/deploy.md``).
+        """
         batches = self._batch_count
         mean_size = self._batch_size_sum / batches if batches else 0.0
         mean_padding = self._padding_sum / batches if batches else 1.0
         mean_wait = self._queue_wait_sum / self._queue_wait_count if self._queue_wait_count else 0.0
-        return {
+        deployments = {}
+        for deployment_id, deployment in sorted(self._deployments.items()):
+            completed = deployment.counts["completed"]
+            deployments[deployment_id] = {
+                "revision": deployment.revision,
+                "default": deployment.is_default,
+                "draining": deployment.draining,
+                "tasks": sorted(deployment.tasks),
+                "pending": deployment.pending,
+                "requests": dict(deployment.counts),
+                "mean_latency_ms": round(deployment.latency_ms_sum / completed, 3) if completed else 0.0,
+                "manifest": deployment.manifest.as_dict() if deployment.manifest is not None else None,
+            }
+        shadow = {}
+        for pair, bucket in sorted(self._shadow_stats.items()):
+            samples = bucket["samples"]
+            shadow[pair] = {
+                "samples": samples,
+                "agreements": bucket["agreements"],
+                "agreement_rate": round(bucket["agreements"] / samples, 4) if samples else 0.0,
+                "mean_latency_delta_ms": round(bucket["latency_delta_ms_sum"] / samples, 3) if samples else 0.0,
+                "shadow_errors": bucket["shadow_errors"],
+                "primary_errors": bucket["primary_errors"],
+                "dropped": bucket["dropped"],
+            }
+        snapshot = {
+            "version": __version__,
             "requests": {
                 "submitted": self._counts["submitted"],
                 "completed": self._counts["completed"],
@@ -490,8 +1125,15 @@ class Server:
                 "mean": round(mean_wait * 1000.0, 3),
                 "max": round(self._queue_wait_max * 1000.0, 3),
             },
+            "deployments": deployments,
+            "routes": self._router.describe(),
+            "shadow": shadow,
+            "rollbacks": list(self._rollbacks),
             "pipeline": self.pipeline.stats(),
         }
+        # One deep copy at the boundary guarantees the snapshot property for
+        # every nested dict, today's and tomorrow's alike.
+        return copy.deepcopy(snapshot)
 
 
 def serve_requests(

@@ -1,0 +1,155 @@
+"""Tests for deployment manifests (``repro.deploy.manifest``).
+
+A manifest must be impossible to hold wrong: validation runs at
+construction, the JSON round trip is exact and strict (unknown fields are
+errors, not silently dropped), and the checkpoint fingerprint catches any
+byte-level drift between registration and activation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5, checkpoint_fingerprint
+from repro.deploy import DeploymentManifest
+from repro.errors import ModelConfigError
+
+
+def checkpoint_manifest(**overrides) -> DeploymentManifest:
+    payload = dict(
+        name="datavist5",
+        version=2,
+        tasks=("text_to_vis", "fevisqa"),
+        checkpoint="/tmp/ckpt",
+        fingerprint="sha256:" + "0" * 64,
+        precision="float32",
+        decode={"use_cache": True},
+        metadata={"trained_on": "nvbench"},
+    )
+    payload.update(overrides)
+    return DeploymentManifest(**payload)
+
+
+def tiny_model() -> DataVisT5:
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=16, max_target_length=8, max_decode_length=4
+    )
+    return DataVisT5.from_corpus(["visualize bar select a from b"], config=config, max_vocab_size=64)
+
+
+class TestValidation:
+    def test_valid_manifest_constructs(self):
+        manifest = checkpoint_manifest()
+        assert manifest.id == "datavist5@2"
+        assert manifest.repro_version == repro.__version__
+
+    def test_config_backed_manifest_constructs(self):
+        manifest = DeploymentManifest(
+            name="heuristic", version=1, backends={"vis_to_text": {"type": "heuristics"}}
+        )
+        assert manifest.checkpoint is None
+
+    def test_exactly_one_backend_family(self):
+        with pytest.raises(ModelConfigError, match="exactly one"):
+            DeploymentManifest(name="x", version=1)
+        with pytest.raises(ModelConfigError, match="exactly one"):
+            checkpoint_manifest(backends={"vis_to_text": {"type": "heuristics"}})
+
+    def test_name_and_version_rules(self):
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(name="")
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(name="bad@name")
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(version=0)
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(version="2")
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(version=True)
+
+    def test_task_rules(self):
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(tasks=())
+        with pytest.raises(ModelConfigError, match="unknown tasks"):
+            checkpoint_manifest(tasks=("text_to_vis", "table_to_text"))
+
+    def test_fingerprint_rules(self):
+        with pytest.raises(ModelConfigError, match="sha256"):
+            checkpoint_manifest(fingerprint="md5:abc")
+        with pytest.raises(ModelConfigError, match="checkpoint"):
+            DeploymentManifest(
+                name="x",
+                version=1,
+                backends={"vis_to_text": {"type": "heuristics"}},
+                fingerprint="sha256:" + "0" * 64,
+            )
+
+    def test_precision_and_decode_rules(self):
+        with pytest.raises(ModelConfigError):
+            checkpoint_manifest(precision="fp16")
+        with pytest.raises(ModelConfigError, match="unknown decode"):
+            checkpoint_manifest(decode={"num_beams": 4})
+        with pytest.raises(ModelConfigError, match="use_cache"):
+            checkpoint_manifest(decode={"use_cache": "yes"})
+
+
+class TestRoundTrip:
+    def test_as_dict_from_dict_is_identity(self):
+        manifest = checkpoint_manifest()
+        assert DeploymentManifest.from_dict(manifest.as_dict()) == manifest
+
+    def test_survives_json(self):
+        manifest = checkpoint_manifest()
+        wire = json.loads(json.dumps(manifest.as_dict()))
+        assert DeploymentManifest.from_dict(wire) == manifest
+
+    def test_unknown_fields_rejected(self):
+        payload = checkpoint_manifest().as_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ModelConfigError, match="surprise"):
+            DeploymentManifest.from_dict(payload)
+
+    def test_missing_identity_rejected(self):
+        with pytest.raises(ModelConfigError, match="missing"):
+            DeploymentManifest.from_dict({"name": "x"})
+
+    def test_bump_mints_next_version(self):
+        manifest = checkpoint_manifest()
+        bumped = manifest.bump(checkpoint="/tmp/ckpt-v3", fingerprint=None)
+        assert bumped.version == manifest.version + 1
+        assert bumped.name == manifest.name
+        assert bumped.checkpoint == "/tmp/ckpt-v3"
+
+
+class TestFingerprint:
+    def test_fingerprint_matches_file_content(self, tmp_path):
+        model = tiny_model()
+        model.save(tmp_path / "ckpt")
+        fingerprint = checkpoint_fingerprint(tmp_path / "ckpt")
+        assert fingerprint.startswith("sha256:")
+        # hashing the weights file directly gives the same identity
+        assert checkpoint_fingerprint(tmp_path / "ckpt" / "weights.npz") == fingerprint
+
+    def test_missing_weights_raise(self, tmp_path):
+        with pytest.raises(ModelConfigError, match="fingerprint"):
+            checkpoint_fingerprint(tmp_path)
+
+    def test_verify_checkpoint_detects_tampering(self, tmp_path):
+        model = tiny_model()
+        model.save(tmp_path / "ckpt")
+        manifest = checkpoint_manifest(
+            checkpoint=str(tmp_path / "ckpt"),
+            fingerprint=checkpoint_fingerprint(tmp_path / "ckpt"),
+        )
+        manifest.verify_checkpoint()  # pristine: passes
+        (tmp_path / "ckpt" / "weights.npz").write_bytes(b"not the weights you registered")
+        with pytest.raises(ModelConfigError, match="mismatch"):
+            manifest.verify_checkpoint()
+
+    def test_verify_checkpoint_skips_unfingerprinted(self):
+        manifest = checkpoint_manifest(fingerprint=None, checkpoint="/nowhere/at/all")
+        manifest.verify_checkpoint()  # nothing recorded, nothing to prove

@@ -1,0 +1,176 @@
+"""Tests for the versioned model registry (``repro.deploy.registry``).
+
+Registration is append-only (versions are immutable once written), the JSON
+persistence round-trips exactly, and ``build_pipeline`` refuses to activate
+anything it cannot verify — including a checkpoint whose bytes changed since
+``register_checkpoint`` fingerprinted them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.deploy import DeploymentManifest, ModelRegistry
+from repro.errors import ModelConfigError
+
+
+def tiny_model(seed: int = 0) -> DataVisT5:
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=32, max_target_length=16, max_decode_length=8, seed=seed
+    )
+    corpus = [
+        "<Question> how many parts are there ? <Answer> 3",
+        "visualize bar select artist.country , count ( artist.country ) from artist",
+    ]
+    return DataVisT5.from_corpus(corpus, config=config, max_vocab_size=200)
+
+
+def config_manifest(name: str = "heuristic", version: int = 1) -> DeploymentManifest:
+    return DeploymentManifest(
+        name=name,
+        version=version,
+        tasks=("vis_to_text", "fevisqa"),
+        backends={"vis_to_text": {"type": "heuristics"}, "fevisqa": {"type": "heuristics"}},
+    )
+
+
+class TestRegistration:
+    def test_register_get_latest_versions(self):
+        registry = ModelRegistry()
+        registry.register(config_manifest(version=1))
+        registry.register(config_manifest(version=3))
+        assert registry.get("heuristic@1").version == 1
+        assert registry.get("heuristic").version == 3  # bare name -> latest
+        assert registry.latest("heuristic").version == 3
+        assert registry.versions("heuristic") == (1, 3)
+        assert registry.names() == ("heuristic",)
+        assert "heuristic@3" in registry and "heuristic@2" not in registry
+        assert len(registry) == 2
+        assert registry.next_version("heuristic") == 4
+        assert registry.next_version("fresh") == 1
+
+    def test_versions_are_immutable(self):
+        registry = ModelRegistry()
+        registry.register(config_manifest())
+        with pytest.raises(ModelConfigError, match="immutable"):
+            registry.register(config_manifest())
+
+    def test_unknown_lookups_raise(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelConfigError, match="unknown deployment"):
+            registry.get("ghost")
+        registry.register(config_manifest())
+        with pytest.raises(ModelConfigError, match="no version 9"):
+            registry.get("heuristic@9")
+
+    def test_remove(self):
+        registry = ModelRegistry()
+        registry.register(config_manifest(version=1))
+        registry.register(config_manifest(version=2))
+        removed = registry.remove("heuristic@1")
+        assert removed.version == 1
+        assert registry.versions("heuristic") == (2,)
+        registry.remove("heuristic@2")
+        assert registry.names() == ()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register(config_manifest(version=1))
+        registry.register(config_manifest(name="other", version=7))
+        path = registry.save(tmp_path / "registry.json")
+        loaded = ModelRegistry.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("heuristic@1") == registry.get("heuristic@1")
+        assert loaded.get("other@7") == registry.get("other@7")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["repro_version"] == repro.__version__
+
+    def test_file_backed_registry_persists_mutations(self, tmp_path):
+        path = tmp_path / "registry.json"
+        registry = ModelRegistry(path)
+        registry.register(config_manifest())
+        assert ModelRegistry.load(path).get("heuristic@1") is not None
+        registry.remove("heuristic@1")
+        assert len(ModelRegistry.load(path)) == 0
+
+    def test_save_without_path_requires_target(self):
+        with pytest.raises(ModelConfigError, match="backing path"):
+            ModelRegistry().save()
+
+    def test_load_rejects_missing_and_malformed_files(self, tmp_path):
+        with pytest.raises(ModelConfigError, match="no registry file"):
+            ModelRegistry.load(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(ModelConfigError, match="not valid JSON"):
+            ModelRegistry.load(bad)
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text('{"something": "else"}', encoding="utf-8")
+        with pytest.raises(ModelConfigError, match="deployments"):
+            ModelRegistry.load(shapeless)
+
+    def test_load_rejects_duplicate_entries(self, tmp_path):
+        entry = config_manifest().as_dict()
+        duplicated = tmp_path / "dup.json"
+        duplicated.write_text(json.dumps({"deployments": [entry, entry]}), encoding="utf-8")
+        with pytest.raises(ModelConfigError, match="twice"):
+            ModelRegistry.load(duplicated)
+
+
+class TestCheckpointLifecycle:
+    def test_register_checkpoint_fingerprints_and_builds(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry.json")
+        model = tiny_model()
+        manifest = registry.register_checkpoint(
+            "datavist5", model, tmp_path / "v1", tasks=("fevisqa",), metadata={"run": "seed-0"}
+        )
+        assert manifest.id == "datavist5@1"
+        assert manifest.fingerprint.startswith("sha256:")
+        assert registry.verify("datavist5@1") == manifest
+
+        pipeline = registry.build_pipeline("datavist5@1")
+        response = pipeline.fevisqa("how many parts are there ?", table="a | 1")
+        assert response.ok
+        # the reconstructed model predicts exactly what the registered one does
+        assert pipeline.model.predict(response.source) == model.predict(response.source)
+
+    def test_second_registration_mints_next_version(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register_checkpoint("m", tiny_model(), tmp_path / "v1")
+        manifest = registry.register_checkpoint("m", tiny_model(seed=1), tmp_path / "v2")
+        assert manifest.version == 2
+
+    def test_build_pipeline_rejects_tampered_checkpoint(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register_checkpoint("m", tiny_model(), tmp_path / "v1")
+        (tmp_path / "v1" / "weights.npz").write_bytes(b"corrupted")
+        with pytest.raises(ModelConfigError, match="mismatch"):
+            registry.build_pipeline("m@1")
+
+    def test_build_pipeline_applies_precision_and_decode(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register_checkpoint(
+            "m", tiny_model(), tmp_path / "v1", precision="float32", decode={"use_cache": False}
+        )
+        pipeline = registry.build_pipeline("m")
+        assert pipeline.config.precision == "float32"
+        assert pipeline.config.use_cache is False
+
+    def test_build_pipeline_quantizes_int8_on_load(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register_checkpoint("m", tiny_model(), tmp_path / "v1", precision="int8")
+        pipeline = registry.build_pipeline("m")
+        assert pipeline.model.quantized
+
+    def test_build_pipeline_from_config_manifest(self):
+        registry = ModelRegistry()
+        registry.register(config_manifest())
+        pipeline = registry.build_pipeline("heuristic")
+        assert pipeline.fevisqa("how many parts are there ?", table="a | 1").ok

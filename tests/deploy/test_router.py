@@ -1,0 +1,191 @@
+"""Tests for the routing layer (``repro.deploy.router``).
+
+The load-bearing property is determinism: routing is a pure function of
+``(task, request key)``, so retries land on the version that served them the
+first time, canary splits hit their configured fractions over many keys, and
+rebuilding an identical router reproduces every decision.  The rest covers
+immutability of updates, shadow sampling independence, the rollback
+primitive (``without``), and guard/weight validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deploy import CanaryGuard, Router, ShadowSpec, deployment_id, hash_fraction, parse_ref
+from repro.errors import ModelConfigError
+
+TASK = "text_to_vis"
+
+
+def keys(count: int) -> list[str]:
+    return [f"request key {index}" for index in range(count)]
+
+
+class TestDeterminism:
+    def test_same_key_same_deployment(self):
+        router = Router({TASK: {"stable@1": 0.8, "canary@2": 0.2}})
+        for key in keys(50):
+            first = router.route(TASK, key)
+            assert all(router.route(TASK, key) == first for _ in range(5))
+
+    def test_rebuilt_router_reproduces_decisions(self):
+        table = {TASK: {"stable@1": 0.7, "canary@2": 0.3}}
+        first, second = Router(table), Router(table)
+        assert [first.route(TASK, key) for key in keys(200)] == [
+            second.route(TASK, key) for key in keys(200)
+        ]
+
+    def test_split_fraction_is_accurate(self):
+        router = Router({TASK: {"stable@1": 0.8, "canary@2": 0.2}})
+        sample = [router.route(TASK, key) for key in keys(10000)]
+        observed = sample.count("canary@2") / len(sample)
+        assert observed == pytest.approx(0.2, abs=0.02)
+
+    def test_weights_are_relative_not_normalized(self):
+        fractional = Router({TASK: {"a@1": 0.75, "b@1": 0.25}})
+        integral = Router({TASK: {"a@1": 3, "b@1": 1}})
+        sample = keys(500)
+        assert [fractional.route(TASK, key) for key in sample] == [
+            integral.route(TASK, key) for key in sample
+        ]
+
+    def test_zero_weight_deployment_never_selected(self):
+        router = Router({TASK: {"stable@1": 1.0, "dead@1": 0.0}})
+        assert all(router.route(TASK, key) == "stable@1" for key in keys(500))
+
+    def test_unrouted_task_returns_none(self):
+        assert Router().route(TASK, "anything") is None
+        assert Router({"vis_to_text": {"a@1": 1.0}}).route(TASK, "anything") is None
+
+
+class TestShadow:
+    def test_shadow_fraction_is_accurate(self):
+        router = Router(shadows={TASK: ShadowSpec("candidate@2", 0.3)})
+        sampled = sum(router.shadow(TASK, key) is not None for key in keys(10000))
+        assert sampled / 10000 == pytest.approx(0.3, abs=0.02)
+
+    def test_shadow_sampling_independent_of_route_hash(self):
+        # Salted separately: the shadow population must not be the canary
+        # population in disguise.
+        router = Router(
+            {TASK: {"stable@1": 0.7, "canary@2": 0.3}},
+            shadows={TASK: ShadowSpec("candidate@3", 0.3)},
+        )
+        shadowed = [key for key in keys(5000) if router.shadow(TASK, key) is not None]
+        canaried = sum(router.route(TASK, key) == "canary@2" for key in shadowed)
+        assert canaried / len(shadowed) == pytest.approx(0.3, abs=0.05)
+
+    def test_shadow_deterministic(self):
+        router = Router(shadows={TASK: ShadowSpec("candidate@2", 0.5)})
+        for key in keys(50):
+            assert router.shadow(TASK, key) == router.shadow(TASK, key)
+
+    def test_no_shadow_configured(self):
+        assert Router().shadow(TASK, "key") is None
+
+
+class TestImmutability:
+    def test_with_routes_leaves_original_untouched(self):
+        original = Router({TASK: {"stable@1": 1.0}})
+        derived = original.with_routes(TASK, {"stable@1": 0.5, "canary@2": 0.5})
+        assert original.weights(TASK) == {"stable@1": 1.0}
+        assert derived.weights(TASK) == {"stable@1": 0.5, "canary@2": 0.5}
+
+    def test_with_shadow_and_clear(self):
+        original = Router({TASK: {"stable@1": 1.0}})
+        shadowed = original.with_shadow(TASK, "candidate@2", 0.25)
+        assert shadowed.describe()[TASK]["shadow"] == {"deployment": "candidate@2", "fraction": 0.25}
+        cleared = shadowed.with_shadow(TASK, "candidate@2", 0.0)
+        assert cleared.describe()[TASK]["shadow"] is None
+        assert original.describe()[TASK]["shadow"] is None
+
+    def test_without_strips_routes_and_shadows(self):
+        router = Router(
+            {TASK: {"stable@1": 0.5, "canary@2": 0.5}, "fevisqa": {"canary@2": 1.0}},
+            shadows={"vis_to_text": ShadowSpec("canary@2", 0.5)},
+        )
+        reverted = router.without("canary@2")
+        assert reverted.weights(TASK) == {"stable@1": 0.5}
+        # a task whose only deployment was removed becomes unrouted
+        assert reverted.route("fevisqa", "key") is None
+        assert reverted.shadow("vis_to_text", "key") is None
+        assert "canary@2" not in reverted.deployments()
+
+    def test_without_task(self):
+        router = Router(
+            {TASK: {"a@1": 1.0}, "fevisqa": {"b@1": 1.0}},
+            shadows={TASK: ShadowSpec("b@1", 0.5)},
+        )
+        cleared = router.without_task(TASK)
+        assert cleared.route(TASK, "key") is None
+        assert cleared.shadow(TASK, "key") is None
+        assert cleared.weights("fevisqa") == {"b@1": 1.0}
+
+    def test_describe_snapshot_is_detached(self):
+        router = Router({TASK: {"a@1": 1.0}})
+        snapshot = router.describe()
+        snapshot[TASK]["weights"]["a@1"] = 99.0
+        assert router.weights(TASK) == {"a@1": 1.0}
+
+
+class TestValidation:
+    def test_empty_or_nonpositive_weights_rejected(self):
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {}})
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {"a@1": 0.0}})
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {"a@1": -1.0}})
+
+    def test_non_finite_and_non_numeric_weights_rejected(self):
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {"a@1": float("nan")}})
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {"a@1": float("inf")}})
+        with pytest.raises(ModelConfigError):
+            Router({TASK: {"a@1": "heavy"}})
+
+    def test_shadow_spec_validation(self):
+        with pytest.raises(ModelConfigError):
+            ShadowSpec("candidate@1", 0.0)
+        with pytest.raises(ModelConfigError):
+            ShadowSpec("candidate@1", 1.5)
+        with pytest.raises(ModelConfigError):
+            ShadowSpec("", 0.5)
+
+
+class TestCanaryGuard:
+    def test_reverts_only_past_minimum_sample(self):
+        guard = CanaryGuard("canary@2", max_error_rate=0.2, min_requests=10)
+        assert not guard.should_revert(completed=0, backend_errors=9)  # too few resolved
+        assert guard.should_revert(completed=0, backend_errors=10)
+
+    def test_threshold_is_strict(self):
+        guard = CanaryGuard("canary@2", max_error_rate=0.5, min_requests=2)
+        assert not guard.should_revert(completed=1, backend_errors=1)  # exactly 0.5
+        assert guard.should_revert(completed=1, backend_errors=2)
+
+    def test_validation(self):
+        with pytest.raises(ModelConfigError):
+            CanaryGuard("canary@2", max_error_rate=1.0)
+        with pytest.raises(ModelConfigError):
+            CanaryGuard("canary@2", max_error_rate=-0.1)
+        with pytest.raises(ModelConfigError):
+            CanaryGuard("canary@2", max_error_rate=0.5, min_requests=0)
+
+
+class TestReferences:
+    def test_deployment_id_and_parse_ref_round_trip(self):
+        assert parse_ref(deployment_id("captioner", 3)) == ("captioner", 3)
+        assert parse_ref("captioner") == ("captioner", None)
+
+    def test_malformed_references_rejected(self):
+        for bad in ("", "@3", "a@b@c", "a@", "a@x", "a@-1"):
+            with pytest.raises(ModelConfigError):
+                parse_ref(bad)
+
+    def test_hash_fraction_range_and_salting(self):
+        values = [hash_fraction("route", TASK, key) for key in keys(1000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert hash_fraction("route", TASK, "k") != hash_fraction("shadow", TASK, "k")

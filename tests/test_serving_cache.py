@@ -1,0 +1,147 @@
+"""LRU cache behaviour under concurrent access (``repro.serving.cache``).
+
+The serving design keeps cache *writes* on the event-loop thread, but the
+deploy layer's worker shards and library callers on other threads may share
+a pipeline, so the cache must stay coherent under raw concurrent use:
+counters that add up, bounded size, deterministic LRU eviction order, and no
+torn entries (a key never yields another key's value, even mid-eviction).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.serving.cache import LRUCache, normalize_key
+
+
+class TestEvictionOrder:
+    def test_lru_eviction_is_recency_ordered(self):
+        cache = LRUCache(capacity=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key.upper())
+        cache.get("a")  # refresh: 'b' is now the stalest
+        cache.put("d", "D")
+        assert "b" not in cache
+        assert [key for key in cache] == ["c", "a", "d"]
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency_too(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update refreshes
+        cache.put("c", 3)
+        assert "b" not in cache and cache.get("a") == 10
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ModelConfigError):
+            LRUCache(capacity=-1)
+
+
+class TestConcurrentAccess:
+    THREADS = 8
+    OPS_PER_THREAD = 2000
+    CAPACITY = 32
+    KEY_SPACE = 64  # 2x capacity: constant eviction pressure
+
+    @staticmethod
+    def value_for(key: str) -> tuple[str, str]:
+        # The value embeds its key, so a torn entry (one key answering with
+        # another key's value) is directly observable.
+        return (key, f"payload:{key}")
+
+    def test_no_torn_entries_under_contention(self):
+        cache = LRUCache(capacity=self.CAPACITY, name="stress")
+        observed_tears: list[tuple] = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()  # maximize overlap
+            for step in range(self.OPS_PER_THREAD):
+                key = f"key-{(worker_id * 31 + step * 7) % self.KEY_SPACE}"
+                value = cache.get_or_compute(key, lambda key=key: self.value_for(key))
+                if value[0] != key:
+                    observed_tears.append((key, value))
+
+        threads = [threading.Thread(target=worker, args=(index,)) for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert observed_tears == []
+        # whatever survived eviction is still internally consistent
+        for key in list(cache):
+            value = cache.get(key)
+            if value is not None:  # may race with nothing here; single-threaded now
+                assert value == self.value_for(key)
+
+    def test_counters_add_up_under_contention(self):
+        cache = LRUCache(capacity=self.CAPACITY, name="counted")
+        total_ops = self.THREADS * self.OPS_PER_THREAD
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for step in range(self.OPS_PER_THREAD):
+                key = f"key-{(worker_id + step) % self.KEY_SPACE}"
+                cache.get_or_compute(key, lambda key=key: self.value_for(key))
+
+        threads = [threading.Thread(target=worker, args=(index,)) for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # every lookup was either a hit or a miss — nothing double-counted,
+        # nothing lost — and the cache never grew past its bound
+        assert cache.hits + cache.misses == total_ops
+        assert len(cache) <= self.CAPACITY
+        # every miss stores an entry (two racing misses on one key collapse
+        # to one insert), and everything not resident was evicted
+        assert cache.evictions <= cache.misses - len(cache)
+        assert cache.evictions >= self.KEY_SPACE - self.CAPACITY
+        stats = cache.stats()
+        assert stats["hits"] == cache.hits and stats["misses"] == cache.misses
+
+    def test_hit_and_eviction_bounds_with_disjoint_working_sets(self):
+        # Each worker shard hammers its own small working set that fits the
+        # cache alongside the others: after warm-up, everything should hit.
+        cache = LRUCache(capacity=self.THREADS * 4)
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for step in range(self.OPS_PER_THREAD):
+                key = f"shard-{worker_id}-{step % 4}"
+                cache.get_or_compute(key, lambda key=key: self.value_for(key))
+
+        threads = [threading.Thread(target=worker, args=(index,)) for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.evictions == 0
+        assert len(cache) == self.THREADS * 4
+        # at most one miss per key per racing thread; in practice far fewer
+        assert cache.misses <= self.THREADS * 4 * self.THREADS
+        assert cache.hits >= self.THREADS * (self.OPS_PER_THREAD - 4 * self.THREADS)
+        for key in list(cache):  # snapshot: get() refreshes recency mid-iteration
+            assert cache.get(key) == self.value_for(key)
+
+
+class TestNormalizeKey:
+    def test_collapses_case_and_whitespace(self):
+        assert normalize_key("Show  ME \n charts") == normalize_key("show me charts")
+
+    def test_part_boundaries_are_unambiguous(self):
+        assert normalize_key("a b", "c") != normalize_key("a", "b c")

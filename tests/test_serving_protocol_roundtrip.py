@@ -1,0 +1,117 @@
+"""Property tests for the Response wire format (``as_dict`` / ``from_dict``).
+
+``Response.as_dict`` is how responses — and the deploy layer's
+shadow-comparison records — cross process boundaries; ``from_dict`` must be
+its exact inverse, including through a JSON encode/decode, for every
+combination of success artifacts, error codes and telemetry.  The query AST
+collapses to text on the way out and is re-parsed on the way in, so the
+round trip also leans on the parser's parse/to_text stability.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelConfigError
+from repro.serving import ERROR_CODES, SERVABLE_TASKS, Response
+from repro.vql.parser import parse_dv_query
+
+QUERY_TEXTS = (
+    "visualize bar select artist.country , count ( artist.country ) from artist "
+    "group by artist.country",
+    "visualize pie select artist.country , count ( artist.country ) from artist "
+    "group by artist.country",
+    "visualize scatter select exhibition.attendance , exhibition.exhibition_id from exhibition",
+    "visualize line select exhibition.date , sum ( exhibition.attendance ) from exhibition "
+    "group by exhibition.date order by exhibition.date asc",
+)
+QUERIES = tuple(parse_dv_query(text) for text in QUERY_TEXTS)
+
+text = st.text(max_size=40)
+json_scalars = st.one_of(st.none(), st.booleans(), st.integers(-1000, 1000), text)
+vega_lite = st.one_of(
+    st.none(),
+    st.dictionaries(
+        st.sampled_from(["mark", "encoding", "x", "y", "field", "type"]),
+        st.one_of(json_scalars, st.dictionaries(text, json_scalars, max_size=3)),
+        max_size=4,
+    ),
+)
+telemetry = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "cache_hit": st.booleans(),
+            "queue_ms": st.floats(0, 1000, allow_nan=False),
+            "batch_size": st.one_of(st.none(), st.integers(1, 64)),
+            "deployment": st.one_of(st.none(), st.sampled_from(["pipeline@0", "model@3"])),
+        }
+    ),
+)
+
+
+@st.composite
+def responses(draw) -> Response:
+    errored = draw(st.booleans())
+    return Response(
+        task=draw(st.sampled_from(SERVABLE_TASKS)),
+        output="" if errored else draw(text),
+        source=draw(text),
+        cached=draw(st.booleans()),
+        query=None if errored else draw(st.one_of(st.none(), st.sampled_from(QUERIES))),
+        vega_lite=None if errored else draw(vega_lite),
+        valid=draw(st.one_of(st.none(), st.booleans())),
+        request_id=draw(st.one_of(st.none(), text)),
+        error=draw(st.sampled_from(ERROR_CODES)) if errored else None,
+        detail=draw(text) if errored else None,
+        telemetry=draw(telemetry),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(response=responses())
+    def test_from_dict_inverts_as_dict_through_json(self, response):
+        wire = json.loads(json.dumps(response.as_dict()))
+        rebuilt = Response.from_dict(wire)
+        # dataclass equality covers everything except telemetry (excluded
+        # from __eq__ by design), so pin it separately.
+        assert rebuilt == response
+        assert rebuilt.telemetry == response.telemetry
+        assert rebuilt.ok == response.ok
+
+    @settings(max_examples=50, deadline=None)
+    @given(response=responses())
+    def test_round_trip_is_idempotent(self, response):
+        once = Response.from_dict(response.as_dict())
+        twice = Response.from_dict(once.as_dict())
+        assert twice == once
+        assert twice.telemetry == once.telemetry
+
+    def test_query_ast_survives_the_text_collapse(self):
+        for query in QUERIES:
+            response = Response(task="text_to_vis", output=query.to_text(), query=query)
+            assert Response.from_dict(response.as_dict()).query == query
+
+
+class TestStrictness:
+    def test_unknown_fields_are_rejected(self):
+        payload = Response(task="fevisqa", output="3").as_dict()
+        payload["extra"] = "field"
+        with pytest.raises(ModelConfigError, match="extra"):
+            Response.from_dict(payload)
+
+    def test_missing_identity_is_rejected(self):
+        with pytest.raises(ModelConfigError, match="task"):
+            Response.from_dict({"output": "3"})
+        with pytest.raises(ModelConfigError, match="output"):
+            Response.from_dict({"task": "fevisqa"})
+
+    def test_empty_query_text_maps_to_none(self):
+        payload = Response(task="text_to_vis", output="").as_dict()
+        assert payload["query"] is None
+        assert Response.from_dict(payload).query is None
