@@ -4,14 +4,17 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test bench bench-decode bench-serving bench-deploy smoke ci install docs check-docs help
+.PHONY: test test-fast test-chaos bench bench-decode bench-serving bench-deploy bench-scale smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
+	@echo "make test-fast     - tests/ only, without the process-killing chaos suite (pytest tests -m 'not chaos')"
+	@echo "make test-chaos    - sharded-tier chaos suite only, bounded by a 900s watchdog (pytest -m chaos)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
 	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json (fails if cached decode is slower than naive, fp32 slower than fp64, or fp32 agreement < 99%)"
 	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
 	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
+	@echo "make bench-scale   - sharded-tier scale benchmark -> BENCH_scale.json (fails if outputs diverge from Pipeline.serve, 2-shard speedup < 1.7x, 4-shard speedup < 3x, or a rolling swap drops a request)"
 	@echo "make smoke         - run every example end-to-end"
 	@echo "make docs          - regenerate the API reference (docs/api/) from docstrings"
 	@echo "make check-docs    - docstring-coverage gate: fail if any public repro.* surface lacks a docstring"
@@ -20,6 +23,18 @@ help:
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# The fast inner loop: unit/property suites only — no paper-table benchmarks
+# (directory split) and no chaos suite (marker split; it kills real forked
+# processes and dominates tests/ wall-clock).
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests -q -m "not chaos"
+
+# The chaos suite SIGKILLs/SIGSTOPs live shard processes; if a gateway
+# regression ever left a request future unresolved it would hang rather than
+# fail, so the watchdog turns that hang into a hard failure.
+test-chaos:
+	PYTHONPATH=src timeout 900 $(PYTHON) -m pytest tests -q -m chaos
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
@@ -32,6 +47,9 @@ bench-serving:
 
 bench-deploy:
 	PYTHONPATH=src $(PYTHON) benchmarks/deploy_benchmark.py --output BENCH_deploy.json
+
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/scale_benchmark.py --output BENCH_scale.json
 
 # Keep this the single source of truth for what CI executes, so local runs
 # and .github/workflows/ci.yml can never drift apart.  `docs` doubles as the

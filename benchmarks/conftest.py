@@ -16,6 +16,18 @@ import pytest
 from repro.evaluation.experiments import ExperimentScale, ExperimentSuite
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The tier-1 run (`make test`) collects tests/ and benchmarks/ together;
+    the marker makes the split selectable (``-m bench`` / ``-m "not
+    bench"``) without encoding directory layout into every invocation.
+    """
+    for item in items:
+        if "benchmarks" in item.path.parts:
+            item.add_marker(pytest.mark.bench)
+
+
 def _selected_scale() -> ExperimentScale:
     name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
     if name == "paper":

@@ -1,0 +1,300 @@
+"""Scale benchmark: the process-sharded tier under a trace-driven open load.
+
+Replays one seeded arrival trace — a diurnal (sinusoidal-rate) open-loop
+schedule carrying a heavy-tailed task mix and periodic duplicate storms —
+through :class:`repro.serving.ShardedServer` at 1, 2 and 4 shards, and once
+more through a 2-shard server while a rolling hot-swap replaces the primary
+deployment mid-trace.
+
+Per-request service time is pinned by ``ShardConfig.calibrated_service_ms``
+(a per-task sleep inside each shard, the machine-independent stand-in for
+heavy backend compute): the sleeps release the GIL and parallelize
+perfectly across worker processes, so the measured speedup isolates the
+serving fabric — routing, batching, IPC, caching — from host core count.
+The tiny model's real forward passes still run, so outputs stay real.
+
+Gates (exit non-zero when violated):
+
+* every response from every scaling run is bitwise-equal to the synchronous
+  ``Pipeline.serve`` baseline on the same checkpoint;
+* throughput scales: >= ``--min-speedup-2``x at 2 shards and
+  >= ``--min-speedup-4``x at 4 shards over the 1-shard run;
+* the rolling-swap run drops nothing: zero error responses, every output
+  textually equal to the baseline, and the primary finishes flipped.
+
+Run it via ``make bench-scale`` or directly::
+
+    PYTHONPATH=src python benchmarks/scale_benchmark.py --output BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets import build_database_pool, generate_nvbench
+from repro.deploy import ModelRegistry
+from repro.serving import Request, ShardConfig, ShardedServer
+
+# Heavy-tailed task mix: mostly cheap fact checks, a thin tail of expensive
+# text-to-vis generations that dominates total service time.
+TASK_WEIGHTS = {"fevisqa": 0.60, "vis_to_text": 0.25, "text_to_vis": 0.15}
+SERVICE_MS = {"fevisqa": 50.0, "vis_to_text": 80.0, "text_to_vis": 200.0}
+
+
+def build_model(args: argparse.Namespace):
+    pool = build_database_pool(num_databases=4, seed=args.seed)
+    nvbench = generate_nvbench(pool, examples_per_database=8, seed=args.seed)
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=32, max_decode_length=args.decode_length
+    )
+    texts = [example.question for example in nvbench.examples]
+    texts += [example.query_text for example in nvbench.examples]
+    model = DataVisT5.from_corpus(texts, config=config, max_vocab_size=800)
+    return pool, nvbench, model
+
+
+def build_trace(args: argparse.Namespace, pool, nvbench) -> tuple[list[Request], list[float], dict]:
+    """One seeded open-loop trace: (requests, arrival offsets, workload card).
+
+    Arrivals follow a sinusoidal "diurnal" rate over the window; while the
+    rate is near its peak the generator also emits duplicate storms (exact
+    repeats of recent requests) that the gateway cache must absorb.
+    """
+    rng = random.Random(args.seed)
+    tasks = list(TASK_WEIGHTS)
+    weights = [TASK_WEIGHTS[task] for task in tasks]
+
+    def fresh_request(index: int) -> Request:
+        example = nvbench.examples[index % len(nvbench.examples)]
+        schema = pool.get(example.db_id).schema
+        task = rng.choices(tasks, weights=weights)[0]
+        if task == "text_to_vis":
+            return Request(task=task, question=example.question, schema=schema)
+        if task == "vis_to_text":
+            return Request(task=task, chart=example.query, schema=schema)
+        return Request(
+            task=task,
+            question=f"trace {index} : is the largest value in this chart above average ?",
+            chart=example.query,
+            schema=schema,
+        )
+
+    requests: list[Request] = []
+    arrivals: list[float] = []
+    counts = {"storm_duplicates": 0}
+    clock = 0.0
+    base_rate = args.num_requests / args.window_s
+    while len(requests) < args.num_requests:
+        phase = 2.0 * math.pi * args.diurnal_periods * clock / args.window_s
+        rate = base_rate * (1.0 + args.diurnal_amplitude * math.sin(phase))
+        rate = max(rate, 0.1 * base_rate)
+        clock += rng.expovariate(rate)
+        at_peak = math.sin(phase) > 0.5
+        if requests and at_peak and rng.random() < args.duplicate_rate:
+            requests.append(rng.choice(requests[-20:]))  # storm: repeat recent traffic
+            counts["storm_duplicates"] += 1
+        else:
+            requests.append(fresh_request(len(requests)))
+        arrivals.append(clock)
+
+    task_counts: dict[str, int] = {}
+    for request in requests:
+        task_counts[request.task] = task_counts.get(request.task, 0) + 1
+    workload = {
+        "num_requests": len(requests),
+        "arrival_window_s": round(arrivals[-1], 3),
+        "diurnal_periods": args.diurnal_periods,
+        "diurnal_amplitude": args.diurnal_amplitude,
+        "duplicate_rate": args.duplicate_rate,
+        "storm_duplicates": counts["storm_duplicates"],
+        "tasks": task_counts,
+        "calibrated_service_ms": SERVICE_MS,
+        "seed": args.seed,
+    }
+    return requests, arrivals, workload
+
+
+def shard_config(args: argparse.Namespace, num_shards: int) -> ShardConfig:
+    return ShardConfig(
+        num_shards=num_shards,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=max(512, args.num_requests),
+        calibrated_service_ms=SERVICE_MS,
+        ring_replicas=128,
+        start_timeout_s=120.0,
+    )
+
+
+def run_scaling(args, registry_path, requests, arrivals, sync_responses) -> dict:
+    """Replay the trace at each shard count; verify equivalence as we go."""
+    runs: dict[str, dict] = {}
+    for num_shards in args.shards:
+        with ShardedServer(registry_path, "viz@1", shard_config(args, num_shards)) as server:
+            start = time.perf_counter()
+            responses = server.run_trace(list(requests), list(arrivals))
+            makespan = time.perf_counter() - start
+            stats = server.stats()
+        mismatches = sum(1 for a, b in zip(sync_responses, responses) if a != b)
+        runs[str(num_shards)] = {
+            "makespan_seconds": round(makespan, 3),
+            "requests_per_sec": round(len(requests) / makespan, 2),
+            "errors": sum(1 for r in responses if r.error is not None),
+            "mismatches_vs_sync": mismatches,
+            "cache_hits": stats["requests"]["cache_hits"],
+            "coalesced": stats["requests"]["coalesced"],
+            "requeues": stats["requeues"],
+            "restarts": stats["restarts"],
+            "dispatched_per_shard": {
+                name: shard["dispatched"] for name, shard in stats["shards"].items()
+            },
+        }
+        entry = runs[str(num_shards)]
+        print(
+            f"{num_shards} shard(s): {entry['requests_per_sec']:>6.1f} req/s "
+            f"(makespan {entry['makespan_seconds']:.2f}s) | "
+            f"cache_hits {entry['cache_hits']} | mismatches {entry['mismatches_vs_sync']}"
+        )
+    return runs
+
+
+def run_rolling_swap(args, registry_path, requests, arrivals, sync_responses, model, swap_dir) -> dict:
+    """Replay the trace on 2 shards and hot-swap the primary mid-window.
+
+    The swap registers a weight-identical v2 checkpoint and promotes it while
+    traffic is in flight; nothing may be dropped and every output must still
+    match the baseline text (cache flags legitimately differ — v2 is a fresh
+    cache namespace).
+    """
+    ModelRegistry(registry_path).register_checkpoint("viz", model, swap_dir / "ckpt-v2")
+    swap_result: dict = {}
+    with ShardedServer(registry_path, "viz@1", shard_config(args, 2)) as server:
+
+        def swap() -> None:
+            swap_result["deployed"] = server.rolling_swap("viz@2")
+
+        trigger = threading.Timer(args.window_s * 0.3, swap)
+        trigger.start()
+        start = time.perf_counter()
+        responses = server.run_trace(list(requests), list(arrivals))
+        makespan = time.perf_counter() - start
+        trigger.join()
+        stats = server.stats()
+    output_mismatches = sum(
+        1 for a, b in zip(sync_responses, responses) if a.output != b.output
+    )
+    return {
+        "makespan_seconds": round(makespan, 3),
+        "drops": sum(1 for r in responses if r.error is not None),
+        "responses": len(responses),
+        "output_mismatches_vs_sync": output_mismatches,
+        "deployed": swap_result.get("deployed"),
+        "primary_after": stats["primary"],
+        "swaps": stats["swaps"],
+        "restarts": stats["restarts"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_scale.json"))
+    parser.add_argument("--num-requests", type=int, default=240)
+    parser.add_argument("--window-s", type=float, default=2.0, help="arrival window length")
+    parser.add_argument("--diurnal-periods", type=float, default=2.0)
+    parser.add_argument("--diurnal-amplitude", type=float, default=0.8)
+    parser.add_argument("--duplicate-rate", type=float, default=0.25)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--decode-length", type=int, default=12)
+    parser.add_argument("--min-speedup-2", type=float, default=1.7)
+    parser.add_argument("--min-speedup-4", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    pool, nvbench, model = build_model(args)
+    requests, arrivals, workload = build_trace(args, pool, nvbench)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-scale-"))
+    registry_path = workdir / "registry.json"
+    registry = ModelRegistry(registry_path)
+    registry.register_checkpoint("viz", model, workdir / "ckpt-v1")
+
+    # The equivalence baseline: the same checkpoint served synchronously.
+    # Outputs are independent of the calibrated sleeps, which exist only
+    # inside the shard processes.
+    sync_responses = registry.build_pipeline("viz@1").serve(list(requests), strict=False)
+
+    runs = run_scaling(args, registry_path, requests, arrivals, sync_responses)
+    swap = run_rolling_swap(args, registry_path, requests, arrivals, sync_responses, model, workdir)
+    print(
+        f"rolling swap: drops {swap['drops']} | output mismatches "
+        f"{swap['output_mismatches_vs_sync']} | primary {swap['primary_after']}"
+    )
+
+    baseline = runs.get("1", next(iter(runs.values())))
+    speedups = {
+        shards: round(baseline["makespan_seconds"] / run["makespan_seconds"], 3)
+        for shards, run in runs.items()
+    }
+    gates = {
+        "min_speedup_2_shards": args.min_speedup_2,
+        "min_speedup_4_shards": args.min_speedup_4,
+    }
+    failures: list[str] = []
+    for shards, run in runs.items():
+        if run["mismatches_vs_sync"]:
+            failures.append(
+                f"{shards}-shard outputs diverge from Pipeline.serve "
+                f"({run['mismatches_vs_sync']} mismatches)"
+            )
+        if run["errors"]:
+            failures.append(f"{shards}-shard run returned {run['errors']} error responses")
+    if "2" in runs and speedups["2"] < args.min_speedup_2:
+        failures.append(f"2-shard speedup {speedups['2']:.2f}x < {args.min_speedup_2}x")
+    if "4" in runs and speedups["4"] < args.min_speedup_4:
+        failures.append(f"4-shard speedup {speedups['4']:.2f}x < {args.min_speedup_4}x")
+    if swap["drops"]:
+        failures.append(f"rolling swap dropped {swap['drops']} requests")
+    if swap["output_mismatches_vs_sync"]:
+        failures.append(
+            f"rolling swap changed {swap['output_mismatches_vs_sync']} outputs"
+        )
+    if swap["primary_after"] != "viz@2":
+        failures.append(f"rolling swap did not flip the primary (still {swap['primary_after']})")
+
+    results = {
+        "benchmark": "sharded_scale",
+        "workload": workload,
+        "config": {
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "shards": args.shards,
+        },
+        "shards": runs,
+        "speedups": speedups,
+        "rolling_swap": swap,
+        "gates": gates,
+        "passed": not failures,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print("speedups:", ", ".join(f"{k} shards: {v:.2f}x" for k, v in speedups.items()))
+    print(f"wrote {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

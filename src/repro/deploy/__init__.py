@@ -30,7 +30,15 @@ these pieces.  See ``docs/deploy.md`` for the lifecycle walk-through.
 # first, because importing manifest.py pulls in repro.serving, whose server
 # module imports back into repro.deploy.router — a cycle that only resolves
 # when router is already complete by the time serving starts loading.
-from repro.deploy.router import CanaryGuard, Router, ShadowSpec, deployment_id, hash_fraction, parse_ref
+from repro.deploy.router import (
+    CanaryGuard,
+    HashRing,
+    Router,
+    ShadowSpec,
+    deployment_id,
+    hash_fraction,
+    parse_ref,
+)
 from repro.deploy.manifest import DECODE_KEYS, DeploymentManifest
 from repro.deploy.registry import ModelRegistry
 
@@ -38,6 +46,7 @@ __all__ = [
     "DeploymentManifest",
     "ModelRegistry",
     "Router",
+    "HashRing",
     "ShadowSpec",
     "CanaryGuard",
     "deployment_id",

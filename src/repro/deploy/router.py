@@ -31,6 +31,7 @@ instead of an outage.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import math
 from dataclasses import dataclass
@@ -79,6 +80,73 @@ def hash_fraction(salt: str, task: str, key: str) -> float:
     """
     digest = hashlib.md5(f"{salt}\x1f{task}\x1f{key}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class HashRing:
+    """Consistent hashing over a fixed set of named slots.
+
+    The process-sharded serving tier (:mod:`repro.serving.sharded`) routes
+    each request key to one worker-shard slot through this ring: every slot
+    owns ``replicas`` pseudo-random points on a hash circle, and a key maps
+    to the first slot point at or after the key's own hash.  Two properties
+    make it the right routing primitive there:
+
+    * **stability** — the mapping is a pure function of the slot *names*, so
+      a crashed shard that respawns under the same slot name receives
+      exactly the keys it owned before, keeping its per-shard caches and
+      duplicate coalescing effective across restarts;
+    * **minimal disruption** — excluding a dead slot (:meth:`node` with
+      ``exclude``) moves only that slot's keys, each to the next live point
+      on the circle, instead of reshuffling every key the way modular
+      hashing would.
+
+    The ring is immutable after construction; membership changes are
+    expressed per-lookup through ``exclude``, matching how the gateway
+    treats shard death as a transient routing condition rather than a
+    topology change.
+    """
+
+    __slots__ = ("_slots", "_points")
+
+    def __init__(self, slots: tuple[str, ...] | list[str], replicas: int = 64):
+        if not slots:
+            raise ModelConfigError("a HashRing needs at least one slot")
+        if len(set(slots)) != len(slots):
+            raise ModelConfigError(f"HashRing slots must be unique, got {list(slots)!r}")
+        if replicas < 1:
+            raise ModelConfigError("replicas must be at least 1")
+        self._slots = tuple(slots)
+        points: list[tuple[int, str]] = []
+        for slot in self._slots:
+            for replica in range(replicas):
+                digest = hashlib.md5(f"ring\x1f{slot}\x1f{replica}".encode("utf-8")).digest()
+                points.append((int.from_bytes(digest[:8], "big"), slot))
+        points.sort()
+        self._points = points
+
+    @property
+    def slots(self) -> tuple[str, ...]:
+        """The slot names the ring was built over, in construction order."""
+        return self._slots
+
+    def node(self, key: str, exclude: set[str] | frozenset[str] = frozenset()) -> str:
+        """The slot owning ``key``, skipping any slot named in ``exclude``.
+
+        Deterministic for a given ``(key, exclude)``; raises when ``exclude``
+        covers every slot — the caller decides what "no live shard" means.
+        """
+        if len(exclude) >= len(self._slots):
+            remaining = [slot for slot in self._slots if slot not in exclude]
+            if not remaining:
+                raise ModelConfigError("every HashRing slot is excluded; no node can own the key")
+        digest = hashlib.md5(f"key\x1f{key}".encode("utf-8")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        start = bisect.bisect_left(self._points, (point, ""))
+        for offset in range(len(self._points)):
+            _, slot = self._points[(start + offset) % len(self._points)]
+            if slot not in exclude:
+                return slot
+        raise ModelConfigError("every HashRing slot is excluded; no node can own the key")
 
 
 @dataclass(frozen=True)

@@ -17,8 +17,17 @@ thread-backed worker shards — with structured admission control (queue-full
 and past-deadline rejections are error :class:`Response`\\ s, never
 exceptions) and per-request telemetry aggregated in ``Server.stats()``.
 
+Beyond threads, the **process-sharded tier** (:mod:`~repro.serving.sharded`)
+escapes the GIL entirely: a :class:`ShardedServer` forks worker processes
+that each build their own fingerprint-verified pipelines, routes request
+keys across them with a consistent-hash ring composed with the
+:class:`~repro.deploy.router.Router`, and treats shard death (crash, wedge)
+as a first-class event — heartbeat detection, respawn, requeue, at-most-once
+delivery.  The wire layer (:mod:`~repro.serving.transport`) is a
+length-prefixed JSON frame protocol over plain pipes.
+
 See ``docs/architecture.md`` for the data-flow diagram and the knob
-reference.
+reference, and ``docs/sharding.md`` for the process model.
 """
 
 from repro.serving.batching import BatchWindow, MicroBatcher, Ticket
@@ -31,6 +40,7 @@ from repro.serving.protocol import (
     ERROR_DEADLINE,
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
+    ERROR_SHARD_FAILED,
     ERROR_SHUTDOWN,
     SERVABLE_TASKS,
     Request,
@@ -45,6 +55,15 @@ from repro.serving.registry import (
     register_text_to_vis,
 )
 from repro.serving.server import DEFAULT_DEPLOYMENT, Server, ServerConfig, serve_requests
+from repro.serving.sharded import FAULT_MODES, ShardConfig, ShardedServer, serve_sharded
+from repro.serving.transport import (
+    FrameDecoder,
+    TransportError,
+    request_from_wire,
+    request_to_wire,
+    schema_from_wire,
+    schema_to_wire,
+)
 
 __all__ = [
     "Pipeline",
@@ -53,6 +72,16 @@ __all__ = [
     "ServerConfig",
     "DEFAULT_DEPLOYMENT",
     "serve_requests",
+    "ShardedServer",
+    "ShardConfig",
+    "serve_sharded",
+    "FAULT_MODES",
+    "FrameDecoder",
+    "TransportError",
+    "request_to_wire",
+    "request_from_wire",
+    "schema_to_wire",
+    "schema_from_wire",
     "Request",
     "Response",
     "error_response",
@@ -64,6 +93,7 @@ __all__ = [
     "ERROR_QUEUE_FULL",
     "ERROR_DEADLINE",
     "ERROR_SHUTDOWN",
+    "ERROR_SHARD_FAILED",
     "MicroBatcher",
     "BatchWindow",
     "Ticket",

@@ -37,6 +37,7 @@ ERROR_CODE_MEANINGS = {
     "queue_full": "admission control: the task's bounded queue was full at submission time",
     "deadline_exceeded": "the request's latency budget expired while it was still queued (or was <= 0 at submission and not answerable from the response cache)",
     "server_stopped": "the request arrived after Server.stop() began",
+    "shard_failed": "a worker shard process died (crash or missed heartbeats) and the request's requeue budget was exhausted before another shard could answer it",
 }
 
 ERROR_INVALID_REQUEST = "invalid_request"
@@ -44,6 +45,7 @@ ERROR_BACKEND = "backend_error"
 ERROR_QUEUE_FULL = "queue_full"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_SHUTDOWN = "server_stopped"
+ERROR_SHARD_FAILED = "shard_failed"
 
 ERROR_CODES = tuple(ERROR_CODE_MEANINGS)
 

@@ -68,6 +68,7 @@ from repro.serving.protocol import (
     ERROR_DEADLINE,
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
+    ERROR_SHARD_FAILED,
     ERROR_SHUTDOWN,
     SERVABLE_TASKS,
     Request,
@@ -295,6 +296,10 @@ class Server:
             ERROR_INVALID_REQUEST: 0,
             ERROR_BACKEND: 0,
             ERROR_SHUTDOWN: 0,
+            # Emitted by the process-sharded tier (repro.serving.sharded); the
+            # thread-backed server counts it so responses relayed from a
+            # sharded backend keep their accounting when they pass through.
+            ERROR_SHARD_FAILED: 0,
         }
         # Running aggregates, not per-batch lists: a long-lived server must
         # not grow memory with uptime just to answer stats().
@@ -1112,6 +1117,7 @@ class Server:
                 "failed": {
                     "invalid_request": self._counts[ERROR_INVALID_REQUEST],
                     "backend_error": self._counts[ERROR_BACKEND],
+                    "shard_failed": self._counts[ERROR_SHARD_FAILED],
                 },
             },
             "batches": {

@@ -1,0 +1,1338 @@
+"""The process-sharded serving tier: N worker processes, one gateway.
+
+``BENCH_serving.json`` showed the thread-backed :class:`~repro.serving.
+server.Server` buys only ~1.1-1.4x over synchronous serving because the
+pure-python hot loops are GIL-bound.  This module breaks out of the process:
+a :class:`ShardedServer` forks ``num_shards`` **worker-shard processes**,
+each of which builds its *own* :class:`~repro.serving.pipeline.Pipeline`
+clones from fingerprint-verified checkpoint paths through
+:class:`~repro.deploy.registry.ModelRegistry` — model weights are never
+pickled across the process boundary; every shard loads and verifies the
+bytes itself.
+
+Process model
+-------------
+
+* The **gateway** (the forking process) is model-free.  It owns admission
+  control, an exact-match response cache, duplicate coalescing, per-shard
+  batching queues, and the routing stack: a
+  :class:`~repro.deploy.router.HashRing` maps each request's cache key to a
+  stable shard slot, and a :class:`~repro.deploy.router.Router` picks which
+  *deployment* (model version) answers — so canary splits and shadow
+  sampling compose with sharding unchanged.
+* Each **shard** runs a blocking frame loop over two OS pipes (the
+  length-prefixed JSON protocol of :mod:`repro.serving.transport`), serving
+  ``serve`` frames through ``Pipeline.serve(strict=False)`` and answering
+  ``load`` / ``unload`` frames for rolling deployments.  A daemon thread
+  emits heartbeat frames so the gateway can tell a *wedged* shard (alive but
+  stopped — e.g. ``SIGSTOP``) from a busy one.
+
+Failure semantics
+-----------------
+
+Shard death is first-class, not exceptional.  The gateway detects it three
+ways — pipe EOF (crash / ``kill -9``), write failure, and missed heartbeats
+(wedge) — then kills and reaps the process, respawns the slot under the same
+name (so the hash ring re-routes *nothing* once it is back), and **requeues**
+every in-flight request.  Delivery is **at-most-once**: each request's
+future resolves exactly once, results a dying shard managed to flush are
+still delivered (pipe buffers survive the writer), and a request whose
+requeue budget (``max_requeues``) is exhausted fails with the structured
+``shard_failed`` error code rather than hanging.  Reprocessing a batch the
+dead shard had already computed is safe because serving is deterministic and
+side-effect free.
+
+Rolling hot-swap (:meth:`ShardedServer.rolling_swap`) loads the new version
+shard-by-shard — surviving shard crashes mid-swap, because respawned shards
+load every active deployment — and only then flips the primary reference.
+The old primary stays loaded (never drained) until an explicit
+:meth:`~ShardedServer.undeploy`, which drains its in-flight work first.
+
+Fault injection (``enable_fault_injection=True``) lets the chaos suite ask a
+shard to ``exit`` mid-batch, ``wedge`` (stop heartbeating, simulating
+``SIGSTOP`` deterministically) or ``drop_batch`` on the Nth serve frame —
+see ``tests/test_serving_sharded_chaos.py`` and ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import copy
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import __version__
+
+# NOTE: repro.deploy.registry is imported lazily inside the functions that
+# need it.  Importing it here would close an import cycle (serving.__init__
+# -> sharded -> deploy.registry -> deploy.manifest -> serving.protocol) the
+# moment repro.deploy initializes; deploy.router is a leaf and safe.
+from repro.deploy.router import HashRing, Router
+from repro.errors import ModelConfigError, ReproError
+from repro.serving.batching import BatchWindow
+from repro.serving.cache import LRUCache
+from repro.serving.protocol import (
+    ERROR_INVALID_REQUEST,
+    ERROR_QUEUE_FULL,
+    ERROR_SHARD_FAILED,
+    ERROR_SHUTDOWN,
+    ERROR_CODES,
+    Request,
+    Response,
+    error_response,
+)
+from repro.serving.transport import (
+    EndOfStream,
+    FrameDecoder,
+    TransportError,
+    encode_frame,
+    read_frame,
+    request_from_wire,
+    request_to_wire,
+    write_frame,
+)
+
+#: Fault-injection modes a shard understands (``ShardConfig.
+#: enable_fault_injection`` must be on): ``exit`` calls ``os._exit`` before
+#: answering the triggering batch (a crash with work in flight), ``wedge``
+#: silences the heartbeat thread and stops consuming frames (a ``SIGSTOP``
+#: -shaped hang, detectable only by heartbeat timeout), ``drop_batch``
+#: swallows one batch's reply and keeps going (a lost-result bug).
+FAULT_MODES = ("exit", "wedge", "drop_batch")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Tuning knobs for a :class:`ShardedServer`.
+
+    ``num_shards`` worker processes are forked at :meth:`~ShardedServer.
+    start`; each slot has a bounded request queue (``queue_size``, overflow
+    is rejected with ``queue_full``) drained by a collector that flushes
+    batches under a :class:`~repro.serving.batching.BatchWindow`
+    (``max_batch`` / ``max_wait_ms``) with at most ``max_inflight_batches``
+    un-answered frames per shard.
+
+    Liveness: shards emit a heartbeat every ``heartbeat_interval_ms``; a
+    shard silent for ``heartbeat_timeout_ms`` is declared wedged, killed and
+    respawned (up to ``respawn_attempts`` consecutive failures before the
+    slot is marked broken).  A requeued request may move shards at most
+    ``max_requeues`` times before failing with ``shard_failed``.
+
+    ``batch_deadline_ms`` (optional) bounds how long a dispatched batch may
+    stay unanswered while the shard keeps heartbeating.  A healthy heartbeat
+    cannot distinguish "still computing" from "computed but the reply was
+    lost", so this is the only detector for swallowed results; set it well
+    above the worst-case batch service time.  ``None`` disables the check —
+    a heartbeat-silent shard is still caught by the wedge detector.
+
+    ``calibrated_service_ms`` (``None`` | float | ``{task: ms}`` dict) makes
+    each shard sleep that long per *non-cached, successful* response after
+    computing it — a deterministic, machine-independent stand-in for heavy
+    backend compute that the scale benchmark uses to measure the serving
+    fabric itself (the sleep releases the GIL and parallelizes perfectly
+    across processes, which real numpy inference on a multi-core host also
+    does).  Leave it ``None`` for production use.
+
+    ``enable_fault_injection`` arms the ``fault`` control frame for the
+    chaos tests; it must stay off outside tests.
+    """
+
+    num_shards: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    queue_size: int = 256
+    max_inflight_batches: int = 2
+    heartbeat_interval_ms: float = 50.0
+    heartbeat_timeout_ms: float = 2000.0
+    max_requeues: int = 2
+    batch_deadline_ms: float | None = None
+    start_timeout_s: float = 60.0
+    respawn_attempts: int = 3
+    ring_replicas: int = 64
+    response_cache_size: int = 2048
+    calibrated_service_ms: float | dict | None = None
+    enable_fault_injection: bool = False
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ModelConfigError("num_shards must be at least 1")
+        if self.queue_size < 1:
+            raise ModelConfigError("queue_size must be at least 1")
+        if self.max_inflight_batches < 1:
+            raise ModelConfigError("max_inflight_batches must be at least 1")
+        if self.heartbeat_interval_ms <= 0 or self.heartbeat_timeout_ms <= 0:
+            raise ModelConfigError("heartbeat interval and timeout must be positive")
+        if self.heartbeat_timeout_ms <= self.heartbeat_interval_ms:
+            raise ModelConfigError("heartbeat_timeout_ms must exceed heartbeat_interval_ms")
+        if self.max_requeues < 0:
+            raise ModelConfigError("max_requeues must be non-negative")
+        if self.batch_deadline_ms is not None and self.batch_deadline_ms <= 0:
+            raise ModelConfigError("batch_deadline_ms must be positive when set")
+        if self.start_timeout_s <= 0:
+            raise ModelConfigError("start_timeout_s must be positive")
+        if self.respawn_attempts < 1:
+            raise ModelConfigError("respawn_attempts must be at least 1")
+        if self.calibrated_service_ms is not None and not isinstance(
+            self.calibrated_service_ms, (int, float, dict)
+        ):
+            raise ModelConfigError(
+                "calibrated_service_ms must be None, a number, or a {task: ms} dict"
+            )
+        BatchWindow(self.max_batch, self.max_wait_ms)  # validates both
+
+    def window(self) -> BatchWindow:
+        """The flush policy the per-shard collectors run under."""
+        return BatchWindow(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+
+def _service_sleep_s(config: ShardConfig, task: str) -> float:
+    """Calibrated per-response service time for ``task``, in seconds."""
+    spec = config.calibrated_service_ms
+    if spec is None:
+        return 0.0
+    if isinstance(spec, dict):
+        return float(spec.get(task, spec.get("default", 0.0))) / 1000.0
+    return float(spec) / 1000.0
+
+
+# -- shard (child process) side --------------------------------------------------------
+def _shard_run(
+    slot: str,
+    generation: int,
+    registry_path: str,
+    refs: list[str],
+    in_fd: int,
+    out_fd: int,
+    config: ShardConfig,
+) -> None:
+    """The worker-shard main loop.  Runs in the forked child; never returns.
+
+    Builds one :class:`~repro.serving.pipeline.Pipeline` per deployment ref
+    through the (fingerprint-verifying) registry, reports ``ready``, then
+    serves frames until EOF or a ``stop`` frame.  All exits go through
+    ``os._exit`` so the child never runs the parent's atexit machinery.
+    """
+    from repro.deploy.registry import ModelRegistry
+
+    write_lock = threading.Lock()
+    state = {"wedged": False}
+
+    def emit(frame: dict) -> None:
+        with write_lock:
+            write_frame(out_fd, frame)
+
+    def heartbeat_loop() -> None:
+        # Started before model loading so a slow checkpoint load never looks
+        # like a wedge.  A write failure means the gateway is gone: exit.
+        while True:
+            time.sleep(config.heartbeat_interval_ms / 1000.0)
+            if state["wedged"]:
+                return
+            try:
+                emit({"type": "heartbeat", "slot": slot, "generation": generation})
+            except OSError:
+                os._exit(0)
+
+    threading.Thread(target=heartbeat_loop, name="shard-heartbeat", daemon=True).start()
+
+    try:
+        registry = ModelRegistry(registry_path)
+        pipelines = {}
+        for ref in refs:
+            manifest = registry.get(ref)
+            if manifest.id not in pipelines:
+                pipelines[manifest.id] = registry.build_pipeline(ref)
+        emit(
+            {
+                "type": "ready",
+                "slot": slot,
+                "generation": generation,
+                "pid": os.getpid(),
+                "deployments": sorted(pipelines),
+            }
+        )
+    except Exception as error:  # noqa: BLE001 - report any startup failure, then die
+        with contextlib.suppress(OSError):
+            emit({"type": "fatal", "slot": slot, "detail": f"shard startup failed: {error}"})
+        os._exit(1)
+
+    fault = {"mode": None, "after": 0}
+
+    def maybe_trigger_fault() -> str | None:
+        if fault["mode"] is None:
+            return None
+        fault["after"] -= 1
+        if fault["after"] > 0:
+            return None
+        mode, fault["mode"] = fault["mode"], None
+        if mode == "exit":
+            os._exit(13)
+        if mode == "wedge":
+            state["wedged"] = True
+            while True:  # pragma: no cover - killed by the gateway
+                time.sleep(60.0)
+        return mode  # "drop_batch": the caller skips its reply
+
+    while True:
+        try:
+            frame = read_frame(in_fd)
+        except EndOfStream:
+            os._exit(0)
+        except TransportError as error:
+            with contextlib.suppress(OSError):
+                emit({"type": "fatal", "slot": slot, "detail": f"bad frame: {error}"})
+            os._exit(1)
+        try:
+            ftype = frame.get("type")
+            if ftype == "serve":
+                dropped = maybe_trigger_fault() == "drop_batch"
+                requests = [request_from_wire(payload) for payload in frame["requests"]]
+                pipeline = pipelines.get(frame["deployment"])
+                if pipeline is None:
+                    responses = [
+                        error_response(
+                            request,
+                            ERROR_INVALID_REQUEST,
+                            f"deployment {frame['deployment']!r} is not loaded on shard {slot}",
+                        )
+                        for request in requests
+                    ]
+                else:
+                    responses = pipeline.serve(requests, strict=False)
+                pause = sum(
+                    _service_sleep_s(config, response.task)
+                    for response in responses
+                    if response.error is None and not response.cached
+                )
+                if pause > 0:
+                    time.sleep(pause)
+                if not dropped:
+                    emit(
+                        {
+                            "type": "result",
+                            "seq": frame["seq"],
+                            "slot": slot,
+                            "generation": generation,
+                            "responses": [response.as_dict() for response in responses],
+                        }
+                    )
+            elif ftype == "load":
+                ref = frame["ref"]
+                try:
+                    # Re-read the registry file: the version being deployed
+                    # was registered after this shard forked.
+                    fresh = ModelRegistry(registry_path)
+                    manifest = fresh.get(ref)
+                    if manifest.id not in pipelines:
+                        pipelines[manifest.id] = fresh.build_pipeline(ref)
+                    emit({"type": "loaded", "slot": slot, "ref": ref, "deployment": manifest.id})
+                except Exception as error:  # noqa: BLE001 - any load failure is reported
+                    emit({"type": "load_failed", "slot": slot, "ref": ref, "detail": str(error)})
+            elif ftype == "unload":
+                pipelines.pop(frame["deployment"], None)
+                emit({"type": "unloaded", "slot": slot, "deployment": frame["deployment"]})
+            elif ftype == "fault":
+                if config.enable_fault_injection and frame.get("mode") in FAULT_MODES:
+                    fault["mode"] = frame["mode"]
+                    fault["after"] = max(1, int(frame.get("after", 1)))
+                    emit({"type": "fault_armed", "slot": slot, "mode": frame["mode"]})
+                else:
+                    emit({"type": "fault_rejected", "slot": slot, "mode": frame.get("mode")})
+            elif ftype == "stop":
+                os._exit(0)
+            # unknown frame types are ignored: a newer gateway may speak more
+        except OSError:
+            os._exit(0)
+        except Exception as error:  # noqa: BLE001 - one bad frame must not loop forever
+            with contextlib.suppress(OSError):
+                emit({"type": "fatal", "slot": slot, "detail": f"shard loop failed: {error}"})
+            os._exit(1)
+
+
+# -- gateway side ----------------------------------------------------------------------
+class _Job:
+    """One admitted request on its way to (or back from) a shard."""
+
+    __slots__ = ("request", "wire", "key", "cache_key", "deployment", "future", "shadow", "requeues")
+
+    def __init__(self, request, wire, key, cache_key, deployment, future, shadow=False):
+        self.request = request
+        self.wire = wire
+        self.key = key
+        self.cache_key = cache_key
+        self.deployment = deployment
+        self.future = future
+        self.shadow = shadow
+        self.requeues = 0
+
+
+class _PendingBatch:
+    """A serve frame in flight: its jobs, deployment and dispatch metadata."""
+
+    __slots__ = ("deployment", "jobs", "dispatched_at")
+
+    def __init__(self, deployment, jobs, dispatched_at=0.0):
+        self.deployment = deployment
+        self.jobs = jobs
+        self.dispatched_at = dispatched_at
+
+
+@dataclass
+class _Slot:
+    """The gateway's persistent view of one shard slot across respawns."""
+
+    name: str
+    generation: int = 0
+    pid: int = -1
+    to_fd: int = -1
+    from_fd: int = -1
+    alive: bool = False
+    broken: bool = False
+    restarts: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    requeued: int = 0
+    last_heartbeat: float = 0.0
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    outbuf: bytearray = field(default_factory=bytearray)
+    writing: bool = False
+    deployments: set = field(default_factory=set)
+    pending: dict = field(default_factory=dict)
+    waiters: dict = field(default_factory=dict)
+    queue: asyncio.Queue | None = None
+    inflight: asyncio.Semaphore | None = None
+    ready: asyncio.Event | None = None
+    ready_waiter: asyncio.Future | None = None
+
+
+class ShardedServer:
+    """A multiprocessing serving front-end over fingerprint-verified shards.
+
+    Construction names the :class:`~repro.deploy.registry.ModelRegistry`
+    file and the primary deployment ref; :meth:`start` forks the shards
+    (each builds its own verified pipeline — nothing model-shaped crosses
+    the process boundary) and :meth:`stop` tears everything down.  Use as a
+    context manager for the start/stop pairing::
+
+        with ShardedServer(registry_path, "captioner@1", config) as server:
+            responses = server.serve(requests)
+
+    Thread-safe public API (every call marshals onto the gateway's private
+    event loop): :meth:`submit` / :meth:`serve` / :meth:`run_trace` for
+    traffic; :meth:`deploy` / :meth:`rolling_swap` / :meth:`undeploy` /
+    :meth:`set_routes` / :meth:`set_canary` / :meth:`set_shadow` for the
+    deployment lifecycle; :meth:`inject_fault` (tests only) and
+    :meth:`stats` for observability.
+    """
+
+    def __init__(self, registry_path, primary_ref: str, config: ShardConfig | None = None):
+        from repro.deploy.registry import ModelRegistry
+
+        self.config = config or ShardConfig()
+        self._registry_path = str(registry_path)
+        self._registry = ModelRegistry(self._registry_path)
+        self._primary = self._registry.get(primary_ref).id
+        self._deployments: set[str] = {self._primary}
+        self._router = Router()
+        self._slots = [_Slot(name=f"shard-{i}") for i in range(self.config.num_shards)]
+        self._ring = HashRing([s.name for s in self._slots], replicas=self.config.ring_replicas)
+        self._cache = LRUCache(self.config.response_cache_size, name="gateway_response")
+        self._counts: dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            **{code: 0 for code in ERROR_CODES},
+        }
+        self._totals = {"requeues": 0, "restarts": 0, "swaps": 0}
+        self._dep_outstanding: dict[str, int] = {}
+        self._inflight_keys: dict[str, asyncio.Future] = {}
+        self._shadow = {"sampled": 0, "completed": 0, "mismatched": 0, "dropped": 0}
+        self._fatal_log: deque[str] = deque(maxlen=20)
+        self._gateway_fds: set[int] = set()
+        self._seq = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._collector_tasks: list[asyncio.Task] = []
+        self._respawn_tasks: set[asyncio.Task] = set()
+        self._started = False
+        self._stopping = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def start(self) -> "ShardedServer":
+        """Fork and warm every shard; returns ``self`` once all are ready."""
+        if self._started:
+            raise ModelConfigError("ShardedServer is already started")
+        if self._closed:
+            raise ModelConfigError("ShardedServer cannot be restarted after stop()")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run_loop, name="sharded-gateway", daemon=True)
+        self._thread.start()
+        try:
+            self._call(self._start_async())
+        except BaseException:
+            self._started = True  # let stop() tear down whatever came up
+            self.stop()
+            raise
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop shards (best-effort graceful, then ``SIGKILL``) and the gateway loop."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        with contextlib.suppress(Exception):
+            self._call(self._stop_async(), timeout=30.0)
+        loop, thread = self._loop, self._thread
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10.0)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- traffic ------------------------------------------------------------------------
+    def submit(self, request: Request) -> Response:
+        """Serve one request (blocking); errors come back as structured responses."""
+        return self._call(self._submit(request))
+
+    def serve(self, requests: list[Request]) -> list[Response]:
+        """Serve a burst concurrently; responses are position-aligned with ``requests``."""
+        return self._call(self._serve_async(list(requests)))
+
+    def run_trace(self, requests: list[Request], arrivals_s: list[float]) -> list[Response]:
+        """Open-loop replay: submit ``requests[i]`` at offset ``arrivals_s[i]`` seconds.
+
+        The arrival schedule is honored regardless of completion times (the
+        generator never waits for responses), which is what makes the scale
+        benchmark's throughput numbers honest under overload.  Returns the
+        responses position-aligned with ``requests``.
+        """
+        if len(requests) != len(arrivals_s):
+            raise ModelConfigError("run_trace needs one arrival offset per request")
+        return self._call(self._run_trace(list(requests), list(arrivals_s)))
+
+    # -- deployment lifecycle -----------------------------------------------------------
+    def deploy(self, ref: str) -> str:
+        """Verify ``ref`` and load it on every shard; returns its deployment id."""
+        return self._call(self._deploy_async(ref))
+
+    def rolling_swap(self, ref: str) -> str:
+        """Make ``ref`` the primary, loading it shard-by-shard first.
+
+        The swap is rolling and lossless: each shard loads the new version
+        while the others keep serving, a shard that crashes mid-swap is
+        respawned with the new version included, and the primary reference
+        flips only after *every* shard holds the new pipeline — so no request
+        ever lands on a shard that cannot answer it.  The old primary stays
+        loaded (never drained) until an explicit :meth:`undeploy`.
+        """
+        return self._call(self._rolling_swap_async(ref))
+
+    def undeploy(self, ref: str) -> None:
+        """Drain and unload a non-primary deployment from every shard."""
+        self._call(self._undeploy_async(ref))
+
+    def set_routes(self, task: str, weights: dict[str, float]) -> None:
+        """Route ``task`` by explicit deployment weights (canary splits, A/B)."""
+        self._call(self._set_routes_async(task, weights))
+
+    def set_canary(self, task: str, ref: str, fraction: float) -> None:
+        """Send ``fraction`` of ``task`` traffic to ``ref``, the rest to the primary."""
+        self._call(self._set_canary_async(task, ref, fraction))
+
+    def set_shadow(self, task: str, ref: str, fraction: float) -> None:
+        """Duplicate ``fraction`` of ``task`` traffic to ``ref`` for comparison only."""
+        self._call(self._set_shadow_async(task, ref, fraction))
+
+    # -- observability / chaos ----------------------------------------------------------
+    def shard_pids(self) -> dict[str, int]:
+        """Live mapping of slot name -> current shard process id."""
+        return {slot.name: slot.pid for slot in self._slots}
+
+    def inject_fault(self, slot_name: str, mode: str, after: int = 1) -> None:
+        """Arm a fault on one shard (``enable_fault_injection`` must be on).
+
+        ``mode`` is one of :data:`FAULT_MODES`; the fault triggers on the
+        ``after``-th serve frame the shard receives next.  Blocks until the
+        shard acknowledges arming, so tests can sequence faults precisely.
+        """
+        if not self.config.enable_fault_injection:
+            raise ModelConfigError("fault injection is disabled; set ShardConfig.enable_fault_injection")
+        if mode not in FAULT_MODES:
+            raise ModelConfigError(f"unknown fault mode {mode!r}; known: {', '.join(FAULT_MODES)}")
+        self._call(self._inject_fault_async(slot_name, mode, after))
+
+    def stats(self) -> dict:
+        """A deep-copied snapshot of gateway and per-shard counters.
+
+        ``requests`` mirrors the thread server's accounting (submitted /
+        completed / cache_hits / coalesced plus per-error-code rejected and
+        failed groups, ``shard_failed`` included); ``shards`` reports each
+        slot's pid, liveness, generation, restart/dispatch/requeue counters
+        and heartbeat age; ``deployments`` / ``primary`` / ``routes`` /
+        ``shadow`` describe the routing stack.
+        """
+        now = self._loop.time() if self._loop is not None else 0.0
+        snapshot = {
+            "version": __version__,
+            "requests": {
+                "submitted": self._counts["submitted"],
+                "completed": self._counts["completed"],
+                "cache_hits": self._counts["cache_hits"],
+                "coalesced": self._counts["coalesced"],
+                "rejected": {
+                    "queue_full": self._counts["queue_full"],
+                    "deadline_exceeded": self._counts["deadline_exceeded"],
+                    "server_stopped": self._counts["server_stopped"],
+                },
+                "failed": {
+                    "invalid_request": self._counts["invalid_request"],
+                    "backend_error": self._counts["backend_error"],
+                    "shard_failed": self._counts["shard_failed"],
+                },
+            },
+            "shards": {
+                slot.name: {
+                    "pid": slot.pid,
+                    "alive": slot.alive,
+                    "broken": slot.broken,
+                    "generation": slot.generation,
+                    "restarts": slot.restarts,
+                    "dispatched": slot.dispatched,
+                    "completed": slot.completed,
+                    "requeued": slot.requeued,
+                    "queued": slot.queue.qsize() if slot.queue is not None else 0,
+                    "pending_batches": len(slot.pending),
+                    "heartbeat_age_s": round(max(0.0, now - slot.last_heartbeat), 3) if slot.alive else None,
+                    "deployments": sorted(slot.deployments),
+                }
+                for slot in self._slots
+            },
+            "restarts": self._totals["restarts"],
+            "requeues": self._totals["requeues"],
+            "swaps": self._totals["swaps"],
+            "deployments": sorted(self._deployments),
+            "primary": self._primary,
+            "routes": self._router.describe(),
+            "shadow": dict(self._shadow),
+            "gateway_cache": self._cache.stats(),
+            "fatal": list(self._fatal_log),
+        }
+        return copy.deepcopy(snapshot)
+
+    # -- event-loop plumbing ------------------------------------------------------------
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            with contextlib.suppress(Exception):
+                self._loop.close()
+
+    def _call(self, coro, timeout: float | None = None):
+        """Run ``coro`` on the gateway loop from any thread and wait for it."""
+        if self._loop is None or not self._thread or not self._thread.is_alive():
+            coro.close()
+            raise ModelConfigError("ShardedServer is not started")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    async def _start_async(self) -> None:
+        window = self.config.window()
+        for slot in self._slots:
+            slot.queue = asyncio.Queue(maxsize=self.config.queue_size)
+            slot.inflight = asyncio.Semaphore(self.config.max_inflight_batches)
+            slot.ready = asyncio.Event()
+            await self._respawn(slot, initial=True)
+            self._collector_tasks.append(asyncio.create_task(self._collect(slot, window)))
+        self._monitor_task = asyncio.create_task(self._monitor())
+
+    async def _stop_async(self) -> None:
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        for task in self._collector_tasks:
+            task.cancel()
+        for slot in self._slots:
+            for batch in slot.pending.values():
+                for job in batch.jobs:
+                    self._fail_job(job, ERROR_SHUTDOWN, "server stopped with the request in flight")
+            slot.pending.clear()
+            if slot.queue is not None:
+                while not slot.queue.empty():
+                    job = slot.queue.get_nowait()
+                    self._fail_job(job, ERROR_SHUTDOWN, "server stopped with the request queued")
+            if slot.alive:
+                with contextlib.suppress(OSError, TransportError):
+                    os.set_blocking(slot.to_fd, True)
+                    write_frame(slot.to_fd, {"type": "stop"})
+            self._destroy_shard_process(slot)
+        await asyncio.sleep(0)
+
+    # -- forking and respawn ------------------------------------------------------------
+    def _fork_shard(self, slot: _Slot) -> None:
+        """Fork one shard for ``slot``; gateway-side fds become non-blocking."""
+        in_read, in_write = os.pipe()
+        out_read, out_write = os.pipe()
+        generation = slot.generation + 1
+        refs = sorted(self._deployments)
+        inherited = sorted(self._gateway_fds)
+        pid = os.fork()
+        if pid == 0:
+            # Child: keep only our two shard-side ends, drop every gateway fd
+            # (ours and other shards') so a dead shard's pipes EOF correctly.
+            try:
+                os.close(in_write)
+                os.close(out_read)
+                for fd in inherited:
+                    with contextlib.suppress(OSError):
+                        os.close(fd)
+                _shard_run(
+                    slot.name, generation, self._registry_path, refs, in_read, out_write, self.config
+                )
+            finally:
+                os._exit(1)
+        os.close(in_read)
+        os.close(out_write)
+        os.set_blocking(in_write, False)
+        os.set_blocking(out_read, False)
+        slot.generation = generation
+        slot.pid = pid
+        slot.to_fd = in_write
+        slot.from_fd = out_read
+        slot.decoder = FrameDecoder()
+        slot.outbuf = bytearray()
+        slot.writing = False
+        slot.deployments = set()
+        slot.last_heartbeat = self._loop.time()
+        slot.ready_waiter = self._loop.create_future()
+        self._gateway_fds.update((in_write, out_read))
+        self._loop.add_reader(out_read, self._on_readable, slot, generation)
+
+    async def _respawn(self, slot: _Slot, initial: bool = False) -> None:
+        """Bring ``slot`` up, retrying; marks the slot broken when it cannot."""
+        for _attempt in range(self.config.respawn_attempts):
+            if self._stopping:
+                return
+            try:
+                self._fork_shard(slot)
+            except OSError as error:
+                self._fatal_log.append(f"{slot.name}: fork failed: {error}")
+                await asyncio.sleep(0.05)
+                continue
+            try:
+                await asyncio.wait_for(slot.ready_waiter, self.config.start_timeout_s)
+            except (Exception, asyncio.CancelledError):
+                self._destroy_shard_process(slot)
+                if self._stopping:
+                    return
+                continue
+            slot.alive = True
+            slot.broken = False
+            slot.last_heartbeat = self._loop.time()
+            if not initial:
+                slot.restarts += 1
+                self._totals["restarts"] += 1
+            slot.ready.set()
+            return
+        slot.broken = True
+        self._drain_queue_of_broken_slot(slot)
+        if initial:
+            raise ModelConfigError(
+                f"shard {slot.name} failed to start after {self.config.respawn_attempts} attempts"
+            )
+
+    def _destroy_shard_process(self, slot: _Slot) -> None:
+        """Remove fd registrations, close pipes, and SIGKILL + reap the process."""
+        for fd, remover in ((slot.from_fd, self._loop.remove_reader), (slot.to_fd, self._loop.remove_writer)):
+            if fd >= 0:
+                with contextlib.suppress(Exception):
+                    remover(fd)
+        for fd in (slot.to_fd, slot.from_fd):
+            if fd >= 0:
+                self._gateway_fds.discard(fd)
+                with contextlib.suppress(OSError):
+                    os.close(fd)
+        slot.to_fd = slot.from_fd = -1
+        slot.writing = False
+        pid = slot.pid
+        if pid > 0:
+            with contextlib.suppress(ProcessLookupError, PermissionError):
+                os.kill(pid, signal.SIGKILL)
+            # SIGKILL works on SIGSTOPped processes too; reap without blocking
+            # the loop (the kill guarantees the wait completes).
+            self._loop.run_in_executor(None, self._reap, pid)
+        slot.pid = -1
+
+    @staticmethod
+    def _reap(pid: int) -> None:
+        with contextlib.suppress(ChildProcessError, OSError):
+            os.waitpid(pid, 0)
+
+    # -- shard I/O ----------------------------------------------------------------------
+    def _on_readable(self, slot: _Slot, generation: int) -> None:
+        if slot.generation != generation or slot.from_fd < 0:
+            return
+        try:
+            data = os.read(slot.from_fd, 1 << 16)
+        except BlockingIOError:
+            return
+        except OSError as error:
+            self._on_shard_death(slot, generation, f"read failed: {error}")
+            return
+        if not data:
+            self._on_shard_death(slot, generation, "pipe closed (process exited)")
+            return
+        try:
+            messages = slot.decoder.feed(data)
+        except TransportError as error:
+            self._on_shard_death(slot, generation, f"protocol violation: {error}")
+            return
+        for message in messages:
+            self._on_message(slot, generation, message)
+
+    def _on_message(self, slot: _Slot, generation: int, message: dict) -> None:
+        if slot.generation != generation:
+            return
+        mtype = message.get("type")
+        slot.last_heartbeat = self._loop.time()
+        if mtype == "heartbeat":
+            return
+        if mtype == "ready":
+            slot.deployments = set(message.get("deployments", []))
+            if slot.ready_waiter is not None and not slot.ready_waiter.done():
+                slot.ready_waiter.set_result(True)
+            return
+        if mtype == "result":
+            self._resolve_batch(slot, message.get("seq"), message.get("responses") or [])
+            return
+        if mtype == "loaded":
+            slot.deployments.add(message["deployment"])
+            waiter = slot.waiters.pop(("loaded", message["ref"]), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(message["deployment"])
+            return
+        if mtype == "load_failed":
+            waiter = slot.waiters.pop(("loaded", message["ref"]), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_exception(ModelConfigError(f"{slot.name}: {message.get('detail')}"))
+            return
+        if mtype == "unloaded":
+            slot.deployments.discard(message["deployment"])
+            return
+        if mtype in ("fault_armed", "fault_rejected"):
+            waiter = slot.waiters.pop(("fault", message.get("mode")), None)
+            if waiter is not None and not waiter.done():
+                if mtype == "fault_armed":
+                    waiter.set_result(True)
+                else:
+                    waiter.set_exception(ModelConfigError(f"{slot.name} rejected the fault frame"))
+            return
+        if mtype == "fatal":
+            self._fatal_log.append(f"{slot.name}: {message.get('detail')}")
+
+    def _send(self, slot: _Slot, frame: dict) -> None:
+        slot.outbuf.extend(encode_frame(frame))
+        if not slot.writing:
+            self._flush_writes(slot, slot.generation)
+
+    def _flush_writes(self, slot: _Slot, generation: int) -> None:
+        if slot.generation != generation or slot.to_fd < 0:
+            return
+        while slot.outbuf:
+            try:
+                written = os.write(slot.to_fd, slot.outbuf)
+            except BlockingIOError:
+                if not slot.writing:
+                    slot.writing = True
+                    self._loop.add_writer(slot.to_fd, self._flush_writes, slot, generation)
+                return
+            except OSError as error:
+                self._on_shard_death(slot, generation, f"write failed: {error}")
+                return
+            del slot.outbuf[:written]
+        if slot.writing:
+            slot.writing = False
+            with contextlib.suppress(Exception):
+                self._loop.remove_writer(slot.to_fd)
+
+    # -- death, requeue, monitoring -----------------------------------------------------
+    def _on_shard_death(self, slot: _Slot, generation: int, reason: str) -> None:
+        if slot.generation != generation:
+            return
+        if not slot.alive:
+            # Died during spawn: fail the ready waiter so _respawn retries.
+            if slot.ready_waiter is not None and not slot.ready_waiter.done():
+                slot.ready_waiter.set_exception(ModelConfigError(f"{slot.name} died during start: {reason}"))
+            return
+        slot.alive = False
+        slot.ready.clear()
+        self._fatal_log.append(f"{slot.name} gen {generation} died: {reason}")
+        pending = list(slot.pending.values())
+        slot.pending.clear()
+        # Control-frame waiters (load/fault acks) fail fast so a rolling swap
+        # interrupted by the crash retries immediately instead of timing out.
+        for waiter in slot.waiters.values():
+            if not waiter.done():
+                waiter.set_exception(TransportError(f"{slot.name} died: {reason}"))
+        slot.waiters.clear()
+        self._destroy_shard_process(slot)
+        for batch in pending:
+            slot.inflight.release()
+            outstanding = self._dep_outstanding.get(batch.deployment, 0)
+            self._dep_outstanding[batch.deployment] = max(0, outstanding - len(batch.jobs))
+            for job in batch.jobs:
+                self._requeue_job(slot, job, reason)
+        if not self._stopping:
+            task = asyncio.ensure_future(self._respawn(slot))
+            self._respawn_tasks.add(task)
+            task.add_done_callback(self._respawn_tasks.discard)
+
+    def _requeue_job(self, slot: _Slot, job: _Job, reason: str) -> None:
+        if job.future is not None and job.future.done():
+            return
+        job.requeues += 1
+        slot.requeued += 1
+        self._totals["requeues"] += 1
+        if job.requeues > self.config.max_requeues:
+            self._fail_job(
+                job,
+                ERROR_SHARD_FAILED,
+                f"shard died ({reason}) and the requeue budget "
+                f"({self.config.max_requeues}) is exhausted",
+            )
+            return
+        self._enqueue(job, requeue=True)
+
+    def _enqueue(self, job: _Job, requeue: bool = False) -> None:
+        """Route ``job`` to a live slot's queue (the hash ring decides which)."""
+        dead = {slot.name for slot in self._slots if not slot.alive}
+        try:
+            target_name = self._ring.node(job.key, exclude=dead)
+        except ModelConfigError:
+            # Every shard is down: keep the key's owner so the job runs after
+            # the respawn instead of failing a transient total outage.
+            target_name = self._ring.node(job.key)
+        target = next(slot for slot in self._slots if slot.name == target_name)
+        try:
+            target.queue.put_nowait(job)
+        except asyncio.QueueFull:
+            if requeue:
+                self._fail_job(job, ERROR_SHARD_FAILED, "no shard had queue capacity for the requeued request")
+            else:
+                self._fail_job(job, ERROR_QUEUE_FULL, f"{target.name}'s queue is full")
+
+    def _drain_queue_of_broken_slot(self, slot: _Slot) -> None:
+        if slot.queue is None:
+            return
+        while not slot.queue.empty():
+            job = slot.queue.get_nowait()
+            if any(s.alive for s in self._slots):
+                self._enqueue(job)
+            else:
+                self._fail_job(job, ERROR_SHARD_FAILED, f"{slot.name} is broken and no other shard is alive")
+
+    async def _monitor(self) -> None:
+        interval = self.config.heartbeat_interval_ms / 1000.0
+        timeout = self.config.heartbeat_timeout_ms / 1000.0
+        deadline = (
+            self.config.batch_deadline_ms / 1000.0
+            if self.config.batch_deadline_ms is not None
+            else None
+        )
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            now = self._loop.time()
+            for slot in self._slots:
+                if not slot.alive:
+                    continue
+                if now - slot.last_heartbeat > timeout:
+                    self._on_shard_death(
+                        slot,
+                        slot.generation,
+                        f"missed heartbeats for {round(now - slot.last_heartbeat, 3)}s "
+                        f"(timeout {timeout}s) — wedged",
+                    )
+                    continue
+                if deadline is not None and slot.pending:
+                    # A live heartbeat can't prove a dispatched batch will
+                    # ever be answered (the reply may have been swallowed);
+                    # an overdue batch condemns the shard so its jobs requeue.
+                    oldest = min(batch.dispatched_at for batch in slot.pending.values())
+                    if now - oldest > deadline:
+                        self._on_shard_death(
+                            slot,
+                            slot.generation,
+                            f"batch result overdue by {round(now - oldest - deadline, 3)}s "
+                            f"(deadline {deadline}s) — lost reply",
+                        )
+
+    # -- collection and dispatch --------------------------------------------------------
+    async def _collect(self, slot: _Slot, window: BatchWindow) -> None:
+        while not self._stopping:
+            await slot.ready.wait()
+            job = await slot.queue.get()
+            batch = [job]
+            opened = self._loop.time()
+            while not window.is_full(len(batch)):
+                remaining = window.remaining_wait(opened, self._loop.time())
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(slot.queue.get(), remaining))
+                except TimeoutError:
+                    break
+            groups: dict[str, list[_Job]] = {}
+            for item in batch:
+                groups.setdefault(item.deployment, []).append(item)
+            for deployment, jobs in groups.items():
+                await slot.inflight.acquire()
+                if not slot.alive or self._stopping:
+                    slot.inflight.release()
+                    for pending_job in jobs:
+                        if self._stopping:
+                            self._fail_job(pending_job, ERROR_SHUTDOWN, "server stopped")
+                        else:
+                            self._enqueue(pending_job)
+                    continue
+                self._dispatch(slot, deployment, jobs)
+
+    def _dispatch(self, slot: _Slot, deployment: str, jobs: list[_Job]) -> None:
+        self._seq += 1
+        seq = self._seq
+        slot.pending[seq] = _PendingBatch(deployment, jobs, dispatched_at=self._loop.time())
+        slot.dispatched += len(jobs)
+        self._dep_outstanding[deployment] = self._dep_outstanding.get(deployment, 0) + len(jobs)
+        self._send(
+            slot,
+            {
+                "type": "serve",
+                "seq": seq,
+                "deployment": deployment,
+                "requests": [job.wire for job in jobs],
+            },
+        )
+
+    def _resolve_batch(self, slot: _Slot, seq, response_dicts: list[dict]) -> None:
+        batch = slot.pending.pop(seq, None)
+        if batch is None:
+            return
+        slot.inflight.release()
+        outstanding = self._dep_outstanding.get(batch.deployment, 0)
+        self._dep_outstanding[batch.deployment] = max(0, outstanding - len(batch.jobs))
+        if len(response_dicts) != len(batch.jobs):
+            for job in batch.jobs:
+                self._fail_job(
+                    job,
+                    ERROR_SHARD_FAILED,
+                    f"{slot.name} returned {len(response_dicts)} responses for {len(batch.jobs)} requests",
+                )
+            return
+        slot.completed += len(batch.jobs)
+        for job, payload in zip(batch.jobs, response_dicts):
+            self._deliver(slot, job, payload)
+
+    # -- delivery and accounting --------------------------------------------------------
+    def _deliver(self, slot: _Slot, job: _Job, payload: dict) -> None:
+        if payload.get("error") is None and not job.shadow:
+            stored = dict(payload)
+            stored["telemetry"] = None
+            self._cache.put(job.cache_key, stored)
+        enriched = dict(payload)
+        telemetry = dict(enriched.get("telemetry") or {})
+        telemetry.update({"shard": slot.name, "shard_generation": slot.generation, "requeues": job.requeues})
+        enriched["telemetry"] = telemetry
+        try:
+            response = Response.from_dict(enriched)
+        except ReproError as error:
+            self._fail_job(job, ERROR_SHARD_FAILED, f"undecodable shard response: {error}")
+            return
+        self._finish(job, response)
+
+    def _fail_job(self, job: _Job, code: str, detail: str) -> None:
+        if job.future is not None and job.future.done():
+            return
+        self._finish(job, error_response(job.request, code, detail))
+
+    def _finish(self, job: _Job, response: Response) -> None:
+        if not job.shadow:
+            if response.error is None:
+                self._counts["completed"] += 1
+            else:
+                self._counts[response.error] += 1
+        if self._inflight_keys.get(job.cache_key) is job.future:
+            del self._inflight_keys[job.cache_key]
+        if job.future is not None and not job.future.done():
+            job.future.set_result(response)
+
+    # -- admission ----------------------------------------------------------------------
+    @staticmethod
+    def _routing_key(wire: dict) -> str:
+        """The request's content identity: wire fields minus caller tags."""
+        payload = {
+            key: value
+            for key, value in wire.items()
+            if key not in ("request_id", "deployment") and value is not None
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+        return hashlib.md5(canonical.encode("utf-8")).hexdigest()
+
+    def _resolve_deployment(self, request: Request, key: str) -> str:
+        if request.deployment:
+            name = request.deployment
+            if name in self._deployments:
+                return name
+            if "@" not in name:
+                versions = [
+                    dep for dep in self._deployments if dep.rsplit("@", 1)[0] == name
+                ]
+                if versions:
+                    return max(versions, key=lambda dep: int(dep.rsplit("@", 1)[1]))
+            raise ModelConfigError(
+                f"unknown or undeployed deployment {name!r}; active: {', '.join(sorted(self._deployments))}"
+            )
+        routed = self._router.route(request.task, key)
+        if routed is not None and routed in self._deployments:
+            return routed
+        return self._primary
+
+    async def _submit(self, request: Request) -> Response:
+        self._counts["submitted"] += 1
+        if self._stopping:
+            return self._finish_inline(request, ERROR_SHUTDOWN, "server is stopped")
+        if not isinstance(request, Request):
+            return self._finish_inline(request, ERROR_INVALID_REQUEST, "submit() needs a Request")
+        wire = request_to_wire(request)
+        key = self._routing_key(wire)
+        try:
+            deployment = self._resolve_deployment(request, key)
+        except ModelConfigError as error:
+            return self._finish_inline(request, ERROR_INVALID_REQUEST, str(error))
+        cache_key = f"{key}|{deployment}"
+
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            self._counts["cache_hits"] += 1
+            self._counts["completed"] += 1
+            return self._replay(cached, request, cached_hit=True, via="gateway_cache")
+
+        inflight = self._inflight_keys.get(cache_key)
+        if inflight is not None and not inflight.done():
+            self._counts["coalesced"] += 1
+            primary = await asyncio.shield(inflight)
+            payload = primary.as_dict()
+            if primary.error is not None:
+                self._counts[primary.error] += 1
+                replayed = self._replay(payload, request, cached_hit=False, via="coalesced")
+            else:
+                self._counts["completed"] += 1
+                replayed = self._replay(payload, request, cached_hit=True, via="coalesced")
+            return replayed
+
+        future = self._loop.create_future()
+        job = _Job(request, wire, key, cache_key, deployment, future)
+        self._inflight_keys[cache_key] = future
+        self._maybe_shadow(request, wire, key, future)
+        self._enqueue(job)
+        return await future
+
+    def _finish_inline(self, request, code: str, detail: str) -> Response:
+        self._counts[code] += 1
+        return error_response(request, code, detail)
+
+    def _replay(self, payload: dict, request: Request, cached_hit: bool, via: str) -> Response:
+        replayed = dict(payload)
+        replayed["request_id"] = request.request_id
+        if cached_hit:
+            replayed["cached"] = True
+        replayed["telemetry"] = {"via": via}
+        return Response.from_dict(replayed)
+
+    def _maybe_shadow(self, request: Request, wire: dict, key: str, primary_future) -> None:
+        shadow_dep = self._router.shadow(request.task, key)
+        if shadow_dep is None or shadow_dep not in self._deployments:
+            return
+        self._shadow["sampled"] += 1
+        shadow_future = self._loop.create_future()
+        job = _Job(request, wire, key, f"{key}|{shadow_dep}", shadow_dep, shadow_future, shadow=True)
+        dead = {slot.name for slot in self._slots if not slot.alive}
+        try:
+            target_name = self._ring.node(job.key, exclude=dead)
+            target = next(slot for slot in self._slots if slot.name == target_name)
+            target.queue.put_nowait(job)
+        except (ModelConfigError, asyncio.QueueFull):
+            self._shadow["dropped"] += 1
+            return
+        asyncio.ensure_future(self._record_shadow(primary_future, shadow_future))
+
+    async def _record_shadow(self, primary_future, shadow_future) -> None:
+        try:
+            primary, shadow = await asyncio.gather(primary_future, shadow_future)
+        except Exception:  # noqa: BLE001 - shadow traffic is best-effort
+            self._shadow["dropped"] += 1
+            return
+        self._shadow["completed"] += 1
+        if primary.output != shadow.output or primary.error != shadow.error:
+            self._shadow["mismatched"] += 1
+
+    async def _serve_async(self, requests: list[Request]) -> list[Response]:
+        return list(await asyncio.gather(*(self._submit(request) for request in requests)))
+
+    async def _run_trace(self, requests: list[Request], arrivals_s: list[float]) -> list[Response]:
+        started = self._loop.time()
+        tasks: list[asyncio.Future] = []
+        for request, offset in zip(requests, arrivals_s):
+            delay = started + offset - self._loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(self._submit(request)))
+        return list(await asyncio.gather(*tasks))
+
+    # -- deployment lifecycle internals -------------------------------------------------
+    async def _load_on_slot(self, slot: _Slot, ref: str, dep_id: str) -> None:
+        """Load ``ref`` on ``slot``, surviving crashes and respawns mid-load."""
+        deadline = self._loop.time() + self.config.start_timeout_s * self.config.respawn_attempts
+        while self._loop.time() < deadline:
+            if self._stopping:
+                raise ModelConfigError("server is stopping")
+            if slot.broken:
+                raise ModelConfigError(f"{slot.name} is broken; cannot load {ref}")
+            try:
+                await asyncio.wait_for(slot.ready.wait(), 0.5)
+            except TimeoutError:
+                continue
+            if dep_id in slot.deployments:
+                return  # a respawn already loaded it from self._deployments
+            waiter = self._loop.create_future()
+            slot.waiters[("loaded", ref)] = waiter
+            self._send(slot, {"type": "load", "ref": ref})
+            try:
+                await asyncio.wait_for(waiter, self.config.start_timeout_s)
+                return
+            except TimeoutError:
+                slot.waiters.pop(("loaded", ref), None)
+                continue  # shard went silent; loop re-checks after respawn
+            except TransportError:
+                continue  # shard died mid-load; the respawn carries the ref
+        raise ModelConfigError(f"timed out loading {ref} on {slot.name}")
+
+    def _fresh_registry(self):
+        """Re-read the registry file: deploys reference versions registered
+        after this gateway (or shard) process last loaded it."""
+        from repro.deploy.registry import ModelRegistry
+
+        self._registry = ModelRegistry(self._registry_path)
+        return self._registry
+
+    async def _deploy_async(self, ref: str) -> str:
+        manifest = self._fresh_registry().verify(ref)
+        dep_id = manifest.id
+        self._deployments.add(dep_id)
+        try:
+            for slot in self._slots:
+                await self._load_on_slot(slot, dep_id, dep_id)
+        except ModelConfigError:
+            if dep_id != self._primary:
+                self._deployments.discard(dep_id)
+            raise
+        return dep_id
+
+    async def _rolling_swap_async(self, ref: str) -> str:
+        dep_id = await self._deploy_async(ref)
+        if dep_id != self._primary:
+            self._primary = dep_id
+            self._totals["swaps"] += 1
+        return dep_id
+
+    async def _undeploy_async(self, ref: str) -> None:
+        dep_id = self._fresh_registry().get(ref).id if "@" not in ref else ref
+        if dep_id == self._primary:
+            raise ModelConfigError(f"{dep_id} is the primary deployment; swap first, then undeploy")
+        if dep_id not in self._deployments:
+            raise ModelConfigError(f"{dep_id} is not deployed")
+        self._router = self._router.without(dep_id)
+        self._deployments.discard(dep_id)
+        # Drain: queued jobs pinned to the version still dispatch (their slot
+        # keeps the pipeline until the unload frame below), so wait for the
+        # outstanding count to reach zero before unloading anywhere.
+        while self._dep_outstanding.get(dep_id, 0) > 0 or any(
+            job.deployment == dep_id
+            for slot in self._slots
+            if slot.queue is not None
+            for job in list(getattr(slot.queue, "_queue", ()))
+        ):
+            await asyncio.sleep(0.005)
+        for slot in self._slots:
+            if slot.alive:
+                self._send(slot, {"type": "unload", "deployment": dep_id})
+
+    async def _set_routes_async(self, task: str, weights: dict[str, float]) -> None:
+        unknown = sorted(set(weights) - self._deployments)
+        if unknown:
+            raise ModelConfigError(f"cannot route to undeployed versions: {', '.join(unknown)}")
+        self._router = self._router.with_routes(task, weights)
+
+    async def _set_canary_async(self, task: str, ref: str, fraction: float) -> None:
+        dep_id = self._fresh_registry().get(ref).id if "@" not in ref else ref
+        if dep_id not in self._deployments:
+            raise ModelConfigError(f"canary target {dep_id} is not deployed; call deploy() first")
+        if not 0.0 <= fraction <= 1.0:
+            raise ModelConfigError(f"canary fraction must be in [0, 1], got {fraction!r}")
+        if fraction <= 0.0:
+            self._router = self._router.without_task(task)
+        elif fraction >= 1.0:
+            self._router = self._router.with_routes(task, {dep_id: 1.0})
+        else:
+            self._router = self._router.with_routes(
+                task, {self._primary: 1.0 - fraction, dep_id: fraction}
+            )
+
+    async def _set_shadow_async(self, task: str, ref: str, fraction: float) -> None:
+        dep_id = self._fresh_registry().get(ref).id if "@" not in ref else ref
+        if fraction > 0 and dep_id not in self._deployments:
+            raise ModelConfigError(f"shadow target {dep_id} is not deployed; call deploy() first")
+        self._router = self._router.with_shadow(task, dep_id, fraction)
+
+    async def _inject_fault_async(self, slot_name: str, mode: str, after: int) -> None:
+        slot = next((s for s in self._slots if s.name == slot_name), None)
+        if slot is None:
+            raise ModelConfigError(f"unknown shard slot {slot_name!r}")
+        await slot.ready.wait()
+        waiter = self._loop.create_future()
+        slot.waiters[("fault", mode)] = waiter
+        self._send(slot, {"type": "fault", "mode": mode, "after": after})
+        await asyncio.wait_for(waiter, self.config.start_timeout_s)
+
+
+@contextlib.contextmanager
+def serve_sharded(registry_path, primary_ref: str, config: ShardConfig | None = None):
+    """Context manager yielding a started :class:`ShardedServer`.
+
+    The one-liner for tests and benchmarks::
+
+        with serve_sharded(registry, "captioner@1", ShardConfig(num_shards=4)) as server:
+            responses = server.serve(requests)
+    """
+    server = ShardedServer(registry_path, primary_ref, config)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()

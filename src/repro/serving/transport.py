@@ -1,0 +1,278 @@
+"""The wire layer of the process-sharded serving tier.
+
+Shard worker processes (:mod:`repro.serving.sharded`) and their gateway talk
+over plain OS pipes with a **length-prefixed JSON frame** protocol: every
+message is a UTF-8 JSON document preceded by a 4-byte big-endian byte count.
+The framing survives the failure modes the sharded tier is built around — a
+``kill -9``'d peer yields a clean end-of-stream on the next read, a torn
+frame (peer died mid-write) is detected by the length prefix rather than
+corrupting the stream, and a frame above :data:`MAX_FRAME_BYTES` is rejected
+before a malformed peer can balloon the reader's memory.
+
+On top of the framing sit the **wire codecs** that let the protocol's
+payloads cross the process boundary as plain JSON:
+
+* :class:`~repro.serving.protocol.Response` already round-trips through
+  ``Response.as_dict`` / ``Response.from_dict`` — result frames reuse it
+  verbatim;
+* :func:`request_to_wire` / :func:`request_from_wire` do the same for
+  :class:`~repro.serving.protocol.Request`, collapsing a
+  :class:`~repro.vql.ast.DVQuery` chart to its text form (re-parsed on the
+  receiving side) and serializing a :class:`~repro.database.schema.
+  DatabaseSchema` structurally via :func:`schema_to_wire` /
+  :func:`schema_from_wire`, so the shard reconstructs an *equal* request —
+  non-ASCII payloads included (property-tested in
+  ``tests/test_serving_protocol_roundtrip.py``).
+
+Nothing in this module imports multiprocessing or asyncio: it is the pure,
+synchronously-testable bottom of the stack.  The gateway drives the same
+frame functions through non-blocking file descriptors; the shard main loop
+drives them blocking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
+from repro.errors import ReproError
+from repro.serving.protocol import Request
+from repro.vql.ast import DVQuery
+
+#: Upper bound on one frame's JSON payload.  Far above any real serving
+#: message (a batch of requests with inlined schemas is a few hundred KB at
+#: the extreme) while still catching a desynchronized or hostile stream
+#: before it turns into an unbounded allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class TransportError(ReproError):
+    """A violation of the shard wire protocol (torn frame, oversized frame,
+    non-JSON payload, or a malformed wire-encoded request/schema)."""
+
+
+class EndOfStream(TransportError):
+    """The peer closed its end of the pipe (normal shutdown or a dead process)."""
+
+
+# -- framing ---------------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialize ``message`` to one length-prefixed wire frame.
+
+    The JSON body is compact (no whitespace) with sorted keys, so a frame is
+    a deterministic function of its message — which keeps transport-level
+    tests and on-the-wire debugging sane.
+    """
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body back into its message dict."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"frame body is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise TransportError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def write_frame(fd: int, message: dict) -> None:
+    """Write one frame to ``fd``, handling short writes (blocking descriptors)."""
+    data = encode_frame(message)
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exactly(fd: int, count: int) -> bytes:
+    """Read exactly ``count`` bytes from ``fd`` or raise :class:`EndOfStream`."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            raise EndOfStream(
+                f"peer closed the pipe with {remaining} of {count} frame bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(fd: int) -> dict:
+    """Read one complete frame from a blocking ``fd``.
+
+    Raises :class:`EndOfStream` on a clean close *between* frames, and
+    :class:`TransportError` (its subclass included) when the stream dies
+    mid-frame or the prefix announces an impossible length.
+    """
+    prefix = _read_exactly(fd, _LENGTH.size)
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame prefix announces {length} bytes (> {MAX_FRAME_BYTES}); stream desynchronized")
+    return decode_body(_read_exactly(fd, length))
+
+
+class FrameDecoder:
+    """Incremental frame parser for non-blocking readers.
+
+    The gateway feeds whatever bytes the pipe had (:meth:`feed`) and drains
+    complete messages; partial frames stay buffered across feeds.  One
+    decoder per stream — it owns the stream position.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data`` and return every message it completed."""
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack(self._buffer[: _LENGTH.size])
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(
+                    f"frame prefix announces {length} bytes (> {MAX_FRAME_BYTES}); stream desynchronized"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                return messages
+            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            messages.append(decode_body(body))
+
+    def pending_bytes(self) -> int:
+        """How many buffered bytes are waiting for the rest of their frame."""
+        return len(self._buffer)
+
+
+# -- schema wire codec -----------------------------------------------------------------
+def schema_to_wire(schema: DatabaseSchema | str | None) -> dict | str | None:
+    """A JSON-friendly view of a request's ``schema`` field.
+
+    A :class:`DatabaseSchema` serializes structurally (tables, columns with
+    their types, primary and foreign keys); encoded schema *text* — already a
+    plain string — passes through, as does ``None``.  The inverse is
+    :func:`schema_from_wire`, and the round trip reconstructs an equal
+    schema object.
+    """
+    if schema is None or isinstance(schema, str):
+        return schema
+    return {
+        "name": schema.name,
+        "tables": [
+            {
+                "name": table.name,
+                "columns": [{"name": column.name, "ctype": column.ctype.value} for column in table.columns],
+                "primary_key": table.primary_key,
+            }
+            for table in schema.tables
+        ],
+        "foreign_keys": [
+            {
+                "source_table": fk.source_table,
+                "source_column": fk.source_column,
+                "target_table": fk.target_table,
+                "target_column": fk.target_column,
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_wire(payload: dict | str | None) -> DatabaseSchema | str | None:
+    """Rebuild the ``schema`` field from its :func:`schema_to_wire` form."""
+    if payload is None or isinstance(payload, str):
+        return payload
+    if not isinstance(payload, dict):
+        raise TransportError(f"wire schema must be a dict, string or null, got {type(payload).__name__}")
+    try:
+        return DatabaseSchema(
+            name=payload["name"],
+            tables=[
+                TableSchema(
+                    name=table["name"],
+                    columns=[Column(column["name"], ColumnType(column["ctype"])) for column in table["columns"]],
+                    primary_key=table.get("primary_key"),
+                )
+                for table in payload["tables"]
+            ],
+            foreign_keys=[
+                ForeignKey(
+                    source_table=fk["source_table"],
+                    source_column=fk["source_column"],
+                    target_table=fk["target_table"],
+                    target_column=fk["target_column"],
+                )
+                for fk in payload.get("foreign_keys", [])
+            ],
+        )
+    except (KeyError, TypeError, ValueError, ReproError) as error:
+        raise TransportError(f"malformed wire schema: {error!r}") from None
+
+
+# -- request wire codec ----------------------------------------------------------------
+#: Every key a wire-encoded request may carry; unknown keys are rejected so
+#: schema drift between a gateway and its shards is loud, mirroring
+#: ``Response.from_dict``.
+REQUEST_WIRE_FIELDS = ("task", "question", "chart", "schema", "table", "request_id", "deployment")
+
+
+def request_to_wire(request: Request) -> dict:
+    """A JSON-friendly view of one :class:`~repro.serving.protocol.Request`.
+
+    The chart collapses to DV-query text exactly as ``Response.as_dict``
+    collapses the response's query AST; :func:`request_from_wire` re-parses
+    it, and because text and AST chart forms share one cache identity in the
+    pipeline, the shard's outputs are unaffected by the collapse.
+    """
+    chart = request.chart
+    return {
+        "task": request.task,
+        "question": request.question,
+        "chart": chart.to_text() if isinstance(chart, DVQuery) else chart,
+        "schema": schema_to_wire(request.schema),
+        "table": request.table,
+        "request_id": request.request_id,
+        "deployment": request.deployment,
+    }
+
+
+def request_from_wire(payload: dict) -> Request:
+    """Rebuild a :class:`~repro.serving.protocol.Request` from its wire form.
+
+    The inverse of :func:`request_to_wire` up to the chart's AST-to-text
+    collapse: a request whose chart was already text (or ``None``) round
+    trips to an equal request; an AST chart comes back as its exact text
+    form.  Unknown keys and invalid field combinations raise
+    :class:`TransportError`.
+    """
+    if not isinstance(payload, dict):
+        raise TransportError(f"wire request must be a dict, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(REQUEST_WIRE_FIELDS))
+    if unknown:
+        raise TransportError(f"unknown Request wire fields: {', '.join(unknown)}")
+    if "task" not in payload:
+        raise TransportError("a Request wire payload needs at least 'task'")
+    try:
+        return Request(
+            task=payload["task"],
+            question=payload.get("question"),
+            chart=payload.get("chart"),
+            schema=schema_from_wire(payload.get("schema")),
+            table=payload.get("table"),
+            request_id=payload.get("request_id"),
+            deployment=payload.get("deployment"),
+        )
+    except ReproError as error:
+        raise TransportError(f"invalid wire request: {error}") from None

@@ -81,6 +81,29 @@ def small_pool():
 
 
 @pytest.fixture(scope="session")
+def serving_model_env() -> dict:
+    """A tiny trained model plus the synthetic corpus it was built from.
+
+    Shared by the sharded-serving suites: building the model dominates their
+    runtime, so it is done once per session.  Tests that need a registry
+    should register this model into their own per-module registry file —
+    the fixture itself is read-only.
+    """
+    from repro.core.config import DataVisT5Config
+    from repro.core.model import DataVisT5
+    from repro.datasets import generate_nvbench
+
+    pool = build_database_pool(num_databases=4, seed=7)
+    nvbench = generate_nvbench(pool, examples_per_database=8, seed=7)
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=32, max_decode_length=12
+    )
+    texts = [e.question for e in nvbench.examples] + [e.query_text for e in nvbench.examples]
+    model = DataVisT5.from_corpus(texts, config=config, max_vocab_size=600)
+    return {"pool": pool, "nvbench": nvbench, "model": model}
+
+
+@pytest.fixture(scope="session")
 def tiny_tokenizer() -> DataVisTokenizer:
     corpus = [
         "<NL> show the number of artists per country <schema> | theme_gallery | artist : artist.country",

@@ -66,6 +66,22 @@ def test_server_source_emits_only_known_codes():
     assert emitted == set(ERROR_CODES)
 
 
+def test_sharded_source_emits_only_known_codes():
+    # The process-sharded gateway mints its own admission / failure codes;
+    # pin them to the protocol list the same way server.py is pinned.  The
+    # gateway seeds its counters from ERROR_CODES directly, so every code is
+    # counted even when only a subset is minted gateway-side.
+    source = (REPO_ROOT / "src" / "repro" / "serving" / "sharded.py").read_text(encoding="utf-8")
+    referenced = set(re.findall(r"ERROR_[A-Z_]+", source))
+    defined = {name for name in vars(protocol) if name.startswith("ERROR_")}
+    unknown = referenced - defined
+    assert not unknown, f"sharded.py references undefined error constants: {sorted(unknown)}"
+    emitted = {getattr(protocol, name) for name in referenced if isinstance(getattr(protocol, name, None), str)}
+    assert emitted <= set(ERROR_CODES)
+    # the codes the sharded tier's failure semantics are specified to emit
+    assert {"shard_failed", "queue_full", "invalid_request", "server_stopped"} <= emitted
+
+
 def test_docs_table_lists_every_code():
     docs = (REPO_ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
     for code in ERROR_CODES:

@@ -1,4 +1,4 @@
-"""Property tests for the Response wire format (``as_dict`` / ``from_dict``).
+"""Property tests for the serving wire formats.
 
 ``Response.as_dict`` is how responses — and the deploy layer's
 shadow-comparison records — cross process boundaries; ``from_dict`` must be
@@ -6,18 +6,41 @@ its exact inverse, including through a JSON encode/decode, for every
 combination of success artifacts, error codes and telemetry.  The query AST
 collapses to text on the way out and is re-parsed on the way in, so the
 round trip also leans on the parser's parse/to_text stability.
+
+The process-sharded tier adds the request direction and the framing layer
+(:mod:`repro.serving.transport`): ``request_to_wire`` / ``request_from_wire``
+must reconstruct an equal :class:`Request` (up to the documented chart
+AST-to-text collapse) for every task shape, structural schemas and non-ASCII
+payloads included, and the length-prefixed frame codec must survive
+arbitrary chunking — a non-blocking reader sees pipe bytes in whatever
+slices the kernel hands it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
 from repro.errors import ModelConfigError
-from repro.serving import ERROR_CODES, SERVABLE_TASKS, Response
+from repro.serving import (
+    ERROR_CODES,
+    SERVABLE_TASKS,
+    FrameDecoder,
+    Request,
+    Response,
+    TransportError,
+    request_from_wire,
+    request_to_wire,
+    schema_from_wire,
+    schema_to_wire,
+)
+from repro.serving.transport import encode_frame, read_frame, write_frame
+from repro.vql.ast import DVQuery
 from repro.vql.parser import parse_dv_query
 
 QUERY_TEXTS = (
@@ -115,3 +138,173 @@ class TestStrictness:
         payload = Response(task="text_to_vis", output="").as_dict()
         assert payload["query"] is None
         assert Response.from_dict(payload).query is None
+
+
+# -- the shard wire transport ----------------------------------------------------------
+# Identifier-shaped names, deliberately including non-ASCII letters: schema
+# and request text must survive the UTF-8 frame encoding unchanged.
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_äöüßéλ", min_size=1, max_size=10)
+payload_text = st.text(max_size=60)
+
+
+@st.composite
+def database_schemas(draw) -> DatabaseSchema:
+    table_names = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    tables = []
+    for table_name in table_names:
+        column_names = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+        columns = [
+            Column(column_name, draw(st.sampled_from(list(ColumnType))))
+            for column_name in column_names
+        ]
+        primary_key = draw(st.one_of(st.none(), st.sampled_from(column_names)))
+        tables.append(TableSchema(name=table_name, columns=columns, primary_key=primary_key))
+    foreign_keys = []
+    if len(tables) >= 2 and draw(st.booleans()):
+        source, target = tables[0], tables[1]
+        foreign_keys.append(
+            ForeignKey(
+                source_table=source.name,
+                source_column=source.columns[0].name,
+                target_table=target.name,
+                target_column=target.columns[0].name,
+            )
+        )
+    return DatabaseSchema(name=draw(names), tables=tables, foreign_keys=foreign_keys)
+
+
+schema_field = st.one_of(st.none(), payload_text.filter(bool), database_schemas())
+chart_field = st.one_of(st.sampled_from(QUERIES), st.sampled_from(QUERY_TEXTS))
+
+
+@st.composite
+def wire_requests(draw) -> Request:
+    task = draw(st.sampled_from(SERVABLE_TASKS))
+    question = draw(payload_text.filter(bool)) if task in ("text_to_vis", "fevisqa") else draw(st.one_of(st.none(), payload_text))
+    chart = draw(chart_field) if task in ("vis_to_text", "fevisqa") else None
+    schema = draw(database_schemas()) if task == "text_to_vis" else draw(schema_field)
+    return Request(
+        task=task,
+        question=question,
+        chart=chart,
+        schema=schema,
+        table=draw(st.one_of(st.none(), payload_text)) if task == "fevisqa" else None,
+        request_id=draw(st.one_of(st.none(), payload_text)),
+        deployment=draw(st.one_of(st.none(), st.sampled_from(["viz@1", "viz@2"]))),
+    )
+
+
+class TestRequestWireRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(request=wire_requests())
+    def test_from_wire_inverts_to_wire_through_json(self, request):
+        wire = json.loads(json.dumps(request_to_wire(request)))
+        rebuilt = request_from_wire(wire)
+        expected_chart = request.chart.to_text() if isinstance(request.chart, DVQuery) else request.chart
+        assert rebuilt.task == request.task
+        assert rebuilt.question == request.question
+        assert rebuilt.chart == expected_chart
+        assert rebuilt.schema == request.schema
+        assert rebuilt.table == request.table
+        assert rebuilt.request_id == request.request_id
+        assert rebuilt.deployment == request.deployment
+
+    @settings(max_examples=100, deadline=None)
+    @given(schema=database_schemas())
+    def test_schema_codec_round_trips_structurally(self, schema):
+        assert schema_from_wire(json.loads(json.dumps(schema_to_wire(schema)))) == schema
+
+    def test_schema_text_and_none_pass_through(self):
+        assert schema_to_wire(None) is None
+        assert schema_from_wire(None) is None
+        assert schema_to_wire("col : müller | straße") == "col : müller | straße"
+        assert schema_from_wire("col : müller | straße") == "col : müller | straße"
+
+    def test_non_ascii_request_survives_the_frame(self):
+        request = Request(
+            task="fevisqa",
+            question="Wie groß ist die größte Säule — 何本ですか?",
+            chart=QUERY_TEXTS[0],
+            table="länder : 中国 , Österreich",
+            request_id="req-λ-1",
+        )
+        decoder = FrameDecoder()
+        (wire,) = decoder.feed(encode_frame(request_to_wire(request)))
+        rebuilt = request_from_wire(wire)
+        assert rebuilt == request
+
+    def test_unknown_wire_fields_are_rejected(self):
+        wire = request_to_wire(Request(task="fevisqa", question="q"))
+        wire["surprise"] = 1
+        with pytest.raises(TransportError, match="surprise"):
+            request_from_wire(wire)
+
+    def test_invalid_combinations_are_transport_errors(self):
+        with pytest.raises(TransportError):
+            request_from_wire({"task": "fevisqa"})  # no question
+        with pytest.raises(TransportError):
+            request_from_wire({"question": "q"})  # no task
+        with pytest.raises(TransportError):
+            request_from_wire("not-a-dict")
+        with pytest.raises(TransportError):
+            schema_from_wire({"name": "x", "tables": [{"name": "t"}]})  # no columns
+
+
+frames = st.lists(
+    st.dictionaries(payload_text, st.one_of(payload_text, st.integers(-5, 5), st.none()), max_size=4),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestFraming:
+    @settings(max_examples=100, deadline=None)
+    @given(messages=frames, data=st.data())
+    def test_decoder_reassembles_any_chunking(self, messages, data):
+        stream = b"".join(encode_frame(message) for message in messages)
+        decoder = FrameDecoder()
+        received: list[dict] = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(st.integers(1, max(1, len(stream) - position)))
+            received.extend(decoder.feed(stream[position : position + step]))
+            position += step
+        assert received == [json.loads(json.dumps(m)) for m in messages]
+        assert decoder.pending_bytes() == 0
+
+    def test_blocking_frames_round_trip_over_a_real_pipe(self):
+        read_fd, write_fd = os.pipe()
+        try:
+            write_frame(write_fd, {"type": "serve", "text": "größe—λ"})
+            write_frame(write_fd, {"type": "stop"})
+            assert read_frame(read_fd) == {"type": "serve", "text": "größe—λ"}
+            assert read_frame(read_fd) == {"type": "stop"}
+        finally:
+            os.close(read_fd)
+            os.close(write_fd)
+
+    def test_closed_pipe_is_end_of_stream(self):
+        from repro.serving.transport import EndOfStream
+
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)
+        try:
+            with pytest.raises(EndOfStream):
+                read_frame(read_fd)
+        finally:
+            os.close(read_fd)
+
+    def test_oversized_prefix_is_rejected(self):
+        import struct
+
+        decoder = FrameDecoder()
+        with pytest.raises(TransportError, match="desynchronized"):
+            decoder.feed(struct.pack(">I", 1 << 31))
+
+    def test_non_json_body_is_a_transport_error(self):
+        import struct
+
+        decoder = FrameDecoder()
+        body = b"\xff\xfe not json"
+        with pytest.raises(TransportError):
+            decoder.feed(struct.pack(">I", len(body)) + body)
