@@ -125,6 +125,10 @@ class ShardConfig:
     slot is marked broken).  A requeued request may move shards at most
     ``max_requeues`` times before failing with ``shard_failed``.
 
+    ``drain_timeout_s`` bounds how long :meth:`~ShardedServer.undeploy` waits
+    for the version's queued and in-flight work to finish before giving up
+    (the version then stays deployed and the call raises, retryably).
+
     ``batch_deadline_ms`` (optional) bounds how long a dispatched batch may
     stay unanswered while the shard keeps heartbeating.  A healthy heartbeat
     cannot distinguish "still computing" from "computed but the reply was
@@ -153,6 +157,7 @@ class ShardConfig:
     heartbeat_timeout_ms: float = 2000.0
     max_requeues: int = 2
     batch_deadline_ms: float | None = None
+    drain_timeout_s: float = 30.0
     start_timeout_s: float = 60.0
     respawn_attempts: int = 3
     ring_replicas: int = 64
@@ -175,6 +180,8 @@ class ShardConfig:
             raise ModelConfigError("max_requeues must be non-negative")
         if self.batch_deadline_ms is not None and self.batch_deadline_ms <= 0:
             raise ModelConfigError("batch_deadline_ms must be positive when set")
+        if self.drain_timeout_s <= 0:
+            raise ModelConfigError("drain_timeout_s must be positive")
         if self.start_timeout_s <= 0:
             raise ModelConfigError("start_timeout_s must be positive")
         if self.respawn_attempts < 1:
@@ -453,6 +460,7 @@ class ShardedServer:
         }
         self._totals = {"requeues": 0, "restarts": 0, "swaps": 0}
         self._dep_outstanding: dict[str, int] = {}
+        self._dep_queued: dict[str, int] = {}
         self._inflight_keys: dict[str, asyncio.Future] = {}
         self._shadow = {"sampled": 0, "completed": 0, "mismatched": 0, "dropped": 0}
         self._fatal_log: deque[str] = deque(maxlen=20)
@@ -587,8 +595,21 @@ class ShardedServer:
         slot's pid, liveness, generation, restart/dispatch/requeue counters
         and heartbeat age; ``deployments`` / ``primary`` / ``routes`` /
         ``shadow`` describe the routing stack.
+
+        Like every other public call, the snapshot is taken *on* the gateway
+        loop, so it is internally consistent — never torn by concurrent
+        mutation from in-flight traffic.
         """
-        now = self._loop.time() if self._loop is not None else 0.0
+        if self._loop is not None and self._thread is not None and self._thread.is_alive():
+            return self._call(self._stats_async())
+        # Before start() / after stop() nothing mutates concurrently; a
+        # direct snapshot is safe and lets callers inspect a stopped server.
+        return self._snapshot_stats(now=None)
+
+    async def _stats_async(self) -> dict:
+        return self._snapshot_stats(now=self._loop.time())
+
+    def _snapshot_stats(self, now: float | None) -> dict:
         snapshot = {
             "version": __version__,
             "requests": {
@@ -619,7 +640,9 @@ class ShardedServer:
                     "requeued": slot.requeued,
                     "queued": slot.queue.qsize() if slot.queue is not None else 0,
                     "pending_batches": len(slot.pending),
-                    "heartbeat_age_s": round(max(0.0, now - slot.last_heartbeat), 3) if slot.alive else None,
+                    "heartbeat_age_s": round(max(0.0, now - slot.last_heartbeat), 3)
+                    if slot.alive and now is not None
+                    else None,
                     "deployments": sorted(slot.deployments),
                 }
                 for slot in self._slots
@@ -678,6 +701,7 @@ class ShardedServer:
             if slot.queue is not None:
                 while not slot.queue.empty():
                     job = slot.queue.get_nowait()
+                    self._note_dequeued(job)
                     self._fail_job(job, ERROR_SHUTDOWN, "server stopped with the request queued")
             if slot.alive:
                 with contextlib.suppress(OSError, TransportError):
@@ -927,23 +951,41 @@ class ShardedServer:
         try:
             target_name = self._ring.node(job.key, exclude=dead)
         except ModelConfigError:
-            # Every shard is down: keep the key's owner so the job runs after
-            # the respawn instead of failing a transient total outage.
-            target_name = self._ring.node(job.key)
+            # Every shard is down: keep the job on a *respawnable* owner so it
+            # runs after the respawn instead of failing a transient total
+            # outage.  A broken slot (respawn budget exhausted) never comes
+            # back, so its queue would strand the job forever.
+            broken = {slot.name for slot in self._slots if slot.broken}
+            try:
+                target_name = self._ring.node(job.key, exclude=broken)
+            except ModelConfigError:
+                self._fail_job(
+                    job, ERROR_SHARD_FAILED, "every shard is broken; no slot can serve the request"
+                )
+                return
         target = next(slot for slot in self._slots if slot.name == target_name)
         try:
             target.queue.put_nowait(job)
+            self._note_queued(job)
         except asyncio.QueueFull:
             if requeue:
                 self._fail_job(job, ERROR_SHARD_FAILED, "no shard had queue capacity for the requeued request")
             else:
                 self._fail_job(job, ERROR_QUEUE_FULL, f"{target.name}'s queue is full")
 
+    def _note_queued(self, job: _Job) -> None:
+        """Count ``job`` into its deployment's queued total (drain accounting)."""
+        self._dep_queued[job.deployment] = self._dep_queued.get(job.deployment, 0) + 1
+
+    def _note_dequeued(self, job: _Job) -> None:
+        self._dep_queued[job.deployment] = max(0, self._dep_queued.get(job.deployment, 0) - 1)
+
     def _drain_queue_of_broken_slot(self, slot: _Slot) -> None:
         if slot.queue is None:
             return
         while not slot.queue.empty():
             job = slot.queue.get_nowait()
+            self._note_dequeued(job)
             if any(s.alive for s in self._slots):
                 self._enqueue(job)
             else:
@@ -996,9 +1038,13 @@ class ShardedServer:
                 if remaining <= 0:
                     break
                 try:
-                    batch.append(await asyncio.wait_for(slot.queue.get(), remaining))
-                except TimeoutError:
+                    # asyncio.TimeoutError, not builtin TimeoutError: they are
+                    # distinct classes on 3.10 (aliases from 3.11), and wait_for
+                    # raises the asyncio one there.
+                    item = await asyncio.wait_for(slot.queue.get(), remaining)
+                except asyncio.TimeoutError:
                     break
+                batch.append(item)
             groups: dict[str, list[_Job]] = {}
             for item in batch:
                 groups.setdefault(item.deployment, []).append(item)
@@ -1007,6 +1053,7 @@ class ShardedServer:
                 if not slot.alive or self._stopping:
                     slot.inflight.release()
                     for pending_job in jobs:
+                        self._note_dequeued(pending_job)
                         if self._stopping:
                             self._fail_job(pending_job, ERROR_SHUTDOWN, "server stopped")
                         else:
@@ -1019,6 +1066,11 @@ class ShardedServer:
         seq = self._seq
         slot.pending[seq] = _PendingBatch(deployment, jobs, dispatched_at=self._loop.time())
         slot.dispatched += len(jobs)
+        # Jobs move from the queued to the outstanding count atomically (both
+        # mutations happen on the loop with no await between them), so the
+        # undeploy drain never sees a job in neither.
+        for job in jobs:
+            self._note_dequeued(job)
         self._dep_outstanding[deployment] = self._dep_outstanding.get(deployment, 0) + len(jobs)
         self._send(
             slot,
@@ -1115,10 +1167,18 @@ class ShardedServer:
 
     async def _submit(self, request: Request) -> Response:
         self._counts["submitted"] += 1
+        if not isinstance(request, Request):
+            # error_response() would dereference .task / .request_id on the
+            # invalid object; build the structured rejection without touching it.
+            self._counts[ERROR_INVALID_REQUEST] += 1
+            return Response(
+                task="",
+                output="",
+                error=ERROR_INVALID_REQUEST,
+                detail=f"submit() needs a Request, got {type(request).__name__}",
+            )
         if self._stopping:
             return self._finish_inline(request, ERROR_SHUTDOWN, "server is stopped")
-        if not isinstance(request, Request):
-            return self._finish_inline(request, ERROR_INVALID_REQUEST, "submit() needs a Request")
         wire = request_to_wire(request)
         key = self._routing_key(wire)
         try:
@@ -1177,6 +1237,7 @@ class ShardedServer:
             target_name = self._ring.node(job.key, exclude=dead)
             target = next(slot for slot in self._slots if slot.name == target_name)
             target.queue.put_nowait(job)
+            self._note_queued(job)
         except (ModelConfigError, asyncio.QueueFull):
             self._shadow["dropped"] += 1
             return
@@ -1215,8 +1276,10 @@ class ShardedServer:
             if slot.broken:
                 raise ModelConfigError(f"{slot.name} is broken; cannot load {ref}")
             try:
+                # asyncio.TimeoutError: distinct from builtin TimeoutError on
+                # 3.10, where wait_for raises the asyncio flavor.
                 await asyncio.wait_for(slot.ready.wait(), 0.5)
-            except TimeoutError:
+            except asyncio.TimeoutError:
                 continue
             if dep_id in slot.deployments:
                 return  # a respawn already loaded it from self._deployments
@@ -1226,7 +1289,7 @@ class ShardedServer:
             try:
                 await asyncio.wait_for(waiter, self.config.start_timeout_s)
                 return
-            except TimeoutError:
+            except asyncio.TimeoutError:
                 slot.waiters.pop(("loaded", ref), None)
                 continue  # shard went silent; loop re-checks after respawn
             except TransportError:
@@ -1270,14 +1333,20 @@ class ShardedServer:
         self._router = self._router.without(dep_id)
         self._deployments.discard(dep_id)
         # Drain: queued jobs pinned to the version still dispatch (their slot
-        # keeps the pipeline until the unload frame below), so wait for the
-        # outstanding count to reach zero before unloading anywhere.
-        while self._dep_outstanding.get(dep_id, 0) > 0 or any(
-            job.deployment == dep_id
-            for slot in self._slots
-            if slot.queue is not None
-            for job in list(getattr(slot.queue, "_queue", ()))
+        # keeps the pipeline until the unload frame below), so wait for both
+        # the queued and outstanding counts to reach zero before unloading
+        # anywhere — bounded, so a request stuck in an error/requeue cycle
+        # cannot spin this loop forever.
+        deadline = self._loop.time() + self.config.drain_timeout_s
+        while (
+            self._dep_outstanding.get(dep_id, 0) > 0 or self._dep_queued.get(dep_id, 0) > 0
         ):
+            if self._loop.time() >= deadline:
+                self._deployments.add(dep_id)  # still loaded; let the caller retry
+                raise ModelConfigError(
+                    f"timed out draining {dep_id} after {self.config.drain_timeout_s}s; "
+                    "the version stays deployed — retry undeploy once its work settles"
+                )
             await asyncio.sleep(0.005)
         for slot in self._slots:
             if slot.alive:

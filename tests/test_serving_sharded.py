@@ -169,6 +169,15 @@ class TestGatewaySemantics:
         assert missing_version.error == "invalid_request"
         assert stats["requests"]["failed"]["invalid_request"] == 2
 
+    def test_non_request_submission_is_invalid_request(self, env):
+        # A non-Request object must come back as a structured rejection, not
+        # an AttributeError from dereferencing fields the object lacks.
+        with ShardedServer(env["registry_path"], "viz@1", ShardConfig(num_shards=1)) as server:
+            response = server.submit({"task": "fevisqa", "question": "q ?"})
+        assert response.error == "invalid_request"
+        assert "needs a Request" in response.detail
+        assert response.request_id is None
+
     def test_submit_before_start_is_rejected(self, env):
         server = ShardedServer(env["registry_path"], "viz@1", ShardConfig(num_shards=1))
         with pytest.raises(ModelConfigError, match="not started"):
