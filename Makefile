@@ -4,7 +4,7 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
 
-.PHONY: test test-fast test-chaos bench bench-decode bench-serving bench-deploy bench-scale smoke ci install docs check-docs help
+.PHONY: test test-fast test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
@@ -12,6 +12,7 @@ help:
 	@echo "make test-chaos    - sharded-tier chaos suite only, bounded by a 900s watchdog (pytest -m chaos)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
 	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json (fails if cached decode is slower than naive, fp32 slower than fp64, or fp32 agreement < 99%)"
+	@echo "make bench-continuous - continuous-batching benchmark -> BENCH_continuous.json (fails if continuous tokens/sec < static batching, short-request p50 improves < 1.5x, or any output diverges from the naive oracle)"
 	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
 	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
 	@echo "make bench-scale   - sharded-tier scale benchmark -> BENCH_scale.json (fails if outputs diverge from Pipeline.serve, 2-shard speedup < 1.7x, 4-shard speedup < 3x, or a rolling swap drops a request)"
@@ -41,6 +42,9 @@ bench:
 
 bench-decode:
 	PYTHONPATH=src $(PYTHON) benchmarks/decode_benchmark.py --output BENCH_decode.json
+
+bench-continuous:
+	PYTHONPATH=src $(PYTHON) benchmarks/continuous_benchmark.py --output BENCH_continuous.json
 
 bench-serving:
 	PYTHONPATH=src $(PYTHON) benchmarks/serving_benchmark.py --output BENCH_serving.json

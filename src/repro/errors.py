@@ -50,6 +50,18 @@ class ModelConfigError(ReproError):
     """Raised for invalid neural-network or training configuration."""
 
 
+class ServingStateError(ReproError):
+    """Raised when the serving layer's runtime state is used out of order.
+
+    Distinct from :class:`ModelConfigError` (a *configuration* was invalid):
+    this marks a correct configuration driven through an invalid state
+    transition at runtime — reading a :class:`~repro.serving.batching.Ticket`
+    before its batch flushed, a batch function returning the wrong number of
+    results, a continuous-decode ticket consumed mid-flight or failed by an
+    engine error.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a synthetic corpus cannot be generated or partitioned."""
 

@@ -23,10 +23,10 @@ objectives are the same shape as the paper's.
 
 from repro.nn.tensor import Tensor, autocast, compute_dtype, no_grad
 from repro.nn import functional
-from repro.nn.decode_cache import DecodeCache, KVState, LayerKVCache
+from repro.nn.decode_cache import DecodeCache, KVState, LayerKVCache, PagedKVArena, PagedSequence
 from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter, symmetric_int8
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
-from repro.nn.transformer import TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
+from repro.nn.transformer import PagedDecodeBatch, TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
 from repro.nn.rnn import GRUCell, GRUEncoder, AttentionGRUDecoder, Seq2SeqModel
 from repro.nn.optim import Adam, SGD, clip_grad_norm, LinearWarmupSchedule, ConstantSchedule
 
@@ -40,6 +40,8 @@ __all__ = [
     "DecodeCache",
     "KVState",
     "LayerKVCache",
+    "PagedKVArena",
+    "PagedSequence",
     "Module",
     "Linear",
     "Embedding",
@@ -50,6 +52,7 @@ __all__ = [
     "RelativePositionBias",
     "TransformerConfig",
     "T5Model",
+    "PagedDecodeBatch",
     "TransformerEncoder",
     "TransformerDecoder",
     "GRUCell",

@@ -176,3 +176,108 @@ class MultiHeadAttention(Module):
         if return_weights:
             return output, weights
         return output
+
+    # -- paged continuous-decode fast path ---------------------------------------------
+    # Continuous batching attends each sequence over its *own* exact-length
+    # K/V history (gathered from arena pages), because padding histories to a
+    # common length changes numpy's pairwise-summation grouping and breaks
+    # bitwise equality with the solo decode.  Everything except the
+    # score/softmax/value core stays batched across rows — those ops are
+    # row-stable (per-row M=1 gemms), so slicing a row out of the batched
+    # projections is bitwise-identical to projecting it alone.
+
+    def decode_step_qkv(self, hidden: Tensor) -> tuple[Tensor, np.ndarray, np.ndarray]:
+        """Project one decode step's batched hidden states into Q/K/V heads.
+
+        ``hidden`` is ``(rows, 1, d_model)`` — one new token per row.  Returns
+        the split-head query tensor ``(rows, heads, 1, head_dim)`` plus raw
+        numpy K/V of the same shape, ready to be appended into each row's
+        :class:`~repro.nn.decode_cache.PagedSequence`.  Decode-only: requires
+        :func:`~repro.nn.tensor.no_grad`.
+        """
+        if grad_enabled():
+            raise ModelConfigError(
+                "decode_step_qkv is a decode-only fast path; run it under no_grad()"
+            )
+        q = self._split_heads(self.q_proj(hidden))
+        k = self._split_heads(self.k_proj(hidden)).numpy()
+        v = self._split_heads(self.v_proj(hidden)).numpy()
+        return q, k, v
+
+    def decode_step_query(self, hidden: Tensor) -> Tensor:
+        """Project only the split-head queries of one decode step.
+
+        The cross-attention half of a continuous-decode step reuses K/V
+        projected at admission, so unlike :meth:`decode_step_qkv` there is
+        nothing to project but the query.  Decode-only.
+        """
+        if grad_enabled():
+            raise ModelConfigError(
+                "decode_step_query is a decode-only fast path; run it under no_grad()"
+            )
+        return self._split_heads(self.q_proj(hidden))
+
+    def project_static_kv(self, states: Tensor) -> tuple[np.ndarray, np.ndarray]:
+        """Project encoder ``states`` into the split-head K/V a warm cross cache holds.
+
+        Bitwise the same arrays :meth:`forward` writes into a cold static
+        :class:`~repro.nn.decode_cache.KVState` — continuous batching calls
+        this once per admitted sequence and stores the result beside its page
+        table.  Decode-only.
+        """
+        if grad_enabled():
+            raise ModelConfigError(
+                "project_static_kv is a decode-only fast path; run it under no_grad()"
+            )
+        return (
+            self._split_heads(self.k_proj(states)).numpy(),
+            self._split_heads(self.v_proj(states)).numpy(),
+        )
+
+    def attend_rows(
+        self,
+        q: Tensor,
+        keys: list[np.ndarray],
+        values: list[np.ndarray],
+        masks: list[np.ndarray | None] | None = None,
+        position_biases: list[Tensor | None] | None = None,
+    ) -> Tensor:
+        """Attend each query row over its own (per-row length) K/V history.
+
+        ``q`` is the ``(rows, heads, 1, head_dim)`` split-head query batch;
+        ``keys[i]``/``values[i]`` are row ``i``'s ``(1, heads, length_i,
+        head_dim)`` history (a :meth:`PagedSequence.view` gather, or a stored
+        cross-attention projection).  ``masks[i]`` is a boolean keep mask
+        broadcastable to ``(1, 1, 1, length_i)`` or ``None``; likewise
+        ``position_biases[i]``.  The per-row core runs the exact op sequence
+        of :meth:`forward` — scale, bias, mask fill, softmax, dropout, value
+        mix — so each row's output is bitwise what that row would get
+        decoding alone.  Returns the merged, output-projected
+        ``(rows, 1, d_model)`` tensor.
+        """
+        if grad_enabled():
+            raise ModelConfigError(
+                "attend_rows is a decode-only fast path; run it under no_grad()"
+            )
+        rows = q.shape[0]
+        if len(keys) != rows or len(values) != rows:
+            raise ModelConfigError(f"attend_rows got {rows} query rows but {len(keys)}/{len(values)} K/V histories")
+        scale = 1.0 / np.sqrt(self.head_dim)
+        attended_rows = []
+        for row in range(rows):
+            q_row = q[row : row + 1]
+            scores = (q_row @ Tensor(keys[row]).swapaxes(-1, -2)) * scale
+            bias = position_biases[row] if position_biases is not None else None
+            if bias is not None:
+                scores = scores + bias
+            mask = masks[row] if masks is not None else None
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                while mask.ndim < 4:
+                    mask = mask[:, None] if mask.ndim >= 2 else mask[None]
+                scores = scores.masked_fill(~mask, -1e9)
+            weights = F.softmax(scores, axis=-1)
+            weights = self.dropout(weights)
+            attended_rows.append((weights @ Tensor(values[row])).numpy())
+        attended = Tensor(np.concatenate(attended_rows, axis=0))
+        return self.out_proj(self._merge_heads(attended))

@@ -21,6 +21,14 @@ dtypes within one cache is rejected (each generation owns a fresh cache, so
 a mix can only mean the precision policy changed mid-decode).
 :meth:`DecodeCache.reorder` re-gathers the batch axis, which is what batched
 beam search uses to carry each surviving beam's prefix forward.
+
+For token-level continuous batching the monolithic per-batch buffers are the
+wrong shape: sequences join and leave the batch at every step, so per-slot
+memory must be recyclable in O(1) without copying survivors.
+:class:`PagedKVArena` provides that — a shared pool of fixed-size K/V pages
+per decoder layer, with a free list so a finished sequence's pages are
+immediately reusable — and :class:`PagedSequence` is one sequence's page
+table over the arena (see ``docs/decoding.md`` for the layout).
 """
 
 from __future__ import annotations
@@ -30,6 +38,20 @@ import numpy as np
 from repro.errors import ModelConfigError
 
 _INITIAL_CAPACITY = 16
+
+
+def _check_kv_pair(k: np.ndarray, v: np.ndarray) -> None:
+    """Reject a k/v pair whose dtypes or shapes disagree.
+
+    Keys and values are projected from the same hidden states, so any
+    disagreement means the caller mixed tensors from different steps or
+    precision scopes — silently casting (the old behaviour for ``v``) would
+    hide the bug until outputs diverge.
+    """
+    if k.dtype != v.dtype:
+        raise ModelConfigError(f"k/v dtype mismatch: keys are {k.dtype}, values are {v.dtype}")
+    if k.shape != v.shape:
+        raise ModelConfigError(f"k/v shape mismatch: keys are {k.shape}, values are {v.shape}")
 
 
 class KVState:
@@ -68,6 +90,7 @@ class KVState:
 
     def set(self, k: np.ndarray, v: np.ndarray) -> None:
         """Store projected K/V wholesale (the cross-attention write path)."""
+        _check_kv_pair(k, v)
         self._buffer_k = k
         self._buffer_v = v
         self._length = int(k.shape[2])
@@ -76,6 +99,7 @@ class KVState:
         """Grow the cache along the sequence axis (the self-attention write path)."""
         if self.static:
             raise ModelConfigError("append() is only valid on non-static (self-attention) KV state")
+        _check_kv_pair(k, v)
         steps = int(k.shape[2])
         new_length = self._length + steps
         if self._buffer_k is not None and self._buffer_k.dtype != k.dtype:
@@ -167,3 +191,209 @@ class DecodeCache:
             return  # identity gather — common once beams stabilize
         for layer in self.layers:
             layer.reorder(indices)
+
+
+class PagedKVArena:
+    """A shared pool of fixed-size K/V pages backing paged decode caches.
+
+    The arena owns one ``(pages, page_size, heads, head_dim)`` key pool and
+    value pool per decoder layer.  A *page id* addresses the same slot in
+    every layer's pools: decoder layers advance in lockstep within a step, so
+    one logical allocation covers all layers and the page table of a
+    :class:`PagedSequence` is a single list of ids.  Page memory is recycled
+    through a free list — releasing a finished sequence and admitting a new
+    one are both O(pages), no copying of surviving sequences — and the pools
+    grow by doubling when the free list runs dry, so total memory tracks the
+    high-water mark of *tokens in flight*, not ``max_length × batch``.
+
+    Like :class:`KVState`, the arena adopts the dtype of the first K/V it
+    receives and rejects mixes (a mix means the precision policy changed
+    while sequences were in flight).
+    """
+
+    def __init__(self, num_layers: int, num_heads: int, head_dim: int, page_size: int = 16, initial_pages: int = 8):
+        if num_layers < 1:
+            raise ModelConfigError("PagedKVArena needs at least one decoder layer")
+        if num_heads < 1 or head_dim < 1:
+            raise ModelConfigError("PagedKVArena needs positive num_heads and head_dim")
+        if page_size < 1:
+            raise ModelConfigError("page_size must be positive")
+        if initial_pages < 1:
+            raise ModelConfigError("initial_pages must be positive")
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.page_size = page_size
+        self._initial_pages = initial_pages
+        self._pool_k: list[np.ndarray] | None = None
+        self._pool_v: list[np.ndarray] | None = None
+        self._free: list[int] = []
+        self._num_pages = 0
+        self._pages_in_use = 0
+        self._high_water = 0
+        self._fresh_allocations = 0
+        self._page_reuses = 0
+        self._ever_used: set[int] = set()
+
+    @property
+    def dtype(self) -> np.dtype | None:
+        """The pool dtype (``None`` until the first write fixes it)."""
+        return None if self._pool_k is None else self._pool_k[0].dtype
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages the pools currently hold (allocated + free)."""
+        return self._num_pages
+
+    @property
+    def pages_in_use(self) -> int:
+        """Pages currently owned by live sequences."""
+        return self._pages_in_use
+
+    def sequence(self) -> "PagedSequence":
+        """Open a new empty sequence over this arena."""
+        return PagedSequence(self)
+
+    def stats(self) -> dict:
+        """Allocation counters for monitoring and the continuous benchmark."""
+        return {
+            "page_size": self.page_size,
+            "num_pages": self._num_pages,
+            "pages_in_use": self._pages_in_use,
+            "pages_high_water": self._high_water,
+            "fresh_allocations": self._fresh_allocations,
+            "page_reuses": self._page_reuses,
+        }
+
+    # -- page bookkeeping (driven by PagedSequence) ------------------------------------
+    def _materialize(self, dtype: np.dtype) -> None:
+        shape = (self._initial_pages, self.page_size, self.num_heads, self.head_dim)
+        self._pool_k = [np.zeros(shape, dtype=dtype) for _ in range(self.num_layers)]
+        self._pool_v = [np.zeros(shape, dtype=dtype) for _ in range(self.num_layers)]
+        self._num_pages = self._initial_pages
+        self._free = list(range(self._initial_pages - 1, -1, -1))
+
+    def _grow(self) -> None:
+        grown = max(1, self._num_pages)
+        shape = (grown, self.page_size, self.num_heads, self.head_dim)
+        for pools in (self._pool_k, self._pool_v):
+            for layer in range(self.num_layers):
+                pools[layer] = np.concatenate([pools[layer], np.zeros(shape, dtype=pools[layer].dtype)])
+        self._free.extend(range(self._num_pages + grown - 1, self._num_pages - 1, -1))
+        self._num_pages += grown
+
+    def _allocate_page(self, dtype: np.dtype) -> int:
+        if self._pool_k is None:
+            self._materialize(dtype)
+        elif self._pool_k[0].dtype != dtype:
+            raise ModelConfigError(
+                f"KV arena holds {self._pool_k[0].dtype} but received {dtype}; "
+                "the compute dtype must stay fixed while sequences are in flight"
+            )
+        if not self._free:
+            self._grow()
+        page = self._free.pop()
+        if page in self._ever_used:
+            self._page_reuses += 1
+        else:
+            self._fresh_allocations += 1
+            self._ever_used.add(page)
+        self._pages_in_use += 1
+        self._high_water = max(self._high_water, self._pages_in_use)
+        return page
+
+    def _release_pages(self, pages: list[int]) -> None:
+        self._free.extend(reversed(pages))
+        self._pages_in_use -= len(pages)
+
+
+class PagedSequence:
+    """One sequence's self-attention K/V history, paged over a :class:`PagedKVArena`.
+
+    The sequence owns a page table (a list of arena page ids, shared across
+    layers — see :class:`PagedKVArena`) plus a per-layer length.  Each decoder
+    step :meth:`append`\\ s the newest token's projected K/V for every layer;
+    a page is allocated lazily when the first write crosses into it.
+    :meth:`view` gathers the live positions of one layer back into a dense
+    ``(1, heads, length, head_dim)`` pair for attention — a copy, so released
+    pages being overwritten by another sequence can never alias an in-flight
+    read.  :meth:`release` returns every page to the arena's free list;
+    a released sequence rejects further use.
+    """
+
+    __slots__ = ("arena", "pages", "_lengths", "_released")
+
+    def __init__(self, arena: PagedKVArena):
+        self.arena = arena
+        self.pages: list[int] = []
+        self._lengths = [0] * arena.num_layers
+        self._released = False
+
+    @property
+    def length(self) -> int:
+        """Cached positions of the first layer (layers advance in lockstep)."""
+        return self._lengths[0]
+
+    @property
+    def released(self) -> bool:
+        """Whether the sequence's pages have been returned to the arena."""
+        return self._released
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Write the newest step's projected K/V for ``layer``.
+
+        ``k``/``v`` are ``(1, heads, steps, head_dim)``, exactly what one
+        attention module projects for one sequence's new tokens.
+        """
+        if self._released:
+            raise ModelConfigError("PagedSequence was released; its pages belong to the arena again")
+        _check_kv_pair(k, v)
+        if k.ndim != 4 or k.shape[0] != 1 or k.shape[1] != self.arena.num_heads or k.shape[3] != self.arena.head_dim:
+            raise ModelConfigError(
+                f"K/V geometry {k.shape} does not match the arena's "
+                f"(1, {self.arena.num_heads}, steps, {self.arena.head_dim})"
+            )
+        k = k[0].transpose(1, 0, 2)  # (steps, heads, head_dim)
+        v = v[0].transpose(1, 0, 2)
+        position = self._lengths[layer]
+        steps = k.shape[0]
+        page_size = self.arena.page_size
+        needed = -(-(position + steps) // page_size)  # ceil division
+        while len(self.pages) < needed:
+            self.pages.append(self.arena._allocate_page(k.dtype))
+        pool_k = self.arena._pool_k[layer]
+        pool_v = self.arena._pool_v[layer]
+        for step in range(steps):
+            page = self.pages[(position + step) // page_size]
+            offset = (position + step) % page_size
+            pool_k[page, offset] = k[step]
+            pool_v[page, offset] = v[step]
+        self._lengths[layer] = position + steps
+
+    def view(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Gather ``layer``'s live K/V as dense ``(1, heads, length, head_dim)`` copies."""
+        if self._released:
+            raise ModelConfigError("PagedSequence was released; its pages belong to the arena again")
+        length = self._lengths[layer]
+        if length == 0:
+            raise ModelConfigError("cannot view an empty paged sequence; append a step first")
+        page_size = self.arena.page_size
+        positions = np.arange(length)
+        table = np.asarray(self.pages, dtype=np.int64)
+        flat = table[positions // page_size] * page_size + positions % page_size
+        heads, head_dim = self.arena.num_heads, self.arena.head_dim
+        k = self.arena._pool_k[layer].reshape(-1, heads, head_dim)[flat]
+        v = self.arena._pool_v[layer].reshape(-1, heads, head_dim)[flat]
+        # (length, heads, head_dim) -> (1, heads, length, head_dim), densely
+        # laid out like the contiguous caches so attention sees the same shape.
+        return (
+            np.ascontiguousarray(k.transpose(1, 0, 2))[None],
+            np.ascontiguousarray(v.transpose(1, 0, 2))[None],
+        )
+
+    def release(self) -> None:
+        """Return every page to the arena (idempotent); the sequence is dead after."""
+        if not self._released:
+            self.arena._release_pages(self.pages)
+            self.pages = []
+            self._released = True

@@ -28,7 +28,7 @@ import numpy as np
 from repro.errors import ModelConfigError
 from repro.nn import functional as F
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
-from repro.nn.decode_cache import DecodeCache, LayerKVCache
+from repro.nn.decode_cache import DecodeCache, LayerKVCache, PagedKVArena, PagedSequence
 from repro.nn.layers import Dropout, Embedding, FeedForward, Module, RMSNorm, cast_cached
 from repro.nn.tensor import Tensor, autocast, compute_dtype, no_grad
 from repro.utils.rng import derive_seed, seeded_rng
@@ -344,6 +344,21 @@ class T5Model(Module):
                 ]
         return _pad_token_rows(rows, self.config.pad_id)
 
+    def paged_decode_batch(
+        self, max_slots: int = 8, page_size: int = 16, dtype: str = "float64"
+    ) -> "PagedDecodeBatch":
+        """Open a step-wise greedy decode batch sequences can join and leave live.
+
+        The returned :class:`PagedDecodeBatch` is the continuous-batching
+        entry point: ``admit`` a source row whenever a slot is free (even
+        while other sequences are mid-decode), call ``step`` to advance every
+        live sequence by one token, and collect finished outputs — each
+        bitwise-equal to that row's solo ``generate(..., use_cache=False)``
+        decode.  K/V memory comes from a shared
+        :class:`~repro.nn.decode_cache.PagedKVArena` sized ``page_size``.
+        """
+        return PagedDecodeBatch(self, max_slots=max_slots, page_size=page_size, dtype=dtype)
+
     def _log_probs(self, logits: np.ndarray) -> np.ndarray:
         """Log-softmax of one vocabulary row; shared by both beam paths so the
         cached and reference implementations run the exact same float ops."""
@@ -352,26 +367,50 @@ class T5Model(Module):
 
     # -- cached fast paths -------------------------------------------------------
     def _greedy_generate_cached(self, input_ids: np.ndarray, max_length: int) -> np.ndarray:
-        """Incremental greedy decoding: each step feeds only the newest token."""
+        """Incremental greedy decoding: each step feeds only the newest token.
+
+        Rows that emit EOS are *evicted* from the live batch (a
+        :meth:`DecodeCache.reorder` gather, like beam search shrinking), so
+        later steps only pay for unfinished rows — previously finished rows
+        kept riding along, burning a full decoder step each on pad tokens.
+        Because every per-row computation is independent of which other rows
+        share the batch, eviction leaves the surviving rows' outputs
+        bitwise-identical (the decode-equivalence suite asserts it).
+        """
         batch = input_ids.shape[0]
         attention_mask = input_ids != self.config.pad_id
         with no_grad():
             encoder_hidden = self.encoder(input_ids, attention_mask)
             cache = DecodeCache(len(self.decoder.layers))
-            sequences = np.full((batch, 1), self.config.bos_id, dtype=np.int64)
-            finished = np.zeros(batch, dtype=bool)
-            step_tokens = sequences
+            rows: list[list[int]] = [[] for _ in range(batch)]
+            active = np.arange(batch)
+            live_mask = attention_mask
+            encoder_states: Tensor | None = encoder_hidden
+            step_tokens = np.full((batch, 1), self.config.bos_id, dtype=np.int64)
             for _ in range(max_length):
-                decoder_hidden = self.decoder(step_tokens, encoder_hidden, attention_mask, cache=cache)
+                decoder_hidden = self.decoder(step_tokens, encoder_states, live_mask, cache=cache)
                 logits = self.lm_logits(decoder_hidden).numpy()[:, -1, :]
                 next_tokens = logits.argmax(axis=-1)
-                next_tokens = np.where(finished, self.config.pad_id, next_tokens)
-                sequences = np.concatenate([sequences, next_tokens[:, None]], axis=1)
-                finished |= next_tokens == self.config.eos_id
-                if finished.all():
+                for position, row in enumerate(active):
+                    rows[row].append(int(next_tokens[position]))
+                keep = next_tokens != self.config.eos_id
+                if not keep.any():
                     break
+                if not keep.all():
+                    survivors = np.flatnonzero(keep)
+                    cache.reorder(survivors)
+                    live_mask = live_mask[survivors]
+                    active = active[survivors]
+                    next_tokens = next_tokens[survivors]
+                # The cross cache is warm after the first step; later steps
+                # skip materializing encoder states they would ignore.
+                encoder_states = None
                 step_tokens = next_tokens[:, None]
-        return sequences[:, 1:]
+        width = max((len(row) for row in rows), default=0)
+        sequences = np.full((batch, width), self.config.pad_id, dtype=np.int64)
+        for index, row in enumerate(rows):
+            sequences[index, : len(row)] = row
+        return sequences
 
     def _beam_generate_cached(
         self, input_ids: np.ndarray, max_length: int, num_beams: int, length_penalty: float
@@ -486,6 +525,205 @@ class T5Model(Module):
                 if all(done for _, _, done in beams):
                     break
         return beams[0][0][1:][:max_length]
+
+
+class _PagedSlot:
+    """One occupied slot of a :class:`PagedDecodeBatch`: a live sequence's state."""
+
+    __slots__ = ("handle", "sequence", "cross_k", "cross_v", "cross_mask", "tokens", "max_length", "last_token")
+
+    def __init__(
+        self,
+        handle: int,
+        sequence: PagedSequence,
+        cross_k: list[np.ndarray],
+        cross_v: list[np.ndarray],
+        cross_mask: np.ndarray,
+        max_length: int,
+        bos_id: int,
+    ):
+        self.handle = handle
+        self.sequence = sequence
+        self.cross_k = cross_k
+        self.cross_v = cross_v
+        self.cross_mask = cross_mask
+        self.tokens: list[int] = []
+        self.max_length = max_length
+        self.last_token = bos_id
+
+
+class PagedDecodeBatch:
+    """A live greedy-decode batch that sequences join and leave step by step.
+
+    This is the model-side half of continuous batching
+    (:mod:`repro.serving.continuous` owns the scheduling half): up to
+    ``max_slots`` sequences decode together, each backed by its own
+    :class:`~repro.nn.decode_cache.PagedSequence` over a shared
+    :class:`~repro.nn.decode_cache.PagedKVArena`.  :meth:`admit` runs the
+    sequence's encoder pass (batch of one — bitwise what a solo decode would
+    compute) and projects its static cross-attention K/V; :meth:`step`
+    decodes one token for every live sequence in one batched pass; sequences
+    finish (EOS or their own length budget) and free their slot and pages
+    immediately, without waiting for batch-mates.
+
+    **Equivalence contract:** every sequence's output token ids are bitwise
+    identical to its solo ``generate(..., use_cache=False)`` decode,
+    regardless of what else shares the batch or when it was admitted.  The
+    batched sub-computations (embedding, norms, projections, FFN, LM head)
+    are per-row independent — a ``(rows, 1, d)`` matmul is a stack of
+    ``(1, d)`` matmuls — and attention runs per row over that row's exact
+    history (padding histories to a common length would change summation
+    grouping and break bitwise equality; see
+    :meth:`~repro.nn.attention.MultiHeadAttention.attend_rows`).
+
+    Inference-only: the model must be in eval mode, and every pass runs
+    under :func:`~repro.nn.tensor.no_grad` + :func:`~repro.nn.tensor.autocast`
+    with the ``dtype`` fixed at construction.
+    """
+
+    def __init__(self, model: "T5Model", max_slots: int = 8, page_size: int = 16, dtype: str = "float64"):
+        if max_slots < 1:
+            raise ModelConfigError("PagedDecodeBatch needs at least one slot")
+        if model.training:
+            raise ModelConfigError("PagedDecodeBatch is inference-only; call model.eval() first")
+        config = model.config
+        self.model = model
+        self.max_slots = max_slots
+        self.dtype = dtype
+        self.arena = PagedKVArena(
+            num_layers=len(model.decoder.layers),
+            num_heads=config.num_heads,
+            head_dim=config.d_model // config.num_heads,
+            page_size=page_size,
+            initial_pages=max_slots,
+        )
+        self._slots: list[_PagedSlot | None] = [None] * max_slots
+        self._bias_memo: dict[int, Tensor] = {}
+        self._next_handle = 0
+
+    @property
+    def active_count(self) -> int:
+        """Number of sequences currently decoding."""
+        return sum(slot is not None for slot in self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for :meth:`admit` right now."""
+        return self.max_slots - self.active_count
+
+    def admit(self, input_ids: np.ndarray, max_length: int | None = None) -> int:
+        """Join ``input_ids`` (one unbatched source row) to the live batch.
+
+        Runs the encoder over the single row and caches each layer's
+        projected cross-attention K/V, allocating a free slot; returns the
+        sequence's handle (the key :meth:`step` reports completion under).
+        Raises :class:`ModelConfigError` when every slot is occupied — the
+        serving scheduler checks :attr:`free_slots` and queues instead.
+        """
+        if self.model.training:
+            raise ModelConfigError("PagedDecodeBatch is inference-only; call model.eval() first")
+        max_length = max_length or self.model.config.max_decode_length
+        if max_length < 1:
+            raise ModelConfigError("max_length must be at least 1")
+        slot_index = next((i for i, slot in enumerate(self._slots) if slot is None), None)
+        if slot_index is None:
+            raise ModelConfigError(f"no free slot: all {self.max_slots} are decoding")
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 1:
+            raise ModelConfigError("admit() takes one unbatched source row at a time")
+        attention_mask = (input_ids != self.model.config.pad_id)[None, :]
+        with autocast(self.dtype), no_grad():
+            encoder_hidden = self.model.encoder(input_ids[None, :], attention_mask)
+            cross_k, cross_v = [], []
+            for layer in self.model.decoder.layers:
+                k, v = layer.cross_attention.project_static_kv(encoder_hidden)
+                cross_k.append(k)
+                cross_v.append(v)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._slots[slot_index] = _PagedSlot(
+            handle=handle,
+            sequence=self.arena.sequence(),
+            cross_k=cross_k,
+            cross_v=cross_v,
+            cross_mask=attention_mask[:, None, :],  # (1, 1, source_len) keep mask
+            max_length=max_length,
+            bos_id=self.model.config.bos_id,
+        )
+        return handle
+
+    def evict(self, handle: int) -> None:
+        """Drop a live sequence (e.g. its caller gave up), freeing slot and pages."""
+        for index, slot in enumerate(self._slots):
+            if slot is not None and slot.handle == handle:
+                slot.sequence.release()
+                self._slots[index] = None
+                return
+        raise ModelConfigError(f"no live sequence with handle {handle}")
+
+    def step(self) -> dict[int, list[int]]:
+        """Decode one token for every live sequence; return the newly finished.
+
+        The returned dict maps each finished sequence's handle to its
+        complete output token ids (EOS included when emitted, BOS excluded —
+        the per-row form of :meth:`T5Model.generate`'s contract).  Finished
+        sequences leave the batch before the method returns, so their slots
+        and pages are immediately reusable.
+        """
+        if self.model.training:
+            raise ModelConfigError("PagedDecodeBatch is inference-only; call model.eval() first")
+        active = [slot for slot in self._slots if slot is not None]
+        if not active:
+            return {}
+        decoder = self.model.decoder
+        config = self.model.config
+        with autocast(self.dtype), no_grad():
+            step_ids = np.asarray([[slot.last_token] for slot in active], dtype=np.int64)
+            hidden = decoder.dropout(decoder.embedding(step_ids))
+            for layer_index, layer in enumerate(decoder.layers):
+                normed = layer.norm_self(hidden)
+                q, k_new, v_new = layer.self_attention.decode_step_qkv(normed)
+                keys, values, biases = [], [], []
+                for row, slot in enumerate(active):
+                    slot.sequence.append(layer_index, k_new[row : row + 1], v_new[row : row + 1])
+                    k_row, v_row = slot.sequence.view(layer_index)
+                    keys.append(k_row)
+                    values.append(v_row)
+                    biases.append(self._position_bias(slot.sequence.length))
+                attended = layer.self_attention.attend_rows(q, keys, values, position_biases=biases)
+                hidden = hidden + layer.dropout(attended)
+                normed = layer.norm_cross(hidden)
+                q_cross = layer.cross_attention.decode_step_query(normed)
+                cross = layer.cross_attention.attend_rows(
+                    q_cross,
+                    [slot.cross_k[layer_index] for slot in active],
+                    [slot.cross_v[layer_index] for slot in active],
+                    masks=[slot.cross_mask for slot in active],
+                )
+                hidden = hidden + layer.dropout(cross)
+                normed = layer.norm_feed_forward(hidden)
+                hidden = hidden + layer.dropout(layer.feed_forward(normed))
+            hidden = decoder.final_norm(hidden)
+            logits = self.model.lm_logits(hidden).numpy()[:, -1, :]
+        finished: dict[int, list[int]] = {}
+        for row, slot in enumerate(active):
+            token = int(logits[row].argmax())
+            slot.tokens.append(token)
+            slot.last_token = token
+            if token == config.eos_id or len(slot.tokens) >= slot.max_length:
+                finished[slot.handle] = slot.tokens
+                slot.sequence.release()
+                self._slots[self._slots.index(slot)] = None
+        return finished
+
+    def _position_bias(self, key_length: int) -> Tensor:
+        """The single-query relative-position bias row for ``key_length`` cached
+        positions, memoized — it depends only on the length in eval mode."""
+        bias = self._bias_memo.get(key_length)
+        if bias is None:
+            bias = self.model.decoder.position_bias(1, key_length, query_offset=key_length - 1)
+            self._bias_memo[key_length] = bias
+        return bias
 
 
 def _pad_token_rows(rows: list[list[int]], pad_id: int) -> np.ndarray:

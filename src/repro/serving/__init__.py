@@ -5,7 +5,11 @@ entry point: a :class:`Pipeline` facade serving text-to-vis, vis-to-text and
 FeVisQA behind a uniform :class:`Request`/:class:`Response` protocol, with a
 :class:`MicroBatcher` amortizing neural forward passes over concurrent
 requests and :class:`LRUCache` layers for parsed VQL ASTs, Vega-Lite specs,
-encoder outputs and full responses.  The :mod:`~repro.serving.registry`
+encoder outputs and full responses.  Greedy neural decoding goes one level
+deeper: the per-model :class:`ContinuousDecodeLoop`
+(:mod:`~repro.serving.continuous`) batches at *token* granularity, admitting
+sequences into free slots of a live paged-KV decode batch at every step and
+evicting them the moment their own EOS lands.  The :mod:`~repro.serving.registry`
 constructs any baseline family from a plain config dict, so serving, the
 evaluation harness and the examples share one factory.
 
@@ -31,6 +35,13 @@ reference, and ``docs/sharding.md`` for the process model.
 """
 
 from repro.serving.batching import BatchWindow, MicroBatcher, Ticket
+from repro.serving.continuous import (
+    ContinuousDecodeLoop,
+    DecodeTicket,
+    continuous_loop_for,
+    continuous_loop_stats,
+    continuous_predict_batch,
+)
 from repro.serving.cache import LRUCache, normalize_key
 from repro.serving.pipeline import Pipeline, PipelineConfig
 from repro.serving.protocol import (
@@ -97,6 +108,11 @@ __all__ = [
     "MicroBatcher",
     "BatchWindow",
     "Ticket",
+    "ContinuousDecodeLoop",
+    "DecodeTicket",
+    "continuous_loop_for",
+    "continuous_loop_stats",
+    "continuous_predict_batch",
     "LRUCache",
     "normalize_key",
     "available_baselines",

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.batching import group_into_batches
-from repro.errors import ModelConfigError
+from repro.errors import ModelConfigError, ServingStateError
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ class Ticket:
     """A placeholder for one submitted item's result.
 
     ``ready`` flips to ``True`` once the batch containing the item has been
-    flushed; reading ``value`` before that raises ``ModelConfigError``.
+    flushed; reading ``value`` before that raises ``ServingStateError``.
     """
 
     __slots__ = ("item", "_value", "ready")
@@ -90,7 +90,7 @@ class Ticket:
     def value(self) -> Any:
         """The computed result; raises until the owning batch has flushed."""
         if not self.ready:
-            raise ModelConfigError("ticket is not ready; call MicroBatcher.flush() first")
+            raise ServingStateError("ticket is not ready; call MicroBatcher.flush() first")
         return self._value
 
     def _resolve(self, value: Any) -> None:
@@ -141,7 +141,7 @@ class MicroBatcher:
             items = [ticket.item for ticket in batch]
             results = list(self.batch_fn(items))
             if len(results) != len(items):
-                raise ModelConfigError(
+                raise ServingStateError(
                     f"batch_fn returned {len(results)} results for {len(items)} items"
                 )
             self.num_items += len(items)

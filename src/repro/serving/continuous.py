@@ -1,0 +1,300 @@
+"""Token-level continuous batching for neural decode traffic.
+
+The micro-batcher (:mod:`repro.serving.batching`) amortizes at *request*
+granularity: a batch decodes in lock-step until its longest member finishes,
+so short requests pay for long ones and arrivals wait for the next window.
+This module schedules at *token* granularity instead, vLLM-style: one
+persistent :class:`~repro.nn.transformer.PagedDecodeBatch` per backend model
+admits new sequences into free slots at every decode step and evicts
+finished ones immediately, with K/V memory recycled through the shared
+:class:`~repro.nn.decode_cache.PagedKVArena`.
+
+**Cooperative driving, no background threads.**  A dedicated decode thread
+would have to own the model forever (pinning its lifetime and leaking on
+teardown), so the loop is driven by the request threads themselves: every
+:meth:`ContinuousDecodeLoop.run` caller submits its sequences and then
+competes for the *driver lock*.  Whoever holds it advances the whole batch —
+its own sequences and everyone else's — one step at a time; the rest sleep
+on a condition that pulses after each step.  Concurrent server workers
+therefore merge into one live batch automatically, which is exactly how
+lock-step request batches turn into token-level sharing.
+
+**Admission rules.**  Pending sequences are admitted strictly FIFO, one per
+free slot, at the top of each step; a sequence joins mid-flight without
+disturbing batch-mates because every admitted row decodes bitwise-identically
+to its solo ``use_cache=False`` oracle (the :class:`PagedDecodeBatch`
+equivalence contract).  Greedy only — beam search keeps the static path.
+
+Loops are memoized per ``(model, dtype, slots, page size)`` via
+:func:`continuous_loop_for`, keyed weakly so a loop dies with its model.
+:func:`continuous_predict_batch` is the text-level entry the serving
+engines call in place of ``DataVisT5.predict_batch``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import deque
+
+import numpy as np
+
+from repro.core.batching import pad_sequences
+from repro.core.config import precision_compute_dtype
+from repro.core.model import DataVisT5
+from repro.errors import ServingStateError
+from repro.nn.transformer import T5Model
+
+_WAIT_SLICE_S = 0.02  # how long a non-driving thread naps between progress checks
+
+
+class DecodeTicket:
+    """One submitted sequence's placeholder inside a :class:`ContinuousDecodeLoop`.
+
+    ``done`` flips once the sequence finished (or failed); :attr:`result`
+    raises :class:`~repro.errors.ServingStateError` when read mid-flight, and
+    re-raises the stored failure if the decode loop's engine broke while the
+    sequence was in it.
+    """
+
+    __slots__ = ("row", "max_length", "done", "_result", "_error")
+
+    def __init__(self, row: np.ndarray, max_length: int | None):
+        self.row = row
+        self.max_length = max_length
+        self.done = False
+        self._result: np.ndarray | None = None
+        self._error: ServingStateError | None = None
+
+    @property
+    def result(self) -> np.ndarray:
+        """The finished sequence's output token ids (EOS included, BOS excluded)."""
+        if not self.done:
+            raise ServingStateError("sequence is still decoding; drive the loop until the ticket is done")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, tokens: np.ndarray) -> None:
+        self._result = tokens
+        self.done = True
+
+    def _fail(self, error: ServingStateError) -> None:
+        self._error = error
+        self.done = True
+
+
+class ContinuousDecodeLoop:
+    """A persistent, cooperatively-driven continuous-batching scheduler.
+
+    Wraps one :class:`~repro.nn.transformer.PagedDecodeBatch` (fixed model,
+    dtype, slot count, page size) behind a thread-safe submit/drive API:
+
+    * :meth:`submit` queues a source row and returns its :class:`DecodeTicket`;
+    * :meth:`run` submits a burst and drives the loop until every ticket of
+      the burst is done, returning outputs in submission order;
+    * any number of threads may ``run`` concurrently — their sequences share
+      the live batch, and whichever thread holds the driver lock steps for
+      everyone.
+
+    An exception out of the model mid-step poisons every in-flight sequence
+    (their tickets fail with :class:`~repro.errors.ServingStateError`), the
+    batch is rebuilt fresh, and queued-but-unadmitted sequences proceed —
+    one bad step never wedges the loop.
+    """
+
+    def __init__(self, model: T5Model, max_slots: int = 8, page_size: int = 16, dtype: str = "float64"):
+        self._model = model
+        self._max_slots = max_slots
+        self._page_size = page_size
+        self._dtype = dtype
+        self._batch = model.paged_decode_batch(max_slots=max_slots, page_size=page_size, dtype=dtype)
+        self._state = threading.Lock()
+        self._progress = threading.Condition(self._state)
+        self._driver = threading.Lock()
+        self._pending: deque[DecodeTicket] = deque()
+        self._active: dict[int, DecodeTicket] = {}
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._steps = 0
+        self._peak_active = 0
+
+    @property
+    def max_slots(self) -> int:
+        """The batch's slot bound (sequences decoding concurrently)."""
+        return self._max_slots
+
+    def submit(self, row: np.ndarray, max_length: int | None = None) -> DecodeTicket:
+        """Queue one unbatched source row for decoding; returns its ticket.
+
+        The ticket resolves only while some thread drives the loop
+        (:meth:`run` / :meth:`drive`); submitting never blocks.
+        """
+        ticket = DecodeTicket(np.asarray(row, dtype=np.int64), max_length)
+        with self._state:
+            self._pending.append(ticket)
+            self._submitted += 1
+        return ticket
+
+    def run(self, rows: list[np.ndarray], max_length: int | None = None) -> list[np.ndarray]:
+        """Decode ``rows`` to completion, driving the loop cooperatively.
+
+        Returns each row's output token ids in input order, every one
+        bitwise-equal to that row's solo ``generate(..., use_cache=False)``
+        decode.  While this call waits for its own sequences it also steps
+        everyone else's — that is what merges concurrent callers into one
+        token-level batch.
+        """
+        tickets = [self.submit(row, max_length) for row in rows]
+        self.drive(tickets)
+        return [ticket.result for ticket in tickets]
+
+    def drive(self, tickets: list[DecodeTicket]) -> None:
+        """Advance the loop until every ticket in ``tickets`` is done.
+
+        At most one thread steps the model at a time (the driver lock); the
+        others sleep on the progress condition and re-check their tickets
+        after every step.  Safe to call with tickets submitted by any thread.
+        """
+        while True:
+            with self._state:
+                if all(ticket.done for ticket in tickets):
+                    return
+            if self._driver.acquire(blocking=False):
+                try:
+                    self._step_once()
+                finally:
+                    self._driver.release()
+                with self._progress:
+                    self._progress.notify_all()
+            else:
+                with self._progress:
+                    if not all(ticket.done for ticket in tickets):
+                        self._progress.wait(timeout=_WAIT_SLICE_S)
+
+    def stats(self) -> dict:
+        """Scheduler and arena counters (see ``docs/serving.md``)."""
+        with self._state:
+            return {
+                "max_slots": self._max_slots,
+                "dtype": self._dtype,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "steps": self._steps,
+                "pending": len(self._pending),
+                "active": len(self._active),
+                "peak_active": self._peak_active,
+                "arena": self._batch.arena.stats(),
+            }
+
+    # -- the single-driver step --------------------------------------------------------
+    def _step_once(self) -> None:
+        """Admit from the queue into free slots, then advance the batch one token.
+
+        Runs with the driver lock held; the state lock is only taken for
+        queue/ticket bookkeeping so submitters never wait on model compute.
+        """
+        while True:
+            with self._state:
+                if not self._pending or self._batch.free_slots == 0:
+                    break
+                ticket = self._pending.popleft()
+            try:
+                handle = self._batch.admit(ticket.row, ticket.max_length)
+            except Exception as error:  # noqa: BLE001 - a bad row must not wedge the loop
+                with self._state:
+                    ticket._fail(ServingStateError(f"admission failed: {error}"))
+                    self._failed += 1
+                continue
+            with self._state:
+                self._active[handle] = ticket
+                self._peak_active = max(self._peak_active, len(self._active))
+        if self._batch.active_count == 0:
+            return
+        try:
+            finished = self._batch.step()
+        except Exception as error:  # noqa: BLE001 - poison in-flight work, keep the loop alive
+            failure = ServingStateError(f"continuous decode step failed: {error}")
+            with self._state:
+                for ticket in self._active.values():
+                    ticket._fail(failure)
+                self._failed += len(self._active)
+                self._active.clear()
+                self._batch = self._model.paged_decode_batch(
+                    max_slots=self._max_slots, page_size=self._page_size, dtype=self._dtype
+                )
+            return
+        with self._state:
+            self._steps += 1
+            for handle, tokens in finished.items():
+                self._active.pop(handle)._resolve(np.asarray(tokens, dtype=np.int64))
+                self._completed += 1
+
+
+# -- per-model loop registry ---------------------------------------------------------
+_REGISTRY_LOCK = threading.Lock()
+_LOOPS: "weakref.WeakKeyDictionary[T5Model, dict[tuple, ContinuousDecodeLoop]]" = weakref.WeakKeyDictionary()
+
+
+def continuous_loop_for(
+    model: T5Model, dtype: str = "float64", max_slots: int = 8, page_size: int = 16
+) -> ContinuousDecodeLoop:
+    """The shared :class:`ContinuousDecodeLoop` for ``model`` at these knobs.
+
+    Memoized per ``(model, dtype, max_slots, page_size)`` so every server
+    worker thread serving the same backend converges on one live batch; the
+    registry holds the model weakly, so loops die with their model rather
+    than pinning weights in memory.
+    """
+    key = (dtype, max_slots, page_size)
+    with _REGISTRY_LOCK:
+        loops = _LOOPS.setdefault(model, {})
+        loop = loops.get(key)
+        if loop is None:
+            loop = ContinuousDecodeLoop(model, max_slots=max_slots, page_size=page_size, dtype=dtype)
+            loops[key] = loop
+        return loop
+
+
+def continuous_loop_stats(model: T5Model) -> dict[str, dict]:
+    """Stats of every live loop registered for ``model`` (may be empty)."""
+    with _REGISTRY_LOCK:
+        loops = dict(_LOOPS.get(model, {}))
+    return {f"dtype={dtype},slots={slots},page={page}": loop.stats() for (dtype, slots, page), loop in loops.items()}
+
+
+def continuous_predict_batch(
+    backend: DataVisT5,
+    sources: list[str],
+    precision: str | None = None,
+    max_length: int | None = None,
+    max_slots: int = 8,
+    page_size: int = 16,
+) -> list[str]:
+    """Generate output texts for ``sources`` through the continuous scheduler.
+
+    The drop-in continuous counterpart of ``DataVisT5.predict_batch`` for
+    greedy decoding: same tokenization, same padding, same precision
+    resolution, and — because every admitted sequence decodes
+    bitwise-identically to its solo oracle — the same output texts, whether
+    the call had the loop to itself or shared it with other threads.
+    """
+    if not sources:
+        return []
+    resolved = backend.resolve_precision(precision)
+    backend.model.eval()
+    encoded = backend.tokenizer.batch_encode(list(sources), max_length=backend.config.max_input_length)
+    input_ids = pad_sequences(encoded, backend.tokenizer.vocab.pad_id, backend.config.max_input_length)
+    loop = continuous_loop_for(
+        backend.model,
+        dtype=precision_compute_dtype(resolved),
+        max_slots=max_slots,
+        page_size=page_size,
+    )
+    rows = loop.run(
+        [input_ids[index] for index in range(input_ids.shape[0])],
+        max_length=max_length or backend.config.max_decode_length,
+    )
+    return [backend.tokenizer.decode(row) for row in rows]

@@ -57,6 +57,7 @@ from repro.encoding.sequences import (
 from repro.errors import ModelConfigError, ReproError
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUCache, normalize_key
+from repro.serving.continuous import continuous_loop_stats, continuous_predict_batch
 from repro.serving.protocol import (
     ERROR_BACKEND,
     ERROR_INVALID_REQUEST,
@@ -88,6 +89,12 @@ class PipelineConfig:
     model's own ``config.precision``; ``"float32"`` / ``"int8"`` trade exact
     float64 reproduction for throughput — see ``docs/numerics.md`` — and
     ``"int8"`` requires the backend model to be quantized already).
+    ``continuous`` routes greedy DataVisT5 decoding through the token-level
+    continuous scheduler (:mod:`repro.serving.continuous`) instead of
+    lock-step batch decoding — same outputs bitwise, but sequences join and
+    leave the live batch per step, so short requests stop paying for long
+    batch-mates; it requires ``use_cache`` and does not affect rule-based
+    backends, which keep the micro-batcher.
     Neither knob overrides baseline backends: neural baselines own the
     equivalent constructor knobs configured where the baseline is built
     (e.g. ``{"type": "neural", "precision": "float32"}`` in a registry
@@ -104,6 +111,7 @@ class PipelineConfig:
     validate_predictions: bool = True
     attach_specs: bool = True
     use_cache: bool = True
+    continuous: bool = True
     precision: str | None = None
 
     def __post_init__(self):
@@ -143,10 +151,21 @@ class _Engine:
     defers to the model's configured default.  ``precision="int8"`` over an
     unquantized DataVisT5 is a deployment misconfiguration and is rejected
     here, at construction, rather than surfacing as per-request failures
-    once traffic arrives.
+    once traffic arrives.  ``continuous`` (with ``use_cache``) sends
+    DataVisT5 greedy decoding through the shared per-model
+    :class:`~repro.serving.continuous.ContinuousDecodeLoop` — every engine
+    cloned over the same backend model joins the same live token-level
+    batch, whichever worker thread it belongs to.
     """
 
-    def __init__(self, backend, task: str, use_cache: bool = True, precision: str | None = None):
+    def __init__(
+        self,
+        backend,
+        task: str,
+        use_cache: bool = True,
+        precision: str | None = None,
+        continuous: bool = True,
+    ):
         if precision == "int8" and isinstance(backend, DataVisT5) and not backend.quantized:
             raise ModelConfigError(
                 f"precision='int8' for task {task!r} requires a quantized backend model; "
@@ -156,14 +175,20 @@ class _Engine:
         self.task = task
         self.use_cache = use_cache
         self.precision = precision
+        self.continuous = continuous
 
     def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
         """Run the backend over already-prepared requests, in order."""
         backend = self.backend
         if isinstance(backend, DataVisT5):
-            outputs = backend.predict_batch(
-                [item.source for item in prepared], use_cache=self.use_cache, precision=self.precision
-            )
+            if self.continuous and self.use_cache:
+                outputs = continuous_predict_batch(
+                    backend, [item.source for item in prepared], precision=self.precision
+                )
+            else:
+                outputs = backend.predict_batch(
+                    [item.source for item in prepared], use_cache=self.use_cache, precision=self.precision
+                )
             return [strip_modality_tags(output) for output in outputs]
         if isinstance(backend, TextToVisBaseline):
             questions = [item.request.question for item in prepared]
@@ -207,7 +232,11 @@ class Pipeline:
             backend = backends[task] if backends[task] is not None else model
             if backend is not None:
                 self._engines[task] = _Engine(
-                    backend, task, use_cache=self.config.use_cache, precision=self.config.precision
+                    backend,
+                    task,
+                    use_cache=self.config.use_cache,
+                    precision=self.config.precision,
+                    continuous=self.config.continuous,
                 )
         self.caches = {
             "encode": LRUCache(self.config.encode_cache_size, name="encode"),
@@ -395,6 +424,7 @@ class Pipeline:
                 task,
                 use_cache=engine.use_cache,
                 precision=precision if precision is not None else engine.precision,
+                continuous=engine.continuous,
             )
             for task, engine in self._engines.items()
         }
@@ -406,10 +436,17 @@ class Pipeline:
         )
 
     def stats(self) -> dict:
-        """Cache and batching counters for every stage."""
+        """Cache, batching and continuous-scheduler counters for every stage."""
+        continuous: dict[str, dict] = {}
+        for task, engine in self._engines.items():
+            if engine.continuous and isinstance(engine.backend, DataVisT5):
+                loops = continuous_loop_stats(engine.backend.model)
+                if loops:
+                    continuous[task] = loops
         return {
             "caches": {name: cache.stats() for name, cache in self.caches.items()},
             "batching": {task: batcher.stats() for task, batcher in self._batchers.items()},
+            "continuous": continuous,
         }
 
     # -- internals --------------------------------------------------------------------

@@ -20,6 +20,15 @@ on the event-loop thread through the pipeline's own ``prepare`` /
 LRU caches are never touched concurrently), and only the pure backend
 forward pass (``predict_batch``) runs on worker threads.
 
+Worker threads dispatch whole request batches, but neural decoding inside
+them is *token-level*: each worker's ``predict_batch`` routes greedy
+DataVisT5 traffic through the shared per-model continuous scheduler
+(:mod:`~repro.serving.continuous`), so batches dispatched by different
+workers merge into one live decode batch — a request admitted mid-flight
+starts decoding immediately instead of waiting for the next window, and a
+short request leaves as soon as its own EOS lands.  Rule-based backends
+keep the request-granular micro-batcher.
+
 Admission control is structured, never exceptional: a full queue, an expired
 deadline, an unpreparable request or a backend exception each produce a
 :class:`~repro.serving.protocol.Response` with ``error`` set — one poisoned

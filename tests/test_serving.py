@@ -15,7 +15,7 @@ from repro.baselines import GENERATION_BASELINES, TEXT_TO_VIS_BASELINES
 from repro.core.config import DataVisT5Config, TrainingConfig
 from repro.core.model import DataVisT5
 from repro.datasets import generate_nvbench
-from repro.errors import ModelConfigError
+from repro.errors import ModelConfigError, ServingStateError
 from repro.serving import (
     ERROR_BACKEND,
     ERROR_INVALID_REQUEST,
@@ -152,13 +152,13 @@ class TestMicroBatcher:
     def test_reading_unready_ticket_raises(self):
         batcher = MicroBatcher(lambda items: items, max_batch_size=8)
         ticket = batcher.submit("x")
-        with pytest.raises(ModelConfigError):
+        with pytest.raises(ServingStateError):
             _ = ticket.value
 
     def test_misaligned_batch_fn_rejected(self):
         batcher = MicroBatcher(lambda items: items[:-1], max_batch_size=8)
         batcher.submit("x")
-        with pytest.raises(ModelConfigError):
+        with pytest.raises(ServingStateError):
             batcher.flush()
 
     def test_invalid_batch_size_rejected(self):
