@@ -2,18 +2,19 @@
 # without installation; `make install` makes that unnecessary.
 
 PYTHON ?= python
-EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report
+EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report calibrate_checkpoint
 
-.PHONY: test test-fast test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale smoke ci install docs check-docs help
+.PHONY: test test-fast test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale calibrate-demo smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
 	@echo "make test-fast     - tests/ only, without the process-killing chaos suite (pytest tests -m 'not chaos')"
 	@echo "make test-chaos    - sharded-tier chaos suite only, bounded by a 900s watchdog (pytest -m chaos)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
-	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json (fails if cached decode is slower than naive, fp32 slower than fp64, or fp32 agreement < 99%)"
+	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json + BENCH_quant_policy.json (fails if cached decode is slower than naive, fp32 slower than fp64, fp32 agreement < 99%, calibrated int8 agreement < 99%, int8 speedup < 1.5x, or int8 compression < 6x)"
 	@echo "make bench-continuous - continuous-batching benchmark -> BENCH_continuous.json (fails if continuous tokens/sec < static batching, short-request p50 improves < 1.5x, or any output diverges from the naive oracle)"
-	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve)"
+	@echo "make bench-serving - serving-under-load + precision-sweep benchmark -> BENCH_serving.json (fails if the async server is slower than sync Pipeline.serve, or calibrated int8 serving agreement < 99%)"
+	@echo "make calibrate-demo - run the int8 calibration walkthrough (examples/calibrate_checkpoint.py)"
 	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
 	@echo "make bench-scale   - sharded-tier scale benchmark -> BENCH_scale.json (fails if outputs diverge from Pipeline.serve, 2-shard speedup < 1.7x, 4-shard speedup < 3x, or a rolling swap drops a request)"
 	@echo "make smoke         - run every example end-to-end"
@@ -54,6 +55,11 @@ bench-deploy:
 
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/scale_benchmark.py --output BENCH_scale.json
+
+# The full calibration workflow (fine-tune -> calibrate -> quantize ->
+# register -> rebuild) at example scale; `make smoke` also runs it.
+calibrate-demo:
+	PYTHONPATH=src $(PYTHON) examples/calibrate_checkpoint.py
 
 # Keep this the single source of truth for what CI executes, so local runs
 # and .github/workflows/ci.yml can never drift apart.  `docs` doubles as the

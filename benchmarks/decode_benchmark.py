@@ -8,14 +8,23 @@ the decode hot path is tracked across PRs:
   exit) if the cached decoder is slower than the naive reference or the two
   paths disagree on token ids.
 * **precision sweep** — cached greedy/beam decode at ``float64`` (the
-  reference), ``float32`` (autocast) and ``int8`` (quantized weights +
-  float32 compute) on a larger, matmul-dominated model, recording per-mode
-  throughput, speedup over float64 and token-agreement rate, plus the
-  on-disk checkpoint size of the float64 vs int8 weight formats.  Fails if
-  float32 cached greedy is slower than float64 or its token agreement drops
-  below ``--agreement-threshold`` (0.99); int8 agreement is recorded but not
-  gated — weight rounding is a real accuracy trade-off, documented in
-  ``docs/numerics.md``.
+  reference), ``float32`` (autocast) and ``int8`` on a larger,
+  matmul-dominated model that is first *briefly trained* (so its logits have
+  real margins — an untrained model's near-argmax ties make token agreement
+  meaningless; see ``docs/numerics.md``), recording per-mode throughput,
+  speedup over float64 and token-agreement rate, plus the on-disk checkpoint
+  size of the float64 vs int8 weight formats.  Two int8 variants run:
+  ``int8_uncalibrated`` (plain weight-max quantization of every module,
+  recorded only — it demonstrates the agreement collapse calibration fixes)
+  and ``int8`` (activation-aware calibration via
+  :func:`repro.nn.calibration.calibrate_policy`: equalization + a
+  mixed-precision policy).  **Gated**: float32 cached greedy must be no
+  slower than float64 with token agreement >= ``--agreement-threshold``
+  (0.99), and calibrated int8 greedy must reach the same agreement bar,
+  a >= ``--int8-speedup-threshold`` (1.5x) speedup over float64, and a
+  >= ``--compression-threshold`` (6x) checkpoint compression — any miss is a
+  non-zero exit.  The calibrated policy itself is written to
+  ``--policy-output`` (``BENCH_quant_policy.json``) as a build artifact.
 
 Run it via ``make bench-decode`` or directly::
 
@@ -33,6 +42,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.nn.calibration import QUANT_MODES, apply_policy, calibrate_policy, token_agreement
+from repro.nn.optim import Adam
 from repro.nn.transformer import T5Model, TransformerConfig
 
 
@@ -90,19 +101,52 @@ def checkpoint_bytes(state: dict[str, np.ndarray]) -> int:
         return path.stat().st_size
 
 
-def token_agreement(reference: np.ndarray, candidate: np.ndarray) -> float:
-    """Fraction of token positions where two same-shape decodes agree."""
-    if reference.shape != candidate.shape:
-        return 0.0
-    return float((reference == candidate).mean())
+def train_sweep_model(model: T5Model, config: TransformerConfig, steps: int, seed: int) -> float:
+    """Briefly train ``model`` on a synthetic shift task; returns the final loss.
+
+    The task (output = input ids shifted by +1) is learnable in ~100 steps at
+    this scale, which is all the sweep needs: trained logits have argmax
+    margins, so token agreement across precisions measures quantization
+    error rather than coin-flip tie-breaking on a random model.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), learning_rate=3e-3)
+    loss_value = float("nan")
+    model.train()
+    for _ in range(steps):
+        sources = rng.integers(4, config.vocab_size - 1, size=(8, 16))
+        optimizer.zero_grad()
+        output = model(sources, labels=sources + 1)
+        output["loss"].backward()
+        optimizer.step()
+        loss_value = float(output["loss"].item())
+    model.eval()
+    return loss_value
 
 
-def run_precision_sweep(args: argparse.Namespace) -> dict:
+def quantized_checkpoint_state(model: T5Model, policy) -> dict[str, np.ndarray]:
+    """The ``weights.npz`` entries ``DataVisT5.save`` would write for ``model``.
+
+    Float32-pinned weights are stored as float32 and the policy travels as a
+    JSON entry, so the measured checkpoint size is the size a calibrated
+    deployment actually pays.
+    """
+    state = model.int8_state_dict()
+    for name in policy.float32_modules:
+        key = f"{name}.weight"
+        if key in state:
+            state[key] = state[key].astype(np.float32)
+    state["__quant_policy__"] = np.array(policy.to_json())
+    return state
+
+
+def run_precision_sweep(args: argparse.Namespace) -> tuple[dict, dict]:
     """Cached decode at float64 / float32 / int8 on a matmul-dominated model.
 
     The sweep model is deliberately larger than the cached-vs-naive one: the
     point is to measure the BLAS-level win of single precision, which a tiny
-    config would bury under per-step python overhead.
+    config would bury under per-step python overhead.  Returns the sweep
+    results plus the calibrated-policy artifact payload.
     """
     config = TransformerConfig(
         vocab_size=args.precision_vocab_size,
@@ -115,23 +159,57 @@ def run_precision_sweep(args: argparse.Namespace) -> dict:
         seed=args.seed,
     )
     model = T5Model(config).eval()
-    rng = np.random.default_rng(args.seed)
-    greedy_inputs = rng.integers(4, config.vocab_size, size=(args.precision_batch_size, args.input_length))
-    beam_inputs = rng.integers(4, config.vocab_size, size=(args.beam_batch_size, args.input_length))
-    # Same architecture and seed -> identical weights; quantized separately so
-    # the float64 reference model stays untouched.
-    int8_model = T5Model(config).eval()
-    int8_model.quantize_int8()
+    final_loss = train_sweep_model(model, config, args.train_steps, args.seed)
+    trained_state = model.state_dict()
+    # Evaluation inputs come from a stream the training loop never saw (the
+    # training batches draw from default_rng(seed)); measuring agreement on
+    # memorized sequences would flatter the uncalibrated quantizer.
+    rng = np.random.default_rng(args.seed + 123)
+    greedy_inputs = rng.integers(4, config.vocab_size - 1, size=(args.precision_batch_size, args.input_length))
+    beam_inputs = rng.integers(4, config.vocab_size - 1, size=(args.beam_batch_size, args.input_length))
+    calibration_inputs = rng.integers(
+        4, config.vocab_size - 1, size=(args.calibration_batch_size, args.input_length)
+    )
 
-    float64_bytes = checkpoint_bytes(model.state_dict())
-    int8_bytes = checkpoint_bytes(int8_model.int8_state_dict())
+    def sibling() -> T5Model:
+        clone = T5Model(config).eval()
+        clone.load_state_dict(trained_state)
+        return clone
+
+    # The collapse exhibit: plain weight-max quantization of every module.
+    naive_model = sibling()
+    naive_model.quantize_int8()
+    # The fix: activation stats + equalization + mixed-precision policy.
+    int8_model = sibling()
+    calibrate_start = time.perf_counter()
+    # Calibrate to a *stricter* bar than the gate: the policy search only
+    # sees the calibration set, and the slack between 0.999 there and 0.99
+    # on the held-out eval set absorbs generalization error.
+    policy, stats = calibrate_policy(
+        int8_model,
+        calibration_inputs,
+        alpha=args.calibration_alpha,
+        target_agreement=args.calibration_target,
+        max_float_fraction=0.10,
+        max_length=args.max_new_tokens,
+    )
+    apply_policy(int8_model, policy, stats)
+    calibrate_seconds = time.perf_counter() - calibrate_start
+
+    float64_bytes = checkpoint_bytes(trained_state)
+    int8_bytes = checkpoint_bytes(quantized_checkpoint_state(int8_model, policy))
 
     def timed(target: T5Model, inputs: np.ndarray, dtype: str, **kwargs) -> tuple[float, np.ndarray]:
         start = time.perf_counter()
         output = target.generate(inputs, dtype=dtype, **kwargs)
         return time.perf_counter() - start, output
 
-    modes = {"float64": (model, "float64"), "float32": (model, "float32"), "int8": (int8_model, "float32")}
+    modes = {
+        "float64": (model, "float64"),
+        "float32": (model, "float32"),
+        "int8_uncalibrated": (naive_model, "float32"),
+        "int8": (int8_model, "float32"),
+    }
     greedy: dict[str, dict] = {}
     beam: dict[str, dict] = {}
     greedy_reference = beam_reference = None
@@ -161,7 +239,7 @@ def run_precision_sweep(args: argparse.Namespace) -> dict:
             "token_agreement_vs_float64": token_agreement(beam_reference, output),
         }
 
-    return {
+    sweep = {
         "model": {
             "d_model": config.d_model,
             "num_heads": config.num_heads,
@@ -170,12 +248,16 @@ def run_precision_sweep(args: argparse.Namespace) -> dict:
             "vocab_size": config.vocab_size,
             "parameters": model.num_parameters(),
         },
+        "train_steps": args.train_steps,
+        "final_train_loss": round(final_loss, 4),
         "batch_size": args.precision_batch_size,
         "new_tokens_per_sequence": args.max_new_tokens,
         "beam_batch_size": args.beam_batch_size,
         "beam_new_tokens_per_sequence": args.beam_new_tokens,
         "num_beams": args.num_beams,
         "agreement_threshold": args.agreement_threshold,
+        "int8_speedup_threshold": args.int8_speedup_threshold,
+        "compression_threshold": args.compression_threshold,
         "greedy": greedy,
         "beam": beam,
         "checkpoint": {
@@ -184,6 +266,18 @@ def run_precision_sweep(args: argparse.Namespace) -> dict:
             "compression_ratio": round(float64_bytes / int8_bytes, 3),
         },
     }
+    mode_counts = {mode: sum(1 for m in policy.modes.values() if m == mode) for mode in QUANT_MODES}
+    policy_payload = {
+        "benchmark": "quant_policy",
+        "policy": policy.as_dict(),
+        "calibration_seconds": round(calibrate_seconds, 3),
+        "calibration_batch_size": args.calibration_batch_size,
+        "float32_pinned_modules": list(policy.float32_modules),
+        "assigned_mode_counts": mode_counts,
+        "greedy_agreement_calibrated": greedy["int8"]["token_agreement_vs_float64"],
+        "greedy_agreement_uncalibrated": greedy["int8_uncalibrated"]["token_agreement_vs_float64"],
+    }
+    return sweep, policy_payload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -203,7 +297,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--precision-num-heads", type=int, default=8)
     parser.add_argument("--precision-vocab-size", type=int, default=512)
     parser.add_argument("--precision-batch-size", type=int, default=32)
-    parser.add_argument("--agreement-threshold", type=float, default=0.99, help="minimum fp32 greedy token agreement")
+    parser.add_argument(
+        "--agreement-threshold",
+        type=float,
+        default=0.99,
+        help="minimum greedy token agreement for fp32 AND calibrated int8",
+    )
+    parser.add_argument(
+        "--int8-speedup-threshold", type=float, default=1.5, help="minimum calibrated int8 greedy speedup vs float64"
+    )
+    parser.add_argument(
+        "--compression-threshold", type=float, default=6.0, help="minimum int8 checkpoint compression vs float64"
+    )
+    parser.add_argument(
+        "--train-steps", type=int, default=150, help="sweep-model training steps (margins for agreement measurement)"
+    )
+    # Agreement damage is sequence-dependent (a diverging sequence wrecks
+    # most of its positions; the rest agree perfectly), so the calibration
+    # set must be large enough to contain diverging sequences at all — too
+    # small a set sees none and the policy search under-pins.
+    parser.add_argument("--calibration-batch-size", type=int, default=96, help="held-out calibration sequences")
+    parser.add_argument("--calibration-alpha", type=float, default=0.5, help="SmoothQuant outlier-migration knob")
+    parser.add_argument(
+        "--calibration-target",
+        type=float,
+        default=0.999,
+        help="agreement the policy search aims for on the calibration set (stricter than the gate)",
+    )
+    parser.add_argument(
+        "--policy-output", type=Path, default=Path("BENCH_quant_policy.json"), help="calibrated QuantPolicy artifact"
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -228,10 +351,12 @@ def main(argv: list[str] | None = None) -> int:
         },
         "greedy": run_mode(model, greedy_inputs, args.max_new_tokens, num_beams=1),
         "beam": run_mode(model, beam_inputs, args.beam_new_tokens, num_beams=args.num_beams),
-        "precision_sweep": run_precision_sweep(args),
     }
+    sweep_results, policy_payload = run_precision_sweep(args)
+    results["precision_sweep"] = sweep_results
 
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    args.policy_output.write_text(json.dumps(policy_payload, indent=2) + "\n", encoding="utf-8")
 
     failures = []
     for mode in ("greedy", "beam"):
@@ -247,10 +372,10 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{mode}: cached decode is slower than naive ({entry['speedup']:.2f}x)")
 
     sweep = results["precision_sweep"]
-    for mode in ("float64", "float32", "int8"):
+    for mode in ("float64", "float32", "int8_uncalibrated", "int8"):
         entry = sweep["greedy"][mode]
         print(
-            f"{mode:>7}: greedy {entry['tokens_per_sec']:>9.1f} tok/s "
+            f"{mode:>17}: greedy {entry['tokens_per_sec']:>9.1f} tok/s "
             f"({entry['speedup_vs_float64']:.2f}x vs fp64, agreement {entry['token_agreement_vs_float64']:.4f}) | "
             f"beam {sweep['beam'][mode]['tokens_per_sec']:>9.1f} tok/s "
             f"({sweep['beam'][mode]['speedup_vs_float64']:.2f}x)"
@@ -260,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
         f"checkpoint: fp64 {checkpoint['float64_bytes']} B | int8 {checkpoint['int8_bytes']} B | "
         f"{checkpoint['compression_ratio']:.2f}x smaller"
     )
+    print(f"calibration: pinned {policy_payload['float32_pinned_modules']} to float32")
     fp32_greedy = sweep["greedy"]["float32"]
     if fp32_greedy["speedup_vs_float64"] < 1.0:
         failures.append(
@@ -271,7 +397,23 @@ def main(argv: list[str] | None = None) -> int:
             f"precision: float32 greedy token agreement {fp32_greedy['token_agreement_vs_float64']:.4f} "
             f"below threshold {args.agreement_threshold}"
         )
-    print(f"wrote {args.output}")
+    int8_greedy = sweep["greedy"]["int8"]
+    if int8_greedy["token_agreement_vs_float64"] < args.agreement_threshold:
+        failures.append(
+            f"precision: calibrated int8 greedy token agreement "
+            f"{int8_greedy['token_agreement_vs_float64']:.4f} below threshold {args.agreement_threshold}"
+        )
+    if int8_greedy["speedup_vs_float64"] < args.int8_speedup_threshold:
+        failures.append(
+            f"precision: calibrated int8 greedy speedup {int8_greedy['speedup_vs_float64']:.2f}x "
+            f"below threshold {args.int8_speedup_threshold}x"
+        )
+    if checkpoint["compression_ratio"] < args.compression_threshold:
+        failures.append(
+            f"precision: int8 checkpoint compression {checkpoint['compression_ratio']:.2f}x "
+            f"below threshold {args.compression_threshold}x"
+        )
+    print(f"wrote {args.output} and {args.policy_output}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -19,13 +19,21 @@ their outputs are bitwise-identical, writes ``BENCH_serving.json``
 each path and the server's batch/queue telemetry), and exits non-zero if
 async throughput falls below the synchronous baseline or any output differs.
 
-A third section sweeps the server's ``ServerConfig.precision`` knob: the
+A third section sweeps the server's ``ServerConfig.precision`` knob.  The
+serving model is first fine-tuned for a few steps on serving-format
+(source, target) pairs — an untrained model emits near-uniform logits whose
+argmax survives any quantizer, which silently hides int8 damage — then the
 same request burst is pushed through the async server with float64, float32
-and int8 (quantized-weights) engines, recording per-mode throughput, the
-speedup over float64 and the output-agreement rate.  The sweep is recorded,
-not gated — at smoke scale the tiny model's forward passes are too small for
-single precision to pay off reliably; ``make bench-decode`` owns the
-precision performance gate on a matmul-dominated model.
+and two int8 siblings: ``int8_uncalibrated`` (plain symmetric
+``quantize_int8()``, recorded as the agreement-collapse exhibit) and
+``int8`` (calibrated via :meth:`DataVisT5.calibrate` on held-out
+serving-format texts, then quantized under the resulting policy).  Per-mode
+throughput and speedup stay recorded, not gated — at smoke scale the tiny
+model's forward passes are too small for precision to pay off reliably;
+``make bench-decode`` owns the precision performance gates.  The *output
+agreement* of the calibrated ``int8`` mode against float64, however, is
+**gated**: below ``--int8-agreement-threshold`` (default 0.99) the
+benchmark exits non-zero.
 
 Run it via ``make bench-serving`` or directly::
 
@@ -48,12 +56,39 @@ from repro.datasets import build_database_pool, generate_nvbench
 from repro.serving import Pipeline, PipelineConfig, Request, Server, ServerConfig, serve_requests
 
 
-def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], dict, DataVisT5, DataVisT5]:
+def finetune(model: DataVisT5, pairs: list[tuple[str, str]], steps: int, seed: int) -> float:
+    """A few epochs of supervised fine-tuning on serving-format pairs.
+
+    The precision sweep needs a model whose logits carry learned structure:
+    an untrained model's near-argmax-stable noise floor makes every
+    quantizer look perfect.  Returns the final training loss.
+    """
+    optimizer = model.make_optimizer(total_steps=steps, learning_rate=5e-3)
+    rng = random.Random(seed)
+    order = list(range(len(pairs)))
+    batch_size, cursor, loss = 8, len(order), 0.0
+    for _ in range(steps):
+        if cursor + batch_size > len(order):
+            rng.shuffle(order)
+            cursor = 0
+        chosen = order[cursor : cursor + batch_size]
+        cursor += batch_size
+        batch = model.collate([pairs[i][0] for i in chosen], [pairs[i][1] for i in chosen])
+        loss = model.train_step(batch, optimizer)
+    return loss
+
+
+def build_trace(
+    args: argparse.Namespace,
+) -> tuple[list[tuple[float, Request]], dict, DataVisT5, dict[str, DataVisT5], dict]:
     """(arrival_time, request) pairs — bursty mixed-task traffic — plus the models.
 
-    Returns the float64 serving model and a weight-identical int8-quantized
-    sibling (same seeded build, separate config instance) for the precision
-    sweep.
+    Builds and fine-tunes the float64 serving model, then derives two
+    weight-identical int8 siblings via ``clone_architecture`` +
+    ``copy_weights_from``: ``int8_uncalibrated`` (plain symmetric
+    quantization) and ``int8`` (calibrated on held-out serving-format
+    texts).  Returns the trace, workload description, float64 model, the
+    int8 siblings, and the calibration record for the output JSON.
     """
     pool = build_database_pool(num_databases=4, seed=args.seed)
     nvbench = generate_nvbench(pool, examples_per_database=8, seed=args.seed)
@@ -66,18 +101,64 @@ def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], 
     texts = [example.question for example in nvbench.examples[:24]]
     texts += [example.query_text for example in nvbench.examples[:24]]
     model = DataVisT5.from_corpus(texts, config=make_config(), max_vocab_size=800)
-    model_int8 = DataVisT5.from_corpus(texts, config=make_config(), max_vocab_size=800).quantize_int8()
 
     unique: list[Request] = []
+    targets: list[str] = []
     for example in nvbench.examples:
         schema = pool.get(example.db_id).schema
         unique.append(Request(task="text_to_vis", question=example.question, schema=schema))
+        targets.append(example.query_text)
         unique.append(Request(task="vis_to_text", chart=example.query, schema=schema))
+        targets.append(example.question)
         unique.append(
             Request(task="fevisqa", question="How many parts are there ?", chart=example.query, schema=schema)
         )
+        targets.append(f"there are {len(example.query.to_text().split())} parts")
+
+    # Fine-tune on the exact source encodings the pipeline serves, so the
+    # learned distribution (and therefore the quantization damage) lives on
+    # serving-format inputs rather than raw corpus text.
+    scratch = Pipeline.from_model(model)
+    sources = [scratch.prepare(request).source for request in unique]
+    final_loss = finetune(model, list(zip(sources, targets)), steps=args.train_steps, seed=args.seed)
+
+    def sibling() -> DataVisT5:
+        twin = model.clone_architecture()
+        twin.copy_weights_from(model)
+        return twin
+
+    naive = sibling().quantize_int8()
+
     rng = random.Random(args.seed)
-    rng.shuffle(unique)
+    paired = list(zip(unique, sources))
+    rng.shuffle(paired)
+    unique = [request for request, _ in paired]
+
+    calibrated = sibling()
+    calibration_start = time.perf_counter()
+    # The trace below only ever serves the first num_requests entries of the
+    # shuffled request list; the tail is genuinely held out and calibrates
+    # the policy.
+    held_out = [source for _, source in paired[args.num_requests :]] or sources
+    policy = calibrated.calibrate(
+        held_out,
+        n=args.calibration_samples,
+        alpha=args.calibration_alpha,
+        target_agreement=args.calibration_target,
+        max_float_fraction=args.max_float_fraction,
+        max_length=args.decode_length,
+    )
+    calibrated.quantize_int8()
+    calibration = {
+        "samples": min(args.calibration_samples, len(held_out)),
+        "alpha": args.calibration_alpha,
+        "target_agreement": args.calibration_target,
+        "max_float_fraction": args.max_float_fraction,
+        "float32_pinned_modules": list(policy.float32_modules),
+        "seconds": round(time.perf_counter() - calibration_start, 3),
+        "train_steps": args.train_steps,
+        "final_train_loss": round(final_loss, 4),
+    }
 
     requests: list[Request] = []
     while len(requests) < args.num_requests:
@@ -102,7 +183,7 @@ def build_trace(args: argparse.Namespace) -> tuple[list[tuple[float, Request]], 
         "duplicate_rate": args.duplicate_rate,
         "tasks": tasks,
     }
-    return trace, workload, model, model_int8
+    return trace, workload, model, {"int8_uncalibrated": naive, "int8": calibrated}, calibration
 
 
 def run_sync(model: DataVisT5, trace: list[tuple[float, Request]], max_batch: int) -> tuple[float, list[str], list[float]]:
@@ -162,17 +243,18 @@ def run_async(
 
 
 def run_precision_sweep(
-    model: DataVisT5, model_int8: DataVisT5, requests: list[Request], args: argparse.Namespace
+    model: DataVisT5, int8_models: dict[str, DataVisT5], requests: list[Request], args: argparse.Namespace
 ) -> dict:
     """Serve the same burst through the async server at every precision mode.
 
     Each mode gets a fresh pipeline (cold caches) over weight-identical
-    models — the int8 model is the same seeded build, quantized — so the
-    only difference between runs is the engines' compute/storage precision.
-    Agreement is the fraction of responses whose output text matches the
-    float64 run exactly.
+    models — the int8 siblings carry the float64 model's trained weights,
+    quantized — so the only difference between runs is the engines'
+    compute/storage precision and (for ``int8``) the calibrated
+    mixed-precision layout.  Agreement is the fraction of responses whose
+    output text matches the float64 run exactly.
     """
-    modes = {"float64": model, "float32": model, "int8": model_int8}
+    modes = {"float64": model, "float32": model, **int8_models}
     sweep: dict[str, dict] = {}
     reference: list[str] | None = None
     for mode, backend in modes.items():
@@ -182,7 +264,7 @@ def run_precision_sweep(
             max_wait_ms=args.max_wait_ms,
             queue_size=max(len(requests), 1),
             num_workers=args.num_workers,
-            precision=mode,
+            precision="int8" if mode.startswith("int8") else mode,
         )
         start = time.perf_counter()
         responses, _ = serve_requests(pipeline, requests, config=config)
@@ -227,9 +309,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--num-workers", type=int, default=2)
     parser.add_argument("--decode-length", type=int, default=24)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--train-steps", type=int, default=150, help="fine-tuning steps before serving")
+    parser.add_argument("--calibration-samples", type=int, default=24)
+    parser.add_argument("--calibration-alpha", type=float, default=0.5)
+    parser.add_argument(
+        "--calibration-target", type=float, default=0.999, help="agreement target the policy search calibrates to"
+    )
+    parser.add_argument(
+        "--max-float-fraction", type=float, default=0.25, help="float32 pin budget (fraction of quantizable params)"
+    )
+    parser.add_argument(
+        "--int8-agreement-threshold",
+        type=float,
+        default=0.99,
+        help="gated: calibrated int8 output agreement vs float64 must reach this",
+    )
     args = parser.parse_args(argv)
 
-    trace, workload, model, model_int8 = build_trace(args)
+    trace, workload, model, int8_models, calibration = build_trace(args)
 
     # Warm the model once (BLAS thread pools, allocator) outside both
     # measured paths so neither pays first-call overheads.
@@ -237,7 +334,7 @@ def main(argv: list[str] | None = None) -> int:
 
     sync_seconds, sync_outputs, sync_latencies = run_sync(model, trace, args.max_batch)
     async_seconds, async_outputs, async_latencies, server_stats = run_async(model, trace, args)
-    precision_sweep = run_precision_sweep(model, model_int8, [request for _, request in trace], args)
+    precision_sweep = run_precision_sweep(model, int8_models, [request for _, request in trace], args)
 
     equivalent = sync_outputs == async_outputs
     results = {
@@ -264,6 +361,8 @@ def main(argv: list[str] | None = None) -> int:
         "throughput_ratio": round(sync_seconds / async_seconds, 3),
         "equivalent": equivalent,
         "precision_sweep": precision_sweep,
+        "calibration": calibration,
+        "int8_agreement_threshold": args.int8_agreement_threshold,
     }
     args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
 
@@ -277,10 +376,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"async/sync throughput ratio: {results['throughput_ratio']:.2f}x | equivalent={equivalent}")
     for mode, entry in precision_sweep.items():
         print(
-            f"{mode:>7}: {entry['requests_per_sec']:>7.1f} req/s "
+            f"{mode:>17}: {entry['requests_per_sec']:>7.1f} req/s "
             f"({entry['speedup_vs_float64']:.2f}x vs fp64, "
             f"agreement {entry['output_agreement_vs_float64']:.4f})"
         )
+    if calibration["float32_pinned_modules"]:
+        print(f"calibration: pinned {calibration['float32_pinned_modules']} to float32")
     print(f"wrote {args.output}")
 
     failures = []
@@ -289,6 +390,13 @@ def main(argv: list[str] | None = None) -> int:
     if results["throughput_ratio"] < 1.0:
         failures.append(
             f"async throughput regressed below the synchronous baseline ({results['throughput_ratio']:.2f}x)"
+        )
+    int8_agreement = precision_sweep["int8"]["output_agreement_vs_float64"]
+    if int8_agreement < args.int8_agreement_threshold:
+        failures.append(
+            f"calibrated int8 serving output agreement {int8_agreement:.4f} is below the "
+            f"{args.int8_agreement_threshold} gate (uncalibrated sibling: "
+            f"{precision_sweep['int8_uncalibrated']['output_agreement_vs_float64']:.4f})"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

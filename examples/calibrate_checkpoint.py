@@ -1,0 +1,95 @@
+"""Calibrating a checkpoint: activation-aware int8 with a mixed-precision policy.
+
+The int8 quantization walkthrough (``docs/numerics.md``), end to end at a
+miniature scale:
+
+1. fine-tune a tiny DataVisT5 on serving-format (source, target) pairs;
+2. :meth:`DataVisT5.calibrate` on held-out texts — collect activation
+   statistics, scan per-module sensitivity, and search the mixed-precision
+   :class:`~repro.nn.calibration.QuantPolicy` (SmoothQuant-style
+   equalization folded in, worst offenders pinned to float32);
+3. :meth:`quantize_int8` under the policy, and compare greedy decodes
+   against a float64 sibling on held-out questions;
+4. persist the calibrated checkpoint, register it, and rebuild it through
+   the :class:`~repro.deploy.registry.ModelRegistry` — the deployed model
+   reconstructs the exact calibrated layout from the manifest.
+
+Run with::
+
+    python examples/calibrate_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.core import DataVisT5, DataVisT5Config
+from repro.datasets import build_database_pool, generate_nvbench
+from repro.deploy import ModelRegistry
+from repro.nn.calibration import quantizable_modules
+
+
+def main() -> None:
+    print("== 1. fine-tuning a tiny model on serving-format pairs ==")
+    pool = build_database_pool(num_databases=3, seed=0)
+    nvbench = generate_nvbench(pool, examples_per_database=8, seed=0)
+    texts = [example.question for example in nvbench.examples]
+    texts += [example.query_text for example in nvbench.examples]
+
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=32, max_decode_length=16
+    )
+    model = DataVisT5.from_corpus(texts, config=config, max_vocab_size=600)
+    print(f"model parameters    : {model.num_parameters():,}")
+
+    pairs = [(example.question, example.query_text) for example in nvbench.examples]
+    steps = 120
+    optimizer = model.make_optimizer(total_steps=steps, learning_rate=5e-3)
+    rng, loss = random.Random(0), 0.0
+    for _ in range(steps):
+        chosen = rng.sample(pairs, k=min(8, len(pairs)))
+        batch = model.collate([s for s, _ in chosen], [t for _, t in chosen])
+        loss = model.train_step(batch, optimizer)
+    print(f"final training loss : {loss:.3f} ({steps} steps)")
+
+    # A float64 sibling keeps the reference predictions.
+    reference = model.clone_architecture()
+    reference.copy_weights_from(model)
+
+    print("\n== 2. calibrating on held-out texts ==")
+    held_out = [example.question for example in nvbench.examples[-8:]]
+    policy = model.calibrate(held_out, n=8, target_agreement=0.99, max_float_fraction=0.25)
+    modules = quantizable_modules(model.model)
+    print(f"quantizable modules : {len(modules)}")
+    print(f"alpha (equalization): {policy.alpha}")
+    print(f"float32-pinned      : {list(policy.float32_modules) or '(none)'}")
+    asym = sorted(name for name, mode in policy.modes.items() if mode == "int8_asym")
+    print(f"zero-point modules  : {asym or '(none)'}")
+
+    print("\n== 3. quantizing under the policy ==")
+    model.quantize_int8()
+    questions = [example.question for example in nvbench.examples[:6]]
+    fp64 = reference.predict_batch(questions)
+    int8 = model.predict_batch(questions)
+    agree = sum(a == b for a, b in zip(fp64, int8))
+    print(f"greedy agreement    : {agree}/{len(questions)} held-out questions match float64")
+    print(f"example prediction  : {int8[0][:72]}")
+
+    print("\n== 4. registering and rebuilding the calibrated deployment ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry.json")
+        manifest = registry.register_checkpoint("calibrated", model, Path(tmp) / "ckpt")
+        print(f"registered          : {manifest.id} (fingerprint {manifest.fingerprint[:23]}...)")
+        print(f"manifest calibration: {len(manifest.calibration['modes'])} module modes recorded")
+        pipeline = registry.build_pipeline("calibrated")
+        deployed = pipeline.model
+        assert deployed.quant_policy == policy
+        rebuilt = deployed.predict_batch(questions)
+        print(f"deployed agreement  : {sum(a == b for a, b in zip(int8, rebuilt))}/{len(questions)} "
+              "match the local quantized model")
+
+
+if __name__ == "__main__":
+    main()

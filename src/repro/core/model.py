@@ -21,8 +21,12 @@ import numpy as np
 from repro.core.batching import Batch, collate_text_pairs
 from repro.core.config import DataVisT5Config, precision_compute_dtype, validate_precision
 from repro.errors import ModelConfigError
+from repro.nn.calibration import QuantPolicy, apply_policy, calibrate_policy
 from repro.nn.optim import Adam, LinearWarmupSchedule, clip_grad_norm
 from repro.nn.transformer import T5Model
+
+#: Reserved ``weights.npz`` entry carrying the serialized :class:`QuantPolicy`.
+QUANT_POLICY_KEY = "__quant_policy__"
 from repro.tokenization.tokenizer import DataVisTokenizer
 from repro.tokenization.vocab import Vocabulary
 
@@ -62,6 +66,8 @@ class DataVisT5:
             bos_id=tokenizer.vocab.bos_id,
         )
         self.model = T5Model(transformer_config)
+        self.quant_policy: QuantPolicy | None = None
+        self._calibration_stats: dict | None = None
         if config.precision == "int8":
             # An int8 config means "this instance is quantized"; loading a
             # checkpoint afterwards simply overwrites codes and scales.
@@ -93,8 +99,63 @@ class DataVisT5:
         """Whether the transformer's weights are stored as int8 codes + scales."""
         return self.model.quantized
 
-    def quantize_int8(self) -> "DataVisT5":
+    def calibrate(
+        self,
+        texts: Sequence[str],
+        n: int = 64,
+        alpha: float = 0.5,
+        target_agreement: float = 0.995,
+        max_float_fraction: float = 0.10,
+        max_length: int | None = None,
+    ) -> QuantPolicy:
+        """Calibrate an int8 quantization policy on held-out source texts.
+
+        Runs up to ``n`` of ``texts`` through the float64 model to collect
+        per-channel activation statistics, scans per-module sensitivity and
+        searches for the mixed-precision :class:`~repro.nn.calibration.QuantPolicy`
+        that keeps greedy decode agreement at or above ``target_agreement``
+        (pinning at most ``max_float_fraction`` of the quantizable parameters
+        to float32).  ``alpha`` is the SmoothQuant-style outlier-migration
+        knob (0 = weight-only scales, 1 = activation-only).  The policy and
+        the activation statistics are stored on the instance so a subsequent
+        :meth:`quantize_int8` applies them by default, and :meth:`save`
+        persists the policy inside ``weights.npz``.  The model itself stays
+        unquantized (and trainable) until :meth:`quantize_int8` is called.
+        See ``docs/numerics.md`` for the full workflow.
+        """
+        if self.quantized:
+            raise ModelConfigError("calibrate() needs float weights; the model is already int8")
+        if not texts:
+            raise ModelConfigError("calibrate() needs at least one calibration text")
+        if n < 1:
+            raise ModelConfigError(f"calibration sample count must be >= 1, got {n}")
+        sample = list(texts)[:n]
+        self.model.eval()
+        encoded = self.tokenizer.batch_encode(sample, max_length=self.config.max_input_length)
+        from repro.core.batching import pad_sequences
+
+        input_ids = pad_sequences(encoded, self.tokenizer.vocab.pad_id, self.config.max_input_length)
+        policy, stats = calibrate_policy(
+            self.model,
+            input_ids,
+            alpha=alpha,
+            target_agreement=target_agreement,
+            max_float_fraction=max_float_fraction,
+            max_length=max_length or self.config.max_decode_length,
+        )
+        self.quant_policy = policy
+        self._calibration_stats = stats
+        return policy
+
+    def quantize_int8(self, policy: QuantPolicy | None = None) -> "DataVisT5":
         """Quantize every projection/embedding weight to int8 in place.
+
+        With a :class:`~repro.nn.calibration.QuantPolicy` — passed explicitly
+        or left over from :meth:`calibrate` / an int8 checkpoint — each
+        module takes its calibrated mode (symmetric int8, zero-point int8, or
+        a float32 pin), with activation-aware equalization folded in when the
+        calibration statistics are available on this instance.  Without any
+        policy every module is quantized symmetrically, as before.
 
         Flips the instance's default precision to ``"int8"`` (so ``predict``
         decodes in float32 over the quantized weights) and freezes the
@@ -103,8 +164,13 @@ class DataVisT5:
         the caller's config instance are unaffected.  Returns ``self`` for
         chaining.
         """
+        policy = policy or self.quant_policy
         if not self.quantized:
-            self.model.quantize_int8()
+            if policy is not None:
+                apply_policy(self.model, policy, self._calibration_stats)
+            else:
+                self.model.quantize_int8()
+        self.quant_policy = policy
         self.config = replace(self.config, precision="int8")
         return self
 
@@ -225,10 +291,16 @@ class DataVisT5:
 
         Quantized models persist their weights as int8 codes plus per-row
         scales (``<name>.int8`` / ``<name>.int8_scale`` entries in
-        ``weights.npz``), which shrinks the checkpoint by roughly the
-        quantized fraction of the parameters (~8x on the projection and
-        embedding weights); :meth:`load` reconstructs the exact same
-        dequantized masters bitwise.
+        ``weights.npz``, plus ``.int8_zp`` / ``.int8_eq`` for calibrated
+        zero points and equalization), which shrinks the checkpoint by
+        roughly the quantized fraction of the parameters (~8x on the
+        projection and embedding weights); :meth:`load` reconstructs the
+        exact same dequantized masters bitwise.  A calibrated
+        :class:`~repro.nn.calibration.QuantPolicy` travels inside
+        ``weights.npz`` under :data:`QUANT_POLICY_KEY`, and its float32-pinned
+        weights are stored as float32 (the in-memory masters were already
+        snapped to float32 precision when the policy was applied, so the
+        round trip stays bitwise).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -249,6 +321,13 @@ class DataVisT5:
         (directory / "config.json").write_text(json.dumps(config_payload, indent=2), encoding="utf-8")
         self.tokenizer.vocab.save(directory / "vocab.json")
         state = self.model.int8_state_dict() if self.quantized else self.model.state_dict()
+        if self.quant_policy is not None:
+            if self.quantized:
+                for name in self.quant_policy.float32_modules:
+                    key = f"{name}.weight"
+                    if key in state:
+                        state[key] = state[key].astype(np.float32)
+            state[QUANT_POLICY_KEY] = np.array(self.quant_policy.to_json())
         np.savez(directory / "weights.npz", **state)
 
     @classmethod
@@ -257,7 +336,11 @@ class DataVisT5:
 
         Int8 checkpoints round-trip bitwise: the loaded model's codes, scales
         and dequantized masters equal the saved model's exactly, so its
-        predictions are identical.
+        predictions are identical.  A persisted
+        :class:`~repro.nn.calibration.QuantPolicy` is restored onto
+        ``quant_policy`` (and re-validated — a tampered policy entry fails
+        loudly), so re-quantizing a float checkpoint or rebuilding a deployed
+        pipeline reuses the exact calibrated configuration.
         """
         directory = Path(directory)
         config_path = directory / "config.json"
@@ -272,6 +355,9 @@ class DataVisT5:
         model = cls(config, tokenizer)
         with np.load(weights_path) as data:
             state = {name: data[name] for name in data.files}
+        policy_entry = state.pop(QUANT_POLICY_KEY, None)
+        if policy_entry is not None:
+            model.quant_policy = QuantPolicy.from_json(str(policy_entry))
         model.model.load_state_dict(state)
         return model
 

@@ -26,6 +26,7 @@ from repro.core.config import validate_precision
 from repro.core.model import checkpoint_fingerprint
 from repro.deploy.router import deployment_id
 from repro.errors import ModelConfigError
+from repro.nn.calibration import QuantPolicy
 from repro.serving.protocol import SERVABLE_TASKS
 
 #: The decode knobs a manifest may pin (applied to the deployment's engines).
@@ -42,7 +43,10 @@ class DeploymentManifest:
     builders) must be set — the two backend families the serving layer knows
     how to build.  ``tasks`` declares the serving surface; ``precision`` and
     ``decode`` pin the inference knobs (see ``docs/numerics.md`` and
-    ``docs/decoding.md``); ``metadata`` is free-form operator context
+    ``docs/decoding.md``); ``calibration`` records the checkpoint's int8
+    :class:`~repro.nn.calibration.QuantPolicy` (its ``as_dict`` form) so
+    ``build_pipeline`` can reconstruct the exact calibrated mixed-precision
+    model; ``metadata`` is free-form operator context
     (training run, dataset hash, owner...).  ``repro_version`` is stamped
     automatically.
     """
@@ -55,6 +59,7 @@ class DeploymentManifest:
     backends: dict | None = None
     precision: str | None = None
     decode: dict = field(default_factory=dict)
+    calibration: dict | None = None
     metadata: dict = field(default_factory=dict)
     repro_version: str = __version__
 
@@ -114,6 +119,11 @@ class DeploymentManifest:
             )
         if "use_cache" in self.decode and not isinstance(self.decode["use_cache"], bool):
             raise ModelConfigError("decode setting 'use_cache' must be a bool")
+        if self.calibration is not None:
+            if self.checkpoint is None:
+                raise ModelConfigError("a calibration policy is only meaningful with a checkpoint")
+            # from_dict is strict, so an edited-on-disk policy fails here.
+            QuantPolicy.from_dict(self.calibration)
         if not isinstance(self.metadata, dict):
             raise ModelConfigError("manifest metadata must be a dict")
         if not isinstance(self.repro_version, str) or not self.repro_version:
@@ -150,6 +160,7 @@ class DeploymentManifest:
             "backends": self.backends,
             "precision": self.precision,
             "decode": dict(self.decode),
+            "calibration": dict(self.calibration) if self.calibration is not None else None,
             "metadata": dict(self.metadata),
             "repro_version": self.repro_version,
         }

@@ -36,6 +36,7 @@ from repro.core.model import DataVisT5, checkpoint_fingerprint
 from repro.deploy.manifest import DeploymentManifest
 from repro.deploy.router import parse_ref
 from repro.errors import ModelConfigError
+from repro.nn.calibration import QuantPolicy
 from repro.serving.pipeline import Pipeline, PipelineConfig
 from repro.serving.protocol import SERVABLE_TASKS
 
@@ -92,7 +93,11 @@ class ModelRegistry:
         The one-call path from a trained model to a deployable version: the
         checkpoint is written with :meth:`DataVisT5.save`, its ``weights.npz``
         content hash is recorded, and the manifest is minted at
-        :meth:`next_version` for ``name``.  Returns the registered manifest.
+        :meth:`next_version` for ``name``.  A calibrated model's
+        :class:`~repro.nn.calibration.QuantPolicy` is recorded in the
+        manifest's ``calibration`` field automatically (the checkpoint itself
+        also embeds it, under the fingerprint).  Returns the registered
+        manifest.
         """
         directory = Path(directory)
         model.save(directory)
@@ -104,6 +109,7 @@ class ModelRegistry:
             fingerprint=checkpoint_fingerprint(directory),
             precision=precision,
             decode=dict(decode or {}),
+            calibration=model.quant_policy.as_dict() if model.quant_policy is not None else None,
             metadata=dict(metadata or {}),
         )
         self.register(manifest)
@@ -187,13 +193,17 @@ class ModelRegistry:
         Runs :meth:`verify` first — nothing unverified is ever instantiated.
         Checkpoint manifests load the saved :class:`DataVisT5` and apply the
         manifest's ``precision`` (quantizing on load when ``"int8"`` is asked
-        of a float checkpoint) and ``decode`` settings on top of ``config``;
+        of a float checkpoint — honoring the manifest's recorded
+        ``calibration`` policy, so the deployed mixed-precision layout matches
+        what was calibrated) and ``decode`` settings on top of ``config``;
         config manifests build their baselines through
         :meth:`Pipeline.from_config`.
         """
         manifest = self.verify(ref)
         if manifest.checkpoint is not None:
             model = DataVisT5.load(manifest.checkpoint)
+            if manifest.calibration is not None and model.quant_policy is None:
+                model.quant_policy = QuantPolicy.from_dict(manifest.calibration)
             if manifest.precision == "int8" and not model.quantized:
                 model.quantize_int8()
             pipeline_config = config or PipelineConfig()

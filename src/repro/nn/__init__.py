@@ -6,6 +6,9 @@ package provides the pieces that stack supplies:
 
 * :mod:`repro.nn.tensor` -- a reverse-mode autograd engine over numpy arrays;
 * :mod:`repro.nn.layers` -- modules (Linear, Embedding, RMSNorm, Dropout);
+* :mod:`repro.nn.calibration` -- activation-aware int8 calibration:
+  activation statistics, SmoothQuant-style equalization, and mixed-precision
+  :class:`~repro.nn.calibration.QuantPolicy` search;
 * :mod:`repro.nn.attention` -- multi-head attention with T5 relative
   position biases and an optional K/V-cache fast path;
 * :mod:`repro.nn.decode_cache` -- per-layer key/value caches for
@@ -24,7 +27,20 @@ objectives are the same shape as the paper's.
 from repro.nn.tensor import Tensor, autocast, compute_dtype, no_grad
 from repro.nn import functional
 from repro.nn.decode_cache import DecodeCache, KVState, LayerKVCache, PagedKVArena, PagedSequence
-from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter, symmetric_int8
+from repro.nn.layers import Module, Linear, Embedding, RMSNorm, Dropout, Parameter, asymmetric_int8, symmetric_int8
+from repro.nn.calibration import (
+    ActivationObserver,
+    ActivationStats,
+    QuantPolicy,
+    apply_policy,
+    calibrate_policy,
+    collect_activation_stats,
+    equalization_scales,
+    observe_activations,
+    quantizable_modules,
+    sensitivity_scan,
+    token_agreement,
+)
 from repro.nn.attention import MultiHeadAttention, RelativePositionBias
 from repro.nn.transformer import PagedDecodeBatch, TransformerConfig, T5Model, TransformerEncoder, TransformerDecoder
 from repro.nn.rnn import GRUCell, GRUEncoder, AttentionGRUDecoder, Seq2SeqModel
@@ -36,6 +52,18 @@ __all__ = [
     "autocast",
     "compute_dtype",
     "symmetric_int8",
+    "asymmetric_int8",
+    "ActivationObserver",
+    "ActivationStats",
+    "QuantPolicy",
+    "apply_policy",
+    "calibrate_policy",
+    "collect_activation_stats",
+    "equalization_scales",
+    "observe_activations",
+    "quantizable_modules",
+    "sensitivity_scan",
+    "token_agreement",
     "functional",
     "DecodeCache",
     "KVState",

@@ -1,0 +1,617 @@
+"""Activation-aware int8 calibration: statistics, equalization, mixed precision.
+
+Weight-max quantization (:func:`repro.nn.layers.symmetric_int8` alone) spends
+its 127 levels uniformly across input channels, but decode error is anything
+but uniform: the logit damage of rounding ``W_ij`` is proportional to the
+activation magnitude ``|x_i|`` flowing through it, and a handful of modules
+(the tied LM head above all) sit directly on the argmax decisions.  This
+module supplies the three tools that close the gap, in the SmoothQuant/AWQ
+tradition:
+
+* **Activation statistics** — :func:`collect_activation_stats` runs a
+  held-out calibration set through the model with lightweight observers
+  attached to every quantizable module (:class:`ActivationObserver` records
+  per-input-channel absmax and a high percentile), including the tied LM
+  head's input via :meth:`~repro.nn.transformer.T5Model.lm_logits`.
+* **Outlier migration (equalization)** — :func:`equalization_scales` builds
+  the per-channel scale ``s = act_max^alpha / weight_max^(1-alpha)``, rounded
+  to **powers of two**, which the layer folds into the weight before rounding
+  and divides back out of the dequantized master.  Power-of-two scales only
+  shift float exponents, so the fold is *bitwise transparent* on the
+  unrounded weight — folding and unfolding reproduces the original weight
+  exactly in any float dtype (the property suite asserts it) — and every bit
+  of the int8 budget the fold reallocates is pure redistribution, not added
+  noise.
+* **Mixed-precision policy** — :func:`sensitivity_scan` measures each
+  module's solo teacher-forced argmax flip rate against the float64
+  reference trajectory (a dense per-step signal; see
+  :func:`calibrate_policy` for why whole-trajectory agreement is too sparse
+  to search on), and :func:`calibrate_policy` pins the worst offenders to
+  float32 storage (a :class:`QuantPolicy`) until the expected trajectory
+  agreement meets the target, under a byte budget that preserves the
+  checkpoint-compression win.  The policy is persisted in
+  the checkpoint and the deployment manifest, so a registry can reconstruct
+  the exact calibrated model (see ``docs/numerics.md``).
+
+The high-level entry point is :meth:`repro.core.model.DataVisT5.calibrate`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+import json
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.nn.layers import Embedding, Linear, Module, asymmetric_int8, symmetric_int8
+from repro.nn.tensor import autocast, no_grad
+
+#: Per-module quantization modes a :class:`QuantPolicy` may assign.
+QUANT_MODES = ("int8", "int8_asym", "float32")
+
+#: Hard clip on equalization exponents: 2**+-12 keeps folded weights far from
+#: float subnormal/overflow territory, where exponent shifts stop being exact.
+_MAX_EQ_EXPONENT = 12
+
+
+def quantizable_modules(model: Module) -> list[tuple[str, "Linear | Embedding"]]:
+    """Every quantizable module of ``model``, deduplicated by identity.
+
+    Returns ``(canonical_name, module)`` pairs where the canonical name is
+    the module's *first* traversal name — a tied embedding reachable through
+    several attributes appears once, under the same name
+    ``Module.state_dict`` uses for its weight.  This is the naming contract
+    :class:`QuantPolicy` keys its per-module decisions on.
+    """
+    seen: set[int] = set()
+    result: list[tuple[str, Linear | Embedding]] = []
+    for name, module in model.named_modules():
+        if isinstance(module, (Linear, Embedding)) and id(module) not in seen:
+            seen.add(id(module))
+            result.append((name, module))
+    return result
+
+
+@dataclass
+class ActivationStats:
+    """Per-input-channel activation statistics of one module.
+
+    ``absmax`` and ``percentile`` are one entry per input channel (a
+    Linear's ``in_features``; the embedding dimension for the tied LM head);
+    ``samples`` counts the activation rows observed.  ``percentile`` is the
+    running maximum of per-update ``percentile_q`` percentiles of ``|x|`` —
+    an outlier-robust range estimate that large one-off spikes cannot
+    dominate the way they dominate ``absmax``.
+    """
+
+    absmax: np.ndarray
+    percentile: np.ndarray
+    samples: int
+    percentile_q: float
+
+    def range_per_channel(self) -> np.ndarray:
+        """The per-channel activation range equalization should flatten.
+
+        The percentile estimate where it is informative, widened to at least
+        the scale where a channel's percentile collapsed to zero but its
+        absmax did not (rare, dead-most-of-the-time channels).
+        """
+        return np.where(self.percentile > 0.0, self.percentile, self.absmax)
+
+
+class ActivationObserver:
+    """Accumulates per-channel absmax / percentile over forward-pass inputs.
+
+    Attached to a module's ``_activation_observer`` slot (see
+    :func:`observe_activations`); :meth:`update` is called by the module's
+    forward pass with the raw input array and reduces it over all leading
+    axes, so any batch/sequence shape feeds the same per-channel statistics.
+    """
+
+    def __init__(self, percentile_q: float = 99.9):
+        if not 0.0 < percentile_q <= 100.0:
+            raise ModelConfigError(f"percentile_q must be in (0, 100], got {percentile_q}")
+        self.percentile_q = percentile_q
+        self._absmax: np.ndarray | None = None
+        self._percentile: np.ndarray | None = None
+        self._samples = 0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one batch of activations ``(..., channels)`` into the stats."""
+        values = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1, np.asarray(values).shape[-1])
+        if values.size == 0:
+            return
+        batch_absmax = values.max(axis=0)
+        batch_percentile = np.percentile(values, self.percentile_q, axis=0)
+        if self._absmax is None:
+            self._absmax = batch_absmax
+            self._percentile = batch_percentile
+        else:
+            np.maximum(self._absmax, batch_absmax, out=self._absmax)
+            np.maximum(self._percentile, batch_percentile, out=self._percentile)
+        self._samples += values.shape[0]
+
+    def stats(self) -> ActivationStats | None:
+        """The accumulated :class:`ActivationStats`, or ``None`` if nothing was observed."""
+        if self._absmax is None:
+            return None
+        return ActivationStats(
+            absmax=self._absmax.copy(),
+            percentile=self._percentile.copy(),
+            samples=self._samples,
+            percentile_q=self.percentile_q,
+        )
+
+
+@contextmanager
+def observe_activations(model: Module, percentile_q: float = 99.9):
+    """Attach an :class:`ActivationObserver` to every quantizable module.
+
+    Yields ``{canonical_name: observer}``; observers record while the caller
+    runs calibration data through the model, and are detached on exit no
+    matter how the block ends.  :class:`~repro.nn.layers.Linear` modules
+    observe their forward input; the shared embedding observes the tied LM
+    head's input (:meth:`~repro.nn.transformer.T5Model.lm_logits`).
+    """
+    observers: dict[str, ActivationObserver] = {}
+    attached: list[Linear | Embedding] = []
+    try:
+        for name, module in quantizable_modules(model):
+            observer = ActivationObserver(percentile_q=percentile_q)
+            observers[name] = observer
+            module._activation_observer = observer
+            attached.append(module)
+        yield observers
+    finally:
+        for module in attached:
+            module.__dict__.pop("_activation_observer", None)
+
+
+def collect_activation_stats(
+    model: Module,
+    input_ids: np.ndarray,
+    max_length: int | None = None,
+    percentile_q: float = 99.9,
+) -> dict[str, ActivationStats]:
+    """Run a greedy float64 decode of ``input_ids`` under observation.
+
+    Returns ``{canonical_module_name: ActivationStats}`` for every module
+    that saw activations — the statistics that drive
+    :func:`equalization_scales`.  The decode mirrors how the quantized model
+    will actually be used (encoder pass + incremental decoding), so the
+    recorded ranges cover decode-time activations, not just teacher-forced
+    ones.
+    """
+    with observe_activations(model, percentile_q=percentile_q) as observers:
+        model.generate(input_ids, max_length=max_length, dtype="float64")
+    stats: dict[str, ActivationStats] = {}
+    for name, observer in observers.items():
+        collected = observer.stats()
+        if collected is not None:
+            stats[name] = collected
+    return stats
+
+
+def equalization_scales(
+    weight_absmax: np.ndarray, activation_range: np.ndarray, alpha: float = 0.5
+) -> np.ndarray:
+    """The SmoothQuant-style per-channel equalization ``s``, power-of-two rounded.
+
+    ``s_i = act_i^alpha / w_i^(1-alpha)`` balances how much of each input
+    channel's dynamic range lives in the activations versus the weights;
+    folding ``s`` into the weight before rounding gives channels with large
+    activations finer int8 representation exactly where rounding error is
+    amplified most.  The raw scales are normalized (so the vector only
+    *redistributes* precision), rounded to the nearest power of two — which
+    makes the fold bitwise-exact on the unrounded weight, since multiplying
+    and dividing by ``2**k`` only shifts float exponents — and clipped to
+    ``2**+-12``.  Channels with zero activation or weight range take scale 1.
+    ``alpha`` in ``[0, 1]``: 0 ignores activations entirely (pure per-channel
+    weight-range flattening — :func:`module_equalization` skips the fold
+    altogether in that case), 1 ignores weights.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ModelConfigError(f"equalization alpha must be in [0, 1], got {alpha}")
+    weight_absmax = np.asarray(weight_absmax, dtype=np.float64).reshape(-1)
+    activation_range = np.asarray(activation_range, dtype=np.float64).reshape(-1)
+    if weight_absmax.shape != activation_range.shape:
+        raise ModelConfigError(
+            f"weight/activation channel counts differ: {weight_absmax.shape} vs {activation_range.shape}"
+        )
+    valid = (weight_absmax > 0.0) & (activation_range > 0.0)
+    raw = np.ones_like(weight_absmax)
+    raw[valid] = activation_range[valid] ** alpha / weight_absmax[valid] ** (1.0 - alpha)
+    # Normalize so the scales redistribute precision instead of globally
+    # rescaling the weight (the median valid channel keeps scale ~1).
+    if valid.any():
+        raw /= np.median(raw[valid])
+    exponents = np.clip(np.rint(np.log2(raw)), -_MAX_EQ_EXPONENT, _MAX_EQ_EXPONENT)
+    return np.exp2(exponents)
+
+
+def module_equalization(
+    module: "Linear | Embedding", stats: ActivationStats | None, alpha: float
+) -> np.ndarray | None:
+    """The equalization vector for one module, or ``None`` when unavailable.
+
+    Maps the module's weight layout onto the shared per-input-channel form:
+    a Linear's channels are its ``in_features`` (weight absmax over output
+    columns); an Embedding's channels are the embedding dimensions as seen
+    by the tied LM head (weight absmax over vocabulary rows).  With no
+    recorded stats, or ``alpha == 0``, there is nothing to migrate.
+    """
+    if stats is None or alpha == 0.0:
+        return None
+    if isinstance(module, Linear):
+        weight_absmax = np.max(np.abs(module.weight.data), axis=1)
+    else:
+        weight_absmax = np.max(np.abs(module.weight.data), axis=0)
+    if stats.absmax.size != weight_absmax.size:
+        raise ModelConfigError(
+            f"activation stats have {stats.absmax.size} channels, module expects {weight_absmax.size}"
+        )
+    return equalization_scales(weight_absmax, stats.range_per_channel(), alpha)
+
+
+def token_agreement(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Fraction of token positions where two decodes of the same batch agree.
+
+    The decodes may be **length-mismatched** (reduced precision can change
+    where EOS lands, changing the padded width): positions are compared up
+    to the shorter width and every position of the longer tail counts as
+    disagreement — the denominator is ``batch * max(width_a, width_b)``.  A
+    batch-size mismatch is a caller bug and raises.
+    """
+    reference = np.atleast_2d(np.asarray(reference))
+    candidate = np.atleast_2d(np.asarray(candidate))
+    if reference.shape[0] != candidate.shape[0]:
+        raise ModelConfigError(
+            f"token_agreement needs same-batch decodes, got {reference.shape[0]} vs {candidate.shape[0]} rows"
+        )
+    width = max(reference.shape[1], candidate.shape[1])
+    if reference.shape[0] == 0 or width == 0:
+        return 1.0
+    overlap = min(reference.shape[1], candidate.shape[1])
+    agreed = int((reference[:, :overlap] == candidate[:, :overlap]).sum())
+    return agreed / float(reference.shape[0] * width)
+
+
+@dataclass(frozen=True)
+class QuantPolicy:
+    """A calibrated mixed-precision quantization policy.
+
+    ``modes`` maps canonical module names (:func:`quantizable_modules`) to a
+    :data:`QUANT_MODES` entry — ``"int8"`` (symmetric), ``"int8_asym"``
+    (zero-point), or ``"float32"`` (pinned out of int8 entirely; stored as
+    float32, which still halves the float64 footprint).  ``alpha`` is the
+    equalization knob the policy was calibrated with;
+    ``target_agreement`` / ``calibration_samples`` record provenance.  The
+    JSON round trip (:meth:`as_dict` / :meth:`from_dict`) is strict — the
+    policy travels inside ``weights.npz`` and the deployment manifest, and a
+    hand-edited copy must fail loudly.
+    """
+
+    modes: dict[str, str] = field(default_factory=dict)
+    alpha: float = 0.5
+    target_agreement: float | None = None
+    calibration_samples: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.modes, dict):
+            raise ModelConfigError("QuantPolicy modes must be a dict of module name -> mode")
+        for name, mode in self.modes.items():
+            if not isinstance(name, str) or not name:
+                raise ModelConfigError(f"QuantPolicy module names must be non-empty strings, got {name!r}")
+            if mode not in QUANT_MODES:
+                raise ModelConfigError(
+                    f"unknown quantization mode {mode!r} for {name!r}; known: {', '.join(QUANT_MODES)}"
+                )
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ModelConfigError(f"QuantPolicy alpha must be in [0, 1], got {self.alpha}")
+        if self.target_agreement is not None and not 0.0 <= self.target_agreement <= 1.0:
+            raise ModelConfigError(f"QuantPolicy target_agreement must be in [0, 1], got {self.target_agreement}")
+        if not isinstance(self.calibration_samples, int) or self.calibration_samples < 0:
+            raise ModelConfigError("QuantPolicy calibration_samples must be a non-negative integer")
+
+    def mode_for(self, name: str) -> str:
+        """The mode assigned to ``name`` (symmetric int8 when unlisted)."""
+        return self.modes.get(name, "int8")
+
+    @property
+    def float32_modules(self) -> tuple[str, ...]:
+        """Module names the policy pins out of int8, sorted."""
+        return tuple(sorted(name for name, mode in self.modes.items() if mode == "float32"))
+
+    # -- serialization -------------------------------------------------------
+    def as_dict(self) -> dict:
+        """A JSON-ready view; :meth:`from_dict` is the exact inverse."""
+        return {
+            "modes": dict(sorted(self.modes.items())),
+            "alpha": self.alpha,
+            "target_agreement": self.target_agreement,
+            "calibration_samples": self.calibration_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantPolicy":
+        """Rebuild (and re-validate) a policy; unknown keys raise."""
+        if not isinstance(payload, dict):
+            raise ModelConfigError(f"QuantPolicy payload must be a dict, got {type(payload).__name__}")
+        known = {"modes", "alpha", "target_agreement", "calibration_samples"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelConfigError(f"unknown QuantPolicy fields: {', '.join(unknown)}")
+        data = dict(payload)
+        if "modes" in data and isinstance(data["modes"], dict):
+            data["modes"] = dict(data["modes"])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """The policy as a compact JSON document (checkpoint / artifact form)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "QuantPolicy":
+        """Parse :meth:`to_json` output (strict)."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise ModelConfigError(f"QuantPolicy JSON is invalid: {error}") from None
+        return cls.from_dict(payload)
+
+
+def _restore_float(module: "Linear | Embedding", data: np.ndarray, requires_grad: bool) -> None:
+    """Put a module back into (possibly trial-quantized) float form."""
+    module.weight_q = None
+    module.weight_scale = None
+    module.weight_zero_point = None
+    module.weight_equalization = None
+    module.weight.data = data
+    module.weight.requires_grad = requires_grad
+    module.invalidate_cast_caches()
+
+
+def _quantize_module(
+    module: "Linear | Embedding", mode: str, stats: ActivationStats | None, alpha: float
+) -> None:
+    """Quantize one module per ``mode``, folding in equalization when available."""
+    if mode == "float32":
+        # Pinned to float32 *storage*: snap the master through float32 so the
+        # in-memory model is bitwise what a save/load cycle reconstructs.
+        module.weight.data = module.weight.data.astype(np.float32).astype(np.float64)
+        module.invalidate_cast_caches()
+        return
+    equalization = module_equalization(module, stats, alpha)
+    module.quantize_int8(equalization=equalization, asymmetric=(mode == "int8_asym"))
+
+
+def _embedding_mode(module: Embedding, stats: ActivationStats | None, alpha: float) -> str:
+    """Pick symmetric vs zero-point storage for an embedding by reconstruction error."""
+    equalization = module_equalization(module, stats, alpha)
+    values = module.weight.data if equalization is None else module.weight.data * (
+        equalization.reshape(1, -1)
+    )
+    sym_codes, sym_scales = symmetric_int8(values, axis=1)
+    sym_error = np.abs(values - sym_codes.astype(np.float64) * sym_scales).max()
+    asym_codes, asym_scales, asym_zp = asymmetric_int8(values, axis=1)
+    asym_error = np.abs(values - (asym_codes.astype(np.float64) + asym_zp) * asym_scales).max()
+    return "int8_asym" if asym_error < sym_error else "int8"
+
+
+def apply_policy(
+    model: Module,
+    policy: QuantPolicy,
+    stats: dict[str, ActivationStats] | None = None,
+) -> None:
+    """Quantize ``model`` in place according to ``policy``.
+
+    Every quantizable module takes its policy mode (``"int8"`` when
+    unlisted); ``stats`` supplies the activation ranges for equalization —
+    without them (e.g. re-applying a persisted policy to a float checkpoint)
+    the mode decisions still apply, with plain weight-max scales.  Policy
+    names that match no module raise, and a policy that pins *everything* to
+    float32 is rejected — an int8 model must keep at least one quantized
+    module, or ``precision="int8"`` stops meaning anything.
+    """
+    stats = stats or {}
+    modules = quantizable_modules(model)
+    known = {name for name, _ in modules}
+    unknown = sorted(set(policy.modes) - known)
+    if unknown:
+        raise ModelConfigError(f"QuantPolicy names unknown modules: {', '.join(unknown)}")
+    if all(policy.mode_for(name) == "float32" for name, _ in modules):
+        raise ModelConfigError("QuantPolicy pins every module to float32; nothing would be int8")
+    for name, module in modules:
+        if not module.quantized:
+            _quantize_module(module, policy.mode_for(name), stats.get(name), policy.alpha)
+
+
+class _StepReference:
+    """Per-step reference decisions of the float64 model on a calibration set.
+
+    One autoregressive float64 decode fixes the reference trajectory; one
+    teacher-forced float64 forward pass over that trajectory gives each
+    step's reference logits, argmax and top-1/top-2 margin.  Everything
+    downstream compares against these step decisions, which turns a handful
+    of calibration sequences into ``batch * length`` independent argmax
+    observations — dense enough to expose a quantizer whose per-step flip
+    probability is far below one flip per calibration *trajectory* (the
+    regime where whole-trajectory agreement, a binary per-sequence signal,
+    sees nothing at all).
+    """
+
+    def __init__(self, model: Module, input_ids: np.ndarray, max_length: int | None):
+        self.input_ids = input_ids
+        self.trajectory = model.generate(input_ids, max_length=max_length, dtype="float64")
+        with no_grad():
+            self.logits = model(input_ids, labels=self.trajectory)["logits"].data
+        self.top = self.logits.argmax(axis=-1)
+        top2 = np.partition(self.logits, -2, axis=-1)[..., -2:]
+        self.margin = top2[..., 1] - top2[..., 0]
+        pad_id = getattr(getattr(model, "config", None), "pad_id", None)
+        self.mask = (
+            np.ones(self.trajectory.shape, dtype=bool) if pad_id is None else self.trajectory != pad_id
+        )
+        self.horizon = max(int(self.trajectory.shape[1]), 1)
+
+    def step_risk(self, model: Module) -> tuple[float, float]:
+        """``(flip_rate, margin_risk_rate)`` of a quantized model on the reference.
+
+        Teacher-forced at float32 — the compute dtype int8 serving actually
+        runs — over the float64 reference trajectory, so every step is
+        evaluated at the exact decoder states the reference visited.
+        ``flip_rate`` counts steps whose argmax actually changed;
+        ``margin_risk_rate`` counts steps where twice the worst logit
+        perturbation reaches the reference top-1/top-2 margin — a
+        conservative certificate that stays informative when zero flips are
+        observed (an unflipped step with an eaten-up margin is one unlucky
+        input away from flipping).
+        """
+        with no_grad(), autocast("float32"):
+            logits = model(self.input_ids, labels=self.trajectory)["logits"].data.astype(np.float64)
+        flips = (logits.argmax(axis=-1) != self.top) & self.mask
+        perturbation = np.abs(logits - self.logits).max(axis=-1)
+        risky = (2.0 * perturbation >= self.margin) & self.mask
+        steps = float(max(int(self.mask.sum()), 1))
+        return float(flips.sum()) / steps, float(risky.sum()) / steps
+
+
+def sensitivity_scan(
+    model: Module,
+    input_ids: np.ndarray,
+    stats: dict[str, ActivationStats] | None = None,
+    alpha: float = 0.5,
+    max_length: int | None = None,
+) -> dict[str, float]:
+    """Per-module damage of quantizing that module *alone*.
+
+    For each quantizable module: quantize it (with equalization from
+    ``stats``), measure its teacher-forced per-step flip rate plus margin
+    risk against the unquantized float64 reference (see
+    :func:`calibrate_policy` for why per-step risk rather than
+    whole-trajectory agreement), and restore the module exactly.  Returns
+    ``{canonical_name: risk_score}`` where the score is the flip rate plus
+    the margin-risk rate; :func:`calibrate_policy` pins the largest
+    offenders first.  The model must be unquantized.
+    """
+    modules = quantizable_modules(model)
+    if any(module.quantized for _, module in modules):
+        raise ModelConfigError("sensitivity_scan needs an unquantized model")
+    stats = stats or {}
+    reference = _StepReference(model, input_ids, max_length)
+    damages: dict[str, float] = {}
+    for name, module in modules:
+        saved = (module.weight.data, module.weight.requires_grad)
+        _quantize_module(module, "int8", stats.get(name), alpha)
+        try:
+            flip_rate, margin_risk = reference.step_risk(model)
+        finally:
+            _restore_float(module, *saved)
+        damages[name] = flip_rate + margin_risk
+    return damages
+
+
+def calibrate_policy(
+    model: Module,
+    input_ids: np.ndarray,
+    alpha: float = 0.5,
+    target_agreement: float = 0.995,
+    max_float_fraction: float = 0.10,
+    max_length: int | None = None,
+    percentile_q: float = 99.9,
+    max_margin_risk: float = 0.05,
+) -> tuple[QuantPolicy, dict[str, ActivationStats]]:
+    """Full calibration: stats, sensitivity scan, and mixed-precision search.
+
+    Collects activation statistics over ``input_ids``, scans per-module
+    sensitivity, then greedily pins the most damaging modules to float32
+    until the candidate policy passes validation or the float32 budget
+    (``max_float_fraction`` of quantizable parameters; float32 storage costs
+    4x int8) is spent.  At least one module always stays int8.  Returns the
+    :class:`QuantPolicy` plus the statistics (needed to *apply* the policy
+    with equalization); the model itself is left unquantized.
+
+    **Validation criterion.**  A candidate is accepted when both hold on the
+    calibration set, teacher-forced at float32 over the float64 reference
+    trajectory (:class:`_StepReference`):
+
+    * its per-step argmax flip rate ``r`` satisfies
+      ``r * horizon <= 1 - target_agreement`` (``horizon`` = reference
+      decode length) — the *expected* trajectory disagreement, assuming the
+      worst case where one flipped step derails the rest of its sequence,
+      stays within the target;
+    * its margin-risk rate — the fraction of steps where twice the worst
+      logit perturbation reaches the reference top-1/top-2 margin — is at
+      most ``max_margin_risk``.
+
+    Whole-trajectory agreement on the calibration set would be the literal
+    target metric, but it is a binary per-sequence signal: a quantizer that
+    flips one step in a thousand derails only a few percent of *deployed*
+    trajectories, so a few dozen calibration sequences usually contain no
+    diverging trajectory at all and the search would under-pin.  The flip
+    rate pools every decode step into the estimate; the margin-risk
+    certificate goes one further and stays informative even at zero observed
+    flips, where a quantizer may be silently one unlucky input away from
+    flipping on served traffic.
+    """
+    modules = quantizable_modules(model)
+    if any(module.quantized for _, module in modules):
+        raise ModelConfigError("calibrate_policy needs an unquantized model")
+    if not 0.0 <= max_float_fraction <= 1.0:
+        raise ModelConfigError(f"max_float_fraction must be in [0, 1], got {max_float_fraction}")
+    if not 0.0 <= target_agreement <= 1.0:
+        raise ModelConfigError(f"target_agreement must be in [0, 1], got {target_agreement}")
+    if not 0.0 < max_margin_risk <= 1.0:
+        raise ModelConfigError(f"max_margin_risk must be in (0, 1], got {max_margin_risk}")
+    by_name = dict(modules)
+    stats = collect_activation_stats(model, input_ids, max_length=max_length, percentile_q=percentile_q)
+    damages = sensitivity_scan(model, input_ids, stats=stats, alpha=alpha, max_length=max_length)
+    reference = _StepReference(model, input_ids, max_length)
+    allowed_flip_rate = (1.0 - target_agreement) / reference.horizon
+
+    modes: dict[str, str] = {}
+    for name, module in modules:
+        if isinstance(module, Embedding):
+            modes[name] = _embedding_mode(module, stats.get(name), alpha)
+
+    saved = {name: (module.weight.data, module.weight.requires_grad) for name, module in modules}
+
+    def trial_risk() -> tuple[float, float]:
+        policy = QuantPolicy(modes=dict(modes), alpha=alpha)
+        try:
+            apply_policy(model, policy, stats)
+            return reference.step_risk(model)
+        finally:
+            for name, module in modules:
+                _restore_float(module, *saved[name])
+
+    def acceptable(risk: tuple[float, float]) -> bool:
+        flip_rate, margin_risk = risk
+        return flip_rate <= allowed_flip_rate and margin_risk <= max_margin_risk
+
+    total_params = sum(module.weight.data.size for _, module in modules)
+    budget = int(max_float_fraction * total_params)
+    pinned_params = 0
+    order = sorted(damages, key=lambda name: damages[name], reverse=True)
+    achieved = trial_risk()
+    for name in order:
+        if acceptable(achieved):
+            break
+        size = by_name[name].weight.data.size
+        if pinned_params + size > budget:
+            continue  # over budget; try the next (smaller) offender
+        if sum(1 for n, _ in modules if modes.get(n) != "float32") <= 1:
+            break  # never pin the last int8 module
+        modes[name] = "float32"
+        pinned_params += size
+        achieved = trial_risk()
+
+    policy = QuantPolicy(
+        modes=modes,
+        alpha=alpha,
+        target_agreement=target_agreement,
+        calibration_samples=int(np.atleast_2d(np.asarray(input_ids)).shape[0]),
+    )
+    return policy, stats

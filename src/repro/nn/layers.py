@@ -4,11 +4,13 @@ Precision support lives at this level too.  Master weights are always
 ``float64`` (:class:`Parameter` pins them); when a forward pass runs inside
 :func:`repro.nn.tensor.autocast` with a reduced compute dtype, layers cast
 their masters on the fly through a per-module memo (:func:`cast_cached`).
-:class:`Linear` and :class:`Embedding` additionally support symmetric
-per-row **int8 weight quantization** (:meth:`Linear.quantize_int8`): the
-int8 codes plus their scales become the persisted form of the weight, and
-the float master is re-derived from them so compute at any dtype sees the
-quantized values.  See ``docs/numerics.md``.
+:class:`Linear` and :class:`Embedding` additionally support per-row **int8
+weight quantization** (:meth:`Linear.quantize_int8`) — symmetric by default,
+optionally asymmetric (zero-point) and/or equalized by per-input-channel
+activation scales (:mod:`repro.nn.calibration`): the int8 codes plus their
+scales (and any zero points / equalization vectors) become the persisted
+form of the weight, and the float master is re-derived from them so compute
+at any dtype sees the quantized values.  See ``docs/numerics.md``.
 """
 
 from __future__ import annotations
@@ -58,6 +60,45 @@ def symmetric_int8(values: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarra
     scales = np.where(scales == 0.0, 1.0, scales)
     codes = np.clip(np.rint(values / scales), -127, 127).astype(np.int8)
     return codes, scales
+
+
+def asymmetric_int8(values: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Asymmetric (zero-point) int8 quantization with one scale per slice of ``axis``.
+
+    Where :func:`symmetric_int8` centers the code range on zero, this maps
+    each slice's actual ``[min, max]`` interval onto the 255 signed levels:
+    ``scale = (max - min) / 254``, ``zero_point = midpoint / scale``, and
+    ``codes = round(values / scale - zero_point)`` clipped to ``[-127, 127]``.
+    Skewed slices (e.g. embedding rows whose mass sits off-center) lose half
+    a level of error versus wasting range on values that never occur.
+    Constant slices take scale 1.0 with the constant absorbed into the zero
+    point, so dequantization is exact.  Returns ``(codes, scales,
+    zero_points)``; the dequantized form is ``(codes + zero_points) * scales``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    low = values.min(axis=axis, keepdims=True)
+    high = values.max(axis=axis, keepdims=True)
+    scales = (high - low) / 254.0
+    scales = np.where(scales == 0.0, 1.0, scales)
+    zero_points = (high + low) / (2.0 * scales)
+    codes = np.clip(np.rint(values / scales - zero_points), -127, 127).astype(np.int8)
+    return codes, scales, zero_points
+
+
+def _validate_equalization(
+    equalization: np.ndarray | None, channels: int, shape: tuple[int, int], owner: str
+) -> np.ndarray | None:
+    """Normalize an equalization vector to ``shape`` (float64), or reject it."""
+    if equalization is None:
+        return None
+    equalization = np.asarray(equalization, dtype=np.float64)
+    if equalization.size != channels:
+        raise ModelConfigError(
+            f"{owner} equalization must have {channels} per-channel scales, got {equalization.size}"
+        )
+    if not np.all(np.isfinite(equalization)) or np.any(equalization <= 0.0):
+        raise ModelConfigError(f"{owner} equalization scales must be finite and positive")
+    return equalization.reshape(shape)
 
 
 class Parameter(Tensor):
@@ -193,45 +234,79 @@ class Module:
     def state_dict(self) -> dict[str, np.ndarray]:
         """Every parameter as a ``name -> float64 array`` mapping (copies).
 
-        Quantized weights appear in their dequantized float64 form; use
+        A parameter reachable through several attributes (e.g. a tied
+        embedding) appears **once**, under its first traversal name — saving
+        each alias would triple a tied embedding's checkpoint footprint.
+        :meth:`load_state_dict` resolves aliases by identity, so a state dict
+        keyed by any alias of a shared parameter still loads.  Quantized
+        weights appear in their dequantized float64 form; use
         :meth:`int8_state_dict` to persist the codes + scales instead.
         """
-        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+        state: dict[str, np.ndarray] = {}
+        seen: set[int] = set()
+        for name, parameter in self.named_parameters():
+            if id(parameter) in seen:
+                continue
+            seen.add(id(parameter))
+            state[name] = parameter.data.copy()
+        return state
 
     def int8_state_dict(self) -> dict[str, np.ndarray]:
         """Like :meth:`state_dict`, but quantized weights stay int8.
 
-        Each quantized weight ``<name>`` is replaced by two entries,
-        ``<name>.int8`` (the int8 codes) and ``<name>.int8_scale`` (the
-        per-row float scales) — roughly an 8x size reduction for the
-        quantized share of the parameters.  :meth:`load_state_dict` accepts
-        both formats.
+        Each quantized weight ``<name>`` is replaced by ``<name>.int8`` (the
+        int8 codes) and ``<name>.int8_scale`` (the per-row float scales) —
+        roughly an 8x size reduction for the quantized share of the
+        parameters — plus, when the module was calibrated, ``<name>.int8_zp``
+        (asymmetric zero points) and/or ``<name>.int8_eq`` (the per-channel
+        equalization scales folded in before rounding; see
+        :mod:`repro.nn.calibration`).  :meth:`load_state_dict` accepts both
+        formats and rebuilds the exact dequantized masters bitwise.
         """
         state = self.state_dict()
+        seen: set[int] = set()
         for name, module in self.named_modules():
-            if isinstance(module, (Linear, Embedding)) and module.quantized:
-                key = f"{name}.weight" if name else "weight"
-                state.pop(key, None)
-                state[f"{key}.int8"] = module.weight_q.copy()
-                state[f"{key}.int8_scale"] = module.weight_scale.copy()
+            if not isinstance(module, (Linear, Embedding)) or id(module) in seen:
+                continue
+            seen.add(id(module))
+            if not module.quantized:
+                continue
+            key = f"{name}.weight" if name else "weight"
+            state.pop(key, None)
+            state[f"{key}.int8"] = module.weight_q.copy()
+            state[f"{key}.int8_scale"] = module.weight_scale.copy()
+            if module.weight_zero_point is not None:
+                state[f"{key}.int8_zp"] = module.weight_zero_point.copy()
+            if module.weight_equalization is not None:
+                state[f"{key}.int8_eq"] = module.weight_equalization.copy()
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Install ``state`` (a :meth:`state_dict` or :meth:`int8_state_dict`).
 
-        ``<name>.int8`` / ``<name>.int8_scale`` pairs are routed to the owning
-        module's ``load_int8`` (quantizing it if it was not already); a plain
-        float entry arriving for a currently-quantized weight clears that
-        module's int8 storage — the checkpoint defines the storage format.
+        ``<name>.int8`` / ``<name>.int8_scale`` pairs (plus optional
+        ``.int8_zp`` / ``.int8_eq`` entries) are routed to the owning module's
+        ``load_int8`` (quantizing it if it was not already); a plain float
+        entry arriving for a currently-quantized weight clears that module's
+        int8 storage — the checkpoint defines the storage format.  A shared
+        parameter is satisfied by an entry under *any* of its alias names
+        (state dicts written by :meth:`state_dict` carry the first traversal
+        name; older checkpoints that saved every alias still load).
         """
         state = dict(state)
-        quantized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        quantized: dict[str, dict[str, np.ndarray]] = {}
         for key in [k for k in state if k.endswith(".int8")]:
             base = key[: -len(".int8")]
             scale_key = f"{base}.int8_scale"
             if scale_key not in state:
                 raise ModelConfigError(f"int8 entry {key!r} is missing its {scale_key!r} scales")
-            quantized[base] = (np.asarray(state.pop(key)), np.asarray(state.pop(scale_key)))
+            entry = {"codes": np.asarray(state.pop(key)), "scales": np.asarray(state.pop(scale_key))}
+            zp_key, eq_key = f"{base}.int8_zp", f"{base}.int8_eq"
+            if zp_key in state:
+                entry["zero_points"] = np.asarray(state.pop(zp_key))
+            if eq_key in state:
+                entry["equalization"] = np.asarray(state.pop(eq_key))
+            quantized[base] = entry
         # Validate everything BEFORE the first mutation, so a rejected state
         # dict leaves the model untouched rather than partially overwritten.
         modules = dict(self.named_modules())
@@ -243,25 +318,37 @@ class Module:
                 raise ModelConfigError(f"int8 entry {base!r} does not name a Linear/Embedding weight")
             targets[base] = module
         own = dict(self.named_parameters())
-        missing = sorted(set(own) - set(state) - set(quantized))
+        # Group alias names by parameter identity: one entry per group loads
+        # the shared parameter, whichever alias the writer happened to use.
+        alias_groups: dict[int, list[str]] = {}
+        for name, parameter in own.items():
+            alias_groups.setdefault(id(parameter), []).append(name)
+        provided = set(state) | set(quantized)
+        missing = sorted(
+            names[0] for names in alias_groups.values() if not provided.intersection(names)
+        )
         unexpected = sorted(set(state) - set(own))
         if missing or unexpected:
             raise ModelConfigError(f"state dict mismatch: missing={missing} unexpected={unexpected}")
-        for base, (codes, scales) in quantized.items():
-            targets[base].load_int8(codes, scales)
-        for name, parameter in own.items():
-            if name in quantized:
-                continue  # installed via load_int8 above
-            value = np.asarray(state[name], dtype=np.float64)
-            if value.shape != parameter.data.shape:
+        for name in state:
+            value = np.asarray(state[name])
+            if value.shape != own[name].data.shape:
                 raise ModelConfigError(
-                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                    f"shape mismatch for {name}: expected {own[name].data.shape}, got {value.shape}"
                 )
+        for base, entry in quantized.items():
+            targets[base].load_int8(**entry)
+        for name, parameter in own.items():
+            if name in quantized or name not in state:
+                continue  # installed via load_int8, or satisfied through an alias
+            value = np.asarray(state[name], dtype=np.float64)
             module_name, _, leaf = name.rpartition(".")
             owner = modules.get(module_name)
             if leaf == "weight" and isinstance(owner, (Linear, Embedding)) and owner.quantized:
                 owner.weight_q = None
                 owner.weight_scale = None
+                owner.weight_zero_point = None
+                owner.weight_equalization = None
                 parameter.requires_grad = True
                 owner.invalidate_cast_caches()
             parameter.data = value.copy()
@@ -299,24 +386,55 @@ class Linear(Module):
         self.out_features = out_features
         self.weight_q: np.ndarray | None = None
         self.weight_scale: np.ndarray | None = None
+        self.weight_zero_point: np.ndarray | None = None
+        self.weight_equalization: np.ndarray | None = None
 
     @property
     def quantized(self) -> bool:
         """Whether the weight is stored as int8 codes + scales."""
         return self.weight_q is not None
 
-    def quantize_int8(self) -> None:
-        """Quantize the weight to symmetric per-output-channel int8 in place."""
-        if self.quantized:
-            raise ModelConfigError("Linear is already int8-quantized")
-        self.load_int8(*symmetric_int8(self.weight.data, axis=0))
+    def quantize_int8(self, equalization: np.ndarray | None = None, asymmetric: bool = False) -> None:
+        """Quantize the weight to per-output-channel int8 in place (idempotent).
 
-    def load_int8(self, codes: np.ndarray, scales: np.ndarray) -> None:
+        ``equalization`` (one positive scale per *input* channel, see
+        :func:`repro.nn.calibration.equalization_scales`) is folded into the
+        weight before rounding and divided back out of the dequantized
+        master, so input channels carrying large activations are represented
+        finely at the expense of channels whose error barely matters.
+        ``asymmetric=True`` uses zero-point quantization
+        (:func:`asymmetric_int8`) instead of the symmetric default.
+
+        Calling this on an already-quantized layer is a **no-op**: the codes
+        are already the stored form, and re-quantizing the dequantized master
+        would silently compound rounding error on every deploy/load cycle.
+        """
+        if self.quantized:
+            return
+        eq = _validate_equalization(equalization, self.in_features, (self.in_features, 1), "Linear")
+        values = self.weight.data if eq is None else self.weight.data * eq
+        if asymmetric:
+            codes, scales, zero_points = asymmetric_int8(values, axis=0)
+            self.load_int8(codes, scales, zero_points=zero_points, equalization=eq)
+        else:
+            codes, scales = symmetric_int8(values, axis=0)
+            self.load_int8(codes, scales, equalization=eq)
+
+    def load_int8(
+        self,
+        codes: np.ndarray,
+        scales: np.ndarray,
+        zero_points: np.ndarray | None = None,
+        equalization: np.ndarray | None = None,
+    ) -> None:
         """Install int8 ``codes`` and per-column ``scales`` as the weight.
 
-        The float64 master is rebuilt as ``codes * scales`` (bitwise
-        deterministic, which is what makes quantized checkpoints round-trip
-        exactly) and frozen.
+        The float64 master is rebuilt as ``codes * scales`` — or
+        ``(codes + zero_points) * scales`` for asymmetric storage — divided
+        by the per-input-channel ``equalization`` when one was folded in at
+        quantization time.  The rebuild is bitwise deterministic, which is
+        what makes quantized checkpoints round-trip exactly; the weight is
+        frozen afterwards.
         """
         codes = np.asarray(codes)
         scales = np.asarray(scales, dtype=np.float64).reshape(1, self.out_features)
@@ -325,14 +443,28 @@ class Linear(Module):
                 f"int8 weight must be int8 with shape {(self.in_features, self.out_features)}, "
                 f"got {codes.dtype} {codes.shape}"
             )
+        if zero_points is not None:
+            zero_points = np.asarray(zero_points, dtype=np.float64).reshape(1, self.out_features)
+        equalization = _validate_equalization(equalization, self.in_features, (self.in_features, 1), "Linear")
         self.weight_q = codes
         self.weight_scale = scales
-        self.weight.data = codes.astype(np.float64) * scales
+        self.weight_zero_point = zero_points
+        self.weight_equalization = equalization
+        master = codes.astype(np.float64)
+        if zero_points is not None:
+            master = master + zero_points
+        master = master * scales
+        if equalization is not None:
+            master = master / equalization
+        self.weight.data = master
         self.weight.requires_grad = False
         self.invalidate_cast_caches()
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply ``x @ W (+ b)``, casting masters to the active compute dtype."""
+        observer = self.__dict__.get("_activation_observer")
+        if observer is not None:
+            observer.update(x.data)
         dtype = compute_dtype()
         if dtype == np.float64:
             weight, bias = self.weight, self.bias
@@ -365,20 +497,49 @@ class Embedding(Module):
         self.embedding_dim = embedding_dim
         self.weight_q: np.ndarray | None = None
         self.weight_scale: np.ndarray | None = None
+        self.weight_zero_point: np.ndarray | None = None
+        self.weight_equalization: np.ndarray | None = None
 
     @property
     def quantized(self) -> bool:
         """Whether the table is stored as int8 codes + per-row scales."""
         return self.weight_q is not None
 
-    def quantize_int8(self) -> None:
-        """Quantize the table to symmetric per-row int8 in place."""
-        if self.quantized:
-            raise ModelConfigError("Embedding is already int8-quantized")
-        self.load_int8(*symmetric_int8(self.weight.data, axis=1))
+    def quantize_int8(self, equalization: np.ndarray | None = None, asymmetric: bool = False) -> None:
+        """Quantize the table to per-row int8 in place (idempotent).
 
-    def load_int8(self, codes: np.ndarray, scales: np.ndarray) -> None:
-        """Install int8 ``codes`` and per-row ``scales`` as the lookup table."""
+        ``equalization`` is one positive scale per embedding *dimension* —
+        the input channels of the tied LM head projection, which is where an
+        embedding's quantization error hurts decode agreement.
+        ``asymmetric=True`` stores per-row zero points, which suits skewed
+        embedding rows.  As with :meth:`Linear.quantize_int8`, a second call
+        on an already-quantized table is a no-op rather than a
+        rounding-error-compounding re-quantization.
+        """
+        if self.quantized:
+            return
+        eq = _validate_equalization(equalization, self.embedding_dim, (1, self.embedding_dim), "Embedding")
+        values = self.weight.data if eq is None else self.weight.data * eq
+        if asymmetric:
+            codes, scales, zero_points = asymmetric_int8(values, axis=1)
+            self.load_int8(codes, scales, zero_points=zero_points, equalization=eq)
+        else:
+            codes, scales = symmetric_int8(values, axis=1)
+            self.load_int8(codes, scales, equalization=eq)
+
+    def load_int8(
+        self,
+        codes: np.ndarray,
+        scales: np.ndarray,
+        zero_points: np.ndarray | None = None,
+        equalization: np.ndarray | None = None,
+    ) -> None:
+        """Install int8 ``codes`` and per-row ``scales`` as the lookup table.
+
+        Optional ``zero_points`` (per row) and ``equalization`` (per
+        dimension) reconstruct asymmetric/calibrated storage; the float64
+        master is rebuilt bitwise-deterministically and frozen.
+        """
         codes = np.asarray(codes)
         scales = np.asarray(scales, dtype=np.float64).reshape(self.num_embeddings, 1)
         if codes.dtype != np.int8 or codes.shape != (self.num_embeddings, self.embedding_dim):
@@ -386,9 +547,20 @@ class Embedding(Module):
                 f"int8 embedding must be int8 with shape {(self.num_embeddings, self.embedding_dim)}, "
                 f"got {codes.dtype} {codes.shape}"
             )
+        if zero_points is not None:
+            zero_points = np.asarray(zero_points, dtype=np.float64).reshape(self.num_embeddings, 1)
+        equalization = _validate_equalization(equalization, self.embedding_dim, (1, self.embedding_dim), "Embedding")
         self.weight_q = codes
         self.weight_scale = scales
-        self.weight.data = codes.astype(np.float64) * scales
+        self.weight_zero_point = zero_points
+        self.weight_equalization = equalization
+        master = codes.astype(np.float64)
+        if zero_points is not None:
+            master = master + zero_points
+        master = master * scales
+        if equalization is not None:
+            master = master / equalization
+        self.weight.data = master
         self.weight.requires_grad = False
         self.invalidate_cast_caches()
 

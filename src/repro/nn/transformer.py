@@ -282,6 +282,13 @@ class T5Model(Module):
     def lm_logits(self, decoder_hidden: Tensor) -> Tensor:
         """Project decoder states onto the vocabulary with the tied embedding."""
         scale = self.config.d_model**-0.5
+        # Calibration attaches an observer to the shared embedding to record
+        # the tied head's *input* activations (repro.nn.calibration) — the
+        # embedding's quantization error hurts decoding through this
+        # projection, so its equalization is driven by these channels.
+        observer = self.shared_embedding.__dict__.get("_activation_observer")
+        if observer is not None:
+            observer.update(decoder_hidden.data * scale)
         dtype = compute_dtype()
         if dtype == np.float64:
             return (decoder_hidden * scale) @ self.shared_embedding.weight.transpose()

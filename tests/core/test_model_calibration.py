@@ -1,0 +1,146 @@
+"""DataVisT5 calibration contract: policy search, application, persistence.
+
+The product-level half of the calibration workflow (the nn-level half lives
+in ``tests/nn/test_calibration.py``): :meth:`DataVisT5.calibrate` searches a
+mixed-precision :class:`QuantPolicy` on held-out texts while leaving the
+model float and trainable; :meth:`quantize_int8` applies the stored policy
+by default; :meth:`save` persists the policy inside ``weights.npz`` (with
+float32-pinned weights stored as float32) and :meth:`load` restores it —
+the round trip is bitwise on every master, so a reconstructed deployment
+decodes identically to the calibrated original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DataVisT5Config
+from repro.core.model import QUANT_POLICY_KEY, DataVisT5
+from repro.errors import ModelConfigError
+from repro.nn.calibration import QuantPolicy, quantizable_modules
+
+CORPUS = [
+    "visualize bar select artist.country , count ( artist.country ) from artist",
+    "how many artists joined after 1998 ?",
+    "show the attendance of every exhibition by date",
+    "visualize pie select city , sum ( population ) from city group by city",
+]
+
+
+def tiny_model(seed: int = 0) -> DataVisT5:
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=32, max_target_length=16, max_decode_length=6, seed=seed
+    )
+    return DataVisT5.from_corpus(CORPUS, config=config, max_vocab_size=200)
+
+
+def calibrated_model(seed: int = 0, pin_embedding: bool = False) -> DataVisT5:
+    model = tiny_model(seed=seed)
+    model.calibrate(CORPUS, n=3, target_agreement=0.9)
+    if pin_embedding and not model.quant_policy.float32_modules:
+        # The search may legitimately pin nothing on a tiny seeded model;
+        # force a pin so persistence of float32 entries is always exercised.
+        modes = dict(model.quant_policy.modes)
+        modes["shared_embedding"] = "float32"
+        model.quant_policy = QuantPolicy(
+            modes=modes,
+            alpha=model.quant_policy.alpha,
+            target_agreement=model.quant_policy.target_agreement,
+            calibration_samples=model.quant_policy.calibration_samples,
+        )
+    return model
+
+
+class TestCalibrate:
+    def test_calibrate_stores_policy_and_keeps_model_trainable(self):
+        model = tiny_model()
+        policy = model.calibrate(CORPUS, n=3, target_agreement=0.9)
+        assert model.quant_policy is policy
+        assert policy.calibration_samples == 3
+        assert not model.quantized
+        # Still trainable: a training step must not raise.
+        optimizer = model.make_optimizer(total_steps=1)
+        batch = model.collate(CORPUS[:2], CORPUS[2:4])
+        model.train_step(batch, optimizer)
+
+    def test_calibrate_rejects_quantized_model(self):
+        model = tiny_model().quantize_int8()
+        with pytest.raises(ModelConfigError):
+            model.calibrate(CORPUS)
+
+    def test_calibrate_rejects_empty_inputs(self):
+        model = tiny_model()
+        with pytest.raises(ModelConfigError):
+            model.calibrate([])
+        with pytest.raises(ModelConfigError):
+            model.calibrate(CORPUS, n=0)
+
+    def test_quantize_applies_stored_policy(self):
+        model = calibrated_model(pin_embedding=True)
+        pinned = model.quant_policy.float32_modules
+        model.quantize_int8()
+        assert model.quantized
+        by_name = dict(quantizable_modules(model.model))
+        for name in pinned:
+            assert not by_name[name].quantized
+        assert any(module.quantized for module in by_name.values())
+
+    def test_explicit_policy_overrides_stored(self):
+        model = calibrated_model()
+        override = QuantPolicy(modes={"shared_embedding": "int8_asym"})
+        model.quantize_int8(policy=override)
+        assert model.quant_policy is override
+        assert dict(quantizable_modules(model.model))["shared_embedding"].weight_zero_point is not None
+
+
+class TestPolicyPersistence:
+    def test_policy_round_trips_through_checkpoint(self, tmp_path):
+        model = calibrated_model(pin_embedding=True).quantize_int8()
+        model.save(tmp_path / "ckpt")
+        loaded = DataVisT5.load(tmp_path / "ckpt")
+        assert loaded.quant_policy == model.quant_policy
+        assert loaded.quantized
+        for (name, module), (_, twin) in zip(
+            quantizable_modules(model.model), quantizable_modules(loaded.model)
+        ):
+            np.testing.assert_array_equal(module.weight.data, twin.weight.data, err_msg=name)
+
+    def test_pinned_weights_stored_as_float32(self, tmp_path):
+        model = calibrated_model(pin_embedding=True).quantize_int8()
+        model.save(tmp_path / "ckpt")
+        with np.load(tmp_path / "ckpt" / "weights.npz") as data:
+            assert QUANT_POLICY_KEY in data.files
+            for name in model.quant_policy.float32_modules:
+                assert data[f"{name}.weight"].dtype == np.float32
+
+    def test_float_checkpoint_keeps_policy_for_later_quantization(self, tmp_path):
+        # Calibrate but do NOT quantize: the policy still travels with the
+        # float checkpoint, so a later quantize_int8() applies it.
+        model = calibrated_model(pin_embedding=True)
+        model.save(tmp_path / "ckpt")
+        loaded = DataVisT5.load(tmp_path / "ckpt")
+        assert not loaded.quantized
+        assert loaded.quant_policy == model.quant_policy
+        loaded.quantize_int8()
+        by_name = dict(quantizable_modules(loaded.model))
+        for name in loaded.quant_policy.float32_modules:
+            assert not by_name[name].quantized
+
+    def test_predictions_survive_the_round_trip(self, tmp_path):
+        model = calibrated_model(pin_embedding=True).quantize_int8()
+        model.save(tmp_path / "ckpt")
+        loaded = DataVisT5.load(tmp_path / "ckpt")
+        question = "how many artists joined after 1998 ?"
+        assert loaded.predict_batch([question]) == model.predict_batch([question])
+
+    def test_tampered_policy_entry_fails_loudly(self, tmp_path):
+        model = calibrated_model().quantize_int8()
+        model.save(tmp_path / "ckpt")
+        weights_path = tmp_path / "ckpt" / "weights.npz"
+        with np.load(weights_path) as data:
+            state = {name: data[name] for name in data.files}
+        state[QUANT_POLICY_KEY] = np.array(str(state[QUANT_POLICY_KEY]).replace("int8", "int3"))
+        np.savez(weights_path, **state)
+        with pytest.raises(ModelConfigError):
+            DataVisT5.load(tmp_path / "ckpt")

@@ -1,0 +1,151 @@
+"""Calibration through the deploy layer: manifests, registries, tampering.
+
+A calibrated model's :class:`QuantPolicy` must survive the full deployment
+loop: ``register_checkpoint`` records it in the manifest's ``calibration``
+field (and the checkpoint itself embeds it under the fingerprint),
+``build_pipeline`` reconstructs the exact mixed-precision layout when
+quantizing a float checkpoint on load, and any edit to the persisted policy
+— in the registry JSON or inside ``weights.npz`` — fails verification
+before a pipeline is ever built.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DataVisT5Config
+from repro.core.model import QUANT_POLICY_KEY, DataVisT5
+from repro.deploy import DeploymentManifest, ModelRegistry
+from repro.errors import ModelConfigError
+from repro.nn.calibration import QuantPolicy, quantizable_modules
+
+CORPUS = [
+    "visualize bar select artist.country , count ( artist.country ) from artist",
+    "how many artists joined after 1998 ?",
+    "show the attendance of every exhibition by date",
+]
+
+
+def calibrated_model(seed: int = 0) -> DataVisT5:
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=32, max_target_length=16, max_decode_length=6, seed=seed
+    )
+    model = DataVisT5.from_corpus(CORPUS, config=config, max_vocab_size=200)
+    model.calibrate(CORPUS, n=3, target_agreement=0.9)
+    if not model.quant_policy.float32_modules:
+        modes = dict(model.quant_policy.modes)
+        modes["shared_embedding"] = "float32"
+        model.quant_policy = QuantPolicy(modes=modes, alpha=model.quant_policy.alpha)
+    return model
+
+
+def policy_dict() -> dict:
+    return QuantPolicy(modes={"shared_embedding": "float32"}, alpha=0.5).as_dict()
+
+
+class TestManifestCalibrationField:
+    def test_calibration_requires_checkpoint(self):
+        with pytest.raises(ModelConfigError, match="calibration"):
+            DeploymentManifest(
+                name="m",
+                version=1,
+                backends={"fevisqa": {"type": "heuristics"}},
+                calibration=policy_dict(),
+            )
+
+    def test_calibration_round_trips(self):
+        manifest = DeploymentManifest(
+            name="m", version=1, checkpoint="ckpt", calibration=policy_dict()
+        )
+        rebuilt = DeploymentManifest.from_dict(manifest.as_dict())
+        assert rebuilt.calibration == policy_dict()
+
+    def test_malformed_calibration_rejected(self):
+        broken = policy_dict()
+        broken["modes"]["shared_embedding"] = "int3"
+        with pytest.raises(ModelConfigError):
+            DeploymentManifest(name="m", version=1, checkpoint="ckpt", calibration=broken)
+        with pytest.raises(ModelConfigError):
+            DeploymentManifest(
+                name="m", version=1, checkpoint="ckpt", calibration={**policy_dict(), "extra": 1}
+            )
+
+
+class TestRegistryCalibration:
+    def test_register_checkpoint_records_policy(self, tmp_path):
+        model = calibrated_model()
+        registry = ModelRegistry()
+        manifest = registry.register_checkpoint("calibrated", model, tmp_path / "ckpt")
+        assert manifest.calibration == model.quant_policy.as_dict()
+
+    def test_register_uncalibrated_checkpoint_records_nothing(self, tmp_path):
+        config = DataVisT5Config.from_preset("tiny", max_input_length=32, max_target_length=16)
+        model = DataVisT5.from_corpus(CORPUS, config=config, max_vocab_size=200)
+        registry = ModelRegistry()
+        manifest = registry.register_checkpoint("plain", model, tmp_path / "ckpt")
+        assert manifest.calibration is None
+
+    def test_build_pipeline_reconstructs_calibrated_layout(self, tmp_path):
+        # Register a *float* calibrated checkpoint with precision="int8":
+        # build_pipeline must quantize under the recorded policy, not the
+        # uncalibrated default.
+        model = calibrated_model()
+        registry = ModelRegistry()
+        registry.register_checkpoint("calibrated", model, tmp_path / "ckpt", precision="int8")
+        pipeline = registry.build_pipeline("calibrated")
+        deployed = pipeline.model
+        assert deployed.quantized
+        assert deployed.quant_policy == model.quant_policy
+        by_name = dict(quantizable_modules(deployed.model))
+        for name in model.quant_policy.float32_modules:
+            assert not by_name[name].quantized
+
+    def test_deployed_predictions_match_local_quantization(self, tmp_path):
+        model = calibrated_model()
+        registry = ModelRegistry()
+        registry.register_checkpoint("calibrated", model, tmp_path / "ckpt", precision="int8")
+        pipeline = registry.build_pipeline("calibrated")
+        model.quantize_int8()
+        question = "how many artists joined after 1998 ?"
+        assert pipeline.model.predict_batch([question]) == model.predict_batch([question])
+
+    def test_registry_json_round_trips_calibration(self, tmp_path):
+        model = calibrated_model()
+        registry = ModelRegistry(tmp_path / "registry.json")
+        registry.register_checkpoint("calibrated", model, tmp_path / "ckpt")
+        reloaded = ModelRegistry.load(tmp_path / "registry.json")
+        assert reloaded.get("calibrated").calibration == model.quant_policy.as_dict()
+
+
+class TestTamperDetection:
+    def test_edited_policy_inside_weights_fails_fingerprint(self, tmp_path):
+        # The policy lives inside weights.npz, under the checkpoint
+        # fingerprint: flipping one mode in the embedded JSON must be caught
+        # by verify() before any pipeline is built.
+        model = calibrated_model().quantize_int8()
+        registry = ModelRegistry()
+        registry.register_checkpoint("calibrated", model, tmp_path / "ckpt")
+        weights_path = tmp_path / "ckpt" / "weights.npz"
+        with np.load(weights_path) as data:
+            state = {name: data[name] for name in data.files}
+        state[QUANT_POLICY_KEY] = np.array(
+            str(state[QUANT_POLICY_KEY]).replace('"float32"', '"int8_asym"', 1)
+        )
+        np.savez(weights_path, **state)
+        with pytest.raises(ModelConfigError, match="fingerprint"):
+            registry.verify("calibrated")
+        with pytest.raises(ModelConfigError, match="fingerprint"):
+            registry.build_pipeline("calibrated")
+
+    def test_edited_manifest_calibration_fails_validation(self, tmp_path):
+        import json
+
+        model = calibrated_model()
+        registry = ModelRegistry(tmp_path / "registry.json")
+        registry.register_checkpoint("calibrated", model, tmp_path / "ckpt")
+        payload = json.loads((tmp_path / "registry.json").read_text(encoding="utf-8"))
+        payload["deployments"][0]["calibration"]["modes"]["shared_embedding"] = "int3"
+        (tmp_path / "registry.json").write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ModelConfigError):
+            ModelRegistry.load(tmp_path / "registry.json")

@@ -1,0 +1,511 @@
+"""Activation-aware calibration suite: statistics, equalization, policy search.
+
+The contracts under test (documented in ``docs/numerics.md``):
+
+* equalization scales are powers of two within ``2**±12``, so folding them
+  into a weight and dividing them back out is **bitwise transparent** on the
+  unrounded float64 master — the migration redistributes int8 precision
+  without adding noise of its own;
+* asymmetric (zero-point) int8 round-trips within half a quantization step
+  per element, and the dequantized master obeys
+  ``master = ((codes + zero_point) * scales) / equalization`` exactly;
+* ``quantize_int8`` is idempotent — a second call is a no-op, never a
+  re-round of the already-rounded master;
+* ``token_agreement`` handles length-mismatched decodes (overlap compared,
+  tail counted as disagreement) and rejects batch mismatches;
+* :class:`QuantPolicy` has a strict JSON round trip: unknown fields, unknown
+  modes and out-of-range knobs all raise;
+* ``apply_policy`` / ``sensitivity_scan`` / ``calibrate_policy`` leave the
+  model exactly as promised (pinned modules float32-snapped, trial modules
+  restored bitwise, the model unquantized after a scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelConfigError
+from repro.nn.calibration import (
+    ActivationObserver,
+    ActivationStats,
+    QuantPolicy,
+    apply_policy,
+    calibrate_policy,
+    collect_activation_stats,
+    equalization_scales,
+    observe_activations,
+    quantizable_modules,
+    sensitivity_scan,
+    token_agreement,
+)
+from repro.nn.layers import Embedding, Linear, asymmetric_int8, symmetric_int8
+from repro.nn.transformer import T5Model, TransformerConfig
+
+PAD, EOS = 0, 1
+
+_MODEL_CACHE: dict[tuple, T5Model] = {}
+
+
+def build_model(vocab_size=32, d_model=16, num_heads=2, d_ff=32, num_layers=1, seed=0) -> T5Model:
+    """A tiny eval-mode model; memoized so hypothesis examples share weights."""
+    key = (vocab_size, d_model, num_heads, d_ff, num_layers, seed)
+    if key not in _MODEL_CACHE:
+        config = TransformerConfig(
+            vocab_size=vocab_size,
+            d_model=d_model,
+            num_heads=num_heads,
+            d_ff=d_ff,
+            num_encoder_layers=num_layers,
+            num_decoder_layers=num_layers,
+            eos_id=EOS,
+            seed=seed,
+        )
+        _MODEL_CACHE[key] = T5Model(config).eval()
+    return _MODEL_CACHE[key]
+
+
+def fresh_model(seed=0) -> T5Model:
+    """An unshared model for tests that mutate weights (quantize, policies)."""
+    config = TransformerConfig(
+        vocab_size=32,
+        d_model=16,
+        num_heads=2,
+        d_ff=32,
+        num_encoder_layers=1,
+        num_decoder_layers=1,
+        eos_id=EOS,
+        seed=seed,
+    )
+    return T5Model(config).eval()
+
+
+def calib_inputs(batch=3, width=6, seed=0, vocab=32) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(2, vocab, size=(batch, width))
+
+
+# ---------------------------------------------------------------------------
+# equalization scales
+# ---------------------------------------------------------------------------
+
+
+ranges = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestEqualizationScales:
+    @given(
+        data=st.data(),
+        channels=st.integers(min_value=1, max_value=24),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scales_are_powers_of_two_in_range(self, data, channels, alpha):
+        weight = np.array(data.draw(st.lists(ranges, min_size=channels, max_size=channels)))
+        activation = np.array(data.draw(st.lists(ranges, min_size=channels, max_size=channels)))
+        scales = equalization_scales(weight, activation, alpha)
+        exponents = np.log2(scales)
+        np.testing.assert_array_equal(exponents, np.rint(exponents))
+        assert np.all(np.abs(exponents) <= 12)
+
+    @given(
+        data=st.data(),
+        channels=st.integers(min_value=1, max_value=16),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fold_is_bitwise_transparent(self, data, channels, alpha, seed):
+        # Multiplying by a power of two and dividing it back only shifts the
+        # float exponent: (W * s) / s must reproduce W bit for bit.
+        weight = np.array(data.draw(st.lists(ranges, min_size=channels, max_size=channels)))
+        activation = np.array(data.draw(st.lists(ranges, min_size=channels, max_size=channels)))
+        scales = equalization_scales(weight, activation, alpha)
+        matrix = np.random.default_rng(seed).normal(size=(channels, 5))
+        folded = matrix * scales.reshape(-1, 1)
+        np.testing.assert_array_equal(folded / scales.reshape(-1, 1), matrix)
+
+    def test_zero_channels_take_scale_one(self):
+        scales = equalization_scales([0.0, 1.0, 2.0], [5.0, 0.0, 3.0], alpha=0.5)
+        assert scales[0] == 1.0 and scales[1] == 1.0
+
+    def test_alpha_zero_ignores_activations(self):
+        # With alpha=0 the scales depend only on the weight ranges (pure
+        # weight flattening): wildly different activation ranges must not
+        # change the result.
+        scales = equalization_scales([1.0, 4.0, 0.25], [9.0, 2.0, 77.0], alpha=0.0)
+        np.testing.assert_array_equal(scales, equalization_scales([1.0, 4.0, 0.25], [1.0, 1.0, 1.0], alpha=0.0))
+
+    def test_module_equalization_skips_alpha_zero(self):
+        from repro.nn.calibration import module_equalization
+
+        layer = Linear(3, 2, seed=0)
+        stats = ActivationStats(
+            absmax=np.array([1.0, 2.0, 3.0]), percentile=np.array([1.0, 2.0, 3.0]), samples=4, percentile_q=99.9
+        )
+        assert module_equalization(layer, stats, alpha=0.0) is None
+        assert module_equalization(layer, None, alpha=0.5) is None
+        assert module_equalization(layer, stats, alpha=0.5) is not None
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ModelConfigError):
+            equalization_scales([1.0], [1.0], alpha=1.5)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ModelConfigError):
+            equalization_scales([1.0, 2.0], [1.0], alpha=0.5)
+
+
+# ---------------------------------------------------------------------------
+# asymmetric int8 and the equalized round trip
+# ---------------------------------------------------------------------------
+
+
+class TestAsymmetricInt8:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), offset=st.floats(min_value=-8, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_error_within_half_step(self, seed, offset):
+        values = np.random.default_rng(seed).normal(loc=offset, size=(6, 9))
+        codes, scales, zero_points = asymmetric_int8(values, axis=0)
+        rebuilt = (codes.astype(np.float64) + zero_points) * scales
+        assert np.all(np.abs(values - rebuilt) <= scales / 2.0 + 1e-12)
+
+    def test_constant_slices_exact(self):
+        values = np.full((4, 3), 2.5)
+        codes, scales, zero_points = asymmetric_int8(values, axis=0)
+        np.testing.assert_array_equal((codes.astype(np.float64) + zero_points) * scales, values)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_skewed_rows_beat_symmetric(self, seed):
+        # The asymmetric mode exists for mass that sits off-center: on a
+        # strictly positive matrix it must never be worse than symmetric.
+        values = np.random.default_rng(seed).uniform(3.0, 5.0, size=(8, 8))
+        sym_codes, sym_scales = symmetric_int8(values, axis=0)
+        asym_codes, asym_scales, asym_zp = asymmetric_int8(values, axis=0)
+        sym_error = np.abs(values - sym_codes.astype(np.float64) * sym_scales).max()
+        asym_error = np.abs(values - (asym_codes.astype(np.float64) + asym_zp) * asym_scales).max()
+        assert asym_error <= sym_error + 1e-12
+
+
+class TestEqualizedQuantization:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), asymmetric=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_master_identity(self, seed, asymmetric):
+        # The dequantized master must be exactly ((codes + zp) * scales) / eq.
+        rng = np.random.default_rng(seed)
+        layer = Linear(6, 5, bias=False, seed=seed)
+        eq = np.exp2(rng.integers(-3, 4, size=6).astype(np.float64))
+        layer.quantize_int8(equalization=eq, asymmetric=asymmetric)
+        master = layer.weight_q.astype(np.float64)
+        if layer.weight_zero_point is not None:
+            master = master + layer.weight_zero_point
+        master = master * layer.weight_scale
+        master = master / layer.weight_equalization
+        np.testing.assert_array_equal(layer.weight.data, master)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_equalized_error_bound(self, seed):
+        # Folding eq in and out bounds the *weight* error by half a step of
+        # the folded quantizer, deflated per-channel by eq.
+        rng = np.random.default_rng(seed)
+        layer = Linear(6, 5, bias=False, seed=seed)
+        original = layer.weight.data.copy()
+        eq = np.exp2(rng.integers(-3, 4, size=6).astype(np.float64))
+        layer.quantize_int8(equalization=eq)
+        bound = (layer.weight_scale / 2.0) / eq.reshape(-1, 1)
+        assert np.all(np.abs(original - layer.weight.data) <= bound + 1e-12)
+
+    def test_unit_equalization_matches_plain_quantization(self):
+        plain = Linear(6, 5, bias=False, seed=3)
+        with_eq = Linear(6, 5, bias=False, seed=3)
+        plain.quantize_int8()
+        with_eq.quantize_int8(equalization=np.ones(6))
+        np.testing.assert_array_equal(plain.weight_q, with_eq.weight_q)
+        np.testing.assert_array_equal(plain.weight_scale, with_eq.weight_scale)
+        np.testing.assert_array_equal(plain.weight.data, with_eq.weight.data)
+
+    def test_non_positive_equalization_rejected(self):
+        layer = Linear(4, 3, seed=0)
+        with pytest.raises(ModelConfigError):
+            layer.quantize_int8(equalization=np.array([1.0, 0.0, 1.0, 1.0]))
+
+    def test_double_quantize_is_noop(self):
+        layer = Linear(6, 5, bias=False, seed=7)
+        layer.quantize_int8(equalization=np.exp2([1, -1, 0, 2, 0, -2]).astype(np.float64), asymmetric=True)
+        codes, scales = layer.weight_q, layer.weight_scale
+        master = layer.weight.data.copy()
+        layer.quantize_int8()  # second call: no re-round, no state change
+        assert layer.weight_q is codes and layer.weight_scale is scales
+        np.testing.assert_array_equal(layer.weight.data, master)
+
+    def test_embedding_double_quantize_is_noop(self):
+        emb = Embedding(12, 8, seed=2)
+        emb.quantize_int8(asymmetric=True)
+        codes = emb.weight_q
+        master = emb.weight.data.copy()
+        emb.quantize_int8(asymmetric=False)
+        assert emb.weight_q is codes
+        np.testing.assert_array_equal(emb.weight.data, master)
+
+
+# ---------------------------------------------------------------------------
+# int8 state round trip with zero points and equalization
+# ---------------------------------------------------------------------------
+
+
+class TestCalibratedStateRoundTrip:
+    def test_zp_eq_entries_round_trip_bitwise(self):
+        model = fresh_model(seed=5)
+        stats = collect_activation_stats(model, calib_inputs(), max_length=4)
+        policy = QuantPolicy(modes={"shared_embedding": "int8_asym"})
+        apply_policy(model, policy, stats)
+        state = model.int8_state_dict()
+        assert any(key.endswith(".int8_eq") for key in state)
+        assert any(key.endswith(".int8_zp") for key in state)
+
+        twin = fresh_model(seed=999)  # different weights, then overwritten
+        twin.load_state_dict(state)
+        for (_, module), (_, twin_module) in zip(quantizable_modules(model), quantizable_modules(twin)):
+            np.testing.assert_array_equal(module.weight.data, twin_module.weight.data)
+            np.testing.assert_array_equal(module.weight_q, twin_module.weight_q)
+            if module.weight_equalization is not None:
+                np.testing.assert_array_equal(module.weight_equalization, twin_module.weight_equalization)
+            if module.weight_zero_point is not None:
+                np.testing.assert_array_equal(module.weight_zero_point, twin_module.weight_zero_point)
+
+
+# ---------------------------------------------------------------------------
+# token agreement on length-mismatched decodes
+# ---------------------------------------------------------------------------
+
+
+class TestTokenAgreement:
+    def test_identical_decodes_agree_fully(self):
+        tokens = np.array([[3, 4, 5], [6, 7, 1]])
+        assert token_agreement(tokens, tokens) == 1.0
+
+    def test_length_mismatch_tail_counts_as_disagreement(self):
+        reference = np.array([[3, 4, 5, 6]])
+        candidate = np.array([[3, 4, 5, 6, 7, 8]])
+        # 4 matching positions over a max width of 6.
+        assert token_agreement(reference, candidate) == pytest.approx(4 / 6)
+        # Symmetric: the shorter side as candidate scores the same.
+        assert token_agreement(candidate, reference) == pytest.approx(4 / 6)
+
+    def test_overlap_disagreement_and_tail_combine(self):
+        reference = np.array([[3, 4, 5]])
+        candidate = np.array([[3, 9, 5, 6, 7]])
+        assert token_agreement(reference, candidate) == pytest.approx(2 / 5)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ModelConfigError):
+            token_agreement(np.zeros((2, 3), dtype=int), np.zeros((3, 3), dtype=int))
+
+    def test_empty_is_full_agreement(self):
+        assert token_agreement(np.zeros((0, 4), dtype=int), np.zeros((0, 2), dtype=int)) == 1.0
+        assert token_agreement(np.zeros((2, 0), dtype=int), np.zeros((2, 0), dtype=int)) == 1.0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        batch=st.integers(min_value=1, max_value=4),
+        width_a=st.integers(min_value=1, max_value=8),
+        width_b=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_symmetric(self, seed, batch, width_a, width_b):
+        rng = np.random.default_rng(seed)
+        reference = rng.integers(0, 4, size=(batch, width_a))
+        candidate = rng.integers(0, 4, size=(batch, width_b))
+        forward = token_agreement(reference, candidate)
+        assert 0.0 <= forward <= 1.0
+        assert forward == token_agreement(candidate, reference)
+
+
+# ---------------------------------------------------------------------------
+# QuantPolicy serialization
+# ---------------------------------------------------------------------------
+
+
+class TestQuantPolicy:
+    def test_round_trip(self):
+        policy = QuantPolicy(
+            modes={"encoder.layers.0.ffn_in": "float32", "shared_embedding": "int8_asym"},
+            alpha=0.25,
+            target_agreement=0.99,
+            calibration_samples=64,
+        )
+        assert QuantPolicy.from_dict(policy.as_dict()) == policy
+        assert QuantPolicy.from_json(policy.to_json()) == policy
+
+    def test_mode_for_defaults_to_symmetric(self):
+        policy = QuantPolicy(modes={"a": "float32"})
+        assert policy.mode_for("a") == "float32"
+        assert policy.mode_for("anything_else") == "int8"
+
+    def test_float32_modules_sorted(self):
+        policy = QuantPolicy(modes={"z": "float32", "a": "float32", "m": "int8"})
+        assert policy.float32_modules == ("a", "z")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ModelConfigError):
+            QuantPolicy(modes={"a": "int4"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ModelConfigError):
+            QuantPolicy.from_dict({"modes": {}, "alpha": 0.5, "surprise": 1})
+
+    def test_tampered_json_rejected(self):
+        policy = QuantPolicy(modes={"a": "int8"})
+        tampered = policy.to_json().replace("int8", "int3")
+        with pytest.raises(ModelConfigError):
+            QuantPolicy.from_json(tampered)
+        with pytest.raises(ModelConfigError):
+            QuantPolicy.from_json("not json at all")
+
+    def test_out_of_range_knobs_rejected(self):
+        with pytest.raises(ModelConfigError):
+            QuantPolicy(alpha=2.0)
+        with pytest.raises(ModelConfigError):
+            QuantPolicy(target_agreement=1.5)
+        with pytest.raises(ModelConfigError):
+            QuantPolicy(calibration_samples=-1)
+
+
+# ---------------------------------------------------------------------------
+# observers and stats collection
+# ---------------------------------------------------------------------------
+
+
+class TestActivationObserver:
+    def test_accumulates_running_maxima(self):
+        observer = ActivationObserver(percentile_q=100.0)
+        observer.update(np.array([[1.0, -2.0], [0.5, 1.0]]))
+        observer.update(np.array([[-3.0, 0.0]]))
+        stats = observer.stats()
+        np.testing.assert_array_equal(stats.absmax, [3.0, 2.0])
+        assert stats.samples == 3
+
+    def test_empty_observer_has_no_stats(self):
+        assert ActivationObserver().stats() is None
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ModelConfigError):
+            ActivationObserver(percentile_q=0.0)
+
+    def test_range_prefers_percentile_with_absmax_fallback(self):
+        stats = ActivationStats(
+            absmax=np.array([4.0, 5.0]), percentile=np.array([2.0, 0.0]), samples=10, percentile_q=99.0
+        )
+        np.testing.assert_array_equal(stats.range_per_channel(), [2.0, 5.0])
+
+    def test_observe_detaches_even_on_error(self):
+        model = build_model()
+        with pytest.raises(RuntimeError):
+            with observe_activations(model):
+                raise RuntimeError("boom")
+        for _, module in quantizable_modules(model):
+            assert "_activation_observer" not in module.__dict__
+
+    def test_collect_stats_covers_quantizable_modules(self):
+        model = build_model(seed=3)
+        stats = collect_activation_stats(model, calib_inputs(), max_length=4)
+        names = {name for name, _ in quantizable_modules(model)}
+        assert set(stats) <= names
+        assert "shared_embedding" in stats  # the tied LM head observes too
+        for name, module in quantizable_modules(model):
+            if name not in stats:
+                continue
+            channels = (
+                module.weight.data.shape[0] if isinstance(module, Linear) else module.weight.data.shape[1]
+            )
+            assert stats[name].absmax.shape == (channels,)
+            assert stats[name].samples > 0
+
+
+# ---------------------------------------------------------------------------
+# policy application, sensitivity, calibration
+# ---------------------------------------------------------------------------
+
+
+class TestApplyPolicy:
+    def test_unknown_module_names_raise(self):
+        model = fresh_model()
+        with pytest.raises(ModelConfigError):
+            apply_policy(model, QuantPolicy(modes={"no_such_module": "float32"}))
+
+    def test_all_float32_policy_rejected(self):
+        model = fresh_model()
+        modes = {name: "float32" for name, _ in quantizable_modules(model)}
+        with pytest.raises(ModelConfigError):
+            apply_policy(model, QuantPolicy(modes=modes))
+
+    def test_modes_land_on_modules(self):
+        model = fresh_model(seed=11)
+        names = [name for name, _ in quantizable_modules(model)]
+        pinned, asym = names[0], names[1]
+        policy = QuantPolicy(modes={pinned: "float32", asym: "int8_asym"})
+        apply_policy(model, policy)
+        by_name = dict(quantizable_modules(model))
+        assert not by_name[pinned].quantized
+        # float32 pin snaps the master through float32 storage.
+        np.testing.assert_array_equal(
+            by_name[pinned].weight.data, by_name[pinned].weight.data.astype(np.float32).astype(np.float64)
+        )
+        assert by_name[asym].quantized and by_name[asym].weight_zero_point is not None
+        for name in names[2:]:
+            assert by_name[name].quantized and by_name[name].weight_zero_point is None
+
+    def test_reapply_skips_quantized_modules(self):
+        model = fresh_model(seed=12)
+        policy = QuantPolicy(modes={})
+        apply_policy(model, policy)
+        masters = {name: module.weight.data for name, module in quantizable_modules(model)}
+        apply_policy(model, policy)  # idempotent at the model level too
+        for name, module in quantizable_modules(model):
+            assert module.weight.data is masters[name]
+
+
+class TestSensitivityAndCalibration:
+    def test_scan_restores_model_bitwise(self):
+        model = fresh_model(seed=21)
+        before = {name: module.weight.data.copy() for name, module in quantizable_modules(model)}
+        damages = sensitivity_scan(model, calib_inputs(), max_length=4)
+        assert set(damages) == {name for name, _ in quantizable_modules(model)}
+        assert all(value >= 0.0 for value in damages.values())
+        for name, module in quantizable_modules(model):
+            assert not module.quantized
+            assert module.weight.requires_grad
+            np.testing.assert_array_equal(module.weight.data, before[name])
+
+    def test_scan_rejects_quantized_model(self):
+        model = fresh_model(seed=22)
+        model.quantize_int8()
+        with pytest.raises(ModelConfigError):
+            sensitivity_scan(model, calib_inputs(), max_length=4)
+
+    def test_calibrate_policy_returns_valid_policy_and_leaves_model_float(self):
+        model = fresh_model(seed=23)
+        inputs = calib_inputs(batch=4, width=6, seed=9)
+        policy, stats = calibrate_policy(model, inputs, target_agreement=0.9, max_length=4)
+        assert isinstance(policy, QuantPolicy)
+        assert policy.calibration_samples == 4
+        assert policy.target_agreement == 0.9
+        QuantPolicy.from_json(policy.to_json())  # serializable as produced
+        known = {name for name, _ in quantizable_modules(model)}
+        assert set(policy.modes) <= known
+        assert len(policy.float32_modules) < len(known)  # never pins everything
+        for _, module in quantizable_modules(model):
+            assert not module.quantized
+        assert set(stats) <= known
+
+    def test_calibrate_policy_validates_knobs(self):
+        model = fresh_model(seed=24)
+        with pytest.raises(ModelConfigError):
+            calibrate_policy(model, calib_inputs(), max_float_fraction=1.5)
+        with pytest.raises(ModelConfigError):
+            calibrate_policy(model, calib_inputs(), target_agreement=-0.1)
+        with pytest.raises(ModelConfigError):
+            calibrate_policy(model, calib_inputs(), max_margin_risk=0.0)

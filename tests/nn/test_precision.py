@@ -222,8 +222,12 @@ class TestInt8Quantization:
         assert not layer.weight.requires_grad
         np.testing.assert_array_equal(layer.weight.data, layer.weight_q.astype(np.float64) * layer.weight_scale)
         assert np.abs(layer.weight.data - original).max() <= layer.weight_scale.max() / 2 + 1e-12
-        with pytest.raises(ModelConfigError):
-            layer.quantize_int8()
+        # double-quantize is a no-op: codes, scales, and master are untouched
+        codes, scales, master = layer.weight_q.copy(), layer.weight_scale.copy(), layer.weight.data.copy()
+        layer.quantize_int8()
+        np.testing.assert_array_equal(layer.weight_q, codes)
+        np.testing.assert_array_equal(layer.weight_scale, scales)
+        np.testing.assert_array_equal(layer.weight.data, master)
 
     def test_embedding_per_row_scales(self):
         table = Embedding(10, 6, seed=2)

@@ -85,6 +85,45 @@ class TestPipelinePrecision:
         assert pipeline.submit(qa_request()).ok
 
 
+class TestContinuousStaticAgreement:
+    """Regression suite for the serving-vs-decode agreement gap.
+
+    Both int8 serving paths — the token-level continuous batching loop and
+    the static ``predict_batch`` path — run float32 compute over the same
+    dequantized masters, so their outputs must be *identical*, not merely
+    close.  A drift here is what once made ``BENCH_serving.json`` disagree
+    with ``BENCH_decode.json`` on the same quantized weights.
+    """
+
+    REQUESTS = [
+        Request(task="fevisqa", question="how many parts are there ?", table="a | 1"),
+        Request(task="fevisqa", question="how many artists are there ?", table="b | 2"),
+        Request(task="vis_to_text", chart="Visualize BAR SELECT a , b FROM t"),
+    ]
+
+    @pytest.mark.parametrize("calibrated", [False, True])
+    def test_continuous_int8_matches_static_int8(self, calibrated):
+        model = tiny_model()
+        if calibrated:
+            model.calibrate(CORPUS, n=2, target_agreement=0.9)
+        model.quantize_int8()
+        static = Pipeline.from_model(model, config=PipelineConfig(precision="int8", continuous=False))
+        continuous = Pipeline.from_model(model, config=PipelineConfig(precision="int8", continuous=True))
+        static_outputs = [r.output for r in static.serve(list(self.REQUESTS))]
+        continuous_outputs = [r.output for r in continuous.serve(list(self.REQUESTS))]
+        assert static_outputs == continuous_outputs
+
+    def test_continuous_int8_matches_direct_predict(self):
+        model = tiny_model().quantize_int8()
+        pipeline = Pipeline.from_model(model, config=PipelineConfig(precision="int8", continuous=True))
+        request = self.REQUESTS[0]
+        prepared = pipeline.prepare(request)
+        direct = model.predict_batch([prepared.source], precision="int8")
+        from repro.encoding.sequences import strip_modality_tags
+
+        assert pipeline.submit(request).output == strip_modality_tags(direct[0])
+
+
 class TestServerPrecision:
     def test_server_config_validates(self):
         with pytest.raises(ModelConfigError):
