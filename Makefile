@@ -4,11 +4,12 @@
 PYTHON ?= python
 EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report calibrate_checkpoint
 
-.PHONY: test test-fast test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale calibrate-demo smoke ci install docs check-docs help
+.PHONY: test test-fast test-streaming test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale bench-corpus calibrate-demo smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
 	@echo "make test-fast     - tests/ only, without the process-killing chaos suite (pytest tests -m 'not chaos')"
+	@echo "make test-streaming - streaming + corpus-QA equivalence suites only (chunk protocol, reassembly-equals-sync, differential retrieval)"
 	@echo "make test-chaos    - sharded-tier chaos suite only, bounded by a 900s watchdog (pytest -m chaos)"
 	@echo "make bench         - benchmark harness only (paper tables I-XII at smoke scale)"
 	@echo "make bench-decode  - decode + precision benchmark -> BENCH_decode.json + BENCH_quant_policy.json (fails if cached decode is slower than naive, fp32 slower than fp64, fp32 agreement < 99%, calibrated int8 agreement < 99%, int8 speedup < 1.5x, or int8 compression < 6x)"
@@ -17,6 +18,7 @@ help:
 	@echo "make calibrate-demo - run the int8 calibration walkthrough (examples/calibrate_checkpoint.py)"
 	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
 	@echo "make bench-scale   - sharded-tier scale benchmark -> BENCH_scale.json (fails if outputs diverge from Pipeline.serve, 2-shard speedup < 1.7x, 4-shard speedup < 3x, or a rolling swap drops a request)"
+	@echo "make bench-corpus  - corpus-QA retrieval + streaming benchmark -> BENCH_corpus.json (fails if hit rate < 0.9, rankings are non-deterministic, any stream is not bitwise-equal to sync on either tier, or first-chunk p50 > 0.5x full-response p50)"
 	@echo "make smoke         - run every example end-to-end"
 	@echo "make docs          - regenerate the API reference (docs/api/) from docstrings"
 	@echo "make check-docs    - docstring-coverage gate: fail if any public repro.* surface lacks a docstring"
@@ -31,6 +33,11 @@ test:
 # processes and dominates tests/ wall-clock).
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest tests -q -m "not chaos"
+
+# The streaming contract end to end: chunk wire protocol, reassembly-equals-
+# sync properties, and the retrieval index's differential determinism.
+test-streaming:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serving_streaming.py tests/test_serving_protocol_roundtrip.py tests/datasets/test_corpus_index.py -q
 
 # The chaos suite SIGKILLs/SIGSTOPs live shard processes; if a gateway
 # regression ever left a request future unresolved it would hang rather than
@@ -55,6 +62,9 @@ bench-deploy:
 
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/scale_benchmark.py --output BENCH_scale.json
+
+bench-corpus:
+	PYTHONPATH=src $(PYTHON) benchmarks/corpus_benchmark.py --output BENCH_corpus.json
 
 # The full calibration workflow (fine-tune -> calibrate -> quantize ->
 # register -> rebuild) at example scale; `make smoke` also runs it.

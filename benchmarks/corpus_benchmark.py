@@ -1,0 +1,329 @@
+"""Corpus QA benchmark: retrieval quality and token-streaming equivalence.
+
+Three gated sections, written to ``BENCH_corpus.json``:
+
+* **retrieval** — a synthetic multi-document corpus indexed by
+  :class:`~repro.datasets.corpus.CorpusIndex`, probed with seeded queries
+  derived from each document's own text (token dropout + shuffle).  The
+  top-``k`` hit rate (source document retrieved) must reach
+  ``--min-hit-rate`` (0.9), and the index must be *deterministic*: built
+  twice and reloaded from disk it returns identical rankings for every
+  query.
+* **streaming** — a tiny seeded :class:`~repro.core.model.DataVisT5`
+  registered (with its corpus index) through
+  :class:`~repro.deploy.registry.ModelRegistry` and served via **both**
+  front-ends: the thread :class:`~repro.serving.server.Server` and the
+  process-sharded :class:`~repro.serving.sharded.ShardedServer`.  Every
+  streamed response, reassembled with
+  :func:`~repro.serving.protocol.assemble_stream`, must be **bitwise-equal**
+  to the non-streaming response for the same request on both tiers.
+* **latency** — streaming must actually stream: across fresh (uncached)
+  requests, the p50 time-to-first-chunk must be at most
+  ``--first-chunk-factor`` (0.5) of the p50 full-response time.
+
+Run it via ``make bench-corpus`` or directly::
+
+    PYTHONPATH=src python benchmarks/corpus_benchmark.py --output BENCH_corpus.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets.corpus import CorpusDocument, CorpusIndex
+from repro.deploy.registry import ModelRegistry
+from repro.serving.pipeline import Pipeline
+from repro.serving.protocol import Request, assemble_stream
+from repro.serving.server import Server, ServerConfig
+from repro.serving.sharded import ShardConfig, ShardedServer
+
+#: Word pools the synthetic corpus is composed from; combinations are drawn
+#: without replacement so every document keeps a distinctive vocabulary core.
+CHART_TYPES = ("bar", "line", "scatter", "pie", "area", "heatmap", "box", "radar")
+METRICS = (
+    "revenue", "temperature", "latency", "population", "rainfall", "enrollment",
+    "throughput", "inventory", "emissions", "attendance",
+)
+DIMENSIONS = ("region", "quarter", "department", "species", "platform", "cohort")
+
+
+def build_corpus(num_docs: int, rng: np.random.Generator) -> list[CorpusDocument]:
+    """``num_docs`` documents with deterministic, mostly-distinct vocabularies."""
+    combos = [
+        (chart, metric, dim)
+        for chart in CHART_TYPES
+        for metric in METRICS
+        for dim in DIMENSIONS
+    ]
+    order = rng.permutation(len(combos))[:num_docs]
+    documents = []
+    for index, position in enumerate(order):
+        chart, metric, dim = combos[position]
+        documents.append(
+            CorpusDocument(
+                doc_id=f"doc-{index:03d}",
+                title=f"{metric} by {dim}",
+                chart=f"{chart} chart showing {metric} grouped by {dim} with the peak highlighted",
+                schema=None,
+                table=f"{dim} | {metric}",
+            )
+        )
+    return documents
+
+
+def make_queries(
+    documents: list[CorpusDocument], count: int, rng: np.random.Generator, drop_p: float
+) -> list[tuple[str, str]]:
+    """``count`` seeded (query, source_doc_id) probes via token dropout + shuffle."""
+    queries = []
+    for _ in range(count):
+        document = documents[int(rng.integers(len(documents)))]
+        words = document.text().split()
+        kept = [word for word in words if rng.random() > drop_p]
+        if not kept:  # degenerate dropout: keep the most distinctive field
+            kept = document.chart.split()
+        rng.shuffle(kept)
+        queries.append((" ".join(kept), document.doc_id))
+    return queries
+
+
+def retrieval_section(args: argparse.Namespace) -> tuple[dict, CorpusIndex, list[CorpusDocument]]:
+    rng = np.random.default_rng(args.seed)
+    documents = build_corpus(args.num_docs, rng)
+    index = CorpusIndex(documents)
+    rebuilt = CorpusIndex(list(documents))
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "index.json"
+        index.save(path)
+        reloaded = CorpusIndex.load(path)
+        queries = make_queries(documents, args.num_queries, rng, args.drop_p)
+        hits = 0
+        deterministic = True
+        for query, source_id in queries:
+            ranked = index.search(query, top_k=args.top_k)
+            if any(document.doc_id == source_id for document, _ in ranked):
+                hits += 1
+            key = [(document.doc_id, score) for document, score in ranked]
+            for twin in (rebuilt, reloaded):
+                twin_key = [
+                    (document.doc_id, score)
+                    for document, score in twin.search(query, top_k=args.top_k)
+                ]
+                if twin_key != key:
+                    deterministic = False
+    hit_rate = hits / len(queries)
+    section = {
+        "documents": len(documents),
+        "queries": len(queries),
+        "top_k": args.top_k,
+        "token_drop_p": args.drop_p,
+        "hits": hits,
+        "hit_rate": round(hit_rate, 4),
+        "required_hit_rate": args.min_hit_rate,
+        "fingerprint": index.fingerprint(),
+        "rankings_deterministic": deterministic,
+    }
+    return section, index, documents
+
+
+def build_backend(documents: list[CorpusDocument], args: argparse.Namespace) -> DataVisT5:
+    corpus_texts = [document.text() for document in documents]
+    config = DataVisT5Config.from_preset(
+        "tiny",
+        max_input_length=64,
+        max_target_length=16,
+        max_decode_length=args.decode_length,
+        seed=args.seed,
+    )
+    return DataVisT5.from_corpus(corpus_texts, config=config, max_vocab_size=400)
+
+
+def stream_questions(documents: list[CorpusDocument], count: int, salt: str) -> list[str]:
+    return [
+        f"{salt} what does the {documents[i % len(documents)].title} chart show"
+        for i in range(count)
+    ]
+
+
+def thread_server_section(pipeline: Pipeline, questions: list[str]) -> dict:
+    """Stream + sync every question through the asyncio Server; time both."""
+
+    async def drive() -> dict:
+        records = []
+        async with Server(pipeline, ServerConfig(num_workers=2)) as server:
+            for question in questions:
+                request = Request(task="corpus_qa", question=question)
+                started = time.perf_counter()
+                first_chunk_s = None
+                chunks = []
+                async for chunk in server.stream(request):
+                    if first_chunk_s is None:
+                        first_chunk_s = time.perf_counter() - started
+                    chunks.append(chunk)
+                total_s = time.perf_counter() - started
+                streamed = assemble_stream(chunks)
+                sync = await server.submit(Request(task="corpus_qa", question=question))
+                records.append(
+                    {
+                        "chunks": len(chunks),
+                        "first_chunk_s": first_chunk_s,
+                        "total_s": total_s,
+                        "bitwise_equal": streamed.error is None
+                        and sync.error is None
+                        and streamed.output == sync.output,
+                    }
+                )
+        return summarize_stream(records)
+
+    return asyncio.run(drive())
+
+
+def sharded_section(
+    registry_path: Path, ref: str, questions: list[str], num_shards: int
+) -> dict:
+    """Stream + sync every question through the process-sharded tier."""
+    records = []
+    config = ShardConfig(num_shards=num_shards, heartbeat_timeout_ms=10000.0)
+    with ShardedServer(registry_path, ref, config) as server:
+        for question in questions:
+            request = Request(task="corpus_qa", question=question)
+            started = time.perf_counter()
+            first_chunk_s = None
+            chunks = []
+            for chunk in server.stream(request):
+                if first_chunk_s is None:
+                    first_chunk_s = time.perf_counter() - started
+                chunks.append(chunk)
+            total_s = time.perf_counter() - started
+            streamed = assemble_stream(chunks)
+            sync = server.submit(Request(task="corpus_qa", question=question))
+            records.append(
+                {
+                    "chunks": len(chunks),
+                    "first_chunk_s": first_chunk_s,
+                    "total_s": total_s,
+                    "bitwise_equal": streamed.error is None
+                    and sync.error is None
+                    and streamed.output == sync.output,
+                }
+            )
+    return summarize_stream(records)
+
+
+def summarize_stream(records: list[dict]) -> dict:
+    firsts = [record["first_chunk_s"] for record in records if record["first_chunk_s"]]
+    totals = [record["total_s"] for record in records]
+    return {
+        "requests": len(records),
+        "chunks_per_request": [record["chunks"] for record in records],
+        "all_bitwise_equal": all(record["bitwise_equal"] for record in records),
+        "first_chunk_p50_ms": round(float(np.percentile(firsts, 50)) * 1000.0, 3) if firsts else None,
+        "full_response_p50_ms": round(float(np.percentile(totals, 50)) * 1000.0, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_corpus.json"))
+    parser.add_argument("--num-docs", type=int, default=40)
+    parser.add_argument("--num-queries", type=int, default=200)
+    parser.add_argument("--top-k", type=int, default=3)
+    parser.add_argument("--drop-p", type=float, default=0.3, help="query token dropout probability")
+    parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    parser.add_argument("--stream-requests", type=int, default=8, help="streamed requests per tier")
+    parser.add_argument("--num-shards", type=int, default=2)
+    parser.add_argument("--decode-length", type=int, default=20)
+    parser.add_argument(
+        "--first-chunk-factor",
+        type=float,
+        default=0.5,
+        help="required p50 first-chunk / p50 full-response ratio ceiling",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    retrieval, index, documents = retrieval_section(args)
+    print(
+        f"retrieval: hit rate {retrieval['hit_rate']:.3f} over {retrieval['queries']} queries "
+        f"(required {args.min_hit_rate:.2f}) | deterministic {retrieval['rankings_deterministic']}"
+    )
+
+    model = build_backend(documents, args)
+    with tempfile.TemporaryDirectory() as scratch:
+        registry_path = Path(scratch) / "registry.json"
+        registry = ModelRegistry(registry_path)
+        manifest = registry.register_checkpoint(
+            "corpus-qa-bench", model, Path(scratch) / "ckpt", corpus_index=index
+        )
+        pipeline = registry.build_pipeline(manifest.id)
+        thread_tier = thread_server_section(
+            pipeline, stream_questions(documents, args.stream_requests, "thread")
+        )
+        sharded_tier = sharded_section(
+            registry_path,
+            manifest.id,
+            stream_questions(documents, args.stream_requests, "sharded"),
+            args.num_shards,
+        )
+
+    first_p50 = thread_tier["first_chunk_p50_ms"]
+    full_p50 = thread_tier["full_response_p50_ms"]
+    ratio = (first_p50 / full_p50) if first_p50 and full_p50 else None
+    latency = {
+        "first_chunk_p50_ms": first_p50,
+        "full_response_p50_ms": full_p50,
+        "ratio": round(ratio, 4) if ratio is not None else None,
+        "required_ratio": args.first_chunk_factor,
+    }
+    print(
+        f" streaming: thread bitwise {thread_tier['all_bitwise_equal']} | "
+        f"sharded bitwise {sharded_tier['all_bitwise_equal']}"
+    )
+    print(
+        f"   latency: first chunk p50 {first_p50} ms / full p50 {full_p50} ms "
+        f"= {latency['ratio']} (required <= {args.first_chunk_factor:.2f})"
+    )
+
+    results = {
+        "benchmark": "corpus_qa",
+        "seed": args.seed,
+        "retrieval": retrieval,
+        "streaming": {"thread_server": thread_tier, "sharded_server": sharded_tier},
+        "latency": latency,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if retrieval["hit_rate"] < args.min_hit_rate:
+        failures.append(
+            f"retrieval: hit rate {retrieval['hit_rate']:.3f} below required {args.min_hit_rate:.2f}"
+        )
+    if not retrieval["rankings_deterministic"]:
+        failures.append("retrieval: rebuilt/reloaded index returned different rankings")
+    if not thread_tier["all_bitwise_equal"]:
+        failures.append("streaming: a thread-server stream reassembled differently from its sync response")
+    if not sharded_tier["all_bitwise_equal"]:
+        failures.append("streaming: a sharded-server stream reassembled differently from its sync response")
+    if ratio is None or ratio > args.first_chunk_factor:
+        failures.append(
+            f"latency: first-chunk p50 / full p50 = {latency['ratio']} "
+            f"exceeds the {args.first_chunk_factor:.2f} ceiling"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

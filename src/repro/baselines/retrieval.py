@@ -23,7 +23,7 @@ from repro.baselines.base import TextToVisBaseline
 from repro.database.schema import ColumnType, DatabaseSchema
 from repro.datasets.nvbench import NvBenchExample
 from repro.datasets.spider import SyntheticDatabasePool
-from repro.utils.text import jaccard_similarity, tokenize_words
+from repro.utils.text import jaccard_similarity, rank_by_jaccard, tokenize_words
 from repro.vql.ast import AggregateExpr, BinClause, ColumnRef, Condition, DVQuery, JoinClause, OrderByClause
 from repro.vql.standardize import standardize_dv_query
 
@@ -51,15 +51,16 @@ class RetrievalTextToVis(TextToVisBaseline):
         ]
 
     def retrieve(self, question: str, top_k: int | None = None) -> list[NvBenchExample]:
-        """The ``top_k`` most similar training examples by question Jaccard similarity."""
+        """The ``top_k`` most similar training examples by question Jaccard similarity.
+
+        Ranking goes through :func:`~repro.utils.text.rank_by_jaccard` — the
+        same deterministic lexical kernel the serving-side
+        :class:`~repro.datasets.corpus.CorpusIndex` uses, ties broken by
+        index position (which preserves the previous stable-sort behaviour).
+        """
         top_k = top_k or self.top_k
-        question_tokens = set(tokenize_words(question))
-        scored = sorted(
-            self._index,
-            key=lambda entry: jaccard_similarity(question_tokens, entry.tokens),
-            reverse=True,
-        )
-        return [entry.example for entry in scored[:top_k]]
+        ranked = rank_by_jaccard(tokenize_words(question), [entry.tokens for entry in self._index])
+        return [self._index[index].example for index, _ in ranked[:top_k]]
 
     def predict(self, question: str, schema: DatabaseSchema) -> str:
         """Retrieve the closest training query (optionally schema-revised)."""

@@ -23,7 +23,15 @@ from repro.datasets.chart2text import Chart2TextExample, Chart2TextDataset, gene
 from repro.datasets.wikitabletext import WikiTableTextExample, WikiTableTextDataset, generate_wikitabletext
 from repro.datasets.fevisqa import FeVisQAExample, FeVisQADataset, generate_fevisqa
 from repro.datasets.splits import DatasetSplits, cross_domain_split
-from repro.datasets.corpus import PretrainingCorpus, Seq2SeqExample, build_pretraining_corpus
+from repro.datasets.corpus import (
+    CorpusDocument,
+    CorpusIndex,
+    PretrainingCorpus,
+    Seq2SeqExample,
+    build_pretraining_corpus,
+    corpus_index_fingerprint,
+    fevisqa_document_corpus,
+)
 from repro.datasets.mixing import temperature_mixing_weights, TemperatureMixedSampler
 
 __all__ = [
@@ -43,9 +51,13 @@ __all__ = [
     "generate_fevisqa",
     "DatasetSplits",
     "cross_domain_split",
+    "CorpusDocument",
+    "CorpusIndex",
     "PretrainingCorpus",
     "Seq2SeqExample",
     "build_pretraining_corpus",
+    "corpus_index_fingerprint",
+    "fevisqa_document_corpus",
     "temperature_mixing_weights",
     "TemperatureMixedSampler",
 ]

@@ -1,4 +1,4 @@
-"""Pre-training corpus construction (§IV of the paper).
+"""Pre-training corpus construction (§IV of the paper) and the corpus-QA index.
 
 The hybrid pre-training objectives consume two corpora built from the four
 task datasets:
@@ -9,11 +9,23 @@ task datasets:
   training either side is chosen as the input with probability 0.5;
 * the **MLM** segment is a flat list of cross-modal text sequences used for
   T5 span-corruption denoising.
+
+The second half of the module is the serving-side retrieval artifact for the
+``corpus_qa`` task: a :class:`CorpusDocument` is one chart/table context, and
+a :class:`CorpusIndex` is a deterministic, content-hashed lexical index over
+a multi-document corpus of them.  The index is a first-class deployment
+artifact — saved as canonical JSON, fingerprinted byte-for-byte, registered
+in a :class:`~repro.deploy.manifest.DeploymentManifest` and re-verified
+before activation exactly like a model checkpoint (see
+``docs/corpus_qa.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
 
 from repro.datasets.chart2text import Chart2TextExample
 from repro.datasets.fevisqa import FeVisQAExample
@@ -30,6 +42,8 @@ from repro.encoding.sequences import (
     vis_to_text_input,
     vis_to_text_target,
 )
+from repro.errors import ModelConfigError
+from repro.utils.text import rank_by_jaccard, tokenize_words
 
 
 @dataclass
@@ -174,3 +188,233 @@ def build_pretraining_corpus(
         corpus.mlm_texts.append(f"{example.question} {example.answer}")
 
     return corpus
+
+
+# -- the corpus-QA retrieval index -------------------------------------------------------
+
+#: Format marker written into every saved index so a foreign JSON file is
+#: rejected loudly instead of mis-parsed.
+CORPUS_INDEX_FORMAT = "repro-corpus-index/v1"
+
+
+@dataclass(frozen=True)
+class CorpusDocument:
+    """One retrievable chart/table context in a corpus-QA document corpus.
+
+    ``doc_id`` is the document's stable identity (unique within a corpus).
+    ``title`` is free descriptive text (captions, representative questions)
+    that participates in lexical matching alongside the content fields;
+    ``chart`` is DV-query text, ``schema``/``table`` their linearized forms —
+    exactly the context fields a FeVisQA source sequence consumes, so a
+    retrieved document plugs directly into per-context answer generation.
+    """
+
+    doc_id: str
+    title: str = ""
+    chart: str | None = None
+    schema: str | None = None
+    table: str | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.doc_id, str) or not self.doc_id:
+            raise ModelConfigError("corpus document doc_id must be a non-empty string")
+        if not (self.title or self.chart or self.schema or self.table):
+            raise ModelConfigError(
+                f"corpus document {self.doc_id!r} has no content; an empty document can never be retrieved"
+            )
+
+    def text(self) -> str:
+        """Every content field joined — the document's lexical-matching surface."""
+        parts = [self.title, self.chart, self.schema, self.table]
+        return " ".join(part for part in parts if part)
+
+    def as_dict(self) -> dict:
+        """A JSON-ready view; :meth:`from_dict` is the exact inverse."""
+        return {
+            "doc_id": self.doc_id,
+            "title": self.title,
+            "chart": self.chart,
+            "schema": self.schema,
+            "table": self.table,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusDocument":
+        """Rebuild (and re-validate) a document; unknown keys raise."""
+        if not isinstance(payload, dict):
+            raise ModelConfigError(f"corpus document payload must be a dict, got {type(payload).__name__}")
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelConfigError(f"unknown corpus document fields: {', '.join(unknown)}")
+        if "doc_id" not in payload:
+            raise ModelConfigError("corpus document payload is missing 'doc_id'")
+        return cls(
+            doc_id=payload["doc_id"],
+            title=payload.get("title", ""),
+            chart=payload.get("chart"),
+            schema=payload.get("schema"),
+            table=payload.get("table"),
+        )
+
+
+class CorpusIndex:
+    """A deterministic, content-hashed lexical retrieval index for corpus QA.
+
+    Scoring reuses the retrieval baselines' kernel — Jaccard overlap of
+    :func:`~repro.utils.text.tokenize_words` token sets via
+    :func:`~repro.utils.text.rank_by_jaccard` — so rankings are a pure
+    function of the document list: building the index twice from the same
+    corpus, or once from a :meth:`save`/:meth:`load` round trip, returns
+    identical rankings for every query (the differential property
+    ``tests/datasets/test_corpus_index.py`` pins).
+
+    The index serializes to **canonical bytes** (sorted-keys, compact JSON of
+    the document list) and :meth:`fingerprint` is the SHA-256 of exactly
+    those bytes, so the in-memory fingerprint equals the content hash of the
+    saved file; mutating any single document changes it.  The deploy layer
+    records that fingerprint in the manifest (``index_fingerprint``) and
+    re-verifies the file before activation, exactly like a checkpoint.
+    """
+
+    def __init__(self, documents):
+        documents = tuple(documents)
+        if not all(isinstance(document, CorpusDocument) for document in documents):
+            raise ModelConfigError("CorpusIndex takes CorpusDocument instances")
+        seen: set[str] = set()
+        for document in documents:
+            if document.doc_id in seen:
+                raise ModelConfigError(f"duplicate doc_id {document.doc_id!r} in corpus")
+            seen.add(document.doc_id)
+        self._documents = documents
+        self._tokens = [frozenset(tokenize_words(document.text())) for document in documents]
+
+    @property
+    def documents(self) -> tuple[CorpusDocument, ...]:
+        """The indexed documents, in insertion order."""
+        return self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def get(self, doc_id: str) -> CorpusDocument:
+        """The document with ``doc_id``; unknown ids raise."""
+        for document in self._documents:
+            if document.doc_id == doc_id:
+                return document
+        raise ModelConfigError(f"unknown doc_id {doc_id!r}; corpus holds {len(self._documents)} documents")
+
+    def search(self, query: str, top_k: int = 3) -> list[tuple[CorpusDocument, float]]:
+        """The ``top_k`` documents most lexically similar to ``query``.
+
+        Returns ``(document, score)`` pairs sorted by descending Jaccard
+        score, ties broken by document position — fully deterministic.
+        """
+        if top_k < 1:
+            raise ModelConfigError(f"top_k must be positive, got {top_k}")
+        ranked = rank_by_jaccard(tokenize_words(query), self._tokens)
+        return [(self._documents[index], score) for index, score in ranked[:top_k]]
+
+    # -- content identity ---------------------------------------------------------------
+    def canonical_bytes(self) -> bytes:
+        """The index's canonical serialization — what :meth:`save` writes.
+
+        Sorted-keys compact JSON of the format marker plus the document
+        list, UTF-8 with a trailing newline: byte-stable across rebuilds, so
+        it doubles as the fingerprint pre-image.
+        """
+        payload = {
+            "format": CORPUS_INDEX_FORMAT,
+            "documents": [document.as_dict() for document in self._documents],
+        }
+        return (json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False) + "\n").encode("utf-8")
+
+    def fingerprint(self) -> str:
+        """``"sha256:<hex>"`` over :meth:`canonical_bytes` — the index's content hash."""
+        return "sha256:" + hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    # -- persistence --------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the canonical serialization to ``path``; returns the path.
+
+        Because the bytes written are exactly :meth:`canonical_bytes`,
+        :func:`corpus_index_fingerprint` of the file equals
+        :meth:`fingerprint` of the live index.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(self.canonical_bytes())
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CorpusIndex":
+        """Read an index previously written by :meth:`save` (strict round trip)."""
+        source = Path(path)
+        if not source.exists():
+            raise ModelConfigError(f"no corpus index at {source}")
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ModelConfigError(f"corpus index {source} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or payload.get("format") != CORPUS_INDEX_FORMAT:
+            raise ModelConfigError(
+                f"corpus index {source} is not a {CORPUS_INDEX_FORMAT} document"
+            )
+        documents = payload.get("documents")
+        if not isinstance(documents, list):
+            raise ModelConfigError(f"corpus index {source}: 'documents' must be a list")
+        return cls(CorpusDocument.from_dict(entry) for entry in documents)
+
+
+def corpus_index_fingerprint(path: str | Path) -> str:
+    """``"sha256:<hex>"`` over the index file's bytes on disk.
+
+    The deploy layer's tamper check: compares against the manifest's
+    recorded ``index_fingerprint`` before activation.  For a file written by
+    :meth:`CorpusIndex.save` this equals the live index's
+    :meth:`~CorpusIndex.fingerprint`; any edit to the file — even one that
+    parses to the same documents — changes it, matching the byte-level trust
+    rule checkpoints follow.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise ModelConfigError(f"no corpus index at {source}")
+    return "sha256:" + hashlib.sha256(source.read_bytes()).hexdigest()
+
+
+def fevisqa_document_corpus(examples: list[FeVisQAExample]) -> list[CorpusDocument]:
+    """One :class:`CorpusDocument` per distinct chart context in ``examples``.
+
+    FeVisQA asks several questions of each chart; the corpus deduplicates by
+    ``(db_id, query_text)`` so each chart context becomes one document, its
+    ``title`` accumulating every question asked of it (the natural-language
+    surface a corpus-QA query matches against).  Document ids are
+    ``"<db_id>/<n>"`` in first-appearance order — deterministic for a fixed
+    example order.
+    """
+    documents: dict[tuple[str, str], dict] = {}
+    per_db: dict[str, int] = {}
+    for example in examples:
+        key = (example.db_id, example.query_text)
+        if key not in documents:
+            ordinal = per_db.get(example.db_id, 0)
+            per_db[example.db_id] = ordinal + 1
+            documents[key] = {
+                "doc_id": f"{example.db_id}/{ordinal}",
+                "questions": [],
+                "chart": example.query_text,
+                "schema": example.schema_text,
+                "table": example.table_text or None,
+            }
+        if example.question not in documents[key]["questions"]:
+            documents[key]["questions"].append(example.question)
+    return [
+        CorpusDocument(
+            doc_id=entry["doc_id"],
+            title=" ".join(entry["questions"]),
+            chart=entry["chart"],
+            schema=entry["schema"],
+            table=entry["table"],
+        )
+        for entry in documents.values()
+    ]

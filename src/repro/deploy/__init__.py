@@ -8,9 +8,10 @@ server:
 
 * :class:`~repro.deploy.manifest.DeploymentManifest` — the declarative
   identity of one ``name@version``: backend construction recipe (checkpoint
-  or baseline-config), served tasks, precision/decode settings, and a
-  content fingerprint of the checkpoint's ``weights.npz``; JSON round trip,
-  validated before activation.
+  or baseline-config), served tasks, precision/decode settings, and content
+  fingerprints of the checkpoint's ``weights.npz`` and (for retrieval-
+  grounded ``corpus_qa`` deployments) the saved corpus index; JSON round
+  trip, validated before activation.
 * :class:`~repro.deploy.registry.ModelRegistry` — versioned manifests in one
   persisted JSON file, with ``register_checkpoint`` (save + fingerprint +
   mint the next version) and ``build_pipeline`` (verify, then reconstruct a

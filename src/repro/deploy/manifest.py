@@ -6,7 +6,11 @@ serves, *how* its backends are built (a saved :class:`~repro.core.model.
 DataVisT5` checkpoint, or a baseline-registry config spec), the inference
 precision and decode settings, and a content fingerprint of the checkpoint's
 ``weights.npz`` so the registry can prove the bytes on disk are the bytes
-that were registered.  Manifests are plain frozen dataclasses with a strict
+that were registered.  A retrieval-grounded deployment additionally names
+its :class:`~repro.datasets.corpus.CorpusIndex` artifact (``corpus_index``)
+and pins its content hash (``index_fingerprint``) — verified exactly like
+the checkpoint, so a tampered corpus fails activation too.  Manifests are
+plain frozen dataclasses with a strict
 JSON round trip (:meth:`~DeploymentManifest.as_dict` /
 :meth:`~DeploymentManifest.from_dict`), validated eagerly at construction —
 a malformed manifest fails when it is written, not when a hot-swap tries to
@@ -24,10 +28,11 @@ from dataclasses import dataclass, field, fields, replace
 from repro import __version__
 from repro.core.config import validate_precision
 from repro.core.model import checkpoint_fingerprint
+from repro.datasets.corpus import corpus_index_fingerprint
 from repro.deploy.router import deployment_id
 from repro.errors import ModelConfigError
 from repro.nn.calibration import QuantPolicy
-from repro.serving.protocol import SERVABLE_TASKS
+from repro.serving.protocol import MODEL_TASKS, SERVABLE_TASKS
 
 #: The decode knobs a manifest may pin (applied to the deployment's engines).
 DECODE_KEYS = ("use_cache",)
@@ -49,14 +54,23 @@ class DeploymentManifest:
     model; ``metadata`` is free-form operator context
     (training run, dataset hash, owner...).  ``repro_version`` is stamped
     automatically.
+
+    ``tasks`` defaults to :data:`~repro.serving.protocol.MODEL_TASKS` (the
+    model-backed tasks); serving ``corpus_qa`` requires declaring it
+    explicitly *and* naming a ``corpus_index`` — a saved
+    :class:`~repro.datasets.corpus.CorpusIndex` file whose content hash is
+    pinned in ``index_fingerprint`` and re-proved by :meth:`verify_index`
+    before activation.
     """
 
     name: str
     version: int
-    tasks: tuple[str, ...] = SERVABLE_TASKS
+    tasks: tuple[str, ...] = MODEL_TASKS
     checkpoint: str | None = None
     fingerprint: str | None = None
     backends: dict | None = None
+    corpus_index: str | None = None
+    index_fingerprint: str | None = None
     precision: str | None = None
     decode: dict = field(default_factory=dict)
     calibration: dict | None = None
@@ -107,6 +121,24 @@ class DeploymentManifest:
                 raise ModelConfigError(
                     f"fingerprint must look like 'sha256:<hex>', got {self.fingerprint!r}"
                 )
+        if self.corpus_index is not None and (
+            not isinstance(self.corpus_index, str) or not self.corpus_index
+        ):
+            raise ModelConfigError("manifest corpus_index must be a non-empty path string")
+        if self.index_fingerprint is not None:
+            if self.corpus_index is None:
+                raise ModelConfigError("an index_fingerprint is only meaningful with a corpus_index")
+            if not isinstance(self.index_fingerprint, str) or not self.index_fingerprint.startswith(
+                "sha256:"
+            ):
+                raise ModelConfigError(
+                    f"index_fingerprint must look like 'sha256:<hex>', got {self.index_fingerprint!r}"
+                )
+        if "corpus_qa" in self.tasks and self.corpus_index is None:
+            raise ModelConfigError(
+                f"manifest {self.id} declares the corpus_qa task but names no corpus_index; "
+                "retrieval-grounded serving needs a saved CorpusIndex artifact"
+            )
         if self.precision is not None:
             validate_precision(self.precision)
         if not isinstance(self.decode, dict):
@@ -148,6 +180,25 @@ class DeploymentManifest:
                 "the checkpoint changed since it was registered"
             )
 
+    def verify_index(self) -> None:
+        """Prove the corpus index on disk is the one that was registered.
+
+        The retrieval twin of :meth:`verify_checkpoint`: re-hashes the saved
+        :class:`~repro.datasets.corpus.CorpusIndex` file and compares against
+        the recorded ``index_fingerprint`` — a tampered or overwritten index
+        fails activation exactly like a tampered checkpoint.  No-op for
+        manifests without an index or without a recorded fingerprint.
+        """
+        if self.corpus_index is None or self.index_fingerprint is None:
+            return
+        actual = corpus_index_fingerprint(self.corpus_index)
+        if actual != self.index_fingerprint:
+            raise ModelConfigError(
+                f"corpus index fingerprint mismatch for {self.id}: manifest records "
+                f"{self.index_fingerprint} but {self.corpus_index} hashes to {actual}; "
+                "the index changed since it was registered"
+            )
+
     # -- serialization ------------------------------------------------------------------
     def as_dict(self) -> dict:
         """A JSON-ready view; :meth:`from_dict` is the exact inverse."""
@@ -158,6 +209,8 @@ class DeploymentManifest:
             "checkpoint": self.checkpoint,
             "fingerprint": self.fingerprint,
             "backends": self.backends,
+            "corpus_index": self.corpus_index,
+            "index_fingerprint": self.index_fingerprint,
             "precision": self.precision,
             "decode": dict(self.decode),
             "calibration": dict(self.calibration) if self.calibration is not None else None,

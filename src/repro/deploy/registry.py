@@ -33,12 +33,13 @@ from pathlib import Path
 
 from repro import __version__
 from repro.core.model import DataVisT5, checkpoint_fingerprint
+from repro.datasets.corpus import CorpusIndex, corpus_index_fingerprint
 from repro.deploy.manifest import DeploymentManifest
 from repro.deploy.router import parse_ref
 from repro.errors import ModelConfigError
 from repro.nn.calibration import QuantPolicy
 from repro.serving.pipeline import Pipeline, PipelineConfig
-from repro.serving.protocol import SERVABLE_TASKS
+from repro.serving.protocol import MODEL_TASKS
 
 
 class ModelRegistry:
@@ -83,10 +84,11 @@ class ModelRegistry:
         name: str,
         model: DataVisT5,
         directory: str | Path,
-        tasks: tuple[str, ...] = SERVABLE_TASKS,
+        tasks: tuple[str, ...] = MODEL_TASKS,
         precision: str | None = None,
         decode: dict | None = None,
         metadata: dict | None = None,
+        corpus_index: CorpusIndex | None = None,
     ) -> DeploymentManifest:
         """Save ``model`` under ``directory``, fingerprint it, and register it.
 
@@ -96,17 +98,38 @@ class ModelRegistry:
         :meth:`next_version` for ``name``.  A calibrated model's
         :class:`~repro.nn.calibration.QuantPolicy` is recorded in the
         manifest's ``calibration`` field automatically (the checkpoint itself
-        also embeds it, under the fingerprint).  Returns the registered
-        manifest.
+        also embeds it, under the fingerprint).
+
+        Passing a :class:`~repro.datasets.corpus.CorpusIndex` saves it as a
+        first-class artifact next to the weights (``corpus_index.json``),
+        records its content hash in the manifest's ``index_fingerprint``, and
+        adds ``corpus_qa`` to the declared tasks — the deployment then serves
+        retrieval-grounded QA, and :meth:`verify` proves the index bytes just
+        like the checkpoint bytes.  Returns the registered manifest.
         """
         directory = Path(directory)
         model.save(directory)
+        tasks = tuple(tasks)
+        index_path: str | None = None
+        index_fingerprint: str | None = None
+        if corpus_index is not None:
+            if not isinstance(corpus_index, CorpusIndex):
+                raise ModelConfigError(
+                    f"corpus_index must be a CorpusIndex, got {type(corpus_index).__name__}"
+                )
+            index_path = str(directory / "corpus_index.json")
+            corpus_index.save(index_path)
+            index_fingerprint = corpus_index_fingerprint(index_path)
+            if "corpus_qa" not in tasks:
+                tasks = tasks + ("corpus_qa",)
         manifest = DeploymentManifest(
             name=name,
             version=self.next_version(name),
             tasks=tasks,
             checkpoint=str(directory),
             fingerprint=checkpoint_fingerprint(directory),
+            corpus_index=index_path,
+            index_fingerprint=index_fingerprint,
             precision=precision,
             decode=dict(decode or {}),
             calibration=model.quant_policy.as_dict() if model.quant_policy is not None else None,
@@ -178,13 +201,14 @@ class ModelRegistry:
         """Re-validate the referenced manifest and its checkpoint fingerprint.
 
         The pre-activation gate: field validation catches a registry file
-        that was hand-edited into inconsistency, and the fingerprint check
-        catches a checkpoint whose bytes changed since registration.  Returns
-        the verified manifest.
+        that was hand-edited into inconsistency, and the fingerprint checks
+        catch a checkpoint — or a corpus index — whose bytes changed since
+        registration.  Returns the verified manifest.
         """
         manifest = self.get(ref)
         manifest.validate()
         manifest.verify_checkpoint()
+        manifest.verify_index()
         return manifest
 
     def build_pipeline(self, ref: str, config: PipelineConfig | None = None) -> Pipeline:
@@ -197,7 +221,10 @@ class ModelRegistry:
         ``calibration`` policy, so the deployed mixed-precision layout matches
         what was calibrated) and ``decode`` settings on top of ``config``;
         config manifests build their baselines through
-        :meth:`Pipeline.from_config`.
+        :meth:`Pipeline.from_config`.  A manifest naming a ``corpus_index``
+        loads the (just-verified) :class:`~repro.datasets.corpus.CorpusIndex`
+        and wires it into the pipeline, so the deployment serves
+        ``corpus_qa``.
         """
         manifest = self.verify(ref)
         if manifest.checkpoint is not None:
@@ -211,8 +238,15 @@ class ModelRegistry:
                 pipeline_config = replace(pipeline_config, precision=manifest.precision)
             if "use_cache" in manifest.decode:
                 pipeline_config = replace(pipeline_config, use_cache=manifest.decode["use_cache"])
-            return Pipeline.from_model(model, config=pipeline_config)
+            index = (
+                CorpusIndex.load(manifest.corpus_index)
+                if manifest.corpus_index is not None
+                else None
+            )
+            return Pipeline.from_model(model, config=pipeline_config, corpus_index=index)
         spec = copy.deepcopy(manifest.backends)
+        if manifest.corpus_index is not None:
+            spec["corpus_index"] = manifest.corpus_index
         return Pipeline.from_config(spec)
 
     # -- persistence --------------------------------------------------------------------

@@ -66,5 +66,26 @@ class DatasetError(ReproError):
     """Raised when a synthetic corpus cannot be generated or partitioned."""
 
 
+class CorpusEmptyError(ReproError):
+    """Raised when a corpus-QA request finds no retrievable documents.
+
+    The deployment serves ``corpus_qa`` but its :class:`~repro.datasets.
+    corpus.CorpusIndex` holds zero documents (or retrieval produced no
+    candidates), so there is no context to ground an answer in.  The serving
+    layer folds this into the structured ``corpus_empty`` error code.
+    """
+
+
+class IndexMismatchError(ReproError):
+    """Raised when a request's corpus-index fingerprint pin does not match.
+
+    A ``corpus_qa`` request may pin the exact retrieval index it was built
+    against (``Request.index = "sha256:..."``); if the serving deployment's
+    loaded :class:`~repro.datasets.corpus.CorpusIndex` hashes differently the
+    answer would be grounded in a corpus the caller never saw.  The serving
+    layer folds this into the structured ``index_mismatch`` error code.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised when an evaluation harness receives inconsistent inputs."""

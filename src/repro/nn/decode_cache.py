@@ -234,6 +234,8 @@ class PagedKVArena:
         self._fresh_allocations = 0
         self._page_reuses = 0
         self._ever_used: set[int] = set()
+        self._sequences_opened = 0
+        self._sequences_released = 0
 
     @property
     def dtype(self) -> np.dtype | None:
@@ -252,7 +254,17 @@ class PagedKVArena:
 
     def sequence(self) -> "PagedSequence":
         """Open a new empty sequence over this arena."""
+        self._sequences_opened += 1
         return PagedSequence(self)
+
+    @property
+    def sequences_open(self) -> int:
+        """Sequences opened but not yet released — the live streams/decodes.
+
+        The streaming telemetry reads this to report how many token streams
+        are drawing on the arena right now.
+        """
+        return self._sequences_opened - self._sequences_released
 
     def stats(self) -> dict:
         """Allocation counters for monitoring and the continuous benchmark."""
@@ -263,6 +275,8 @@ class PagedKVArena:
             "pages_high_water": self._high_water,
             "fresh_allocations": self._fresh_allocations,
             "page_reuses": self._page_reuses,
+            "sequences_opened": self._sequences_opened,
+            "sequences_released": self._sequences_released,
         }
 
     # -- page bookkeeping (driven by PagedSequence) ------------------------------------
@@ -395,5 +409,6 @@ class PagedSequence:
         """Return every page to the arena (idempotent); the sequence is dead after."""
         if not self._released:
             self.arena._release_pages(self.pages)
+            self.arena._sequences_released += 1
             self.pages = []
             self._released = True

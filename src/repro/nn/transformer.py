@@ -607,6 +607,11 @@ class PagedDecodeBatch:
         self._slots: list[_PagedSlot | None] = [None] * max_slots
         self._bias_memo: dict[int, Tensor] = {}
         self._next_handle = 0
+        #: Every token the most recent :meth:`step` emitted, keyed by
+        #: sequence handle (finished sequences included).  The hook token
+        #: streaming taps (:mod:`repro.serving.continuous`) read after each
+        #: step; reset at the top of the next one.
+        self.last_step_tokens: dict[int, int] = {}
 
     @property
     def active_count(self) -> int:
@@ -713,8 +718,10 @@ class PagedDecodeBatch:
             hidden = decoder.final_norm(hidden)
             logits = self.model.lm_logits(hidden).numpy()[:, -1, :]
         finished: dict[int, list[int]] = {}
+        self.last_step_tokens = {}
         for row, slot in enumerate(active):
             token = int(logits[row].argmax())
+            self.last_step_tokens[slot.handle] = token
             slot.tokens.append(token)
             slot.last_token = token
             if token == config.eos_id or len(slot.tokens) >= slot.max_length:

@@ -30,6 +30,13 @@ as a first-class event — heartbeat detection, respawn, requeue, at-most-once
 delivery.  The wire layer (:mod:`~repro.serving.transport`) is a
 length-prefixed JSON frame protocol over plain pipes.
 
+Both front-ends also serve **token-streaming** responses: ``Server.stream``
+and ``ShardedServer.stream`` yield :class:`ResponseChunk` sequences whose
+joined text reproduces the non-streaming ``Response.output`` bitwise
+(:func:`assemble_stream` recovers the response), and the retrieval-grounded
+``corpus_qa`` task answers questions over a fingerprint-verified
+:class:`~repro.datasets.corpus.CorpusIndex` — see ``docs/corpus_qa.md``.
+
 See ``docs/architecture.md`` for the data-flow diagram and the knob
 reference, and ``docs/sharding.md`` for the process model.
 """
@@ -43,19 +50,24 @@ from repro.serving.continuous import (
     continuous_predict_batch,
 )
 from repro.serving.cache import LRUCache, normalize_key
-from repro.serving.pipeline import Pipeline, PipelineConfig
+from repro.serving.pipeline import Pipeline, PipelineConfig, error_code_for
 from repro.serving.protocol import (
     ERROR_BACKEND,
     ERROR_CODE_MEANINGS,
     ERROR_CODES,
+    ERROR_CORPUS_EMPTY,
     ERROR_DEADLINE,
+    ERROR_INDEX_MISMATCH,
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
     ERROR_SHARD_FAILED,
     ERROR_SHUTDOWN,
+    MODEL_TASKS,
     SERVABLE_TASKS,
     Request,
     Response,
+    ResponseChunk,
+    assemble_stream,
     error_response,
 )
 from repro.serving.registry import (
@@ -70,6 +82,8 @@ from repro.serving.sharded import FAULT_MODES, ShardConfig, ShardedServer, serve
 from repro.serving.transport import (
     FrameDecoder,
     TransportError,
+    chunk_from_wire,
+    chunk_to_wire,
     request_from_wire,
     request_to_wire,
     schema_from_wire,
@@ -91,11 +105,17 @@ __all__ = [
     "TransportError",
     "request_to_wire",
     "request_from_wire",
+    "chunk_to_wire",
+    "chunk_from_wire",
     "schema_to_wire",
     "schema_from_wire",
     "Request",
     "Response",
+    "ResponseChunk",
+    "assemble_stream",
     "error_response",
+    "error_code_for",
+    "MODEL_TASKS",
     "SERVABLE_TASKS",
     "ERROR_CODES",
     "ERROR_CODE_MEANINGS",
@@ -105,6 +125,8 @@ __all__ = [
     "ERROR_DEADLINE",
     "ERROR_SHUTDOWN",
     "ERROR_SHARD_FAILED",
+    "ERROR_CORPUS_EMPTY",
+    "ERROR_INDEX_MISMATCH",
     "MicroBatcher",
     "BatchWindow",
     "Ticket",

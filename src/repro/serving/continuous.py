@@ -29,6 +29,18 @@ Loops are memoized per ``(model, dtype, slots, page size)`` via
 :func:`continuous_loop_for`, keyed weakly so a loop dies with its model.
 :func:`continuous_predict_batch` is the text-level entry the serving
 engines call in place of ``DataVisT5.predict_batch``.
+
+**Token taps.**  A sequence may be submitted with an ``on_token`` callback,
+invoked once per emitted token id from whichever thread happens to be
+driving the loop at that step.  Taps are how the serving tier streams
+partial responses (:meth:`repro.serving.server.Server.stream`): after every
+batch step the driver reads :attr:`~repro.nn.transformer.PagedDecodeBatch.
+last_step_tokens` and fires the taps *outside* the scheduler's state lock,
+so a slow consumer can delay decoding but never deadlock it.  A tap that
+raises is swallowed and counted (``stats()["tap_errors"]``) — observers must
+not poison decode correctness.  :func:`continuous_predict_batch` layers
+``on_text`` on top: per-source callbacks that receive clean *text deltas*
+whose concatenation is bitwise-equal to the final output text.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ import numpy as np
 from repro.core.batching import pad_sequences
 from repro.core.config import precision_compute_dtype
 from repro.core.model import DataVisT5
+from repro.encoding.sequences import strip_modality_tags
 from repro.errors import ServingStateError
 from repro.nn.transformer import T5Model
 
@@ -57,11 +70,12 @@ class DecodeTicket:
     sequence was in it.
     """
 
-    __slots__ = ("row", "max_length", "done", "_result", "_error")
+    __slots__ = ("row", "max_length", "on_token", "done", "_result", "_error")
 
-    def __init__(self, row: np.ndarray, max_length: int | None):
+    def __init__(self, row: np.ndarray, max_length: int | None, on_token=None):
         self.row = row
         self.max_length = max_length
+        self.on_token = on_token
         self.done = False
         self._result: np.ndarray | None = None
         self._error: ServingStateError | None = None
@@ -119,34 +133,44 @@ class ContinuousDecodeLoop:
         self._failed = 0
         self._steps = 0
         self._peak_active = 0
+        self._tap_errors = 0
 
     @property
     def max_slots(self) -> int:
         """The batch's slot bound (sequences decoding concurrently)."""
         return self._max_slots
 
-    def submit(self, row: np.ndarray, max_length: int | None = None) -> DecodeTicket:
+    def submit(self, row: np.ndarray, max_length: int | None = None, on_token=None) -> DecodeTicket:
         """Queue one unbatched source row for decoding; returns its ticket.
 
         The ticket resolves only while some thread drives the loop
-        (:meth:`run` / :meth:`drive`); submitting never blocks.
+        (:meth:`run` / :meth:`drive`); submitting never blocks.  ``on_token``,
+        when given, is called with each emitted token id (an ``int``) from the
+        driving thread *before* the ticket resolves; exceptions it raises are
+        swallowed and counted under ``stats()["tap_errors"]``.
         """
-        ticket = DecodeTicket(np.asarray(row, dtype=np.int64), max_length)
+        ticket = DecodeTicket(np.asarray(row, dtype=np.int64), max_length, on_token=on_token)
         with self._state:
             self._pending.append(ticket)
             self._submitted += 1
         return ticket
 
-    def run(self, rows: list[np.ndarray], max_length: int | None = None) -> list[np.ndarray]:
+    def run(self, rows: list[np.ndarray], max_length: int | None = None, taps=None) -> list[np.ndarray]:
         """Decode ``rows`` to completion, driving the loop cooperatively.
 
         Returns each row's output token ids in input order, every one
         bitwise-equal to that row's solo ``generate(..., use_cache=False)``
         decode.  While this call waits for its own sequences it also steps
         everyone else's — that is what merges concurrent callers into one
-        token-level batch.
+        token-level batch.  ``taps``, when given, must be one per-row
+        ``on_token`` callback (or ``None``) per row, in row order.
         """
-        tickets = [self.submit(row, max_length) for row in rows]
+        if taps is not None and len(taps) != len(rows):
+            raise ServingStateError(f"expected one tap per row, got {len(taps)} taps for {len(rows)} rows")
+        tickets = [
+            self.submit(row, max_length, on_token=taps[index] if taps is not None else None)
+            for index, row in enumerate(rows)
+        ]
         self.drive(tickets)
         return [ticket.result for ticket in tickets]
 
@@ -186,6 +210,7 @@ class ContinuousDecodeLoop:
                 "pending": len(self._pending),
                 "active": len(self._active),
                 "peak_active": self._peak_active,
+                "tap_errors": self._tap_errors,
                 "arena": self._batch.arena.stats(),
             }
 
@@ -226,7 +251,23 @@ class ContinuousDecodeLoop:
                     max_slots=self._max_slots, page_size=self._page_size, dtype=self._dtype
                 )
             return
+        taps: list[tuple] = []
         with self._state:
+            for handle, token in self._batch.last_step_tokens.items():
+                ticket = self._active.get(handle)
+                if ticket is not None and ticket.on_token is not None:
+                    taps.append((ticket.on_token, int(token)))
+        # Fire taps outside the state lock (a slow consumer must not block
+        # submitters) but before resolving finished tickets, so every token of
+        # a sequence is observed before its ticket's result becomes readable.
+        tap_failures = 0
+        for callback, token in taps:
+            try:
+                callback(token)
+            except Exception:  # noqa: BLE001 - observers must not poison decode
+                tap_failures += 1
+        with self._state:
+            self._tap_errors += tap_failures
             self._steps += 1
             for handle, tokens in finished.items():
                 self._active.pop(handle)._resolve(np.asarray(tokens, dtype=np.int64))
@@ -265,6 +306,35 @@ def continuous_loop_stats(model: T5Model) -> dict[str, dict]:
     return {f"dtype={dtype},slots={slots},page={page}": loop.stats() for (dtype, slots, page), loop in loops.items()}
 
 
+def _delta_tap(backend: DataVisT5, index: int, on_text):
+    """An ``on_token`` callback that re-decodes and emits clean text deltas.
+
+    The tokenizer's decode is a space-join of whole tokens and modality tags
+    are whole tokens, so ``strip_modality_tags(decode(tokens[:k]))`` is a
+    string prefix of the final stripped output; each new token therefore
+    yields an exact string delta, and the concatenation of every delta is
+    bitwise-equal to the final stripped text.  The ``startswith`` guard makes
+    that an invariant rather than an assumption: a non-monotone decode (none
+    is known) would suppress the delta and leave reconciliation to the
+    stream's final chunk instead of emitting wrong text.
+    """
+    tokens: list[int] = []
+    emitted = ""
+
+    def tap(token: int) -> None:
+        nonlocal emitted
+        tokens.append(int(token))
+        text = strip_modality_tags(backend.tokenizer.decode(tokens))
+        if not text.startswith(emitted):
+            return
+        delta = text[len(emitted):]
+        if delta:
+            emitted = text
+            on_text(index, delta)
+
+    return tap
+
+
 def continuous_predict_batch(
     backend: DataVisT5,
     sources: list[str],
@@ -272,6 +342,7 @@ def continuous_predict_batch(
     max_length: int | None = None,
     max_slots: int = 8,
     page_size: int = 16,
+    on_text=None,
 ) -> list[str]:
     """Generate output texts for ``sources`` through the continuous scheduler.
 
@@ -280,6 +351,11 @@ def continuous_predict_batch(
     resolution, and — because every admitted sequence decodes
     bitwise-identically to its solo oracle — the same output texts, whether
     the call had the loop to itself or shared it with other threads.
+
+    ``on_text``, when given, is called as ``on_text(index, delta)`` from the
+    driving thread with incremental *tag-stripped* text deltas per source;
+    concatenating a source's deltas reproduces ``strip_modality_tags`` of its
+    returned text exactly (the streaming invariant the serving tier gates on).
     """
     if not sources:
         return []
@@ -293,8 +369,12 @@ def continuous_predict_batch(
         max_slots=max_slots,
         page_size=page_size,
     )
+    taps = None
+    if on_text is not None:
+        taps = [_delta_tap(backend, index, on_text) for index in range(input_ids.shape[0])]
     rows = loop.run(
         [input_ids[index] for index in range(input_ids.shape[0])],
         max_length=max_length or backend.config.max_decode_length,
+        taps=taps,
     )
     return [backend.tokenizer.decode(row) for row in rows]

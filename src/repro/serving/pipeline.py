@@ -47,6 +47,7 @@ from repro.charts.vegalite import to_vega_lite
 from repro.core.config import validate_precision
 from repro.core.model import DataVisT5
 from repro.database.schema import DatabaseSchema
+from repro.datasets.corpus import CorpusIndex
 from repro.encoding.schema_filtration import filter_schema
 from repro.encoding.sequences import (
     fevisqa_input,
@@ -54,14 +55,16 @@ from repro.encoding.sequences import (
     text_to_vis_input,
     vis_to_text_input,
 )
-from repro.errors import ModelConfigError, ReproError
+from repro.errors import CorpusEmptyError, IndexMismatchError, ModelConfigError, ReproError
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUCache, normalize_key
 from repro.serving.continuous import continuous_loop_stats, continuous_predict_batch
 from repro.serving.protocol import (
     ERROR_BACKEND,
+    ERROR_CORPUS_EMPTY,
+    ERROR_INDEX_MISMATCH,
     ERROR_INVALID_REQUEST,
-    SERVABLE_TASKS,
+    MODEL_TASKS,
     Request,
     Response,
     error_response,
@@ -99,6 +102,8 @@ class PipelineConfig:
     equivalent constructor knobs configured where the baseline is built
     (e.g. ``{"type": "neural", "precision": "float32"}`` in a registry
     spec), and the pipeline never mutates a backend it was handed.
+    ``corpus_top_k`` is how many corpus documents the ``corpus_qa`` task
+    retrieves (and answers over) per question.
     """
 
     max_batch_size: int = 8
@@ -113,21 +118,34 @@ class PipelineConfig:
     use_cache: bool = True
     continuous: bool = True
     precision: str | None = None
+    corpus_top_k: int = 3
 
     def __post_init__(self):
         if self.precision is not None:
             validate_precision(self.precision)
+        if not isinstance(self.corpus_top_k, int) or isinstance(self.corpus_top_k, bool) or self.corpus_top_k < 1:
+            raise ModelConfigError(f"corpus_top_k must be a positive int, got {self.corpus_top_k!r}")
 
 
 @dataclass
 class _Prepared:
-    """A request after encoding: the backend input plus its cache identity."""
+    """A request after encoding: the backend input plus its cache identity.
+
+    ``on_text`` is an optional streaming tap — ``on_text(delta)`` receives
+    incremental tag-stripped output text while the backend decodes (DataVisT5
+    continuous path only; other backends answer atomically and the stream's
+    final reconciliation covers them).  ``stages`` is the mutable per-stage
+    artifact dict multi-stage tasks (``corpus_qa``) fill as they run; it ends
+    up under ``Response.telemetry["stages"]``.
+    """
 
     request: Request
     source: str
     key: str
     schema: DatabaseSchema | None = None
     chart_query: DVQuery | None = None
+    on_text: object | None = None
+    stages: dict | None = None
 
     def namespaced(self, suffix: str) -> "_Prepared":
         """A copy whose cache identity carries ``suffix`` (e.g. a deployment id).
@@ -178,12 +196,27 @@ class _Engine:
         self.continuous = continuous
 
     def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
-        """Run the backend over already-prepared requests, in order."""
+        """Run the backend over already-prepared requests, in order.
+
+        Items carrying an ``on_text`` tap stream tag-stripped text deltas
+        while they decode (continuous DataVisT5 path only — the lock-step and
+        baseline paths answer atomically and rely on the stream's final
+        reconciliation instead).
+        """
         backend = self.backend
         if isinstance(backend, DataVisT5):
             if self.continuous and self.use_cache:
+                on_text = None
+                if any(item.on_text is not None for item in prepared):
+                    def on_text(index: int, delta: str, _items=prepared) -> None:
+                        tap = _items[index].on_text
+                        if tap is not None:
+                            tap(delta)
                 outputs = continuous_predict_batch(
-                    backend, [item.source for item in prepared], precision=self.precision
+                    backend,
+                    [item.source for item in prepared],
+                    precision=self.precision,
+                    on_text=on_text,
                 )
             else:
                 outputs = backend.predict_batch(
@@ -206,6 +239,92 @@ class _Engine:
         raise ModelConfigError(f"unsupported backend for {self.task}: {type(backend).__name__}")
 
 
+class _CorpusQAEngine:
+    """The two-stage ``corpus_qa`` engine: retrieve → answer per context → merge.
+
+    Wraps the pipeline's ``fevisqa`` :class:`_Engine` and a
+    :class:`~repro.datasets.corpus.CorpusIndex`.  Retrieval already happened
+    at prepare time (it is deterministic and belongs in the cache identity);
+    this engine re-resolves the retrieved ``doc_id`` s against its index,
+    asks the FeVisQA backend the same question once per retrieved context in
+    one sub-batch, then judge-style merges the per-context answers by
+    normalized majority vote (ties broken by retrieval rank, so the
+    best-retrieved context wins a split decision).  Every stage writes its
+    artifact into the item's ``stages`` dict, which the pipeline surfaces as
+    ``Response.telemetry["stages"]``.
+
+    A streaming tap on the item is forwarded to the *top-ranked* context's
+    sub-request only — the stream drafts the best context's answer token by
+    token, and the final chunk's reset/reconciliation replaces the draft
+    whenever the merge picks a different answer.
+    """
+
+    def __init__(self, fevisqa_engine: _Engine, index: CorpusIndex, top_k: int):
+        self.fevisqa = fevisqa_engine
+        self.index = index
+        self.top_k = top_k
+        self.task = "corpus_qa"
+
+    @property
+    def backend(self):
+        """The wrapped FeVisQA backend (what actually generates answers)."""
+        return self.fevisqa.backend
+
+    def predict_batch(self, prepared: list[_Prepared]) -> list[str]:
+        """Answer each item over its retrieved contexts and merge, in order."""
+        sub_items: list[_Prepared] = []
+        spans: list[tuple[_Prepared, list, int, int]] = []
+        for item in prepared:
+            docs = [self.index.get(entry["doc_id"]) for entry in item.stages["retrieval"]["documents"]]
+            start = len(sub_items)
+            for rank, document in enumerate(docs):
+                source = fevisqa_input(
+                    item.request.question,
+                    query=document.chart,
+                    schema=document.schema,
+                    table=document.table,
+                    strict=False,
+                )
+                sub_items.append(
+                    _Prepared(
+                        request=item.request,
+                        source=source,
+                        key=f"{item.key}\x1fctx{rank}",
+                        on_text=item.on_text if rank == 0 else None,
+                    )
+                )
+            spans.append((item, docs, start, len(docs)))
+        answers = self.fevisqa.predict_batch(sub_items)
+        outputs: list[str] = []
+        for item, docs, start, count in spans:
+            per_context = answers[start : start + count]
+            merged, votes = _merge_answers(per_context)
+            item.stages["contexts"] = [
+                {"doc_id": document.doc_id, "answer": answer}
+                for document, answer in zip(docs, per_context)
+            ]
+            item.stages["merge"] = {"answer": merged, "votes": votes, "strategy": "majority"}
+            outputs.append(merged)
+        return outputs
+
+
+def _merge_answers(answers: list[str]) -> tuple[str, dict[str, int]]:
+    """Majority-vote merge of per-context answers, ties broken by rank.
+
+    Answers are grouped by whitespace-normalized, case-folded text; the
+    winning group's *first-retrieved* literal answer is returned, so the
+    merged output is always one of the backend's actual generations.
+    """
+    counts: dict[str, int] = {}
+    first_rank: dict[str, int] = {}
+    for rank, answer in enumerate(answers):
+        key = " ".join(answer.split()).lower()
+        counts[key] = counts.get(key, 0) + 1
+        first_rank.setdefault(key, rank)
+    winner = min(counts, key=lambda key: (-counts[key], first_rank[key]))
+    return answers[first_rank[winner]], counts
+
+
 class Pipeline:
     """Route text-to-vis / vis-to-text / FeVisQA requests through one facade.
 
@@ -223,12 +342,13 @@ class Pipeline:
         fevisqa=None,
         model: DataVisT5 | None = None,
         config: PipelineConfig | None = None,
+        corpus_index: CorpusIndex | None = None,
     ):
         self.config = config or PipelineConfig()
         self.model = model
         backends = {"text_to_vis": text_to_vis, "vis_to_text": vis_to_text, "fevisqa": fevisqa}
-        self._engines: dict[str, _Engine] = {}
-        for task in SERVABLE_TASKS:
+        self._engines: dict[str, object] = {}
+        for task in MODEL_TASKS:
             backend = backends[task] if backends[task] is not None else model
             if backend is not None:
                 self._engines[task] = _Engine(
@@ -238,6 +358,20 @@ class Pipeline:
                     precision=self.config.precision,
                     continuous=self.config.continuous,
                 )
+        self.corpus_index = corpus_index
+        if corpus_index is not None:
+            if not isinstance(corpus_index, CorpusIndex):
+                raise ModelConfigError(
+                    f"corpus_index must be a CorpusIndex, got {type(corpus_index).__name__}"
+                )
+            if "fevisqa" not in self._engines:
+                raise ModelConfigError(
+                    "corpus_qa needs a fevisqa backend to answer over retrieved contexts; "
+                    "configure one (or a shared model) alongside the corpus index"
+                )
+            self._engines["corpus_qa"] = _CorpusQAEngine(
+                self._engines["fevisqa"], corpus_index, self.config.corpus_top_k
+            )
         self.caches = {
             "encode": LRUCache(self.config.encode_cache_size, name="encode"),
             "ast": LRUCache(self.config.ast_cache_size, name="ast"),
@@ -249,9 +383,18 @@ class Pipeline:
 
     # -- construction -----------------------------------------------------------------
     @classmethod
-    def from_model(cls, model: DataVisT5, config: PipelineConfig | None = None) -> "Pipeline":
-        """Serve all three tasks from one multi-task fine-tuned DataVisT5."""
-        return cls(model=model, config=config)
+    def from_model(
+        cls,
+        model: DataVisT5,
+        config: PipelineConfig | None = None,
+        corpus_index: CorpusIndex | None = None,
+    ) -> "Pipeline":
+        """Serve every task from one multi-task fine-tuned DataVisT5.
+
+        ``corpus_index`` additionally enables the retrieval-grounded
+        ``corpus_qa`` task over that index (see ``docs/corpus_qa.md``).
+        """
+        return cls(model=model, config=config, corpus_index=corpus_index)
 
     @classmethod
     def from_config(cls, spec: dict) -> "Pipeline":
@@ -259,7 +402,9 @@ class Pipeline:
 
         Task keys (``text_to_vis`` / ``vis_to_text`` / ``fevisqa``) hold
         registry baseline specs (see :mod:`repro.serving.registry`); ``model``
-        may hold an already-built :class:`DataVisT5`; ``pipeline`` holds
+        may hold an already-built :class:`DataVisT5`; ``corpus_index`` may
+        hold a :class:`~repro.datasets.corpus.CorpusIndex` (or a path to a
+        saved one) to enable ``corpus_qa``; ``pipeline`` holds
         :class:`PipelineConfig` fields.
         """
         spec = dict(spec)
@@ -268,6 +413,9 @@ class Pipeline:
         except TypeError as error:
             raise ModelConfigError(f"invalid pipeline config: {error}") from None
         model = spec.pop("model", None)
+        corpus_index = spec.pop("corpus_index", None)
+        if isinstance(corpus_index, str):
+            corpus_index = CorpusIndex.load(corpus_index)
         backends: dict[str, object] = {}
         for task, builder in (
             ("text_to_vis", build_text_to_vis),
@@ -279,7 +427,7 @@ class Pipeline:
                 backends[task] = task_spec if _is_backend(task_spec) else builder(task_spec)
         if spec:
             raise ModelConfigError(f"unknown pipeline config keys: {', '.join(sorted(spec))}")
-        return cls(model=model, config=config, **backends)
+        return cls(model=model, config=config, corpus_index=corpus_index, **backends)
 
     def backend(self, task: str):
         """The underlying model/baseline serving ``task`` (for fitting or inspection)."""
@@ -303,6 +451,16 @@ class Pipeline:
     ) -> Response:
         """Free-form question about a chart -> answer text."""
         return self.submit(Request(task="fevisqa", question=question, chart=chart, schema=schema, table=table))
+
+    def corpus_qa(self, question: str) -> Response:
+        """Question over the deployed corpus index -> retrieval-grounded answer.
+
+        Retrieves the ``corpus_top_k`` most similar documents, answers the
+        question once per retrieved context through the FeVisQA backend, and
+        returns the majority-merged answer; per-stage artifacts land under
+        ``Response.telemetry["stages"]``.
+        """
+        return self.submit(Request(task="corpus_qa", question=question))
 
     # -- serving ----------------------------------------------------------------------
     def submit(self, request: Request) -> Response:
@@ -338,7 +496,7 @@ class Pipeline:
             except Exception as error:  # noqa: BLE001 - strict=False must contain any backend
                 if strict:
                     raise
-                responses[index] = error_response(request, ERROR_INVALID_REQUEST, str(error))
+                responses[index] = error_response(request, error_code_for(error), str(error))
                 continue
             cached = self.cached_response(prepared)
             if cached is not None:
@@ -371,6 +529,43 @@ class Pipeline:
                 for position, (index, prepared) in enumerate(by_key[first.key]):
                     responses[index] = self.response_from(prepared, payload, cached=position > 0)
         return responses  # type: ignore[return-value]
+
+    def serve_streaming(self, request: Request, on_text, strict: bool = True) -> Response:
+        """Serve one request while streaming output text deltas to ``on_text``.
+
+        ``on_text(delta)`` receives incremental tag-stripped text from the
+        decoding thread; the returned :class:`Response` is bitwise-identical
+        to :meth:`submit` for the same request (streaming never changes what
+        is generated, only when the caller sees it).  Response-cache hits and
+        non-continuous backends answer atomically without calling ``on_text``
+        — stream assemblers reconcile against the final response, so the
+        joined stream still reproduces ``Response.output`` exactly.
+
+        With ``strict=True`` errors propagate as exceptions; ``strict=False``
+        contains them as structured error responses with the same stage-aware
+        code mapping as :meth:`serve` (request-stage failures through
+        :func:`error_code_for`, backend failures as ``backend_error``), which
+        is what the sharded tier's stream frames run under.
+        """
+        try:
+            engine = self._engine(request.task)
+            prepared = self.prepare(request)
+        except Exception as error:  # noqa: BLE001 - strict=False must contain any failure
+            if strict:
+                raise
+            return error_response(request, error_code_for(error), str(error))
+        cached = self.cached_response(prepared)
+        if cached is not None:
+            return cached
+        prepared = replace(prepared, on_text=on_text)
+        try:
+            output = engine.predict_batch([prepared])[0]
+        except Exception as error:  # noqa: BLE001 - strict=False must contain any backend
+            if strict:
+                raise
+            return error_response(request, ERROR_BACKEND, str(error))
+        payload = self.complete(prepared, output)
+        return self.response_from(prepared, payload)
 
     # -- the request life cycle, one stage per method ----------------------------------
     # These are the serving primitives the async front-end (`repro.serving.
@@ -418,7 +613,7 @@ class Pipeline:
         """
         if precision is not None:
             validate_precision(precision)
-        return {
+        engines: dict[str, object] = {
             task: _Engine(
                 engine.backend,
                 task,
@@ -427,7 +622,14 @@ class Pipeline:
                 continuous=engine.continuous,
             )
             for task, engine in self._engines.items()
+            if isinstance(engine, _Engine)
         }
+        corpus = self._engines.get("corpus_qa")
+        if isinstance(corpus, _CorpusQAEngine):
+            # corpus_qa wraps the worker's own fevisqa engine, so the
+            # precision override applies to its sub-batches too.
+            engines["corpus_qa"] = _CorpusQAEngine(engines["fevisqa"], corpus.index, corpus.top_k)
+        return engines
 
     def render_chart(self, chart, width: int = 40) -> str:
         """ASCII-render ``chart`` through the pipeline's render cache."""
@@ -439,7 +641,7 @@ class Pipeline:
         """Cache, batching and continuous-scheduler counters for every stage."""
         continuous: dict[str, dict] = {}
         for task, engine in self._engines.items():
-            if engine.continuous and isinstance(engine.backend, DataVisT5):
+            if isinstance(engine, _Engine) and engine.continuous and isinstance(engine.backend, DataVisT5):
                 loops = continuous_loop_stats(engine.backend.model)
                 if loops:
                     continuous[task] = loops
@@ -470,6 +672,8 @@ class Pipeline:
             return self._prepare_text_to_vis(request)
         if request.task == "vis_to_text":
             return self._prepare_vis_to_text(request)
+        if request.task == "corpus_qa":
+            return self._prepare_corpus_qa(request)
         return self._prepare_fevisqa(request)
 
     def _prepare_text_to_vis(self, request: Request) -> _Prepared:
@@ -528,6 +732,39 @@ class Pipeline:
         schema = request.schema if isinstance(request.schema, DatabaseSchema) else None
         return _Prepared(request=request, source=source, key=cache_key, schema=schema, chart_query=query)
 
+    def _prepare_corpus_qa(self, request: Request) -> _Prepared:
+        """Run deterministic retrieval and pin the index identity into the cache key.
+
+        Retrieval happens here, at prepare time, because it is a pure
+        function of (question, index, top_k) — exactly the triple the cache
+        key carries, so response-cache hits replay the same retrieval.  The
+        index fingerprint in the key also means a hot-swapped index can never
+        serve answers cached under the old corpus.
+        """
+        engine = self._engine(request.task)
+        index: CorpusIndex = engine.index
+        fingerprint = index.fingerprint()
+        if request.index is not None and request.index != fingerprint:
+            raise IndexMismatchError(
+                f"request pins corpus index {request.index}, but the deployed index is {fingerprint}"
+            )
+        if len(index) == 0:
+            raise CorpusEmptyError("the deployed corpus index holds no documents to retrieve from")
+        results = index.search(request.question, top_k=engine.top_k)
+        if not results:
+            raise CorpusEmptyError("retrieval returned no documents for the question")
+        cache_key = normalize_key("corpus_qa", request.question or "", fingerprint, str(engine.top_k))
+        stages = {
+            "retrieval": {
+                "index_fingerprint": fingerprint,
+                "top_k": engine.top_k,
+                "documents": [
+                    {"doc_id": document.doc_id, "score": score} for document, score in results
+                ],
+            }
+        }
+        return _Prepared(request=request, source=request.question, key=cache_key, stages=stages)
+
     def _chart_query(self, chart: DVQuery | str | None, schema) -> DVQuery | None:
         """Parse (with the AST cache) and standardize the chart's DV query.
 
@@ -582,10 +819,15 @@ class Pipeline:
         elif prepared.chart_query is not None:
             # generation tasks echo back the parsed + standardized chart query
             payload["query"] = prepared.chart_query
+        if prepared.stages:
+            # per-stage artifacts (corpus_qa retrieval/contexts/merge) are part
+            # of the cached payload, so cache hits replay their telemetry too
+            payload["stages"] = copy.deepcopy(prepared.stages)
         return payload
 
     def _response_from(self, prepared: _Prepared, payload: dict, cached: bool) -> Response:
         vega_lite = payload["vega_lite"]
+        stages = payload.get("stages")
         return Response(
             task=prepared.request.task,
             output=payload["output"],
@@ -597,7 +839,24 @@ class Pipeline:
             vega_lite=copy.deepcopy(vega_lite) if vega_lite is not None else None,
             valid=payload["valid"],
             request_id=prepared.request.request_id,
+            telemetry={"stages": copy.deepcopy(stages)} if stages else None,
         )
+
+
+def error_code_for(error: Exception) -> str:
+    """The structured error code a request-stage exception maps to.
+
+    Shared by the sync pipeline (``serve(strict=False)``), the async server
+    and the sharded tier, so the same failure carries the same code no matter
+    which front-end surfaced it.  Backend-stage failures are mapped to
+    ``backend_error`` by their callers; everything else here is a property of
+    the request or the deployment it targeted.
+    """
+    if isinstance(error, CorpusEmptyError):
+        return ERROR_CORPUS_EMPTY
+    if isinstance(error, IndexMismatchError):
+        return ERROR_INDEX_MISMATCH
+    return ERROR_INVALID_REQUEST
 
 
 def _chart_text(chart: DVQuery | str | None) -> str:

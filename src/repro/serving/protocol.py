@@ -1,12 +1,19 @@
 """The serving layer's request/response protocol.
 
-Every task the pipeline serves — text-to-vis, vis-to-text, FeVisQA — is
-expressed as one :class:`Request` in and one :class:`Response` out, so
-callers (and the micro-batcher) handle a single shape regardless of task or
-backing model.  ``Request`` carries the task name plus whichever payload
-fields that task reads; ``Response`` always carries the generated text and,
-when the task produces one, the parsed/standardized DV query and its
-Vega-Lite spec.
+Every task the pipeline serves — text-to-vis, vis-to-text, FeVisQA, and the
+retrieval-grounded corpus-QA task — is expressed as one :class:`Request` in
+and one :class:`Response` out, so callers (and the micro-batcher) handle a
+single shape regardless of task or backing model.  ``Request`` carries the
+task name plus whichever payload fields that task reads; ``Response`` always
+carries the generated text and, when the task produces one, the
+parsed/standardized DV query and its Vega-Lite spec.
+
+Streaming consumers receive the same response incrementally as a sequence of
+:class:`ResponseChunk` values: seq-numbered partial text followed by one
+final chunk embedding the full :class:`Response`.  The invariant — the
+concatenated chunk texts (since the last ``seq == 0`` reset) are bitwise
+equal to the non-streaming ``Response.output`` — is what
+:func:`assemble_stream` checks and ``docs/corpus_qa.md`` documents.
 """
 
 from __future__ import annotations
@@ -18,10 +25,17 @@ from repro.errors import ModelConfigError
 from repro.vql.ast import DVQuery
 from repro.vql.parser import parse_dv_query
 
-#: The tasks the pipeline can serve.  ``table_to_text`` is trainable in the
-#: core model but has no interactive serving surface in the paper's Figure 1,
-#: so it is not part of the protocol.
-SERVABLE_TASKS = ("text_to_vis", "vis_to_text", "fevisqa")
+#: The tasks a single :class:`~repro.core.model.DataVisT5` checkpoint serves
+#: directly.  ``table_to_text`` is trainable in the core model but has no
+#: interactive serving surface in the paper's Figure 1, so it is not part of
+#: the protocol.
+MODEL_TASKS = ("text_to_vis", "vis_to_text", "fevisqa")
+
+#: The tasks the pipeline can serve.  ``corpus_qa`` is composite: it needs a
+#: FeVisQA-capable backend *plus* a deployed :class:`~repro.datasets.corpus.
+#: CorpusIndex` retrieval artifact, so checkpoint deployments declare it
+#: explicitly (``MODEL_TASKS`` stays the default manifest surface).
+SERVABLE_TASKS = MODEL_TASKS + ("corpus_qa",)
 
 #: The single source of truth for the machine-readable error codes carried by
 #: :attr:`Response.error`, mapping each code to when it is emitted.  The async
@@ -38,6 +52,8 @@ ERROR_CODE_MEANINGS = {
     "deadline_exceeded": "the request's latency budget expired while it was still queued (or was <= 0 at submission and not answerable from the response cache)",
     "server_stopped": "the request arrived after Server.stop() began",
     "shard_failed": "a worker shard process died (crash or missed heartbeats) and the request's requeue budget was exhausted before another shard could answer it",
+    "corpus_empty": "a corpus_qa request found no retrievable documents: the deployment's corpus index holds no documents (or retrieval produced no candidates)",
+    "index_mismatch": "a corpus_qa request pinned a corpus-index fingerprint (Request.index) that does not match the deployment's loaded index",
 }
 
 ERROR_INVALID_REQUEST = "invalid_request"
@@ -46,6 +62,8 @@ ERROR_QUEUE_FULL = "queue_full"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_SHUTDOWN = "server_stopped"
 ERROR_SHARD_FAILED = "shard_failed"
+ERROR_CORPUS_EMPTY = "corpus_empty"
+ERROR_INDEX_MISMATCH = "index_mismatch"
 
 ERROR_CODES = tuple(ERROR_CODE_MEANINGS)
 
@@ -60,7 +78,13 @@ class Request:
     * ``vis_to_text`` — ``chart`` (a :class:`DVQuery` or DV-query text),
       optional ``schema`` for context;
     * ``fevisqa`` — ``question`` + ``chart``, optional ``schema`` and a
-      linearized result ``table``.
+      linearized result ``table``;
+    * ``corpus_qa`` — ``question`` only; the serving deployment supplies the
+      chart/schema/table context by retrieving it from its deployed
+      :class:`~repro.datasets.corpus.CorpusIndex`.  ``index`` may pin the
+      expected index fingerprint (``"sha256:<hex>"``): a deployment whose
+      loaded index hashes differently answers ``index_mismatch`` instead of
+      silently grounding the answer in a corpus the caller never saw.
 
     ``request_id`` is an opaque caller tag echoed back on the response, so
     callers can correlate batched submissions.
@@ -80,13 +104,14 @@ class Request:
     table: str | None = None
     request_id: str | None = None
     deployment: str | None = None
+    index: str | None = None
 
     def __post_init__(self):
         if self.task not in SERVABLE_TASKS:
             raise ModelConfigError(
                 f"unknown task {self.task!r}; servable tasks: {', '.join(SERVABLE_TASKS)}"
             )
-        if self.task in ("text_to_vis", "fevisqa") and not self.question:
+        if self.task in ("text_to_vis", "fevisqa", "corpus_qa") and not self.question:
             raise ModelConfigError(f"{self.task} requests need a question")
         if self.task == "text_to_vis" and self.schema is None:
             raise ModelConfigError(
@@ -94,6 +119,13 @@ class Request:
             )
         if self.task == "vis_to_text" and self.chart is None:
             raise ModelConfigError("vis_to_text requests need a chart (DVQuery or query text)")
+        if self.index is not None:
+            if self.task != "corpus_qa":
+                raise ModelConfigError("Request.index (a corpus-index pin) is only meaningful for corpus_qa")
+            if not isinstance(self.index, str) or not self.index.startswith("sha256:"):
+                raise ModelConfigError(
+                    f"Request.index must be a corpus-index fingerprint 'sha256:<hex>', got {self.index!r}"
+                )
 
 
 @dataclass
@@ -197,6 +229,127 @@ class Response:
             detail=payload.get("detail"),
             telemetry=payload.get("telemetry"),
         )
+
+
+@dataclass
+class ResponseChunk:
+    """One increment of a streamed :class:`Response`.
+
+    A stream for one request is a sequence of chunks with consecutive
+    ``seq`` numbers starting at 0.  Non-final chunks carry a non-empty
+    ``text`` delta; the single final chunk (``final=True``) carries the
+    complete :class:`Response` in ``response`` and an empty ``text``.  The
+    stream contract (checked by :func:`assemble_stream`, property-tested in
+    ``tests/test_serving_streaming.py``):
+
+    * **bitwise reassembly** — the concatenation of the ``text`` of every
+      non-final chunk since the most recent ``seq == 0`` chunk equals the
+      final ``response.output`` exactly;
+    * **reset on seq 0** — a non-final chunk arriving with ``seq == 0``
+      restarts assembly (dropping previously buffered text).  This is how a
+      stream whose shard died mid-decode restarts cleanly after a requeue,
+      and how a speculative draft answer (corpus QA streams its top-ranked
+      context's answer while the consistency merge is pending) is replaced
+      when the merged answer diverges from it;
+    * **structured termination** — a stream never ends without a final
+      chunk; failures arrive as a final chunk whose ``response.error`` is
+      set (a *terminal error chunk*), not as a hang or a truncated stream.
+
+    ``task`` and ``request_id`` echo the request on every chunk so
+    interleaved streams can be demultiplexed.
+    """
+
+    task: str
+    seq: int
+    text: str = ""
+    final: bool = False
+    response: Response | None = None
+    request_id: str | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.seq, int) or isinstance(self.seq, bool) or self.seq < 0:
+            raise ModelConfigError(f"chunk seq must be a non-negative integer, got {self.seq!r}")
+        if self.final and self.response is None:
+            raise ModelConfigError("a final chunk must carry the complete Response")
+        if not self.final and self.response is not None:
+            raise ModelConfigError("only the final chunk may carry a Response")
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly view; :meth:`from_dict` is the exact inverse."""
+        return {
+            "task": self.task,
+            "seq": self.seq,
+            "text": self.text,
+            "final": self.final,
+            "response": self.response.as_dict() if self.response is not None else None,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResponseChunk":
+        """Rebuild (and re-validate) a chunk from :meth:`as_dict` output.
+
+        Unknown keys raise :class:`~repro.errors.ModelConfigError` rather
+        than being dropped, matching :meth:`Response.from_dict` strictness.
+        """
+        if not isinstance(payload, dict):
+            raise ModelConfigError(f"chunk payload must be a dict, got {type(payload).__name__}")
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ModelConfigError(f"unknown ResponseChunk fields: {', '.join(unknown)}")
+        missing = sorted({"task", "seq"} - set(payload))
+        if missing:
+            raise ModelConfigError(f"chunk payload is missing fields: {', '.join(missing)}")
+        response = payload.get("response")
+        if isinstance(response, dict):
+            response = Response.from_dict(response)
+        return cls(
+            task=payload["task"],
+            seq=payload["seq"],
+            text=payload.get("text", ""),
+            final=bool(payload.get("final", False)),
+            response=response,
+            request_id=payload.get("request_id"),
+        )
+
+
+def assemble_stream(chunks) -> Response:
+    """Reassemble one request's chunk sequence into its :class:`Response`.
+
+    Applies the :class:`ResponseChunk` contract: text chunks concatenate,
+    a non-final ``seq == 0`` chunk resets the buffer, and the stream must end
+    with exactly one final chunk.  Raises :class:`~repro.errors.
+    ModelConfigError` if the stream is empty, truncated (no final chunk),
+    continues past its final chunk, or the reassembled text is not bitwise
+    equal to the final ``response.output`` (successful streams only — a
+    terminal error chunk's empty output is returned as-is).  Returns the
+    final chunk's embedded :class:`Response`.
+    """
+    assembled: list[str] = []
+    final: Response | None = None
+    seen = False
+    for chunk in chunks:
+        seen = True
+        if final is not None:
+            raise ModelConfigError("stream continued past its final chunk")
+        if chunk.final:
+            final = chunk.response
+            continue
+        if chunk.seq == 0:
+            assembled = []
+        assembled.append(chunk.text)
+    if not seen:
+        raise ModelConfigError("cannot assemble an empty stream")
+    if final is None:
+        raise ModelConfigError("stream ended without a final chunk (truncated)")
+    text = "".join(assembled)
+    if final.error is None and text != final.output:
+        raise ModelConfigError(
+            f"stream reassembly mismatch: chunks concatenate to {text!r} but the "
+            f"final response output is {final.output!r}"
+        )
+    return final
 
 
 def error_response(request, error: str, detail: str) -> Response:

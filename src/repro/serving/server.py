@@ -62,8 +62,9 @@ from __future__ import annotations
 
 import asyncio
 import copy
+from collections.abc import AsyncIterator
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro import __version__
 from repro.core.batching import padding_efficiency
@@ -71,10 +72,12 @@ from repro.core.config import validate_precision
 from repro.deploy.router import CanaryGuard, Router, parse_ref
 from repro.errors import ModelConfigError
 from repro.serving.batching import BatchWindow
-from repro.serving.pipeline import Pipeline, _Engine, _Prepared
+from repro.serving.pipeline import Pipeline, _Engine, _Prepared, error_code_for
 from repro.serving.protocol import (
     ERROR_BACKEND,
+    ERROR_CORPUS_EMPTY,
     ERROR_DEADLINE,
+    ERROR_INDEX_MISMATCH,
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
     ERROR_SHARD_FAILED,
@@ -82,6 +85,7 @@ from repro.serving.protocol import (
     SERVABLE_TASKS,
     Request,
     Response,
+    ResponseChunk,
     error_response,
 )
 
@@ -216,6 +220,18 @@ def _telemetry(
     }
 
 
+def _merge_telemetry(existing: dict | None, serving: dict) -> dict:
+    """Layer the server's :func:`_telemetry` keys over pipeline-attached telemetry.
+
+    Multi-stage tasks attach their artifacts (``{"stages": ...}``) inside the
+    pipeline; replacing the dict wholesale would silently drop them, so the
+    serving keys are merged on top instead.
+    """
+    if not existing:
+        return serving
+    return {**existing, **serving}
+
+
 class _Job:
     """One queued request: its prepared form plus scheduling metadata."""
 
@@ -305,6 +321,11 @@ class Server:
             ERROR_INVALID_REQUEST: 0,
             ERROR_BACKEND: 0,
             ERROR_SHUTDOWN: 0,
+            # corpus_qa request-stage failures: an empty/unretrievable corpus
+            # and a client fingerprint pin that does not match the deployed
+            # index (see docs/corpus_qa.md).
+            ERROR_CORPUS_EMPTY: 0,
+            ERROR_INDEX_MISMATCH: 0,
             # Emitted by the process-sharded tier (repro.serving.sharded); the
             # thread-backed server counts it so responses relayed from a
             # sharded backend keep their accounting when they pass through.
@@ -643,7 +664,9 @@ class Server:
             await asyncio.sleep(0.001)
 
     # -- submission --------------------------------------------------------------------
-    async def submit(self, request: Request, deadline: float | None = None) -> Response:
+    async def submit(
+        self, request: Request, deadline: float | None = None, _on_text=None
+    ) -> Response:
         """Serve one request; always returns a :class:`Response`, never raises.
 
         ``deadline`` is a per-request latency budget in seconds, measured
@@ -659,6 +682,11 @@ class Server:
         identity hashes to a deployment (or ``Request.deployment`` pins one),
         and the response-cache key is namespaced with the deployment identity
         so versions never answer for each other.
+
+        ``_on_text`` is the streaming hook :meth:`stream` threads through to
+        the worker engines (called from worker threads with text deltas);
+        cache hits and coalesced duplicates answer without it, which the
+        stream's final reconciliation covers.
         """
         self._counts["submitted"] += 1
         if self._closed:
@@ -672,7 +700,7 @@ class Server:
             base = self.pipeline.prepare(request)
             deployment = self._route(request, base.key)
         except Exception as error:  # noqa: BLE001 - submit never raises, per contract
-            return self._account(error_response(request, ERROR_INVALID_REQUEST, str(error)))
+            return self._account(error_response(request, error_code_for(error), str(error)))
         # The routing decision changes what the workers compute, so it must
         # change the response-cache identity too: a canary (or a precision
         # override, or a new weight revision) must neither replay the
@@ -685,7 +713,9 @@ class Server:
             self._counts["cache_hits"] += 1
             self._counts["completed"] += 1
             deployment.counts["cache_hits"] += 1
-            cached.telemetry = _telemetry(cache_hit=True, deployment=deployment.deployment_id)
+            cached.telemetry = _merge_telemetry(
+                cached.telemetry, _telemetry(cache_hit=True, deployment=deployment.deployment_id)
+            )
             if shadow_target is not None:
                 settled = loop.create_future()
                 settled.set_result(("ok", {"output": cached.output}))
@@ -705,6 +735,8 @@ class Server:
                 error_response(request, ERROR_DEADLINE, "deadline expired before the request was queued")
             )
 
+        if _on_text is not None:
+            prepared = replace(prepared, on_text=_on_text)
         job = self._enqueue(prepared, request.task, deployment, deadline)
         if job is None:
             return self._account(
@@ -722,6 +754,79 @@ class Server:
     async def submit_all(self, requests: list[Request], deadline: float | None = None) -> list[Response]:
         """Submit ``requests`` concurrently; responses align with input order."""
         return list(await asyncio.gather(*(self.submit(request, deadline=deadline) for request in requests)))
+
+    async def stream(
+        self, request: Request, deadline: float | None = None
+    ) -> AsyncIterator[ResponseChunk]:
+        """Serve one request as a chunk stream (the async front-end of streaming).
+
+        Yields :class:`~repro.serving.protocol.ResponseChunk` s: zero or more
+        non-final chunks carrying text deltas as the backend decodes, then
+        exactly one final chunk embedding the complete :class:`Response` —
+        identical, telemetry aside, to what :meth:`submit` returns for the
+        same request.  The stream never raises and never truncates: failures
+        arrive as a terminal error chunk whose ``response.error`` is set.
+
+        The concatenated deltas are reconciled against the final output
+        before the final chunk: a missing tail (cache hits, coalesced
+        duplicates and non-continuous backends answer atomically) is emitted
+        as one remainder chunk, and a divergent draft (corpus QA streams its
+        top-ranked context's answer while the merge is pending) is replaced
+        by a ``seq == 0`` reset chunk carrying the authoritative text —
+        :func:`~repro.serving.protocol.assemble_stream` over the yielded
+        chunks therefore always reproduces ``Response.output`` bitwise.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        loop = asyncio.get_running_loop()
+
+        def tap(delta: str) -> None:
+            # Called on a worker thread between decode steps; hop to the loop.
+            loop.call_soon_threadsafe(queue.put_nowait, delta)
+
+        submit = asyncio.ensure_future(self.submit(request, deadline=deadline, _on_text=tap))
+        emitted = ""
+        seq = 0
+        try:
+            while True:
+                getter: asyncio.Future = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait({getter, submit}, return_when=asyncio.FIRST_COMPLETED)
+                if getter in done:
+                    delta = getter.result()
+                    emitted += delta
+                    yield ResponseChunk(task=request.task, seq=seq, text=delta, request_id=request.request_id)
+                    seq += 1
+                    continue
+                getter.cancel()
+                break
+            response = await submit  # already done; submit() never raises
+            # Taps enqueue via call_soon_threadsafe before the worker's future
+            # resolves, so everything the decode produced is already here.
+            while not queue.empty():
+                delta = queue.get_nowait()
+                emitted += delta
+                yield ResponseChunk(task=request.task, seq=seq, text=delta, request_id=request.request_id)
+                seq += 1
+            if response.ok:
+                if response.output.startswith(emitted):
+                    remainder = response.output[len(emitted):]
+                    if remainder:
+                        yield ResponseChunk(
+                            task=request.task, seq=seq, text=remainder, request_id=request.request_id
+                        )
+                        seq += 1
+                else:
+                    # The stream drafted text the final answer replaced: reset
+                    # assembly with one authoritative seq-0 chunk.
+                    yield ResponseChunk(
+                        task=request.task, seq=0, text=response.output, request_id=request.request_id
+                    )
+                    seq = 1
+            yield ResponseChunk(
+                task=request.task, seq=seq, final=True, response=response, request_id=request.request_id
+            )
+        finally:
+            if not submit.done():
+                submit.cancel()
 
     # -- routing -----------------------------------------------------------------------
     def _route(self, request: Request, key: str) -> _Deployment:
@@ -897,11 +1002,14 @@ class Server:
             response = self.pipeline.response_from(job.prepared, outcome[1], cached=False)
         else:
             response = self._account(error_response(job.prepared.request, outcome[1], outcome[2]))
-        response.telemetry = _telemetry(
-            queue_ms=round(job.queue_seconds * 1000.0, 3),
-            batch_size=job.batch_size,
-            worker=job.worker_id,
-            deployment=job.deployment.deployment_id,
+        response.telemetry = _merge_telemetry(
+            response.telemetry,
+            _telemetry(
+                queue_ms=round(job.queue_seconds * 1000.0, 3),
+                batch_size=job.batch_size,
+                worker=job.worker_id,
+                deployment=job.deployment.deployment_id,
+            ),
         )
         return response
 
@@ -914,7 +1022,9 @@ class Server:
             response = self.pipeline.response_from(prepared, outcome[1], cached=True)
         else:
             response = self._account(error_response(prepared.request, outcome[1], outcome[2]))
-        response.telemetry = _telemetry(coalesced=coalesced, deployment=deployment.deployment_id)
+        response.telemetry = _merge_telemetry(
+            response.telemetry, _telemetry(coalesced=coalesced, deployment=deployment.deployment_id)
+        )
         return response
 
     def _account(self, response: Response) -> Response:
@@ -1127,6 +1237,8 @@ class Server:
                     "invalid_request": self._counts[ERROR_INVALID_REQUEST],
                     "backend_error": self._counts[ERROR_BACKEND],
                     "shard_failed": self._counts[ERROR_SHARD_FAILED],
+                    "corpus_empty": self._counts[ERROR_CORPUS_EMPTY],
+                    "index_mismatch": self._counts[ERROR_INDEX_MISMATCH],
                 },
             },
             "batches": {

@@ -52,6 +52,25 @@ Fault injection (``enable_fault_injection=True``) lets the chaos suite ask a
 shard to ``exit`` mid-batch, ``wedge`` (stop heartbeating, simulating
 ``SIGSTOP`` deterministically) or ``drop_batch`` on the Nth serve frame —
 see ``tests/test_serving_sharded_chaos.py`` and ``docs/sharding.md``.
+
+Streaming
+---------
+
+:meth:`ShardedServer.stream` serves one request as an ordered sequence of
+:class:`~repro.serving.protocol.ResponseChunk` (see ``docs/corpus_qa.md``).
+A streaming job is dispatched as its own ``stream`` frame (never batched —
+its ``chunk`` frames interleave with other traffic on the reply pipe); the
+shard runs ``Pipeline.serve_streaming(strict=False)`` and emits each text
+delta as a ``chunk`` frame before the ordinary ``result`` frame, so chunk
+and result ordering is the pipe's FIFO ordering.  Old shards ignore the
+``stream`` frame type (unknown frames are skipped), keeping the protocol
+backward-safe.  If the shard dies mid-stream the job requeues like any
+other: the restarted stream re-emits from ``chunk_seq`` 0 and the gateway
+turns that into a ``seq`` 0 reset chunk, so
+:func:`~repro.serving.protocol.assemble_stream` still reproduces the final
+``Response.output`` bitwise; a requeue budget exhausted mid-stream yields a
+terminal ``shard_failed`` error chunk — a stream never hangs and never ends
+without a final chunk.
 """
 
 from __future__ import annotations
@@ -62,6 +81,7 @@ import copy
 import hashlib
 import json
 import os
+import queue as queue_module
 import signal
 import threading
 import time
@@ -79,6 +99,8 @@ from repro.errors import ModelConfigError, ReproError
 from repro.serving.batching import BatchWindow
 from repro.serving.cache import LRUCache
 from repro.serving.protocol import (
+    ERROR_CORPUS_EMPTY,
+    ERROR_INDEX_MISMATCH,
     ERROR_INVALID_REQUEST,
     ERROR_QUEUE_FULL,
     ERROR_SHARD_FAILED,
@@ -86,6 +108,7 @@ from repro.serving.protocol import (
     ERROR_CODES,
     Request,
     Response,
+    ResponseChunk,
     error_response,
 )
 from repro.serving.transport import (
@@ -330,6 +353,48 @@ def _shard_run(
                             "responses": [response.as_dict() for response in responses],
                         }
                     )
+            elif ftype == "stream":
+                dropped = maybe_trigger_fault() == "drop_batch"
+                request = request_from_wire(frame["request"])
+                seq = frame["seq"]
+                pipeline = pipelines.get(frame["deployment"])
+                if pipeline is None:
+                    response = error_response(
+                        request,
+                        ERROR_INVALID_REQUEST,
+                        f"deployment {frame['deployment']!r} is not loaded on shard {slot}",
+                    )
+                else:
+                    chunk_state = {"next": 0}
+
+                    def on_text(delta: str, _seq=seq, _state=chunk_state) -> None:
+                        emit(
+                            {
+                                "type": "chunk",
+                                "seq": _seq,
+                                "chunk_seq": _state["next"],
+                                "text": delta,
+                                "slot": slot,
+                                "generation": generation,
+                            }
+                        )
+                        _state["next"] += 1
+
+                    response = pipeline.serve_streaming(request, on_text, strict=False)
+                    if response.error is None and not response.cached:
+                        pause = _service_sleep_s(config, response.task)
+                        if pause > 0:
+                            time.sleep(pause)
+                if not dropped:
+                    emit(
+                        {
+                            "type": "result",
+                            "seq": seq,
+                            "slot": slot,
+                            "generation": generation,
+                            "responses": [response.as_dict()],
+                        }
+                    )
             elif ftype == "load":
                 ref = frame["ref"]
                 try:
@@ -365,11 +430,20 @@ def _shard_run(
 
 # -- gateway side ----------------------------------------------------------------------
 class _Job:
-    """One admitted request on its way to (or back from) a shard."""
+    """One admitted request on its way to (or back from) a shard.
 
-    __slots__ = ("request", "wire", "key", "cache_key", "deployment", "future", "shadow", "requeues")
+    ``on_text`` (``None`` for ordinary jobs) marks a streaming job: the
+    gateway dispatches it as a solo ``stream`` frame and calls
+    ``on_text(chunk_seq, text)`` for every ``chunk`` frame the shard emits.
+    It survives requeues with the job, so a respawned stream keeps flowing
+    to the same consumer.
+    """
 
-    def __init__(self, request, wire, key, cache_key, deployment, future, shadow=False):
+    __slots__ = (
+        "request", "wire", "key", "cache_key", "deployment", "future", "shadow", "requeues", "on_text",
+    )
+
+    def __init__(self, request, wire, key, cache_key, deployment, future, shadow=False, on_text=None):
         self.request = request
         self.wire = wire
         self.key = key
@@ -378,6 +452,7 @@ class _Job:
         self.future = future
         self.shadow = shadow
         self.requeues = 0
+        self.on_text = on_text
 
 
 class _PendingBatch:
@@ -432,8 +507,8 @@ class ShardedServer:
             responses = server.serve(requests)
 
     Thread-safe public API (every call marshals onto the gateway's private
-    event loop): :meth:`submit` / :meth:`serve` / :meth:`run_trace` for
-    traffic; :meth:`deploy` / :meth:`rolling_swap` / :meth:`undeploy` /
+    event loop): :meth:`submit` / :meth:`serve` / :meth:`stream` /
+    :meth:`run_trace` for traffic; :meth:`deploy` / :meth:`rolling_swap` / :meth:`undeploy` /
     :meth:`set_routes` / :meth:`set_canary` / :meth:`set_shadow` for the
     deployment lifecycle; :meth:`inject_fault` (tests only) and
     :meth:`stats` for observability.
@@ -522,6 +597,66 @@ class ShardedServer:
     def serve(self, requests: list[Request]) -> list[Response]:
         """Serve a burst concurrently; responses are position-aligned with ``requests``."""
         return self._call(self._serve_async(list(requests)))
+
+    def stream(self, request: Request):
+        """Serve one request as a stream of :class:`ResponseChunk` (sync generator).
+
+        The passthrough twin of :meth:`repro.serving.server.Server.stream`
+        for the process-sharded tier: the owning shard emits token-level text
+        deltas as ``chunk`` frames, and this generator relays them as
+        non-final chunks before one final chunk carrying the authoritative
+        :class:`Response`.  Joining the non-final texts reproduces
+        ``Response.output`` **bitwise** (reconciled against the final
+        response exactly like the thread server's stream: a remainder chunk
+        tops up any tail the taps missed, and a ``seq`` 0 chunk resets
+        assembly when the draft diverged or the stream restarted on a
+        respawned shard).  Failures — including a shard killed mid-stream
+        with the requeue budget exhausted — terminate the stream with a
+        final chunk whose response carries the structured error code; the
+        stream never hangs and never ends without a final chunk.  Feed the
+        chunks to :func:`~repro.serving.protocol.assemble_stream` to
+        recover the response.
+        """
+        if not isinstance(request, Request):
+            raise ModelConfigError(f"stream() needs a Request, got {type(request).__name__}")
+        if self._loop is None or self._thread is None or not self._thread.is_alive():
+            raise ModelConfigError("ShardedServer is not started")
+        events: queue_module.Queue = queue_module.Queue()
+        asyncio.run_coroutine_threadsafe(self._stream_submit(request, events.put), self._loop)
+        emitted = ""
+        seq = 0
+        while True:
+            kind, value = events.get()
+            if kind == "done":
+                response = value
+                break
+            chunk_seq, text = value
+            if chunk_seq == 0 and seq > 0:
+                # The stream restarted from scratch (its shard died and the
+                # job requeued): reset assembly with a fresh seq-0 chunk.
+                emitted = ""
+                seq = 0
+            emitted += text
+            yield ResponseChunk(task=request.task, seq=seq, text=text, request_id=request.request_id)
+            seq += 1
+        if response.error is None:
+            if response.output.startswith(emitted):
+                remainder = response.output[len(emitted):]
+                if remainder:
+                    yield ResponseChunk(
+                        task=request.task, seq=seq, text=remainder, request_id=request.request_id
+                    )
+                    seq += 1
+            else:
+                # The stream drafted text the final answer replaced: reset
+                # assembly with one authoritative seq-0 chunk.
+                yield ResponseChunk(
+                    task=request.task, seq=0, text=response.output, request_id=request.request_id
+                )
+                seq = 1
+        yield ResponseChunk(
+            task=request.task, seq=seq, final=True, response=response, request_id=request.request_id
+        )
 
     def run_trace(self, requests: list[Request], arrivals_s: list[float]) -> list[Response]:
         """Open-loop replay: submit ``requests[i]`` at offset ``arrivals_s[i]`` seconds.
@@ -626,6 +761,8 @@ class ShardedServer:
                     "invalid_request": self._counts["invalid_request"],
                     "backend_error": self._counts["backend_error"],
                     "shard_failed": self._counts["shard_failed"],
+                    "corpus_empty": self._counts[ERROR_CORPUS_EMPTY],
+                    "index_mismatch": self._counts[ERROR_INDEX_MISMATCH],
                 },
             },
             "shards": {
@@ -847,6 +984,16 @@ class ShardedServer:
         if mtype == "result":
             self._resolve_batch(slot, message.get("seq"), message.get("responses") or [])
             return
+        if mtype == "chunk":
+            # A streaming batch holds exactly one job; chunk frames for a
+            # batch no longer pending (shard died, job requeued) are stale
+            # and dropped — the restarted stream re-emits from chunk_seq 0.
+            batch = slot.pending.get(message.get("seq"))
+            if batch is not None and batch.jobs:
+                job = batch.jobs[0]
+                if job.on_text is not None and (job.future is None or not job.future.done()):
+                    job.on_text(int(message.get("chunk_seq", 0)), str(message.get("text", "")))
+            return
         if mtype == "loaded":
             slot.deployments.add(message["deployment"])
             waiter = slot.waiters.pop(("loaded", message["ref"]), None)
@@ -1048,7 +1195,18 @@ class ShardedServer:
             groups: dict[str, list[_Job]] = {}
             for item in batch:
                 groups.setdefault(item.deployment, []).append(item)
+            # One frame per unit: plain jobs share a serve frame, but every
+            # streaming job is its own stream frame (its chunk frames must
+            # interleave on the reply pipe, so streams never share a batch).
+            # Each unit takes one inflight-semaphore slot, matching the one
+            # release its result (or its shard's death) will produce.
+            units: list[tuple[str, list[_Job]]] = []
             for deployment, jobs in groups.items():
+                plain = [job for job in jobs if job.on_text is None]
+                if plain:
+                    units.append((deployment, plain))
+                units.extend((deployment, [job]) for job in jobs if job.on_text is not None)
+            for deployment, jobs in units:
                 await slot.inflight.acquire()
                 if not slot.alive or self._stopping:
                     slot.inflight.release()
@@ -1072,6 +1230,12 @@ class ShardedServer:
         for job in jobs:
             self._note_dequeued(job)
         self._dep_outstanding[deployment] = self._dep_outstanding.get(deployment, 0) + len(jobs)
+        if len(jobs) == 1 and jobs[0].on_text is not None:
+            self._send(
+                slot,
+                {"type": "stream", "seq": seq, "deployment": deployment, "request": jobs[0].wire},
+            )
+            return
         self._send(
             slot,
             {
@@ -1105,7 +1269,11 @@ class ShardedServer:
     def _deliver(self, slot: _Slot, job: _Job, payload: dict) -> None:
         if payload.get("error") is None and not job.shadow:
             stored = dict(payload)
-            stored["telemetry"] = None
+            # Shard-placement telemetry is per-delivery and must not replay,
+            # but pipeline stage artifacts (corpus_qa retrieval/merge) are a
+            # deterministic function of the request — keep those.
+            stages = (payload.get("telemetry") or {}).get("stages")
+            stored["telemetry"] = {"stages": copy.deepcopy(stages)} if stages is not None else None
             self._cache.put(job.cache_key, stored)
         enriched = dict(payload)
         telemetry = dict(enriched.get("telemetry") or {})
@@ -1165,7 +1333,7 @@ class ShardedServer:
             return routed
         return self._primary
 
-    async def _submit(self, request: Request) -> Response:
+    async def _submit(self, request: Request, on_text=None) -> Response:
         self._counts["submitted"] += 1
         if not isinstance(request, Request):
             # error_response() would dereference .task / .request_id on the
@@ -1207,11 +1375,33 @@ class ShardedServer:
             return replayed
 
         future = self._loop.create_future()
-        job = _Job(request, wire, key, cache_key, deployment, future)
+        job = _Job(request, wire, key, cache_key, deployment, future, on_text=on_text)
         self._inflight_keys[cache_key] = future
         self._maybe_shadow(request, wire, key, future)
         self._enqueue(job)
         return await future
+
+    async def _stream_submit(self, request: Request, put) -> Response:
+        """Run :meth:`_submit` with a chunk tap feeding ``put``; always ends
+        with a ``("done", response)`` event so the sync generator never hangs."""
+
+        def on_text(chunk_seq: int, text: str) -> None:
+            put(("chunk", (chunk_seq, text)))
+
+        try:
+            response = await self._submit(request, on_text=on_text)
+        except BaseException as error:  # noqa: BLE001 - the consumer must see an end
+            put(
+                (
+                    "done",
+                    error_response(
+                        request, ERROR_SHARD_FAILED, f"stream failed in the gateway: {error}"
+                    ),
+                )
+            )
+            raise
+        put(("done", response))
+        return response
 
     def _finish_inline(self, request, code: str, detail: str) -> Response:
         self._counts[code] += 1
@@ -1222,7 +1412,11 @@ class ShardedServer:
         replayed["request_id"] = request.request_id
         if cached_hit:
             replayed["cached"] = True
-        replayed["telemetry"] = {"via": via}
+        telemetry = {"via": via}
+        stages = (payload.get("telemetry") or {}).get("stages")
+        if stages is not None:
+            telemetry["stages"] = copy.deepcopy(stages)
+        replayed["telemetry"] = telemetry
         return Response.from_dict(replayed)
 
     def _maybe_shadow(self, request: Request, wire: dict, key: str, primary_future) -> None:

@@ -38,7 +38,7 @@ import struct
 
 from repro.database.schema import Column, ColumnType, DatabaseSchema, ForeignKey, TableSchema
 from repro.errors import ReproError
-from repro.serving.protocol import Request
+from repro.serving.protocol import Request, ResponseChunk
 from repro.vql.ast import DVQuery
 
 #: Upper bound on one frame's JSON payload.  Far above any real serving
@@ -225,7 +225,7 @@ def schema_from_wire(payload: dict | str | None) -> DatabaseSchema | str | None:
 #: Every key a wire-encoded request may carry; unknown keys are rejected so
 #: schema drift between a gateway and its shards is loud, mirroring
 #: ``Response.from_dict``.
-REQUEST_WIRE_FIELDS = ("task", "question", "chart", "schema", "table", "request_id", "deployment")
+REQUEST_WIRE_FIELDS = ("task", "question", "chart", "schema", "table", "request_id", "deployment", "index")
 
 
 def request_to_wire(request: Request) -> dict:
@@ -245,6 +245,7 @@ def request_to_wire(request: Request) -> dict:
         "table": request.table,
         "request_id": request.request_id,
         "deployment": request.deployment,
+        "index": request.index,
     }
 
 
@@ -273,6 +274,41 @@ def request_from_wire(payload: dict) -> Request:
             table=payload.get("table"),
             request_id=payload.get("request_id"),
             deployment=payload.get("deployment"),
+            index=payload.get("index"),
         )
     except ReproError as error:
         raise TransportError(f"invalid wire request: {error}") from None
+
+
+# -- response-chunk wire codec ---------------------------------------------------------
+#: Every key a wire-encoded stream chunk may carry; unknown keys are rejected
+#: like :data:`REQUEST_WIRE_FIELDS`.
+RESPONSE_CHUNK_WIRE_FIELDS = ("task", "seq", "text", "final", "response", "request_id")
+
+
+def chunk_to_wire(chunk: ResponseChunk) -> dict:
+    """A JSON-friendly view of one :class:`~repro.serving.protocol.ResponseChunk`.
+
+    The embedded final :class:`~repro.serving.protocol.Response` crosses as
+    its ``as_dict`` form (the chart query collapsing to text, exactly like
+    the shard result frames); :func:`chunk_from_wire` is the inverse.
+    """
+    return chunk.as_dict()
+
+
+def chunk_from_wire(payload: dict) -> ResponseChunk:
+    """Rebuild a :class:`~repro.serving.protocol.ResponseChunk` from its wire form.
+
+    Unknown keys, missing required fields and contract violations (a final
+    chunk without its response, a negative ``seq``) raise
+    :class:`TransportError`.
+    """
+    if not isinstance(payload, dict):
+        raise TransportError(f"wire chunk must be a dict, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(RESPONSE_CHUNK_WIRE_FIELDS))
+    if unknown:
+        raise TransportError(f"unknown ResponseChunk wire fields: {', '.join(unknown)}")
+    try:
+        return ResponseChunk.from_dict(payload)
+    except ReproError as error:
+        raise TransportError(f"invalid wire chunk: {error}") from None

@@ -45,6 +45,22 @@ def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
     return len(set_a & set_b) / len(union)
 
 
+def rank_by_jaccard(query_tokens: Iterable[str], candidates: Sequence[Iterable[str]]) -> list[tuple[int, float]]:
+    """Rank ``candidates`` (token collections) against a query by Jaccard overlap.
+
+    Returns every candidate as ``(index, score)`` sorted by descending score,
+    ties broken by ascending index — a total, deterministic order, so two
+    rankings over the same inputs are identical element-for-element.  This is
+    the single lexical-scoring kernel shared by the retrieval baselines
+    (:mod:`repro.baselines.retrieval`) and the serving-side
+    :class:`~repro.datasets.corpus.CorpusIndex`.
+    """
+    query = set(query_tokens)
+    scored = [(index, jaccard_similarity(query, tokens)) for index, tokens in enumerate(candidates)]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored
+
+
 def levenshtein_distance(a: Sequence, b: Sequence) -> int:
     """Edit distance between two sequences (used by retrieval baselines)."""
     if len(a) < len(b):

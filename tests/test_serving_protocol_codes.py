@@ -21,7 +21,14 @@ import pytest
 
 from repro.errors import ModelConfigError
 from repro.serving import protocol, server
-from repro.serving.protocol import ERROR_CODE_MEANINGS, ERROR_CODES, Request, error_response
+from repro.serving.protocol import (
+    ERROR_CODE_MEANINGS,
+    ERROR_CODES,
+    MODEL_TASKS,
+    SERVABLE_TASKS,
+    Request,
+    error_response,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -80,6 +87,22 @@ def test_sharded_source_emits_only_known_codes():
     assert emitted <= set(ERROR_CODES)
     # the codes the sharded tier's failure semantics are specified to emit
     assert {"shard_failed", "queue_full", "invalid_request", "server_stopped"} <= emitted
+
+
+def test_servable_tasks_extend_the_model_tasks():
+    # single source of truth: corpus_qa is servable but not model-backed, and
+    # every layer (manifest defaults, registry, request validation) derives
+    # its task list from these two tuples rather than respelling them.
+    assert MODEL_TASKS == ("text_to_vis", "vis_to_text", "fevisqa")
+    assert SERVABLE_TASKS == MODEL_TASKS + ("corpus_qa",)
+
+
+def test_unknown_task_error_lists_every_servable_task():
+    with pytest.raises(ModelConfigError) as excinfo:
+        Request(task="summarize")
+    message = str(excinfo.value)
+    for task in SERVABLE_TASKS:
+        assert task in message, f"the unknown-task error does not advertise {task!r}"
 
 
 def test_docs_table_lists_every_code():

@@ -33,7 +33,10 @@ from repro.serving import (
     FrameDecoder,
     Request,
     Response,
+    ResponseChunk,
     TransportError,
+    chunk_from_wire,
+    chunk_to_wire,
     request_from_wire,
     request_to_wire,
     schema_from_wire,
@@ -177,10 +180,19 @@ schema_field = st.one_of(st.none(), payload_text.filter(bool), database_schemas(
 chart_field = st.one_of(st.sampled_from(QUERIES), st.sampled_from(QUERY_TEXTS))
 
 
+index_pins = st.builds(
+    "sha256:{}".format, st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
+)
+
+
 @st.composite
 def wire_requests(draw) -> Request:
     task = draw(st.sampled_from(SERVABLE_TASKS))
-    question = draw(payload_text.filter(bool)) if task in ("text_to_vis", "fevisqa") else draw(st.one_of(st.none(), payload_text))
+    question = (
+        draw(payload_text.filter(bool))
+        if task in ("text_to_vis", "fevisqa", "corpus_qa")
+        else draw(st.one_of(st.none(), payload_text))
+    )
     chart = draw(chart_field) if task in ("vis_to_text", "fevisqa") else None
     schema = draw(database_schemas()) if task == "text_to_vis" else draw(schema_field)
     return Request(
@@ -191,6 +203,7 @@ def wire_requests(draw) -> Request:
         table=draw(st.one_of(st.none(), payload_text)) if task == "fevisqa" else None,
         request_id=draw(st.one_of(st.none(), payload_text)),
         deployment=draw(st.one_of(st.none(), st.sampled_from(["viz@1", "viz@2"]))),
+        index=draw(st.one_of(st.none(), index_pins)) if task == "corpus_qa" else None,
     )
 
 
@@ -208,6 +221,7 @@ class TestRequestWireRoundTrip:
         assert rebuilt.table == request.table
         assert rebuilt.request_id == request.request_id
         assert rebuilt.deployment == request.deployment
+        assert rebuilt.index == request.index
 
     @settings(max_examples=100, deadline=None)
     @given(schema=database_schemas())
@@ -308,3 +322,114 @@ class TestFraming:
         body = b"\xff\xfe not json"
         with pytest.raises(TransportError):
             decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+# -- streamed response chunks -----------------------------------------------------------
+# The streaming wire direction: every chunk shape must survive its codec and
+# the frame layer, and a well-formed chunk stream must reassemble bitwise.
+
+
+@st.composite
+def response_chunks(draw) -> ResponseChunk:
+    task = draw(st.sampled_from(SERVABLE_TASKS))
+    request_id = draw(st.one_of(st.none(), payload_text))
+    if draw(st.booleans()):
+        return ResponseChunk(
+            task=task,
+            seq=draw(st.integers(0, 50)),
+            final=True,
+            response=draw(responses()),
+            request_id=request_id,
+        )
+    return ResponseChunk(
+        task=task,
+        seq=draw(st.integers(0, 50)),
+        text=draw(payload_text),
+        request_id=request_id,
+    )
+
+
+@st.composite
+def chunk_streams(draw) -> tuple[list[ResponseChunk], Response]:
+    """A well-formed stream: text split at arbitrary points, then the final chunk."""
+    response = draw(responses())
+    chunks: list[ResponseChunk] = []
+    seq = 0
+    if response.error is None:
+        remaining = response.output
+        while remaining:
+            take = draw(st.integers(1, len(remaining)))
+            chunks.append(
+                ResponseChunk(
+                    task=response.task,
+                    seq=seq,
+                    text=remaining[:take],
+                    request_id=response.request_id,
+                )
+            )
+            remaining = remaining[take:]
+            seq += 1
+        # an abandoned draft: any prefix chunks before a seq-0 restart are
+        # dropped by the reset rule, so prepending garbage must not matter.
+        if chunks and draw(st.booleans()):
+            chunks = [
+                ResponseChunk(
+                    task=response.task, seq=0, text=draw(payload_text), request_id=response.request_id
+                ),
+                ResponseChunk(
+                    task=response.task, seq=1, text=draw(payload_text), request_id=response.request_id
+                ),
+            ] + chunks
+            seq = len(chunks)
+    chunks.append(
+        ResponseChunk(
+            task=response.task, seq=seq, final=True, response=response, request_id=response.request_id
+        )
+    )
+    return chunks, response
+
+
+class TestChunkWireRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(chunk=response_chunks())
+    def test_from_wire_inverts_to_wire_through_json(self, chunk):
+        rebuilt = chunk_from_wire(json.loads(json.dumps(chunk_to_wire(chunk))))
+        assert rebuilt == chunk
+        if chunk.response is not None:
+            assert rebuilt.response.telemetry == chunk.response.telemetry
+
+    @settings(max_examples=75, deadline=None)
+    @given(stream=chunk_streams(), data=st.data())
+    def test_framed_stream_reassembles_bitwise_under_any_chunking(self, stream, data):
+        from repro.serving import assemble_stream
+
+        chunks, response = stream
+        wire = b"".join(encode_frame(chunk_to_wire(chunk)) for chunk in chunks)
+        decoder = FrameDecoder()
+        received: list[ResponseChunk] = []
+        position = 0
+        while position < len(wire):
+            step = data.draw(st.integers(1, max(1, len(wire) - position)))
+            for frame in decoder.feed(wire[position : position + step]):
+                received.append(chunk_from_wire(frame))
+            position += step
+        assert decoder.pending_bytes() == 0
+        assembled = assemble_stream(received)
+        assert assembled == response
+        assert assembled.output == response.output
+
+    def test_unknown_wire_fields_are_rejected(self):
+        wire = chunk_to_wire(ResponseChunk(task="corpus_qa", seq=0, text="delta"))
+        wire["surprise"] = 1
+        with pytest.raises(TransportError, match="surprise"):
+            chunk_from_wire(wire)
+
+    def test_contract_violations_are_transport_errors(self):
+        with pytest.raises(TransportError):
+            chunk_from_wire("not-a-dict")
+        with pytest.raises(TransportError):
+            chunk_from_wire({"task": "corpus_qa"})  # no seq
+        with pytest.raises(TransportError):
+            chunk_from_wire({"task": "corpus_qa", "seq": -1})
+        with pytest.raises(TransportError):
+            chunk_from_wire({"task": "corpus_qa", "seq": 0, "final": True})  # no response

@@ -11,7 +11,11 @@ from ``docs/sharding.md``:
 * a dead shard is detected (pipe EOF, missed heartbeats, or an overdue
   batch), its in-flight work is requeued to surviving shards, and the slot
   is respawned under its hash-ring identity;
-* ``shard_failed`` is emitted only when the requeue budget is exhausted.
+* ``shard_failed`` is emitted only when the requeue budget is exhausted;
+* a chunk stream caught mid-flight by a shard death never hangs and never
+  truncates: a requeued stream restarts cleanly from a ``seq == 0`` reset
+  chunk and still reassembles bitwise, and an exhausted budget surfaces as
+  a structured terminal error chunk.
 
 Fault injection needs fresh, never-seen request payloads: a repeat request
 is answered from the gateway cache and would never reach the armed shard.
@@ -214,6 +218,73 @@ class TestRollingSwapUnderFailure:
             assert "viz@1" in stats["deployments"]
             after = server.serve(fresh_requests(env, 8, "postswap"))
             assert [r.error for r in after] == [None] * 8
+
+
+class TestStreamingUnderFailure:
+    @staticmethod
+    def consume_stream(server, request, timeout: float = 60.0) -> list:
+        """Drain ``server.stream`` on a worker thread; fail the test on a hang."""
+        chunks: list = []
+        done = threading.Event()
+        failure: list[BaseException] = []
+
+        def drain() -> None:
+            try:
+                for chunk in server.stream(request):
+                    chunks.append(chunk)
+            except BaseException as error:  # noqa: BLE001 - surfaced as a test failure
+                failure.append(error)
+            finally:
+                done.set()
+
+        threading.Thread(target=drain, daemon=True).start()
+        assert done.wait(timeout), "the stream hung instead of terminating"
+        if failure:
+            raise failure[0]
+        return chunks
+
+    def test_shard_death_mid_stream_restarts_cleanly(self, env):
+        from repro.serving import assemble_stream
+
+        with ShardedServer(env["registry_path"], "viz@1", ShardConfig(**CHAOS)) as server:
+            # arm both shards so the stream's serving shard dies regardless of
+            # ring placement; the default budget of 2 covers both hops
+            server.inject_fault("shard-0", "exit", after=1)
+            server.inject_fault("shard-1", "exit", after=1)
+            request = fresh_requests(env, 1, "stream-kill")[0]
+            chunks = self.consume_stream(server, request)
+            assert chunks, "a stream must never end without chunks"
+            assert chunks[-1].final and chunks[-1].response is not None
+            assert all(not chunk.final for chunk in chunks[:-1])
+            streamed = assemble_stream(chunks)
+            assert streamed.error is None, streamed.detail
+            assert streamed.request_id == request.request_id
+            # bitwise: the restarted stream reassembles to the sync answer
+            sync = server.submit(request)
+            assert streamed.output == sync.output
+            assert_recovered(server)
+            assert server.stats()["requeues"] >= 1
+
+    def test_exhausted_budget_mid_stream_is_a_terminal_error_chunk(self, env):
+        from repro.serving import assemble_stream
+
+        config = ShardConfig(**{**CHAOS, "num_shards": 1, "max_requeues": 0})
+        with ShardedServer(env["registry_path"], "viz@1", config) as server:
+            server.inject_fault("shard-0", "exit", after=1)
+            request = fresh_requests(env, 1, "stream-budget")[0]
+            chunks = self.consume_stream(server, request)
+            # structured termination: the failure is a final error chunk, not
+            # a hang or a truncated stream
+            assert chunks[-1].final and chunks[-1].response is not None
+            failed = assemble_stream(chunks)
+            assert failed.error == "shard_failed"
+            assert failed.request_id == request.request_id
+            # the tier heals: the respawned shard streams the request fine
+            assert_recovered(server)
+            retry = self.consume_stream(server, request)
+            recovered = assemble_stream(retry)
+            assert recovered.error is None, recovered.detail
+            assert recovered.output == server.submit(request).output
 
 
 class TestRequeueBudget:
