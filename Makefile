@@ -2,9 +2,9 @@
 # without installation; `make install` makes that unnecessary.
 
 PYTHON ?= python
-EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report calibrate_checkpoint
+EXAMPLES := quickstart text_to_vis_pipeline chart_captioning fevisqa_assistant dataset_report calibrate_checkpoint trace_request
 
-.PHONY: test test-fast test-streaming test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale bench-corpus calibrate-demo smoke ci install docs check-docs help
+.PHONY: test test-fast test-streaming test-chaos bench bench-decode bench-continuous bench-serving bench-deploy bench-scale bench-corpus bench-obs calibrate-demo trace-demo smoke ci install docs check-docs help
 
 help:
 	@echo "make test          - tier-1 verification: full test + benchmark suite (pytest -x -q)"
@@ -19,6 +19,8 @@ help:
 	@echo "make bench-deploy  - deployment-lifecycle benchmark -> BENCH_deploy.json (fails if a hot swap drops/errors/misroutes a request, incumbent outputs change, canary routing is non-deterministic, or shadow agreement < 1.0)"
 	@echo "make bench-scale   - sharded-tier scale benchmark -> BENCH_scale.json (fails if outputs diverge from Pipeline.serve, 2-shard speedup < 1.7x, 4-shard speedup < 3x, or a rolling swap drops a request)"
 	@echo "make bench-corpus  - corpus-QA retrieval + streaming benchmark -> BENCH_corpus.json (fails if hit rate < 0.9, rankings are non-deterministic, any stream is not bitwise-equal to sync on either tier, or first-chunk p50 > 0.5x full-response p50)"
+	@echo "make bench-obs     - observability benchmark -> BENCH_obs.json (fails if tracing costs > 3% tokens/sec, or one sharded streamed corpus_qa request does not reconstruct its full gateway->shard->pipeline->decode span tree)"
+	@echo "make trace-demo    - stream one corpus_qa request with tracing on and print its span tree (examples/trace_request.py)"
 	@echo "make smoke         - run every example end-to-end"
 	@echo "make docs          - regenerate the API reference (docs/api/) from docstrings"
 	@echo "make check-docs    - docstring-coverage gate: fail if any public repro.* surface lacks a docstring"
@@ -65,6 +67,14 @@ bench-scale:
 
 bench-corpus:
 	PYTHONPATH=src $(PYTHON) benchmarks/corpus_benchmark.py --output BENCH_corpus.json
+
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_benchmark.py --output BENCH_obs.json
+
+# The observability walkthrough (trace one streamed request, render the span
+# tree and the merged metrics); `make smoke` also runs it.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) examples/trace_request.py
 
 # The full calibration workflow (fine-tune -> calibrate -> quantize ->
 # register -> rebuild) at example scale; `make smoke` also runs it.

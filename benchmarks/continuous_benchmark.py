@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.transformer import T5Model, TransformerConfig
+from repro.obs.metrics import Histogram
 from repro.serving.continuous import ContinuousDecodeLoop
 
 
@@ -194,7 +195,15 @@ def run_open_loop_static(
 
 
 def percentile_ms(latencies: list[float], q: float) -> float:
-    return round(float(np.percentile(np.asarray(latencies), q)) * 1000.0, 3)
+    """The q-th percentile of ``latencies`` (seconds) in milliseconds.
+
+    Estimated through :class:`repro.obs.metrics.Histogram` so benchmark
+    quantiles use the same log-bucketed estimator as the serving metrics.
+    """
+    histogram = Histogram("latency_ms")
+    for value in latencies:
+        histogram.record(value * 1000.0)
+    return round(histogram.quantile(q / 100.0), 3)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,343 @@
+"""Observability benchmark: instrumentation overhead and trace completeness.
+
+Two gated sections, written to ``BENCH_obs.json``:
+
+* **overhead** — the continuous-batching burst from ``continuous_benchmark``
+  served twice through the same loop: tracing off (the default; metrics
+  stay on, they always are) and tracing on at ``sample_rate=1.0`` with a
+  root span per request, so every decode step records a span per active
+  ticket — the worst case for the instrumentation.  The estimator is the
+  **median of paired ratios**: ``--repeats`` back-to-back (untraced,
+  traced) pairs in alternating ABBA order, each pair's ratio computed from
+  two adjacent short runs.  Machine-speed drift on shared hardware swings
+  individual runs by ±15% over tens of seconds — far more than the effect
+  being measured — but drift is slow, so it cancels inside a sub-second
+  pair, ABBA cancels any order bias, and the median discards pairs a noise
+  spike landed on.  The gated ``overhead_fraction`` is that median, floored
+  at zero; it must stay within ``--max-overhead`` (default 3%).
+* **trace completeness** — one streamed ``corpus_qa`` request through a
+  real forked-shard :class:`~repro.serving.sharded.ShardedServer` with
+  tracing on.  The gateway's trace store must reconstruct the full span
+  tree for that request — ``gateway.request`` → ``gateway.dispatch`` →
+  ``shard.serve`` → ``pipeline.retrieve`` / ``pipeline.generate`` (with at
+  least one ``decode.step`` child) / ``pipeline.merge`` — with one
+  ``trace_id`` throughout and every parent link resolving; every streamed
+  chunk must carry the trace context, and the shard's heartbeat-piggybacked
+  metrics must merge into :meth:`ShardedServer.observability` with a
+  non-zero decoded-token count.
+
+Run it via ``make bench-obs`` or directly::
+
+    PYTHONPATH=src python benchmarks/obs_benchmark.py --output BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets.corpus import CorpusDocument, CorpusIndex
+from repro.deploy.registry import ModelRegistry
+from repro.obs.export import prometheus_text, render_trace, span_tree
+from repro.obs.names import (
+    SPAN_DECODE_STEP,
+    SPAN_GATEWAY_DISPATCH,
+    SPAN_GATEWAY_REQUEST,
+    SPAN_PIPELINE_GENERATE,
+    SPAN_PIPELINE_MERGE,
+    SPAN_PIPELINE_RETRIEVE,
+    SPAN_SERVER_REQUEST,
+    SPAN_SHARD_SERVE,
+)
+from repro.nn.transformer import T5Model, TransformerConfig
+from repro.serving.continuous import ContinuousDecodeLoop
+from repro.serving.protocol import Request, assemble_stream
+from repro.serving.sharded import ShardConfig, ShardedServer
+
+#: Span names the completeness section requires in the streamed request's tree.
+REQUIRED_SPANS = (
+    SPAN_GATEWAY_REQUEST,
+    SPAN_GATEWAY_DISPATCH,
+    SPAN_SHARD_SERVE,
+    SPAN_PIPELINE_RETRIEVE,
+    SPAN_PIPELINE_GENERATE,
+    SPAN_PIPELINE_MERGE,
+    SPAN_DECODE_STEP,
+)
+
+
+def build_model(args: argparse.Namespace) -> T5Model:
+    # eos_id=-1 never matches, so budgets (not random logits) shape the
+    # schedule and both modes decode the exact same token count.
+    config = TransformerConfig(
+        vocab_size=args.vocab_size,
+        d_model=args.d_model,
+        num_heads=args.num_heads,
+        d_ff=2 * args.d_model,
+        num_encoder_layers=args.num_layers,
+        num_decoder_layers=args.num_layers,
+        eos_id=-1,
+        seed=args.seed,
+    )
+    return T5Model(config).eval()
+
+
+def make_burst(args: argparse.Namespace, rng: np.random.Generator) -> list[dict]:
+    """Mixed-budget burst: every 4th request long, the rest short."""
+    return [
+        {
+            "row": rng.integers(4, args.vocab_size, size=args.input_length).astype(np.int64),
+            "budget": args.long_budget if index % 4 == 3 else args.short_budget,
+        }
+        for index in range(args.burst_size)
+    ]
+
+
+def serve_burst(model: T5Model, burst: list[dict], args: argparse.Namespace, traced: bool) -> float:
+    """Wall seconds to decode ``burst`` through one continuous loop."""
+    loop = ContinuousDecodeLoop(model, max_slots=args.max_slots, page_size=args.page_size)
+    obs.configure(tracing=traced)
+    start = time.perf_counter()
+    tickets = []
+    roots = []
+    for request in burst:
+        root = obs.TRACES.root(SPAN_SERVER_REQUEST, attrs={"task": "bench"}) if traced else None
+        roots.append(root)
+        tickets.append(
+            loop.submit(
+                request["row"],
+                max_length=request["budget"],
+                trace=root.context if root is not None else None,
+            )
+        )
+    loop.drive(tickets)
+    for root in roots:
+        obs.TRACES.finish(root)
+    return time.perf_counter() - start
+
+
+def overhead_section(args: argparse.Namespace) -> dict:
+    model = build_model(args)
+    rng = np.random.default_rng(args.seed)
+    burst = make_burst(args, rng)
+    useful_tokens = sum(request["budget"] for request in burst)
+    # Warm both modes with a full burst each: BLAS pool start-up, allocator
+    # steady state and position-bias memos must not bias either side.
+    obs.configure(capacity=65536)
+    serve_burst(model, burst, args, traced=False)
+    serve_burst(model, burst, args, traced=True)
+    obs.TRACES.clear()
+    untraced = []
+    traced = []
+    ratios = []
+    spans_recorded = 0
+    # Paired design: each repeat runs both modes back to back and keeps the
+    # traced/untraced ratio of that PAIR.  Machine-speed drift is slow
+    # relative to one short run, so it cancels inside a pair; alternating
+    # which mode goes first (ABBA) cancels any residual order bias; the
+    # median over pairs discards the ones a noise spike landed on.  The
+    # ring is drained and garbage collected between pairs — the steady
+    # state of a deployment whose collector ships traces — because spans
+    # accumulating across repeats grow every later GC pass and would tax
+    # only the traced side.
+    for index in range(args.repeats):
+        if index % 2 == 0:
+            cold = serve_burst(model, burst, args, traced=False)
+            hot = serve_burst(model, burst, args, traced=True)
+        else:
+            hot = serve_burst(model, burst, args, traced=True)
+            cold = serve_burst(model, burst, args, traced=False)
+        untraced.append(cold)
+        traced.append(hot)
+        ratios.append(hot / cold - 1.0)
+        spans_recorded = len(obs.TRACES)
+        obs.TRACES.clear()
+        gc.collect()
+    obs.configure(tracing=False)
+    untraced_median = sorted(untraced)[len(untraced) // 2]
+    traced_median = sorted(traced)[len(traced) // 2]
+    ratio_median = sorted(ratios)[len(ratios) // 2]
+    return {
+        "requests": len(burst),
+        "useful_tokens": useful_tokens,
+        "repeats": args.repeats,
+        "untraced_seconds": round(untraced_median, 6),
+        "traced_seconds": round(traced_median, 6),
+        "untraced_tokens_per_sec": round(useful_tokens / untraced_median, 2),
+        "traced_tokens_per_sec": round(useful_tokens / traced_median, 2),
+        "paired_ratios": [round(ratio, 4) for ratio in ratios],
+        "overhead_fraction": round(max(0.0, ratio_median), 4),
+        "spans_recorded_last_traced_run": spans_recorded,
+        "max_overhead": args.max_overhead,
+    }
+
+
+def build_corpus_registry(scratch: Path, args: argparse.Namespace):
+    """A registered tiny corpus_qa deployment (registry path, manifest id)."""
+    documents = [
+        CorpusDocument(
+            doc_id=f"doc-{index}",
+            title=f"metric{index} by region",
+            chart=f"bar chart showing metric{index} grouped by region",
+            schema=None,
+            table=f"region | metric{index}",
+        )
+        for index in range(4)
+    ]
+    index = CorpusIndex(documents)
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=16, max_decode_length=12, seed=args.seed
+    )
+    model = DataVisT5.from_corpus([document.text() for document in documents], config=config, max_vocab_size=400)
+    registry_path = scratch / "registry.json"
+    registry = ModelRegistry(registry_path)
+    manifest = registry.register_checkpoint("obs-bench", model, scratch / "ckpt", corpus_index=index)
+    return registry_path, manifest.id
+
+
+def verify_span_tree(spans: list, trace_id: str) -> list[str]:
+    """Structural failures of the streamed request's span tree (empty = pass)."""
+    failures = []
+    names = {span.name for span in spans}
+    for required in REQUIRED_SPANS:
+        if required not in names:
+            failures.append(f"trace: missing required span {required!r}")
+    if any(span.trace_id != trace_id for span in spans):
+        failures.append("trace: a span carries a foreign trace_id")
+    ids = {span.span_id for span in spans}
+    roots = [span for span in spans if span.parent_id is None]
+    if len(roots) != 1:
+        failures.append(f"trace: expected exactly one root span, found {len(roots)}")
+    elif roots[0].name != SPAN_GATEWAY_REQUEST:
+        failures.append(f"trace: root span is {roots[0].name!r}, not {SPAN_GATEWAY_REQUEST!r}")
+    dangling = [span.name for span in spans if span.parent_id is not None and span.parent_id not in ids]
+    if dangling:
+        failures.append(f"trace: dangling parent links on {sorted(set(dangling))}")
+    if span_tree(spans, trace_id) is None:
+        failures.append("trace: span_tree() could not reconstruct the tree")
+    return failures
+
+
+def completeness_section(args: argparse.Namespace) -> tuple[dict, list[str]]:
+    obs.METRICS.reset()
+    obs.TRACES.clear()
+    obs.configure(tracing=True, sample_rate=1.0)
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        registry_path, ref = build_corpus_registry(Path(scratch), args)
+        config = ShardConfig(num_shards=1, heartbeat_timeout_ms=10000.0)
+        with ShardedServer(registry_path, ref, config) as server:
+            request = Request(task="corpus_qa", question="what does the bar chart of metric1 show")
+            chunks = list(server.stream(request))
+            response = assemble_stream(chunks)
+            # Shard counters ride the 50ms heartbeat, so the snapshot taken
+            # right after the stream can predate the decode; poll until a
+            # post-decode heartbeat lands.
+            deadline = time.perf_counter() + 5.0
+            while True:
+                observed = server.observability()
+                if observed["metrics"]["counters"].get("continuous.tokens_total", 0) > 0:
+                    break
+                if time.perf_counter() >= deadline:
+                    break
+                time.sleep(config.heartbeat_interval_ms / 1000.0)
+        obs.configure(tracing=False)
+        if response.error is not None:
+            failures.append(f"trace: streamed request failed: {response.error} ({response.detail})")
+        untagged = [chunk.seq for chunk in chunks if chunk.trace is None]
+        if untagged:
+            failures.append(f"trace: chunks without trace context: {untagged}")
+        trace_id = chunks[0].trace["trace_id"] if chunks[0].trace else ""
+        spans = obs.TRACES.spans(trace_id)
+        failures.extend(verify_span_tree(spans, trace_id))
+        decode_steps = sum(span.name == SPAN_DECODE_STEP for span in spans)
+        tokens_total = observed["metrics"]["counters"].get("continuous.tokens_total", 0)
+        if tokens_total <= 0:
+            failures.append("metrics: shard heartbeat snapshots merged a zero decoded-token count")
+        rendered = render_trace(spans, trace_id)
+        section = {
+            "chunks": len(chunks),
+            "spans": len(spans),
+            "decode_steps": decode_steps,
+            "span_names": sorted({span.name for span in spans}),
+            "trace_id": trace_id,
+            "merged_tokens_total": tokens_total,
+            "shard_snapshots": sorted(observed["shards"]),
+            "rendered_trace": rendered,
+            "prometheus_excerpt": "\n".join(prometheus_text(observed["metrics"]).splitlines()[:12]),
+        }
+    obs.TRACES.clear()
+    obs.METRICS.reset()
+    return section, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_obs.json"))
+    parser.add_argument("--vocab-size", type=int, default=96)
+    # Matmul-dominated on purpose: a toy d_model would measure python
+    # per-step overhead against python instrumentation and flatter nobody.
+    parser.add_argument("--d-model", type=int, default=256)
+    parser.add_argument("--num-heads", type=int, default=8)
+    parser.add_argument("--num-layers", type=int, default=2)
+    parser.add_argument("--input-length", type=int, default=12)
+    parser.add_argument("--short-budget", type=int, default=16)
+    parser.add_argument("--long-budget", type=int, default=64)
+    # Short runs on purpose: a pair's two runs must land inside the same
+    # machine-speed regime (drift here swings ±15% over tens of seconds)
+    # for the paired ratio to isolate the instrumentation cost.
+    parser.add_argument("--burst-size", type=int, default=12)
+    parser.add_argument("--max-slots", type=int, default=4)
+    parser.add_argument("--page-size", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=17, help="paired runs; median paired ratio counts")
+    parser.add_argument("--max-overhead", type=float, default=0.03, help="allowed traced slowdown fraction")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    overhead = overhead_section(args)
+    print(
+        f"overhead: untraced {overhead['untraced_tokens_per_sec']} tok/s | "
+        f"traced {overhead['traced_tokens_per_sec']} tok/s | "
+        f"slowdown {overhead['overhead_fraction']:.2%} (allowed {args.max_overhead:.0%})"
+    )
+
+    completeness, failures = completeness_section(args)
+    print(
+        f"trace: {completeness['spans']} spans, {completeness['decode_steps']} decode steps, "
+        f"{completeness['chunks']} chunks | merged tokens_total {completeness['merged_tokens_total']}"
+    )
+    print(completeness["rendered_trace"])
+
+    if overhead["overhead_fraction"] > args.max_overhead:
+        failures.insert(
+            0,
+            f"overhead: tracing costs {overhead['overhead_fraction']:.2%} tokens/sec, "
+            f"above the allowed {args.max_overhead:.0%}",
+        )
+
+    results = {
+        "benchmark": "obs",
+        "seed": args.seed,
+        "overhead": overhead,
+        "trace_completeness": completeness,
+        "failures": failures,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ from pathlib import Path
 from repro.core.config import DataVisT5Config
 from repro.core.model import DataVisT5
 from repro.datasets import build_database_pool, generate_nvbench
+from repro.obs.metrics import Histogram
 from repro.serving import Pipeline, PipelineConfig, Request, Server, ServerConfig, serve_requests
 
 
@@ -282,18 +283,21 @@ def run_precision_sweep(
 
 
 def latency_summary(latencies: list[float]) -> dict:
-    """p50/p99/mean/max of a latency sample, in milliseconds."""
-    ordered = sorted(value * 1000.0 for value in latencies)
+    """p50/p99/mean/max of a latency sample, in milliseconds.
 
-    def percentile(fraction: float) -> float:
-        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-        return ordered[index]
-
+    Quantiles come from a :class:`repro.obs.metrics.Histogram` — the same
+    log-bucketed estimator the serving metrics use — instead of a private
+    sort-and-index copy, so benchmark numbers and live metrics agree.
+    """
+    histogram = Histogram("latency_ms")
+    for value in latencies:
+        histogram.record(value * 1000.0)
+    summary = histogram.summary()
     return {
-        "p50": round(percentile(0.50), 3),
-        "p99": round(percentile(0.99), 3),
-        "mean": round(sum(ordered) / len(ordered), 3),
-        "max": round(ordered[-1], 3),
+        "p50": summary["p50"],
+        "p99": summary["p99"],
+        "mean": summary["mean"],
+        "max": summary["max"],
     }
 
 

@@ -1,0 +1,83 @@
+"""Trace one streamed corpus-QA request end to end and print its span tree.
+
+Builds a tiny corpus deployment, turns tracing on (``repro.obs``), streams a
+single ``corpus_qa`` request through a real forked-shard ``ShardedServer``,
+and renders everything the observability layer captured: the ASCII span tree
+(gateway → dispatch → shard → pipeline stages → decode steps), the merged
+gateway ⊕ shard metrics as Prometheus text, and the trace context each
+streamed chunk carried.  ``docs/observability.md`` explains the model.
+
+Run with::
+
+    python examples/trace_request.py        # or: make trace-demo
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.core.config import DataVisT5Config
+from repro.core.model import DataVisT5
+from repro.datasets.corpus import CorpusDocument, CorpusIndex
+from repro.deploy.registry import ModelRegistry
+from repro.obs.export import prometheus_text, render_trace
+from repro.serving.protocol import Request, assemble_stream
+from repro.serving.sharded import ShardConfig, ShardedServer
+
+
+def build_deployment(scratch: Path) -> tuple[Path, str]:
+    """Register a tiny corpus-QA checkpoint and return (registry path, ref)."""
+    documents = [
+        CorpusDocument(
+            doc_id=f"doc-{index}",
+            title=f"metric{index} by region",
+            chart=f"bar chart showing metric{index} grouped by region",
+            schema=None,
+            table=f"region | metric{index}",
+        )
+        for index in range(4)
+    ]
+    index = CorpusIndex(documents)
+    config = DataVisT5Config.from_preset(
+        "tiny", max_input_length=64, max_target_length=16, max_decode_length=12, seed=0
+    )
+    model = DataVisT5.from_corpus(
+        [document.text() for document in documents], config=config, max_vocab_size=400
+    )
+    registry_path = scratch / "registry.json"
+    manifest = ModelRegistry(registry_path).register_checkpoint(
+        "trace-demo", model, scratch / "ckpt", corpus_index=index
+    )
+    return registry_path, manifest.id
+
+
+def main() -> None:
+    obs.configure(tracing=True, sample_rate=1.0)
+    config = ShardConfig(num_shards=1, heartbeat_timeout_ms=10000.0)
+    with tempfile.TemporaryDirectory() as scratch:
+        registry_path, ref = build_deployment(Path(scratch))
+        with ShardedServer(registry_path, ref, config) as server:
+            request = Request(task="corpus_qa", question="what does the bar chart of metric1 show")
+            chunks = list(server.stream(request))
+            response = assemble_stream(chunks)
+            # shard counters arrive on the next heartbeat; give one a moment
+            time.sleep(3 * config.heartbeat_interval_ms / 1000.0)
+            observed = server.observability()
+    obs.configure(tracing=False)
+
+    trace_id = chunks[0].trace["trace_id"]
+    print("== streamed answer ==")
+    print(response.output or f"(error: {response.error})")
+    print(f"\n== trace {trace_id} ({len(chunks)} chunks, all tagged) ==")
+    print(render_trace(obs.TRACES.spans(trace_id), trace_id))
+    print("\n== merged metrics (gateway + shards), first lines ==")
+    print("\n".join(prometheus_text(observed["metrics"]).splitlines()[:16]))
+    assert all(chunk.trace is not None for chunk in chunks)
+    obs.TRACES.clear()
+
+
+if __name__ == "__main__":
+    main()

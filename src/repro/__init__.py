@@ -17,6 +17,6 @@ flow and the serving subsystem's batching/caching design.
 # manifests, registry files and Server.stats() for provenance.
 __version__ = "1.1.0"
 
-from repro import errors
+from repro import errors, obs
 
-__all__ = ["errors", "__version__"]
+__all__ = ["errors", "obs", "__version__"]

@@ -35,7 +35,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ModelConfigError
+from repro.obs.names import METRIC_ARENA_PAGE_REUSE_RATIO, METRIC_ARENA_PAGES_IN_USE
+
+_PAGES_IN_USE = obs.METRICS.gauge(METRIC_ARENA_PAGES_IN_USE)
+_PAGE_REUSE_RATIO = obs.METRICS.gauge(METRIC_ARENA_PAGE_REUSE_RATIO)
 
 _INITIAL_CAPACITY = 16
 
@@ -278,6 +283,20 @@ class PagedKVArena:
             "sequences_opened": self._sequences_opened,
             "sequences_released": self._sequences_released,
         }
+
+    def observe(self) -> None:
+        """Publish the arena occupancy and free-list reuse gauges.
+
+        Called once per continuous-batching step so the metrics snapshot
+        reflects the live arena rather than the state at the last request
+        boundary.  The reuse ratio is ``page_reuses / (page_reuses +
+        fresh_allocations)`` — how often an allocation was served by the
+        free list rather than first-touch pool memory.
+        """
+        _PAGES_IN_USE.set(float(self._pages_in_use))
+        allocations = self._page_reuses + self._fresh_allocations
+        if allocations:
+            _PAGE_REUSE_RATIO.set(self._page_reuses / allocations)
 
     # -- page bookkeeping (driven by PagedSequence) ------------------------------------
     def _materialize(self, dtype: np.dtype) -> None:

@@ -1,0 +1,97 @@
+"""``repro.obs`` — end-to-end tracing and metrics for the serving stack.
+
+One process-global :class:`~repro.obs.metrics.MetricsRegistry` (``METRICS``)
+and one :class:`~repro.obs.trace.TraceStore` (``TRACES``) per process.
+Metrics are always on — recording is a lock plus a bisect.  Tracing is off
+by default and switched on with :func:`configure`; the decision is made at
+the *root* span, inherited by every child through the propagated
+``SpanContext.sampled`` flag, and therefore survives process boundaries: a
+worker shard records spans for any sampled trace the gateway hands it,
+whether or not the shard's own store is enabled.
+
+Usage::
+
+    from repro import obs
+
+    obs.configure(tracing=True, sample_rate=1.0)
+    ... serve traffic ...
+    print(obs.export.render_trace(obs.TRACES.spans(), trace_id))
+    print(obs.export.prometheus_text(obs.METRICS.snapshot()))
+
+``docs/observability.md`` documents the span model, the metric naming
+conventions (pinned in :mod:`repro.obs.names`) and the exposition formats.
+"""
+
+from __future__ import annotations
+
+from repro.obs import export
+from repro.obs.metrics import (
+    BUCKET_SCHEME,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.names import (
+    METRIC_MEANINGS,
+    METRIC_NAMES,
+    SPAN_MEANINGS,
+    SPAN_NAMES,
+)
+from repro.obs.trace import Span, SpanContext, TraceStore, current_context
+
+#: The process-global metrics registry every instrumentation site records into.
+METRICS = MetricsRegistry()
+
+#: The process-global trace store (tracing disabled until :func:`configure`).
+TRACES = TraceStore(capacity=4096, sample_rate=1.0, enabled=False)
+
+
+def configure(
+    tracing: bool | None = None,
+    sample_rate: float | None = None,
+    capacity: int | None = None,
+) -> None:
+    """Adjust the process-global tracing knobs.
+
+    ``tracing`` enables/disables root-span creation, ``sample_rate`` sets
+    the head-sampling probability in [0, 1], and ``capacity`` re-bounds the
+    span ring buffer in place (keeping the newest spans).  Call before
+    forking shards so children inherit the configuration; traces started by
+    an enabled gateway are recorded by disabled shards regardless.
+    """
+    if tracing is not None:
+        TRACES.enabled = bool(tracing)
+    if sample_rate is not None:
+        TRACES.sample_rate = float(sample_rate)
+    if capacity is not None:
+        TRACES.set_capacity(capacity)
+
+
+def tracing_enabled() -> bool:
+    """Whether root spans are currently being created in this process."""
+    return TRACES.enabled
+
+
+__all__ = [
+    "BUCKET_SCHEME",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "METRIC_MEANINGS",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "SPAN_MEANINGS",
+    "SPAN_NAMES",
+    "Span",
+    "SpanContext",
+    "TRACES",
+    "TraceStore",
+    "configure",
+    "current_context",
+    "export",
+    "tracing_enabled",
+]

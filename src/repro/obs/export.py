@@ -1,0 +1,117 @@
+"""Exposition: Prometheus text, JSON snapshots, JSONL traces, ASCII trees.
+
+Everything here is read-side only — it renders the snapshots produced by
+:mod:`repro.obs.metrics` and the spans held by :mod:`repro.obs.trace`,
+allocating nothing on any hot path.  ``docs/observability.md`` shows the
+output formats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import Span, TraceStore
+
+
+def _prometheus_name(name: str) -> str:
+    """Dotted metric names become underscore-separated Prometheus names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text exposition.
+
+    Counters become ``counter`` samples, gauges ``gauge`` samples, and
+    histograms the conventional cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        flat = _prometheus_name(name)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        flat = _prometheus_name(name)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {value}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        flat = _prometheus_name(name)
+        lines.append(f"# TYPE {flat} histogram")
+        counts = {int(index): count for index, count in hist.get("counts", {}).items()}
+        cumulative = 0
+        for index, boundary in enumerate(DEFAULT_BUCKETS):
+            cumulative += counts.get(index, 0)
+            if counts and index <= max(counts):
+                lines.append(f'{flat}_bucket{{le="{boundary:g}"}} {cumulative}')
+        cumulative += counts.get(len(DEFAULT_BUCKETS), 0)
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{flat}_sum {hist.get('sum', 0.0)}")
+        lines.append(f"{flat}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as pretty-printed JSON (the HTTP-less endpoint)."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+def dump_traces(store: TraceStore, path: str | Path | None = None) -> list[dict]:
+    """Export every finished span as dicts; with ``path``, also write JSONL."""
+    rows = [span.as_dict() for span in store.spans()]
+    if path is not None:
+        text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+        Path(path).write_text(text, encoding="utf-8")
+    return rows
+
+
+def span_tree(spans: list[Span], trace_id: str) -> dict | None:
+    """Reconstruct one trace's parent/child tree.
+
+    Returns ``{"span": Span, "children": [...]}`` for the root, or ``None``
+    when the trace has no root among ``spans``.  Children sort by start
+    time; orphans (parent span missing, e.g. sampled out of the ring) attach
+    to the root so a rendered tree never silently drops a span.
+    """
+    members = [span for span in spans if span.trace_id == trace_id]
+    if not members:
+        return None
+    by_id = {span.span_id: span for span in members}
+    nodes: dict[str, dict] = {span.span_id: {"span": span, "children": []} for span in members}
+    roots = [span for span in members if span.parent_id is None]
+    if not roots:
+        return None
+    root = min(roots, key=lambda span: span.start)
+    for span in members:
+        if span is root:
+            continue
+        parent_id = span.parent_id if span.parent_id in by_id else root.span_id
+        if parent_id == span.span_id:
+            continue
+        nodes[parent_id]["children"].append(nodes[span.span_id])
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["span"].start)
+    return nodes[root.span_id]
+
+
+def render_trace(spans: list[Span], trace_id: str) -> str:
+    """An ASCII tree of one trace — what ``make trace-demo`` prints."""
+    tree = span_tree(spans, trace_id)
+    if tree is None:
+        return f"(no spans for trace {trace_id})"
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        span = node["span"]
+        duration = span.duration_s if span.duration_s is not None else math.nan
+        attrs = " ".join(f"{key}={value}" for key, value in sorted(span.attrs.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        marker = "" if span.status == "ok" else f"  !{span.status}"
+        lines.append(f"{'  ' * depth}{span.name}  {duration * 1000.0:.2f}ms{marker}{suffix}")
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    walk(tree, 0)
+    return "\n".join(lines)

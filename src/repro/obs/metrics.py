@@ -1,0 +1,316 @@
+"""Process-local metrics: counters, gauges and mergeable streaming histograms.
+
+One :class:`MetricsRegistry` per process owns every instrument.  The design
+constraints, in order:
+
+* **cheap hot-path recording** — ``Histogram.record`` is a lock, a bisect
+  over ~200 fixed boundaries and three integer/float updates; instruments
+  are fetched once at module import time, never per request;
+* **exact cross-process merge** — every histogram shares the same fixed
+  log-spaced bucket boundaries (:data:`DEFAULT_BUCKETS`), so merging two
+  snapshots is per-bucket integer addition with no approximation drift; a
+  gateway can fold per-shard snapshots (piggybacked on heartbeat frames)
+  into one aggregate whose bucket counts are identical to recording every
+  observation in one process;
+* **quantiles without samples** — ``quantile(p)`` interpolates linearly
+  inside the bucket the rank falls in and clamps to the observed min/max,
+  so the error is bounded by one bucket width (~9% with the default
+  ``2**(1/8)`` spacing) and ``quantile`` is monotone in ``p``.
+
+Snapshots are plain JSON-able dicts (sparse bucket counts keyed by index),
+small enough to ship on a 50 ms heartbeat.  ``repro.obs.export`` renders
+them as Prometheus text or JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+from repro.errors import ModelConfigError
+
+#: Identifier pinned into every histogram snapshot; merging refuses to mix
+#: snapshots from different bucket layouts.
+BUCKET_SCHEME = "log2x8:1e-3:1e5"
+
+
+def _default_buckets() -> tuple[float, ...]:
+    """Upper bucket boundaries: 8 per octave from 1e-3 up past 1e5."""
+    boundaries = []
+    value = 1e-3
+    ratio = 2.0 ** 0.125
+    while value < 1e5:
+        boundaries.append(value)
+        value *= ratio
+    boundaries.append(value)
+    return tuple(boundaries)
+
+
+#: The fixed bucket boundaries every histogram shares (upper bounds; values
+#: above the last boundary land in a final overflow bucket).
+DEFAULT_BUCKETS: tuple[float, ...] = _default_buckets()
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter in place (identity preserved for cached handles)."""
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time value: set, never accumulated."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The last value set."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge in place (identity preserved for cached handles)."""
+        self._value = 0.0
+
+
+class Histogram:
+    """A streaming histogram over fixed log-spaced buckets.
+
+    All histograms share :data:`DEFAULT_BUCKETS`, so ``merge`` is exact:
+    per-bucket integer addition, min/max of the observed extremes, float
+    addition of the sums.  ``record`` never allocates; the sparse bucket
+    dict only grows when a new bucket is first hit.
+    """
+
+    def __init__(self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.boundaries = boundaries
+        self._counts: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Record one observation (values below the first bucket clamp into it)."""
+        value = float(value)
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] = self._counts.get(index, 0) + 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded (merges included)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-quantile (0 ≤ p ≤ 1) via in-bucket linear interpolation.
+
+        Exact at the extremes (``p<=0`` → observed min, ``p>=1`` → observed
+        max), monotone in ``p``, and within one bucket width elsewhere.
+        Returns 0.0 for an empty histogram.
+        """
+        with self._lock:
+            if not self._count:
+                return 0.0
+            if p <= 0.0:
+                return self._min
+            if p >= 1.0:
+                return self._max
+            target = p * self._count
+            cumulative = 0
+            value = self._max
+            for index in sorted(self._counts):
+                bucket_count = self._counts[index]
+                if cumulative + bucket_count >= target:
+                    low = self.boundaries[index - 1] if index > 0 else 0.0
+                    high = (
+                        self.boundaries[index]
+                        if index < len(self.boundaries)
+                        else self._max
+                    )
+                    fraction = (target - cumulative) / bucket_count
+                    value = low + (high - low) * fraction
+                    break
+                cumulative += bucket_count
+            return min(max(value, self._min), self._max)
+
+    def summary(self) -> dict:
+        """p50/p90/p99/mean/max in one dict — the shape the benchmarks report."""
+        return {
+            "p50": round(self.quantile(0.50), 3),
+            "p90": round(self.quantile(0.90), 3),
+            "p99": round(self.quantile(0.99), 3),
+            "mean": round(self.mean(), 3),
+            "max": round(self._max, 3) if self._count else 0.0,
+        }
+
+    def snapshot(self) -> dict:
+        """A JSON-able sparse snapshot (bucket counts keyed by stringified index)."""
+        with self._lock:
+            return {
+                "scheme": BUCKET_SCHEME,
+                "counts": {str(index): count for index, count in self._counts.items()},
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one, exactly.
+
+        Bucket layouts must match (same :data:`BUCKET_SCHEME`); merge order
+        never changes the bucket counts, count, min or max.
+        """
+        if snapshot.get("scheme") != BUCKET_SCHEME:
+            raise ModelConfigError(
+                f"cannot merge histogram snapshot with scheme {snapshot.get('scheme')!r} "
+                f"into {BUCKET_SCHEME!r}"
+            )
+        with self._lock:
+            for key, count in snapshot.get("counts", {}).items():
+                index = int(key)
+                self._counts[index] = self._counts.get(index, 0) + int(count)
+            self._count += int(snapshot.get("count", 0))
+            self._sum += float(snapshot.get("sum", 0.0))
+            if snapshot.get("min") is not None:
+                self._min = min(self._min, float(snapshot["min"]))
+            if snapshot.get("max") is not None:
+                self._max = max(self._max, float(snapshot["max"]))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another live :class:`Histogram` into this one, exactly."""
+        self.merge_snapshot(other.snapshot())
+
+    def reset(self) -> None:
+        """Zero the histogram in place (identity preserved for cached handles)."""
+        with self._lock:
+            self._counts.clear()
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+
+class MetricsRegistry:
+    """The process-local instrument registry: get-or-create by name.
+
+    Names are flat dotted strings from :mod:`repro.obs.names`; asking for an
+    existing name with a different instrument kind raises.  ``snapshot()``
+    is a JSON-able dict; ``merge()`` folds another process's snapshot into
+    this registry (counters and histograms add exactly, gauges take the
+    incoming value — per-shard gauges should therefore be merged last-writer
+    or namespaced by the caller).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type) -> Counter | Gauge | Histogram:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ModelConfigError(
+                    f"metric {name!r} is a {type(instrument).__name__}, not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the :class:`Histogram` called ``name``."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot of every instrument, grouped by kind."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            "counters": {
+                name: inst.value for name, inst in instruments.items() if isinstance(inst, Counter)
+            },
+            "gauges": {
+                name: inst.value for name, inst in instruments.items() if isinstance(inst, Gauge)
+            },
+            "histograms": {
+                name: inst.snapshot()
+                for name, inst in instruments.items()
+                if isinstance(inst, Histogram)
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets add exactly; gauges adopt the
+        incoming value (the most recent snapshot wins).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_snapshot in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_snapshot(hist_snapshot)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (tests and benchmarks isolate runs).
+
+        Instruments are cached in module globals at import time across the
+        codebase, so reset must preserve identity: dropping the objects would
+        orphan every cached handle, whose subsequent recordings would then
+        never show up in a snapshot.
+        """
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()

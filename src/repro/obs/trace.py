@@ -1,0 +1,286 @@
+"""Lightweight distributed tracing: spans, context propagation, a ring store.
+
+The model is a deliberately small cut of Dapper/OpenTelemetry:
+
+* a :class:`Span` is ``(name, trace_id, span_id, parent_id, start,
+  duration, status, attrs)`` — ids are random hex, ``start`` is
+  ``time.perf_counter()`` so intra-process ordering is monotonic;
+* a :class:`SpanContext` is the propagatable triple ``(trace_id, span_id,
+  sampled)``; it crosses process boundaries as a plain dict (the optional
+  ``trace`` field on serving wire frames) and thread boundaries by being
+  carried explicitly on jobs/prepared items — plus a context-var
+  convenience (:meth:`TraceStore.span`) for lexically scoped sections;
+* a :class:`TraceStore` keeps *finished* spans in a bounded ring buffer
+  (old traces fall off the back; memory is O(capacity) regardless of
+  traffic) and owns the two knobs: ``enabled`` (root spans are only
+  started when tracing is on) and ``sample_rate`` (head sampling: the
+  decision is made once at the root and inherited by every child through
+  ``SpanContext.sampled``, so a trace is always complete or absent).
+
+Recording is allocation-light: an unsampled context produces no span
+objects at all, and a sampled one costs a dataclass plus two
+``perf_counter`` calls per span.  ``repro.obs.export`` renders stores as
+JSONL or ASCII trees.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+#: Spans end in one of these states; anything else is coerced to "error".
+SPAN_STATUSES = ("ok", "error")
+
+_CURRENT: ContextVar["SpanContext | None"] = ContextVar("repro_obs_current_span", default=None)
+
+
+# Ids come from a urandom-seeded PRNG, not uuid4: uuid4 reads the kernel
+# entropy pool on every call (~2.5us, a syscall) while one getrandbits is
+# ~0.4us, and id generation sits on the per-decode-step hot path.  Trace ids
+# only need uniformity, not unpredictability (OTel's own SDKs use a PRNG).
+# CPython's C-level getrandbits is atomic under the GIL, so no lock.  A
+# forked child (the sharded tier's worker processes) inherits the parent's
+# PRNG state and would emit the parent's exact id sequence — colliding
+# span ids turn the span tree into a cycle — so the child reseeds at fork.
+_ID_RNG = random.Random(int.from_bytes(uuid.uuid4().bytes, "big"))
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on Linux
+    os.register_at_fork(after_in_child=lambda: _ID_RNG.seed(uuid.uuid4().int))
+
+
+def _new_id(bits: int) -> str:
+    """Random hex id (32 hex chars for traces, 16 for spans, OTel-style)."""
+    return f"{_ID_RNG.getrandbits(bits):0{bits // 4}x}"
+
+
+@dataclass
+class SpanContext:
+    """The propagatable part of a span: ids plus the head-sampling decision."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_wire(self) -> dict:
+        """The JSON dict shape carried on serving wire frames."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id, "sampled": self.sampled}
+
+    @classmethod
+    def from_wire(cls, payload: dict | None) -> "SpanContext | None":
+        """Rebuild a context from its wire dict; ``None`` stays ``None``."""
+        if payload is None:
+            return None
+        return cls(
+            trace_id=str(payload.get("trace_id", "")),
+            span_id=str(payload.get("span_id", "")),
+            sampled=bool(payload.get("sampled", True)),
+        )
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation within a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start: float = 0.0
+    duration_s: float | None = None
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's propagatable context (always sampled: it exists)."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id, sampled=True)
+
+    def as_dict(self) -> dict:
+        """A JSON-able dict (the JSONL export row and telemetry embedding)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`as_dict` (telemetry ingestion path)."""
+        return cls(
+            name=str(payload.get("name", "")),
+            trace_id=str(payload.get("trace_id", "")),
+            span_id=str(payload.get("span_id", "")),
+            parent_id=payload.get("parent_id"),
+            start=float(payload.get("start", 0.0)),
+            duration_s=payload.get("duration_s"),
+            status=str(payload.get("status", "ok")),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class TraceStore:
+    """A bounded in-memory store of finished spans plus the sampling knobs."""
+
+    def __init__(self, capacity: int = 4096, sample_rate: float = 1.0, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.sample_rate = sample_rate
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._rng = random.Random()
+
+    # -- creating spans -----------------------------------------------------------------
+
+    def root(self, name: str, attrs: dict | None = None) -> Span | None:
+        """Start a root span, or ``None`` when tracing is off / head-sampled out."""
+        if not self.enabled:
+            return None
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return None
+        return Span(
+            name=name,
+            trace_id=_new_id(128),
+            span_id=_new_id(64),
+            start=time.perf_counter(),
+            attrs=dict(attrs or {}),
+        )
+
+    def begin(self, name: str, parent: SpanContext | None, attrs: dict | None = None) -> Span | None:
+        """Start a child of ``parent``; unsampled or absent parents yield ``None``.
+
+        Child creation deliberately ignores ``enabled``: a shard process
+        must keep recording for a trace the gateway started even if the
+        fork happened before tracing was switched on locally.
+        """
+        if parent is None or not parent.sampled or not parent.trace_id:
+            return None
+        return Span(
+            name=name,
+            trace_id=parent.trace_id,
+            span_id=_new_id(64),
+            parent_id=parent.span_id,
+            start=time.perf_counter(),
+            attrs=dict(attrs or {}),
+        )
+
+    def finish(self, span: Span | None, status: str = "ok") -> None:
+        """Stamp the duration and commit the span to the ring buffer."""
+        if span is None:
+            return
+        span.duration_s = time.perf_counter() - span.start
+        span.status = status if status in SPAN_STATUSES else "error"
+        with self._lock:
+            self._spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        parent: SpanContext | None,
+        duration_s: float,
+        start: float | None = None,
+        status: str = "ok",
+        attrs: dict | None = None,
+    ) -> Span | None:
+        """Record an already-measured child span in one call (hot-path shape).
+
+        The decode loop and the batch executor measure their own durations;
+        this skips the begin/finish pair and the second ``perf_counter``.
+        """
+        if parent is None or not parent.sampled or not parent.trace_id:
+            return None
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id,
+            span_id=_new_id(64),
+            parent_id=parent.span_id,
+            start=time.perf_counter() - duration_s if start is None else start,
+            duration_s=duration_s,
+            status=status if status in SPAN_STATUSES else "error",
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def ingest(self, payloads: list[dict]) -> None:
+        """Adopt span dicts recorded by another process (telemetry embedding)."""
+        spans = [Span.from_dict(payload) for payload in payloads]
+        with self._lock:
+            self._spans.extend(spans)
+
+    # -- context-var convenience --------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, parent: SpanContext | None = None, attrs: dict | None = None):
+        """Context manager: begin/finish a span and install it as current.
+
+        ``parent`` defaults to the ambient current span; with neither, a
+        root span is attempted (subject to ``enabled`` and sampling).
+        Yields the :class:`Span` or ``None`` when unsampled.
+        """
+        parent = parent if parent is not None else current_context()
+        span = self.begin(name, parent, attrs) if parent is not None else self.root(name, attrs)
+        token = _CURRENT.set(span.context) if span is not None else None
+        try:
+            yield span
+            self.finish(span)
+        except BaseException:
+            self.finish(span, status="error")
+            raise
+        finally:
+            if token is not None:
+                _CURRENT.reset(token)
+
+    # -- reading back -------------------------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, optionally filtered to one trace, oldest first."""
+        with self._lock:
+            items = list(self._spans)
+        if trace_id is None:
+            return items
+        return [span for span in items if span.trace_id == trace_id]
+
+    def take(self, trace_id: str) -> list[Span]:
+        """Remove and return every finished span of ``trace_id``.
+
+        Shards use this after serving a batch to ship a trace's spans back
+        to the gateway exactly once.
+        """
+        with self._lock:
+            kept: deque[Span] = deque(maxlen=self._spans.maxlen)
+            taken: list[Span] = []
+            for span in self._spans:
+                (taken if span.trace_id == trace_id else kept).append(span)
+            self._spans = kept
+        return taken
+
+    def clear(self) -> None:
+        """Drop every stored span."""
+        with self._lock:
+            self._spans.clear()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Re-bound the ring buffer in place (keeps the newest spans)."""
+        with self._lock:
+            self._spans = deque(self._spans, maxlen=capacity)
+
+    def __len__(self) -> int:
+        """Number of finished spans currently held."""
+        return len(self._spans)
+
+
+def current_context() -> SpanContext | None:
+    """The ambient span context installed by :meth:`TraceStore.span`, if any."""
+    return _CURRENT.get()

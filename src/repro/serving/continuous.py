@@ -46,19 +46,34 @@ whose concatenation is bitwise-equal to the final output text.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.core.batching import pad_sequences
 from repro.core.config import precision_compute_dtype
 from repro.core.model import DataVisT5
 from repro.encoding.sequences import strip_modality_tags
 from repro.errors import ServingStateError
 from repro.nn.transformer import T5Model
+from repro.obs.names import (
+    METRIC_CONTINUOUS_ADMISSION_WAIT_MS,
+    METRIC_CONTINUOUS_STEP_MS,
+    METRIC_CONTINUOUS_TOKENS_TOTAL,
+    SPAN_DECODE_STEP,
+)
+from repro.obs.trace import SpanContext
 
 _WAIT_SLICE_S = 0.02  # how long a non-driving thread naps between progress checks
+
+# Decode-loop instruments, fetched once: recording is the hot path of every
+# step, so the registry lock is never touched after import.
+_STEP_MS = obs.METRICS.histogram(METRIC_CONTINUOUS_STEP_MS)
+_ADMISSION_WAIT_MS = obs.METRICS.histogram(METRIC_CONTINUOUS_ADMISSION_WAIT_MS)
+_TOKENS_TOTAL = obs.METRICS.counter(METRIC_CONTINUOUS_TOKENS_TOTAL)
 
 
 class DecodeTicket:
@@ -70,12 +85,14 @@ class DecodeTicket:
     sequence was in it.
     """
 
-    __slots__ = ("row", "max_length", "on_token", "done", "_result", "_error")
+    __slots__ = ("row", "max_length", "on_token", "trace", "submitted_at", "done", "_result", "_error")
 
-    def __init__(self, row: np.ndarray, max_length: int | None, on_token=None):
+    def __init__(self, row: np.ndarray, max_length: int | None, on_token=None, trace: SpanContext | None = None):
         self.row = row
         self.max_length = max_length
         self.on_token = on_token
+        self.trace = trace
+        self.submitted_at = time.perf_counter()
         self.done = False
         self._result: np.ndarray | None = None
         self._error: ServingStateError | None = None
@@ -140,22 +157,32 @@ class ContinuousDecodeLoop:
         """The batch's slot bound (sequences decoding concurrently)."""
         return self._max_slots
 
-    def submit(self, row: np.ndarray, max_length: int | None = None, on_token=None) -> DecodeTicket:
+    def submit(
+        self, row: np.ndarray, max_length: int | None = None, on_token=None, trace: SpanContext | None = None
+    ) -> DecodeTicket:
         """Queue one unbatched source row for decoding; returns its ticket.
 
         The ticket resolves only while some thread drives the loop
         (:meth:`run` / :meth:`drive`); submitting never blocks.  ``on_token``,
         when given, is called with each emitted token id (an ``int``) from the
         driving thread *before* the ticket resolves; exceptions it raises are
-        swallowed and counted under ``stats()["tap_errors"]``.
+        swallowed and counted under ``stats()["tap_errors"]``.  ``trace``,
+        when given and sampled, parents a ``decode.step`` span per batch step
+        the sequence participates in (``docs/observability.md``).
         """
-        ticket = DecodeTicket(np.asarray(row, dtype=np.int64), max_length, on_token=on_token)
+        ticket = DecodeTicket(np.asarray(row, dtype=np.int64), max_length, on_token=on_token, trace=trace)
         with self._state:
             self._pending.append(ticket)
             self._submitted += 1
         return ticket
 
-    def run(self, rows: list[np.ndarray], max_length: int | None = None, taps=None) -> list[np.ndarray]:
+    def run(
+        self,
+        rows: list[np.ndarray],
+        max_length: int | None = None,
+        taps=None,
+        trace_parents=None,
+    ) -> list[np.ndarray]:
         """Decode ``rows`` to completion, driving the loop cooperatively.
 
         Returns each row's output token ids in input order, every one
@@ -163,12 +190,23 @@ class ContinuousDecodeLoop:
         decode.  While this call waits for its own sequences it also steps
         everyone else's — that is what merges concurrent callers into one
         token-level batch.  ``taps``, when given, must be one per-row
-        ``on_token`` callback (or ``None``) per row, in row order.
+        ``on_token`` callback (or ``None``) per row, in row order;
+        ``trace_parents`` likewise is one optional
+        :class:`~repro.obs.SpanContext` per row.
         """
         if taps is not None and len(taps) != len(rows):
             raise ServingStateError(f"expected one tap per row, got {len(taps)} taps for {len(rows)} rows")
+        if trace_parents is not None and len(trace_parents) != len(rows):
+            raise ServingStateError(
+                f"expected one trace parent per row, got {len(trace_parents)} for {len(rows)} rows"
+            )
         tickets = [
-            self.submit(row, max_length, on_token=taps[index] if taps is not None else None)
+            self.submit(
+                row,
+                max_length,
+                on_token=taps[index] if taps is not None else None,
+                trace=trace_parents[index] if trace_parents is not None else None,
+            )
             for index, row in enumerate(rows)
         ]
         self.drive(tickets)
@@ -233,11 +271,13 @@ class ContinuousDecodeLoop:
                     ticket._fail(ServingStateError(f"admission failed: {error}"))
                     self._failed += 1
                 continue
+            _ADMISSION_WAIT_MS.record((time.perf_counter() - ticket.submitted_at) * 1000.0)
             with self._state:
                 self._active[handle] = ticket
                 self._peak_active = max(self._peak_active, len(self._active))
         if self._batch.active_count == 0:
             return
+        step_started = time.perf_counter()
         try:
             finished = self._batch.step()
         except Exception as error:  # noqa: BLE001 - poison in-flight work, keep the loop alive
@@ -251,8 +291,22 @@ class ContinuousDecodeLoop:
                     max_slots=self._max_slots, page_size=self._page_size, dtype=self._dtype
                 )
             return
+        step_seconds = time.perf_counter() - step_started
+        _STEP_MS.record(step_seconds * 1000.0)
+        _TOKENS_TOTAL.inc(len(self._batch.last_step_tokens))
+        self._batch.arena.observe()
         taps: list[tuple] = []
         with self._state:
+            step_number = self._steps
+            for handle, ticket in self._active.items():
+                if ticket.trace is not None:
+                    obs.TRACES.record(
+                        SPAN_DECODE_STEP,
+                        ticket.trace,
+                        step_seconds,
+                        start=step_started,
+                        attrs={"step": step_number, "active": len(self._active)},
+                    )
             for handle, token in self._batch.last_step_tokens.items():
                 ticket = self._active.get(handle)
                 if ticket is not None and ticket.on_token is not None:
@@ -343,6 +397,7 @@ def continuous_predict_batch(
     max_slots: int = 8,
     page_size: int = 16,
     on_text=None,
+    trace_parents=None,
 ) -> list[str]:
     """Generate output texts for ``sources`` through the continuous scheduler.
 
@@ -356,6 +411,8 @@ def continuous_predict_batch(
     driving thread with incremental *tag-stripped* text deltas per source;
     concatenating a source's deltas reproduces ``strip_modality_tags`` of its
     returned text exactly (the streaming invariant the serving tier gates on).
+    ``trace_parents`` is one optional :class:`~repro.obs.SpanContext` per
+    source; sampled sources get a ``decode.step`` span per step they decode.
     """
     if not sources:
         return []
@@ -376,5 +433,6 @@ def continuous_predict_batch(
         [input_ids[index] for index in range(input_ids.shape[0])],
         max_length=max_length or backend.config.max_decode_length,
         taps=taps,
+        trace_parents=trace_parents,
     )
     return [backend.tokenizer.decode(row) for row in rows]

@@ -38,9 +38,19 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import time
 
 from dataclasses import dataclass, replace
 
+from repro import obs
+from repro.obs.names import (
+    METRIC_PIPELINE_MERGE_MS,
+    METRIC_PIPELINE_RETRIEVE_MS,
+    SPAN_PIPELINE_GENERATE,
+    SPAN_PIPELINE_MERGE,
+    SPAN_PIPELINE_RETRIEVE,
+)
+from repro.obs.trace import SpanContext
 from repro.baselines.base import TextGenerationBaseline, TextToVisBaseline
 from repro.charts.render import chart_fingerprint, render_ascii_chart
 from repro.charts.vegalite import to_vega_lite
@@ -74,6 +84,11 @@ from repro.vql.ast import DVQuery
 from repro.vql.parser import parse_dv_query
 from repro.vql.standardize import standardize_dv_query
 from repro.vql.validation import is_query_compatible
+
+# Stage-latency histograms, fetched once so hot paths never touch the
+# registry lock (docs/observability.md).
+_RETRIEVE_MS = obs.METRICS.histogram(METRIC_PIPELINE_RETRIEVE_MS)
+_MERGE_MS = obs.METRICS.histogram(METRIC_PIPELINE_MERGE_MS)
 
 
 @dataclass
@@ -136,7 +151,9 @@ class _Prepared:
     continuous path only; other backends answer atomically and the stream's
     final reconciliation covers them).  ``stages`` is the mutable per-stage
     artifact dict multi-stage tasks (``corpus_qa``) fill as they run; it ends
-    up under ``Response.telemetry["stages"]``.
+    up under ``Response.telemetry["stages"]``.  ``trace`` is the request's
+    sampled span context (or ``None``): engines parent their stage spans to
+    it so one trace follows the request into the decode loop.
     """
 
     request: Request
@@ -146,6 +163,7 @@ class _Prepared:
     chart_query: DVQuery | None = None
     on_text: object | None = None
     stages: dict | None = None
+    trace: SpanContext | None = None
 
     def namespaced(self, suffix: str) -> "_Prepared":
         """A copy whose cache identity carries ``suffix`` (e.g. a deployment id).
@@ -203,6 +221,28 @@ class _Engine:
         baseline paths answer atomically and rely on the stream's final
         reconciliation instead).
         """
+        # One pipeline.generate span per traced item, opened before the
+        # backend runs so decode-step spans can parent to it; untraced items
+        # cost one None check.
+        generate_spans = [
+            obs.TRACES.begin(
+                SPAN_PIPELINE_GENERATE,
+                item.trace,
+                attrs={"task": self.task, "batch_size": len(prepared)},
+            )
+            for item in prepared
+        ]
+        try:
+            outputs = self._predict_batch(prepared, generate_spans)
+        except BaseException:
+            for span in generate_spans:
+                obs.TRACES.finish(span, status="error")
+            raise
+        for span in generate_spans:
+            obs.TRACES.finish(span)
+        return outputs
+
+    def _predict_batch(self, prepared: list[_Prepared], generate_spans: list) -> list[str]:
         backend = self.backend
         if isinstance(backend, DataVisT5):
             if self.continuous and self.use_cache:
@@ -217,6 +257,7 @@ class _Engine:
                     [item.source for item in prepared],
                     precision=self.precision,
                     on_text=on_text,
+                    trace_parents=[span.context if span is not None else None for span in generate_spans],
                 )
             else:
                 outputs = backend.predict_batch(
@@ -291,6 +332,7 @@ class _CorpusQAEngine:
                         source=source,
                         key=f"{item.key}\x1fctx{rank}",
                         on_text=item.on_text if rank == 0 else None,
+                        trace=item.trace,
                     )
                 )
             spans.append((item, docs, start, len(docs)))
@@ -298,7 +340,13 @@ class _CorpusQAEngine:
         outputs: list[str] = []
         for item, docs, start, count in spans:
             per_context = answers[start : start + count]
+            merge_started = time.perf_counter()
             merged, votes = _merge_answers(per_context)
+            merge_seconds = time.perf_counter() - merge_started
+            _MERGE_MS.record(merge_seconds * 1000.0)
+            obs.TRACES.record(
+                SPAN_PIPELINE_MERGE, item.trace, merge_seconds, attrs={"contexts": count}
+            )
             item.stages["contexts"] = [
                 {"doc_id": document.doc_id, "answer": answer}
                 for document, answer in zip(docs, per_context)
@@ -669,12 +717,17 @@ class Pipeline:
 
     def _prepare(self, request: Request) -> _Prepared:
         if request.task == "text_to_vis":
-            return self._prepare_text_to_vis(request)
-        if request.task == "vis_to_text":
-            return self._prepare_vis_to_text(request)
-        if request.task == "corpus_qa":
-            return self._prepare_corpus_qa(request)
-        return self._prepare_fevisqa(request)
+            prepared = self._prepare_text_to_vis(request)
+        elif request.task == "vis_to_text":
+            prepared = self._prepare_vis_to_text(request)
+        elif request.task == "corpus_qa":
+            prepared = self._prepare_corpus_qa(request)
+        else:
+            prepared = self._prepare_fevisqa(request)
+        # Trace context rides along so engines can parent their stage spans;
+        # it is never part of the cache identity.
+        prepared.trace = SpanContext.from_wire(request.trace)
+        return prepared
 
     def _prepare_text_to_vis(self, request: Request) -> _Prepared:
         schema = request.schema
@@ -750,7 +803,16 @@ class Pipeline:
             )
         if len(index) == 0:
             raise CorpusEmptyError("the deployed corpus index holds no documents to retrieve from")
+        search_started = time.perf_counter()
         results = index.search(request.question, top_k=engine.top_k)
+        search_seconds = time.perf_counter() - search_started
+        _RETRIEVE_MS.record(search_seconds * 1000.0)
+        obs.TRACES.record(
+            SPAN_PIPELINE_RETRIEVE,
+            SpanContext.from_wire(request.trace),
+            search_seconds,
+            attrs={"top_k": engine.top_k, "results": len(results)},
+        )
         if not results:
             raise CorpusEmptyError("retrieval returned no documents for the question")
         cache_key = normalize_key("corpus_qa", request.question or "", fingerprint, str(engine.top_k))

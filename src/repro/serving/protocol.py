@@ -95,6 +95,13 @@ class Request:
     candidate" debugging traffic.  An unknown or draining deployment is
     rejected with ``invalid_request``; the synchronous :class:`Pipeline`
     has a single implicit version and ignores the field.
+
+    ``trace`` is optional distributed-tracing context (a
+    :meth:`repro.obs.SpanContext.to_wire` dict) propagated by the serving
+    tiers so one trace can follow a request across the gateway → shard →
+    pipeline → decode-loop boundary (``docs/observability.md``).  Like
+    ``Response.telemetry`` it is observability metadata: excluded from
+    equality, never part of cache or routing identity.
     """
 
     task: str
@@ -105,6 +112,7 @@ class Request:
     request_id: str | None = None
     deployment: str | None = None
     index: str | None = None
+    trace: dict | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if self.task not in SERVABLE_TASKS:
@@ -126,6 +134,10 @@ class Request:
                 raise ModelConfigError(
                     f"Request.index must be a corpus-index fingerprint 'sha256:<hex>', got {self.index!r}"
                 )
+        if self.trace is not None and not isinstance(self.trace, dict):
+            raise ModelConfigError(
+                f"Request.trace must be a span-context dict or None, got {type(self.trace).__name__}"
+            )
 
 
 @dataclass
@@ -256,7 +268,11 @@ class ResponseChunk:
       set (a *terminal error chunk*), not as a hang or a truncated stream.
 
     ``task`` and ``request_id`` echo the request on every chunk so
-    interleaved streams can be demultiplexed.
+    interleaved streams can be demultiplexed.  ``trace`` optionally echoes
+    the request's distributed-tracing context (``docs/observability.md``);
+    like ``Response.telemetry`` it is excluded from equality, and
+    :meth:`as_dict` omits it when unset so untraced chunk dicts are
+    byte-identical to the pre-tracing wire format.
     """
 
     task: str
@@ -265,6 +281,7 @@ class ResponseChunk:
     final: bool = False
     response: Response | None = None
     request_id: str | None = None
+    trace: dict | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if not isinstance(self.seq, int) or isinstance(self.seq, bool) or self.seq < 0:
@@ -273,10 +290,14 @@ class ResponseChunk:
             raise ModelConfigError("a final chunk must carry the complete Response")
         if not self.final and self.response is not None:
             raise ModelConfigError("only the final chunk may carry a Response")
+        if self.trace is not None and not isinstance(self.trace, dict):
+            raise ModelConfigError(
+                f"chunk trace must be a span-context dict or None, got {type(self.trace).__name__}"
+            )
 
     def as_dict(self) -> dict:
         """A JSON-friendly view; :meth:`from_dict` is the exact inverse."""
-        return {
+        payload = {
             "task": self.task,
             "seq": self.seq,
             "text": self.text,
@@ -284,6 +305,9 @@ class ResponseChunk:
             "response": self.response.as_dict() if self.response is not None else None,
             "request_id": self.request_id,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResponseChunk":
@@ -311,6 +335,7 @@ class ResponseChunk:
             final=bool(payload.get("final", False)),
             response=response,
             request_id=payload.get("request_id"),
+            trace=payload.get("trace"),
         )
 
 

@@ -66,11 +66,20 @@ from collections.abc import AsyncIterator
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
-from repro import __version__
+from repro import __version__, obs
 from repro.core.batching import padding_efficiency
 from repro.core.config import validate_precision
 from repro.deploy.router import CanaryGuard, Router, parse_ref
 from repro.errors import ModelConfigError
+from repro.obs.names import (
+    METRIC_SERVER_BATCH_SIZE,
+    METRIC_SERVER_EXECUTE_MS,
+    METRIC_SERVER_QUEUE_WAIT_MS,
+    SPAN_SERVER_EXECUTE,
+    SPAN_SERVER_QUEUE,
+    SPAN_SERVER_REQUEST,
+)
+from repro.obs.trace import SpanContext
 from repro.serving.batching import BatchWindow
 from repro.serving.pipeline import Pipeline, _Engine, _Prepared, error_code_for
 from repro.serving.protocol import (
@@ -92,6 +101,12 @@ from repro.serving.protocol import (
 #: The deployment identity of a server's primary pipeline — the implicit
 #: incumbent that serves every task the router has no explicit entry for.
 DEFAULT_DEPLOYMENT = "pipeline@0"
+
+# Fetched once at import so the request hot path never touches the registry
+# lock; recording into them is a lock plus a bisect (see repro.obs.metrics).
+_QUEUE_WAIT_MS = obs.METRICS.histogram(METRIC_SERVER_QUEUE_WAIT_MS)
+_BATCH_SIZE = obs.METRICS.histogram(METRIC_SERVER_BATCH_SIZE)
+_EXECUTE_MS = obs.METRICS.histogram(METRIC_SERVER_EXECUTE_MS)
 
 
 @dataclass
@@ -688,6 +703,31 @@ class Server:
         cache hits and coalesced duplicates answer without it, which the
         stream's final reconciliation covers.
         """
+        span = self._begin_request_span(request)
+        if span is None:
+            return await self._submit(request, deadline, _on_text)
+        request = replace(request, trace=span.context.to_wire())
+        try:
+            response = await self._submit(request, deadline, _on_text)
+        except BaseException:
+            obs.TRACES.finish(span, status="error")
+            raise
+        obs.TRACES.finish(span, status="ok" if response.ok else "error")
+        return response
+
+    def _begin_request_span(self, request: Request) -> "obs.Span | None":
+        # A bare request starts a trace here (head sampling happens at the
+        # root); a request arriving with wire context — e.g. relayed by the
+        # sharded gateway — continues the caller's trace instead.
+        parent = SpanContext.from_wire(request.trace)
+        attrs = {"task": request.task}
+        if parent is None:
+            return obs.TRACES.root(SPAN_SERVER_REQUEST, attrs=attrs)
+        return obs.TRACES.begin(SPAN_SERVER_REQUEST, parent, attrs=attrs)
+
+    async def _submit(
+        self, request: Request, deadline: float | None, _on_text
+    ) -> Response:
         self._counts["submitted"] += 1
         if self._closed:
             return self._account(error_response(request, ERROR_SHUTDOWN, "server is stopped"))
@@ -783,7 +823,14 @@ class Server:
             # Called on a worker thread between decode steps; hop to the loop.
             loop.call_soon_threadsafe(queue.put_nowait, delta)
 
-        submit = asyncio.ensure_future(self.submit(request, deadline=deadline, _on_text=tap))
+        # The stream owns the request span (rather than delegating to
+        # submit()) so every chunk can echo the trace context: a client
+        # holding a non-final chunk knows which trace it belongs to.
+        span = self._begin_request_span(request)
+        if span is not None:
+            request = replace(request, trace=span.context.to_wire())
+        trace = request.trace
+        submit = asyncio.ensure_future(self._submit(request, deadline, tap))
         emitted = ""
         seq = 0
         try:
@@ -793,38 +840,47 @@ class Server:
                 if getter in done:
                     delta = getter.result()
                     emitted += delta
-                    yield ResponseChunk(task=request.task, seq=seq, text=delta, request_id=request.request_id)
+                    yield ResponseChunk(
+                        task=request.task, seq=seq, text=delta, request_id=request.request_id, trace=trace
+                    )
                     seq += 1
                     continue
                 getter.cancel()
                 break
             response = await submit  # already done; submit() never raises
+            if span is not None:
+                obs.TRACES.finish(span, status="ok" if response.ok else "error")
+                span = None
             # Taps enqueue via call_soon_threadsafe before the worker's future
             # resolves, so everything the decode produced is already here.
             while not queue.empty():
                 delta = queue.get_nowait()
                 emitted += delta
-                yield ResponseChunk(task=request.task, seq=seq, text=delta, request_id=request.request_id)
+                yield ResponseChunk(
+                    task=request.task, seq=seq, text=delta, request_id=request.request_id, trace=trace
+                )
                 seq += 1
             if response.ok:
                 if response.output.startswith(emitted):
                     remainder = response.output[len(emitted):]
                     if remainder:
                         yield ResponseChunk(
-                            task=request.task, seq=seq, text=remainder, request_id=request.request_id
+                            task=request.task, seq=seq, text=remainder, request_id=request.request_id, trace=trace
                         )
                         seq += 1
                 else:
                     # The stream drafted text the final answer replaced: reset
                     # assembly with one authoritative seq-0 chunk.
                     yield ResponseChunk(
-                        task=request.task, seq=0, text=response.output, request_id=request.request_id
+                        task=request.task, seq=0, text=response.output, request_id=request.request_id, trace=trace
                     )
                     seq = 1
             yield ResponseChunk(
-                task=request.task, seq=seq, final=True, response=response, request_id=request.request_id
+                task=request.task, seq=seq, final=True, response=response, request_id=request.request_id, trace=trace
             )
         finally:
+            if span is not None:  # the consumer abandoned the stream mid-flight
+                obs.TRACES.finish(span, status="error")
             if not submit.done():
                 submit.cancel()
 
@@ -1099,6 +1155,14 @@ class Server:
                 self._queue_wait_sum += job.queue_seconds
                 self._queue_wait_max = max(self._queue_wait_max, job.queue_seconds)
                 self._queue_wait_count += 1
+                _QUEUE_WAIT_MS.record(job.queue_seconds * 1000.0)
+                obs.TRACES.record(
+                    SPAN_SERVER_QUEUE,
+                    job.prepared.trace,
+                    job.queue_seconds,
+                    attrs={"batch_size": len(live)},
+                )
+            _BATCH_SIZE.record(float(len(live)))
             self._batch_count += 1
             self._batch_size_sum += len(live)
             self._full_batch_count += len(live) >= self.config.max_batch
@@ -1107,12 +1171,15 @@ class Server:
             # tokenized lengths (backends tokenize later and may truncate).
             self._padding_sum += padding_efficiency([len(job.prepared.source.split()) for job in live])
             prepared = [job.prepared for job in live]
+            execute_started = loop.time()
             try:
                 outputs = await loop.run_in_executor(self._executor, worker.predict, deployment, task, prepared)
             except Exception as error:  # noqa: BLE001 - a backend bug must not kill the loop
+                self._observe_execute(live, worker, loop.time() - execute_started, status="error")
                 for job in live:
                     self._resolve(job, ("error", ERROR_BACKEND, str(error)))
                 return
+            self._observe_execute(live, worker, loop.time() - execute_started)
             if len(outputs) != len(live):
                 for job in live:
                     self._resolve(
@@ -1136,6 +1203,19 @@ class Server:
                     self._resolve(job, ("ok", payload))
         finally:
             self._idle_workers.put_nowait(worker)
+
+    def _observe_execute(
+        self, live: list[_Job], worker: _Worker, execute_seconds: float, status: str = "ok"
+    ) -> None:
+        _EXECUTE_MS.record(execute_seconds * 1000.0)
+        for job in live:
+            obs.TRACES.record(
+                SPAN_SERVER_EXECUTE,
+                job.prepared.trace,
+                execute_seconds,
+                status=status,
+                attrs={"worker": worker.worker_id, "batch_size": len(live)},
+            )
 
     def _resolve(self, job: _Job, outcome: tuple) -> None:
         self._inflight.pop(job.prepared.key, None)
@@ -1186,11 +1266,17 @@ class Server:
     def stats(self) -> dict:
         """Serving telemetry aggregated across every request, batch and deployment.
 
-        Returns a deep-copied snapshot: the caller can hold, mutate or diff
-        it freely while the server keeps serving — no key aliases a live
-        internal counter.  ``version`` stamps the ``repro`` package that
-        produced the snapshot; ``deployments`` / ``routes`` / ``shadow`` /
-        ``rollbacks`` expose the deployment layer (see ``docs/deploy.md``).
+        Returns a detached snapshot: the caller can hold, mutate or diff it
+        freely while the server keeps serving — no key aliases a live
+        internal counter.  Every section is built fresh here (or by a
+        ``stats()`` provider that builds fresh dicts), so only the two
+        subtrees that alias long-lived state — manifest payloads and the
+        rollback log — are copied; the snapshot cost stays proportional to
+        the data returned rather than paying a second blanket ``deepcopy``
+        pass over it (``tests/test_serving_server.py`` pins the allocation
+        budget at 10k deployments).  ``version`` stamps the ``repro`` package
+        that produced the snapshot; ``deployments`` / ``routes`` / ``shadow``
+        / ``rollbacks`` expose the deployment layer (see ``docs/deploy.md``).
         """
         batches = self._batch_count
         mean_size = self._batch_size_sum / batches if batches else 0.0
@@ -1207,7 +1293,12 @@ class Server:
                 "pending": deployment.pending,
                 "requests": dict(deployment.counts),
                 "mean_latency_ms": round(deployment.latency_ms_sum / completed, 3) if completed else 0.0,
-                "manifest": deployment.manifest.as_dict() if deployment.manifest is not None else None,
+                # as_dict() aliases the manifest's nested config dicts
+                # (backends, metadata); deep-copy just this payload so the
+                # snapshot cannot reach back into the live manifest.
+                "manifest": copy.deepcopy(deployment.manifest.as_dict())
+                if deployment.manifest is not None
+                else None,
             }
         shadow = {}
         for pair, bucket in sorted(self._shadow_stats.items()):
@@ -1255,12 +1346,26 @@ class Server:
             "deployments": deployments,
             "routes": self._router.describe(),
             "shadow": shadow,
-            "rollbacks": list(self._rollbacks),
+            "rollbacks": [dict(entry) for entry in self._rollbacks],
             "pipeline": self.pipeline.stats(),
         }
-        # One deep copy at the boundary guarantees the snapshot property for
-        # every nested dict, today's and tomorrow's alike.
-        return copy.deepcopy(snapshot)
+        return snapshot
+
+    def observability(self) -> dict:
+        """The process-local metrics snapshot plus any sampled trace spans.
+
+        ``metrics`` is :meth:`repro.obs.metrics.MetricsRegistry.snapshot` of
+        the process-global registry (mergeable across processes, renderable
+        with :func:`repro.obs.export.prometheus_text`); ``spans`` lists every
+        span currently held by the trace ring buffer as plain dicts (feed
+        them to :func:`repro.obs.export.render_trace` for an ASCII tree).
+        Tracing is off by default — enable it with
+        :func:`repro.obs.configure` before submitting traffic.
+        """
+        return {
+            "metrics": obs.METRICS.snapshot(),
+            "spans": [span.as_dict() for span in obs.TRACES.spans()],
+        }
 
 
 def serve_requests(

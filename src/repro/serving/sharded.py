@@ -86,9 +86,9 @@ import signal
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro import __version__
+from repro import __version__, obs
 
 # NOTE: repro.deploy.registry is imported lazily inside the functions that
 # need it.  Importing it here would close an import cycle (serving.__init__
@@ -96,6 +96,17 @@ from repro import __version__
 # moment repro.deploy initializes; deploy.router is a leaf and safe.
 from repro.deploy.router import HashRing, Router
 from repro.errors import ModelConfigError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import (
+    METRIC_GATEWAY_DISPATCH_MS,
+    METRIC_GATEWAY_HEARTBEAT_GAP_MS,
+    METRIC_GATEWAY_REQUEUES_TOTAL,
+    METRIC_GATEWAY_RESPAWNS_TOTAL,
+    SPAN_GATEWAY_DISPATCH,
+    SPAN_GATEWAY_REQUEST,
+    SPAN_SHARD_SERVE,
+)
+from repro.obs.trace import SpanContext
 from repro.serving.batching import BatchWindow
 from repro.serving.cache import LRUCache
 from repro.serving.protocol import (
@@ -129,6 +140,14 @@ from repro.serving.transport import (
 #: -shaped hang, detectable only by heartbeat timeout), ``drop_batch``
 #: swallows one batch's reply and keeps going (a lost-result bug).
 FAULT_MODES = ("exit", "wedge", "drop_batch")
+
+# Gateway-side observability instruments, fetched once at import (both the
+# gateway process and — via fork — the shard children share the names; each
+# process records into its own registry).
+_DISPATCH_MS = obs.METRICS.histogram(METRIC_GATEWAY_DISPATCH_MS)
+_HEARTBEAT_GAP_MS = obs.METRICS.histogram(METRIC_GATEWAY_HEARTBEAT_GAP_MS)
+_REQUEUES_TOTAL = obs.METRICS.counter(METRIC_GATEWAY_REQUEUES_TOTAL)
+_RESPAWNS_TOTAL = obs.METRICS.counter(METRIC_GATEWAY_RESPAWNS_TOTAL)
 
 
 @dataclass(frozen=True)
@@ -266,7 +285,17 @@ def _shard_run(
             if state["wedged"]:
                 return
             try:
-                emit({"type": "heartbeat", "slot": slot, "generation": generation})
+                # Heartbeats double as the metrics uplink: each frame carries
+                # the shard's cumulative registry snapshot so the gateway can
+                # merge cross-process metrics without a separate channel.
+                emit(
+                    {
+                        "type": "heartbeat",
+                        "slot": slot,
+                        "generation": generation,
+                        "metrics": obs.METRICS.snapshot(),
+                    }
+                )
             except OSError:
                 os._exit(0)
 
@@ -294,6 +323,35 @@ def _shard_run(
         os._exit(1)
 
     fault = {"mode": None, "after": 0}
+
+    def begin_serve_spans(requests: list[Request]) -> tuple[list, list[Request]]:
+        # One shard.serve span per traced request; the request is re-pointed
+        # at the span's context so pipeline stage spans parent under it.
+        spans = [
+            obs.TRACES.begin(
+                SPAN_SHARD_SERVE,
+                SpanContext.from_wire(request.trace),
+                attrs={"slot": slot, "task": request.task},
+            )
+            for request in requests
+        ]
+        traced = [
+            replace(request, trace=span.context.to_wire()) if span is not None else request
+            for request, span in zip(requests, spans)
+        ]
+        return spans, traced
+
+    def attach_spans(spans: list, responses: list[Response]) -> None:
+        # Ship each trace's finished spans back embedded in the response
+        # telemetry; take() empties the local store so a span crosses the
+        # pipe exactly once and the gateway's ingest is the only copy.
+        for span, response in zip(spans, responses):
+            if span is None:
+                continue
+            obs.TRACES.finish(span, status="ok" if response.error is None else "error")
+            telemetry = dict(response.telemetry or {})
+            telemetry["spans"] = [item.as_dict() for item in obs.TRACES.take(span.trace_id)]
+            response.telemetry = telemetry
 
     def maybe_trigger_fault() -> str | None:
         if fault["mode"] is None:
@@ -324,6 +382,7 @@ def _shard_run(
             if ftype == "serve":
                 dropped = maybe_trigger_fault() == "drop_batch"
                 requests = [request_from_wire(payload) for payload in frame["requests"]]
+                serve_spans, requests = begin_serve_spans(requests)
                 pipeline = pipelines.get(frame["deployment"])
                 if pipeline is None:
                     responses = [
@@ -336,6 +395,7 @@ def _shard_run(
                     ]
                 else:
                     responses = pipeline.serve(requests, strict=False)
+                attach_spans(serve_spans, responses)
                 pause = sum(
                     _service_sleep_s(config, response.task)
                     for response in responses
@@ -356,6 +416,8 @@ def _shard_run(
             elif ftype == "stream":
                 dropped = maybe_trigger_fault() == "drop_batch"
                 request = request_from_wire(frame["request"])
+                serve_spans, traced = begin_serve_spans([request])
+                request = traced[0]
                 seq = frame["seq"]
                 pipeline = pipelines.get(frame["deployment"])
                 if pipeline is None:
@@ -367,7 +429,7 @@ def _shard_run(
                 else:
                     chunk_state = {"next": 0}
 
-                    def on_text(delta: str, _seq=seq, _state=chunk_state) -> None:
+                    def on_text(delta: str, _seq=seq, _state=chunk_state, _trace=request.trace) -> None:
                         emit(
                             {
                                 "type": "chunk",
@@ -376,6 +438,7 @@ def _shard_run(
                                 "text": delta,
                                 "slot": slot,
                                 "generation": generation,
+                                **({"trace": _trace} if _trace is not None else {}),
                             }
                         )
                         _state["next"] += 1
@@ -385,6 +448,7 @@ def _shard_run(
                         pause = _service_sleep_s(config, response.task)
                         if pause > 0:
                             time.sleep(pause)
+                attach_spans(serve_spans, [response])
                 if not dropped:
                     emit(
                         {
@@ -456,14 +520,19 @@ class _Job:
 
 
 class _PendingBatch:
-    """A serve frame in flight: its jobs, deployment and dispatch metadata."""
+    """A serve frame in flight: its jobs, deployment and dispatch metadata.
 
-    __slots__ = ("deployment", "jobs", "dispatched_at")
+    ``spans`` holds the per-job ``gateway.dispatch`` spans (``None`` for
+    untraced jobs), finished when the result frame lands or the shard dies.
+    """
 
-    def __init__(self, deployment, jobs, dispatched_at=0.0):
+    __slots__ = ("deployment", "jobs", "dispatched_at", "spans")
+
+    def __init__(self, deployment, jobs, dispatched_at=0.0, spans=None):
         self.deployment = deployment
         self.jobs = jobs
         self.dispatched_at = dispatched_at
+        self.spans = spans if spans is not None else [None] * len(jobs)
 
 
 @dataclass
@@ -482,6 +551,11 @@ class _Slot:
     completed: int = 0
     requeued: int = 0
     last_heartbeat: float = 0.0
+    # The newest metrics snapshot piggybacked on a heartbeat frame.  Kept
+    # whole (snapshots are cumulative) and merged on demand by
+    # observability(); folding each arriving heartbeat into a live registry
+    # would double-count every interval.
+    metrics: dict | None = None
     decoder: FrameDecoder = field(default_factory=FrameDecoder)
     outbuf: bytearray = field(default_factory=bytearray)
     writing: bool = False
@@ -621,6 +695,14 @@ class ShardedServer:
             raise ModelConfigError(f"stream() needs a Request, got {type(request).__name__}")
         if self._loop is None or self._thread is None or not self._thread.is_alive():
             raise ModelConfigError("ShardedServer is not started")
+        # The generator owns the root span (not _submit) so every relayed
+        # chunk can echo the trace context of the request it belongs to.
+        span = None
+        if request.trace is None:
+            span = obs.TRACES.root(SPAN_GATEWAY_REQUEST, attrs={"task": request.task, "stream": True})
+            if span is not None:
+                request = replace(request, trace=span.context.to_wire())
+        trace = request.trace
         events: queue_module.Queue = queue_module.Queue()
         asyncio.run_coroutine_threadsafe(self._stream_submit(request, events.put), self._loop)
         emitted = ""
@@ -637,25 +719,29 @@ class ShardedServer:
                 emitted = ""
                 seq = 0
             emitted += text
-            yield ResponseChunk(task=request.task, seq=seq, text=text, request_id=request.request_id)
+            yield ResponseChunk(
+                task=request.task, seq=seq, text=text, request_id=request.request_id, trace=trace
+            )
             seq += 1
+        if span is not None:
+            obs.TRACES.finish(span, status="ok" if response.error is None else "error")
         if response.error is None:
             if response.output.startswith(emitted):
                 remainder = response.output[len(emitted):]
                 if remainder:
                     yield ResponseChunk(
-                        task=request.task, seq=seq, text=remainder, request_id=request.request_id
+                        task=request.task, seq=seq, text=remainder, request_id=request.request_id, trace=trace
                     )
                     seq += 1
             else:
                 # The stream drafted text the final answer replaced: reset
                 # assembly with one authoritative seq-0 chunk.
                 yield ResponseChunk(
-                    task=request.task, seq=0, text=response.output, request_id=request.request_id
+                    task=request.task, seq=0, text=response.output, request_id=request.request_id, trace=trace
                 )
                 seq = 1
         yield ResponseChunk(
-            task=request.task, seq=seq, final=True, response=response, request_id=request.request_id
+            task=request.task, seq=seq, final=True, response=response, request_id=request.request_id, trace=trace
         )
 
     def run_trace(self, requests: list[Request], arrivals_s: list[float]) -> list[Response]:
@@ -740,6 +826,41 @@ class ShardedServer:
         # Before start() / after stop() nothing mutates concurrently; a
         # direct snapshot is safe and lets callers inspect a stopped server.
         return self._snapshot_stats(now=None)
+
+    def observability(self) -> dict:
+        """Cluster-wide metrics and the gateway's trace store.
+
+        ``metrics`` merges the gateway's own registry snapshot with the
+        newest per-shard snapshot each shard piggybacked on its heartbeat
+        frames — counters add, histograms merge bucket-exact (the fixed
+        :data:`~repro.obs.metrics.BUCKET_SCHEME` makes cross-process merge
+        lossless), gauges adopt the last writer.  ``shards`` keeps the raw
+        per-slot snapshots; ``spans`` lists every span the gateway recorded
+        or ingested from shard responses (render with
+        :func:`repro.obs.export.render_trace`).  A respawned shard restarts
+        its counters from zero; the merge reflects the live processes, not
+        lifetime totals across generations.
+        """
+        if self._loop is not None and self._thread is not None and self._thread.is_alive():
+            return self._call(self._observability_async())
+        return self._merged_observability()
+
+    async def _observability_async(self) -> dict:
+        return self._merged_observability()
+
+    def _merged_observability(self) -> dict:
+        scratch = MetricsRegistry()
+        scratch.merge(obs.METRICS.snapshot())
+        shards = {}
+        for slot in self._slots:
+            if slot.metrics is not None:
+                shards[slot.name] = copy.deepcopy(slot.metrics)
+                scratch.merge(slot.metrics)
+        return {
+            "metrics": scratch.snapshot(),
+            "shards": shards,
+            "spans": [span.as_dict() for span in obs.TRACES.spans()],
+        }
 
     async def _stats_async(self) -> dict:
         return self._snapshot_stats(now=self._loop.time())
@@ -911,6 +1032,7 @@ class ShardedServer:
             if not initial:
                 slot.restarts += 1
                 self._totals["restarts"] += 1
+                _RESPAWNS_TOTAL.inc()
             slot.ready.set()
             return
         slot.broken = True
@@ -973,8 +1095,14 @@ class ShardedServer:
         if slot.generation != generation:
             return
         mtype = message.get("type")
-        slot.last_heartbeat = self._loop.time()
+        now = self._loop.time()
+        if mtype == "heartbeat" and slot.alive:
+            _HEARTBEAT_GAP_MS.record((now - slot.last_heartbeat) * 1000.0)
+        slot.last_heartbeat = now
         if mtype == "heartbeat":
+            metrics = message.get("metrics")
+            if metrics is not None:
+                slot.metrics = metrics
             return
         if mtype == "ready":
             slot.deployments = set(message.get("deployments", []))
@@ -1067,6 +1195,8 @@ class ShardedServer:
         self._destroy_shard_process(slot)
         for batch in pending:
             slot.inflight.release()
+            for span in batch.spans:
+                obs.TRACES.finish(span, status="error")
             outstanding = self._dep_outstanding.get(batch.deployment, 0)
             self._dep_outstanding[batch.deployment] = max(0, outstanding - len(batch.jobs))
             for job in batch.jobs:
@@ -1082,6 +1212,7 @@ class ShardedServer:
         job.requeues += 1
         slot.requeued += 1
         self._totals["requeues"] += 1
+        _REQUEUES_TOTAL.inc()
         if job.requeues > self.config.max_requeues:
             self._fail_job(
                 job,
@@ -1222,7 +1353,26 @@ class ShardedServer:
     def _dispatch(self, slot: _Slot, deployment: str, jobs: list[_Job]) -> None:
         self._seq += 1
         seq = self._seq
-        slot.pending[seq] = _PendingBatch(deployment, jobs, dispatched_at=self._loop.time())
+        # Per-job dispatch spans: each covers the frame's round trip to the
+        # shard.  job.wire was encoded at admission, so a traced job's wire
+        # dict is re-pointed (copy-on-write) at the dispatch span — a requeue
+        # re-dispatches under a fresh span rather than reusing a dead one.
+        spans = []
+        wires = []
+        for job in jobs:
+            span = obs.TRACES.begin(
+                SPAN_GATEWAY_DISPATCH,
+                SpanContext.from_wire(job.wire.get("trace")),
+                attrs={"slot": slot.name, "deployment": deployment},
+            )
+            spans.append(span)
+            if span is None:
+                wires.append(job.wire)
+            else:
+                wire = dict(job.wire)
+                wire["trace"] = span.context.to_wire()
+                wires.append(wire)
+        slot.pending[seq] = _PendingBatch(deployment, jobs, dispatched_at=self._loop.time(), spans=spans)
         slot.dispatched += len(jobs)
         # Jobs move from the queued to the outstanding count atomically (both
         # mutations happen on the loop with no await between them), so the
@@ -1233,7 +1383,7 @@ class ShardedServer:
         if len(jobs) == 1 and jobs[0].on_text is not None:
             self._send(
                 slot,
-                {"type": "stream", "seq": seq, "deployment": deployment, "request": jobs[0].wire},
+                {"type": "stream", "seq": seq, "deployment": deployment, "request": wires[0]},
             )
             return
         self._send(
@@ -1242,7 +1392,7 @@ class ShardedServer:
                 "type": "serve",
                 "seq": seq,
                 "deployment": deployment,
-                "requests": [job.wire for job in jobs],
+                "requests": wires,
             },
         )
 
@@ -1251,6 +1401,10 @@ class ShardedServer:
         if batch is None:
             return
         slot.inflight.release()
+        _DISPATCH_MS.record((self._loop.time() - batch.dispatched_at) * 1000.0)
+        status = "ok" if len(response_dicts) == len(batch.jobs) else "error"
+        for span in batch.spans:
+            obs.TRACES.finish(span, status=status)
         outstanding = self._dep_outstanding.get(batch.deployment, 0)
         self._dep_outstanding[batch.deployment] = max(0, outstanding - len(batch.jobs))
         if len(response_dicts) != len(batch.jobs):
@@ -1277,6 +1431,11 @@ class ShardedServer:
             self._cache.put(job.cache_key, stored)
         enriched = dict(payload)
         telemetry = dict(enriched.get("telemetry") or {})
+        # Spans the shard shipped back move into the gateway's trace store —
+        # they are observability payload, not response payload.
+        shipped_spans = telemetry.pop("spans", None)
+        if shipped_spans:
+            obs.TRACES.ingest(shipped_spans)
         telemetry.update({"shard": slot.name, "shard_generation": slot.generation, "requeues": job.requeues})
         enriched["telemetry"] = telemetry
         try:
@@ -1305,11 +1464,17 @@ class ShardedServer:
     # -- admission ----------------------------------------------------------------------
     @staticmethod
     def _routing_key(wire: dict) -> str:
-        """The request's content identity: wire fields minus caller tags."""
+        """The request's content identity: wire fields minus caller tags.
+
+        ``trace`` is excluded alongside ``request_id``/``deployment``: trace
+        context is per-submission observability metadata, and folding it in
+        would break cache hits, coalescing and ring affinity for otherwise
+        identical requests.
+        """
         payload = {
             key: value
             for key, value in wire.items()
-            if key not in ("request_id", "deployment") and value is not None
+            if key not in ("request_id", "deployment", "trace") and value is not None
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
         return hashlib.md5(canonical.encode("utf-8")).hexdigest()
@@ -1334,6 +1499,22 @@ class ShardedServer:
         return self._primary
 
     async def _submit(self, request: Request, on_text=None) -> Response:
+        span = None
+        if isinstance(request, Request) and request.trace is None:
+            # The gateway is the trace root; a request already carrying wire
+            # context (the stream() generator roots its own) just propagates.
+            span = obs.TRACES.root(SPAN_GATEWAY_REQUEST, attrs={"task": request.task})
+            if span is not None:
+                request = replace(request, trace=span.context.to_wire())
+        try:
+            response = await self._submit_inner(request, on_text)
+        except BaseException:
+            obs.TRACES.finish(span, status="error")
+            raise
+        obs.TRACES.finish(span, status="ok" if response.error is None else "error")
+        return response
+
+    async def _submit_inner(self, request: Request, on_text=None) -> Response:
         self._counts["submitted"] += 1
         if not isinstance(request, Request):
             # error_response() would dereference .task / .request_id on the

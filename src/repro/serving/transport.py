@@ -224,8 +224,13 @@ def schema_from_wire(payload: dict | str | None) -> DatabaseSchema | str | None:
 # -- request wire codec ----------------------------------------------------------------
 #: Every key a wire-encoded request may carry; unknown keys are rejected so
 #: schema drift between a gateway and its shards is loud, mirroring
-#: ``Response.from_dict``.
-REQUEST_WIRE_FIELDS = ("task", "question", "chart", "schema", "table", "request_id", "deployment", "index")
+#: ``Response.from_dict``.  ``trace`` (distributed-tracing context, see
+#: ``docs/observability.md``) is *optional* in both directions: encoders only
+#: emit it when set, and decoders accept payloads without it, so traced
+#: gateways interoperate with pre-tracing shards and vice versa.
+REQUEST_WIRE_FIELDS = (
+    "task", "question", "chart", "schema", "table", "request_id", "deployment", "index", "trace",
+)
 
 
 def request_to_wire(request: Request) -> dict:
@@ -237,7 +242,7 @@ def request_to_wire(request: Request) -> dict:
     pipeline, the shard's outputs are unaffected by the collapse.
     """
     chart = request.chart
-    return {
+    payload = {
         "task": request.task,
         "question": request.question,
         "chart": chart.to_text() if isinstance(chart, DVQuery) else chart,
@@ -247,6 +252,9 @@ def request_to_wire(request: Request) -> dict:
         "deployment": request.deployment,
         "index": request.index,
     }
+    if request.trace is not None:
+        payload["trace"] = request.trace
+    return payload
 
 
 def request_from_wire(payload: dict) -> Request:
@@ -275,6 +283,7 @@ def request_from_wire(payload: dict) -> Request:
             request_id=payload.get("request_id"),
             deployment=payload.get("deployment"),
             index=payload.get("index"),
+            trace=payload.get("trace"),
         )
     except ReproError as error:
         raise TransportError(f"invalid wire request: {error}") from None
@@ -282,8 +291,10 @@ def request_from_wire(payload: dict) -> Request:
 
 # -- response-chunk wire codec ---------------------------------------------------------
 #: Every key a wire-encoded stream chunk may carry; unknown keys are rejected
-#: like :data:`REQUEST_WIRE_FIELDS`.
-RESPONSE_CHUNK_WIRE_FIELDS = ("task", "seq", "text", "final", "response", "request_id")
+#: like :data:`REQUEST_WIRE_FIELDS`.  ``trace`` is optional in both
+#: directions (emitted only when set, absent accepted), matching the request
+#: codec's forward/backward wire compatibility.
+RESPONSE_CHUNK_WIRE_FIELDS = ("task", "seq", "text", "final", "response", "request_id", "trace")
 
 
 def chunk_to_wire(chunk: ResponseChunk) -> dict:

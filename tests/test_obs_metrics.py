@@ -1,0 +1,197 @@
+"""Property and unit tests for :mod:`repro.obs.metrics`.
+
+The merge/quantile contract the gateway leans on:
+
+* merging per-shard snapshots is **exact** — bucket counts, count, min and
+  max are identical to recording every observation in one histogram, in any
+  merge order and grouping;
+* ``quantile`` is monotone in ``p``, clamped to the observed min/max, and
+  exact at the extremes;
+* :meth:`MetricsRegistry.reset` zeroes instruments **in place** — every
+  module caches its instruments at import time, so reset must never orphan
+  a cached handle.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelConfigError
+from repro.obs.metrics import BUCKET_SCHEME, Counter, Gauge, Histogram, MetricsRegistry
+
+values = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False)
+samples = st.lists(values, min_size=1, max_size=60)
+
+
+def recorded(observations) -> Histogram:
+    histogram = Histogram("h")
+    for value in observations:
+        histogram.record(value)
+    return histogram
+
+
+class TestHistogramMerge:
+    @settings(max_examples=150, deadline=None)
+    @given(left=samples, right=samples)
+    def test_merge_equals_recording_everything_in_one_process(self, left, right):
+        merged = recorded(left)
+        merged.merge(recorded(right))
+        expected = recorded(left + right)
+        assert merged._counts == expected._counts
+        assert merged.count == expected.count
+        assert merged.quantile(0.0) == expected.quantile(0.0)
+        assert merged.quantile(1.0) == expected.quantile(1.0)
+        assert math.isclose(merged.sum, expected.sum, rel_tol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(left=samples, right=samples)
+    def test_merge_is_commutative(self, left, right):
+        ab = recorded(left)
+        ab.merge(recorded(right))
+        ba = recorded(right)
+        ba.merge(recorded(left))
+        assert ab._counts == ba._counts
+        assert ab.count == ba.count
+        assert ab.quantile(0.0) == ba.quantile(0.0)
+        assert ab.quantile(1.0) == ba.quantile(1.0)
+
+    @settings(max_examples=75, deadline=None)
+    @given(parts=st.lists(samples, min_size=2, max_size=4))
+    def test_merge_is_associative_over_shards(self, parts):
+        # fold left-to-right vs. pairwise grouping: same aggregate
+        folded = recorded(parts[0])
+        for part in parts[1:]:
+            folded.merge(recorded(part))
+        flat = recorded([value for part in parts for value in part])
+        assert folded._counts == flat._counts
+        assert folded.count == flat.count
+
+    @settings(max_examples=75, deadline=None)
+    @given(observations=samples)
+    def test_snapshot_survives_json_exactly(self, observations):
+        histogram = recorded(observations)
+        rebuilt = Histogram("h")
+        rebuilt.merge_snapshot(json.loads(json.dumps(histogram.snapshot())))
+        assert rebuilt._counts == histogram._counts
+        assert rebuilt.count == histogram.count
+        assert rebuilt.quantile(1.0) == histogram.quantile(1.0)
+
+    def test_merge_refuses_foreign_bucket_schemes(self):
+        histogram = Histogram("h")
+        with pytest.raises(ModelConfigError, match="scheme"):
+            histogram.merge_snapshot({"scheme": "linear:10", "counts": {}, "count": 0, "sum": 0.0})
+        assert BUCKET_SCHEME in str(Histogram("h").snapshot()["scheme"])
+
+
+class TestHistogramQuantile:
+    @settings(max_examples=150, deadline=None)
+    @given(observations=samples, ps=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8))
+    def test_quantile_is_monotone_in_p(self, observations, ps):
+        histogram = recorded(observations)
+        ps = sorted(ps)
+        quantiles = [histogram.quantile(p) for p in ps]
+        assert quantiles == sorted(quantiles)
+
+    @settings(max_examples=150, deadline=None)
+    @given(observations=samples, p=st.floats(0.0, 1.0))
+    def test_quantile_is_clamped_to_observed_range(self, observations, p):
+        histogram = recorded(observations)
+        value = histogram.quantile(p)
+        assert min(observations) <= value <= max(observations)
+
+    @settings(max_examples=100, deadline=None)
+    @given(observations=samples)
+    def test_extremes_are_exact(self, observations):
+        histogram = recorded(observations)
+        assert histogram.quantile(0.0) == min(observations)
+        assert histogram.quantile(1.0) == max(observations)
+
+    @settings(max_examples=100, deadline=None)
+    @given(observations=st.lists(st.floats(2e-3, 1e4, allow_nan=False), min_size=1, max_size=60))
+    def test_median_is_within_one_bucket_of_truth(self, observations):
+        # The bound holds inside the bucketed range [1e-3, 1e5]; values below
+        # the first boundary clamp into the catch-all bucket by design.
+        histogram = recorded(observations)
+        exact = sorted(observations)[(len(observations) - 1) // 2]
+        # one log2x8 bucket is a 2**0.125 ratio; allow one bucket either side
+        ratio = 2.0 ** 0.125
+        assert exact / ratio - 1e-12 <= histogram.quantile(0.5) <= exact * ratio + 1e-12
+
+    def test_empty_histogram_is_all_zeros(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean() == 0.0
+        assert histogram.summary() == {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+
+    def test_summary_has_the_benchmark_shape(self):
+        histogram = recorded([1.0, 2.0, 3.0, 10.0])
+        summary = histogram.summary()
+        assert set(summary) == {"p50", "p90", "p99", "mean", "max"}
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 4.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert registry.gauge("c") is registry.gauge("c")
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ModelConfigError, match="Counter"):
+            registry.histogram("x")
+
+    def test_reset_preserves_instrument_identity(self):
+        # Regression: instruments are cached in module globals at import, so
+        # reset() must zero them in place — dropping the objects would orphan
+        # every cached handle and silently lose all later recordings.
+        registry = MetricsRegistry()
+        counter = registry.counter("tokens")
+        histogram = registry.histogram("lat")
+        gauge = registry.gauge("pages")
+        counter.inc(5)
+        histogram.record(1.0)
+        gauge.set(3.0)
+        registry.reset()
+        assert counter.value == 0 and histogram.count == 0 and gauge.value == 0.0
+        counter.inc()
+        histogram.record(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["tokens"] == 1
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert registry.counter("tokens") is counter
+        assert registry.histogram("lat") is histogram
+        assert registry.gauge("pages") is gauge
+
+    def test_registry_merge_folds_counters_and_histograms_exactly(self):
+        source = MetricsRegistry()
+        source.counter("n").inc(7)
+        source.gauge("g").set(2.5)
+        source.histogram("h").record(4.0)
+        target = MetricsRegistry()
+        target.counter("n").inc(3)
+        target.histogram("h").record(8.0)
+        target.merge(json.loads(json.dumps(source.snapshot())))
+        snapshot = target.snapshot()
+        assert snapshot["counters"]["n"] == 10
+        assert snapshot["gauges"]["g"] == 2.5
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h"]["max"] == 8.0
+
+    def test_counter_and_gauge_basics(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        gauge = Gauge("g")
+        gauge.set(1)
+        gauge.set(0.25)
+        assert gauge.value == 0.25

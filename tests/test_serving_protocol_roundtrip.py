@@ -184,6 +184,20 @@ index_pins = st.builds(
     "sha256:{}".format, st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
 )
 
+# Wire-propagated trace context (repro.obs.trace.SpanContext.to_wire shape).
+# ``trace`` is compare=False on Request and ResponseChunk, so every round-trip
+# assertion pins it explicitly rather than leaning on dataclass equality.
+trace_contexts = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "trace_id": st.text(alphabet="0123456789abcdef", min_size=32, max_size=32),
+            "span_id": st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
+            "sampled": st.booleans(),
+        }
+    ),
+)
+
 
 @st.composite
 def wire_requests(draw) -> Request:
@@ -204,6 +218,7 @@ def wire_requests(draw) -> Request:
         request_id=draw(st.one_of(st.none(), payload_text)),
         deployment=draw(st.one_of(st.none(), st.sampled_from(["viz@1", "viz@2"]))),
         index=draw(st.one_of(st.none(), index_pins)) if task == "corpus_qa" else None,
+        trace=draw(trace_contexts),
     )
 
 
@@ -222,6 +237,7 @@ class TestRequestWireRoundTrip:
         assert rebuilt.request_id == request.request_id
         assert rebuilt.deployment == request.deployment
         assert rebuilt.index == request.index
+        assert rebuilt.trace == request.trace
 
     @settings(max_examples=100, deadline=None)
     @given(schema=database_schemas())
@@ -333,6 +349,7 @@ class TestFraming:
 def response_chunks(draw) -> ResponseChunk:
     task = draw(st.sampled_from(SERVABLE_TASKS))
     request_id = draw(st.one_of(st.none(), payload_text))
+    trace = draw(trace_contexts)
     if draw(st.booleans()):
         return ResponseChunk(
             task=task,
@@ -340,12 +357,14 @@ def response_chunks(draw) -> ResponseChunk:
             final=True,
             response=draw(responses()),
             request_id=request_id,
+            trace=trace,
         )
     return ResponseChunk(
         task=task,
         seq=draw(st.integers(0, 50)),
         text=draw(payload_text),
         request_id=request_id,
+        trace=trace,
     )
 
 
@@ -395,6 +414,7 @@ class TestChunkWireRoundTrip:
     def test_from_wire_inverts_to_wire_through_json(self, chunk):
         rebuilt = chunk_from_wire(json.loads(json.dumps(chunk_to_wire(chunk))))
         assert rebuilt == chunk
+        assert rebuilt.trace == chunk.trace
         if chunk.response is not None:
             assert rebuilt.response.telemetry == chunk.response.telemetry
 
@@ -423,6 +443,19 @@ class TestChunkWireRoundTrip:
         wire["surprise"] = 1
         with pytest.raises(TransportError, match="surprise"):
             chunk_from_wire(wire)
+
+    def test_untraced_wire_omits_the_trace_key(self):
+        # Pre-tracing peers reject unknown fields, so untraced frames must be
+        # byte-compatible with the old wire shape: no "trace" key at all.
+        assert "trace" not in request_to_wire(Request(task="fevisqa", question="q"))
+        assert "trace" not in chunk_to_wire(ResponseChunk(task="corpus_qa", seq=0, text="d"))
+
+    def test_legacy_wire_without_trace_decodes_to_none(self):
+        request_wire = request_to_wire(Request(task="fevisqa", question="q"))
+        chunk_wire = chunk_to_wire(ResponseChunk(task="corpus_qa", seq=0, text="d"))
+        assert "trace" not in request_wire and "trace" not in chunk_wire
+        assert request_from_wire(request_wire).trace is None
+        assert chunk_from_wire(chunk_wire).trace is None
 
     def test_contract_violations_are_transport_errors(self):
         with pytest.raises(TransportError):

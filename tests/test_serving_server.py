@@ -349,3 +349,42 @@ class TestBatchWindow:
             ServerConfig(num_workers=0)
         with pytest.raises(ModelConfigError):
             ServerConfig(queue_size=0)
+
+
+class TestStatsSnapshotCost:
+    """``Server.stats()`` must stay a targeted-copy snapshot, not a blanket deepcopy."""
+
+    def test_allocation_is_bounded_at_10k_deployments(self):
+        import tracemalloc
+
+        from repro.serving import server as server_module
+
+        pipeline_stub = type("PipelineStub", (), {"stats": lambda self: {}})()
+        srv = Server(pipeline_stub)  # type: ignore[arg-type]
+        for index in range(10_000):
+            name = f"viz@{index}"
+            srv._deployments[name] = server_module._Deployment(name, pipeline_stub)
+        tracemalloc.start()
+        snapshot = srv.stats()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Measured ~7 MB for the snapshot itself; a blanket deepcopy pass
+        # over the result roughly doubles that (~15 MB peak).  10 MB gives
+        # headroom over the former and fails on the latter.
+        assert peak < 10 * 1024 * 1024, f"stats() peak allocation {peak / 1e6:.1f} MB"
+        assert len(snapshot["deployments"]) == 10_001  # 10k + the default deployment
+
+    def test_snapshot_is_detached_from_live_state(self):
+        from repro.serving.server import DEFAULT_DEPLOYMENT
+
+        pipeline_stub = type("PipelineStub", (), {"stats": lambda self: {}})()
+        srv = Server(pipeline_stub)  # type: ignore[arg-type]
+        srv._rollbacks.append({"deployment": "viz@1", "reason": "canary"})
+        snapshot = srv.stats()
+        snapshot["requests"]["submitted"] = 999
+        snapshot["deployments"][DEFAULT_DEPLOYMENT]["requests"]["completed"] = 999
+        snapshot["rollbacks"][0]["reason"] = "mutated"
+        snapshot["rollbacks"].append({"x": 1})
+        assert srv._counts["submitted"] == 0
+        assert srv._deployments[DEFAULT_DEPLOYMENT].counts["completed"] == 0
+        assert srv._rollbacks == [{"deployment": "viz@1", "reason": "canary"}]
